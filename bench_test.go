@@ -1,0 +1,210 @@
+// Package repro's root benchmark harness: one benchmark per paper table
+// and figure (DESIGN.md experiments E1–E11) plus the ablations of §5.
+// Each benchmark runs its experiment through a process-wide shared
+// environment, so corpora and trained pipelines are built once; the first
+// benchmark to need them pays the cost.
+//
+// The tables are logged, so `go test -bench=. -benchmem` doubles as the
+// paper-reproduction report generator.
+//
+// Scale: set CATI_BENCH_SCALE=default for the full-size run (tens of
+// minutes on one core); the default "bench" scale reproduces every shape
+// in a few minutes.
+package repro
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/elfx"
+	"repro/internal/experiments"
+	"repro/internal/nn"
+	"repro/internal/synth"
+	"repro/internal/word2vec"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+)
+
+// benchScale sits between QuickScale and DefaultScale: full paper
+// architecture, moderate corpus.
+func benchScale() experiments.Scale {
+	switch os.Getenv("CATI_BENCH_SCALE") {
+	case "default":
+		return experiments.DefaultScale()
+	case "quick":
+		return experiments.QuickScale()
+	}
+	return experiments.Scale{
+		TrainBinaries: 16,
+		AppBinaries:   1,
+		Window:        10,
+		Cfg: classify.Config{
+			Window:      10,
+			MaxPerStage: 2500,
+			Train:       nn.TrainConfig{Epochs: 2, Batch: 64, LR: 1e-3},
+			W2V:         word2vec.Config{Epochs: 2},
+			Seed:        7,
+		},
+		Seed: 7,
+	}
+}
+
+func sharedEnv() *experiments.Env {
+	benchOnce.Do(func() { benchEnv = experiments.NewEnv(benchScale()) })
+	return benchEnv
+}
+
+func benchTable(b *testing.B, f func() (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tab, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.Format())
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table I (E1): orphan variables and uncertain
+// samples in the training and testing sets.
+func BenchmarkTable1(b *testing.B) { benchTable(b, sharedEnv().Table1) }
+
+// BenchmarkClustering regenerates the §II-B same-type clustering survey
+// (E11).
+func BenchmarkClustering(b *testing.B) { benchTable(b, sharedEnv().Clustering) }
+
+// BenchmarkTable3 regenerates Table III (E2): per-stage VUC-granularity
+// P/R/F1 per application.
+func BenchmarkTable3(b *testing.B) { benchTable(b, sharedEnv().Table3) }
+
+// BenchmarkTable4 regenerates Table IV (E3): per-stage variable-granularity
+// metrics after voting.
+func BenchmarkTable4(b *testing.B) { benchTable(b, sharedEnv().Table4) }
+
+// BenchmarkTable5 regenerates Table V (E4): per-type stage recalls,
+// accuracy, support and clustering statistics.
+func BenchmarkTable5(b *testing.B) { benchTable(b, sharedEnv().Table5) }
+
+// BenchmarkTable6 regenerates Table VI (E5): per-application accuracy at
+// VUC and variable granularity.
+func BenchmarkTable6(b *testing.B) { benchTable(b, sharedEnv().Table6) }
+
+// BenchmarkTable7 regenerates Table VII (E6): the Clang-transfer
+// experiment.
+func BenchmarkTable7(b *testing.B) { benchTable(b, sharedEnv().Table7) }
+
+// BenchmarkFigure6 regenerates Figure 6 (E7): the occlusion-importance
+// distribution.
+func BenchmarkFigure6(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) { return sharedEnv().Figure6(120) })
+}
+
+// BenchmarkDebinComparison regenerates the §VII-B DEBIN comparison (E8).
+func BenchmarkDebinComparison(b *testing.B) { benchTable(b, sharedEnv().DebinComparison) }
+
+// BenchmarkCompilerID regenerates the §VIII compiler-identification
+// experiment (E9).
+func BenchmarkCompilerID(b *testing.B) { benchTable(b, sharedEnv().CompilerID) }
+
+// BenchmarkPerBinary measures the end-to-end per-binary inference phases
+// (E10; paper: ≈6 s/binary on their IDA-based extraction).
+func BenchmarkPerBinary(b *testing.B) { benchTable(b, sharedEnv().Timing) }
+
+// --- ablations (DESIGN.md §5), each row retrains a pipeline ---
+
+func ablEnv() *experiments.Env { return experiments.NewEnv(experiments.AblationScale()) }
+
+// BenchmarkAblationWindow sweeps the context window size w.
+func BenchmarkAblationWindow(b *testing.B) {
+	e := ablEnv()
+	benchTable(b, func() (*experiments.Table, error) { return e.AblationWindow([]int{0, 2, 5, 10}) })
+}
+
+// BenchmarkAblationClamp sweeps the voting confidence clamp.
+func BenchmarkAblationClamp(b *testing.B) {
+	e := sharedEnv()
+	benchTable(b, func() (*experiments.Table, error) { return e.AblationClamp([]float64{0, 0.8, 0.9, 0.95}) })
+}
+
+// BenchmarkAblationGeneralize toggles operand generalization.
+func BenchmarkAblationGeneralize(b *testing.B) {
+	e := ablEnv()
+	benchTable(b, e.AblationGeneralize)
+}
+
+// BenchmarkAblationEmbedDim sweeps the token embedding dimensionality.
+func BenchmarkAblationEmbedDim(b *testing.B) {
+	e := ablEnv()
+	benchTable(b, func() (*experiments.Table, error) { return e.AblationEmbedDim([]int{8, 16, 32}) })
+}
+
+// BenchmarkAblationFlatVsTree compares the stage tree with a flat 19-way
+// classifier.
+func BenchmarkAblationFlatVsTree(b *testing.B) {
+	e := ablEnv()
+	benchTable(b, e.AblationFlatVsTree)
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkCompileBinary measures the simulated toolchain: generate +
+// compile + link one program.
+func BenchmarkCompileBinary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := synth.Generate(synth.DefaultProfile("bench"), int64(i))
+		if _, err := compile.Compile(p, compile.Options{Dialect: compile.GCC, Opt: i % 4, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInferBinary measures core.InferBinary end to end with a small
+// trained model.
+func BenchmarkInferBinary(b *testing.B) {
+	c, err := corpus.Build(corpus.BuildConfig{
+		Name: "bench-train", Binaries: 4,
+		Profile: synth.DefaultProfile("bt"), Window: 5, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cati, err := core.Train(c, classify.Config{
+		Window: 5, Conv1: 8, Conv2: 8, Hidden: 64,
+		MaxPerStage: 1000,
+		Train:       nn.TrainConfig{Epochs: 1, Batch: 32, LR: 2e-3},
+		W2V:         word2vec.Config{Epochs: 1},
+		Seed:        5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := synth.Generate(synth.DefaultProfile("bi"), 11)
+	res, err := compile.Compile(p, compile.Options{Dialect: compile.GCC, Opt: 1, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bin := elfx.Strip(res.Binary)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cati.InferBinary(bin); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOrphans isolates the paper's central claim: accuracy on orphan
+// variables, CATI vs the dependency-only baseline.
+func BenchmarkOrphans(b *testing.B) { benchTable(b, sharedEnv().Orphans) }
+
+// BenchmarkConfusions runs the variable-level error analysis.
+func BenchmarkConfusions(b *testing.B) { benchTable(b, sharedEnv().Confusions) }

@@ -1,0 +1,226 @@
+// Command cati is the end-user tool: given a trained model and a stripped
+// binary, it locates variables and infers their C types; it can also strip
+// binaries and disassemble them (objdump-style) using the built-in
+// substrate.
+//
+// Usage:
+//
+//	cati infer    -model cati.model binary.stripped.elf
+//	cati annotate -model cati.model binary.stripped.elf
+//	cati strip    in.elf out.elf
+//	cati disasm   binary.elf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/elfx"
+	"repro/internal/vareco"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cati:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: cati <infer|annotate|strip|disasm> [flags] <file...>")
+	}
+	switch args[0] {
+	case "infer":
+		return inferCmd(args[1:])
+	case "annotate":
+		return annotateCmd(args[1:])
+	case "strip":
+		return stripCmd(args[1:])
+	case "disasm":
+		return disasmCmd(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func inferCmd(args []string) error {
+	fs := flag.NewFlagSet("infer", flag.ContinueOnError)
+	model := fs.String("model", "cati.model", "trained model file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: cati infer -model m binary.elf")
+	}
+	blob, err := os.ReadFile(*model)
+	if err != nil {
+		return err
+	}
+	cati, err := core.Load(blob)
+	if err != nil {
+		return err
+	}
+	img, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	vars, err := cati.InferImage(img)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s  %-8s  %-5s  %-5s  %s\n", "FUNC", "SLOT", "SIZE", "VUCS", "TYPE")
+	for _, v := range vars {
+		fmt.Printf("%#-10x  %-8d  %-5d  %-5d  %s\n", v.FuncLow, v.Slot, v.Size, v.NumVUCs, v.Class)
+	}
+	fmt.Printf("%d variables\n", len(vars))
+	return nil
+}
+
+// annotateCmd prints the disassembly of a stripped binary with inferred
+// variable types inline — the reverse-engineering view the paper's
+// Figure 2 motivates.
+func annotateCmd(args []string) error {
+	fs := flag.NewFlagSet("annotate", flag.ContinueOnError)
+	model := fs.String("model", "cati.model", "trained model file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: cati annotate -model m binary.elf")
+	}
+	blob, err := os.ReadFile(*model)
+	if err != nil {
+		return err
+	}
+	cati, err := core.Load(blob)
+	if err != nil {
+		return err
+	}
+	img, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	bin, err := elfx.Read(img)
+	if err != nil {
+		return err
+	}
+	vars, err := cati.InferBinary(bin)
+	if err != nil {
+		return err
+	}
+
+	// Index inferred types by (function, slot) and by global address.
+	bySlot := make(map[slotKey]core.InferredVar)
+	byAddr := make(map[uint64]core.InferredVar)
+	for _, v := range vars {
+		if v.Global {
+			byAddr[v.FuncLow] = v
+		} else {
+			bySlot[slotKey{v.FuncLow, v.Slot}] = v
+		}
+	}
+
+	rec, err := vareco.Recover(bin)
+	if err != nil {
+		return err
+	}
+	for fi := range rec.Funcs {
+		f := &rec.Funcs[fi]
+		fmt.Printf("\n%016x <func_%x>:\n", f.Low, f.Low)
+		for i := f.InstLo; i < f.InstHi; i++ {
+			in := &rec.Insts[i]
+			note := ""
+			if m, ok := in.MemArg(); ok {
+				switch {
+				case m.Base == f.FrameReg:
+					if v, ok := findCovering(bySlot, f.Low, m.Disp); ok {
+						note = "   ; " + v.Class.String()
+					}
+				case m.Base == asm.RegNone && m.Index == asm.RegNone:
+					if v, ok := byAddr[uint64(uint32(m.Disp))]; ok {
+						note = "   ; " + v.Class.String() + " (global)"
+					}
+				}
+			}
+			fmt.Printf("  %6x:\t%-40s%s\n", in.Addr, asm.Print(in), note)
+		}
+	}
+	return nil
+}
+
+// slotKey addresses a stack variable for annotation lookup.
+type slotKey struct {
+	fn   uint64
+	slot int32
+}
+
+// findCovering locates the inferred variable whose slot interval covers
+// the displacement.
+func findCovering(bySlot map[slotKey]core.InferredVar, fn uint64, disp int32) (core.InferredVar, bool) {
+	// Exact hit first, then interior bytes of wider slots.
+	if v, ok := bySlot[slotKey{fn, disp}]; ok {
+		return v, true
+	}
+	for k, v := range bySlot {
+		if k.fn == fn && disp >= k.slot && disp < k.slot+int32(v.Size) {
+			return v, true
+		}
+	}
+	return core.InferredVar{}, false
+}
+
+func stripCmd(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: cati strip in.elf out.elf")
+	}
+	img, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	bin, err := elfx.Read(img)
+	if err != nil {
+		return err
+	}
+	out, err := elfx.Write(elfx.Strip(bin))
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(args[1], out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("stripped %s → %s (%d → %d bytes)\n", args[0], args[1], len(img), len(out))
+	return nil
+}
+
+func disasmCmd(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: cati disasm binary.elf")
+	}
+	img, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	bin, err := elfx.Read(img)
+	if err != nil {
+		return err
+	}
+	text, err := bin.Text()
+	if err != nil {
+		return err
+	}
+	insts, err := asm.DecodeAll(text.Data, text.Addr)
+	if err != nil {
+		return err
+	}
+	for i := range insts {
+		if sym, ok := bin.SymbolAt(insts[i].Addr); ok && sym.Addr == insts[i].Addr {
+			fmt.Printf("\n%016x <%s>:\n", sym.Addr, sym.Name)
+		}
+		fmt.Printf("  %6x:\t%s\n", insts[i].Addr, asm.Print(&insts[i]))
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/elfx"
+	"repro/internal/nn"
+	"repro/internal/synth"
+	"repro/internal/word2vec"
+)
+
+// TestCatiEndToEnd exercises strip → disasm → infer through the CLI with a
+// tiny model trained in-process.
+func TestCatiEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+
+	// Build a binary on disk.
+	p := synth.Generate(synth.DefaultProfile("cli"), 3)
+	res, err := compile.Compile(p, compile.Options{Dialect: compile.GCC, Opt: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := elfx.Write(res.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := filepath.Join(dir, "a.elf")
+	if err := os.WriteFile(full, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// strip.
+	strippedPath := filepath.Join(dir, "a.stripped.elf")
+	if err := run([]string{"strip", full, strippedPath}); err != nil {
+		t.Fatal(err)
+	}
+
+	// disasm both.
+	if err := run([]string{"disasm", full}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Train and save a tiny model.
+	c, err := corpus.Build(corpus.BuildConfig{
+		Name: "cli-train", Binaries: 3,
+		Profile: synth.DefaultProfile("clitrain"), Window: 5, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cati, err := core.Train(c, classify.Config{
+		Window: 5, Conv1: 8, Conv2: 8, Hidden: 64, MaxPerStage: 600,
+		Train: nn.TrainConfig{Epochs: 1, Batch: 32, LR: 2e-3},
+		W2V:   word2vec.Config{Epochs: 1}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := cati.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelPath := filepath.Join(dir, "m.model")
+	if err := os.WriteFile(modelPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// infer.
+	if err := run([]string{"infer", "-model", modelPath, strippedPath}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatiErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args should fail")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand should fail")
+	}
+	if err := run([]string{"strip", "/nonexistent", "/tmp/x"}); err == nil {
+		t.Error("missing input should fail")
+	}
+	if err := run([]string{"disasm", "/nonexistent"}); err == nil {
+		t.Error("missing input should fail")
+	}
+	if err := run([]string{"infer", "-model", "/nonexistent", "/nonexistent"}); err == nil {
+		t.Error("missing model should fail")
+	}
+}
+
+func TestCatiAnnotate(t *testing.T) {
+	// Reuses the artifacts produced the same way as TestCatiEndToEnd but
+	// self-contained: build binary + model, then annotate.
+	dir := t.TempDir()
+	p := synth.Generate(synth.DefaultProfile("anno"), 5)
+	res, err := compile.Compile(p, compile.Options{Dialect: compile.GCC, Opt: 0, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := elfx.Write(elfx.Strip(res.Binary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "a.elf")
+	if err := os.WriteFile(bin, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := corpus.Build(corpus.BuildConfig{
+		Name: "anno-train", Binaries: 2,
+		Profile: synth.DefaultProfile("annotrain"), Window: 5, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cati, err := core.Train(c, classify.Config{
+		Window: 5, Conv1: 8, Conv2: 8, Hidden: 64, MaxPerStage: 400,
+		Train: nn.TrainConfig{Epochs: 1, Batch: 32, LR: 2e-3},
+		W2V:   word2vec.Config{Epochs: 1}, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := cati.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := filepath.Join(dir, "m.model")
+	if err := os.WriteFile(model, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"annotate", "-model", model, bin}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+// Command catibench regenerates the paper's tables and figures (see
+// DESIGN.md's per-experiment index) and prints them.
+//
+// Usage:
+//
+//	catibench [-scale default|quick] all
+//	catibench table1 table3 table4 table5 table6 table7
+//	catibench fig6 debin compilerid timing clustering
+//	catibench ablation-window ablation-clamp ablation-generalize
+//	catibench ablation-embed ablation-flat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "catibench:", err)
+		os.Exit(1)
+	}
+}
+
+var order = []string{
+	"table1", "clustering", "table3", "table4", "table5", "table6", "table7",
+	"fig6", "debin", "orphans", "compilerid", "confusions", "timing",
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("catibench", flag.ContinueOnError)
+	scale := fs.String("scale", "default", "experiment scale: default, quick or ablation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var s experiments.Scale
+	switch *scale {
+	case "default":
+		s = experiments.DefaultScale()
+	case "quick":
+		s = experiments.QuickScale()
+	case "ablation":
+		s = experiments.AblationScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	env := experiments.NewEnv(s)
+
+	ids := fs.Args()
+	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+		ids = order
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := runOne(env, id)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(tab.Format())
+		fmt.Printf("(%s took %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+	return nil
+}
+
+func runOne(env *experiments.Env, id string) (*experiments.Table, error) {
+	switch id {
+	case "table1":
+		return env.Table1()
+	case "table3":
+		return env.Table3()
+	case "table4":
+		return env.Table4()
+	case "table5":
+		return env.Table5()
+	case "table6":
+		return env.Table6()
+	case "table7":
+		return env.Table7()
+	case "fig6":
+		return env.Figure6(150)
+	case "debin":
+		return env.DebinComparison()
+	case "compilerid":
+		return env.CompilerID()
+	case "timing":
+		return env.Timing()
+	case "clustering":
+		return env.Clustering()
+	case "confusions":
+		return env.Confusions()
+	case "orphans":
+		return env.Orphans()
+	case "ablation-window":
+		return env.AblationWindow([]int{0, 2, 5, 10})
+	case "ablation-clamp":
+		return env.AblationClamp([]float64{0, 0.8, 0.9, 0.95})
+	case "ablation-generalize":
+		return env.AblationGeneralize()
+	case "ablation-embed":
+		return env.AblationEmbedDim([]int{8, 16, 32})
+	case "ablation-flat":
+		return env.AblationFlatVsTree()
+	default:
+		return nil, fmt.Errorf("unknown experiment (see catibench -h)")
+	}
+}

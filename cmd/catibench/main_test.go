@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestCatibenchQuick(t *testing.T) {
+	if err := run([]string{"-scale", "quick", "table1", "clustering"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatibenchErrors(t *testing.T) {
+	if err := run([]string{"-scale", "huge"}); err == nil {
+		t.Error("unknown scale should fail")
+	}
+	if err := run([]string{"-scale", "quick", "nosuch"}); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/elfx"
+)
+
+func TestCatigenEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-n", "2", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 { // 2 binaries × (full + stripped)
+		t.Fatalf("wrote %d files, want 4", len(entries))
+	}
+	// Every produced ELF must parse; stripped ones must be stripped.
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bin, err := elfx.Read(data)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		stripped := filepath.Ext(e.Name()) == ".elf" &&
+			len(e.Name()) > 13 && e.Name()[len(e.Name())-13:] == ".stripped.elf"
+		if stripped != bin.IsStripped() {
+			t.Errorf("%s: stripped=%v, name suggests %v", e.Name(), bin.IsStripped(), stripped)
+		}
+	}
+}
+
+func TestCatigenProfiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-n", "1", "-profile", "grep", "-dialect", "clang"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-out", dir, "-n", "1", "-profile", "nosuch"}); err == nil {
+		t.Error("unknown profile should fail")
+	}
+	if err := run([]string{"-out", dir, "-n", "1", "-dialect", "msvc"}); err == nil {
+		t.Error("unknown dialect should fail")
+	}
+}

@@ -1,0 +1,95 @@
+// Command catitrain trains a CATI model: it builds a labeled training
+// corpus with the simulated toolchain, trains the Word2Vec embedding and
+// the six-stage CNN classifier, and writes the serialized model.
+//
+// Usage:
+//
+//	catitrain -out cati.model -binaries 48 -epochs 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/nn"
+	"repro/internal/synth"
+	"repro/internal/word2vec"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "catitrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("catitrain", flag.ContinueOnError)
+	out := fs.String("out", "cati.model", "output model file")
+	binaries := fs.Int("binaries", 24, "training binaries to generate")
+	dialect := fs.String("dialect", "gcc", "compiler dialect: gcc or clang")
+	window := fs.Int("window", 10, "VUC window w")
+	epochs := fs.Int("epochs", 2, "CNN training epochs")
+	maxPerStage := fs.Int("max-per-stage", 4000, "training sample cap per stage")
+	seed := fs.Int64("seed", 7, "seed")
+	quick := fs.Bool("quick", false, "small architecture for a fast demo model")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	d := compile.GCC
+	if *dialect == "clang" {
+		d = compile.Clang
+	}
+
+	start := time.Now()
+	fmt.Printf("building corpus: %d binaries (%s)...\n", *binaries, *dialect)
+	c, err := corpus.Build(corpus.BuildConfig{
+		Name:     "train",
+		Binaries: *binaries,
+		Profile:  synth.DefaultProfile("train"),
+		Dialect:  d,
+		Window:   *window,
+		Seed:     *seed,
+	})
+	if err != nil {
+		return err
+	}
+	st := c.Stats()
+	fmt.Printf("corpus: %d variables, %d VUCs (%.1fs)\n",
+		st.Variables, st.VUCs, time.Since(start).Seconds())
+
+	cfg := classify.Config{
+		Window:      *window,
+		MaxPerStage: *maxPerStage,
+		Train:       nn.TrainConfig{Epochs: *epochs, Batch: 64, LR: 1e-3},
+		W2V:         word2vec.Config{Epochs: 2},
+		Seed:        *seed,
+	}
+	if *quick {
+		cfg.Conv1, cfg.Conv2, cfg.Hidden = 8, 8, 64
+	}
+	fmt.Println("training embedding + 6-stage classifier...")
+	t0 := time.Now()
+	cati, err := core.Train(c, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained in %.1fs\n", time.Since(t0).Seconds())
+
+	blob, err := cati.Save()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, len(blob))
+	return nil
+}

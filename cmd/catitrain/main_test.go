@@ -1,0 +1,28 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestCatitrainProducesLoadableModel(t *testing.T) {
+	dir := t.TempDir()
+	model := filepath.Join(dir, "m.model")
+	err := run([]string{
+		"-out", model, "-binaries", "3", "-window", "5",
+		"-epochs", "1", "-max-per-stage", "500", "-quick",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Load(blob); err != nil {
+		t.Fatalf("saved model does not load: %v", err)
+	}
+}

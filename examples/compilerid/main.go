@@ -1,0 +1,99 @@
+// compilerid reproduces the paper's §VIII observation that the source
+// compiler of a stripped binary is identifiable from VUCs alone (they
+// report 100% accuracy): it trains a small CNN to tell the GCC dialect
+// from the Clang dialect and evaluates on fresh binaries.
+//
+//	go run ./examples/compilerid
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/classify"
+	"repro/internal/compile"
+	"repro/internal/corpus"
+	"repro/internal/nn"
+	"repro/internal/synth"
+	"repro/internal/word2vec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "compilerid:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const window = 5
+	build := func(name string, d compile.Dialect, seed int64) (*corpus.Corpus, error) {
+		return corpus.Build(corpus.BuildConfig{
+			Name: name, Binaries: 6,
+			Profile: synth.DefaultProfile(name),
+			Dialect: d, Window: window, Seed: seed,
+		})
+	}
+	fmt.Println("building GCC- and Clang-dialect corpora...")
+	gcc, err := build("gcc", compile.GCC, 1)
+	if err != nil {
+		return err
+	}
+	clang, err := build("clang", compile.Clang, 1)
+	if err != nil {
+		return err
+	}
+
+	// Shared token embedding over both dialects.
+	sentences := append(gcc.Sentences(), clang.Sentences()...)
+	embed := word2vec.Train(sentences, word2vec.Config{Epochs: 2, Seed: 5})
+
+	const dim = 32
+	seqLen, instDim := 2*window+1, 3*dim
+	ds := &nn.Dataset{SeqLen: seqLen, EmbDim: instDim}
+	add := func(c *corpus.Corpus, label, limit int) {
+		for i, r := range c.All() {
+			if i >= limit {
+				return
+			}
+			ds.Add(classify.EmbedWindow(embed, c.Tokens(r), dim), label)
+		}
+	}
+	add(gcc, 0, 2500)
+	add(clang, 1, 2500)
+
+	fmt.Printf("training compiler-ID classifier on %d VUCs...\n", ds.Len())
+	net := nn.NewCNN(seqLen, instDim, 8, 16, 128, 2, 11)
+	if err := nn.TrainClassifier(net, ds, 2, nn.TrainConfig{Epochs: 2, Batch: 32, LR: 2e-3, Seed: 3}); err != nil {
+		return err
+	}
+
+	// Evaluate on fresh binaries from both dialects.
+	testGCC, err := build("test-gcc", compile.GCC, 99)
+	if err != nil {
+		return err
+	}
+	testClang, err := build("test-clang", compile.Clang, 99)
+	if err != nil {
+		return err
+	}
+	hit, tot := 0, 0
+	evalOn := func(c *corpus.Corpus, label, limit int) {
+		for i, r := range c.All() {
+			if i >= limit {
+				return
+			}
+			probs := nn.Predict(net, [][]float32{classify.EmbedWindow(embed, c.Tokens(r), dim)}, seqLen, instDim)
+			if nn.Argmax(probs[0]) == label {
+				hit++
+			}
+			tot++
+		}
+	}
+	evalOn(testGCC, 0, 1000)
+	evalOn(testClang, 1, 1000)
+	fmt.Printf("held-out compiler identification accuracy: %.3f (%d/%d VUCs)\n",
+		float64(hit)/float64(tot), hit, tot)
+	fmt.Println("(paper §VIII: 100% — register-usage habits give the compiler away)")
+	return nil
+}

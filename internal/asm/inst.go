@@ -1,0 +1,390 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Op is an instruction mnemonic without width suffix; operand widths carry
+// the size information, and the AT&T printer derives suffixes when needed.
+type Op int
+
+// Mnemonics. Start at 1 so the zero value is invalid.
+const (
+	OpInvalid Op = iota
+
+	// Data movement.
+	OpMOV
+	OpMOVABS
+	OpMOVZX // zero-extending load, 8/16-bit source
+	OpMOVSX // sign-extending load, 8/16-bit source
+	OpMOVSXD
+	OpLEA
+	OpPUSH
+	OpPOP
+
+	// Integer ALU.
+	OpADD
+	OpSUB
+	OpAND
+	OpOR
+	OpXOR
+	OpCMP
+	OpADC
+	OpSBB
+	OpTEST
+	OpIMUL
+	OpIDIV
+	OpDIV
+	OpCDQ
+	OpCQO
+	OpSHL
+	OpSHR
+	OpSAR
+	OpROL
+	OpROR
+	OpINC
+	OpDEC
+	OpNEG
+	OpNOT
+	OpXCHG
+
+	// Control flow.
+	OpCALL
+	OpRET
+	OpLEAVE
+	OpJMP
+	OpJE
+	OpJNE
+	OpJL
+	OpJLE
+	OpJG
+	OpJGE
+	OpJB
+	OpJBE
+	OpJA
+	OpJAE
+	OpJS
+	OpJNS
+
+	// Condition materialization.
+	OpSETE
+	OpSETNE
+	OpSETL
+	OpSETLE
+	OpSETG
+	OpSETGE
+	OpSETB
+	OpSETBE
+	OpSETA
+	OpSETAE
+	OpSETS
+	OpSETNS
+
+	// Conditional moves (if-conversion at O2).
+	OpCMOVE
+	OpCMOVNE
+	OpCMOVL
+	OpCMOVLE
+	OpCMOVG
+	OpCMOVGE
+	OpCMOVB
+	OpCMOVBE
+	OpCMOVA
+	OpCMOVAE
+	OpCMOVS
+	OpCMOVNS
+
+	OpNOP
+
+	// SSE scalar float.
+	OpMOVSS
+	OpMOVSD
+	OpADDSS
+	OpADDSD
+	OpSUBSS
+	OpSUBSD
+	OpMULSS
+	OpMULSD
+	OpDIVSS
+	OpDIVSD
+	OpCVTSI2SS
+	OpCVTSI2SD
+	OpCVTTSS2SI
+	OpCVTTSD2SI
+	OpCVTSS2SD
+	OpCVTSD2SS
+	OpUCOMISS
+	OpUCOMISD
+	OpPXOR
+	OpXORPS
+	OpMOVAPS
+	OpMOVQX // movq between xmm and r/m64 (66 REX.W 0F 6E/7E)
+
+	// x87 (long double).
+	OpFLD
+	OpFSTP
+	OpFILD
+	OpFADDP
+	OpFMULP
+	OpFSUBP
+	OpFDIVP
+	OpFCHS
+	OpFXCH
+	OpFUCOMIP
+
+	opMax // sentinel for iteration in tests
+)
+
+var opNames = map[Op]string{
+	OpMOV: "mov", OpMOVABS: "movabs", OpMOVZX: "movz", OpMOVSX: "movs",
+	OpMOVSXD: "movslq", OpLEA: "lea", OpPUSH: "push", OpPOP: "pop",
+	OpADD: "add", OpSUB: "sub", OpAND: "and", OpOR: "or", OpXOR: "xor",
+	OpCMP: "cmp", OpADC: "adc", OpSBB: "sbb",
+	OpTEST: "test", OpIMUL: "imul", OpIDIV: "idiv",
+	OpDIV: "div", OpCDQ: "cltd", OpCQO: "cqto",
+	OpSHL: "shl", OpSHR: "shr", OpSAR: "sar", OpROL: "rol", OpROR: "ror",
+	OpINC: "inc", OpDEC: "dec", OpNEG: "neg", OpNOT: "not", OpXCHG: "xchg",
+	OpCMOVE: "cmove", OpCMOVNE: "cmovne", OpCMOVL: "cmovl", OpCMOVLE: "cmovle",
+	OpCMOVG: "cmovg", OpCMOVGE: "cmovge", OpCMOVB: "cmovb", OpCMOVBE: "cmovbe",
+	OpCMOVA: "cmova", OpCMOVAE: "cmovae", OpCMOVS: "cmovs", OpCMOVNS: "cmovns",
+	OpMOVAPS: "movaps", OpMOVQX: "movq",
+	OpCALL: "callq", OpRET: "retq", OpLEAVE: "leave",
+	OpJMP: "jmp", OpJE: "je", OpJNE: "jne", OpJL: "jl", OpJLE: "jle",
+	OpJG: "jg", OpJGE: "jge", OpJB: "jb", OpJBE: "jbe", OpJA: "ja",
+	OpJAE: "jae", OpJS: "js", OpJNS: "jns",
+	OpSETE: "sete", OpSETNE: "setne", OpSETL: "setl", OpSETLE: "setle",
+	OpSETG: "setg", OpSETGE: "setge", OpSETB: "setb", OpSETBE: "setbe",
+	OpSETA: "seta", OpSETAE: "setae", OpSETS: "sets", OpSETNS: "setns",
+	OpNOP:   "nop",
+	OpMOVSS: "movss", OpMOVSD: "movsd", OpADDSS: "addss", OpADDSD: "addsd",
+	OpSUBSS: "subss", OpSUBSD: "subsd", OpMULSS: "mulss", OpMULSD: "mulsd",
+	OpDIVSS: "divss", OpDIVSD: "divsd",
+	OpCVTSI2SS: "cvtsi2ss", OpCVTSI2SD: "cvtsi2sd",
+	OpCVTTSS2SI: "cvttss2si", OpCVTTSD2SI: "cvttsd2si",
+	OpCVTSS2SD: "cvtss2sd", OpCVTSD2SS: "cvtsd2ss",
+	OpUCOMISS: "ucomiss", OpUCOMISD: "ucomisd",
+	OpPXOR: "pxor", OpXORPS: "xorps",
+	OpFLD: "fld", OpFSTP: "fstp", OpFILD: "fild",
+	OpFADDP: "faddp", OpFMULP: "fmulp", OpFSUBP: "fsubp", OpFDIVP: "fdivp",
+	OpFCHS: "fchs", OpFXCH: "fxch", OpFUCOMIP: "fucomip",
+}
+
+// String returns the base AT&T mnemonic (without width suffixes; the
+// printer adds those per-instruction).
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// IsJump reports whether the op is a conditional or unconditional jump.
+func (o Op) IsJump() bool { return o >= OpJMP && o <= OpJNS }
+
+// IsCondJump reports whether the op is a conditional jump.
+func (o Op) IsCondJump() bool { return o >= OpJE && o <= OpJNS }
+
+// IsSET reports whether the op is a SETcc.
+func (o Op) IsSET() bool { return o >= OpSETE && o <= OpSETNS }
+
+// IsSSE reports whether the op is an SSE instruction.
+func (o Op) IsSSE() bool { return o >= OpMOVSS && o <= OpMOVQX }
+
+// IsCMOV reports whether the op is a conditional move.
+func (o Op) IsCMOV() bool { return o >= OpCMOVE && o <= OpCMOVNS }
+
+// IsX87 reports whether the op is an x87 floating instruction.
+func (o Op) IsX87() bool { return o >= OpFLD && o <= OpFUCOMIP }
+
+// Operand is an instruction operand: Imm, Reg (as RegArg), Mem or Sym.
+type Operand interface {
+	isOperand()
+	String() string
+}
+
+// Imm is an immediate operand.
+type Imm struct {
+	Value int64
+}
+
+func (Imm) isOperand() {}
+
+// String renders the immediate the way objdump does: hex with sign.
+func (i Imm) String() string {
+	if i.Value < 0 {
+		return "-0x" + strconv.FormatInt(-i.Value, 16)
+	}
+	return "0x" + strconv.FormatInt(i.Value, 16)
+}
+
+// RegArg wraps a Reg as an operand.
+type RegArg struct {
+	Reg Reg
+}
+
+func (RegArg) isOperand() {}
+
+func (r RegArg) String() string { return "%" + r.Reg.String() }
+
+// R is shorthand for constructing a register operand.
+func R(r Reg) RegArg { return RegArg{Reg: r} }
+
+// Mem is a memory operand: Disp(Base, Index, Scale). Scale is 1, 2, 4 or 8
+// and must be 1 when Index is RegNone.
+type Mem struct {
+	Base  Reg
+	Index Reg
+	Scale uint8
+	Disp  int32
+}
+
+func (Mem) isOperand() {}
+
+func (m Mem) String() string {
+	// Absolute addressing prints as a bare address, objdump-style.
+	if m.Base == RegNone && m.Index == RegNone {
+		if m.Disp < 0 {
+			return "-0x" + strconv.FormatInt(int64(-m.Disp), 16)
+		}
+		return "0x" + strconv.FormatInt(int64(m.Disp), 16)
+	}
+	var sb strings.Builder
+	if m.Disp != 0 {
+		if m.Disp < 0 {
+			sb.WriteString("-0x" + strconv.FormatInt(int64(-m.Disp), 16))
+		} else {
+			sb.WriteString("0x" + strconv.FormatInt(int64(m.Disp), 16))
+		}
+	}
+	sb.WriteByte('(')
+	if m.Base != RegNone {
+		sb.WriteString("%" + m.Base.String())
+	}
+	if m.Index != RegNone {
+		sb.WriteString(",%" + m.Index.String())
+		sb.WriteString("," + strconv.Itoa(int(m.Scale)))
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// MemD builds a base+displacement memory operand.
+func MemD(base Reg, disp int32) Mem { return Mem{Base: base, Scale: 1, Disp: disp} }
+
+// MemSIB builds a full scale-index-base memory operand.
+func MemSIB(base, index Reg, scale uint8, disp int32) Mem {
+	return Mem{Base: base, Index: index, Scale: scale, Disp: disp}
+}
+
+// Sym is a code-address operand for CALL/JMP: either a symbolic label (pre
+// link) or a resolved absolute address (post link / post decode). Name is
+// informational; the decoder fills it from the symbol table when available.
+type Sym struct {
+	Name string
+	Addr uint64
+	// Resolved is true once Addr is meaningful.
+	Resolved bool
+}
+
+func (Sym) isOperand() {}
+
+func (s Sym) String() string {
+	if !s.Resolved {
+		return s.Name
+	}
+	if s.Name != "" {
+		return fmt.Sprintf("%x <%s>", s.Addr, s.Name)
+	}
+	return strconv.FormatUint(s.Addr, 16)
+}
+
+// Inst is one decoded or to-be-encoded instruction. Operands are stored in
+// Intel order (destination first); the AT&T printer reverses them.
+type Inst struct {
+	Op   Op
+	Args []Operand
+
+	// Width is the operand width in bytes (1, 2, 4 or 8) for operations
+	// whose width is not implied by a register operand (e.g. mov $0, (mem);
+	// fld mem). For x87 memory operands it is 4, 8 or 10.
+	Width int
+
+	// Addr and Len are filled by the decoder: the virtual address of the
+	// instruction and its encoded length in bytes.
+	Addr uint64
+	Len  int
+}
+
+// NewInst builds an instruction with the given operands in Intel order.
+func NewInst(op Op, width int, args ...Operand) Inst {
+	return Inst{Op: op, Width: width, Args: args}
+}
+
+// Dst returns the first (destination) operand or nil.
+func (in *Inst) Dst() Operand {
+	if len(in.Args) == 0 {
+		return nil
+	}
+	return in.Args[0]
+}
+
+// Src returns the second (source) operand or nil.
+func (in *Inst) Src() Operand {
+	if len(in.Args) < 2 {
+		return nil
+	}
+	return in.Args[1]
+}
+
+// MemArg returns the first memory operand and true, or a zero Mem and
+// false when the instruction has no memory operand.
+func (in *Inst) MemArg() (Mem, bool) {
+	for _, a := range in.Args {
+		if m, ok := a.(Mem); ok {
+			return m, true
+		}
+	}
+	return Mem{}, false
+}
+
+// Equal reports semantic equality of two instructions, ignoring Addr/Len
+// and symbolic names (the decoder cannot always reconstruct them).
+func (in *Inst) Equal(other *Inst) bool {
+	if in.Op != other.Op || in.Width != other.Width || len(in.Args) != len(other.Args) {
+		return false
+	}
+	for i := range in.Args {
+		if !operandEqual(in.Args[i], other.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func operandEqual(a, b Operand) bool {
+	switch x := a.(type) {
+	case Imm:
+		y, ok := b.(Imm)
+		return ok && x.Value == y.Value
+	case RegArg:
+		y, ok := b.(RegArg)
+		return ok && x.Reg == y.Reg
+	case Mem:
+		y, ok := b.(Mem)
+		if !ok {
+			return false
+		}
+		// Scale is irrelevant without an index register.
+		if x.Index == RegNone && y.Index == RegNone {
+			return x.Base == y.Base && x.Disp == y.Disp
+		}
+		return x == y
+	case Sym:
+		y, ok := b.(Sym)
+		return ok && x.Addr == y.Addr && x.Resolved == y.Resolved
+	default:
+		return false
+	}
+}

@@ -1,0 +1,413 @@
+package asm
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The parser accepts the AT&T syntax this package's printer emits (the
+// objdump-flavoured subset), so external textual disassembly can be fed
+// into the CATI pipeline and Print/Parse round-trip.
+
+// ErrParse reports unparsable assembly text.
+var ErrParse = errors.New("asm: parse error")
+
+// ParseInst parses one AT&T-syntax instruction line, e.g.
+// "mov %rax,0xb0(%rsp)" or "movl $0x100,0xb8(%rsp)". Comments after '#'
+// or ';' are ignored. Branch targets parse into unresolved Syms when
+// symbolic, resolved Syms when numeric.
+func ParseInst(line string) (Inst, error) {
+	if i := strings.IndexAny(line, "#;"); i >= 0 {
+		line = line[:i]
+	}
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return Inst{}, fmt.Errorf("empty line: %w", ErrParse)
+	}
+	mnem := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnem, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+
+	op, width, err := parseMnemonic(mnem)
+	if err != nil {
+		return Inst{}, err
+	}
+
+	var attOps []string
+	if rest != "" {
+		attOps, err = splitOperands(rest)
+		if err != nil {
+			return Inst{}, err
+		}
+	}
+
+	// Branches take a single target operand without the $ sigil.
+	if op.IsJump() || op == OpCALL {
+		if len(attOps) != 1 {
+			return Inst{}, fmt.Errorf("%s needs one operand: %w", mnem, ErrParse)
+		}
+		tgt := attOps[0]
+		if strings.HasPrefix(tgt, "*%") {
+			r, err := parseReg(tgt[1:])
+			if err != nil {
+				return Inst{}, err
+			}
+			return Inst{Op: op, Width: 8, Args: []Operand{R(r)}}, nil
+		}
+		if sym, ok := parseSymTarget(tgt); ok {
+			return Inst{Op: op, Args: []Operand{sym}}, nil
+		}
+		return Inst{}, fmt.Errorf("branch target %q: %w", tgt, ErrParse)
+	}
+
+	args := make([]Operand, 0, 2)
+	for _, s := range attOps {
+		a, err := parseOperand(s)
+		if err != nil {
+			return Inst{}, err
+		}
+		args = append(args, a)
+	}
+	// AT&T order is source first; store Intel order (destination first).
+	for i, j := 0, len(args)-1; i < j; i, j = i+1, j-1 {
+		args[i], args[j] = args[j], args[i]
+	}
+
+	in := Inst{Op: op, Width: width, Args: args}
+
+	// "movq" is ambiguous in AT&T: the 64-bit integer move and the
+	// xmm↔gpr move share the spelling. Operands decide.
+	if op == OpMOVQX && !hasXMMArg(args) {
+		in.Op = OpMOV
+		in.Width = 8
+	}
+
+	inferWidth(&in)
+	return in, nil
+}
+
+func hasXMMArg(args []Operand) bool {
+	for _, a := range args {
+		if r, ok := a.(RegArg); ok && r.Reg.IsXMM() {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseText parses a sequence of instruction lines (blank lines and
+// label/offset prefixes like "  401000:\t" are tolerated).
+func ParseText(text string) ([]Inst, error) {
+	var out []Inst
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasSuffix(line, ":") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Strip objdump's "addr:\tbytes\tmnemonic" prefix when present.
+		if i := strings.Index(line, ":"); i >= 0 && isHex(line[:i]) {
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				continue
+			}
+		}
+		in, err := ParseInst(line)
+		if err != nil {
+			return out, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+func isHex(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if !strings.ContainsRune("0123456789abcdefABCDEF", c) {
+			return false
+		}
+	}
+	return true
+}
+
+// opsByName inverts the mnemonic table once per call site; the table is
+// tiny so a linear build is fine and keeps the package free of init().
+func opsByName() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		m[name] = op
+	}
+	return m
+}
+
+// suffixWidths maps AT&T width suffix letters to byte widths.
+var suffixWidths = map[byte]int{'b': 1, 'w': 2, 'l': 4, 'q': 8, 't': 10}
+
+// parseMnemonic resolves a (possibly width-suffixed) mnemonic.
+func parseMnemonic(m string) (Op, int, error) {
+	byName := opsByName()
+	if op, ok := byName[m]; ok {
+		return op, 0, nil
+	}
+	// movzbl / movsbq / movzwl …: movz/movs + src suffix + dst suffix.
+	if len(m) == 6 && (strings.HasPrefix(m, "movz") || strings.HasPrefix(m, "movs")) {
+		srcW, ok1 := suffixWidths[m[4]]
+		_, ok2 := suffixWidths[m[5]]
+		if ok1 && ok2 {
+			op := OpMOVZX
+			if m[:4] == "movs" {
+				op = OpMOVSX
+			}
+			return op, srcW, nil
+		}
+	}
+	// x87: flds/fldl/fldt, fstps/fstpl/fstpt, filds/fildl/fildll.
+	switch m {
+	case "flds":
+		return OpFLD, 4, nil
+	case "fldl":
+		return OpFLD, 8, nil
+	case "fldt":
+		return OpFLD, 10, nil
+	case "fstps":
+		return OpFSTP, 4, nil
+	case "fstpl":
+		return OpFSTP, 8, nil
+	case "fstpt":
+		return OpFSTP, 10, nil
+	case "filds":
+		return OpFILD, 2, nil
+	case "fildl":
+		return OpFILD, 4, nil
+	case "fildll":
+		return OpFILD, 8, nil
+	}
+	// cvtsi2ssl / cvtsi2sdq …: conversion + int-operand suffix.
+	for _, base := range []string{"cvtsi2ss", "cvtsi2sd"} {
+		if strings.HasPrefix(m, base) && len(m) == len(base)+1 {
+			if w, ok := suffixWidths[m[len(base)]]; ok {
+				return byName[base], w, nil
+			}
+		}
+	}
+	// Generic width suffix: movq, addl, cmpb, incw, …
+	if w, ok := suffixWidths[m[len(m)-1]]; ok && len(m) > 1 {
+		if op, ok := byName[m[:len(m)-1]]; ok {
+			return op, w, nil
+		}
+	}
+	return OpInvalid, 0, fmt.Errorf("mnemonic %q: %w", m, ErrParse)
+}
+
+// splitOperands splits on commas not inside parentheses.
+func splitOperands(s string) ([]string, error) {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced parens in %q: %w", s, ErrParse)
+			}
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("unbalanced parens in %q: %w", s, ErrParse)
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out, nil
+}
+
+func parseOperand(s string) (Operand, error) {
+	switch {
+	case s == "":
+		return nil, fmt.Errorf("empty operand: %w", ErrParse)
+	case s[0] == '$':
+		v, err := parseInt(s[1:])
+		if err != nil {
+			return nil, err
+		}
+		return Imm{Value: v}, nil
+	case s[0] == '%':
+		r, err := parseReg(s)
+		if err != nil {
+			return nil, err
+		}
+		return R(r), nil
+	default:
+		return parseMem(s)
+	}
+}
+
+func parseInt(s string) (int64, error) {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg, s = true, s[1:]
+	}
+	base := 10
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		base, s = 16, s[2:]
+	}
+	v, err := strconv.ParseInt(s, base, 64)
+	if err != nil {
+		// Large unsigned hex (e.g. movabs operands).
+		u, uerr := strconv.ParseUint(s, base, 64)
+		if uerr != nil {
+			return 0, fmt.Errorf("integer %q: %w", s, ErrParse)
+		}
+		v = int64(u)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func parseReg(s string) (Reg, error) {
+	if !strings.HasPrefix(s, "%") {
+		return RegNone, fmt.Errorf("register %q: %w", s, ErrParse)
+	}
+	name := s[1:]
+	for r, n := range regNames {
+		if n == name {
+			return r, nil
+		}
+	}
+	return RegNone, fmt.Errorf("register %q: %w", s, ErrParse)
+}
+
+// parseMem parses disp(base,index,scale), any part optional, or a bare
+// absolute address.
+func parseMem(s string) (Operand, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		// Bare absolute address.
+		v, err := parseInt(s)
+		if err != nil {
+			return nil, err
+		}
+		return Mem{Scale: 1, Disp: int32(v)}, nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("memory operand %q: %w", s, ErrParse)
+	}
+	var m Mem
+	m.Scale = 1
+	if open > 0 {
+		v, err := parseInt(s[:open])
+		if err != nil {
+			return nil, err
+		}
+		m.Disp = int32(v)
+	}
+	inner := s[open+1 : len(s)-1]
+	parts := strings.Split(inner, ",")
+	if len(parts) > 3 {
+		return nil, fmt.Errorf("memory operand %q: %w", s, ErrParse)
+	}
+	if p := strings.TrimSpace(parts[0]); p != "" {
+		r, err := parseReg(p)
+		if err != nil {
+			return nil, err
+		}
+		m.Base = r
+	}
+	if len(parts) >= 2 {
+		if p := strings.TrimSpace(parts[1]); p != "" {
+			r, err := parseReg(p)
+			if err != nil {
+				return nil, err
+			}
+			m.Index = r
+		}
+	}
+	if len(parts) == 3 {
+		sc, err := parseInt(strings.TrimSpace(parts[2]))
+		if err != nil {
+			return nil, err
+		}
+		m.Scale = uint8(sc)
+	}
+	return m, nil
+}
+
+// parseSymTarget parses "401a2c", "401a2c <name>", or a bare label.
+func parseSymTarget(s string) (Sym, bool) {
+	name := ""
+	if i := strings.IndexByte(s, '<'); i >= 0 {
+		j := strings.IndexByte(s[i:], '>')
+		if j < 0 {
+			return Sym{}, false
+		}
+		name = s[i+1 : i+j]
+		s = strings.TrimSpace(s[:i])
+	}
+	if s == "" {
+		return Sym{}, false
+	}
+	if isHex(s) {
+		addr, err := strconv.ParseUint(s, 16, 64)
+		if err != nil {
+			return Sym{}, false
+		}
+		return Sym{Name: name, Addr: addr, Resolved: true}, true
+	}
+	// Symbolic label (unresolved).
+	return Sym{Name: s}, true
+}
+
+// inferWidth fills Inst.Width when a GPR operand implies it and the
+// mnemonic carried no suffix.
+func inferWidth(in *Inst) {
+	if in.Width != 0 {
+		return
+	}
+	switch in.Op {
+	case OpMOVSXD:
+		in.Width = 8
+		return
+	case OpPUSH, OpPOP:
+		if _, ok := in.Args[0].(RegArg); ok {
+			in.Width = 8
+		}
+		return
+	case OpMOVSS, OpUCOMISS:
+		in.Width = 4
+		return
+	case OpMOVSD, OpUCOMISD:
+		in.Width = 8
+		return
+	case OpADDSS, OpSUBSS, OpMULSS, OpDIVSS, OpCVTSS2SD:
+		in.Width = 4
+		return
+	case OpADDSD, OpSUBSD, OpMULSD, OpDIVSD, OpCVTSD2SS:
+		in.Width = 8
+		return
+	case OpPXOR, OpXORPS, OpMOVAPS:
+		in.Width = 16
+		return
+	case OpMOVQX:
+		in.Width = 8
+		return
+	}
+	for _, a := range in.Args {
+		if r, ok := a.(RegArg); ok && r.Reg.IsGPR() {
+			in.Width = r.Reg.Width()
+			return
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package asm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestParsePaperExamples(t *testing.T) {
+	tests := []struct {
+		line string
+		want Inst
+	}{
+		{"mov %rax,0xb0(%rsp)", NewInst(OpMOV, 8, MemD(RSP, 0xb0), R(RAX))},
+		{"movq $0x0,0xa8(%rsp)", NewInst(OpMOV, 8, MemD(RSP, 0xa8), Imm{0})},
+		{"movl $0x100,0xb8(%rsp)", NewInst(OpMOV, 4, MemD(RSP, 0xb8), Imm{0x100})},
+		{"movb $0x0,0xc0(%rsp)", NewInst(OpMOV, 1, MemD(RSP, 0xc0), Imm{0})},
+		{"lea 0x220(%rsp),%rax", NewInst(OpLEA, 8, R(RAX), MemD(RSP, 0x220))},
+		{"lea (%rdi,%rsi,1),%r15", NewInst(OpLEA, 8, R(R15), MemSIB(RDI, RSI, 1, 0))},
+		{"movslq %esi,%rsi", NewInst(OpMOVSXD, 8, R(RSI), R(ESI))},
+		{"sub %rbp,%rdx", NewInst(OpSUB, 8, R(RDX), R(RBP))},
+		{"mov $0x3c,%esi", NewInst(OpMOV, 4, R(ESI), Imm{0x3c})},
+		{"add $-0xd0,%rax", NewInst(OpADD, 8, R(RAX), Imm{-0xd0})},
+		{"movzbl 0x8(%rax),%edx", NewInst(OpMOVZX, 1, R(EDX), MemD(RAX, 8))},
+		{"fldt 0x10(%rsp)", NewInst(OpFLD, 10, MemD(RSP, 0x10))},
+		{"cvtsi2sdl -0x8(%rbp),%xmm0", NewInst(OpCVTSI2SD, 4, R(XMM0), MemD(RBP, -8))},
+		{"retq", NewInst(OpRET, 0)},
+		{"test %eax,%eax", NewInst(OpTEST, 4, R(EAX), R(EAX))},
+		{"sete %al", NewInst(OpSETE, 1, R(AL))},
+		{"incl -0x4(%rbp)", NewInst(OpINC, 4, MemD(RBP, -4))},
+		{"movsd 0x4b0000,%xmm0", NewInst(OpMOVSD, 8, R(XMM0), Mem{Scale: 1, Disp: 0x4b0000})},
+		{"lea -0x300(%rbp,%r9,4),%rax", NewInst(OpLEA, 8, R(RAX), MemSIB(RBP, R9, 4, -0x300))},
+		{"cmove %ecx,%eax", NewInst(OpCMOVE, 4, R(EAX), R(ECX))},
+	}
+	for _, tt := range tests {
+		got, err := ParseInst(tt.line)
+		if err != nil {
+			t.Errorf("%q: %v", tt.line, err)
+			continue
+		}
+		if !got.Equal(&tt.want) {
+			t.Errorf("%q: parsed %s, want %s", tt.line, Print(&got), Print(&tt.want))
+		}
+	}
+}
+
+func TestParseBranches(t *testing.T) {
+	in, err := ParseInst("callq 4044d0 <memchr@plt>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := in.Args[0].(Sym)
+	if !ok || !s.Resolved || s.Addr != 0x4044d0 || s.Name != "memchr@plt" {
+		t.Errorf("call target = %+v", s)
+	}
+	in, err = ParseInst("je 4179f5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := in.Args[0].(Sym); !s.Resolved || s.Addr != 0x4179f5 {
+		t.Errorf("je target = %+v", s)
+	}
+	in, err = ParseInst("jmp loop_head")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := in.Args[0].(Sym); s.Resolved || s.Name != "loop_head" {
+		t.Errorf("label target = %+v", s)
+	}
+	in, err = ParseInst("callq *%rax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := in.Args[0].(RegArg); !ok || r.Reg != RAX {
+		t.Errorf("indirect call = %+v", in.Args[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, line := range []string{
+		"", "   ", "bogus %rax", "mov %nothere,%rax", "mov $zzz,%rax",
+		"mov 0x8(%rax,%rbx", "mov (((,%rax", "jmp", "mov 0x0(%rax,%rbx,2,9),%rcx",
+	} {
+		if _, err := ParseInst(line); !errors.Is(err, ErrParse) {
+			t.Errorf("%q: error = %v, want ErrParse", line, err)
+		}
+	}
+}
+
+// TestPrintParseRoundTrip: printing any encodable random instruction and
+// parsing the text back must reproduce the instruction.
+func TestPrintParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	skipped := 0
+	for i := 0; i < 5000; i++ {
+		in := randInst(r)
+		// Width-1 immediates print unsigned-ambiguously only when negative
+		// in Imm but stored differently; our generator keeps them canonical
+		// so no skips needed — parse everything the printer emits.
+		text := Print(&in)
+		got, err := ParseInst(text)
+		if err != nil {
+			t.Fatalf("#%d %q: %v", i, text, err)
+		}
+		if !got.Equal(&in) {
+			// A few prints are legitimately ambiguous without binary
+			// context (e.g. xchg operand order is symmetric).
+			if in.Op == OpXCHG {
+				skipped++
+				continue
+			}
+			t.Fatalf("#%d: %q parsed as %q", i, text, Print(&got))
+		}
+	}
+	if skipped > 1000 {
+		t.Fatalf("too many skips: %d", skipped)
+	}
+}
+
+func TestParseText(t *testing.T) {
+	text := `
+  401000:	push %rbp
+  401001:	mov %rsp,%rbp
+
+  # a comment line
+some_label:
+  401004:	sub $0x20,%rsp
+  401008:	retq
+`
+	insts, err := ParseText(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 4 {
+		t.Fatalf("parsed %d instructions, want 4", len(insts))
+	}
+	if insts[0].Op != OpPUSH || insts[3].Op != OpRET {
+		t.Errorf("ops: %s ... %s", insts[0].Op, insts[3].Op)
+	}
+}
+
+func TestParseTextError(t *testing.T) {
+	if _, err := ParseText("mov %rax,%rbx\nbroken !!!\n"); err == nil {
+		t.Error("broken line should fail")
+	}
+}

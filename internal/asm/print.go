@@ -1,0 +1,123 @@
+package asm
+
+import "strings"
+
+// widthSuffix returns the AT&T width suffix letter for an operand width.
+func widthSuffix(w int) string {
+	switch w {
+	case 1:
+		return "b"
+	case 2:
+		return "w"
+	case 4:
+		return "l"
+	case 8:
+		return "q"
+	case 10:
+		return "t"
+	default:
+		return ""
+	}
+}
+
+// x87 load/store suffixes differ from the integer ones.
+func x87FloatSuffix(w int) string {
+	switch w {
+	case 4:
+		return "s"
+	case 8:
+		return "l"
+	case 10:
+		return "t"
+	default:
+		return ""
+	}
+}
+
+func x87IntSuffix(w int) string {
+	switch w {
+	case 2:
+		return "s"
+	case 4:
+		return "l"
+	case 8:
+		return "ll"
+	default:
+		return ""
+	}
+}
+
+// hasRegWidth reports whether any GPR operand already conveys the width,
+// which suppresses the AT&T suffix the way objdump does.
+func hasRegWidth(in *Inst) bool {
+	for _, a := range in.Args {
+		if r, ok := a.(RegArg); ok && r.Reg.IsGPR() {
+			return true
+		}
+	}
+	return false
+}
+
+// Mnemonic returns the AT&T mnemonic with objdump-style width suffixes.
+func Mnemonic(in *Inst) string {
+	base := in.Op.String()
+	switch in.Op {
+	case OpMOVZX, OpMOVSX:
+		dstW := 4
+		if r, ok := in.Dst().(RegArg); ok {
+			dstW = r.Reg.Width()
+		}
+		return base + widthSuffix(in.Width) + widthSuffix(dstW)
+	case OpFLD, OpFSTP:
+		if _, ok := in.MemArg(); ok {
+			return base + x87FloatSuffix(in.Width)
+		}
+		return base
+	case OpFILD:
+		return base + x87IntSuffix(in.Width)
+	case OpCVTSI2SS, OpCVTSI2SD:
+		if _, ok := in.MemArg(); ok {
+			return base + widthSuffix(in.Width)
+		}
+		return base
+	case OpMOV, OpADD, OpSUB, OpAND, OpOR, OpXOR, OpCMP, OpADC, OpSBB,
+		OpTEST, OpIDIV, OpDIV, OpIMUL, OpNEG, OpNOT, OpINC, OpDEC,
+		OpSHL, OpSHR, OpSAR, OpROL, OpROR, OpXCHG:
+		if _, ok := in.MemArg(); ok && !hasRegWidth(in) {
+			return base + widthSuffix(in.Width)
+		}
+		return base
+	default:
+		return base
+	}
+}
+
+// Operands returns the printed operands in AT&T order (source first).
+// Immediates carry the $ sigil; branch targets do not.
+func Operands(in *Inst) []string {
+	n := len(in.Args)
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	// AT&T reverses the Intel operand order.
+	for i := n - 1; i >= 0; i-- {
+		a := in.Args[i]
+		s := a.String()
+		if _, ok := a.(Imm); ok && !in.Op.IsJump() && in.Op != OpCALL {
+			s = "$" + s
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Print renders the instruction in objdump-flavoured AT&T syntax, e.g.
+// "mov %rax,0xb0(%rsp)" or "movl $0x100,0xb8(%rsp)".
+func Print(in *Inst) string {
+	ops := Operands(in)
+	if len(ops) == 0 {
+		return Mnemonic(in)
+	}
+	return Mnemonic(in) + " " + strings.Join(ops, ",")
+}

@@ -1,0 +1,216 @@
+// Package baseline implements the comparison systems CATI is evaluated
+// against (§VII-B, §IX):
+//
+//   - A DEBIN-flavoured dependency-feature classifier: like the prior
+//     probabilistic approaches (DEBIN's CRF, TypeMiner's n-grams), it sees
+//     only the instructions that *operate the variable* — its dependency
+//     chain — with no surrounding context. Implemented as multinomial
+//     naive Bayes over the variable's generalized target-instruction
+//     tokens; the paper's claim is precisely that context features beat
+//     such dependency-only features on orphan variables and uncertain
+//     samples.
+//
+//   - A rule-based classifier in the spirit of IDA Pro / TIE / REWARDS
+//     heuristics: hand-written opcode/width rules.
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/ctypes"
+	"repro/internal/vuc"
+)
+
+// VarSample is one variable for baseline training/evaluation: its target
+// instructions (dependency chain) and its ground-truth class.
+type VarSample struct {
+	Centers []vuc.InstTok
+	Class   ctypes.Class
+}
+
+// featuresOf extracts the dependency-feature bag of a variable: individual
+// tokens plus the joined instruction shape.
+func featuresOf(centers []vuc.InstTok) []string {
+	out := make([]string, 0, len(centers)*4)
+	for _, it := range centers {
+		out = append(out, "m:"+it[0], "a:"+it[1], "b:"+it[2],
+			"i:"+it[0]+"|"+it[1]+"|"+it[2])
+	}
+	return out
+}
+
+// NaiveBayes is a multinomial naive Bayes classifier over dependency
+// features.
+type NaiveBayes struct {
+	classes    []ctypes.Class
+	classLogP  map[ctypes.Class]float64
+	featLogP   map[ctypes.Class]map[string]float64
+	featVocab  map[string]bool
+	defaultLog map[ctypes.Class]float64
+}
+
+// TrainNB fits the classifier with Laplace smoothing.
+func TrainNB(vars []VarSample) *NaiveBayes {
+	classCount := make(map[ctypes.Class]int)
+	featCount := make(map[ctypes.Class]map[string]int)
+	classFeatTotal := make(map[ctypes.Class]int)
+	vocab := make(map[string]bool)
+
+	for _, v := range vars {
+		classCount[v.Class]++
+		if featCount[v.Class] == nil {
+			featCount[v.Class] = make(map[string]int)
+		}
+		for _, f := range featuresOf(v.Centers) {
+			featCount[v.Class][f]++
+			classFeatTotal[v.Class]++
+			vocab[f] = true
+		}
+	}
+
+	nb := &NaiveBayes{
+		classLogP:  make(map[ctypes.Class]float64),
+		featLogP:   make(map[ctypes.Class]map[string]float64),
+		featVocab:  vocab,
+		defaultLog: make(map[ctypes.Class]float64),
+	}
+	total := 0
+	for _, n := range classCount {
+		total += n
+	}
+	v := float64(len(vocab)) + 1
+	for cl, n := range classCount {
+		nb.classes = append(nb.classes, cl)
+		nb.classLogP[cl] = math.Log(float64(n) / float64(total))
+		nb.featLogP[cl] = make(map[string]float64, len(featCount[cl]))
+		denom := float64(classFeatTotal[cl]) + v
+		for f, c := range featCount[cl] {
+			nb.featLogP[cl][f] = math.Log((float64(c) + 1) / denom)
+		}
+		nb.defaultLog[cl] = math.Log(1 / denom)
+	}
+	return nb
+}
+
+// Predict classifies a variable from its dependency chain alone.
+func (nb *NaiveBayes) Predict(centers []vuc.InstTok) ctypes.Class {
+	if len(nb.classes) == 0 {
+		return ctypes.ClassInt
+	}
+	feats := featuresOf(centers)
+	best := nb.classes[0]
+	bestScore := math.Inf(-1)
+	for _, cl := range nb.classes {
+		score := nb.classLogP[cl]
+		fl := nb.featLogP[cl]
+		for _, f := range feats {
+			if !nb.featVocab[f] {
+				continue // unseen feature carries no information
+			}
+			if lp, ok := fl[f]; ok {
+				score += lp
+			} else {
+				score += nb.defaultLog[cl]
+			}
+		}
+		if score > bestScore {
+			bestScore = score
+			best = cl
+		}
+	}
+	return best
+}
+
+// RulePredict classifies a variable with hand-written opcode/width
+// heuristics in the spirit of the rule-based prior work. slotSize is the
+// recovered slot size in bytes (0 when unknown).
+func RulePredict(centers []vuc.InstTok, slotSize int) ctypes.Class {
+	var (
+		sawX87Ten, sawDoubleOp, sawFloatOp      bool
+		sawSet, sawMovzb, sawMovsb              bool
+		sawW2Signed, sawW2Unsigned              bool
+		sawLea                                  bool
+		width1, width2, width4, width8, width16 int
+	)
+	for _, it := range centers {
+		m := it[0]
+		switch {
+		case m == "fldt" || m == "fstpt":
+			sawX87Ten = true
+		case m == "movsd" || m == "addsd" || m == "mulsd" || m == "subsd" ||
+			m == "divsd" || m == "cvtsi2sd" || m == "cvtsi2sdl" || m == "cvtsi2sdq" ||
+			m == "fldl" || m == "fstpl":
+			sawDoubleOp = true
+		case m == "movss" || m == "addss" || m == "mulss" || m == "subss" ||
+			m == "divss" || m == "cvtsi2ss" || m == "cvtsi2ssl" || m == "flds" || m == "fstps":
+			sawFloatOp = true
+		case len(m) > 3 && m[:3] == "set":
+			sawSet = true
+		case m == "movzbl" || m == "movzbq" || m == "movzbw":
+			sawMovzb = true
+		case m == "movsbl" || m == "movsbq" || m == "movsbw":
+			sawMovsb = true
+		case m == "movzwl" || m == "movzwq":
+			sawW2Unsigned = true
+		case m == "movswl" || m == "movswq":
+			sawW2Signed = true
+		case m == "lea":
+			sawLea = true
+		}
+		switch lastRune(m) {
+		case 'b':
+			width1++
+		case 'w':
+			width2++
+		case 'l':
+			width4++
+		case 'q':
+			width8++
+		}
+	}
+	if slotSize >= 16 {
+		width16++
+	}
+
+	switch {
+	case sawX87Ten:
+		return ctypes.ClassLongDouble
+	case sawDoubleOp:
+		return ctypes.ClassDouble
+	case sawFloatOp:
+		return ctypes.ClassFloat
+	case sawSet && (slotSize <= 1 || width1 > 0):
+		return ctypes.ClassBool
+	case sawMovzb:
+		return ctypes.ClassUChar
+	case sawMovsb:
+		return ctypes.ClassChar
+	case sawW2Unsigned:
+		return ctypes.ClassUShort
+	case sawW2Signed:
+		return ctypes.ClassShort
+	case slotSize > 8 || (sawLea && slotSize > 8):
+		return ctypes.ClassStruct
+	case width1 > 0 && slotSize <= 1:
+		return ctypes.ClassChar
+	case width2 > 0 && slotSize <= 2:
+		return ctypes.ClassShort
+	case width8 > 0 || slotSize == 8:
+		// Eight-byte slots are ambiguous between long and pointers; rules
+		// guess the most common pointer kind, as IDA's "qword" typing
+		// leans on usage it cannot always see.
+		if sawLea {
+			return ctypes.ClassPtrStruct
+		}
+		return ctypes.ClassLong
+	default:
+		return ctypes.ClassInt
+	}
+}
+
+func lastRune(s string) byte {
+	if s == "" {
+		return 0
+	}
+	return s[len(s)-1]
+}

@@ -1,0 +1,96 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/ctypes"
+	"repro/internal/vuc"
+)
+
+func it(m, a, b string) vuc.InstTok { return vuc.InstTok{m, a, b} }
+
+func TestNaiveBayesSeparatesClearSignals(t *testing.T) {
+	var vars []VarSample
+	for i := 0; i < 50; i++ {
+		vars = append(vars,
+			VarSample{Class: ctypes.ClassDouble, Centers: []vuc.InstTok{
+				it("movsd", "%xmm0", "-0xIMM(%rbp)"),
+				it("movsd", "-0xIMM(%rbp)", "%xmm1"),
+			}},
+			VarSample{Class: ctypes.ClassInt, Centers: []vuc.InstTok{
+				it("mov", "$0xIMM", "-0xIMM(%rbp)"),
+				it("mov", "-0xIMM(%rbp)", "%eax"),
+			}},
+			VarSample{Class: ctypes.ClassChar, Centers: []vuc.InstTok{
+				it("movsbl", "-0xIMM(%rbp)", "%eax"),
+			}},
+		)
+	}
+	nb := TrainNB(vars)
+	if got := nb.Predict([]vuc.InstTok{it("movsd", "%xmm0", "-0xIMM(%rbp)")}); got != ctypes.ClassDouble {
+		t.Errorf("double chain = %s", got)
+	}
+	if got := nb.Predict([]vuc.InstTok{it("movsbl", "-0xIMM(%rbp)", "%eax")}); got != ctypes.ClassChar {
+		t.Errorf("char chain = %s", got)
+	}
+	if got := nb.Predict([]vuc.InstTok{it("mov", "-0xIMM(%rbp)", "%eax")}); got != ctypes.ClassInt {
+		t.Errorf("int chain = %s", got)
+	}
+}
+
+func TestNaiveBayesPriorFallback(t *testing.T) {
+	vars := []VarSample{
+		{Class: ctypes.ClassInt, Centers: []vuc.InstTok{it("mov", "$0xIMM", "-0xIMM(%rbp)")}},
+		{Class: ctypes.ClassInt, Centers: []vuc.InstTok{it("mov", "$0xIMM", "-0xIMM(%rbp)")}},
+		{Class: ctypes.ClassBool, Centers: []vuc.InstTok{it("sete", "-0xIMM(%rbp)", "BLANK")}},
+	}
+	nb := TrainNB(vars)
+	// Fully unseen features → prior wins → int (majority).
+	if got := nb.Predict([]vuc.InstTok{it("xyzzy", "q", "r")}); got != ctypes.ClassInt {
+		t.Errorf("prior fallback = %s", got)
+	}
+}
+
+func TestNaiveBayesEmpty(t *testing.T) {
+	nb := TrainNB(nil)
+	if got := nb.Predict([]vuc.InstTok{it("mov", "a", "b")}); got != ctypes.ClassInt {
+		t.Errorf("empty model = %s", got)
+	}
+}
+
+func TestRulePredict(t *testing.T) {
+	tests := []struct {
+		name    string
+		centers []vuc.InstTok
+		size    int
+		want    ctypes.Class
+	}{
+		{"long double", []vuc.InstTok{it("fldt", "0xIMM(%rsp)", "BLANK")}, 16, ctypes.ClassLongDouble},
+		{"double", []vuc.InstTok{it("movsd", "%xmm0", "-0xIMM(%rbp)")}, 8, ctypes.ClassDouble},
+		{"float", []vuc.InstTok{it("movss", "%xmm0", "-0xIMM(%rbp)")}, 4, ctypes.ClassFloat},
+		{"bool", []vuc.InstTok{it("sete", "%al", "BLANK"), it("movb", "%al", "-0xIMM(%rbp)")}, 1, ctypes.ClassBool},
+		{"uchar", []vuc.InstTok{it("movzbl", "-0xIMM(%rbp)", "%eax")}, 1, ctypes.ClassUChar},
+		{"char", []vuc.InstTok{it("movsbl", "-0xIMM(%rbp)", "%eax")}, 1, ctypes.ClassChar},
+		{"ushort", []vuc.InstTok{it("movzwl", "-0xIMM(%rbp)", "%eax")}, 2, ctypes.ClassUShort},
+		{"short", []vuc.InstTok{it("movswl", "-0xIMM(%rbp)", "%eax")}, 2, ctypes.ClassShort},
+		{"struct", []vuc.InstTok{it("lea", "0xIMM(%rsp)", "%rax")}, 24, ctypes.ClassStruct},
+		{"int default", []vuc.InstTok{it("mov", "$0xIMM", "-0xIMM(%rbp)")}, 4, ctypes.ClassInt},
+		{"long for q", []vuc.InstTok{it("movq", "$0xIMM", "-0xIMM(%rbp)")}, 8, ctypes.ClassLong},
+	}
+	for _, tt := range tests {
+		if got := RulePredict(tt.centers, tt.size); got != tt.want {
+			t.Errorf("%s: RulePredict = %s, want %s", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestRulePriority(t *testing.T) {
+	// Float evidence dominates width evidence.
+	mixed := []vuc.InstTok{
+		it("movq", "$0xIMM", "-0xIMM(%rbp)"),
+		it("movsd", "%xmm0", "-0xIMM(%rbp)"),
+	}
+	if got := RulePredict(mixed, 8); got != ctypes.ClassDouble {
+		t.Errorf("mixed = %s, want double", got)
+	}
+}

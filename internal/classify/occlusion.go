@@ -1,0 +1,97 @@
+package classify
+
+import (
+	"repro/internal/ctypes"
+	"repro/internal/nn"
+	"repro/internal/vuc"
+)
+
+// Epsilon computes the paper's occlusion-importance index (Eq. 5) for one
+// VUC at one stage: for each instruction position k, the VUC is re-scored
+// with instruction k replaced by BLANK and
+//
+//	ε_k = S_u(R(VUC, k)) / S_u(VUC)
+//
+// where S_u is the confidence of the stage's predicted label. Smaller ε_k
+// means the occluded instruction mattered more. Returns one ε per
+// instruction position.
+func (p *Pipeline) Epsilon(toks []vuc.InstTok, stage ctypes.Stage) ([]float64, bool) {
+	net, ok := p.Stages[stage]
+	if !ok {
+		return nil, false
+	}
+	seqLen, instDim := p.Cfg.SeqLen(), p.Cfg.InstDim()
+	if len(toks) != seqLen {
+		return nil, false
+	}
+
+	blank := vuc.InstTok{vuc.TokBlank, vuc.TokBlank, vuc.TokBlank}
+	samples := make([][]float32, 0, seqLen+1)
+	samples = append(samples, p.EmbedWindow(toks))
+	for k := 0; k < seqLen; k++ {
+		occluded := make([]vuc.InstTok, seqLen)
+		copy(occluded, toks)
+		occluded[k] = blank
+		samples = append(samples, p.EmbedWindow(occluded))
+	}
+
+	probs := nn.Predict(net, samples, seqLen, instDim)
+	base := probs[0]
+	label := nn.Argmax(base)
+	baseConf := float64(base[label])
+	if baseConf <= 0 {
+		return nil, false
+	}
+	out := make([]float64, seqLen)
+	for k := 0; k < seqLen; k++ {
+		out[k] = float64(probs[k+1][label]) / baseConf
+	}
+	return out, true
+}
+
+// EpsilonDistribution aggregates ε over many VUCs into the paper's
+// Figure 6 b) heat map: for each instruction position (row) and each
+// threshold t ∈ {0.0, 0.1, …, 0.9} (column), the share of VUCs whose ε at
+// that position falls in (t, 1).
+type EpsilonDistribution struct {
+	// Share[pos][ti] = fraction of VUCs with ε_pos in (0.1*ti, 1).
+	Share [][]float64
+	// Count is the number of VUCs aggregated.
+	Count int
+}
+
+// NumThresholds is the number of Figure 6 b) columns.
+const NumThresholds = 10
+
+// AggregateEpsilon computes the distribution for a set of VUC token
+// windows at one stage.
+func (p *Pipeline) AggregateEpsilon(windows [][]vuc.InstTok, stage ctypes.Stage) EpsilonDistribution {
+	seqLen := p.Cfg.SeqLen()
+	dist := EpsilonDistribution{Share: make([][]float64, seqLen)}
+	for i := range dist.Share {
+		dist.Share[i] = make([]float64, NumThresholds)
+	}
+	for _, toks := range windows {
+		eps, ok := p.Epsilon(toks, stage)
+		if !ok {
+			continue
+		}
+		dist.Count++
+		for pos, e := range eps {
+			for ti := 0; ti < NumThresholds; ti++ {
+				lo := 0.1 * float64(ti)
+				if e > lo && e < 1 {
+					dist.Share[pos][ti]++
+				}
+			}
+		}
+	}
+	if dist.Count > 0 {
+		for pos := range dist.Share {
+			for ti := range dist.Share[pos] {
+				dist.Share[pos][ti] /= float64(dist.Count)
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,326 @@
+// Package classify implements CATI's prediction side: Word2Vec embedding
+// of generalized VUC tokens (§IV-C), the six-stage CNN classifier tree
+// (§V-A, Figure 5), confidence-clamped per-variable voting (§V-B,
+// Eq. 2–4), and the occlusion-importance analysis ε (§VII-B, Eq. 5).
+package classify
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/corpus"
+	"repro/internal/ctypes"
+	"repro/internal/nn"
+	"repro/internal/vuc"
+	"repro/internal/word2vec"
+)
+
+// Config are the pipeline hyperparameters; zero values take the paper's.
+type Config struct {
+	// EmbedDim is the per-token embedding size (paper: 32).
+	EmbedDim int
+	// Window is the VUC window w (paper: 10 → 21 instructions).
+	Window int
+	// Conv1, Conv2, Hidden size the per-stage CNN (paper: 32, 64, 1024).
+	Conv1, Conv2, Hidden int
+	// W2V configures embedding training.
+	W2V word2vec.Config
+	// Train configures per-stage CNN training.
+	Train nn.TrainConfig
+	// MaxPerStage caps training samples per stage (0 = no cap). The cap is
+	// applied per stage label proportionally, so rare labels survive.
+	MaxPerStage int
+	// Flat replaces the multi-stage tree by a single 19-way classifier
+	// (ablation).
+	Flat bool
+	// Seed namespaces all stochastic choices.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.EmbedDim == 0 {
+		c.EmbedDim = 32
+	}
+	if c.Window == 0 {
+		c.Window = vuc.DefaultWindow
+	}
+	if c.Conv1 == 0 {
+		c.Conv1 = 32
+	}
+	if c.Conv2 == 0 {
+		c.Conv2 = 64
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 1024
+	}
+	if c.W2V.Dim == 0 {
+		c.W2V.Dim = c.EmbedDim
+	}
+	c.W2V.Seed = c.Seed ^ 0x77
+	if c.Train.Seed == 0 {
+		c.Train.Seed = c.Seed ^ 0x99
+	}
+	return c
+}
+
+// SeqLen returns the VUC length in instructions.
+func (c Config) SeqLen() int { return 2*c.Window + 1 }
+
+// InstDim returns the per-instruction embedding width (3 tokens × dim).
+func (c Config) InstDim() int { return vuc.TokensPerInst * c.EmbedDim }
+
+// Pipeline is a trained CATI model.
+type Pipeline struct {
+	Cfg    Config
+	Embed  *word2vec.Model
+	Stages map[ctypes.Stage]*nn.Network
+	// FlatNet is set instead of Stages when Cfg.Flat.
+	FlatNet *nn.Network
+}
+
+// ErrNoData reports an unusable training corpus.
+var ErrNoData = errors.New("classify: no training data")
+
+// EmbedWindow converts a token window into the flattened [SeqLen, InstDim]
+// sample the CNNs consume.
+func (p *Pipeline) EmbedWindow(toks []vuc.InstTok) []float32 {
+	return EmbedWindow(p.Embed, toks, p.Cfg.EmbedDim)
+}
+
+// EmbedWindow embeds a token window with an explicit model.
+func EmbedWindow(m *word2vec.Model, toks []vuc.InstTok, dim int) []float32 {
+	out := make([]float32, len(toks)*vuc.TokensPerInst*dim)
+	o := 0
+	for _, it := range toks {
+		for k := 0; k < vuc.TokensPerInst; k++ {
+			copy(out[o:o+dim], m.Vector(it[k]))
+			o += dim
+		}
+	}
+	return out
+}
+
+// Train builds the full pipeline from a labeled corpus: Word2Vec over the
+// corpus token streams, then one CNN per stage (or one flat CNN).
+func Train(c *corpus.Corpus, cfg Config) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Window != c.Window {
+		return nil, fmt.Errorf("classify: config window %d != corpus window %d", cfg.Window, c.Window)
+	}
+	refs := c.All()
+	if len(refs) == 0 {
+		return nil, ErrNoData
+	}
+
+	embed := word2vec.Train(c.Sentences(), cfg.W2V)
+	p := &Pipeline{Cfg: cfg, Embed: embed, Stages: make(map[ctypes.Stage]*nn.Network)}
+
+	// Embed every sample once; stages share the matrix.
+	samples := make([][]float32, len(refs))
+	classes := make([]ctypes.Class, len(refs))
+	for i, r := range refs {
+		samples[i] = p.EmbedWindow(c.Tokens(r))
+		_, s := c.At(r)
+		classes[i] = s.Class
+	}
+
+	if cfg.Flat {
+		ds := &nn.Dataset{SeqLen: cfg.SeqLen(), EmbDim: cfg.InstDim()}
+		idxs := capRefs(allIndices(len(refs)), flatLabels(classes), ctypes.NumClasses, cfg.MaxPerStage, cfg.Seed)
+		for _, i := range idxs {
+			ds.Add(samples[i], int(classes[i])-1)
+		}
+		net := nn.NewCNN(cfg.SeqLen(), cfg.InstDim(), cfg.Conv1, cfg.Conv2, cfg.Hidden, ctypes.NumClasses, cfg.Seed)
+		if err := nn.TrainClassifier(net, ds, ctypes.NumClasses, cfg.Train); err != nil {
+			return nil, fmt.Errorf("classify: flat: %w", err)
+		}
+		p.FlatNet = net
+		return p, nil
+	}
+
+	for _, stage := range ctypes.AllStages() {
+		arity := ctypes.StageArity(stage)
+		var idxs []int
+		var labels []int
+		for i, cl := range classes {
+			if l, ok := ctypes.StageLabel(stage, cl); ok {
+				idxs = append(idxs, i)
+				labels = append(labels, l)
+			}
+		}
+		if len(idxs) == 0 {
+			continue // stage has no data (e.g. no float-family samples)
+		}
+		sel := capRefs(idxs, labels, arity, cfg.MaxPerStage, cfg.Seed^int64(stage))
+		ds := &nn.Dataset{SeqLen: cfg.SeqLen(), EmbDim: cfg.InstDim()}
+		for _, i := range sel {
+			l, _ := ctypes.StageLabel(stage, classes[i])
+			ds.Add(samples[i], l)
+		}
+		net := nn.NewCNN(cfg.SeqLen(), cfg.InstDim(), cfg.Conv1, cfg.Conv2, cfg.Hidden, arity, cfg.Seed^int64(stage))
+		if err := nn.TrainClassifier(net, ds, arity, cfg.Train); err != nil {
+			return nil, fmt.Errorf("classify: %s: %w", stage, err)
+		}
+		p.Stages[stage] = net
+	}
+	if len(p.Stages) == 0 {
+		return nil, ErrNoData
+	}
+	return p, nil
+}
+
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func flatLabels(classes []ctypes.Class) []int {
+	out := make([]int, len(classes))
+	for i, c := range classes {
+		out[i] = int(c) - 1
+	}
+	return out
+}
+
+// capRefs subsamples idxs to at most maxN, proportionally per label with a
+// floor so rare labels keep representation. labels[i] corresponds to
+// idxs[i].
+func capRefs(idxs, labels []int, arity, maxN int, seed int64) []int {
+	if maxN <= 0 || len(idxs) <= maxN {
+		return idxs
+	}
+	r := rand.New(rand.NewSource(seed))
+	byLabel := make([][]int, arity)
+	for i, idx := range idxs {
+		l := labels[i]
+		byLabel[l] = append(byLabel[l], idx)
+	}
+	const floor = 200
+	var out []int
+	for _, group := range byLabel {
+		if len(group) == 0 {
+			continue
+		}
+		want := int(float64(maxN) * float64(len(group)) / float64(len(idxs)))
+		if want < floor {
+			want = floor
+		}
+		if want > len(group) {
+			want = len(group)
+		}
+		r.Shuffle(len(group), func(i, j int) { group[i], group[j] = group[j], group[i] })
+		out = append(out, group[:want]...)
+	}
+	return out
+}
+
+// VUCPrediction carries one VUC's probabilities at every stage plus its
+// composed 19-class decision.
+type VUCPrediction struct {
+	StageProbs map[ctypes.Stage][]float32
+	Class      ctypes.Class
+	Confidence float64
+}
+
+// PredictVUCs runs every stage over the embedded samples and composes
+// per-VUC class decisions by walking the tree greedily.
+func (p *Pipeline) PredictVUCs(samples [][]float32) ([]VUCPrediction, error) {
+	if len(samples) == 0 {
+		return nil, nil
+	}
+	seqLen, instDim := p.Cfg.SeqLen(), p.Cfg.InstDim()
+
+	if p.FlatNet != nil {
+		probs := nn.Predict(p.FlatNet, samples, seqLen, instDim)
+		out := make([]VUCPrediction, len(samples))
+		for i, row := range probs {
+			best := nn.Argmax(row)
+			out[i] = VUCPrediction{
+				Class:      ctypes.Class(best + 1),
+				Confidence: float64(row[best]),
+			}
+		}
+		return out, nil
+	}
+
+	stageProbs := make(map[ctypes.Stage][][]float32, len(p.Stages))
+	for stage, net := range p.Stages {
+		stageProbs[stage] = nn.Predict(net, samples, seqLen, instDim)
+	}
+	out := make([]VUCPrediction, len(samples))
+	for i := range samples {
+		pred := VUCPrediction{StageProbs: make(map[ctypes.Stage][]float32, len(p.Stages))}
+		for stage := range p.Stages {
+			pred.StageProbs[stage] = stageProbs[stage][i]
+		}
+		pred.Class, pred.Confidence = p.composeClass(pred.StageProbs)
+		out[i] = pred
+	}
+	return out, nil
+}
+
+// composeClass walks the decision tree: Stage 1 → Stage 2-x → Stage 3-x.
+func (p *Pipeline) composeClass(probs map[ctypes.Stage][]float32) (ctypes.Class, float64) {
+	argmaxOf := func(stage ctypes.Stage) (int, float64, bool) {
+		row, ok := probs[stage]
+		if !ok || len(row) == 0 {
+			return 0, 0, false
+		}
+		b := nn.Argmax(row)
+		return b, float64(row[b]), true
+	}
+	s1, c1, ok := argmaxOf(ctypes.Stage1)
+	if !ok {
+		return ctypes.ClassInt, 0
+	}
+	if s1 == 0 { // pointer branch
+		s2, c2, ok := argmaxOf(ctypes.Stage21)
+		if !ok {
+			return ctypes.ClassPtrStruct, c1
+		}
+		cl, _ := ctypes.ClassFromStagePath(0, s2, 0)
+		return cl, c1 * c2
+	}
+	s2, c2, ok := argmaxOf(ctypes.Stage22)
+	if !ok {
+		return ctypes.ClassInt, c1
+	}
+	conf := c1 * c2
+	switch s2 {
+	case 0:
+		return ctypes.ClassStruct, conf
+	case 1:
+		return ctypes.ClassBool, conf
+	}
+	var leaf ctypes.Stage
+	switch s2 {
+	case 2:
+		leaf = ctypes.Stage31
+	case 3:
+		leaf = ctypes.Stage32
+	default:
+		leaf = ctypes.Stage33
+	}
+	s3, c3, ok := argmaxOf(leaf)
+	if !ok {
+		// No leaf model (e.g. never saw float-family data): fall back to
+		// the family's most common member.
+		switch leaf {
+		case ctypes.Stage31:
+			return ctypes.ClassChar, conf
+		case ctypes.Stage32:
+			return ctypes.ClassDouble, conf
+		default:
+			return ctypes.ClassInt, conf
+		}
+	}
+	cl, err := ctypes.ClassFromStagePath(1, s2, s3)
+	if err != nil {
+		return ctypes.ClassInt, conf
+	}
+	return cl, conf * c3
+}

@@ -1,0 +1,116 @@
+package classify
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/ctypes"
+	"repro/internal/nn"
+	"repro/internal/word2vec"
+)
+
+// cfgState mirrors Config without the nn.TrainConfig.Progress callback
+// (gob cannot encode func-typed fields).
+type cfgState struct {
+	EmbedDim, Window     int
+	Conv1, Conv2, Hidden int
+	W2V                  word2vec.Config
+	TrainEpochs          int
+	TrainBatch           int
+	TrainLR              float64
+	TrainSeed            int64
+	MaxPerStage          int
+	Flat                 bool
+	Seed                 int64
+}
+
+func toCfgState(c Config) cfgState {
+	return cfgState{
+		EmbedDim: c.EmbedDim, Window: c.Window,
+		Conv1: c.Conv1, Conv2: c.Conv2, Hidden: c.Hidden,
+		W2V:         c.W2V,
+		TrainEpochs: c.Train.Epochs, TrainBatch: c.Train.Batch,
+		TrainLR: c.Train.LR, TrainSeed: c.Train.Seed,
+		MaxPerStage: c.MaxPerStage, Flat: c.Flat, Seed: c.Seed,
+	}
+}
+
+func fromCfgState(s cfgState) Config {
+	return Config{
+		EmbedDim: s.EmbedDim, Window: s.Window,
+		Conv1: s.Conv1, Conv2: s.Conv2, Hidden: s.Hidden,
+		W2V: s.W2V,
+		Train: nn.TrainConfig{
+			Epochs: s.TrainEpochs, Batch: s.TrainBatch,
+			LR: s.TrainLR, Seed: s.TrainSeed,
+		},
+		MaxPerStage: s.MaxPerStage, Flat: s.Flat, Seed: s.Seed,
+	}
+}
+
+// pipelineState is the gob form of a trained pipeline.
+type pipelineState struct {
+	Cfg     cfgState
+	Embed   []byte
+	Stages  map[int][]byte
+	FlatNet []byte
+}
+
+// Encode serializes the pipeline (embedding model + all stage CNNs).
+func (p *Pipeline) Encode() ([]byte, error) {
+	st := pipelineState{Cfg: toCfgState(p.Cfg), Stages: make(map[int][]byte)}
+	var err error
+	if st.Embed, err = p.Embed.Encode(); err != nil {
+		return nil, err
+	}
+	enc := func(net *nn.Network, arity int) ([]byte, error) {
+		return nn.EncodeCNN(net, p.Cfg.SeqLen(), p.Cfg.InstDim(),
+			p.Cfg.Conv1, p.Cfg.Conv2, p.Cfg.Hidden, arity)
+	}
+	for stage, net := range p.Stages {
+		blob, err := enc(net, ctypes.StageArity(stage))
+		if err != nil {
+			return nil, fmt.Errorf("classify: encode %s: %w", stage, err)
+		}
+		st.Stages[int(stage)] = blob
+	}
+	if p.FlatNet != nil {
+		blob, err := enc(p.FlatNet, ctypes.NumClasses)
+		if err != nil {
+			return nil, fmt.Errorf("classify: encode flat: %w", err)
+		}
+		st.FlatNet = blob
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("classify: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode rebuilds a serialized pipeline.
+func Decode(data []byte) (*Pipeline, error) {
+	var st pipelineState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("classify: decode: %w", err)
+	}
+	p := &Pipeline{Cfg: fromCfgState(st.Cfg), Stages: make(map[ctypes.Stage]*nn.Network)}
+	var err error
+	if p.Embed, err = word2vec.Decode(st.Embed); err != nil {
+		return nil, err
+	}
+	for stage, blob := range st.Stages {
+		net, err := nn.DecodeCNN(blob)
+		if err != nil {
+			return nil, fmt.Errorf("classify: decode stage %d: %w", stage, err)
+		}
+		p.Stages[ctypes.Stage(stage)] = net
+	}
+	if len(st.FlatNet) > 0 {
+		if p.FlatNet, err = nn.DecodeCNN(st.FlatNet); err != nil {
+			return nil, fmt.Errorf("classify: decode flat: %w", err)
+		}
+	}
+	return p, nil
+}

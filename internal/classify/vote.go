@@ -1,0 +1,158 @@
+package classify
+
+import (
+	"repro/internal/ctypes"
+	"repro/internal/nn"
+)
+
+// DefaultClamp is the paper's confidence threshold: per-VUC confidences at
+// or above it count as 1.0 in the vote (Eq. 3, threshold 0.9).
+const DefaultClamp = 0.9
+
+// clampRow applies Eq. 3 to one probability row.
+func clampRow(row []float32, clamp float64) []float64 {
+	out := make([]float64, len(row))
+	for i, v := range row {
+		if clamp > 0 && float64(v) >= clamp {
+			out[i] = 1.0
+		} else {
+			out[i] = float64(v)
+		}
+	}
+	return out
+}
+
+// VarPrediction is a variable's voted decision.
+type VarPrediction struct {
+	// StageLabels holds the per-stage voted label indices.
+	StageLabels map[ctypes.Stage]int
+	// Class is the composed 19-class decision.
+	Class ctypes.Class
+}
+
+// VoteVariable implements the paper's voting (Eq. 2–4): for each stage,
+// the clamped per-class confidences of all the variable's VUCs are summed
+// and the argmax wins; the final class composes the voted stage decisions
+// down the tree. clamp ≤ 0 disables clamping (ablation).
+func VoteVariable(preds []VUCPrediction, clamp float64) VarPrediction {
+	vp := VarPrediction{StageLabels: make(map[ctypes.Stage]int)}
+	if len(preds) == 0 {
+		vp.Class = ctypes.ClassInt
+		return vp
+	}
+	if preds[0].StageProbs == nil {
+		// Flat pipeline: vote over the 19 classes directly.
+		sums := make([]float64, ctypes.NumClasses)
+		for _, p := range preds {
+			c := int(p.Class) - 1
+			v := p.Confidence
+			if clamp > 0 && v >= clamp {
+				v = 1
+			}
+			sums[c] += v
+		}
+		best := 0
+		for i, v := range sums {
+			if v > sums[best] {
+				best = i
+			}
+		}
+		vp.Class = ctypes.Class(best + 1)
+		return vp
+	}
+
+	voted := make(map[ctypes.Stage]int)
+	have := make(map[ctypes.Stage]bool)
+	for _, stage := range ctypes.AllStages() {
+		var sums []float64
+		for _, p := range preds {
+			row, ok := p.StageProbs[stage]
+			if !ok {
+				continue
+			}
+			cr := clampRow(row, clamp)
+			if sums == nil {
+				sums = make([]float64, len(cr))
+			}
+			for i, v := range cr {
+				sums[i] += v
+			}
+		}
+		if sums == nil {
+			continue
+		}
+		best := 0
+		for i, v := range sums {
+			if v > sums[best] {
+				best = i
+			}
+		}
+		voted[stage] = best
+		have[stage] = true
+		vp.StageLabels[stage] = best
+	}
+
+	// Compose the final class from voted stage labels.
+	vp.Class = composeVoted(voted, have)
+	return vp
+}
+
+func composeVoted(voted map[ctypes.Stage]int, have map[ctypes.Stage]bool) ctypes.Class {
+	if !have[ctypes.Stage1] {
+		return ctypes.ClassInt
+	}
+	if voted[ctypes.Stage1] == 0 {
+		if !have[ctypes.Stage21] {
+			return ctypes.ClassPtrStruct
+		}
+		cl, err := ctypes.ClassFromStagePath(0, voted[ctypes.Stage21], 0)
+		if err != nil {
+			return ctypes.ClassPtrStruct
+		}
+		return cl
+	}
+	if !have[ctypes.Stage22] {
+		return ctypes.ClassInt
+	}
+	s2 := voted[ctypes.Stage22]
+	switch s2 {
+	case 0:
+		return ctypes.ClassStruct
+	case 1:
+		return ctypes.ClassBool
+	}
+	var leaf ctypes.Stage
+	switch s2 {
+	case 2:
+		leaf = ctypes.Stage31
+	case 3:
+		leaf = ctypes.Stage32
+	default:
+		leaf = ctypes.Stage33
+	}
+	if !have[leaf] {
+		switch leaf {
+		case ctypes.Stage31:
+			return ctypes.ClassChar
+		case ctypes.Stage32:
+			return ctypes.ClassDouble
+		default:
+			return ctypes.ClassInt
+		}
+	}
+	cl, err := ctypes.ClassFromStagePath(1, s2, voted[leaf])
+	if err != nil {
+		return ctypes.ClassInt
+	}
+	return cl
+}
+
+// StagePrediction extracts the per-VUC argmax label at one stage, for the
+// per-stage P/R/F1 tables.
+func StagePrediction(p *VUCPrediction, stage ctypes.Stage) (int, bool) {
+	row, ok := p.StageProbs[stage]
+	if !ok || len(row) == 0 {
+		return 0, false
+	}
+	return nn.Argmax(row), true
+}

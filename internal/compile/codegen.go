@@ -1,0 +1,905 @@
+package compile
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/asm"
+	"repro/internal/ctypes"
+	"repro/internal/dwarflite"
+	"repro/internal/synth"
+)
+
+// Codegen errors.
+var (
+	ErrUnsupported = errors.New("compile: unsupported construct")
+)
+
+// System V integer and float argument registers.
+var (
+	intArgRegs   = []asm.Reg{asm.RDI, asm.RSI, asm.RDX, asm.RCX, asm.R8, asm.R9}
+	floatArgRegs = []asm.Reg{asm.XMM0, asm.XMM1, asm.XMM2, asm.XMM3}
+	promoteRegs  = []asm.Reg{asm.RBX, asm.R12, asm.R13}
+)
+
+// funcCompiler lowers one function into the shared Unit.
+type funcCompiler struct {
+	c    *compiler
+	u    *asm.Unit
+	fn   *synth.Function
+	opts Options
+	r    *rand.Rand
+
+	slots     map[*synth.VarDecl]int32
+	slotOrder []*synth.VarDecl
+	promoted  map[*synth.VarDecl]asm.Reg
+	frameReg  asm.Reg
+	frameSize int32
+	spillOff  int32 // hidden scratch slot for x87 conversions
+	labelSeq  int
+	lastStore storeTrack
+}
+
+func (c *compiler) compileFunc(fn *synth.Function, u *asm.Unit) (*funcCompiler, error) {
+	fc := &funcCompiler{
+		c:        c,
+		u:        u,
+		fn:       fn,
+		opts:     c.opts,
+		r:        rand.New(rand.NewSource(c.r.Int63())),
+		slots:    make(map[*synth.VarDecl]int32),
+		promoted: make(map[*synth.VarDecl]asm.Reg),
+	}
+	fc.chooseFrame()
+	fc.choosePromotions()
+	fc.layoutSlots()
+
+	u.Label(fn.Name)
+	fc.prologue()
+	body := fn.Body
+	if fc.opts.Opt >= 3 {
+		body = unrollLoops(body)
+	}
+	for _, s := range body {
+		if err := fc.stmt(s); err != nil {
+			return nil, err
+		}
+	}
+	// Defensive epilogue for bodies whose last statement is not a return.
+	if len(body) == 0 || !isReturn(body[len(body)-1]) {
+		fc.epilogue()
+	}
+	return fc, nil
+}
+
+func isReturn(s synth.Stmt) bool {
+	_, ok := s.(*synth.Return)
+	return ok
+}
+
+// chooseFrame decides the frame-base register: the GCC dialect drops the
+// frame pointer at O2+, the Clang dialect only at O3.
+func (fc *funcCompiler) chooseFrame() {
+	omit := fc.opts.Opt >= 2
+	if fc.opts.Dialect == Clang {
+		omit = fc.opts.Opt >= 3
+	}
+	if omit {
+		fc.frameReg = asm.RSP
+	} else {
+		fc.frameReg = asm.RBP
+	}
+}
+
+func (fc *funcCompiler) frameRegTag() byte {
+	if fc.frameReg == asm.RSP {
+		return dwarflite.FrameRSP
+	}
+	return dwarflite.FrameRBP
+}
+
+// choosePromotions selects up to three hot integer scalars for register
+// promotion at O2+. Variables whose address is taken must stay in memory.
+func (fc *funcCompiler) choosePromotions() {
+	if fc.opts.Opt < 2 {
+		return
+	}
+	addrTaken := make(map[*synth.VarDecl]bool)
+	uses := make(map[*synth.VarDecl]int)
+	walkStmts(fc.fn.Body, func(e synth.Expr) {
+		switch x := e.(type) {
+		case *synth.AddrOf:
+			if vr, ok := x.Target.(*synth.VarRef); ok {
+				addrTaken[vr.Decl] = true
+			}
+		case *synth.VarRef:
+			uses[x.Decl]++
+		}
+	})
+	type cand struct {
+		d *synth.VarDecl
+		n int
+	}
+	var cands []cand
+	for _, d := range fc.fn.Locals {
+		t := d.Type.ResolveBase()
+		ok := t.Kind == ctypes.KindBase && t.Base.IsInteger() &&
+			t.Base != ctypes.BaseBool && !addrTaken[d] && uses[d] >= 3
+		if ok {
+			cands = append(cands, cand{d, uses[d]})
+		}
+	}
+	// Stable selection: highest use count first, declaration order breaking
+	// ties (cands is already in declaration order).
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].n > cands[i].n {
+				cands[i], cands[j] = cands[j], cands[i]
+			}
+		}
+	}
+	for i := 0; i < len(cands) && i < len(promoteRegs); i++ {
+		fc.promoted[cands[i].d] = promoteRegs[i]
+	}
+}
+
+func walkStmts(stmts []synth.Stmt, f func(synth.Expr)) {
+	var walkExpr func(e synth.Expr)
+	walkExpr = func(e synth.Expr) {
+		if e == nil {
+			return
+		}
+		f(e)
+		switch x := e.(type) {
+		case *synth.Binary:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *synth.Cmp:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *synth.AddrOf:
+			walkExpr(x.Target)
+		case *synth.Cast:
+			walkExpr(x.X)
+		case *synth.Call:
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		case *synth.IndexRef:
+			walkExpr(x.Idx)
+		}
+	}
+	var walk func(ss []synth.Stmt)
+	walk = func(ss []synth.Stmt) {
+		for _, s := range ss {
+			switch x := s.(type) {
+			case *synth.Assign:
+				walkExpr(x.LHS)
+				walkExpr(x.RHS)
+			case *synth.If:
+				walkExpr(x.Cond)
+				walk(x.Then)
+				walk(x.Else)
+			case *synth.While:
+				walkExpr(x.Cond)
+				walk(x.Body)
+			case *synth.For:
+				if x.Init != nil {
+					walk([]synth.Stmt{x.Init})
+				}
+				walkExpr(x.Cond)
+				if x.Post != nil {
+					walk([]synth.Stmt{x.Post})
+				}
+				walk(x.Body)
+			case *synth.Return:
+				walkExpr(x.Value)
+			case *synth.ExprStmt:
+				walkExpr(x.X)
+			}
+		}
+	}
+	walk(stmts)
+}
+
+// layoutSlots assigns frame offsets. The GCC dialect allocates locals in
+// reverse declaration order with parameters below them; the Clang dialect
+// uses declaration order with parameters first — a deliberately different
+// stack map, as real compilers differ here.
+func (fc *funcCompiler) layoutSlots() {
+	assign := func(d *synth.VarDecl, off *int32) {
+		size := int32(d.Type.Size())
+		if size == 0 {
+			size = 8
+		}
+		align := int32(d.Type.Align())
+		if align == 0 {
+			align = 8
+		}
+		*off += size
+		if rem := *off % align; rem != 0 {
+			*off += align - rem
+		}
+		fc.slots[d] = -*off // provisional: negative offsets below frame base
+		fc.slotOrder = append(fc.slotOrder, d)
+	}
+
+	var off int32
+	var order []*synth.VarDecl
+	if fc.opts.Dialect == GCC {
+		for i := len(fc.fn.Locals) - 1; i >= 0; i-- {
+			order = append(order, fc.fn.Locals[i])
+		}
+		order = append(order, fc.fn.Params...)
+	} else {
+		order = append(order, fc.fn.Params...)
+		order = append(order, fc.fn.Locals...)
+	}
+	for _, d := range order {
+		if _, isProm := fc.promoted[d]; isProm {
+			continue
+		}
+		assign(d, &off)
+	}
+	// Hidden spill slot for x87 integer conversions.
+	off += 8
+	fc.spillOff = -off
+
+	// Round the frame to 16 bytes.
+	if rem := off % 16; rem != 0 {
+		off += 16 - rem
+	}
+	fc.frameSize = off
+
+	// RSP-relative frames address slots upward from rsp: rebase offsets.
+	if fc.frameReg == asm.RSP {
+		for d, o := range fc.slots {
+			fc.slots[d] = o + fc.frameSize
+		}
+		fc.spillOff += fc.frameSize
+	}
+}
+
+// debugVars emits the DWARF-lite variable records: stack-resident
+// variables with their frame offsets, and register-promoted locals as
+// register-located records (the moral equivalent of a DWARF
+// DW_OP_reg location).
+func (fc *funcCompiler) debugVars() []dwarflite.Var {
+	isParam := make(map[*synth.VarDecl]bool, len(fc.fn.Params))
+	for _, p := range fc.fn.Params {
+		isParam[p] = true
+	}
+	out := make([]dwarflite.Var, 0, len(fc.slotOrder)+len(fc.promoted))
+	for _, d := range fc.slotOrder {
+		out = append(out, dwarflite.Var{
+			Name:     d.Name,
+			FrameOff: fc.slots[d],
+			Type:     d.Type,
+			IsParam:  isParam[d],
+		})
+	}
+	for _, d := range fc.fn.Locals {
+		if reg, ok := fc.promoted[d]; ok {
+			out = append(out, dwarflite.Var{
+				Name:   d.Name,
+				Type:   d.Type,
+				Loc:    dwarflite.LocReg,
+				RegNum: byte(reg.Num()),
+			})
+		}
+	}
+	return out
+}
+
+func (fc *funcCompiler) newLabel(prefix string) string {
+	fc.labelSeq++
+	return fmt.Sprintf(".L%s_%s_%d", fc.fn.Name, prefix, fc.labelSeq)
+}
+
+func (fc *funcCompiler) emit(op asm.Op, width int, args ...asm.Operand) {
+	if fc.opts.Opt >= 1 {
+		fc.emitOpt(op, width, args...)
+		return
+	}
+	fc.u.AddOp(op, width, args...)
+}
+
+func (fc *funcCompiler) slotMem(d *synth.VarDecl) asm.Mem {
+	return asm.MemD(fc.frameReg, fc.slots[d])
+}
+
+// scratch returns the i-th caller-saved scratch register at the given
+// width; the two dialects prefer different orders.
+func (fc *funcCompiler) scratch(i, width int) asm.Reg {
+	gcc := []asm.Reg{asm.RAX, asm.RDX, asm.RCX, asm.RSI, asm.RDI, asm.R8, asm.R9, asm.R10}
+	clang := []asm.Reg{asm.RAX, asm.RCX, asm.RDX, asm.RSI, asm.R8, asm.RDI, asm.R9, asm.R11}
+	regs := gcc
+	if fc.opts.Dialect == Clang {
+		regs = clang
+	}
+	return regs[i%len(regs)].WithWidth(width)
+}
+
+// zeroReg emits the dialect's zeroing idiom.
+func (fc *funcCompiler) zeroReg(r asm.Reg) {
+	if fc.opts.Dialect == Clang {
+		r32 := r.WithWidth(4) // xor of the 32-bit form zero-extends
+		fc.emit(asm.OpXOR, 4, asm.R(r32), asm.R(r32))
+		return
+	}
+	w := r.Width()
+	if w == 8 {
+		// GCC also zeroes via the 32-bit move (implicit zero extension).
+		r = r.WithWidth(4)
+		w = 4
+	}
+	fc.emit(asm.OpMOV, w, asm.R(r), asm.Imm{Value: 0})
+}
+
+func (fc *funcCompiler) prologue() {
+	if fc.frameReg == asm.RBP {
+		fc.emit(asm.OpPUSH, 8, asm.R(asm.RBP))
+		fc.emit(asm.OpMOV, 8, asm.R(asm.RBP), asm.R(asm.RSP))
+	}
+	// Save callee-saved registers used for promotion.
+	for _, reg := range promoteRegs {
+		if fc.usesPromoteReg(reg) {
+			fc.emit(asm.OpPUSH, 8, asm.R(reg))
+		}
+	}
+	if fc.frameSize > 0 {
+		fc.emit(asm.OpSUB, 8, asm.R(asm.RSP), asm.Imm{Value: int64(fc.frameSize)})
+	}
+	fc.spillParams()
+	fc.initPromoted()
+}
+
+func (fc *funcCompiler) usesPromoteReg(reg asm.Reg) bool {
+	for _, r := range fc.promoted {
+		if r == reg {
+			return true
+		}
+	}
+	return false
+}
+
+// spillParams stores incoming System V argument registers to their slots.
+func (fc *funcCompiler) spillParams() {
+	intIdx, fltIdx := 0, 0
+	for _, p := range fc.fn.Params {
+		t := p.Type.ResolveBase()
+		if t.Kind == ctypes.KindBase && t.Base.IsFloat() && t.Base != ctypes.BaseLongDouble {
+			if fltIdx >= len(floatArgRegs) {
+				continue
+			}
+			op := asm.OpMOVSS
+			if t.Base == ctypes.BaseDouble {
+				op = asm.OpMOVSD
+			}
+			fc.emit(op, t.Size(), fc.slotMem(p), asm.R(floatArgRegs[fltIdx]))
+			fltIdx++
+			continue
+		}
+		if intIdx >= len(intArgRegs) {
+			continue
+		}
+		w := p.Type.Size()
+		if w == 0 || w > 8 {
+			w = 8
+		}
+		fc.emit(asm.OpMOV, w, fc.slotMem(p), asm.R(intArgRegs[intIdx].WithWidth(w)))
+		intIdx++
+	}
+}
+
+// initPromoted zeroes register-promoted locals (they have no memory slot).
+func (fc *funcCompiler) initPromoted() {
+	for _, d := range fc.fn.Locals {
+		if reg, ok := fc.promoted[d]; ok {
+			fc.zeroReg(reg.WithWidth(intWidth(d.Type)))
+		}
+	}
+}
+
+func (fc *funcCompiler) epilogue() {
+	if fc.frameSize > 0 && (fc.frameReg == asm.RSP || fc.hasPromotions()) {
+		fc.emit(asm.OpADD, 8, asm.R(asm.RSP), asm.Imm{Value: int64(fc.frameSize)})
+	}
+	for i := len(promoteRegs) - 1; i >= 0; i-- {
+		if fc.usesPromoteReg(promoteRegs[i]) {
+			fc.emit(asm.OpPOP, 8, asm.R(promoteRegs[i]))
+		}
+	}
+	if fc.frameReg == asm.RBP {
+		if fc.hasPromotions() {
+			fc.emit(asm.OpPOP, 8, asm.R(asm.RBP))
+		} else {
+			fc.emit(asm.OpLEAVE, 0)
+		}
+	}
+	fc.emit(asm.OpRET, 0)
+}
+
+func (fc *funcCompiler) hasPromotions() bool { return len(fc.promoted) > 0 }
+
+// intWidth is the machine operand width used to compute on an integer,
+// enum or pointer type: sub-int types are promoted to 32 bits as in C.
+func intWidth(t *ctypes.Type) int {
+	rt := t.ResolveBase()
+	switch rt.Kind {
+	case ctypes.KindPointer, ctypes.KindArray:
+		return 8
+	case ctypes.KindEnum:
+		return 4
+	case ctypes.KindBase:
+		if s := rt.Size(); s >= 4 {
+			return s
+		}
+		return 4
+	default:
+		return 8
+	}
+}
+
+func isSignedInt(t *ctypes.Type) bool {
+	rt := t.ResolveBase()
+	if rt.Kind == ctypes.KindEnum {
+		return true
+	}
+	return rt.Kind == ctypes.KindBase && rt.Base.IsSigned()
+}
+
+func isFloatType(t *ctypes.Type) bool {
+	rt := t.ResolveBase()
+	return rt.Kind == ctypes.KindBase && rt.Base.IsFloat() && rt.Base != ctypes.BaseLongDouble
+}
+
+func isLongDouble(t *ctypes.Type) bool {
+	rt := t.ResolveBase()
+	return rt.Kind == ctypes.KindBase && rt.Base == ctypes.BaseLongDouble
+}
+
+// --- statement lowering ---
+
+func (fc *funcCompiler) stmt(s synth.Stmt) error {
+	switch x := s.(type) {
+	case *synth.Assign:
+		return fc.assign(x)
+	case *synth.If:
+		return fc.ifStmt(x)
+	case *synth.While:
+		return fc.whileStmt(x)
+	case *synth.For:
+		return fc.forStmt(x)
+	case *synth.Return:
+		return fc.returnStmt(x)
+	case *synth.ExprStmt:
+		_, err := fc.call(x.X.(*synth.Call), 0)
+		return err
+	default:
+		return fmt.Errorf("statement %T: %w", s, ErrUnsupported)
+	}
+}
+
+func (fc *funcCompiler) ifStmt(x *synth.If) error {
+	if fc.opts.Opt >= 2 {
+		done, err := fc.tryIfConversion(x)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+	elseL := fc.newLabel("else")
+	endL := fc.newLabel("end")
+	target := endL
+	if len(x.Else) > 0 {
+		target = elseL
+	}
+	if err := fc.condBranch(x.Cond, target); err != nil {
+		return err
+	}
+	for _, s := range x.Then {
+		if err := fc.stmt(s); err != nil {
+			return err
+		}
+	}
+	if len(x.Else) > 0 {
+		fc.emit(asm.OpJMP, 0, asm.Sym{Name: endL})
+		fc.label(elseL)
+		for _, s := range x.Else {
+			if err := fc.stmt(s); err != nil {
+				return err
+			}
+		}
+	}
+	fc.label(endL)
+	return nil
+}
+
+// tryIfConversion lowers `if (a OP b) v = e;` to a branch-free CMOVcc when
+// the shape allows it — the classic O2 if-conversion real compilers apply.
+// Returns true when the statement was handled.
+func (fc *funcCompiler) tryIfConversion(x *synth.If) (bool, error) {
+	if len(x.Else) != 0 || len(x.Then) != 1 {
+		return false, nil
+	}
+	cond, ok := x.Cond.(*synth.Cmp)
+	if !ok || isFloatType(synth.TypeOfExpr(cond.L)) {
+		return false, nil
+	}
+	assign, ok := x.Then[0].(*synth.Assign)
+	if !ok {
+		return false, nil
+	}
+	vr, ok := assign.LHS.(*synth.VarRef)
+	if !ok {
+		return false, nil
+	}
+	t := vr.Decl.Type.ResolveBase()
+	isIntScalar := (t.Kind == ctypes.KindBase && t.Base.IsInteger()) || t.Kind == ctypes.KindEnum
+	w := intWidth(vr.Decl.Type)
+	if !isIntScalar || w < 4 || storeWidth(vr.Decl.Type) < 4 {
+		return false, nil // CMOV has no 8-bit form; sub-int stores keep branches
+	}
+	switch assign.RHS.(type) {
+	case *synth.IntLit, *synth.VarRef:
+	default:
+		return false, nil
+	}
+
+	// cur = v; alt = rhs; cmp; cmovcc cur, alt; v = cur.
+	cur, err := fc.loadInt(assign.LHS, w, 0)
+	if err != nil {
+		return false, err
+	}
+	alt, err := fc.loadInt(assign.RHS, w, 2)
+	if err != nil {
+		return false, err
+	}
+	lw := intWidth(synth.TypeOfExpr(cond.L))
+	lr, err := fc.loadInt(cond.L, lw, 3)
+	if err != nil {
+		return false, err
+	}
+	if lit, ok := cond.R.(*synth.IntLit); ok && fc.opts.Dialect == GCC {
+		fc.emit(asm.OpCMP, lw, asm.R(lr), asm.Imm{Value: lit.Value})
+	} else {
+		rr, err := fc.loadInt(cond.R, lw, 4)
+		if err != nil {
+			return false, err
+		}
+		fc.emit(asm.OpCMP, lw, asm.R(lr), asm.R(rr))
+	}
+	fc.emit(cmovFor(cond.Op, isSignedInt(synth.TypeOfExpr(cond.L))), w,
+		asm.R(cur), asm.R(alt))
+
+	loc, err := fc.lvalue(assign.LHS, 5)
+	if err != nil {
+		return false, err
+	}
+	if loc.reg != 0 {
+		fc.emit(asm.OpMOV, w, asm.R(loc.reg.WithWidth(w)), asm.R(cur))
+	} else {
+		fc.emit(asm.OpMOV, storeWidth(vr.Decl.Type), loc.mem,
+			asm.R(cur.WithWidth(storeWidth(vr.Decl.Type))))
+	}
+	return true, nil
+}
+
+// cmovFor returns the conditional move taken when the comparison HOLDS.
+func cmovFor(op synth.CmpOp, signed bool) asm.Op {
+	if signed {
+		switch op {
+		case synth.CmpEq:
+			return asm.OpCMOVE
+		case synth.CmpNe:
+			return asm.OpCMOVNE
+		case synth.CmpLt:
+			return asm.OpCMOVL
+		case synth.CmpLe:
+			return asm.OpCMOVLE
+		case synth.CmpGt:
+			return asm.OpCMOVG
+		case synth.CmpGe:
+			return asm.OpCMOVGE
+		}
+	}
+	switch op {
+	case synth.CmpEq:
+		return asm.OpCMOVE
+	case synth.CmpNe:
+		return asm.OpCMOVNE
+	case synth.CmpLt:
+		return asm.OpCMOVB
+	case synth.CmpLe:
+		return asm.OpCMOVBE
+	case synth.CmpGt:
+		return asm.OpCMOVA
+	case synth.CmpGe:
+		return asm.OpCMOVAE
+	}
+	return asm.OpCMOVE
+}
+
+func (fc *funcCompiler) whileStmt(x *synth.While) error {
+	condL := fc.newLabel("wcond")
+	endL := fc.newLabel("wend")
+	fc.label(condL)
+	if err := fc.condBranch(x.Cond, endL); err != nil {
+		return err
+	}
+	for _, s := range x.Body {
+		if err := fc.stmt(s); err != nil {
+			return err
+		}
+	}
+	fc.emit(asm.OpJMP, 0, asm.Sym{Name: condL})
+	fc.label(endL)
+	return nil
+}
+
+func (fc *funcCompiler) forStmt(x *synth.For) error {
+	if x.Init != nil {
+		if err := fc.stmt(x.Init); err != nil {
+			return err
+		}
+	}
+	condL := fc.newLabel("fcond")
+	endL := fc.newLabel("fend")
+	fc.label(condL)
+	if err := fc.condBranch(x.Cond, endL); err != nil {
+		return err
+	}
+	for _, s := range x.Body {
+		if err := fc.stmt(s); err != nil {
+			return err
+		}
+	}
+	if x.Post != nil {
+		if err := fc.stmt(x.Post); err != nil {
+			return err
+		}
+	}
+	fc.emit(asm.OpJMP, 0, asm.Sym{Name: condL})
+	fc.label(endL)
+	return nil
+}
+
+func (fc *funcCompiler) returnStmt(x *synth.Return) error {
+	if x.Value != nil {
+		t := synth.TypeOfExpr(x.Value)
+		switch {
+		case isFloatType(t):
+			if _, err := fc.loadFloat(x.Value, 0); err != nil {
+				return err
+			}
+		default:
+			if _, err := fc.loadInt(x.Value, intWidth(t), 0); err != nil {
+				return err
+			}
+		}
+	}
+	fc.epilogue()
+	return nil
+}
+
+// condBranch evaluates cond and branches to falseLabel when it does NOT
+// hold.
+func (fc *funcCompiler) condBranch(cond synth.Expr, falseLabel string) error {
+	switch x := cond.(type) {
+	case *synth.Cmp:
+		lt := synth.TypeOfExpr(x.L)
+		if isFloatType(lt) {
+			xr, err := fc.loadFloat(x.L, 0)
+			if err != nil {
+				return err
+			}
+			yr, err := fc.loadFloat(x.R, 1)
+			if err != nil {
+				return err
+			}
+			op := asm.OpUCOMISS
+			w := 4
+			if lt.ResolveBase().Base == ctypes.BaseDouble {
+				op, w = asm.OpUCOMISD, 8
+			}
+			fc.emit(op, w, asm.R(xr), asm.R(yr))
+			fc.emit(inverseJcc(x.Op, false), 0, asm.Sym{Name: falseLabel})
+			return nil
+		}
+		w := intWidth(lt)
+		lr, err := fc.loadInt(x.L, w, 0)
+		if err != nil {
+			return err
+		}
+		// Compare against an immediate directly (GCC) or via a register
+		// (Clang prefers materializing).
+		if lit, ok := x.R.(*synth.IntLit); ok && fc.opts.Dialect == GCC {
+			fc.emit(asm.OpCMP, w, asm.R(lr), asm.Imm{Value: lit.Value})
+		} else {
+			rr, err := fc.loadInt(x.R, w, 1)
+			if err != nil {
+				return err
+			}
+			fc.emit(asm.OpCMP, w, asm.R(lr), asm.R(rr))
+		}
+		fc.emit(inverseJcc(x.Op, isSignedInt(lt)), 0, asm.Sym{Name: falseLabel})
+		return nil
+	default:
+		t := synth.TypeOfExpr(cond)
+		w := intWidth(t)
+		r, err := fc.loadInt(cond, w, 0)
+		if err != nil {
+			return err
+		}
+		fc.emit(asm.OpTEST, w, asm.R(r), asm.R(r))
+		fc.emit(asm.OpJE, 0, asm.Sym{Name: falseLabel})
+		return nil
+	}
+}
+
+// inverseJcc returns the jump taken when the comparison FAILS.
+func inverseJcc(op synth.CmpOp, signed bool) asm.Op {
+	if signed {
+		switch op {
+		case synth.CmpEq:
+			return asm.OpJNE
+		case synth.CmpNe:
+			return asm.OpJE
+		case synth.CmpLt:
+			return asm.OpJGE
+		case synth.CmpLe:
+			return asm.OpJG
+		case synth.CmpGt:
+			return asm.OpJLE
+		case synth.CmpGe:
+			return asm.OpJL
+		}
+	}
+	switch op {
+	case synth.CmpEq:
+		return asm.OpJNE
+	case synth.CmpNe:
+		return asm.OpJE
+	case synth.CmpLt:
+		return asm.OpJAE
+	case synth.CmpLe:
+		return asm.OpJA
+	case synth.CmpGt:
+		return asm.OpJBE
+	case synth.CmpGe:
+		return asm.OpJB
+	}
+	return asm.OpJNE
+}
+
+func setccFor(op synth.CmpOp, signed bool) asm.Op {
+	if signed {
+		switch op {
+		case synth.CmpEq:
+			return asm.OpSETE
+		case synth.CmpNe:
+			return asm.OpSETNE
+		case synth.CmpLt:
+			return asm.OpSETL
+		case synth.CmpLe:
+			return asm.OpSETLE
+		case synth.CmpGt:
+			return asm.OpSETG
+		case synth.CmpGe:
+			return asm.OpSETGE
+		}
+	}
+	switch op {
+	case synth.CmpEq:
+		return asm.OpSETE
+	case synth.CmpNe:
+		return asm.OpSETNE
+	case synth.CmpLt:
+		return asm.OpSETB
+	case synth.CmpLe:
+		return asm.OpSETBE
+	case synth.CmpGt:
+		return asm.OpSETA
+	case synth.CmpGe:
+		return asm.OpSETAE
+	}
+	return asm.OpSETE
+}
+
+// --- lvalue addressing ---
+
+// lvalLoc describes where an lvalue lives: a memory operand, or a promoted
+// register.
+type lvalLoc struct {
+	mem asm.Mem
+	reg asm.Reg // non-zero when register-promoted
+	typ *ctypes.Type
+}
+
+// lvalue resolves an lvalue, possibly emitting pointer/index loads into
+// scratch registers starting at scratchBase.
+func (fc *funcCompiler) lvalue(lv synth.LValue, scratchBase int) (lvalLoc, error) {
+	switch x := lv.(type) {
+	case *synth.VarRef:
+		if reg, ok := fc.promoted[x.Decl]; ok {
+			return lvalLoc{reg: reg, typ: x.Decl.Type}, nil
+		}
+		return lvalLoc{mem: fc.varMem(x.Decl), typ: x.Decl.Type}, nil
+
+	case *synth.FieldRef:
+		st := x.Base.Type.ResolveBase()
+		if st.Kind == ctypes.KindArray {
+			st = st.Elem.ResolveBase()
+		}
+		f := st.Fields[x.Field]
+		m := fc.varMem(x.Base)
+		m.Disp += int32(f.Offset)
+		return lvalLoc{mem: m, typ: f.Type}, nil
+
+	case *synth.PtrFieldRef:
+		st := x.Ptr.Type.ResolveBase().Elem.ResolveBase()
+		f := st.Fields[x.Field]
+		preg := fc.scratch(scratchBase, 8)
+		fc.loadVarInto(x.Ptr, preg)
+		return lvalLoc{mem: asm.MemD(preg, int32(f.Offset)), typ: f.Type}, nil
+
+	case *synth.DerefRef:
+		elem := x.Ptr.Type.ResolveBase().Elem
+		preg := fc.scratch(scratchBase, 8)
+		fc.loadVarInto(x.Ptr, preg)
+		return lvalLoc{mem: asm.MemD(preg, int32(x.Off*elem.Size())), typ: elem}, nil
+
+	case *synth.IndexRef:
+		at := x.Arr.Type.ResolveBase()
+		elem := at.Elem
+		esz := elem.Size()
+		base := fc.varMem(x.Arr)
+		if lit, ok := x.Idx.(*synth.IntLit); ok {
+			base.Disp += int32(lit.Value) * int32(esz)
+			return lvalLoc{mem: base, typ: elem}, nil
+		}
+		// Variable index: sign-extend to 64 bits, then either SIB-scale or
+		// pre-multiply for wide elements.
+		idxT := synth.TypeOfExpr(x.Idx)
+		ireg64 := fc.scratch(scratchBase, 8)
+		ireg, err := fc.loadInt(x.Idx, intWidth(idxT), scratchBase)
+		if err != nil {
+			return lvalLoc{}, err
+		}
+		if ireg.Width() == 4 {
+			fc.emit(asm.OpMOVSXD, 8, asm.R(ireg64), asm.R(ireg))
+		}
+		switch esz {
+		case 1, 2, 4, 8:
+			m := asm.MemSIB(base.Base, ireg64, uint8(esz), base.Disp)
+			return lvalLoc{mem: m, typ: elem}, nil
+		default:
+			fc.emit(asm.OpIMUL, 8, asm.R(ireg64), asm.R(ireg64), asm.Imm{Value: int64(esz)})
+			m := asm.MemSIB(base.Base, ireg64, 1, base.Disp)
+			return lvalLoc{mem: m, typ: elem}, nil
+		}
+	}
+	return lvalLoc{}, fmt.Errorf("lvalue %T: %w", lv, ErrUnsupported)
+}
+
+// loadVarInto loads a variable's 64-bit value into reg (for pointer bases).
+func (fc *funcCompiler) loadVarInto(d *synth.VarDecl, reg asm.Reg) {
+	if pr, ok := fc.promoted[d]; ok {
+		fc.emit(asm.OpMOV, 8, asm.R(reg), asm.R(pr))
+		return
+	}
+	fc.emit(asm.OpMOV, 8, asm.R(reg), fc.varMem(d))
+}
+
+// varMem returns the memory operand of a variable: frame-relative for
+// stack variables, absolute for globals.
+func (fc *funcCompiler) varMem(d *synth.VarDecl) asm.Mem {
+	if d.Global {
+		return asm.Mem{Scale: 1, Disp: int32(fc.c.globals[d])}
+	}
+	return fc.slotMem(d)
+}

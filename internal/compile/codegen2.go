@@ -1,0 +1,668 @@
+package compile
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/asm"
+	"repro/internal/ctypes"
+	"repro/internal/synth"
+)
+
+// loadInt evaluates an integer/pointer-valued atom into scratch register
+// slot si at width w (4 or 8; sub-int sources are sign/zero-extended the
+// way C integer promotion does). Returns the register holding the value.
+func (fc *funcCompiler) loadInt(e synth.Expr, w, si int) (asm.Reg, error) {
+	dst := fc.scratch(si, w)
+	switch x := e.(type) {
+	case *synth.IntLit:
+		if x.Value == 0 {
+			fc.zeroReg(dst)
+		} else {
+			fc.emit(asm.OpMOV, w, asm.R(dst), asm.Imm{Value: x.Value})
+		}
+		return dst, nil
+
+	case *synth.AddrOf:
+		loc, err := fc.lvalue(x.Target, si+1)
+		if err != nil {
+			return 0, err
+		}
+		if loc.reg != 0 {
+			return 0, fmt.Errorf("address of register variable: %w", ErrUnsupported)
+		}
+		d64 := dst.WithWidth(8)
+		fc.emit(asm.OpLEA, 8, asm.R(d64), loc.mem)
+		return d64, nil
+
+	case *synth.Cmp:
+		if err := fc.materializeCmp(x, dst.WithWidth(1)); err != nil {
+			return 0, err
+		}
+		fc.emit(asm.OpMOVZX, 1, asm.R(dst), asm.R(dst.WithWidth(1)))
+		return dst, nil
+
+	case *synth.Cast:
+		srcT := synth.TypeOfExpr(x.X)
+		if isFloatType(srcT) {
+			xr, err := fc.loadFloat(x.X, 0)
+			if err != nil {
+				return 0, err
+			}
+			cv := asm.OpCVTTSS2SI
+			if srcT.ResolveBase().Base == ctypes.BaseDouble {
+				cv = asm.OpCVTTSD2SI
+			}
+			fc.emit(cv, w, asm.R(dst), asm.R(xr))
+			return dst, nil
+		}
+		return fc.loadInt(x.X, w, si)
+
+	case *synth.VarRef, *synth.FieldRef, *synth.PtrFieldRef, *synth.IndexRef, *synth.DerefRef:
+		loc, err := fc.lvalue(e.(synth.LValue), si+1)
+		if err != nil {
+			return 0, err
+		}
+		return dst, fc.loadFromLoc(loc, w, dst)
+	}
+	return 0, fmt.Errorf("int atom %T: %w", e, ErrUnsupported)
+}
+
+// loadFromLoc loads an integer-typed location into dst at width w.
+func (fc *funcCompiler) loadFromLoc(loc lvalLoc, w int, dst asm.Reg) error {
+	t := loc.typ.ResolveBase()
+	size := t.Size()
+	if t.Kind == ctypes.KindPointer || t.Kind == ctypes.KindArray {
+		size = 8
+	}
+	signed := isSignedInt(loc.typ)
+	var src asm.Operand
+	if loc.reg != 0 {
+		src = asm.R(loc.reg.WithWidth(min(size, 8)))
+	} else {
+		src = loc.mem
+	}
+	switch {
+	case size >= w:
+		// Direct load of the low bytes.
+		if r, ok := src.(asm.RegArg); ok {
+			fc.emit(asm.OpMOV, w, asm.R(dst), asm.R(r.Reg.WithWidth(w)))
+		} else {
+			fc.emit(asm.OpMOV, w, asm.R(dst), src)
+		}
+	case size <= 2:
+		op := asm.OpMOVZX
+		if signed {
+			op = asm.OpMOVSX
+		}
+		fc.emit(op, size, asm.R(dst), src)
+	default: // size 4, w 8
+		if signed {
+			fc.emit(asm.OpMOVSXD, 8, asm.R(dst), src)
+		} else {
+			// Unsigned 32→64: the 32-bit move zero-extends.
+			fc.emit(asm.OpMOV, 4, asm.R(dst.WithWidth(4)), src)
+		}
+	}
+	return nil
+}
+
+// materializeCmp evaluates a comparison and leaves the truth value in the
+// given byte register via SETcc.
+func (fc *funcCompiler) materializeCmp(x *synth.Cmp, dst8 asm.Reg) error {
+	lt := synth.TypeOfExpr(x.L)
+	if isFloatType(lt) {
+		xr, err := fc.loadFloat(x.L, 0)
+		if err != nil {
+			return err
+		}
+		yr, err := fc.loadFloat(x.R, 1)
+		if err != nil {
+			return err
+		}
+		op := asm.OpUCOMISS
+		w := 4
+		if lt.ResolveBase().Base == ctypes.BaseDouble {
+			op, w = asm.OpUCOMISD, 8
+		}
+		fc.emit(op, w, asm.R(xr), asm.R(yr))
+		fc.emit(setccFor(x.Op, false), 1, asm.R(dst8))
+		return nil
+	}
+	w := intWidth(lt)
+	lr, err := fc.loadInt(x.L, w, 1)
+	if err != nil {
+		return err
+	}
+	if lit, ok := x.R.(*synth.IntLit); ok && fc.opts.Dialect == GCC {
+		fc.emit(asm.OpCMP, w, asm.R(lr), asm.Imm{Value: lit.Value})
+	} else {
+		rr, err := fc.loadInt(x.R, w, 2)
+		if err != nil {
+			return err
+		}
+		fc.emit(asm.OpCMP, w, asm.R(lr), asm.R(rr))
+	}
+	fc.emit(setccFor(x.Op, isSignedInt(lt)), 1, asm.R(dst8))
+	return nil
+}
+
+// loadFloat evaluates a float/double atom into XMM register xi.
+func (fc *funcCompiler) loadFloat(e synth.Expr, xi int) (asm.Reg, error) {
+	dst := asm.XMM(xi)
+	switch x := e.(type) {
+	case *synth.FloatLit:
+		t := x.Type.ResolveBase()
+		if t.Base == ctypes.BaseFloat {
+			addr := fc.c.rodataAddr(4)
+			fc.emit(asm.OpMOVSS, 4, asm.R(dst), asm.Mem{Scale: 1, Disp: int32(addr)})
+		} else {
+			addr := fc.c.rodataAddr(8)
+			fc.emit(asm.OpMOVSD, 8, asm.R(dst), asm.Mem{Scale: 1, Disp: int32(addr)})
+		}
+		return dst, nil
+
+	case *synth.Cast:
+		srcT := synth.TypeOfExpr(x.X)
+		toT := x.To.ResolveBase()
+		if isFloatType(srcT) {
+			// float↔double conversion.
+			xr, err := fc.loadFloat(x.X, xi)
+			if err != nil {
+				return 0, err
+			}
+			sb := srcT.ResolveBase().Base
+			if sb == ctypes.BaseFloat && toT.Base == ctypes.BaseDouble {
+				fc.emit(asm.OpCVTSS2SD, 4, asm.R(dst), asm.R(xr))
+			} else if sb == ctypes.BaseDouble && toT.Base == ctypes.BaseFloat {
+				fc.emit(asm.OpCVTSD2SS, 8, asm.R(dst), asm.R(xr))
+			}
+			return dst, nil
+		}
+		// int→float.
+		w := intWidth(srcT)
+		ir, err := fc.loadInt(x.X, w, 0)
+		if err != nil {
+			return 0, err
+		}
+		cv := asm.OpCVTSI2SS
+		if toT.Base == ctypes.BaseDouble {
+			cv = asm.OpCVTSI2SD
+		}
+		fc.emit(cv, w, asm.R(dst), asm.R(ir))
+		return dst, nil
+
+	case *synth.VarRef, *synth.FieldRef, *synth.PtrFieldRef, *synth.IndexRef, *synth.DerefRef:
+		loc, err := fc.lvalue(e.(synth.LValue), 2)
+		if err != nil {
+			return 0, err
+		}
+		t := loc.typ.ResolveBase()
+		op := asm.OpMOVSS
+		w := 4
+		if t.Base == ctypes.BaseDouble {
+			op, w = asm.OpMOVSD, 8
+		}
+		fc.emit(op, w, asm.R(dst), loc.mem)
+		return dst, nil
+	}
+	return 0, fmt.Errorf("float atom %T: %w", e, ErrUnsupported)
+}
+
+// --- assignment ---
+
+func (fc *funcCompiler) assign(x *synth.Assign) error {
+	lhsT := synth.TypeOfExpr(x.LHS)
+	switch {
+	case isLongDouble(lhsT):
+		return fc.assignLongDouble(x)
+	case isFloatType(lhsT):
+		return fc.assignFloat(x, lhsT)
+	default:
+		return fc.assignInt(x, lhsT)
+	}
+}
+
+func (fc *funcCompiler) assignFloat(x *synth.Assign, lhsT *ctypes.Type) error {
+	base := lhsT.ResolveBase().Base
+	var val asm.Reg
+	switch rhs := x.RHS.(type) {
+	case *synth.Binary:
+		lr, err := fc.loadFloat(coerceFloat(rhs.L, base), 0)
+		if err != nil {
+			return err
+		}
+		rr, err := fc.loadFloat(coerceFloat(rhs.R, base), 1)
+		if err != nil {
+			return err
+		}
+		var op asm.Op
+		w := 4
+		if base == ctypes.BaseDouble {
+			w = 8
+		}
+		switch rhs.Op {
+		case synth.OpAdd:
+			op = asm.OpADDSS
+		case synth.OpSub:
+			op = asm.OpSUBSS
+		case synth.OpMul:
+			op = asm.OpMULSS
+		default:
+			op = asm.OpDIVSS
+		}
+		if base == ctypes.BaseDouble {
+			op++ // the SD variant directly follows each SS op in the enum
+		}
+		fc.emit(op, w, asm.R(lr), asm.R(rr))
+		val = lr
+	case *synth.Call:
+		r, err := fc.call(rhs, 0)
+		if err != nil {
+			return err
+		}
+		val = r // xmm0
+	default:
+		r, err := fc.loadFloat(coerceFloat(x.RHS, base), 0)
+		if err != nil {
+			return err
+		}
+		val = r
+	}
+	loc, err := fc.lvalue(x.LHS, 4)
+	if err != nil {
+		return err
+	}
+	op := asm.OpMOVSS
+	w := 4
+	if base == ctypes.BaseDouble {
+		op, w = asm.OpMOVSD, 8
+	}
+	fc.emit(op, w, loc.mem, asm.R(val))
+	return nil
+}
+
+// coerceFloat wraps an expression of a different arithmetic type in a Cast
+// to the target float type, so loadFloat emits the conversion instruction.
+func coerceFloat(e synth.Expr, base ctypes.Base) synth.Expr {
+	t := synth.TypeOfExpr(e)
+	rt := t.ResolveBase()
+	want := ctypes.Float
+	if base == ctypes.BaseDouble {
+		want = ctypes.Double
+	}
+	if rt.Kind == ctypes.KindBase && rt.Base == base {
+		return e
+	}
+	if _, ok := e.(*synth.Cast); ok {
+		return e
+	}
+	return &synth.Cast{To: want, X: e}
+}
+
+func (fc *funcCompiler) assignLongDouble(x *synth.Assign) error {
+	var loadLD func(e synth.Expr) error
+	loadLD = func(e synth.Expr) error {
+		switch y := e.(type) {
+		case *synth.FloatLit:
+			addr := fc.c.rodataAddr(10)
+			fc.emit(asm.OpFLD, 10, asm.Mem{Scale: 1, Disp: int32(addr)})
+			return nil
+		case *synth.VarRef:
+			t := y.Decl.Type.ResolveBase()
+			switch {
+			case t.Base == ctypes.BaseLongDouble:
+				fc.emit(asm.OpFLD, 10, fc.varMem(y.Decl))
+			case t.Base == ctypes.BaseDouble:
+				fc.emit(asm.OpFLD, 8, fc.varMem(y.Decl))
+			case t.Base == ctypes.BaseFloat:
+				fc.emit(asm.OpFLD, 4, fc.varMem(y.Decl))
+			case t.Base.IsInteger():
+				fc.emit(asm.OpFILD, min(t.Size(), 8), fc.varMem(y.Decl))
+			default:
+				return fmt.Errorf("x87 load of %s: %w", t, ErrUnsupported)
+			}
+			return nil
+		case *synth.Cast:
+			return loadLD(y.X)
+		case *synth.IntLit:
+			// Materialize through the hidden spill slot.
+			fc.emit(asm.OpMOV, 8, asm.MemD(fc.frameReg, fc.spillOff), asm.Imm{Value: y.Value})
+			fc.emit(asm.OpFILD, 8, asm.MemD(fc.frameReg, fc.spillOff))
+			return nil
+		}
+		return fmt.Errorf("x87 atom %T: %w", e, ErrUnsupported)
+	}
+
+	switch rhs := x.RHS.(type) {
+	case *synth.Binary:
+		if err := loadLD(rhs.L); err != nil {
+			return err
+		}
+		if err := loadLD(rhs.R); err != nil {
+			return err
+		}
+		switch rhs.Op {
+		case synth.OpAdd:
+			fc.emit(asm.OpFADDP, 0)
+		case synth.OpSub:
+			fc.emit(asm.OpFSUBP, 0)
+		case synth.OpMul:
+			fc.emit(asm.OpFMULP, 0)
+		default:
+			fc.emit(asm.OpFDIVP, 0)
+		}
+	default:
+		if err := loadLD(x.RHS); err != nil {
+			return err
+		}
+	}
+	loc, err := fc.lvalue(x.LHS, 4)
+	if err != nil {
+		return err
+	}
+	fc.emit(asm.OpFSTP, 10, loc.mem)
+	return nil
+}
+
+func (fc *funcCompiler) assignInt(x *synth.Assign, lhsT *ctypes.Type) error {
+	tw := storeWidth(lhsT)
+	w := intWidth(lhsT)
+
+	// Direct immediate store: the paper's `movq $0x0,0xa8(%rsp)` shape.
+	if lit, ok := x.RHS.(*synth.IntLit); ok {
+		loc, err := fc.lvalue(x.LHS, 4)
+		if err != nil {
+			return err
+		}
+		if loc.reg != 0 {
+			if lit.Value == 0 {
+				fc.zeroReg(loc.reg.WithWidth(w))
+			} else {
+				fc.emit(asm.OpMOV, w, asm.R(loc.reg.WithWidth(w)), asm.Imm{Value: lit.Value})
+			}
+			return nil
+		}
+		v := lit.Value
+		if v >= math.MinInt32 && v <= math.MaxInt32 {
+			fc.emit(asm.OpMOV, tw, loc.mem, asm.Imm{Value: v})
+			return nil
+		}
+		fc.emit(asm.OpMOVABS, 8, asm.R(fc.scratch(0, 8)), asm.Imm{Value: v})
+		fc.emit(asm.OpMOV, 8, loc.mem, asm.R(fc.scratch(0, 8)))
+		return nil
+	}
+
+	var val asm.Reg
+	switch rhs := x.RHS.(type) {
+	case *synth.Binary:
+		r, err := fc.intBinary(rhs, lhsT, w)
+		if err != nil {
+			return err
+		}
+		val = r
+	case *synth.Cmp:
+		d8 := fc.scratch(0, 1)
+		if err := fc.materializeCmp(rhs, d8); err != nil {
+			return err
+		}
+		if tw == 1 {
+			val = d8
+		} else {
+			fc.emit(asm.OpMOVZX, 1, asm.R(fc.scratch(0, w)), asm.R(d8))
+			val = fc.scratch(0, w)
+		}
+	case *synth.Call:
+		r, err := fc.call(rhs, 0)
+		if err != nil {
+			return err
+		}
+		val = r.WithWidth(w)
+	default:
+		r, err := fc.loadInt(x.RHS, w, 0)
+		if err != nil {
+			return err
+		}
+		val = r
+	}
+
+	loc, err := fc.lvalue(x.LHS, 4)
+	if err != nil {
+		return err
+	}
+	if loc.reg != 0 {
+		fc.emit(asm.OpMOV, w, asm.R(loc.reg.WithWidth(w)), asm.R(val.WithWidth(w)))
+		return nil
+	}
+	fc.emit(asm.OpMOV, tw, loc.mem, asm.R(val.WithWidth(tw)))
+	return nil
+}
+
+// storeWidth is the memory width of a store to a location of type t.
+func storeWidth(t *ctypes.Type) int {
+	rt := t.ResolveBase()
+	switch rt.Kind {
+	case ctypes.KindPointer:
+		return 8
+	case ctypes.KindEnum:
+		return 4
+	case ctypes.KindBase:
+		if s := rt.Size(); s >= 1 && s <= 8 {
+			return s
+		}
+	}
+	return 8
+}
+
+// intBinary computes a binary integer operation into a scratch register.
+func (fc *funcCompiler) intBinary(rhs *synth.Binary, lhsT *ctypes.Type, w int) (asm.Reg, error) {
+	// Register-promoted accumulate: `add $1,%rbx` style, no memory traffic.
+	if vr, ok := rhs.L.(*synth.VarRef); ok {
+		if prom, isProm := fc.promoted[vr.Decl]; isProm {
+			if lit, ok := rhs.R.(*synth.IntLit); ok && isSimpleALU(rhs.Op) {
+				fc.emit(aluOp(rhs.Op), w, asm.R(prom.WithWidth(w)), asm.Imm{Value: lit.Value})
+				return prom.WithWidth(w), nil
+			}
+		}
+	}
+
+	signed := isSignedInt(lhsT)
+	isPtr := lhsT.ResolveBase().Kind == ctypes.KindPointer
+
+	switch rhs.Op {
+	case synth.OpAdd, synth.OpSub, synth.OpAnd, synth.OpOr, synth.OpXor:
+		lr, err := fc.loadInt(rhs.L, w, 0)
+		if err != nil {
+			return 0, err
+		}
+		if lit, ok := rhs.R.(*synth.IntLit); ok {
+			v := lit.Value
+			if isPtr {
+				// Pointer arithmetic scales by the pointee size.
+				v *= int64(lhsT.ResolveBase().Elem.Size())
+			}
+			fc.emit(aluOp(rhs.Op), w, asm.R(lr), asm.Imm{Value: v})
+			return lr, nil
+		}
+		rr, err := fc.loadInt(rhs.R, w, 2)
+		if err != nil {
+			return 0, err
+		}
+		fc.emit(aluOp(rhs.Op), w, asm.R(lr), asm.R(rr))
+		return lr, nil
+
+	case synth.OpMul:
+		lr, err := fc.loadInt(rhs.L, w, 0)
+		if err != nil {
+			return 0, err
+		}
+		if lit, ok := rhs.R.(*synth.IntLit); ok {
+			fc.emit(asm.OpIMUL, w, asm.R(lr), asm.R(lr), asm.Imm{Value: lit.Value})
+			return lr, nil
+		}
+		rr, err := fc.loadInt(rhs.R, w, 2)
+		if err != nil {
+			return 0, err
+		}
+		fc.emit(asm.OpIMUL, w, asm.R(lr), asm.R(rr))
+		return lr, nil
+
+	case synth.OpDiv, synth.OpMod:
+		// Dividend in rax, divisor in rcx, sign/zero extension into rdx.
+		if _, err := fc.loadIntInto(rhs.L, w, asm.RAX); err != nil {
+			return 0, err
+		}
+		if _, err := fc.loadIntInto(rhs.R, w, asm.RCX); err != nil {
+			return 0, err
+		}
+		if signed {
+			if w == 8 {
+				fc.emit(asm.OpCQO, 0)
+			} else {
+				fc.emit(asm.OpCDQ, 0)
+			}
+			fc.emit(asm.OpIDIV, w, asm.R(asm.RCX.WithWidth(w)))
+		} else {
+			fc.zeroReg(asm.EDX)
+			fc.emit(asm.OpDIV, w, asm.R(asm.RCX.WithWidth(w)))
+		}
+		if rhs.Op == synth.OpMod {
+			return asm.RDX.WithWidth(w), nil
+		}
+		return asm.RAX.WithWidth(w), nil
+
+	case synth.OpShl, synth.OpShr:
+		lr, err := fc.loadInt(rhs.L, w, 0)
+		if err != nil {
+			return 0, err
+		}
+		op := asm.OpSHL
+		if rhs.Op == synth.OpShr {
+			op = asm.OpSHR
+			if signed {
+				op = asm.OpSAR
+			}
+		}
+		if lit, ok := rhs.R.(*synth.IntLit); ok {
+			fc.emit(op, w, asm.R(lr), asm.Imm{Value: lit.Value & 63})
+			return lr, nil
+		}
+		if _, err := fc.loadIntInto(rhs.R, 4, asm.RCX); err != nil {
+			return 0, err
+		}
+		fc.emit(op, w, asm.R(lr), asm.R(asm.CL))
+		return lr, nil
+	}
+	return 0, fmt.Errorf("binary op %d: %w", rhs.Op, ErrUnsupported)
+}
+
+// loadIntInto is loadInt targeting a specific register.
+func (fc *funcCompiler) loadIntInto(e synth.Expr, w int, target asm.Reg) (asm.Reg, error) {
+	r, err := fc.loadInt(e, w, 3)
+	if err != nil {
+		return 0, err
+	}
+	t := target.WithWidth(w)
+	if r.Num() != t.Num() {
+		fc.emit(asm.OpMOV, w, asm.R(t), asm.R(r))
+	}
+	return t, nil
+}
+
+func isSimpleALU(op synth.BinOp) bool {
+	switch op {
+	case synth.OpAdd, synth.OpSub, synth.OpAnd, synth.OpOr, synth.OpXor:
+		return true
+	}
+	return false
+}
+
+func aluOp(op synth.BinOp) asm.Op {
+	switch op {
+	case synth.OpAdd:
+		return asm.OpADD
+	case synth.OpSub:
+		return asm.OpSUB
+	case synth.OpAnd:
+		return asm.OpAND
+	case synth.OpOr:
+		return asm.OpOR
+	default:
+		return asm.OpXOR
+	}
+}
+
+// call lowers a function call and returns the result register (rax or
+// xmm0). Scratch discipline: argument atoms evaluate via rax/low scratch
+// indices; our generator emits at most a few atom arguments, so argument
+// registers assigned earlier are not clobbered.
+func (fc *funcCompiler) call(x *synth.Call, _ int) (asm.Reg, error) {
+	intIdx, fltIdx := 0, 0
+	for _, a := range x.Args {
+		at := synth.TypeOfExpr(a)
+		if isFloatType(at) {
+			if fltIdx >= len(floatArgRegs) {
+				return 0, fmt.Errorf("too many float args: %w", ErrUnsupported)
+			}
+			if _, err := fc.loadFloat(a, fltIdx); err != nil {
+				return 0, err
+			}
+			fltIdx++
+			continue
+		}
+		if intIdx >= len(intArgRegs) {
+			return 0, fmt.Errorf("too many int args: %w", ErrUnsupported)
+		}
+		w := 8
+		if at != nil {
+			if rk := at.ResolveBase().Kind; rk != ctypes.KindPointer && rk != ctypes.KindArray {
+				w = intWidth(at)
+			}
+		}
+		r, err := fc.loadInt(a, w, 0)
+		if err != nil {
+			return 0, err
+		}
+		arg := intArgRegs[intIdx].WithWidth(w)
+		if arg.Num() != r.Num() {
+			fc.emit(asm.OpMOV, w, asm.R(arg), asm.R(r))
+		}
+		intIdx++
+	}
+	if x.Extern {
+		fc.c.externAddr(x.Name)
+		if x.Name == "printf" {
+			// Variadic call: al carries the vector register count.
+			fc.zeroReg(asm.EAX)
+		}
+	}
+	fc.emit(asm.OpCALL, 0, asm.Sym{Name: x.Name})
+	if x.Result != nil && isFloatType(x.Result) {
+		return asm.XMM0, nil
+	}
+	return asm.RAX, nil
+}
+
+// unrollLoops duplicates short For bodies once (unroll by two) at O3.
+func unrollLoops(stmts []synth.Stmt) []synth.Stmt {
+	out := make([]synth.Stmt, 0, len(stmts))
+	for _, s := range stmts {
+		if f, ok := s.(*synth.For); ok && len(f.Body) <= 2 && f.Post != nil {
+			nb := make([]synth.Stmt, 0, len(f.Body)*2+1)
+			nb = append(nb, f.Body...)
+			nb = append(nb, f.Post)
+			nb = append(nb, f.Body...)
+			out = append(out, &synth.For{Init: f.Init, Cond: f.Cond, Post: f.Post, Body: nb})
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

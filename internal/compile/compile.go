@@ -1,0 +1,219 @@
+// Package compile lowers synthetic C-like programs (internal/synth) to real
+// x86-64 machine code in an ELF binary with DWARF-lite debug info. It is
+// the substitute for the paper's GCC/Clang toolchain: a type-directed code
+// generator with stack-frame layout, System V parameter passing, four
+// optimization levels (O0–O3) and two compiler dialects whose codegen
+// habits differ the way GCC's and Clang's do (zeroing idiom, scratch
+// register order, local slot ordering, frame-pointer policy) — the paper's
+// §VIII compiler-identification experiment depends on those differences
+// being learnable.
+package compile
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/asm"
+	"repro/internal/dwarflite"
+	"repro/internal/elfx"
+	"repro/internal/synth"
+)
+
+// Dialect selects the simulated compiler.
+type Dialect int
+
+// The two dialects.
+const (
+	GCC Dialect = iota + 1
+	Clang
+)
+
+func (d Dialect) String() string {
+	switch d {
+	case GCC:
+		return "gcc"
+	case Clang:
+		return "clang"
+	default:
+		return fmt.Sprintf("Dialect(%d)", int(d))
+	}
+}
+
+// Options configures one compilation.
+type Options struct {
+	Dialect Dialect
+	// Opt is the optimization level, 0..3.
+	Opt int
+	// Base is the virtual address of .text (defaults to 0x401000).
+	Base uint64
+	// Seed drives codegen jitter (scratch rotation, scheduling noise).
+	Seed int64
+}
+
+// Result is a compiled program: the full binary (with symbols and debug
+// info) ready for elfx.Write or elfx.Strip.
+type Result struct {
+	Binary *elfx.Binary
+	Debug  *dwarflite.Info
+}
+
+// Extern call stubs live in a fake PLT region below .text.
+const (
+	pltBase = 0x400400
+	pltSlot = 16
+)
+
+// rodata (float literal pool) region.
+const rodataBase = 0x4b0000
+
+// data section (global variables) region.
+const dataBase = 0x602000
+
+// Compile lowers a whole program.
+func Compile(p *synth.Program, opts Options) (*Result, error) {
+	if opts.Base == 0 {
+		opts.Base = 0x401000
+	}
+	if opts.Dialect == 0 {
+		opts.Dialect = GCC
+	}
+	if opts.Opt < 0 || opts.Opt > 3 {
+		return nil, fmt.Errorf("compile: bad optimization level %d", opts.Opt)
+	}
+
+	cc := &compiler{
+		opts:    opts,
+		r:       rand.New(rand.NewSource(opts.Seed ^ 0x5f3759df)),
+		externs: make(map[string]uint64),
+		rodata:  rodataBase,
+		globals: make(map[*synth.VarDecl]uint64),
+	}
+	cc.layoutGlobals(p.Globals)
+
+	var unit asm.Unit
+	debug := &dwarflite.Info{}
+	type pendingFunc struct {
+		name string
+		fc   *funcCompiler
+	}
+	var pending []pendingFunc
+	for _, fn := range p.Funcs {
+		fc, err := cc.compileFunc(fn, &unit)
+		if err != nil {
+			return nil, fmt.Errorf("compile %s: %w", fn.Name, err)
+		}
+		pending = append(pending, pendingFunc{name: fn.Name, fc: fc})
+	}
+
+	out, err := unit.Assemble(opts.Base, cc.externs)
+	if err != nil {
+		return nil, fmt.Errorf("compile: assemble: %w", err)
+	}
+
+	bin := &elfx.Binary{Entry: opts.Base}
+	bin.Sections = append(bin.Sections, elfx.Section{
+		Name:  ".text",
+		Type:  elfx.SHTProgbits,
+		Flags: elfx.SHFAlloc | elfx.SHFExecinstr,
+		Addr:  opts.Base,
+		Data:  out.Code,
+	})
+
+	// Function symbols and debug records from assembled label addresses.
+	for i, pf := range pending {
+		low := out.Labels[pf.name]
+		var high uint64
+		if i+1 < len(pending) {
+			high = out.Labels[pending[i+1].name]
+		} else {
+			high = opts.Base + uint64(len(out.Code))
+		}
+		bin.Symbols = append(bin.Symbols, elfx.Symbol{
+			Name: pf.name, Addr: low, Size: high - low, Kind: elfx.SymFunc,
+		})
+		df := dwarflite.Func{
+			Name: pf.name, Low: low, High: high, FrameReg: pf.fc.frameRegTag(),
+		}
+		df.Vars = pf.fc.debugVars()
+		debug.Funcs = append(debug.Funcs, df)
+	}
+
+	// Data section for globals plus their symbols and debug records.
+	if cc.dataSize > 0 {
+		bin.Sections = append(bin.Sections, elfx.Section{
+			Name:  ".data",
+			Type:  elfx.SHTProgbits,
+			Flags: elfx.SHFAlloc,
+			Addr:  dataBase,
+			Data:  make([]byte, cc.dataSize),
+		})
+		for _, g := range p.Globals {
+			addr := cc.globals[g]
+			bin.Symbols = append(bin.Symbols, elfx.Symbol{
+				Name: g.Name, Addr: addr, Size: uint64(g.Type.Size()), Kind: elfx.SymObject,
+			})
+			debug.Globals = append(debug.Globals, dwarflite.Global{
+				Name: g.Name, Addr: addr, Type: g.Type,
+			})
+		}
+	}
+
+	bin.Sections = append(bin.Sections, elfx.Section{
+		Name: dwarflite.SectionName,
+		Type: elfx.SHTProgbits,
+		Data: debug.Encode(),
+	})
+
+	return &Result{Binary: bin, Debug: debug}, nil
+}
+
+// compiler holds whole-program state.
+type compiler struct {
+	opts     Options
+	r        *rand.Rand
+	externs  map[string]uint64
+	rodata   uint64
+	globals  map[*synth.VarDecl]uint64
+	dataSize uint64
+}
+
+// layoutGlobals assigns data-section addresses with natural alignment.
+func (c *compiler) layoutGlobals(globals []*synth.VarDecl) {
+	addr := uint64(dataBase)
+	for _, g := range globals {
+		align := uint64(g.Type.Align())
+		if align == 0 {
+			align = 8
+		}
+		addr = (addr + align - 1) / align * align
+		c.globals[g] = addr
+		size := uint64(g.Type.Size())
+		if size == 0 {
+			size = 8
+		}
+		addr += size
+	}
+	c.dataSize = addr - dataBase
+}
+
+// externAddr interns a fake PLT slot for an external symbol.
+func (c *compiler) externAddr(name string) uint64 {
+	if a, ok := c.externs[name]; ok {
+		return a
+	}
+	a := uint64(pltBase + len(c.externs)*pltSlot)
+	c.externs[name] = a
+	return a
+}
+
+// rodataAddr allocates an aligned address in the fake literal pool.
+func (c *compiler) rodataAddr(size int) uint64 {
+	align := uint64(size)
+	if align == 10 {
+		align = 16
+	}
+	c.rodata = (c.rodata + align - 1) / align * align
+	a := c.rodata
+	c.rodata += uint64(size)
+	return a
+}

@@ -1,0 +1,408 @@
+package compile
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/ctypes"
+	"repro/internal/dwarflite"
+	"repro/internal/elfx"
+	"repro/internal/synth"
+)
+
+func testProgram(seed int64) *synth.Program {
+	prof := synth.DefaultProfile("t")
+	return synth.Generate(prof, seed)
+}
+
+func TestCompileAllConfigs(t *testing.T) {
+	for _, d := range []Dialect{GCC, Clang} {
+		for opt := 0; opt <= 3; opt++ {
+			name := fmt.Sprintf("%s-O%d", d, opt)
+			t.Run(name, func(t *testing.T) {
+				p := testProgram(7)
+				res, err := Compile(p, Options{Dialect: d, Opt: opt, Seed: 3})
+				if err != nil {
+					t.Fatal(err)
+				}
+				text, err := res.Binary.Text()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(text.Data) == 0 {
+					t.Fatal("empty .text")
+				}
+				// The whole section must decode as valid x86-64.
+				insts, err := asm.DecodeAll(text.Data, text.Addr)
+				if err != nil {
+					t.Fatalf("decode: %v", err)
+				}
+				if len(insts) < 20 {
+					t.Fatalf("suspiciously few instructions: %d", len(insts))
+				}
+				// Function symbols must tile the text section.
+				funcs := res.Binary.FuncSymbols()
+				if len(funcs) != len(p.Funcs) {
+					t.Fatalf("symbols = %d, want %d", len(funcs), len(p.Funcs))
+				}
+				var total uint64
+				for _, f := range funcs {
+					total += f.Size
+				}
+				if total != uint64(len(text.Data)) {
+					t.Errorf("symbol sizes sum to %d, text is %d", total, len(text.Data))
+				}
+				// Debug info must round-trip through the section blob.
+				sec, err := res.Binary.Section(dwarflite.SectionName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				info, err := dwarflite.Decode(sec.Data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(info.Funcs) != len(p.Funcs) {
+					t.Fatalf("debug funcs = %d, want %d", len(info.Funcs), len(p.Funcs))
+				}
+			})
+		}
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	p1 := testProgram(11)
+	p2 := testProgram(11)
+	r1, err := Compile(p1, Options{Dialect: GCC, Opt: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Compile(p2, Options{Dialect: GCC, Opt: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := r1.Binary.Text()
+	t2, _ := r2.Binary.Text()
+	if !bytes.Equal(t1.Data, t2.Data) {
+		t.Error("same seed produced different code")
+	}
+}
+
+func TestDialectsDiffer(t *testing.T) {
+	p := testProgram(13)
+	g, err := Compile(p, Options{Dialect: GCC, Opt: 0, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := testProgram(13)
+	c, err := Compile(p2, Options{Dialect: Clang, Opt: 0, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, _ := g.Binary.Text()
+	tc, _ := c.Binary.Text()
+	if bytes.Equal(tg.Data, tc.Data) {
+		t.Error("gcc and clang dialects produced identical code")
+	}
+	// Clang must use xor-zeroing somewhere; GCC dialect moves $0.
+	ci, err := asm.DecodeAll(tc.Data, tc.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundXorZero := false
+	for i := range ci {
+		if ci[i].Op == asm.OpXOR {
+			if d, ok := ci[i].Dst().(asm.RegArg); ok {
+				if s, ok := ci[i].Src().(asm.RegArg); ok && d.Reg == s.Reg {
+					foundXorZero = true
+				}
+			}
+		}
+	}
+	if !foundXorZero {
+		t.Error("clang dialect emitted no xor-zero idiom")
+	}
+}
+
+func TestOptLevelsShrinkCode(t *testing.T) {
+	sizes := make([]int, 4)
+	for opt := 0; opt <= 3; opt++ {
+		p := testProgram(17)
+		res, err := Compile(p, Options{Dialect: GCC, Opt: opt, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		text, _ := res.Binary.Text()
+		sizes[opt] = len(text.Data)
+	}
+	if sizes[1] >= sizes[0] {
+		t.Errorf("O1 (%d bytes) not smaller than O0 (%d bytes)", sizes[1], sizes[0])
+	}
+	// O2 trades memory traffic for register-save boilerplate and O3 unrolls
+	// loops, so their sizes are not monotone; they only have to produce
+	// code. What O2 must do is reduce frame-slot traffic, which
+	// TestPromotionReducesSlotTraffic verifies directly.
+	if sizes[2] == 0 {
+		t.Error("O2 produced no code")
+	}
+	// O3 unrolls loops, so its size may exceed O2 and even O0 (as with real
+	// compilers); it only has to produce something.
+	if sizes[3] == 0 {
+		t.Error("O3 produced no code")
+	}
+}
+
+// TestPromotionReducesSlotTraffic verifies O2's register promotion removes
+// frame-slot accesses relative to O1.
+func TestPromotionReducesSlotTraffic(t *testing.T) {
+	count := func(opt int) int {
+		p := testProgram(17)
+		res, err := Compile(p, Options{Dialect: GCC, Opt: opt, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		text, _ := res.Binary.Text()
+		insts, err := asm.DecodeAll(text.Data, text.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for i := range insts {
+			if m, ok := insts[i].MemArg(); ok && (m.Base == asm.RBP || m.Base == asm.RSP) {
+				n++
+			}
+		}
+		return n
+	}
+	o1, o2 := count(1), count(2)
+	if o2 >= o1 {
+		t.Errorf("frame accesses: O2 %d not below O1 %d", o2, o1)
+	}
+}
+
+// TestDebugSlotsMatchInstructions verifies the labeling contract: frame
+// slots recorded in debug info actually appear as memory operands off the
+// recorded frame register inside the owning function.
+func TestDebugSlotsMatchInstructions(t *testing.T) {
+	p := testProgram(23)
+	res, err := Compile(p, Options{Dialect: GCC, Opt: 0, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := res.Binary.Text()
+	insts, err := asm.DecodeAll(text.Data, text.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	matched, total := 0, 0
+	for _, df := range res.Debug.Funcs {
+		base := asm.RBP
+		if df.FrameReg == dwarflite.FrameRSP {
+			base = asm.RSP
+		}
+		// Collect every frame-relative displacement used in the function.
+		disps := make(map[int32]bool)
+		for i := range insts {
+			if insts[i].Addr < df.Low || insts[i].Addr >= df.High {
+				continue
+			}
+			if m, ok := insts[i].MemArg(); ok && m.Base == base {
+				disps[m.Disp] = true
+			}
+		}
+		for _, v := range df.Vars {
+			total++
+			size := int32(v.Type.Size())
+			found := false
+			for d := range disps {
+				if d >= v.FrameOff && d < v.FrameOff+size {
+					found = true
+					break
+				}
+			}
+			if found {
+				matched++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no debug variables")
+	}
+	// Most variables must be touched by at least one frame access; a small
+	// share may be generated but never reached (e.g. usage via promoted
+	// forms), so demand 80%.
+	if float64(matched) < 0.8*float64(total) {
+		t.Errorf("only %d/%d debug slots appear in instructions", matched, total)
+	}
+}
+
+func TestLongDoubleUsesX87(t *testing.T) {
+	// Force a program with long doubles by using a dedicated profile.
+	prof := synth.DefaultProfile("ld")
+	prof.Weights = map[ctypes.Class]float64{ctypes.ClassLongDouble: 10, ctypes.ClassInt: 2}
+	p := synth.Generate(prof, 3)
+	res, err := Compile(p, Options{Dialect: GCC, Opt: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := res.Binary.Text()
+	insts, err := asm.DecodeAll(text.Data, text.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundFLD := false
+	for i := range insts {
+		if insts[i].Op == asm.OpFLD || insts[i].Op == asm.OpFSTP {
+			if insts[i].Width == 10 {
+				foundFLD = true
+			}
+		}
+	}
+	if !foundFLD {
+		t.Error("no 80-bit x87 load/store emitted for long double program")
+	}
+}
+
+func TestFloatUsesSSE(t *testing.T) {
+	prof := synth.DefaultProfile("fl")
+	prof.Weights = map[ctypes.Class]float64{ctypes.ClassDouble: 8, ctypes.ClassFloat: 4, ctypes.ClassInt: 2}
+	p := synth.Generate(prof, 5)
+	res, err := Compile(p, Options{Dialect: GCC, Opt: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := res.Binary.Text()
+	insts, err := asm.DecodeAll(text.Data, text.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sd, ss bool
+	for i := range insts {
+		switch insts[i].Op {
+		case asm.OpMOVSD, asm.OpADDSD, asm.OpMULSD, asm.OpCVTSI2SD:
+			sd = true
+		case asm.OpMOVSS, asm.OpADDSS, asm.OpMULSS, asm.OpCVTSI2SS:
+			ss = true
+		}
+	}
+	if !sd || !ss {
+		t.Errorf("SSE coverage: movsd-family=%v movss-family=%v", sd, ss)
+	}
+}
+
+func TestStrippedBinaryStillDecodes(t *testing.T) {
+	p := testProgram(29)
+	res, err := Compile(p, Options{Dialect: GCC, Opt: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := elfx.Write(elfx.Strip(res.Binary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := elfx.Read(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bin.IsStripped() {
+		t.Fatal("not stripped")
+	}
+	text, err := bin.Text()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := asm.DecodeAll(text.Data, text.Addr); err != nil {
+		t.Fatalf("stripped text decode: %v", err)
+	}
+}
+
+func TestBadOptLevel(t *testing.T) {
+	if _, err := Compile(testProgram(1), Options{Dialect: GCC, Opt: 9}); err == nil {
+		t.Error("want error for bad opt level")
+	}
+}
+
+func TestPropertyManySeedsCompile(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		for _, d := range []Dialect{GCC, Clang} {
+			opt := int(seed % 4)
+			p := testProgram(seed)
+			res, err := Compile(p, Options{Dialect: d, Opt: opt, Seed: seed})
+			if err != nil {
+				t.Fatalf("seed %d %s O%d: %v", seed, d, opt, err)
+			}
+			text, _ := res.Binary.Text()
+			if _, err := asm.DecodeAll(text.Data, text.Addr); err != nil {
+				t.Fatalf("seed %d %s O%d decode: %v", seed, d, opt, err)
+			}
+		}
+	}
+}
+
+func TestIfConversionEmitsCMOV(t *testing.T) {
+	// O2 must if-convert some guards into CMOVcc; O0 must not.
+	count := func(opt int) int {
+		p := testProgram(31)
+		res, err := Compile(p, Options{Dialect: GCC, Opt: opt, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		text, _ := res.Binary.Text()
+		insts, err := asm.DecodeAll(text.Data, text.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for i := range insts {
+			if insts[i].Op.IsCMOV() {
+				n++
+			}
+		}
+		return n
+	}
+	if n := count(0); n != 0 {
+		t.Errorf("O0 emitted %d cmovs", n)
+	}
+	if n := count(2); n == 0 {
+		t.Error("O2 emitted no cmovs")
+	}
+}
+
+func TestGlobalsInBinary(t *testing.T) {
+	p := testProgram(37)
+	if len(p.Globals) == 0 {
+		t.Skip("program has no globals")
+	}
+	res, err := Compile(p, Options{Dialect: GCC, Opt: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.Binary.Section(".data")
+	if err != nil {
+		t.Fatalf("no .data section: %v", err)
+	}
+	if len(res.Debug.Globals) != len(p.Globals) {
+		t.Fatalf("debug globals = %d, want %d", len(res.Debug.Globals), len(p.Globals))
+	}
+	// Every global lies inside .data with natural alignment.
+	for _, g := range res.Debug.Globals {
+		if g.Addr < data.Addr || g.Addr+uint64(g.Type.Size()) > data.Addr+uint64(len(data.Data)) {
+			t.Errorf("global %s at %#x outside .data", g.Name, g.Addr)
+		}
+		if align := uint64(g.Type.Align()); align > 0 && g.Addr%align != 0 {
+			t.Errorf("global %s misaligned at %#x", g.Name, g.Addr)
+		}
+	}
+	// Object symbols must exist for the globals.
+	objs := 0
+	for _, s := range res.Binary.Symbols {
+		if s.Kind == elfx.SymObject {
+			objs++
+		}
+	}
+	if objs != len(p.Globals) {
+		t.Errorf("object symbols = %d, want %d", objs, len(p.Globals))
+	}
+}

@@ -1,0 +1,65 @@
+package compile
+
+import (
+	"repro/internal/asm"
+)
+
+// The peephole layer implements the O1+ "load-after-store forwarding"
+// optimization: a `mov slot,%reg` immediately following `mov %reg2,slot`
+// becomes a register move (or disappears when reg == reg2). This is the
+// single optimization with the biggest effect on the paper's statistics:
+// it removes redundant memory touches, thinning each variable's
+// instruction trail and pushing more variables toward orphan status at
+// higher optimization levels.
+type storeTrack struct {
+	valid bool
+	mem   asm.Mem
+	reg   asm.Reg
+	width int
+}
+
+// emitOpt is the optimizing emission path; funcCompiler.emit routes through
+// it at O1+.
+func (fc *funcCompiler) emitOpt(op asm.Op, width int, args ...asm.Operand) {
+	if op == asm.OpMOV && len(args) == 2 {
+		// Forward a load that immediately follows a store to the same slot.
+		if dst, ok := args[0].(asm.RegArg); ok {
+			if mem, ok := args[1].(asm.Mem); ok && fc.lastStore.valid &&
+				fc.lastStore.width == width && memEqual(fc.lastStore.mem, mem) {
+				if dst.Reg == fc.lastStore.reg {
+					return // value already in the register
+				}
+				fc.u.AddOp(asm.OpMOV, width, args[0], asm.R(fc.lastStore.reg))
+				// The tracked store is still the freshest write to the slot.
+				return
+			}
+		}
+		// Track stores of a register to a frame slot.
+		if mem, ok := args[0].(asm.Mem); ok {
+			if src, ok := args[1].(asm.RegArg); ok {
+				fc.u.AddOp(op, width, args...)
+				fc.lastStore = storeTrack{valid: true, mem: mem, reg: src.Reg, width: width}
+				return
+			}
+		}
+	}
+	fc.lastStore.valid = false
+	fc.u.AddOp(op, width, args...)
+}
+
+// label emits a label and invalidates store tracking (a jump may land
+// here, so the last store is no longer known).
+func (fc *funcCompiler) label(name string) {
+	fc.lastStore.valid = false
+	fc.u.Label(name)
+}
+
+func memEqual(a, b asm.Mem) bool {
+	if a.Base != b.Base || a.Disp != b.Disp || a.Index != b.Index {
+		return false
+	}
+	if a.Index == asm.RegNone {
+		return true
+	}
+	return a.Scale == b.Scale
+}

@@ -1,0 +1,152 @@
+// Package core is CATI's public API: train a model from a corpus of
+// binaries, save/load it, and run the full inference pipeline on a
+// stripped binary — disassemble, locate variables, extract and generalize
+// VUCs, embed, classify with the six-stage CNN tree, and vote per variable
+// (paper §III system workflow).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/classify"
+	"repro/internal/corpus"
+	"repro/internal/ctypes"
+	"repro/internal/elfx"
+	"repro/internal/vareco"
+	"repro/internal/vuc"
+)
+
+// CATI is a trained type-inference system.
+type CATI struct {
+	Pipeline *classify.Pipeline
+	// Clamp is the voting confidence threshold (paper: 0.9).
+	Clamp float64
+}
+
+// ErrNotTrained reports use of an empty system.
+var ErrNotTrained = errors.New("core: system has no trained pipeline")
+
+// Train builds a CATI system from a labeled corpus.
+func Train(c *corpus.Corpus, cfg classify.Config) (*CATI, error) {
+	p, err := classify.Train(c, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &CATI{Pipeline: p, Clamp: classify.DefaultClamp}, nil
+}
+
+// Save serializes the system.
+func (c *CATI) Save() ([]byte, error) {
+	if c.Pipeline == nil {
+		return nil, ErrNotTrained
+	}
+	return c.Pipeline.Encode()
+}
+
+// Load rebuilds a saved system.
+func Load(data []byte) (*CATI, error) {
+	p, err := classify.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &CATI{Pipeline: p, Clamp: classify.DefaultClamp}, nil
+}
+
+// InferredVar is one variable located and typed in a stripped binary.
+type InferredVar struct {
+	// FuncLow is the recovered owning function's entry address for stack
+	// variables, or the absolute address for globals.
+	FuncLow uint64
+	// Slot is the frame-relative offset of the variable's stack slot
+	// (zero for globals).
+	Slot int32
+	// Global marks data-section variables.
+	Global bool
+	// Size is the recovered slot size in bytes.
+	Size int
+	// NumVUCs is how many usage contexts voted.
+	NumVUCs int
+	// Class is the inferred type class.
+	Class ctypes.Class
+}
+
+// InferBinary runs the full pipeline on a (typically stripped) binary and
+// returns one typed record per recovered variable, ordered by function and
+// slot.
+func (c *CATI) InferBinary(bin *elfx.Binary) ([]InferredVar, error) {
+	if c.Pipeline == nil {
+		return nil, ErrNotTrained
+	}
+	rec, err := vareco.RecoverOpts(bin, vareco.Options{Dataflow: true})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return c.inferRecovery(rec)
+}
+
+// InferImage is InferBinary for a raw ELF image.
+func (c *CATI) InferImage(image []byte) ([]InferredVar, error) {
+	bin, err := elfx.Read(image)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return c.InferBinary(bin)
+}
+
+func (c *CATI) inferRecovery(rec *vareco.Recovery) ([]InferredVar, error) {
+	w := c.Pipeline.Cfg.Window
+	if w == 0 {
+		w = vuc.DefaultWindow
+	}
+	vucs := vuc.Extract(rec, vuc.Config{Window: w})
+	if len(vucs) == 0 {
+		return nil, nil
+	}
+
+	samples := make([][]float32, len(vucs))
+	for i := range vucs {
+		samples[i] = c.Pipeline.EmbedWindow(vucs[i].Tokens)
+	}
+	preds, err := c.Pipeline.PredictVUCs(samples)
+	if err != nil {
+		return nil, fmt.Errorf("core: predict: %w", err)
+	}
+
+	// Group predictions per variable and vote.
+	groups := make(map[vuc.VarKey][]classify.VUCPrediction)
+	for i := range vucs {
+		groups[vucs[i].Var] = append(groups[vucs[i].Var], preds[i])
+	}
+
+	sizeOf := make(map[vuc.VarKey]int)
+	for _, f := range rec.Funcs {
+		for _, v := range f.Vars {
+			sizeOf[vuc.VarKey{FuncLow: f.Low, Slot: v.Slot}] = v.Size
+		}
+	}
+	for _, g := range rec.Globals {
+		sizeOf[vuc.GlobalKey(g.Addr)] = g.Size
+	}
+
+	out := make([]InferredVar, 0, len(groups))
+	for key, g := range groups {
+		vp := classify.VoteVariable(g, c.Clamp)
+		out = append(out, InferredVar{
+			FuncLow: key.FuncLow,
+			Slot:    key.Slot,
+			Global:  key.Global,
+			Size:    sizeOf[key],
+			NumVUCs: len(g),
+			Class:   vp.Class,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FuncLow != out[j].FuncLow {
+			return out[i].FuncLow < out[j].FuncLow
+		}
+		return out[i].Slot < out[j].Slot
+	})
+	return out, nil
+}

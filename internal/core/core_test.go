@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/compile"
+	"repro/internal/corpus"
+	"repro/internal/ctypes"
+	"repro/internal/elfx"
+	"repro/internal/nn"
+	"repro/internal/synth"
+	"repro/internal/word2vec"
+)
+
+var (
+	once   sync.Once
+	shared *CATI
+	serr   error
+)
+
+func sharedCATI(t *testing.T) *CATI {
+	t.Helper()
+	once.Do(func() {
+		var c *corpus.Corpus
+		c, serr = corpus.Build(corpus.BuildConfig{
+			Name:     "core-train",
+			Binaries: 5,
+			Profile:  synth.DefaultProfile("core"),
+			Window:   5,
+			Seed:     21,
+		})
+		if serr != nil {
+			return
+		}
+		shared, serr = Train(c, classify.Config{
+			Window: 5,
+			Conv1:  8, Conv2: 8, Hidden: 64,
+			MaxPerStage: 1200,
+			Train:       nn.TrainConfig{Epochs: 1, Batch: 32, LR: 2e-3},
+			W2V:         word2vec.Config{Epochs: 1},
+			Seed:        5,
+		})
+	})
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	return shared
+}
+
+func testBinary(t *testing.T, seed int64) *elfx.Binary {
+	t.Helper()
+	p := synth.Generate(synth.DefaultProfile("target"), seed)
+	res, err := compile.Compile(p, compile.Options{Dialect: compile.GCC, Opt: 1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return elfx.Strip(res.Binary)
+}
+
+func TestInferBinary(t *testing.T) {
+	cati := sharedCATI(t)
+	vars, err := cati.InferBinary(testBinary(t, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vars) == 0 {
+		t.Fatal("no variables inferred")
+	}
+	for i, v := range vars {
+		if v.Class < ctypes.ClassPtrVoid || v.Class > ctypes.ClassEnum {
+			t.Fatalf("bad class %d", v.Class)
+		}
+		if v.NumVUCs <= 0 {
+			t.Fatal("variable with no VUCs")
+		}
+		if i > 0 {
+			prev := vars[i-1]
+			if v.FuncLow < prev.FuncLow ||
+				(v.FuncLow == prev.FuncLow && v.Slot <= prev.Slot) {
+				t.Fatal("output not sorted")
+			}
+		}
+	}
+}
+
+func TestInferImage(t *testing.T) {
+	cati := sharedCATI(t)
+	img, err := elfx.Write(testBinary(t, 78))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars, err := cati.InferImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vars) == 0 {
+		t.Fatal("no variables from image")
+	}
+	if _, err := cati.InferImage([]byte("not elf")); err == nil {
+		t.Error("bad image should fail")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	cati := sharedCATI(t)
+	blob, err := cati.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := testBinary(t, 79)
+	a, err := cati.InferBinary(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := got.InferBinary(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("variable counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("inference differs at %d after save/load", i)
+		}
+	}
+	if _, err := Load([]byte("junk")); err == nil {
+		t.Error("Load(junk) should fail")
+	}
+}
+
+func TestNotTrained(t *testing.T) {
+	var empty CATI
+	if _, err := empty.Save(); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("Save: %v", err)
+	}
+	if _, err := empty.InferBinary(&elfx.Binary{}); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("InferBinary: %v", err)
+	}
+}
+
+func TestInferGlobals(t *testing.T) {
+	cati := sharedCATI(t)
+	// Search a few binaries for one whose globals are used.
+	for seed := int64(80); seed < 90; seed++ {
+		vars, err := cati.InferBinary(testBinary(t, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vars {
+			if v.Global {
+				if v.Slot != 0 {
+					t.Errorf("global with slot %d", v.Slot)
+				}
+				return // found and validated a global
+			}
+		}
+	}
+	t.Error("no global variables inferred across 10 binaries")
+}

@@ -1,0 +1,326 @@
+// Package corpus assembles labeled datasets: it generates synthetic
+// programs, compiles them with the simulated toolchain, strips the
+// binaries, recovers variables from the stripped code, and labels each
+// extracted VUC with ground truth from the (withheld) DWARF-lite debug
+// info — exactly the paper's data pipeline (§IV-A, §VI), with our
+// synthetic substitutes for GCC and IDA Pro.
+//
+// Token streams are stored once per binary; VUC windows are materialized
+// on demand, which keeps multi-hundred-thousand-VUC corpora in memory.
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/compile"
+	"repro/internal/ctypes"
+	"repro/internal/dwarflite"
+	"repro/internal/elfx"
+	"repro/internal/synth"
+	"repro/internal/vareco"
+	"repro/internal/vuc"
+)
+
+// Sample is one labeled VUC: a target instruction with its variable
+// identity, ground-truth class, and context-clustering statistics.
+type Sample struct {
+	// Func indexes BinaryData.Funcs; Center indexes BinaryData.Toks.
+	Func   int
+	Center int
+	// Var identifies the owning variable within the binary.
+	Var vuc.VarKey
+	// Class is the ground-truth CATI class.
+	Class ctypes.Class
+	// CntAll counts context instructions (excluding the center) that are
+	// variable target instructions; CntSame counts those whose variable
+	// shares this sample's class (§II-B clustering statistics).
+	CntAll, CntSame uint16
+}
+
+// FuncRange is a function's instruction index range.
+type FuncRange struct {
+	Lo, Hi int
+}
+
+// BinaryData is one binary's tokenized instruction stream plus its labeled
+// samples.
+type BinaryData struct {
+	Name    string
+	Toks    []vuc.InstTok
+	Funcs   []FuncRange
+	Samples []Sample
+}
+
+// Window materializes the padded 2w+1 token window of a sample.
+func (b *BinaryData) Window(s *Sample, w int) []vuc.InstTok {
+	f := b.Funcs[s.Func]
+	out := make([]vuc.InstTok, 2*w+1)
+	for j := -w; j <= w; j++ {
+		pos := s.Center + j
+		if pos < f.Lo || pos >= f.Hi {
+			out[j+w] = vuc.PadInst()
+		} else {
+			out[j+w] = b.Toks[pos]
+		}
+	}
+	return out
+}
+
+// Corpus is a set of labeled binaries.
+type Corpus struct {
+	Name     string
+	Binaries []*BinaryData
+	Window   int
+}
+
+// SampleRef addresses one sample in a corpus.
+type SampleRef struct {
+	Bin, Idx int
+}
+
+// All lists every sample reference.
+func (c *Corpus) All() []SampleRef {
+	var out []SampleRef
+	for bi, b := range c.Binaries {
+		for si := range b.Samples {
+			out = append(out, SampleRef{Bin: bi, Idx: si})
+		}
+	}
+	return out
+}
+
+// At resolves a reference.
+func (c *Corpus) At(r SampleRef) (*BinaryData, *Sample) {
+	b := c.Binaries[r.Bin]
+	return b, &b.Samples[r.Idx]
+}
+
+// Tokens materializes a sample's window at the corpus window size.
+func (c *Corpus) Tokens(r SampleRef) []vuc.InstTok {
+	b, s := c.At(r)
+	return b.Window(s, c.Window)
+}
+
+// NumSamples counts all labeled VUCs.
+func (c *Corpus) NumSamples() int {
+	n := 0
+	for _, b := range c.Binaries {
+		n += len(b.Samples)
+	}
+	return n
+}
+
+// Sentences returns one token sequence per function, for embedding
+// training.
+func (c *Corpus) Sentences() [][]string {
+	var out [][]string
+	for _, b := range c.Binaries {
+		for _, f := range b.Funcs {
+			s := make([]string, 0, (f.Hi-f.Lo)*vuc.TokensPerInst)
+			for i := f.Lo; i < f.Hi; i++ {
+				s = append(s, b.Toks[i][0], b.Toks[i][1], b.Toks[i][2])
+			}
+			if len(s) > 0 {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// BuildConfig controls corpus generation.
+type BuildConfig struct {
+	// Name labels the corpus (application name for test corpora).
+	Name string
+	// Binaries is the number of program units to generate.
+	Binaries int
+	// Profile drives the synthetic generator.
+	Profile synth.Profile
+	// Dialect selects the simulated compiler (default GCC).
+	Dialect compile.Dialect
+	// Opts are the optimization levels rotated across binaries
+	// (default O0..O3, mirroring the paper's per-project -O0..-O3 builds).
+	Opts []int
+	// Window is the VUC window w (default vuc.DefaultWindow).
+	Window int
+	// Seed namespaces the whole corpus.
+	Seed int64
+	// NoGeneralize disables operand generalization (ablation).
+	NoGeneralize bool
+	// NoDataflow disables the def-use augmentation of variable
+	// instruction sets (ablation; the paper's IDA extraction traces data
+	// flow, so it is on by default).
+	NoDataflow bool
+}
+
+func (cfg BuildConfig) withDefaults() BuildConfig {
+	if cfg.Dialect == 0 {
+		cfg.Dialect = compile.GCC
+	}
+	if len(cfg.Opts) == 0 {
+		cfg.Opts = []int{0, 1, 2, 3}
+	}
+	if cfg.Window == 0 {
+		cfg.Window = vuc.DefaultWindow
+	}
+	if cfg.Binaries == 0 {
+		cfg.Binaries = 1
+	}
+	return cfg
+}
+
+// Build generates and labels a corpus.
+func Build(cfg BuildConfig) (*Corpus, error) {
+	cfg = cfg.withDefaults()
+	c := &Corpus{Name: cfg.Name, Window: cfg.Window}
+	intern := make(map[vuc.InstTok]vuc.InstTok)
+	for i := 0; i < cfg.Binaries; i++ {
+		seed := cfg.Seed*1_000_003 + int64(i)
+		prog := synth.Generate(cfg.Profile, seed)
+		opt := cfg.Opts[i%len(cfg.Opts)]
+		res, err := compile.Compile(prog, compile.Options{
+			Dialect: cfg.Dialect, Opt: opt, Seed: seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("corpus: compile unit %d: %w", i, err)
+		}
+		bd, err := labelBinary(fmt.Sprintf("%s-%d", cfg.Name, i), res, cfg, intern)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: label unit %d: %w", i, err)
+		}
+		c.Binaries = append(c.Binaries, bd)
+	}
+	return c, nil
+}
+
+// labelBinary strips the compiled binary, recovers variables from the
+// stripped image, and labels recovered slots against the withheld debug
+// info.
+func labelBinary(name string, res *compile.Result, cfg BuildConfig, intern map[vuc.InstTok]vuc.InstTok) (*BinaryData, error) {
+	stripped := elfx.Strip(res.Binary)
+	rec, err := vareco.RecoverOpts(stripped, vareco.Options{Dataflow: !cfg.NoDataflow})
+	if err != nil {
+		return nil, err
+	}
+
+	bd := &BinaryData{Name: name, Toks: make([]vuc.InstTok, len(rec.Insts))}
+	for i := range rec.Insts {
+		t := vuc.Tokenize(&rec.Insts[i], rec, cfg.NoGeneralize)
+		if canon, ok := intern[t]; ok {
+			t = canon
+		} else {
+			intern[t] = t
+		}
+		bd.Toks[i] = t
+	}
+
+	// Index debug functions by entry address.
+	debugByLow := make(map[uint64]*dwarflite.Func, len(res.Debug.Funcs))
+	for fi := range res.Debug.Funcs {
+		debugByLow[res.Debug.Funcs[fi].Low] = &res.Debug.Funcs[fi]
+	}
+
+	// Pass 1: collect labeled variables (stack and global) and the
+	// per-function index of every instruction.
+	type varSamples struct {
+		fIdx  int
+		key   vuc.VarKey
+		class ctypes.Class
+		insts []int
+	}
+	var labeled []varSamples
+	instClass := make(map[int]ctypes.Class)
+	funcOf := make([]int, len(rec.Insts))
+
+	for _, rf := range rec.Funcs {
+		fIdx := len(bd.Funcs)
+		bd.Funcs = append(bd.Funcs, FuncRange{Lo: rf.InstLo, Hi: rf.InstHi})
+		for i := rf.InstLo; i < rf.InstHi; i++ {
+			funcOf[i] = fIdx
+		}
+
+		df, ok := debugByLow[rf.Low]
+		if !ok {
+			continue // unrecovered boundary: no labels for this region
+		}
+		wantFrame := df.FrameReg == dwarflite.FrameRSP
+		gotFrame := rf.FrameReg.String() == "rsp"
+		if wantFrame != gotFrame {
+			continue // frame mismatch would mislabel every slot
+		}
+		for _, v := range rf.Vars {
+			dv, ok := df.VarAt(v.Slot)
+			if !ok {
+				continue // spill slots, alignment gaps
+			}
+			class, err := ctypes.ClassOf(dv.Type)
+			if err != nil {
+				continue
+			}
+			labeled = append(labeled, varSamples{
+				fIdx:  fIdx,
+				key:   vuc.VarKey{FuncLow: rf.Low, Slot: v.Slot},
+				class: class,
+				insts: v.Insts,
+			})
+		}
+	}
+
+	// Global variables: label against debug global records. Each access's
+	// sample belongs to the function containing the instruction.
+	for gi := range rec.Globals {
+		g := &rec.Globals[gi]
+		dg, ok := res.Debug.GlobalAt(g.Addr)
+		if !ok {
+			continue
+		}
+		class, err := ctypes.ClassOf(dg.Type)
+		if err != nil {
+			continue
+		}
+		labeled = append(labeled, varSamples{
+			fIdx:  -1, // resolved per instruction below
+			key:   vuc.GlobalKey(g.Addr),
+			class: class,
+			insts: g.Insts,
+		})
+	}
+
+	for _, vs := range labeled {
+		for _, idx := range vs.insts {
+			instClass[idx] = vs.class
+		}
+	}
+
+	// Pass 2: emit samples with binary-wide clustering counts, windowed
+	// within the containing function.
+	for _, vs := range labeled {
+		for _, center := range vs.insts {
+			fIdx := vs.fIdx
+			if fIdx < 0 {
+				fIdx = funcOf[center]
+			}
+			s := Sample{
+				Func:   fIdx,
+				Center: center,
+				Var:    vs.key,
+				Class:  vs.class,
+			}
+			lo, hi := bd.Funcs[fIdx].Lo, bd.Funcs[fIdx].Hi
+			for j := -cfg.Window; j <= cfg.Window; j++ {
+				pos := center + j
+				if j == 0 || pos < lo || pos >= hi {
+					continue
+				}
+				if cl, ok := instClass[pos]; ok {
+					s.CntAll++
+					if cl == vs.class {
+						s.CntSame++
+					}
+				}
+			}
+			bd.Samples = append(bd.Samples, s)
+		}
+	}
+	return bd, nil
+}

@@ -1,0 +1,199 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/ctypes"
+	"repro/internal/synth"
+	"repro/internal/vuc"
+)
+
+func buildSmall(t *testing.T, name string, n int, seed int64) *Corpus {
+	t.Helper()
+	c, err := Build(BuildConfig{
+		Name:     name,
+		Binaries: n,
+		Profile:  synth.DefaultProfile(name),
+		Seed:     seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuildBasics(t *testing.T) {
+	c := buildSmall(t, "basic", 3, 1)
+	if len(c.Binaries) != 3 {
+		t.Fatalf("binaries = %d", len(c.Binaries))
+	}
+	if c.NumSamples() == 0 {
+		t.Fatal("no samples")
+	}
+	if c.Window != vuc.DefaultWindow {
+		t.Fatalf("window = %d", c.Window)
+	}
+	for _, b := range c.Binaries {
+		if len(b.Toks) == 0 || len(b.Funcs) == 0 {
+			t.Fatal("empty binary data")
+		}
+		for si := range b.Samples {
+			s := &b.Samples[si]
+			if s.Class < ctypes.ClassPtrVoid || s.Class > ctypes.ClassEnum {
+				t.Fatalf("bad class %d", s.Class)
+			}
+			f := b.Funcs[s.Func]
+			if s.Center < f.Lo || s.Center >= f.Hi {
+				t.Fatal("center outside function")
+			}
+			if s.CntSame > s.CntAll {
+				t.Fatal("CntSame > CntAll")
+			}
+		}
+	}
+}
+
+func TestWindowMaterialization(t *testing.T) {
+	c := buildSmall(t, "win", 1, 2)
+	refs := c.All()
+	if len(refs) != c.NumSamples() {
+		t.Fatalf("refs = %d, samples = %d", len(refs), c.NumSamples())
+	}
+	for _, r := range refs[:min(50, len(refs))] {
+		toks := c.Tokens(r)
+		if len(toks) != 2*c.Window+1 {
+			t.Fatalf("window = %d tokens", len(toks))
+		}
+		center := toks[c.Window]
+		if center[0] == vuc.TokPad {
+			t.Fatal("padded center")
+		}
+	}
+}
+
+func TestSentences(t *testing.T) {
+	c := buildSmall(t, "sent", 2, 3)
+	ss := c.Sentences()
+	if len(ss) == 0 {
+		t.Fatal("no sentences")
+	}
+	for _, s := range ss {
+		if len(s)%vuc.TokensPerInst != 0 {
+			t.Fatal("sentence length not a multiple of tokens-per-inst")
+		}
+		for _, tok := range s {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+		}
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	c := buildSmall(t, "stats", 4, 4)
+	st := c.Stats()
+	if st.Variables == 0 || st.VUCs == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.VUCs < st.Variables {
+		t.Error("fewer VUCs than variables")
+	}
+	if st.VarsWith1+st.VarsWith2 > st.Variables {
+		t.Error("orphan counts exceed variables")
+	}
+	if st.Uncertain1 > st.VarsWith1 || st.Uncertain2 > st.VarsWith2 {
+		t.Error("uncertain counts exceed orphan counts")
+	}
+	// The paper's core observation: orphans are a sizable share and most
+	// orphans are uncertain. Loose sanity floors for a small corpus:
+	orphanShare := float64(st.VarsWith1+st.VarsWith2) / float64(st.Variables)
+	if orphanShare < 0.05 {
+		t.Errorf("orphan share %.3f suspiciously low", orphanShare)
+	}
+	if st.Uncertain1+st.Uncertain2 == 0 {
+		t.Error("no uncertain samples at all")
+	}
+	if st.Variables != c.VarCount() {
+		t.Errorf("Stats.Variables %d != VarCount %d", st.Variables, c.VarCount())
+	}
+}
+
+func TestClusteringStats(t *testing.T) {
+	c := buildSmall(t, "clust", 4, 5)
+	share := c.SameTypeShare()
+	if share <= 0 || share > 1 {
+		t.Fatalf("same-type share = %v", share)
+	}
+	byClass := c.ClusteringByClass()
+	if len(byClass) < 5 {
+		t.Fatalf("only %d classes have clustering stats", len(byClass))
+	}
+	for cl, cs := range byClass {
+		if cs.CntSame > cs.CntAll+1e-9 {
+			t.Errorf("%s: CntSame %.2f > CntAll %.2f", cl, cs.CntSame, cs.CntAll)
+		}
+		if cs.Rate < 0 || cs.Rate > 1 {
+			t.Errorf("%s: rate %v", cl, cs.Rate)
+		}
+	}
+	counts := c.ClassCounts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != c.NumSamples() {
+		t.Errorf("class counts sum %d != samples %d", total, c.NumSamples())
+	}
+}
+
+func TestDialectAndOptConfig(t *testing.T) {
+	cl, err := Build(BuildConfig{
+		Name:     "clang",
+		Binaries: 2,
+		Profile:  synth.DefaultProfile("clang"),
+		Dialect:  compile.Clang,
+		Opts:     []int{0},
+		Seed:     6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.NumSamples() == 0 {
+		t.Fatal("clang corpus empty")
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	a := buildSmall(t, "det", 2, 7)
+	b := buildSmall(t, "det", 2, 7)
+	if a.NumSamples() != b.NumSamples() {
+		t.Fatalf("sample counts differ: %d vs %d", a.NumSamples(), b.NumSamples())
+	}
+	sa, sb := a.Stats(), b.Stats()
+	if sa != sb {
+		t.Errorf("stats differ: %+v vs %+v", sa, sb)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestGlobalSamplesLabeled(t *testing.T) {
+	c := buildSmall(t, "glob", 4, 9)
+	globals := 0
+	for _, b := range c.Binaries {
+		for si := range b.Samples {
+			if b.Samples[si].Var.Global {
+				globals++
+			}
+		}
+	}
+	if globals == 0 {
+		t.Error("no labeled global-variable samples in corpus")
+	}
+}

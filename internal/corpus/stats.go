@@ -1,0 +1,168 @@
+package corpus
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/ctypes"
+	"repro/internal/vuc"
+)
+
+// Stats are the Table I quantities: corpus size, orphan variables
+// (variables with only one or two VUCs) and uncertain samples (orphans
+// whose generalized target instructions collide with a different-typed
+// variable elsewhere in the corpus).
+type Stats struct {
+	Variables  int
+	VUCs       int
+	VarsWith1  int
+	VarsWith2  int
+	Uncertain1 int
+	Uncertain2 int
+}
+
+// varIdent is a variable's global identity within a corpus.
+type varIdent struct {
+	bin int
+	key vuc.VarKey
+}
+
+// Stats computes the Table I statistics.
+func (c *Corpus) Stats() Stats {
+	type varInfo struct {
+		class   ctypes.Class
+		centers []string
+	}
+	vars := make(map[varIdent]*varInfo)
+	var st Stats
+	for bi, b := range c.Binaries {
+		for si := range b.Samples {
+			s := &b.Samples[si]
+			st.VUCs++
+			id := varIdent{bin: bi, key: s.Var}
+			vi := vars[id]
+			if vi == nil {
+				vi = &varInfo{class: s.Class}
+				vars[id] = vi
+			}
+			tok := b.Toks[s.Center]
+			vi.centers = append(vi.centers, tok[0]+"|"+tok[1]+"|"+tok[2])
+		}
+	}
+	st.Variables = len(vars)
+
+	// Signature of a variable: its sorted multiset of generalized target
+	// instructions. Two variables with equal signatures but different
+	// classes are mutually uncertain.
+	sigClasses := make(map[string]map[ctypes.Class]bool)
+	sigOf := func(vi *varInfo) string {
+		cs := append([]string(nil), vi.centers...)
+		sort.Strings(cs)
+		return strings.Join(cs, ";")
+	}
+	for _, vi := range vars {
+		sig := sigOf(vi)
+		if sigClasses[sig] == nil {
+			sigClasses[sig] = make(map[ctypes.Class]bool)
+		}
+		sigClasses[sig][vi.class] = true
+	}
+	for _, vi := range vars {
+		n := len(vi.centers)
+		if n > 2 {
+			continue
+		}
+		uncertain := len(sigClasses[sigOf(vi)]) > 1
+		if n == 1 {
+			st.VarsWith1++
+			if uncertain {
+				st.Uncertain1++
+			}
+		} else {
+			st.VarsWith2++
+			if uncertain {
+				st.Uncertain2++
+			}
+		}
+	}
+	return st
+}
+
+// ClusterStat describes the same-type clustering of one class (paper
+// Table V columns cnt-same, cnt-all, c-rate).
+type ClusterStat struct {
+	CntSame float64 // mean same-class variable instructions per VUC window
+	CntAll  float64 // mean variable instructions per VUC window
+	Rate    float64 // CntSame / CntAll
+	Support int     // number of VUCs
+}
+
+// ClusteringByClass aggregates per-class clustering statistics.
+func (c *Corpus) ClusteringByClass() map[ctypes.Class]ClusterStat {
+	sums := make(map[ctypes.Class]*ClusterStat)
+	for _, b := range c.Binaries {
+		for si := range b.Samples {
+			s := &b.Samples[si]
+			cs := sums[s.Class]
+			if cs == nil {
+				cs = &ClusterStat{}
+				sums[s.Class] = cs
+			}
+			cs.CntSame += float64(s.CntSame)
+			cs.CntAll += float64(s.CntAll)
+			cs.Support++
+		}
+	}
+	out := make(map[ctypes.Class]ClusterStat, len(sums))
+	for cl, cs := range sums {
+		r := *cs
+		if r.Support > 0 {
+			r.CntSame /= float64(r.Support)
+			r.CntAll /= float64(r.Support)
+		}
+		if r.CntAll > 0 {
+			r.Rate = r.CntSame / r.CntAll
+		}
+		out[cl] = r
+	}
+	return out
+}
+
+// SameTypeShare is the corpus-wide fraction of context variable
+// instructions that share the target's type — the paper's §II-B survey
+// reports roughly 53%.
+func (c *Corpus) SameTypeShare() float64 {
+	var same, all float64
+	for _, b := range c.Binaries {
+		for si := range b.Samples {
+			same += float64(b.Samples[si].CntSame)
+			all += float64(b.Samples[si].CntAll)
+		}
+	}
+	if all == 0 {
+		return 0
+	}
+	return same / all
+}
+
+// ClassCounts tallies samples per class.
+func (c *Corpus) ClassCounts() map[ctypes.Class]int {
+	out := make(map[ctypes.Class]int)
+	for _, b := range c.Binaries {
+		for si := range b.Samples {
+			out[b.Samples[si].Class]++
+		}
+	}
+	return out
+}
+
+// VarCount counts distinct variables.
+func (c *Corpus) VarCount() int {
+	vars := make(map[varIdent]bool)
+	for bi, b := range c.Binaries {
+		for si := range b.Samples {
+			vars[varIdent{bin: bi, key: b.Samples[si].Var}] = true
+		}
+	}
+	return len(vars)
+}

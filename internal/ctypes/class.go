@@ -1,0 +1,351 @@
+package ctypes
+
+import "fmt"
+
+// Class is one of the 19 CATI variable-type classes (paper §V-A).
+type Class int
+
+// The 19 classes. Pointer classes first, then the non-pointer families in
+// the stage-tree order: struct, bool, char family, float family, int family
+// (which absorbs enum at Stage 3-3; Table V lists enum with a Stage-3
+// recall, so the int-family classifier is where enums are discriminated).
+const (
+	ClassPtrVoid   Class = iota + 1 // void*
+	ClassPtrStruct                  // struct*
+	ClassPtrArith                   // pointer to arithmetic type
+	ClassStruct
+	ClassBool
+	ClassChar
+	ClassUChar
+	ClassFloat
+	ClassDouble
+	ClassLongDouble
+	ClassInt
+	ClassUInt
+	ClassShort
+	ClassUShort
+	ClassLong
+	ClassULong
+	ClassLongLong
+	ClassULongLong
+	ClassEnum
+
+	// NumClasses is the size of the label space.
+	NumClasses = int(ClassEnum)
+)
+
+// AllClasses lists every class in declaration order. The returned slice is
+// freshly allocated; callers may mutate it.
+func AllClasses() []Class {
+	out := make([]Class, 0, NumClasses)
+	for c := ClassPtrVoid; c <= ClassEnum; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+func (c Class) String() string {
+	switch c {
+	case ClassPtrVoid:
+		return "void*"
+	case ClassPtrStruct:
+		return "struct*"
+	case ClassPtrArith:
+		return "arith*"
+	case ClassStruct:
+		return "struct"
+	case ClassBool:
+		return "bool"
+	case ClassChar:
+		return "char"
+	case ClassUChar:
+		return "unsigned char"
+	case ClassFloat:
+		return "float"
+	case ClassDouble:
+		return "double"
+	case ClassLongDouble:
+		return "long double"
+	case ClassInt:
+		return "int"
+	case ClassUInt:
+		return "unsigned int"
+	case ClassShort:
+		return "short int"
+	case ClassUShort:
+		return "short unsigned int"
+	case ClassLong:
+		return "long int"
+	case ClassULong:
+		return "long unsigned int"
+	case ClassLongLong:
+		return "long long int"
+	case ClassULongLong:
+		return "long long unsigned int"
+	case ClassEnum:
+		return "enum"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// IsPointer reports whether the class is one of the three pointer classes.
+func (c Class) IsPointer() bool {
+	return c == ClassPtrVoid || c == ClassPtrStruct || c == ClassPtrArith
+}
+
+// Family groups classes the way Stage 2-2 sees them.
+type Family int
+
+// Stage 2-2 label space (plus FamilyPointer for Stage 1 routing).
+const (
+	FamilyPointer Family = iota + 1
+	FamilyStruct
+	FamilyBool
+	FamilyChar
+	FamilyFloat
+	FamilyInt
+)
+
+func (f Family) String() string {
+	switch f {
+	case FamilyPointer:
+		return "pointer"
+	case FamilyStruct:
+		return "struct"
+	case FamilyBool:
+		return "bool"
+	case FamilyChar:
+		return "char"
+	case FamilyFloat:
+		return "float"
+	case FamilyInt:
+		return "int"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// FamilyOf returns the Stage-2 family of a class.
+func (c Class) FamilyOf() Family {
+	switch c {
+	case ClassPtrVoid, ClassPtrStruct, ClassPtrArith:
+		return FamilyPointer
+	case ClassStruct:
+		return FamilyStruct
+	case ClassBool:
+		return FamilyBool
+	case ClassChar, ClassUChar:
+		return FamilyChar
+	case ClassFloat, ClassDouble, ClassLongDouble:
+		return FamilyFloat
+	default:
+		return FamilyInt // int family, absorbing enum
+	}
+}
+
+// Stage identifies one of the six classifiers in the multi-stage tree
+// (paper Figure 5).
+type Stage int
+
+// The six stages.
+const (
+	Stage1  Stage = iota + 1 // pointer vs non-pointer
+	Stage21                  // pointer kinds: void*, struct*, arith*
+	Stage22                  // struct, bool, char, float, int families
+	Stage31                  // char vs unsigned char
+	Stage32                  // float, double, long double
+	Stage33                  // int family incl. enum
+)
+
+// AllStages lists the six stages in tree order.
+func AllStages() []Stage {
+	return []Stage{Stage1, Stage21, Stage22, Stage31, Stage32, Stage33}
+}
+
+func (s Stage) String() string {
+	switch s {
+	case Stage1:
+		return "Stage1"
+	case Stage21:
+		return "Stage2-1"
+	case Stage22:
+		return "Stage2-2"
+	case Stage31:
+		return "Stage3-1"
+	case Stage32:
+		return "Stage3-2"
+	case Stage33:
+		return "Stage3-3"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// StageClasses returns the ordered leaf label set of a stage. Stage 1 and
+// Stage 2-2 discriminate families rather than leaf classes, so they return
+// nil here; use StageLabel for their routing and StageArity for sizing
+// output layers.
+func StageClasses(s Stage) []Class {
+	switch s {
+	case Stage21:
+		return []Class{ClassPtrVoid, ClassPtrStruct, ClassPtrArith}
+	case Stage31:
+		return []Class{ClassChar, ClassUChar}
+	case Stage32:
+		return []Class{ClassFloat, ClassDouble, ClassLongDouble}
+	case Stage33:
+		return []Class{
+			ClassInt, ClassUInt, ClassShort, ClassUShort,
+			ClassLong, ClassULong, ClassLongLong, ClassULongLong, ClassEnum,
+		}
+	default:
+		return nil
+	}
+}
+
+// StageArity returns the number of output labels of a stage.
+func StageArity(s Stage) int {
+	switch s {
+	case Stage1:
+		return 2
+	case Stage21:
+		return 3
+	case Stage22:
+		return 5
+	case Stage31:
+		return 2
+	case Stage32:
+		return 3
+	case Stage33:
+		return 9
+	default:
+		return 0
+	}
+}
+
+// StageLabel returns the 0-based label index class c carries at stage s and
+// whether c is routed through s at all. Stage 1 labels are pointer=0,
+// non-pointer=1. For example ClassDouble carries label 1 at Stage 1, label 3
+// (float family) at Stage 2-2, and label 1 at Stage 3-2.
+func StageLabel(s Stage, c Class) (int, bool) {
+	switch s {
+	case Stage1:
+		if c.IsPointer() {
+			return 0, true
+		}
+		return 1, true
+	case Stage21:
+		if !c.IsPointer() {
+			return 0, false
+		}
+		return indexOf(StageClasses(Stage21), c)
+	case Stage22:
+		switch c.FamilyOf() {
+		case FamilyPointer:
+			return 0, false
+		case FamilyStruct:
+			return 0, true
+		case FamilyBool:
+			return 1, true
+		case FamilyChar:
+			return 2, true
+		case FamilyFloat:
+			return 3, true
+		case FamilyInt:
+			return 4, true
+		}
+		return 0, false
+	case Stage31:
+		if c.FamilyOf() != FamilyChar {
+			return 0, false
+		}
+		return indexOf(StageClasses(Stage31), c)
+	case Stage32:
+		if c.FamilyOf() != FamilyFloat {
+			return 0, false
+		}
+		return indexOf(StageClasses(Stage32), c)
+	case Stage33:
+		if c.FamilyOf() != FamilyInt {
+			return 0, false
+		}
+		return indexOf(StageClasses(Stage33), c)
+	default:
+		return 0, false
+	}
+}
+
+func indexOf(cs []Class, c Class) (int, bool) {
+	for i, x := range cs {
+		if x == c {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// StagePath returns the root-to-leaf sequence of stages a class traverses.
+// Struct and bool terminate at Stage 2-2; pointers at Stage 2-1; char,
+// float and int families continue to their Stage-3 classifier.
+func StagePath(c Class) []Stage {
+	if c.IsPointer() {
+		return []Stage{Stage1, Stage21}
+	}
+	switch c.FamilyOf() {
+	case FamilyStruct, FamilyBool:
+		return []Stage{Stage1, Stage22}
+	case FamilyChar:
+		return []Stage{Stage1, Stage22, Stage31}
+	case FamilyFloat:
+		return []Stage{Stage1, Stage22, Stage32}
+	default:
+		return []Stage{Stage1, Stage22, Stage33}
+	}
+}
+
+// LeafStage returns the final stage that decides class c.
+func LeafStage(c Class) Stage {
+	p := StagePath(c)
+	return p[len(p)-1]
+}
+
+// ClassFromStagePath reconstructs a Class from a full set of stage
+// decisions: the Stage-1 label, Stage-2 label and (when routed) Stage-3
+// label. It is the inverse of the StageLabel routing and is what the
+// multi-stage classifier uses to assemble its final prediction.
+func ClassFromStagePath(stage1Label, stage2Label, stage3Label int) (Class, error) {
+	if stage1Label == 0 { // pointer
+		cs := StageClasses(Stage21)
+		if stage2Label < 0 || stage2Label >= len(cs) {
+			return 0, fmt.Errorf("ctypes: stage2-1 label %d out of range", stage2Label)
+		}
+		return cs[stage2Label], nil
+	}
+	switch stage2Label {
+	case 0:
+		return ClassStruct, nil
+	case 1:
+		return ClassBool, nil
+	case 2:
+		cs := StageClasses(Stage31)
+		if stage3Label < 0 || stage3Label >= len(cs) {
+			return 0, fmt.Errorf("ctypes: stage3-1 label %d out of range", stage3Label)
+		}
+		return cs[stage3Label], nil
+	case 3:
+		cs := StageClasses(Stage32)
+		if stage3Label < 0 || stage3Label >= len(cs) {
+			return 0, fmt.Errorf("ctypes: stage3-2 label %d out of range", stage3Label)
+		}
+		return cs[stage3Label], nil
+	case 4:
+		cs := StageClasses(Stage33)
+		if stage3Label < 0 || stage3Label >= len(cs) {
+			return 0, fmt.Errorf("ctypes: stage3-3 label %d out of range", stage3Label)
+		}
+		return cs[stage3Label], nil
+	default:
+		return 0, fmt.Errorf("ctypes: stage2-2 label %d out of range", stage2Label)
+	}
+}

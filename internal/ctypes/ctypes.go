@@ -1,0 +1,436 @@
+// Package ctypes models the C type system fragment that CATI reasons about
+// and the 19-class label lattice the paper's multi-stage classifier predicts.
+//
+// The package has two layers:
+//
+//   - A structural C type model (Type): base types, pointers, structs,
+//     arrays, enums and typedef chains, with x86-64 System V sizes and
+//     alignments. The synthetic compiler lowers these; the DWARF-lite
+//     debug-info encoder records them.
+//   - The CATI label space (Class): the 19 classes from the paper
+//     (three pointer classes, struct, bool, enum, the char/float/int
+//     families) plus the stage-tree routing used by the multi-stage
+//     classifier (Stage 1, 2-1, 2-2, 3-1, 3-2, 3-3).
+package ctypes
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind discriminates the structural variants of Type.
+type Kind int
+
+// Structural kinds. Enums start at 1 so the zero value is invalid and
+// accidental zero-initialization is caught early.
+const (
+	KindBase Kind = iota + 1
+	KindPointer
+	KindStruct
+	KindArray
+	KindEnum
+	KindTypedef
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindBase:
+		return "base"
+	case KindPointer:
+		return "pointer"
+	case KindStruct:
+		return "struct"
+	case KindArray:
+		return "array"
+	case KindEnum:
+		return "enum"
+	case KindTypedef:
+		return "typedef"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Base enumerates the C99 base types CATI distinguishes.
+type Base int
+
+// C99 base types. The paper covers all base types in the C99 standard and
+// adds bool; void appears only behind pointers.
+const (
+	BaseVoid Base = iota + 1
+	BaseBool
+	BaseChar
+	BaseUChar
+	BaseShort
+	BaseUShort
+	BaseInt
+	BaseUInt
+	BaseLong
+	BaseULong
+	BaseLongLong
+	BaseULongLong
+	BaseFloat
+	BaseDouble
+	BaseLongDouble
+)
+
+func (b Base) String() string {
+	switch b {
+	case BaseVoid:
+		return "void"
+	case BaseBool:
+		return "bool"
+	case BaseChar:
+		return "char"
+	case BaseUChar:
+		return "unsigned char"
+	case BaseShort:
+		return "short int"
+	case BaseUShort:
+		return "short unsigned int"
+	case BaseInt:
+		return "int"
+	case BaseUInt:
+		return "unsigned int"
+	case BaseLong:
+		return "long int"
+	case BaseULong:
+		return "long unsigned int"
+	case BaseLongLong:
+		return "long long int"
+	case BaseULongLong:
+		return "long long unsigned int"
+	case BaseFloat:
+		return "float"
+	case BaseDouble:
+		return "double"
+	case BaseLongDouble:
+		return "long double"
+	default:
+		return fmt.Sprintf("Base(%d)", int(b))
+	}
+}
+
+// IsSigned reports whether the base type is a signed integer type.
+func (b Base) IsSigned() bool {
+	switch b {
+	case BaseChar, BaseShort, BaseInt, BaseLong, BaseLongLong:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsInteger reports whether the base type is an integer (including bool and
+// the char family, which share integer machine representations).
+func (b Base) IsInteger() bool {
+	switch b {
+	case BaseBool, BaseChar, BaseUChar, BaseShort, BaseUShort,
+		BaseInt, BaseUInt, BaseLong, BaseULong, BaseLongLong, BaseULongLong:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsFloat reports whether the base type is a floating-point type.
+func (b Base) IsFloat() bool {
+	switch b {
+	case BaseFloat, BaseDouble, BaseLongDouble:
+		return true
+	default:
+		return false
+	}
+}
+
+// Field is a named member of a struct type.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int // byte offset within the struct, set by layout
+}
+
+// Type is a structural C type. Exactly the fields relevant to its Kind are
+// populated. Types are immutable after construction; share freely.
+type Type struct {
+	Kind Kind
+
+	// KindBase
+	Base Base
+
+	// KindPointer, KindArray, KindTypedef: the referenced type.
+	Elem *Type
+
+	// KindArray
+	Count int
+
+	// KindStruct
+	Name   string
+	Fields []Field
+
+	// KindEnum, KindTypedef
+	TagName string
+
+	// Struct layout cache, computed once by StructOf.
+	size  int
+	align int
+}
+
+// Common singleton base types. These are package-level immutable values, not
+// mutable state; treat them as constants.
+var (
+	Void       = &Type{Kind: KindBase, Base: BaseVoid}
+	Bool       = &Type{Kind: KindBase, Base: BaseBool}
+	Char       = &Type{Kind: KindBase, Base: BaseChar}
+	UChar      = &Type{Kind: KindBase, Base: BaseUChar}
+	Short      = &Type{Kind: KindBase, Base: BaseShort}
+	UShort     = &Type{Kind: KindBase, Base: BaseUShort}
+	Int        = &Type{Kind: KindBase, Base: BaseInt}
+	UInt       = &Type{Kind: KindBase, Base: BaseUInt}
+	Long       = &Type{Kind: KindBase, Base: BaseLong}
+	ULong      = &Type{Kind: KindBase, Base: BaseULong}
+	LongLong   = &Type{Kind: KindBase, Base: BaseLongLong}
+	ULongLong  = &Type{Kind: KindBase, Base: BaseULongLong}
+	Float      = &Type{Kind: KindBase, Base: BaseFloat}
+	Double     = &Type{Kind: KindBase, Base: BaseDouble}
+	LongDouble = &Type{Kind: KindBase, Base: BaseLongDouble}
+)
+
+// PointerTo returns the pointer type *elem.
+func PointerTo(elem *Type) *Type {
+	return &Type{Kind: KindPointer, Elem: elem}
+}
+
+// ArrayOf returns the array type elem[count].
+func ArrayOf(elem *Type, count int) *Type {
+	return &Type{Kind: KindArray, Elem: elem, Count: count}
+}
+
+// StructOf lays out a struct with the given name and fields following the
+// x86-64 System V rules (each field aligned to its natural alignment, struct
+// size rounded up to the max field alignment).
+func StructOf(name string, fields ...Field) *Type {
+	t := &Type{Kind: KindStruct, Name: name}
+	off, maxAlign := 0, 1
+	for _, f := range fields {
+		a := f.Type.Align()
+		if a > maxAlign {
+			maxAlign = a
+		}
+		off = alignUp(off, a)
+		f.Offset = off
+		off += f.Type.Size()
+		t.Fields = append(t.Fields, f)
+	}
+	// An empty struct still occupies one byte in C.
+	if off == 0 {
+		off = 1
+	}
+	t.size = alignUp(off, maxAlign)
+	t.align = maxAlign
+	return t
+}
+
+// EnumOf returns an enum type with the given tag. Enums have int
+// representation on x86-64 System V.
+func EnumOf(tag string) *Type {
+	return &Type{Kind: KindEnum, TagName: tag}
+}
+
+// TypedefOf returns a typedef alias of t named name. ResolveBase unwraps
+// typedef chains recursively, mirroring the paper's handling: "if the type
+// has been redefined by typedef, we recursively find its base type".
+func TypedefOf(name string, t *Type) *Type {
+	return &Type{Kind: KindTypedef, TagName: name, Elem: t}
+}
+
+// Size returns the size in bytes under the x86-64 System V ABI.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case KindBase:
+		return baseSize(t.Base)
+	case KindPointer:
+		return 8
+	case KindEnum:
+		return 4
+	case KindArray:
+		return t.Count * t.Elem.Size()
+	case KindStruct:
+		return t.size
+	case KindTypedef:
+		return t.Elem.Size()
+	default:
+		return 0
+	}
+}
+
+// Align returns the alignment in bytes under the x86-64 System V ABI.
+func (t *Type) Align() int {
+	switch t.Kind {
+	case KindBase:
+		return baseSize(t.Base) // natural alignment; long double aligns to 16
+	case KindPointer:
+		return 8
+	case KindEnum:
+		return 4
+	case KindArray:
+		return t.Elem.Align()
+	case KindStruct:
+		return t.align
+	case KindTypedef:
+		return t.Elem.Align()
+	default:
+		return 1
+	}
+}
+
+func baseSize(b Base) int {
+	switch b {
+	case BaseVoid:
+		return 0
+	case BaseBool, BaseChar, BaseUChar:
+		return 1
+	case BaseShort, BaseUShort:
+		return 2
+	case BaseInt, BaseUInt, BaseFloat:
+		return 4
+	case BaseLong, BaseULong, BaseLongLong, BaseULongLong, BaseDouble:
+		return 8
+	case BaseLongDouble:
+		return 16 // 80-bit x87 value stored in 16 bytes
+	default:
+		return 0
+	}
+}
+
+func alignUp(n, a int) int {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+// ResolveBase unwraps typedef chains until a non-typedef type is reached.
+// A nil receiver resolves to nil.
+func (t *Type) ResolveBase() *Type {
+	for t != nil && t.Kind == KindTypedef {
+		t = t.Elem
+	}
+	return t
+}
+
+// String renders the type in C-like syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case KindBase:
+		return t.Base.String()
+	case KindPointer:
+		return t.Elem.String() + "*"
+	case KindArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Count)
+	case KindStruct:
+		return "struct " + t.Name
+	case KindEnum:
+		return "enum " + t.TagName
+	case KindTypedef:
+		return t.TagName
+	default:
+		return fmt.Sprintf("Type(kind=%d)", int(t.Kind))
+	}
+}
+
+// ErrUnclassifiable reports a C type outside the 19-class CATI label space
+// (e.g. unions, bare void, function types).
+var ErrUnclassifiable = errors.New("ctypes: type outside the 19-class CATI lattice")
+
+// ClassOf maps a structural C type to its CATI class, resolving typedefs
+// first. Pointer classification follows the paper: pointer-to-void,
+// pointer-to-struct, and pointer-to-arithmetic (everything whose pointee
+// resolves to a base arithmetic type, enum, or array/pointer of such).
+// Arrays classify as their element class would at the aggregate level: the
+// paper treats stack arrays of aggregates as struct and observes arrays
+// through their element accesses; we classify an array by its element type
+// (matching how DWARF labels the slot's accesses).
+func ClassOf(t *Type) (Class, error) {
+	t = t.ResolveBase()
+	if t == nil {
+		return 0, fmt.Errorf("nil type: %w", ErrUnclassifiable)
+	}
+	switch t.Kind {
+	case KindBase:
+		c, ok := baseClass(t.Base)
+		if !ok {
+			return 0, fmt.Errorf("base %s: %w", t.Base, ErrUnclassifiable)
+		}
+		return c, nil
+	case KindEnum:
+		return ClassEnum, nil
+	case KindStruct:
+		return ClassStruct, nil
+	case KindArray:
+		return ClassOf(t.Elem)
+	case KindPointer:
+		pointee := t.Elem.ResolveBase()
+		if pointee == nil {
+			return ClassPtrVoid, nil
+		}
+		switch pointee.Kind {
+		case KindBase:
+			if pointee.Base == BaseVoid {
+				return ClassPtrVoid, nil
+			}
+			return ClassPtrArith, nil
+		case KindStruct:
+			return ClassPtrStruct, nil
+		case KindEnum:
+			return ClassPtrArith, nil
+		case KindArray, KindPointer:
+			// Pointer to array / pointer-to-pointer: the run-time behaviour
+			// is indistinguishable from pointer-to-arithmetic for static
+			// analysis, matching the paper's pointer clustering.
+			return ClassPtrArith, nil
+		default:
+			return 0, fmt.Errorf("pointee kind %s: %w", pointee.Kind, ErrUnclassifiable)
+		}
+	default:
+		return 0, fmt.Errorf("kind %s: %w", t.Kind, ErrUnclassifiable)
+	}
+}
+
+func baseClass(b Base) (Class, bool) {
+	switch b {
+	case BaseBool:
+		return ClassBool, true
+	case BaseChar:
+		return ClassChar, true
+	case BaseUChar:
+		return ClassUChar, true
+	case BaseShort:
+		return ClassShort, true
+	case BaseUShort:
+		return ClassUShort, true
+	case BaseInt:
+		return ClassInt, true
+	case BaseUInt:
+		return ClassUInt, true
+	case BaseLong:
+		return ClassLong, true
+	case BaseULong:
+		return ClassULong, true
+	case BaseLongLong:
+		return ClassLongLong, true
+	case BaseULongLong:
+		return ClassULongLong, true
+	case BaseFloat:
+		return ClassFloat, true
+	case BaseDouble:
+		return ClassDouble, true
+	case BaseLongDouble:
+		return ClassLongDouble, true
+	default:
+		return 0, false
+	}
+}

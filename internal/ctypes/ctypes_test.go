@@ -1,0 +1,426 @@
+package ctypes
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBaseSizes(t *testing.T) {
+	tests := []struct {
+		typ   *Type
+		size  int
+		align int
+	}{
+		{Bool, 1, 1},
+		{Char, 1, 1},
+		{UChar, 1, 1},
+		{Short, 2, 2},
+		{UShort, 2, 2},
+		{Int, 4, 4},
+		{UInt, 4, 4},
+		{Long, 8, 8},
+		{ULong, 8, 8},
+		{LongLong, 8, 8},
+		{ULongLong, 8, 8},
+		{Float, 4, 4},
+		{Double, 8, 8},
+		{LongDouble, 16, 16},
+		{PointerTo(Int), 8, 8},
+		{PointerTo(Void), 8, 8},
+		{EnumOf("color"), 4, 4},
+		{ArrayOf(Int, 10), 40, 4},
+		{ArrayOf(Char, 7), 7, 1},
+	}
+	for _, tt := range tests {
+		if got := tt.typ.Size(); got != tt.size {
+			t.Errorf("%s: Size = %d, want %d", tt.typ, got, tt.size)
+		}
+		if got := tt.typ.Align(); got != tt.align {
+			t.Errorf("%s: Align = %d, want %d", tt.typ, got, tt.align)
+		}
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	s := StructOf("pair",
+		Field{Name: "c", Type: Char},
+		Field{Name: "i", Type: Int},
+		Field{Name: "d", Type: Double},
+		Field{Name: "b", Type: Bool},
+	)
+	wantOffsets := []int{0, 4, 8, 16}
+	for i, f := range s.Fields {
+		if f.Offset != wantOffsets[i] {
+			t.Errorf("field %s offset = %d, want %d", f.Name, f.Offset, wantOffsets[i])
+		}
+	}
+	if s.Size() != 24 {
+		t.Errorf("struct size = %d, want 24", s.Size())
+	}
+	if s.Align() != 8 {
+		t.Errorf("struct align = %d, want 8", s.Align())
+	}
+}
+
+func TestEmptyStructHasSizeOne(t *testing.T) {
+	s := StructOf("empty")
+	if s.Size() != 1 {
+		t.Errorf("empty struct size = %d, want 1", s.Size())
+	}
+}
+
+func TestNestedStructLayout(t *testing.T) {
+	inner := StructOf("inner", Field{Name: "x", Type: Short}, Field{Name: "y", Type: Char})
+	if inner.Size() != 4 {
+		t.Fatalf("inner size = %d, want 4", inner.Size())
+	}
+	outer := StructOf("outer",
+		Field{Name: "a", Type: Char},
+		Field{Name: "in", Type: inner},
+		Field{Name: "p", Type: PointerTo(inner)},
+	)
+	if outer.Fields[1].Offset != 2 {
+		t.Errorf("nested field offset = %d, want 2", outer.Fields[1].Offset)
+	}
+	if outer.Fields[2].Offset != 8 {
+		t.Errorf("pointer field offset = %d, want 8", outer.Fields[2].Offset)
+	}
+	if outer.Size() != 16 {
+		t.Errorf("outer size = %d, want 16", outer.Size())
+	}
+}
+
+func TestResolveBase(t *testing.T) {
+	td := TypedefOf("size_t", ULong)
+	td2 := TypedefOf("my_size", td)
+	if got := td2.ResolveBase(); got != ULong {
+		t.Errorf("ResolveBase = %s, want %s", got, ULong)
+	}
+	if got := Int.ResolveBase(); got != Int {
+		t.Errorf("ResolveBase on base type changed it: %s", got)
+	}
+	var nilT *Type
+	if got := nilT.ResolveBase(); got != nil {
+		t.Errorf("ResolveBase(nil) = %v, want nil", got)
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	st := StructOf("node", Field{Name: "v", Type: Int})
+	tests := []struct {
+		typ  *Type
+		want Class
+	}{
+		{Bool, ClassBool},
+		{Char, ClassChar},
+		{UChar, ClassUChar},
+		{Short, ClassShort},
+		{UShort, ClassUShort},
+		{Int, ClassInt},
+		{UInt, ClassUInt},
+		{Long, ClassLong},
+		{ULong, ClassULong},
+		{LongLong, ClassLongLong},
+		{ULongLong, ClassULongLong},
+		{Float, ClassFloat},
+		{Double, ClassDouble},
+		{LongDouble, ClassLongDouble},
+		{EnumOf("e"), ClassEnum},
+		{st, ClassStruct},
+		{PointerTo(Void), ClassPtrVoid},
+		{PointerTo(st), ClassPtrStruct},
+		{PointerTo(Int), ClassPtrArith},
+		{PointerTo(Char), ClassPtrArith},
+		{PointerTo(Double), ClassPtrArith},
+		{PointerTo(EnumOf("e")), ClassPtrArith},
+		{PointerTo(PointerTo(Int)), ClassPtrArith},
+		{PointerTo(TypedefOf("T", st)), ClassPtrStruct},
+		{TypedefOf("size_t", ULong), ClassULong},
+		{ArrayOf(Char, 16), ClassChar},
+		{ArrayOf(st, 8), ClassStruct},
+		{ArrayOf(PointerTo(st), 4), ClassPtrStruct},
+	}
+	for _, tt := range tests {
+		got, err := ClassOf(tt.typ)
+		if err != nil {
+			t.Errorf("ClassOf(%s): unexpected error %v", tt.typ, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ClassOf(%s) = %s, want %s", tt.typ, got, tt.want)
+		}
+	}
+}
+
+func TestClassOfUnclassifiable(t *testing.T) {
+	for _, typ := range []*Type{nil, Void} {
+		if _, err := ClassOf(typ); !errors.Is(err, ErrUnclassifiable) {
+			t.Errorf("ClassOf(%s): error = %v, want ErrUnclassifiable", typ, err)
+		}
+	}
+}
+
+func TestAllClassesCount(t *testing.T) {
+	cs := AllClasses()
+	if len(cs) != 19 || NumClasses != 19 {
+		t.Fatalf("expected 19 classes, got %d (NumClasses=%d)", len(cs), NumClasses)
+	}
+	seen := make(map[Class]bool)
+	for _, c := range cs {
+		if seen[c] {
+			t.Errorf("duplicate class %s", c)
+		}
+		seen[c] = true
+		if c.String() == "" {
+			t.Errorf("class %d has empty name", int(c))
+		}
+	}
+}
+
+func TestStageRoutingConsistency(t *testing.T) {
+	// Every class must traverse Stage 1, carry a valid label at every stage
+	// on its path, and be reconstructible from its path labels.
+	for _, c := range AllClasses() {
+		path := StagePath(c)
+		if len(path) < 2 || path[0] != Stage1 {
+			t.Fatalf("%s: bad stage path %v", c, path)
+		}
+		labels := make(map[Stage]int)
+		for _, s := range path {
+			l, ok := StageLabel(s, c)
+			if !ok {
+				t.Fatalf("%s: not routed through its own path stage %s", c, s)
+			}
+			if l < 0 || l >= StageArity(s) {
+				t.Fatalf("%s: label %d out of arity %d at %s", c, l, StageArity(s), s)
+			}
+			labels[s] = l
+		}
+		s1 := labels[Stage1]
+		var s2, s3 int
+		if c.IsPointer() {
+			s2 = labels[Stage21]
+		} else {
+			s2 = labels[Stage22]
+			if leaf := LeafStage(c); leaf != Stage22 {
+				s3 = labels[leaf]
+			}
+		}
+		got, err := ClassFromStagePath(s1, s2, s3)
+		if err != nil {
+			t.Fatalf("%s: ClassFromStagePath error: %v", c, err)
+		}
+		if got != c {
+			t.Errorf("%s: round-trip through stage path gave %s", c, got)
+		}
+	}
+}
+
+func TestStageLabelRejectsOffPathClasses(t *testing.T) {
+	tests := []struct {
+		stage Stage
+		class Class
+	}{
+		{Stage21, ClassInt},
+		{Stage22, ClassPtrVoid},
+		{Stage31, ClassInt},
+		{Stage32, ClassChar},
+		{Stage33, ClassDouble},
+		{Stage33, ClassPtrArith},
+	}
+	for _, tt := range tests {
+		if _, ok := StageLabel(tt.stage, tt.class); ok {
+			t.Errorf("StageLabel(%s, %s) should not route", tt.stage, tt.class)
+		}
+	}
+}
+
+func TestStageArityMatchesClassCount(t *testing.T) {
+	for _, s := range []Stage{Stage21, Stage31, Stage32, Stage33} {
+		if got, want := len(StageClasses(s)), StageArity(s); got != want {
+			t.Errorf("%s: %d classes but arity %d", s, got, want)
+		}
+	}
+	// 3 pointer + struct + bool + 2 char + 3 float + 9 int-family = 19.
+	total := StageArity(Stage21) + 2 + StageArity(Stage31) + StageArity(Stage32) + StageArity(Stage33)
+	if total != NumClasses {
+		t.Errorf("stage leaves sum to %d, want %d", total, NumClasses)
+	}
+}
+
+func TestClassFromStagePathErrors(t *testing.T) {
+	cases := []struct{ s1, s2, s3 int }{
+		{0, -1, 0}, {0, 3, 0}, {1, 5, 0}, {1, -1, 0},
+		{1, 2, 2}, {1, 3, 3}, {1, 4, 9}, {1, 4, -1},
+	}
+	for _, tt := range cases {
+		if _, err := ClassFromStagePath(tt.s1, tt.s2, tt.s3); err == nil {
+			t.Errorf("ClassFromStagePath(%d,%d,%d): want error", tt.s1, tt.s2, tt.s3)
+		}
+	}
+}
+
+func TestFamilyOf(t *testing.T) {
+	tests := []struct {
+		class Class
+		want  Family
+	}{
+		{ClassPtrVoid, FamilyPointer},
+		{ClassPtrStruct, FamilyPointer},
+		{ClassPtrArith, FamilyPointer},
+		{ClassStruct, FamilyStruct},
+		{ClassBool, FamilyBool},
+		{ClassChar, FamilyChar},
+		{ClassUChar, FamilyChar},
+		{ClassFloat, FamilyFloat},
+		{ClassDouble, FamilyFloat},
+		{ClassLongDouble, FamilyFloat},
+		{ClassInt, FamilyInt},
+		{ClassEnum, FamilyInt},
+		{ClassULongLong, FamilyInt},
+	}
+	for _, tt := range tests {
+		if got := tt.class.FamilyOf(); got != tt.want {
+			t.Errorf("FamilyOf(%s) = %s, want %s", tt.class, got, tt.want)
+		}
+	}
+}
+
+// randomType builds a random well-formed type of bounded depth for
+// property-based tests.
+func randomType(r *rand.Rand, depth int) *Type {
+	bases := []*Type{
+		Bool, Char, UChar, Short, UShort, Int, UInt,
+		Long, ULong, LongLong, ULongLong, Float, Double, LongDouble,
+	}
+	if depth <= 0 {
+		return bases[r.Intn(len(bases))]
+	}
+	switch r.Intn(6) {
+	case 0:
+		return PointerTo(randomType(r, depth-1))
+	case 1:
+		return ArrayOf(randomType(r, depth-1), 1+r.Intn(8))
+	case 2:
+		n := 1 + r.Intn(4)
+		fs := make([]Field, n)
+		for i := range fs {
+			fs[i] = Field{Name: "f", Type: randomType(r, depth-1)}
+		}
+		return StructOf("s", fs...)
+	case 3:
+		return EnumOf("e")
+	case 4:
+		return TypedefOf("t", randomType(r, depth-1))
+	default:
+		return bases[r.Intn(len(bases))]
+	}
+}
+
+func TestPropertySizeAlignInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		typ := randomType(r, 3)
+		size, align := typ.Size(), typ.Align()
+		if size <= 0 {
+			t.Fatalf("%s: non-positive size %d", typ, size)
+		}
+		if align <= 0 || size%align != 0 {
+			t.Fatalf("%s: size %d not a multiple of align %d", typ, size, align)
+		}
+		// Struct fields must be ordered, in-bounds, non-overlapping.
+		if typ.Kind == KindStruct {
+			prevEnd := 0
+			for _, f := range typ.Fields {
+				if f.Offset < prevEnd {
+					t.Fatalf("%s: field overlap at offset %d", typ, f.Offset)
+				}
+				if f.Offset%f.Type.Align() != 0 {
+					t.Fatalf("%s: misaligned field at %d", typ, f.Offset)
+				}
+				prevEnd = f.Offset + f.Type.Size()
+			}
+			if prevEnd > size {
+				t.Fatalf("%s: fields extend past size", typ)
+			}
+		}
+	}
+}
+
+func TestPropertyClassRoutingTotal(t *testing.T) {
+	// quick.Check over the label space: every class round-trips its path.
+	f := func(raw uint8) bool {
+		c := Class(int(raw)%NumClasses) + 1
+		leaf := LeafStage(c)
+		l, ok := StageLabel(leaf, c)
+		if !ok {
+			return false
+		}
+		cs := StageClasses(leaf)
+		if cs == nil { // struct/bool leaf at Stage 2-2
+			return leaf == Stage22 && (c == ClassStruct || c == ClassBool)
+		}
+		return cs[l] == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyClassOfRandomTypesAlwaysRoutes(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 1000; i++ {
+		typ := randomType(r, 3)
+		c, err := ClassOf(typ)
+		if err != nil {
+			t.Fatalf("ClassOf(%s): %v", typ, err)
+		}
+		if c < ClassPtrVoid || c > ClassEnum {
+			t.Fatalf("ClassOf(%s) = %d out of range", typ, c)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	tests := []struct {
+		typ  *Type
+		want string
+	}{
+		{Int, "int"},
+		{PointerTo(Int), "int*"},
+		{PointerTo(PointerTo(Char)), "char**"},
+		{ArrayOf(Double, 4), "double[4]"},
+		{StructOf("p"), "struct p"},
+		{EnumOf("color"), "enum color"},
+		{TypedefOf("size_t", ULong), "size_t"},
+		{nil, "<nil>"},
+	}
+	for _, tt := range tests {
+		if got := tt.typ.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestBasePredicates(t *testing.T) {
+	signed := []Base{BaseChar, BaseShort, BaseInt, BaseLong, BaseLongLong}
+	for _, b := range signed {
+		if !b.IsSigned() {
+			t.Errorf("%s should be signed", b)
+		}
+	}
+	unsigned := []Base{BaseBool, BaseUChar, BaseUShort, BaseUInt, BaseULong, BaseULongLong, BaseFloat, BaseVoid}
+	for _, b := range unsigned {
+		if b.IsSigned() {
+			t.Errorf("%s should not be signed", b)
+		}
+	}
+	if !BaseBool.IsInteger() || BaseFloat.IsInteger() || BaseVoid.IsInteger() {
+		t.Error("IsInteger misclassifies")
+	}
+	if !BaseFloat.IsFloat() || !BaseLongDouble.IsFloat() || BaseInt.IsFloat() {
+		t.Error("IsFloat misclassifies")
+	}
+}

@@ -1,0 +1,613 @@
+// Package dwarflite implements a compact DWARF-flavoured debug-information
+// encoding. It carries exactly the facts the paper extracts from real DWARF
+// (§IV-A): per-function variable records (name, stack-frame offset, type)
+// and a full structural type graph including typedef chains so that type
+// resolution can "recursively find the base type".
+//
+// The encoding is a single binary blob intended for a `.debug_cati` ELF
+// section: a type table (one record per type node, cycle-safe) followed by
+// function records.
+package dwarflite
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/ctypes"
+)
+
+// Variable location kinds (a tiny stand-in for DWARF location
+// expressions).
+const (
+	// LocFrame: the variable lives in a stack slot at FrameOff.
+	LocFrame byte = 0
+	// LocReg: the variable lives in the register numbered RegNum
+	// (hardware number 0–15) — what optimized code does to hot scalars.
+	LocReg byte = 1
+)
+
+// Var describes one local variable or parameter of a function.
+type Var struct {
+	Name string
+	// FrameOff is the byte offset of the variable's slot relative to the
+	// function's frame base (negative offsets below rbp in the classic
+	// frame layout; non-negative rsp-relative offsets in the -fomit-frame-
+	// pointer layout). Only meaningful when Loc == LocFrame.
+	FrameOff int32
+	Type     *ctypes.Type
+	IsParam  bool
+	// Loc discriminates stack-resident from register-resident variables.
+	Loc byte
+	// RegNum is the hardware register number when Loc == LocReg.
+	RegNum byte
+}
+
+// Frame-base registers a function can use for its locals.
+const (
+	FrameRBP byte = 0 // classic frame: locals at negative rbp offsets
+	FrameRSP byte = 1 // -fomit-frame-pointer: locals at positive rsp offsets
+)
+
+// Func describes one function: its address range and variables.
+type Func struct {
+	Name string
+	Low  uint64 // first instruction address
+	High uint64 // one past the last instruction address
+	// FrameReg says which register Var.FrameOff values are relative to.
+	FrameReg byte
+	Vars     []Var
+}
+
+// Global describes one global (data-section) variable.
+type Global struct {
+	Name string
+	Addr uint64
+	Type *ctypes.Type
+}
+
+// Info is the full debug information of one binary.
+type Info struct {
+	Funcs   []Func
+	Globals []Global
+}
+
+// SectionName is the ELF section the blob is stored in.
+const SectionName = ".debug_cati"
+
+var (
+	// ErrMalformed reports a structurally invalid blob.
+	ErrMalformed = errors.New("dwarflite: malformed debug info")
+	// ErrBadTypeRef reports a dangling type reference.
+	ErrBadTypeRef = errors.New("dwarflite: dangling type reference")
+)
+
+const magic = "CATIDBG1"
+
+// typeKind tags serialized type records.
+const (
+	tkBase    = 1
+	tkPointer = 2
+	tkStruct  = 3
+	tkArray   = 4
+	tkEnum    = 5
+	tkTypedef = 6
+)
+
+type encoder struct {
+	buf     []byte
+	typeIDs map[*ctypes.Type]uint64
+	types   []*ctypes.Type
+}
+
+func (e *encoder) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *encoder) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// typeID interns a type node, assigning IDs in first-visit order. ID 0 is
+// reserved for "no type".
+func (e *encoder) typeID(t *ctypes.Type) uint64 {
+	if t == nil {
+		return 0
+	}
+	if id, ok := e.typeIDs[t]; ok {
+		return id
+	}
+	id := uint64(len(e.types) + 1)
+	e.typeIDs[t] = id
+	e.types = append(e.types, t)
+	// Visit children so the table is complete; IDs are assigned before
+	// recursion, which makes cyclic graphs (struct containing a pointer to
+	// itself) terminate.
+	switch t.Kind {
+	case ctypes.KindPointer, ctypes.KindArray, ctypes.KindTypedef:
+		e.typeID(t.Elem)
+	case ctypes.KindStruct:
+		for _, f := range t.Fields {
+			e.typeID(f.Type)
+		}
+	}
+	return id
+}
+
+// Encode serializes the debug info.
+func (i *Info) Encode() []byte {
+	e := &encoder{typeIDs: make(map[*ctypes.Type]uint64)}
+
+	// Pass 1: intern every referenced type.
+	for _, f := range i.Funcs {
+		for _, v := range f.Vars {
+			e.typeID(v.Type)
+		}
+	}
+	for _, g := range i.Globals {
+		e.typeID(g.Type)
+	}
+
+	e.buf = append(e.buf, magic...)
+
+	// Type table. Records reference other types by ID, which is safe
+	// because the table is fully interned before emission.
+	e.uvarint(uint64(len(e.types)))
+	for _, t := range e.types {
+		switch t.Kind {
+		case ctypes.KindBase:
+			e.uvarint(tkBase)
+			e.uvarint(uint64(t.Base))
+		case ctypes.KindPointer:
+			e.uvarint(tkPointer)
+			e.uvarint(e.typeIDs[t.Elem])
+		case ctypes.KindStruct:
+			e.uvarint(tkStruct)
+			e.str(t.Name)
+			e.uvarint(uint64(len(t.Fields)))
+			for _, f := range t.Fields {
+				e.str(f.Name)
+				e.uvarint(e.typeIDs[f.Type])
+			}
+		case ctypes.KindArray:
+			e.uvarint(tkArray)
+			e.uvarint(e.typeIDs[t.Elem])
+			e.uvarint(uint64(t.Count))
+		case ctypes.KindEnum:
+			e.uvarint(tkEnum)
+			e.str(t.TagName)
+		case ctypes.KindTypedef:
+			e.uvarint(tkTypedef)
+			e.str(t.TagName)
+			e.uvarint(e.typeIDs[t.Elem])
+		}
+	}
+
+	// Function records.
+	e.uvarint(uint64(len(i.Funcs)))
+	for _, f := range i.Funcs {
+		e.str(f.Name)
+		e.uvarint(f.Low)
+		e.uvarint(f.High)
+		e.uvarint(uint64(f.FrameReg))
+		e.uvarint(uint64(len(f.Vars)))
+		for _, v := range f.Vars {
+			e.str(v.Name)
+			e.varint(int64(v.FrameOff))
+			e.uvarint(e.typeIDs[v.Type])
+			flags := uint64(0)
+			if v.IsParam {
+				flags |= 1
+			}
+			if v.Loc == LocReg {
+				flags |= 2
+			}
+			e.uvarint(flags)
+			if v.Loc == LocReg {
+				e.uvarint(uint64(v.RegNum))
+			}
+		}
+	}
+
+	// Global records.
+	e.uvarint(uint64(len(i.Globals)))
+	for _, g := range i.Globals {
+		e.str(g.Name)
+		e.uvarint(g.Addr)
+		e.uvarint(e.typeIDs[g.Type])
+	}
+	return e.buf
+}
+
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, ErrMalformed
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	v, n := binary.Varint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, ErrMalformed
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if d.pos+int(n) > len(d.buf) {
+		return "", ErrMalformed
+	}
+	s := string(d.buf[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+// Decode parses a blob produced by Encode, reconstructing the shared type
+// graph (aliasing and cycles included).
+func Decode(data []byte) (*Info, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("bad magic: %w", ErrMalformed)
+	}
+	d := &decoder{buf: data, pos: len(magic)}
+
+	numTypes, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if numTypes > uint64(len(data)) {
+		return nil, fmt.Errorf("type count %d: %w", numTypes, ErrMalformed)
+	}
+
+	// Two-phase: allocate nodes first so references (including cycles)
+	// resolve, then fill them in.
+	nodes := make([]*ctypes.Type, numTypes+1)
+	for i := range nodes {
+		if i > 0 {
+			nodes[i] = &ctypes.Type{}
+		}
+	}
+	ref := func(id uint64) (*ctypes.Type, error) {
+		if id == 0 {
+			return nil, nil
+		}
+		if id >= uint64(len(nodes)) {
+			return nil, fmt.Errorf("type id %d: %w", id, ErrBadTypeRef)
+		}
+		return nodes[id], nil
+	}
+
+	type structFixup struct {
+		node   *ctypes.Type
+		names  []string
+		refIDs []uint64
+	}
+	var fixups []structFixup
+
+	for id := uint64(1); id <= numTypes; id++ {
+		kind, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		n := nodes[id]
+		switch kind {
+		case tkBase:
+			b, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			base := baseByID(ctypes.Base(b))
+			if base == nil {
+				return nil, fmt.Errorf("base type %d: %w", b, ErrMalformed)
+			}
+			// Base types are canonical singletons; alias the node content.
+			*n = *base
+		case tkPointer:
+			eid, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			elem, err := ref(eid)
+			if err != nil {
+				return nil, err
+			}
+			n.Kind = ctypes.KindPointer
+			n.Elem = elem
+		case tkStruct:
+			name, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			nf, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if nf > uint64(len(data)) {
+				return nil, fmt.Errorf("field count %d: %w", nf, ErrMalformed)
+			}
+			fx := structFixup{node: n}
+			for j := uint64(0); j < nf; j++ {
+				fn, err := d.str()
+				if err != nil {
+					return nil, err
+				}
+				fid, err := d.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				fx.names = append(fx.names, fn)
+				fx.refIDs = append(fx.refIDs, fid)
+			}
+			n.Kind = ctypes.KindStruct
+			n.Name = name
+			fixups = append(fixups, fx)
+		case tkArray:
+			eid, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			cnt, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			elem, err := ref(eid)
+			if err != nil {
+				return nil, err
+			}
+			n.Kind = ctypes.KindArray
+			n.Elem = elem
+			n.Count = int(cnt)
+		case tkEnum:
+			tag, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			n.Kind = ctypes.KindEnum
+			n.TagName = tag
+		case tkTypedef:
+			tag, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			eid, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			elem, err := ref(eid)
+			if err != nil {
+				return nil, err
+			}
+			n.Kind = ctypes.KindTypedef
+			n.TagName = tag
+			n.Elem = elem
+		default:
+			return nil, fmt.Errorf("type kind %d: %w", kind, ErrMalformed)
+		}
+	}
+
+	// Struct layout fixups: all field types are now filled, so re-run the
+	// canonical layout to restore offsets, size and alignment. Interning
+	// assigns parent IDs before children, so walking the fixups in reverse
+	// lays out nested structs before the structs embedding them. Cyclic
+	// structures are safe because cyclic members are pointers (as in C),
+	// whose size never depends on the pointee's layout.
+	for idx := len(fixups) - 1; idx >= 0; idx-- {
+		fx := fixups[idx]
+		fields := make([]ctypes.Field, len(fx.names))
+		for j := range fx.names {
+			ft, err := ref(fx.refIDs[j])
+			if err != nil {
+				return nil, err
+			}
+			if ft == nil {
+				return nil, fmt.Errorf("struct %s field %s: %w", fx.node.Name, fx.names[j], ErrBadTypeRef)
+			}
+			fields[j] = ctypes.Field{Name: fx.names[j], Type: ft}
+		}
+		laid := ctypes.StructOf(fx.node.Name, fields...)
+		*fx.node = *laid
+	}
+
+	numFuncs, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if numFuncs > uint64(len(data)) {
+		return nil, fmt.Errorf("function count %d: %w", numFuncs, ErrMalformed)
+	}
+	info := &Info{}
+	for i := uint64(0); i < numFuncs; i++ {
+		var f Func
+		if f.Name, err = d.str(); err != nil {
+			return nil, err
+		}
+		if f.Low, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if f.High, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		fr, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		f.FrameReg = byte(fr)
+		nv, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nv > uint64(len(data)) {
+			return nil, fmt.Errorf("variable count %d: %w", nv, ErrMalformed)
+		}
+		for j := uint64(0); j < nv; j++ {
+			var v Var
+			if v.Name, err = d.str(); err != nil {
+				return nil, err
+			}
+			off, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			v.FrameOff = int32(off)
+			tid, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if v.Type, err = ref(tid); err != nil {
+				return nil, err
+			}
+			flags, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			v.IsParam = flags&1 != 0
+			if flags&2 != 0 {
+				v.Loc = LocReg
+				rn, err := d.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				v.RegNum = byte(rn)
+			}
+			f.Vars = append(f.Vars, v)
+		}
+		info.Funcs = append(info.Funcs, f)
+	}
+
+	numGlobals, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if numGlobals > uint64(len(data)) {
+		return nil, fmt.Errorf("global count %d: %w", numGlobals, ErrMalformed)
+	}
+	for i := uint64(0); i < numGlobals; i++ {
+		var g Global
+		if g.Name, err = d.str(); err != nil {
+			return nil, err
+		}
+		if g.Addr, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		tid, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if g.Type, err = ref(tid); err != nil {
+			return nil, err
+		}
+		info.Globals = append(info.Globals, g)
+	}
+	return info, nil
+}
+
+// GlobalAt returns the global variable whose storage covers addr.
+func (i *Info) GlobalAt(addr uint64) (*Global, bool) {
+	for j := range i.Globals {
+		g := &i.Globals[j]
+		size := uint64(1)
+		if g.Type != nil {
+			if s := g.Type.Size(); s > 0 {
+				size = uint64(s)
+			}
+		}
+		if addr >= g.Addr && addr < g.Addr+size {
+			return g, true
+		}
+	}
+	return nil, false
+}
+
+// VarInReg returns the register-resident variable held in the hardware
+// register numbered regNum, if any.
+func (f *Func) VarInReg(regNum byte) (*Var, bool) {
+	for j := range f.Vars {
+		v := &f.Vars[j]
+		if v.Loc == LocReg && v.RegNum == regNum {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// baseByID maps a serialized base-type ID back to its canonical singleton.
+func baseByID(b ctypes.Base) *ctypes.Type {
+	switch b {
+	case ctypes.BaseVoid:
+		return ctypes.Void
+	case ctypes.BaseBool:
+		return ctypes.Bool
+	case ctypes.BaseChar:
+		return ctypes.Char
+	case ctypes.BaseUChar:
+		return ctypes.UChar
+	case ctypes.BaseShort:
+		return ctypes.Short
+	case ctypes.BaseUShort:
+		return ctypes.UShort
+	case ctypes.BaseInt:
+		return ctypes.Int
+	case ctypes.BaseUInt:
+		return ctypes.UInt
+	case ctypes.BaseLong:
+		return ctypes.Long
+	case ctypes.BaseULong:
+		return ctypes.ULong
+	case ctypes.BaseLongLong:
+		return ctypes.LongLong
+	case ctypes.BaseULongLong:
+		return ctypes.ULongLong
+	case ctypes.BaseFloat:
+		return ctypes.Float
+	case ctypes.BaseDouble:
+		return ctypes.Double
+	case ctypes.BaseLongDouble:
+		return ctypes.LongDouble
+	default:
+		return nil
+	}
+}
+
+// FuncAt returns the function covering the given address, if any.
+func (i *Info) FuncAt(addr uint64) (*Func, bool) {
+	for j := range i.Funcs {
+		f := &i.Funcs[j]
+		if addr >= f.Low && addr < f.High {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// VarAt returns the stack variable whose frame slot covers frameOff within
+// the function (slot start ≤ off < slot start + type size). Register
+// variables never match.
+func (f *Func) VarAt(frameOff int32) (*Var, bool) {
+	for j := range f.Vars {
+		v := &f.Vars[j]
+		if v.Loc != LocFrame {
+			continue
+		}
+		size := int32(1)
+		if v.Type != nil {
+			if s := v.Type.Size(); s > 0 {
+				size = int32(s)
+			}
+		}
+		if frameOff >= v.FrameOff && frameOff < v.FrameOff+size {
+			return v, true
+		}
+	}
+	return nil, false
+}

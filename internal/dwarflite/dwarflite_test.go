@@ -1,0 +1,259 @@
+package dwarflite
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ctypes"
+)
+
+func sampleInfo() *Info {
+	node := ctypes.StructOf("node", ctypes.Field{Name: "v", Type: ctypes.Int})
+	sizeT := ctypes.TypedefOf("size_t", ctypes.ULong)
+	return &Info{
+		Funcs: []Func{
+			{
+				Name: "main", Low: 0x401000, High: 0x401100,
+				Vars: []Var{
+					{Name: "argc", FrameOff: -20, Type: ctypes.Int, IsParam: true},
+					{Name: "buf", FrameOff: -64, Type: ctypes.ArrayOf(ctypes.Char, 32)},
+					{Name: "n", FrameOff: -24, Type: sizeT},
+					{Name: "head", FrameOff: -32, Type: ctypes.PointerTo(node)},
+				},
+			},
+			{
+				Name: "helper", Low: 0x401100, High: 0x401180,
+				Vars: []Var{
+					{Name: "x", FrameOff: -8, Type: ctypes.Double},
+					{Name: "flag", FrameOff: -9, Type: ctypes.Bool},
+				},
+			},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	info := sampleInfo()
+	blob := info.Encode()
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(got.Funcs))
+	}
+	main := got.Funcs[0]
+	if main.Name != "main" || main.Low != 0x401000 || main.High != 0x401100 {
+		t.Errorf("main = %+v", main)
+	}
+	if len(main.Vars) != 4 {
+		t.Fatalf("main vars = %d", len(main.Vars))
+	}
+	if v := main.Vars[0]; v.Name != "argc" || v.FrameOff != -20 || !v.IsParam {
+		t.Errorf("argc = %+v", v)
+	}
+	if got := main.Vars[0].Type.String(); got != "int" {
+		t.Errorf("argc type = %s", got)
+	}
+	if got := main.Vars[1].Type.String(); got != "char[32]" {
+		t.Errorf("buf type = %s", got)
+	}
+	if got := main.Vars[2].Type.String(); got != "size_t" {
+		t.Errorf("n type = %s", got)
+	}
+	if got := main.Vars[2].Type.ResolveBase(); got.Base != ctypes.BaseULong {
+		t.Errorf("size_t resolves to %s", got)
+	}
+	if got := main.Vars[3].Type.String(); got != "struct node*" {
+		t.Errorf("head type = %s", got)
+	}
+	// Class routing must survive the round trip.
+	c, err := ctypes.ClassOf(main.Vars[3].Type)
+	if err != nil || c != ctypes.ClassPtrStruct {
+		t.Errorf("head class = %v, %v", c, err)
+	}
+}
+
+func TestStructLayoutSurvives(t *testing.T) {
+	pair := ctypes.StructOf("pair",
+		ctypes.Field{Name: "c", Type: ctypes.Char},
+		ctypes.Field{Name: "d", Type: ctypes.Double},
+	)
+	info := &Info{Funcs: []Func{{Name: "f", Vars: []Var{{Name: "p", Type: pair}}}}}
+	got, err := Decode(info.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := got.Funcs[0].Vars[0].Type
+	if gt.Size() != 16 || gt.Align() != 8 {
+		t.Errorf("size/align = %d/%d, want 16/8", gt.Size(), gt.Align())
+	}
+	if gt.Fields[1].Offset != 8 {
+		t.Errorf("field offset = %d, want 8", gt.Fields[1].Offset)
+	}
+}
+
+func TestCyclicStruct(t *testing.T) {
+	// struct list { struct list *next; int v; } — the classic cycle.
+	list := &ctypes.Type{Kind: ctypes.KindStruct, Name: "list"}
+	built := ctypes.StructOf("list",
+		ctypes.Field{Name: "next", Type: ctypes.PointerTo(list)},
+		ctypes.Field{Name: "v", Type: ctypes.Int},
+	)
+	*list = *built
+	// Make the cycle true: next's pointee is the struct itself.
+	list.Fields[0].Type = ctypes.PointerTo(list)
+
+	info := &Info{Funcs: []Func{{Name: "f", Vars: []Var{{Name: "l", Type: list}}}}}
+	got, err := Decode(info.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := got.Funcs[0].Vars[0].Type
+	if gt.Kind != ctypes.KindStruct || len(gt.Fields) != 2 {
+		t.Fatalf("decoded = %s", gt)
+	}
+	next := gt.Fields[0].Type
+	if next.Kind != ctypes.KindPointer || next.Elem != gt {
+		t.Error("cycle not preserved: next does not point back to the struct")
+	}
+}
+
+func TestTypeAliasingPreserved(t *testing.T) {
+	// Two variables sharing one struct type must share the decoded node.
+	s := ctypes.StructOf("shared", ctypes.Field{Name: "x", Type: ctypes.Int})
+	info := &Info{Funcs: []Func{{
+		Name: "f",
+		Vars: []Var{{Name: "a", Type: s}, {Name: "b", Type: s}},
+	}}}
+	got, err := Decode(info.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Funcs[0].Vars[0].Type != got.Funcs[0].Vars[1].Type {
+		t.Error("shared type decoded into distinct nodes")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	blob := sampleInfo().Encode()
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("NOTMAGIC rest")},
+		{"truncated", blob[:len(blob)/2]},
+		{"magic only", blob[:8]},
+	}
+	for _, tt := range cases {
+		if _, err := Decode(tt.data); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: error = %v, want ErrMalformed", tt.name, err)
+		}
+	}
+}
+
+func TestFuncAtVarAt(t *testing.T) {
+	info := sampleInfo()
+	f, ok := info.FuncAt(0x401050)
+	if !ok || f.Name != "main" {
+		t.Fatalf("FuncAt = %v, %v", f, ok)
+	}
+	if _, ok := info.FuncAt(0x500000); ok {
+		t.Error("FuncAt out of range should miss")
+	}
+	// Interior byte of the char[32] at -64: offsets -64..-33.
+	v, ok := f.VarAt(-50)
+	if !ok || v.Name != "buf" {
+		t.Errorf("VarAt(-50) = %+v, %v", v, ok)
+	}
+	v, ok = f.VarAt(-20)
+	if !ok || v.Name != "argc" {
+		t.Errorf("VarAt(-20) = %+v, %v", v, ok)
+	}
+	if _, ok := f.VarAt(-1000); ok {
+		t.Error("VarAt far off should miss")
+	}
+}
+
+func randType(r *rand.Rand, depth int) *ctypes.Type {
+	bases := []*ctypes.Type{
+		ctypes.Bool, ctypes.Char, ctypes.UChar, ctypes.Short, ctypes.UShort,
+		ctypes.Int, ctypes.UInt, ctypes.Long, ctypes.ULong,
+		ctypes.LongLong, ctypes.ULongLong, ctypes.Float, ctypes.Double, ctypes.LongDouble,
+	}
+	if depth <= 0 {
+		return bases[r.Intn(len(bases))]
+	}
+	switch r.Intn(6) {
+	case 0:
+		return ctypes.PointerTo(randType(r, depth-1))
+	case 1:
+		return ctypes.ArrayOf(randType(r, depth-1), 1+r.Intn(16))
+	case 2:
+		n := 1 + r.Intn(3)
+		fs := make([]ctypes.Field, n)
+		for i := range fs {
+			fs[i] = ctypes.Field{Name: "f", Type: randType(r, depth-1)}
+		}
+		return ctypes.StructOf("s", fs...)
+	case 3:
+		return ctypes.EnumOf("e")
+	case 4:
+		return ctypes.TypedefOf("td", randType(r, depth-1))
+	default:
+		return bases[r.Intn(len(bases))]
+	}
+}
+
+func TestPropertyRandomInfoRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 200; i++ {
+		info := &Info{}
+		nf := 1 + r.Intn(5)
+		for j := 0; j < nf; j++ {
+			f := Func{Name: "fn", Low: uint64(j * 0x100), High: uint64(j*0x100 + 0x80)}
+			nv := r.Intn(8)
+			for k := 0; k < nv; k++ {
+				f.Vars = append(f.Vars, Var{
+					Name:     "v",
+					FrameOff: int32(r.Intn(512)) - 256,
+					Type:     randType(r, 3),
+					IsParam:  r.Intn(2) == 0,
+				})
+			}
+			info.Funcs = append(info.Funcs, f)
+		}
+		got, err := Decode(info.Encode())
+		if err != nil {
+			t.Fatalf("#%d: %v", i, err)
+		}
+		if len(got.Funcs) != len(info.Funcs) {
+			t.Fatalf("#%d: func count", i)
+		}
+		for j := range info.Funcs {
+			wf, gf := info.Funcs[j], got.Funcs[j]
+			if len(wf.Vars) != len(gf.Vars) {
+				t.Fatalf("#%d fn %d: var count", i, j)
+			}
+			for k := range wf.Vars {
+				wv, gv := wf.Vars[k], gf.Vars[k]
+				if wv.Name != gv.Name || wv.FrameOff != gv.FrameOff || wv.IsParam != gv.IsParam {
+					t.Fatalf("#%d: var mismatch %+v vs %+v", i, wv, gv)
+				}
+				if wv.Type.String() != gv.Type.String() {
+					t.Fatalf("#%d: type %s vs %s", i, wv.Type, gv.Type)
+				}
+				if wv.Type.Size() != gv.Type.Size() {
+					t.Fatalf("#%d: size %d vs %d for %s", i, wv.Type.Size(), gv.Type.Size(), wv.Type)
+				}
+				wc, werr := ctypes.ClassOf(wv.Type)
+				gc, gerr := ctypes.ClassOf(gv.Type)
+				if (werr == nil) != (gerr == nil) || wc != gc {
+					t.Fatalf("#%d: class %v/%v vs %v/%v", i, wc, werr, gc, gerr)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,374 @@
+// Package elfx is a minimal ELF64 container: enough of the real ELF object
+// format to write a linked binary with .text, symbol table and debug
+// sections, read it back, and strip it the way `strip` does (removing
+// symbols and debug information). CATI's inference side consumes stripped
+// binaries produced by this package; the training side reads the unstripped
+// ones to label ground truth.
+package elfx
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Section types (subset of the ELF spec).
+const (
+	SHTNull     uint32 = 0
+	SHTProgbits uint32 = 1
+	SHTSymtab   uint32 = 2
+	SHTStrtab   uint32 = 3
+)
+
+// Section flags.
+const (
+	SHFAlloc     uint64 = 0x2
+	SHFExecinstr uint64 = 0x4
+)
+
+// Symbol kinds (ELF st_info type nibble).
+const (
+	SymObject byte = 1
+	SymFunc   byte = 2
+)
+
+// Section is a named section with its virtual address and contents.
+type Section struct {
+	Name  string
+	Type  uint32
+	Flags uint64
+	Addr  uint64
+	Data  []byte
+}
+
+// Symbol is a symbol-table entry.
+type Symbol struct {
+	Name string
+	Addr uint64
+	Size uint64
+	Kind byte // SymObject or SymFunc
+}
+
+// Binary is an in-memory ELF64 executable image.
+type Binary struct {
+	Entry    uint64
+	Sections []Section
+	Symbols  []Symbol
+}
+
+// Errors returned by the reader.
+var (
+	ErrNotELF    = errors.New("elfx: not an ELF64 little-endian file")
+	ErrMalformed = errors.New("elfx: malformed ELF structure")
+	ErrNoSection = errors.New("elfx: section not found")
+)
+
+// Section returns the named section, or ErrNoSection.
+func (b *Binary) Section(name string) (*Section, error) {
+	for i := range b.Sections {
+		if b.Sections[i].Name == name {
+			return &b.Sections[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%q: %w", name, ErrNoSection)
+}
+
+// Text returns the .text section.
+func (b *Binary) Text() (*Section, error) { return b.Section(".text") }
+
+// FuncSymbols returns the function symbols sorted by address.
+func (b *Binary) FuncSymbols() []Symbol {
+	var out []Symbol
+	for _, s := range b.Symbols {
+		if s.Kind == SymFunc {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// SymbolAt returns the symbol covering addr, if any.
+func (b *Binary) SymbolAt(addr uint64) (Symbol, bool) {
+	for _, s := range b.Symbols {
+		if addr >= s.Addr && addr < s.Addr+s.Size {
+			return s, true
+		}
+	}
+	return Symbol{}, false
+}
+
+// IsStripped reports whether the binary carries neither a symbol table nor
+// debug sections.
+func (b *Binary) IsStripped() bool {
+	if len(b.Symbols) > 0 {
+		return false
+	}
+	for _, s := range b.Sections {
+		if isDebugName(s.Name) {
+			return false
+		}
+	}
+	return true
+}
+
+func isDebugName(name string) bool {
+	return len(name) >= 7 && name[:7] == ".debug_"
+}
+
+// Strip returns a copy of the binary with the symbol table and all debug
+// sections removed, mirroring `strip --strip-all`.
+func Strip(b *Binary) *Binary {
+	out := &Binary{Entry: b.Entry}
+	for _, s := range b.Sections {
+		if isDebugName(s.Name) || s.Name == ".symtab" || s.Name == ".strtab" {
+			continue
+		}
+		cp := s
+		cp.Data = append([]byte(nil), s.Data...)
+		out.Sections = append(out.Sections, cp)
+	}
+	return out
+}
+
+// ELF64 fixed sizes.
+const (
+	ehSize  = 64
+	shSize  = 64
+	symSize = 24
+)
+
+// Write serializes the binary as a little-endian ELF64 executable image:
+// ELF header, section contents, then the section header table. A symbol
+// table, when present, becomes real .symtab/.strtab sections.
+func Write(b *Binary) ([]byte, error) {
+	type rawSection struct {
+		Section
+		nameOff uint32
+		dataOff uint64
+	}
+
+	sections := make([]rawSection, 0, len(b.Sections)+3)
+	sections = append(sections, rawSection{Section: Section{Name: "", Type: SHTNull}})
+	for _, s := range b.Sections {
+		sections = append(sections, rawSection{Section: s})
+	}
+
+	// Synthesize .symtab/.strtab from the symbol list.
+	var symtabIdx, strtabIdx int
+	if len(b.Symbols) > 0 {
+		strtab := []byte{0}
+		nameOffs := make([]uint32, len(b.Symbols))
+		for i, sym := range b.Symbols {
+			nameOffs[i] = uint32(len(strtab))
+			strtab = append(strtab, sym.Name...)
+			strtab = append(strtab, 0)
+		}
+		symtab := make([]byte, symSize) // index 0: null symbol
+		for i, sym := range b.Symbols {
+			ent := make([]byte, symSize)
+			binary.LittleEndian.PutUint32(ent[0:], nameOffs[i])
+			ent[4] = 1<<4 | sym.Kind // STB_GLOBAL
+			binary.LittleEndian.PutUint16(ent[6:], 1)
+			binary.LittleEndian.PutUint64(ent[8:], sym.Addr)
+			binary.LittleEndian.PutUint64(ent[16:], sym.Size)
+			symtab = append(symtab, ent...)
+		}
+		symtabIdx = len(sections)
+		strtabIdx = symtabIdx + 1
+		sections = append(sections,
+			rawSection{Section: Section{Name: ".symtab", Type: SHTSymtab, Data: symtab}},
+			rawSection{Section: Section{Name: ".strtab", Type: SHTStrtab, Data: strtab}},
+		)
+	}
+
+	// Section-header string table, always last.
+	shstr := []byte{0}
+	shstrIdx := len(sections)
+	sections = append(sections, rawSection{Section: Section{Name: ".shstrtab", Type: SHTStrtab}})
+	for i := range sections {
+		if sections[i].Name == "" {
+			continue
+		}
+		sections[i].nameOff = uint32(len(shstr))
+		shstr = append(shstr, sections[i].Name...)
+		shstr = append(shstr, 0)
+	}
+	sections[shstrIdx].Data = shstr
+
+	// Lay out section data after the ELF header.
+	var buf bytes.Buffer
+	buf.Write(make([]byte, ehSize))
+	for i := range sections {
+		if sections[i].Type == SHTNull || len(sections[i].Data) == 0 {
+			continue
+		}
+		// Align section data to 8.
+		for buf.Len()%8 != 0 {
+			buf.WriteByte(0)
+		}
+		sections[i].dataOff = uint64(buf.Len())
+		buf.Write(sections[i].Data)
+	}
+	for buf.Len()%8 != 0 {
+		buf.WriteByte(0)
+	}
+	shoff := uint64(buf.Len())
+
+	// Section header table.
+	for i := range sections {
+		sh := make([]byte, shSize)
+		s := &sections[i]
+		binary.LittleEndian.PutUint32(sh[0:], s.nameOff)
+		binary.LittleEndian.PutUint32(sh[4:], s.Type)
+		binary.LittleEndian.PutUint64(sh[8:], s.Flags)
+		binary.LittleEndian.PutUint64(sh[16:], s.Addr)
+		binary.LittleEndian.PutUint64(sh[24:], s.dataOff)
+		binary.LittleEndian.PutUint64(sh[32:], uint64(len(s.Data)))
+		if s.Type == SHTSymtab {
+			binary.LittleEndian.PutUint32(sh[40:], uint32(strtabIdx)) // sh_link
+			binary.LittleEndian.PutUint32(sh[44:], 1)                 // sh_info
+			binary.LittleEndian.PutUint64(sh[56:], symSize)           // sh_entsize
+		}
+		buf.Write(sh)
+	}
+
+	out := buf.Bytes()
+
+	// ELF header.
+	copy(out[0:], []byte{0x7F, 'E', 'L', 'F', 2, 1, 1, 0})
+	binary.LittleEndian.PutUint16(out[16:], 2)  // e_type = ET_EXEC
+	binary.LittleEndian.PutUint16(out[18:], 62) // e_machine = EM_X86_64
+	binary.LittleEndian.PutUint32(out[20:], 1)  // e_version
+	binary.LittleEndian.PutUint64(out[24:], b.Entry)
+	binary.LittleEndian.PutUint64(out[40:], shoff)
+	binary.LittleEndian.PutUint16(out[52:], ehSize)
+	binary.LittleEndian.PutUint16(out[58:], shSize)
+	binary.LittleEndian.PutUint16(out[60:], uint16(len(sections)))
+	binary.LittleEndian.PutUint16(out[62:], uint16(shstrIdx))
+	_ = symtabIdx
+	return out, nil
+}
+
+// Read parses an ELF64 image produced by Write (or any little-endian ELF64
+// with standard section headers).
+func Read(data []byte) (*Binary, error) {
+	if len(data) < ehSize || !bytes.Equal(data[:4], []byte{0x7F, 'E', 'L', 'F'}) {
+		return nil, ErrNotELF
+	}
+	if data[4] != 2 || data[5] != 1 {
+		return nil, ErrNotELF
+	}
+	b := &Binary{Entry: binary.LittleEndian.Uint64(data[24:])}
+	shoff := binary.LittleEndian.Uint64(data[40:])
+	shnum := int(binary.LittleEndian.Uint16(data[60:]))
+	shstrndx := int(binary.LittleEndian.Uint16(data[62:]))
+
+	if shoff+uint64(shnum)*shSize > uint64(len(data)) {
+		return nil, fmt.Errorf("section header table out of bounds: %w", ErrMalformed)
+	}
+
+	type rawSH struct {
+		nameOff   uint32
+		typ       uint32
+		flags     uint64
+		addr      uint64
+		off, size uint64
+		link      uint32
+	}
+	shs := make([]rawSH, shnum)
+	for i := 0; i < shnum; i++ {
+		sh := data[shoff+uint64(i)*shSize:]
+		shs[i] = rawSH{
+			nameOff: binary.LittleEndian.Uint32(sh[0:]),
+			typ:     binary.LittleEndian.Uint32(sh[4:]),
+			flags:   binary.LittleEndian.Uint64(sh[8:]),
+			addr:    binary.LittleEndian.Uint64(sh[16:]),
+			off:     binary.LittleEndian.Uint64(sh[24:]),
+			size:    binary.LittleEndian.Uint64(sh[32:]),
+			link:    binary.LittleEndian.Uint32(sh[40:]),
+		}
+	}
+	if shstrndx >= shnum {
+		return nil, fmt.Errorf("shstrndx out of range: %w", ErrMalformed)
+	}
+	sectionData := func(i int) ([]byte, error) {
+		s := shs[i]
+		if s.typ == SHTNull {
+			return nil, nil
+		}
+		if s.off+s.size > uint64(len(data)) {
+			return nil, fmt.Errorf("section %d data out of bounds: %w", i, ErrMalformed)
+		}
+		return data[s.off : s.off+s.size], nil
+	}
+	shstr, err := sectionData(shstrndx)
+	if err != nil {
+		return nil, err
+	}
+	name := func(off uint32, table []byte) (string, error) {
+		if int(off) >= len(table) {
+			return "", fmt.Errorf("string offset %d out of range: %w", off, ErrMalformed)
+		}
+		end := bytes.IndexByte(table[off:], 0)
+		if end < 0 {
+			return "", fmt.Errorf("unterminated string: %w", ErrMalformed)
+		}
+		return string(table[off : off+uint32(end)]), nil
+	}
+
+	var symtabData, strtabData []byte
+	for i := 1; i < shnum; i++ {
+		d, err := sectionData(i)
+		if err != nil {
+			return nil, err
+		}
+		n, err := name(shs[i].nameOff, shstr)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case shs[i].typ == SHTSymtab:
+			symtabData = d
+			if int(shs[i].link) < shnum {
+				strtabData, err = sectionData(int(shs[i].link))
+				if err != nil {
+					return nil, err
+				}
+			}
+		case n == ".shstrtab" || n == ".strtab":
+			// String tables are reconstructed, not retained.
+		default:
+			b.Sections = append(b.Sections, Section{
+				Name:  n,
+				Type:  shs[i].typ,
+				Flags: shs[i].flags,
+				Addr:  shs[i].addr,
+				Data:  append([]byte(nil), d...),
+			})
+		}
+	}
+
+	if symtabData != nil {
+		if len(symtabData)%symSize != 0 {
+			return nil, fmt.Errorf("symtab size %d: %w", len(symtabData), ErrMalformed)
+		}
+		for off := symSize; off+symSize <= len(symtabData); off += symSize {
+			ent := symtabData[off:]
+			nameOff := binary.LittleEndian.Uint32(ent[0:])
+			sname, err := name(nameOff, strtabData)
+			if err != nil {
+				return nil, err
+			}
+			b.Symbols = append(b.Symbols, Symbol{
+				Name: sname,
+				Kind: ent[4] & 0xF,
+				Addr: binary.LittleEndian.Uint64(ent[8:]),
+				Size: binary.LittleEndian.Uint64(ent[16:]),
+			})
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,253 @@
+package elfx
+
+import (
+	"bytes"
+	"debug/elf"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func sampleBinary() *Binary {
+	return &Binary{
+		Entry: 0x401000,
+		Sections: []Section{
+			{Name: ".text", Type: SHTProgbits, Flags: SHFAlloc | SHFExecinstr,
+				Addr: 0x401000, Data: []byte{0x55, 0x48, 0x89, 0xE5, 0xC9, 0xC3}},
+			{Name: ".debug_cati", Type: SHTProgbits, Data: []byte("debug-blob")},
+		},
+		Symbols: []Symbol{
+			{Name: "main", Addr: 0x401000, Size: 6, Kind: SymFunc},
+			{Name: "helper", Addr: 0x401006, Size: 0, Kind: SymFunc},
+			{Name: "global_buf", Addr: 0x601000, Size: 64, Kind: SymObject},
+		},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	b := sampleBinary()
+	img, err := Write(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entry != b.Entry {
+		t.Errorf("entry %#x, want %#x", got.Entry, b.Entry)
+	}
+	text, err := got.Text()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(text.Data, b.Sections[0].Data) {
+		t.Errorf("text = % x", text.Data)
+	}
+	if text.Addr != 0x401000 || text.Flags != SHFAlloc|SHFExecinstr {
+		t.Errorf("text metadata: %+v", text)
+	}
+	dbg, err := got.Section(".debug_cati")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(dbg.Data) != "debug-blob" {
+		t.Errorf("debug = %q", dbg.Data)
+	}
+	if len(got.Symbols) != 3 {
+		t.Fatalf("symbols = %d, want 3", len(got.Symbols))
+	}
+	for i, want := range b.Symbols {
+		if got.Symbols[i] != want {
+			t.Errorf("symbol %d = %+v, want %+v", i, got.Symbols[i], want)
+		}
+	}
+}
+
+// TestStdlibCompat verifies the emitted image is real ELF by parsing it
+// with the Go standard library's debug/elf.
+func TestStdlibCompat(t *testing.T) {
+	img, err := Write(sampleBinary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := elf.NewFile(bytes.NewReader(img))
+	if err != nil {
+		t.Fatalf("debug/elf rejected our image: %v", err)
+	}
+	defer f.Close()
+	if f.Machine != elf.EM_X86_64 || f.Class != elf.ELFCLASS64 {
+		t.Errorf("machine/class: %v/%v", f.Machine, f.Class)
+	}
+	sec := f.Section(".text")
+	if sec == nil {
+		t.Fatal("no .text in stdlib view")
+	}
+	data, err := sec.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, sampleBinary().Sections[0].Data) {
+		t.Errorf(".text mismatch via stdlib")
+	}
+	syms, err := f.Symbols()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(syms) != 3 {
+		t.Fatalf("stdlib sees %d symbols, want 3", len(syms))
+	}
+	if syms[0].Name != "main" || elf.ST_TYPE(syms[0].Info) != elf.STT_FUNC {
+		t.Errorf("symbol 0 = %+v", syms[0])
+	}
+}
+
+func TestStrip(t *testing.T) {
+	b := sampleBinary()
+	if b.IsStripped() {
+		t.Fatal("sample should not be stripped")
+	}
+	s := Strip(b)
+	if !s.IsStripped() {
+		t.Fatal("Strip result should be stripped")
+	}
+	if len(s.Symbols) != 0 {
+		t.Errorf("symbols remain: %d", len(s.Symbols))
+	}
+	if _, err := s.Section(".debug_cati"); !errors.Is(err, ErrNoSection) {
+		t.Errorf("debug section remains: %v", err)
+	}
+	if _, err := s.Text(); err != nil {
+		t.Errorf("text vanished: %v", err)
+	}
+	// Original must be untouched.
+	if len(b.Symbols) != 3 {
+		t.Error("Strip mutated the original")
+	}
+	// A stripped write/read round trip stays stripped.
+	img, err := Write(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsStripped() {
+		t.Error("stripped binary came back unstripped")
+	}
+}
+
+func TestStripDeepCopiesData(t *testing.T) {
+	b := sampleBinary()
+	s := Strip(b)
+	text, err := s.Text()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text.Data[0] = 0xCC
+	orig, _ := b.Text()
+	if orig.Data[0] == 0xCC {
+		t.Error("Strip shares section data with the original")
+	}
+}
+
+func TestSymbolQueries(t *testing.T) {
+	b := sampleBinary()
+	funcs := b.FuncSymbols()
+	if len(funcs) != 2 || funcs[0].Name != "main" || funcs[1].Name != "helper" {
+		t.Errorf("FuncSymbols = %+v", funcs)
+	}
+	sym, ok := b.SymbolAt(0x401003)
+	if !ok || sym.Name != "main" {
+		t.Errorf("SymbolAt inside main = %+v, %v", sym, ok)
+	}
+	if _, ok := b.SymbolAt(0x401006); ok {
+		t.Error("SymbolAt on zero-size symbol should miss")
+	}
+	if _, ok := b.SymbolAt(0x999999); ok {
+		t.Error("SymbolAt out of range should miss")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrNotELF},
+		{"short", []byte{0x7F, 'E', 'L', 'F'}, ErrNotELF},
+		{"bad magic", bytes.Repeat([]byte{0}, 128), ErrNotELF},
+		{"32-bit", append([]byte{0x7F, 'E', 'L', 'F', 1, 1}, make([]byte, 128)...), ErrNotELF},
+	}
+	for _, tt := range tests {
+		if _, err := Read(tt.data); !errors.Is(err, tt.want) {
+			t.Errorf("%s: error = %v, want %v", tt.name, err, tt.want)
+		}
+	}
+}
+
+func TestReadMalformedHeaderTable(t *testing.T) {
+	img, err := Write(sampleBinary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point the section header table past the end.
+	bad := append([]byte(nil), img...)
+	bad[40] = 0xFF
+	bad[41] = 0xFF
+	bad[42] = 0xFF
+	if _, err := Read(bad); !errors.Is(err, ErrMalformed) {
+		t.Errorf("error = %v, want ErrMalformed", err)
+	}
+}
+
+func TestPropertyRoundTripRandomBinaries(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		b := &Binary{Entry: uint64(r.Intn(1 << 30))}
+		nsec := 1 + r.Intn(4)
+		for j := 0; j < nsec; j++ {
+			data := make([]byte, r.Intn(512))
+			r.Read(data)
+			b.Sections = append(b.Sections, Section{
+				Name: string(rune('a'+j)) + "section",
+				Type: SHTProgbits,
+				Addr: uint64(r.Intn(1 << 20)),
+				Data: data,
+			})
+		}
+		nsym := r.Intn(8)
+		for j := 0; j < nsym; j++ {
+			b.Symbols = append(b.Symbols, Symbol{
+				Name: "sym" + string(rune('0'+j)),
+				Addr: uint64(r.Intn(1 << 20)),
+				Size: uint64(r.Intn(100)),
+				Kind: []byte{SymFunc, SymObject}[r.Intn(2)],
+			})
+		}
+		img, err := Write(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(img)
+		if err != nil {
+			t.Fatalf("#%d: %v", i, err)
+		}
+		if got.Entry != b.Entry || len(got.Sections) != len(b.Sections) || len(got.Symbols) != len(b.Symbols) {
+			t.Fatalf("#%d: shape mismatch", i)
+		}
+		for j := range b.Sections {
+			if got.Sections[j].Name != b.Sections[j].Name ||
+				!bytes.Equal(got.Sections[j].Data, b.Sections[j].Data) {
+				t.Fatalf("#%d: section %d mismatch", i, j)
+			}
+		}
+		for j := range b.Symbols {
+			if got.Symbols[j] != b.Symbols[j] {
+				t.Fatalf("#%d: symbol %d mismatch", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,341 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VII–§VIII) on the synthetic corpus: Table I (orphan /
+// uncertain statistics), Table III (per-stage VUC metrics), Table IV
+// (after voting), Table V (per-type breakdown with clustering), Table VI
+// (per-application accuracy), Table VII (Clang transfer), Figure 6
+// (occlusion importance), the DEBIN comparison, compiler identification,
+// and timing. See DESIGN.md's per-experiment index.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/classify"
+	"repro/internal/compile"
+	"repro/internal/corpus"
+	"repro/internal/ctypes"
+	"repro/internal/nn"
+	"repro/internal/synth"
+	"repro/internal/vuc"
+	"repro/internal/word2vec"
+)
+
+// Scale sizes the corpora and models. The paper trains on 2141 binaries
+// with a GPU; Scale lets the same experiments run on one CPU core in
+// minutes while preserving every structural property of the setup.
+type Scale struct {
+	// TrainBinaries is the number of training program units.
+	TrainBinaries int
+	// AppBinaries is the per-application test unit count before the
+	// profile's Scale multiplier.
+	AppBinaries int
+	// Apps restricts the evaluated applications (nil = all twelve).
+	Apps []string
+	// Window is the VUC window w.
+	Window int
+	// Cfg is the classifier configuration (architecture + training).
+	Cfg classify.Config
+	// Seed namespaces everything.
+	Seed int64
+}
+
+// DefaultScale is sized for a single CPU core: a full `catibench all` run
+// finishes in tens of minutes with the paper's CNN architecture
+// (32-64 convolutions, 1024 dense) intact.
+func DefaultScale() Scale {
+	return Scale{
+		TrainBinaries: 48,
+		AppBinaries:   3,
+		Window:        10,
+		Cfg: classify.Config{
+			Window:      10,
+			MaxPerStage: 12000,
+			Train:       nn.TrainConfig{Epochs: 3, Batch: 64, LR: 1e-3},
+			W2V:         word2vec.Config{Epochs: 3},
+			Seed:        7,
+		},
+		Seed: 7,
+	}
+}
+
+// QuickScale is for tests: tiny corpora, a reduced network, seconds of
+// wall clock.
+func QuickScale() Scale {
+	return Scale{
+		TrainBinaries: 6,
+		AppBinaries:   1,
+		Apps:          []string{"grep", "gzip"},
+		Window:        5,
+		Cfg: classify.Config{
+			Window: 5,
+			Conv1:  8, Conv2: 8, Hidden: 64,
+			MaxPerStage: 1500,
+			Train:       nn.TrainConfig{Epochs: 2, Batch: 32, LR: 2e-3},
+			W2V:         word2vec.Config{Epochs: 1},
+			Seed:        3,
+		},
+		Seed: 3,
+	}
+}
+
+// AblationScale sizes the retraining ablations: each ablation row trains a
+// fresh pipeline, so this sits between QuickScale (too noisy to rank
+// configurations) and DefaultScale (minutes per row).
+func AblationScale() Scale {
+	return Scale{
+		TrainBinaries: 14,
+		AppBinaries:   2,
+		Window:        10,
+		Cfg: classify.Config{
+			Window: 10,
+			Conv1:  16, Conv2: 32, Hidden: 256,
+			MaxPerStage: 4000,
+			Train:       nn.TrainConfig{Epochs: 2, Batch: 64, LR: 1.5e-3},
+			W2V:         word2vec.Config{Epochs: 2},
+			Seed:        7,
+		},
+		Seed: 7,
+	}
+}
+
+// Env lazily builds and caches the expensive shared artifacts: corpora,
+// trained pipelines and per-application evaluations. All experiments in a
+// process share one Env.
+type Env struct {
+	Scale Scale
+
+	mu           sync.Mutex
+	trainGCC     *corpus.Corpus
+	trainClang   *corpus.Corpus
+	pipeGCC      *classify.Pipeline
+	pipeClang    *classify.Pipeline
+	appsGCC      []*AppEval
+	appsClang    []*AppEval
+	appCorpGCC   []*corpus.Corpus
+	appCorpClang []*corpus.Corpus
+}
+
+// NewEnv creates an experiment environment at the given scale.
+func NewEnv(s Scale) *Env { return &Env{Scale: s} }
+
+// varIdent identifies a variable across a corpus.
+type varIdent struct {
+	bin int
+	key vuc.VarKey
+}
+
+// VarEval is one test variable's ground truth and predictions.
+type VarEval struct {
+	Class ctypes.Class
+	// Refs are the variable's sample indices into AppEval.Refs order.
+	Refs []int
+	// Voted is the composed voted class.
+	Voted ctypes.Class
+	// StageVote holds the per-stage voted labels.
+	StageVote map[ctypes.Stage]int
+}
+
+// AppEval is one application's evaluated test corpus.
+type AppEval struct {
+	Name    string
+	Corp    *corpus.Corpus
+	Refs    []corpus.SampleRef
+	Classes []ctypes.Class
+	Preds   []classify.VUCPrediction
+	Vars    map[varIdent]*VarEval
+}
+
+// dialectProfiles returns the app profiles selected by the scale.
+func (e *Env) appProfiles() []synth.AppProfile {
+	all := synth.TestApps()
+	if len(e.Scale.Apps) == 0 {
+		return all
+	}
+	want := make(map[string]bool, len(e.Scale.Apps))
+	for _, a := range e.Scale.Apps {
+		want[a] = true
+	}
+	var out []synth.AppProfile
+	for _, a := range all {
+		if want[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// TrainCorpus builds (once) the training corpus for a dialect.
+func (e *Env) TrainCorpus(d compile.Dialect) (*corpus.Corpus, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.trainCorpusLocked(d)
+}
+
+func (e *Env) trainCorpusLocked(d compile.Dialect) (*corpus.Corpus, error) {
+	slot := &e.trainGCC
+	if d == compile.Clang {
+		slot = &e.trainClang
+	}
+	if *slot != nil {
+		return *slot, nil
+	}
+	c, err := corpus.Build(corpus.BuildConfig{
+		Name:     "train-" + d.String(),
+		Binaries: e.Scale.TrainBinaries,
+		Profile:  synth.DefaultProfile("tr" + d.String()),
+		Dialect:  d,
+		Window:   e.Scale.Window,
+		Seed:     e.Scale.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: train corpus: %w", err)
+	}
+	*slot = c
+	return c, nil
+}
+
+// Pipeline trains (once) the CATI pipeline for a dialect.
+func (e *Env) Pipeline(d compile.Dialect) (*classify.Pipeline, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pipelineLocked(d)
+}
+
+func (e *Env) pipelineLocked(d compile.Dialect) (*classify.Pipeline, error) {
+	slot := &e.pipeGCC
+	if d == compile.Clang {
+		slot = &e.pipeClang
+	}
+	if *slot != nil {
+		return *slot, nil
+	}
+	c, err := e.trainCorpusLocked(d)
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.Scale.Cfg
+	cfg.Seed ^= int64(d) * 131
+	p, err := classify.Train(c, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: train pipeline (%s): %w", d, err)
+	}
+	*slot = p
+	return p, nil
+}
+
+// AppCorpora builds (once) the per-application test corpora for a dialect.
+func (e *Env) AppCorpora(d compile.Dialect) ([]*corpus.Corpus, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.appCorporaLocked(d)
+}
+
+func (e *Env) appCorporaLocked(d compile.Dialect) ([]*corpus.Corpus, error) {
+	slot := &e.appCorpGCC
+	if d == compile.Clang {
+		slot = &e.appCorpClang
+	}
+	if *slot != nil {
+		return *slot, nil
+	}
+	var out []*corpus.Corpus
+	for i, app := range e.appProfiles() {
+		n := int(float64(e.Scale.AppBinaries)*app.Scale + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		c, err := corpus.Build(corpus.BuildConfig{
+			Name:     app.Name,
+			Binaries: n,
+			Profile:  app.Profile,
+			Dialect:  d,
+			Window:   e.Scale.Window,
+			// Test seeds are disjoint from the training namespace.
+			Seed: e.Scale.Seed + 1000 + int64(i)*37,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: app %s: %w", app.Name, err)
+		}
+		out = append(out, c)
+	}
+	*slot = out
+	return out, nil
+}
+
+// Apps evaluates (once) the test applications under a dialect: builds each
+// app corpus with the same dialect, runs the dialect's pipeline over every
+// VUC, and votes per variable.
+func (e *Env) Apps(d compile.Dialect) ([]*AppEval, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	slot := &e.appsGCC
+	if d == compile.Clang {
+		slot = &e.appsClang
+	}
+	if *slot != nil {
+		return *slot, nil
+	}
+	pipe, err := e.pipelineLocked(d)
+	if err != nil {
+		return nil, err
+	}
+	corpora, err := e.appCorporaLocked(d)
+	if err != nil {
+		return nil, err
+	}
+	var out []*AppEval
+	for _, c := range corpora {
+		ae, err := evalApp(pipe, c)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: eval %s: %w", c.Name, err)
+		}
+		out = append(out, ae)
+	}
+	*slot = out
+	return out, nil
+}
+
+// evalApp runs the pipeline over a corpus and votes per variable.
+func evalApp(pipe *classify.Pipeline, c *corpus.Corpus) (*AppEval, error) {
+	refs := c.All()
+	ae := &AppEval{
+		Name:    c.Name,
+		Corp:    c,
+		Refs:    refs,
+		Classes: make([]ctypes.Class, len(refs)),
+		Vars:    make(map[varIdent]*VarEval),
+	}
+	samples := make([][]float32, len(refs))
+	for i, r := range refs {
+		samples[i] = pipe.EmbedWindow(c.Tokens(r))
+		_, s := c.At(r)
+		ae.Classes[i] = s.Class
+	}
+	preds, err := pipe.PredictVUCs(samples)
+	if err != nil {
+		return nil, err
+	}
+	ae.Preds = preds
+
+	for i, r := range refs {
+		_, s := c.At(r)
+		id := varIdent{bin: r.Bin, key: s.Var}
+		ve := ae.Vars[id]
+		if ve == nil {
+			ve = &VarEval{Class: s.Class}
+			ae.Vars[id] = ve
+		}
+		ve.Refs = append(ve.Refs, i)
+	}
+	for _, ve := range ae.Vars {
+		group := make([]classify.VUCPrediction, len(ve.Refs))
+		for j, i := range ve.Refs {
+			group[j] = preds[i]
+		}
+		vp := classify.VoteVariable(group, classify.DefaultClamp)
+		ve.Voted = vp.Class
+		ve.StageVote = vp.StageLabels
+	}
+	return ae, nil
+}

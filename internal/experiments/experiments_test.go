@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/compile"
+)
+
+var (
+	envOnce sync.Once
+	testEnv *Env
+)
+
+func quickEnv() *Env {
+	envOnce.Do(func() { testEnv = NewEnv(QuickScale()) })
+	return testEnv
+}
+
+func mustTable(t *testing.T, f func() (*Table, error)) *Table {
+	t.Helper()
+	tab, err := f()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab == nil || len(tab.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	if s := tab.Format(); !strings.Contains(s, tab.ID) {
+		t.Fatal("Format omits ID")
+	}
+	return tab
+}
+
+func cellFloat(t *testing.T, cell string) float64 {
+	t.Helper()
+	cell = strings.TrimSuffix(cell, "%")
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestTable1(t *testing.T) {
+	tab := mustTable(t, quickEnv().Table1)
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	vars := cellFloat(t, tab.Rows[0][1])
+	vucs := cellFloat(t, tab.Rows[1][1])
+	if vucs < vars {
+		t.Error("fewer VUCs than variables in training set")
+	}
+	orphan1 := cellFloat(t, tab.Rows[2][1])
+	unc1 := cellFloat(t, tab.Rows[3][1])
+	if unc1 > orphan1 {
+		t.Error("uncertain-1 exceeds vars-with-1")
+	}
+}
+
+func TestTable3And4(t *testing.T) {
+	e := quickEnv()
+	t3 := mustTable(t, e.Table3)
+	t4 := mustTable(t, e.Table4)
+	// 6 stages × 3 metric rows.
+	if len(t3.Rows) != 18 || len(t4.Rows) != 18 {
+		t.Fatalf("rows: %d and %d, want 18", len(t3.Rows), len(t4.Rows))
+	}
+	// Stage 1 VUC metrics must beat chance noticeably on every app column.
+	for col := 2; col < len(t3.Header); col++ {
+		p := cellFloat(t, t3.Rows[0][col])
+		if p < 0.5 {
+			t.Errorf("stage1 precision %.2f for %s below 0.5", p, t3.Header[col])
+		}
+	}
+	// All numeric cells within [0,1].
+	for _, tab := range []*Table{t3, t4} {
+		for _, row := range tab.Rows {
+			for _, cell := range row[2:] {
+				if cell == "-" {
+					continue
+				}
+				v := cellFloat(t, cell)
+				if v < 0 || v > 1 {
+					t.Fatalf("metric %v out of range", v)
+				}
+			}
+		}
+	}
+}
+
+func TestTable5(t *testing.T) {
+	tab := mustTable(t, quickEnv().Table5)
+	if len(tab.Header) != 9 {
+		t.Fatalf("header = %v", tab.Header)
+	}
+	for _, row := range tab.Rows {
+		sup := cellFloat(t, row[5])
+		if sup <= 0 {
+			t.Errorf("%s: support %v", row[0], sup)
+		}
+		cntSame := cellFloat(t, row[6])
+		cntAll := cellFloat(t, row[7])
+		if cntSame > cntAll+1e-9 {
+			t.Errorf("%s: cnt-same %v > cnt-all %v", row[0], cntSame, cntAll)
+		}
+	}
+}
+
+func TestTable6(t *testing.T) {
+	tab := mustTable(t, quickEnv().Table6)
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[0] != "Total" {
+		t.Fatalf("last row = %v", last)
+	}
+	vucAcc := cellFloat(t, last[1])
+	varAcc := cellFloat(t, last[3])
+	if vucAcc <= 0.2 {
+		t.Errorf("total VUC accuracy %.2f implausibly low", vucAcc)
+	}
+	if varAcc <= 0.2 {
+		t.Errorf("total variable accuracy %.2f implausibly low", varAcc)
+	}
+	// Supports must sum over apps.
+	var vucSum, varSum float64
+	for _, row := range tab.Rows[:len(tab.Rows)-1] {
+		vucSum += cellFloat(t, row[2])
+		varSum += cellFloat(t, row[4])
+	}
+	if vucSum != cellFloat(t, last[2]) || varSum != cellFloat(t, last[4]) {
+		t.Error("total supports do not sum")
+	}
+}
+
+func TestTable7(t *testing.T) {
+	tab := mustTable(t, quickEnv().Table7)
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	p := cellFloat(t, tab.Rows[0][1])
+	if p < 0.5 {
+		t.Errorf("clang stage1 precision %.2f below 0.5", p)
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	e := quickEnv()
+	tab := mustTable(t, func() (*Table, error) { return e.Figure6(12) })
+	if len(tab.Rows) != 2*e.Scale.Window+1 {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), 2*e.Scale.Window+1)
+	}
+	// Monotone in the threshold per row.
+	for _, row := range tab.Rows {
+		for i := 2; i < len(row); i++ {
+			if cellFloat(t, row[i]) > cellFloat(t, row[i-1])+1e-9 {
+				t.Fatalf("non-monotone distribution in row %s", row[0])
+			}
+		}
+	}
+	// The central row must be marked.
+	found := false
+	for _, row := range tab.Rows {
+		if row[0] == "0*" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("central row not marked")
+	}
+}
+
+func TestDebinComparison(t *testing.T) {
+	tab := mustTable(t, quickEnv().DebinComparison)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		acc := cellFloat(t, row[1])
+		if acc < 0 || acc > 1 {
+			t.Errorf("%s: accuracy %v", row[0], acc)
+		}
+	}
+}
+
+func TestClustering(t *testing.T) {
+	tab := mustTable(t, quickEnv().Clustering)
+	for _, row := range tab.Rows {
+		share := cellFloat(t, row[1])
+		if share <= 0 || share > 100 {
+			t.Errorf("%s: share %v%%", row[0], share)
+		}
+	}
+}
+
+func TestTiming(t *testing.T) {
+	tab := mustTable(t, quickEnv().Timing)
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[6][0] != "total" {
+		t.Fatalf("last row %v", tab.Rows[6])
+	}
+}
+
+func TestAblationClamp(t *testing.T) {
+	tab := mustTable(t, func() (*Table, error) { return quickEnv().AblationClamp([]float64{0, 0.9}) })
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "off" {
+		t.Errorf("first label = %s", tab.Rows[0][0])
+	}
+}
+
+func TestCompilerID(t *testing.T) {
+	e := quickEnv()
+	tab := mustTable(t, e.CompilerID)
+	acc := cellFloat(t, tab.Rows[0][1])
+	// Dialects differ systematically; even the quick model must do far
+	// better than chance.
+	if acc < 0.75 {
+		t.Errorf("compiler ID accuracy %.3f below 0.75", acc)
+	}
+}
+
+func TestAppsCached(t *testing.T) {
+	e := quickEnv()
+	a1, err := e.Apps(compile.GCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := e.Apps(compile.GCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1) == 0 || &a1[0] != &a2[0] {
+		t.Error("Apps not cached")
+	}
+}
+
+func TestConfusions(t *testing.T) {
+	tab := mustTable(t, quickEnv().Confusions)
+	for _, row := range tab.Rows {
+		if row[0] == row[1] {
+			t.Errorf("diagonal cell in confusion list: %v", row)
+		}
+		if cellFloat(t, row[2]) <= 0 {
+			t.Errorf("non-positive count: %v", row)
+		}
+	}
+}
+
+func TestOrphans(t *testing.T) {
+	tab := mustTable(t, quickEnv().Orphans)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		cati := cellFloat(t, row[1])
+		dep := cellFloat(t, row[2])
+		n := cellFloat(t, row[3])
+		if cati < 0 || cati > 1 || dep < 0 || dep > 1 || n <= 0 {
+			t.Errorf("bad row %v", row)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package metrics computes the evaluation measures the paper reports:
+// per-class precision / recall / F1 (Tables III, IV, VII), weighted and
+// macro averages, plain accuracy (Table VI) and confusion matrices.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Confusion is a label-indexed confusion matrix for labels 0..N-1.
+type Confusion struct {
+	N      int
+	Counts []int // Counts[true*N + pred]
+}
+
+// NewConfusion allocates an N-class confusion matrix.
+func NewConfusion(n int) *Confusion {
+	return &Confusion{N: n, Counts: make([]int, n*n)}
+}
+
+// Add records one (true, predicted) observation.
+func (c *Confusion) Add(trueLabel, pred int) {
+	if trueLabel < 0 || trueLabel >= c.N || pred < 0 || pred >= c.N {
+		return
+	}
+	c.Counts[trueLabel*c.N+pred]++
+}
+
+// Total returns the number of observations.
+func (c *Confusion) Total() int {
+	t := 0
+	for _, v := range c.Counts {
+		t += v
+	}
+	return t
+}
+
+// Support returns the number of observations with the given true label.
+func (c *Confusion) Support(label int) int {
+	s := 0
+	for p := 0; p < c.N; p++ {
+		s += c.Counts[label*c.N+p]
+	}
+	return s
+}
+
+// Accuracy is the fraction of correct predictions.
+func (c *Confusion) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < c.N; i++ {
+		correct += c.Counts[i*c.N+i]
+	}
+	return float64(correct) / float64(total)
+}
+
+// PRF holds precision, recall and F1.
+type PRF struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	Support   int
+}
+
+// Class computes the one-vs-rest PRF of a label.
+func (c *Confusion) Class(label int) PRF {
+	tp := c.Counts[label*c.N+label]
+	fp, fn := 0, 0
+	for i := 0; i < c.N; i++ {
+		if i == label {
+			continue
+		}
+		fp += c.Counts[i*c.N+label]
+		fn += c.Counts[label*c.N+i]
+	}
+	var p, r, f float64
+	if tp+fp > 0 {
+		p = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		r = float64(tp) / float64(tp+fn)
+	}
+	if p+r > 0 {
+		f = 2 * p * r / (p + r)
+	}
+	return PRF{Precision: p, Recall: r, F1: f, Support: tp + fn}
+}
+
+// Weighted computes the support-weighted average PRF over classes with
+// non-zero support — the convention scikit-learn's weighted average uses,
+// matching the paper's per-application rows.
+func (c *Confusion) Weighted() PRF {
+	var p, r, f float64
+	total := 0
+	for i := 0; i < c.N; i++ {
+		s := c.Support(i)
+		if s == 0 {
+			continue
+		}
+		m := c.Class(i)
+		p += m.Precision * float64(s)
+		r += m.Recall * float64(s)
+		f += m.F1 * float64(s)
+		total += s
+	}
+	if total == 0 {
+		return PRF{}
+	}
+	return PRF{
+		Precision: p / float64(total),
+		Recall:    r / float64(total),
+		F1:        f / float64(total),
+		Support:   total,
+	}
+}
+
+// Macro computes the unweighted mean PRF over classes with support.
+func (c *Confusion) Macro() PRF {
+	var p, r, f float64
+	n := 0
+	for i := 0; i < c.N; i++ {
+		if c.Support(i) == 0 {
+			continue
+		}
+		m := c.Class(i)
+		p += m.Precision
+		r += m.Recall
+		f += m.F1
+		n++
+	}
+	if n == 0 {
+		return PRF{}
+	}
+	return PRF{Precision: p / float64(n), Recall: r / float64(n), F1: f / float64(n), Support: c.Total()}
+}
+
+// String renders the matrix for debugging.
+func (c *Confusion) String() string {
+	var sb strings.Builder
+	for i := 0; i < c.N; i++ {
+		for j := 0; j < c.N; j++ {
+			fmt.Fprintf(&sb, "%6d", c.Counts[i*c.N+j])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TopConfusions lists the k largest off-diagonal cells as (true, pred,
+// count), most frequent first — used in error analysis.
+func (c *Confusion) TopConfusions(k int) [][3]int {
+	var cells [][3]int
+	for i := 0; i < c.N; i++ {
+		for j := 0; j < c.N; j++ {
+			if i != j && c.Counts[i*c.N+j] > 0 {
+				cells = append(cells, [3]int{i, j, c.Counts[i*c.N+j]})
+			}
+		}
+	}
+	sort.Slice(cells, func(a, b int) bool { return cells[a][2] > cells[b][2] })
+	if len(cells) > k {
+		cells = cells[:k]
+	}
+	return cells
+}

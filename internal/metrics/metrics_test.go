@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestBasicPRF(t *testing.T) {
+	c := NewConfusion(2)
+	// class 0: 8 correct, 2 predicted as 1; class 1: 5 correct, 1 as 0.
+	for i := 0; i < 8; i++ {
+		c.Add(0, 0)
+	}
+	for i := 0; i < 2; i++ {
+		c.Add(0, 1)
+	}
+	for i := 0; i < 5; i++ {
+		c.Add(1, 1)
+	}
+	c.Add(1, 0)
+
+	m0 := c.Class(0)
+	if !approx(m0.Precision, 8.0/9) || !approx(m0.Recall, 0.8) {
+		t.Errorf("class 0: %+v", m0)
+	}
+	if m0.Support != 10 {
+		t.Errorf("support = %d", m0.Support)
+	}
+	m1 := c.Class(1)
+	if !approx(m1.Precision, 5.0/7) || !approx(m1.Recall, 5.0/6) {
+		t.Errorf("class 1: %+v", m1)
+	}
+	if !approx(c.Accuracy(), 13.0/16) {
+		t.Errorf("accuracy = %v", c.Accuracy())
+	}
+}
+
+func TestF1Harmonic(t *testing.T) {
+	c := NewConfusion(2)
+	c.Add(0, 0)
+	c.Add(0, 1)
+	c.Add(1, 1)
+	m := c.Class(0)
+	wantF1 := 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	if !approx(m.F1, wantF1) {
+		t.Errorf("F1 = %v, want %v", m.F1, wantF1)
+	}
+}
+
+func TestWeightedVsMacro(t *testing.T) {
+	c := NewConfusion(3)
+	// class 0 is dominant and perfect; class 1 is rare and wrong.
+	for i := 0; i < 90; i++ {
+		c.Add(0, 0)
+	}
+	for i := 0; i < 10; i++ {
+		c.Add(1, 2)
+	}
+	w, m := c.Weighted(), c.Macro()
+	if w.Recall <= m.Recall {
+		t.Errorf("weighted recall %v should exceed macro %v here", w.Recall, m.Recall)
+	}
+	if !approx(w.Recall, 0.9) {
+		t.Errorf("weighted recall = %v", w.Recall)
+	}
+	if !approx(m.Recall, 0.5) {
+		t.Errorf("macro recall = %v", m.Recall)
+	}
+}
+
+func TestEmptyAndOutOfRange(t *testing.T) {
+	c := NewConfusion(3)
+	if c.Accuracy() != 0 || c.Total() != 0 {
+		t.Error("empty matrix not zero")
+	}
+	c.Add(-1, 0)
+	c.Add(0, 5)
+	if c.Total() != 0 {
+		t.Error("out-of-range adds were recorded")
+	}
+	if (c.Weighted() != PRF{}) || (c.Macro() != PRF{}) {
+		t.Error("averages on empty matrix should be zero")
+	}
+}
+
+func TestPerfectPrediction(t *testing.T) {
+	c := NewConfusion(4)
+	for l := 0; l < 4; l++ {
+		for i := 0; i <= l; i++ {
+			c.Add(l, l)
+		}
+	}
+	if !approx(c.Accuracy(), 1) {
+		t.Error("accuracy != 1")
+	}
+	w := c.Weighted()
+	if !approx(w.Precision, 1) || !approx(w.Recall, 1) || !approx(w.F1, 1) {
+		t.Errorf("weighted = %+v", w)
+	}
+}
+
+func TestTopConfusions(t *testing.T) {
+	c := NewConfusion(3)
+	for i := 0; i < 5; i++ {
+		c.Add(0, 1)
+	}
+	for i := 0; i < 3; i++ {
+		c.Add(1, 2)
+	}
+	c.Add(2, 2)
+	top := c.TopConfusions(10)
+	if len(top) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	if top[0] != [3]int{0, 1, 5} || top[1] != [3]int{1, 2, 3} {
+		t.Errorf("top = %v", top)
+	}
+	if got := c.TopConfusions(1); len(got) != 1 {
+		t.Errorf("k=1 gave %v", got)
+	}
+}
+
+// Property: accuracy equals weighted recall for any matrix (a standard
+// identity for support-weighted recall over all classes).
+func TestPropertyAccuracyIsWeightedRecall(t *testing.T) {
+	f := func(cells [16]uint8) bool {
+		c := NewConfusion(4)
+		for i, v := range cells {
+			c.Counts[i] = int(v)
+		}
+		if c.Total() == 0 {
+			return true
+		}
+		return math.Abs(c.Accuracy()-c.Weighted().Recall) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: all metric values stay within [0, 1].
+func TestPropertyMetricsBounded(t *testing.T) {
+	f := func(cells [9]uint8) bool {
+		c := NewConfusion(3)
+		for i, v := range cells {
+			c.Counts[i] = int(v)
+		}
+		for l := 0; l < 3; l++ {
+			m := c.Class(l)
+			if m.Precision < 0 || m.Precision > 1 || m.Recall < 0 || m.Recall > 1 ||
+				m.F1 < 0 || m.F1 > 1 {
+				return false
+			}
+		}
+		a := c.Accuracy()
+		return a >= 0 && a <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,294 @@
+package nn
+
+import "math/rand"
+
+// Layer is one differentiable stage. Forward retains whatever it needs for
+// the subsequent Backward; networks are used by a single goroutine.
+type Layer interface {
+	Forward(x *Tensor, train bool) *Tensor
+	Backward(grad *Tensor) *Tensor
+	Params() []*Param
+}
+
+// Conv1D is a same-padded 1-D convolution over [B, L, Cin] → [B, L, Cout].
+type Conv1D struct {
+	In, Out, K int
+	W          *Param // [Out, K, In]
+	B          *Param // [Out]
+
+	lastX *Tensor
+}
+
+// NewConv1D builds a same-padded convolution layer.
+func NewConv1D(r *rand.Rand, in, out, k int) *Conv1D {
+	c := &Conv1D{In: in, Out: out, K: k, W: newParam(out * k * in), B: newParam(out)}
+	glorotInit(r, c.W.W, in*k, out)
+	return c
+}
+
+// Forward computes the convolution.
+func (c *Conv1D) Forward(x *Tensor, train bool) *Tensor {
+	if train {
+		c.lastX = x
+	}
+	b, l := x.Dim(0), x.Dim(1)
+	out := NewTensor(b, l, c.Out)
+	half := c.K / 2
+	for bi := 0; bi < b; bi++ {
+		xb := x.Data[bi*l*c.In : (bi+1)*l*c.In]
+		ob := out.Data[bi*l*c.Out : (bi+1)*l*c.Out]
+		for li := 0; li < l; li++ {
+			orow := ob[li*c.Out : (li+1)*c.Out]
+			copy(orow, c.B.W)
+			for dk := 0; dk < c.K; dk++ {
+				si := li + dk - half
+				if si < 0 || si >= l {
+					continue
+				}
+				xrow := xb[si*c.In : (si+1)*c.In]
+				for co := 0; co < c.Out; co++ {
+					w := c.W.W[(co*c.K+dk)*c.In : (co*c.K+dk+1)*c.In]
+					var sum float32
+					for ci := range xrow {
+						sum += w[ci] * xrow[ci]
+					}
+					orow[co] += sum
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW/dB and returns dX.
+func (c *Conv1D) Backward(grad *Tensor) *Tensor {
+	x := c.lastX
+	b, l := x.Dim(0), x.Dim(1)
+	dx := NewTensor(b, l, c.In)
+	half := c.K / 2
+	for bi := 0; bi < b; bi++ {
+		xb := x.Data[bi*l*c.In : (bi+1)*l*c.In]
+		gb := grad.Data[bi*l*c.Out : (bi+1)*l*c.Out]
+		db := dx.Data[bi*l*c.In : (bi+1)*l*c.In]
+		for li := 0; li < l; li++ {
+			grow := gb[li*c.Out : (li+1)*c.Out]
+			for co := 0; co < c.Out; co++ {
+				g := grow[co]
+				if g == 0 {
+					continue
+				}
+				c.B.G[co] += g
+				for dk := 0; dk < c.K; dk++ {
+					si := li + dk - half
+					if si < 0 || si >= l {
+						continue
+					}
+					xrow := xb[si*c.In : (si+1)*c.In]
+					dxrow := db[si*c.In : (si+1)*c.In]
+					w := c.W.W[(co*c.K+dk)*c.In : (co*c.K+dk+1)*c.In]
+					wg := c.W.G[(co*c.K+dk)*c.In : (co*c.K+dk+1)*c.In]
+					for ci := range xrow {
+						wg[ci] += g * xrow[ci]
+						dxrow[ci] += g * w[ci]
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the layer's parameters.
+func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// ReLU is the elementwise rectifier.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward clamps negatives to zero.
+func (r *ReLU) Forward(x *Tensor, train bool) *Tensor {
+	out := NewTensor(x.Shape...)
+	if train {
+		if cap(r.mask) < len(x.Data) {
+			r.mask = make([]bool, len(x.Data))
+		}
+		r.mask = r.mask[:len(x.Data)]
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			if train {
+				r.mask[i] = true
+			}
+		} else if train {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward gates the gradient by the activation mask.
+func (r *ReLU) Backward(grad *Tensor) *Tensor {
+	out := NewTensor(grad.Shape...)
+	for i, v := range grad.Data {
+		if r.mask[i] {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Params returns nil (ReLU has none).
+func (r *ReLU) Params() []*Param { return nil }
+
+// MaxPool1D halves the sequence axis of [B, L, C] (floor division).
+type MaxPool1D struct {
+	argmax []int32
+	inLen  int
+	ch     int
+}
+
+// Forward pools adjacent pairs.
+func (p *MaxPool1D) Forward(x *Tensor, train bool) *Tensor {
+	b, l, c := x.Dim(0), x.Dim(1), x.Dim(2)
+	ol := l / 2
+	out := NewTensor(b, ol, c)
+	if train {
+		if cap(p.argmax) < out.Len() {
+			p.argmax = make([]int32, out.Len())
+		}
+		p.argmax = p.argmax[:out.Len()]
+		p.inLen, p.ch = l, c
+	}
+	for bi := 0; bi < b; bi++ {
+		for li := 0; li < ol; li++ {
+			i0 := (bi*l + 2*li) * c
+			i1 := i0 + c
+			o := (bi*ol + li) * c
+			for ci := 0; ci < c; ci++ {
+				a, bb := x.Data[i0+ci], x.Data[i1+ci]
+				if a >= bb {
+					out.Data[o+ci] = a
+					if train {
+						p.argmax[o+ci] = int32(i0 + ci)
+					}
+				} else {
+					out.Data[o+ci] = bb
+					if train {
+						p.argmax[o+ci] = int32(i1 + ci)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward routes gradients to the argmax positions.
+func (p *MaxPool1D) Backward(grad *Tensor) *Tensor {
+	b, ol, c := grad.Dim(0), grad.Dim(1), grad.Dim(2)
+	dx := NewTensor(b, p.inLen, c)
+	for i, g := range grad.Data {
+		dx.Data[p.argmax[i]] += g
+	}
+	_ = ol
+	return dx
+}
+
+// Params returns nil.
+func (p *MaxPool1D) Params() []*Param { return nil }
+
+// Flatten collapses [B, ...] to [B, N].
+type Flatten struct {
+	inShape []int
+}
+
+// Forward reshapes.
+func (f *Flatten) Forward(x *Tensor, train bool) *Tensor {
+	if train {
+		f.inShape = append(f.inShape[:0], x.Shape...)
+	}
+	n := 1
+	for _, d := range x.Shape[1:] {
+		n *= d
+	}
+	return x.Reshape(x.Dim(0), n)
+}
+
+// Backward restores the shape.
+func (f *Flatten) Backward(grad *Tensor) *Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// Params returns nil.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Dense is a fully connected layer [B, In] → [B, Out].
+type Dense struct {
+	In, Out int
+	W       *Param // [In, Out]
+	B       *Param // [Out]
+
+	lastX *Tensor
+}
+
+// NewDense builds a dense layer with Glorot initialization.
+func NewDense(r *rand.Rand, in, out int) *Dense {
+	d := &Dense{In: in, Out: out, W: newParam(in * out), B: newParam(out)}
+	glorotInit(r, d.W.W, in, out)
+	return d
+}
+
+// Forward computes X·W + b.
+func (d *Dense) Forward(x *Tensor, train bool) *Tensor {
+	if train {
+		d.lastX = x
+	}
+	b := x.Dim(0)
+	out := NewTensor(b, d.Out)
+	for bi := 0; bi < b; bi++ {
+		xrow := x.Data[bi*d.In : (bi+1)*d.In]
+		orow := out.Data[bi*d.Out : (bi+1)*d.Out]
+		copy(orow, d.B.W)
+		for i, xv := range xrow {
+			if xv == 0 {
+				continue
+			}
+			wrow := d.W.W[i*d.Out : (i+1)*d.Out]
+			for o := range orow {
+				orow[o] += xv * wrow[o]
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW/dB and returns dX.
+func (d *Dense) Backward(grad *Tensor) *Tensor {
+	x := d.lastX
+	b := x.Dim(0)
+	dx := NewTensor(b, d.In)
+	for bi := 0; bi < b; bi++ {
+		xrow := x.Data[bi*d.In : (bi+1)*d.In]
+		grow := grad.Data[bi*d.Out : (bi+1)*d.Out]
+		dxrow := dx.Data[bi*d.In : (bi+1)*d.In]
+		for o, g := range grow {
+			d.B.G[o] += g
+		}
+		for i, xv := range xrow {
+			wrow := d.W.W[i*d.Out : (i+1)*d.Out]
+			wgrow := d.W.G[i*d.Out : (i+1)*d.Out]
+			var acc float32
+			for o, g := range grow {
+				acc += g * wrow[o]
+				wgrow[o] += g * xv
+			}
+			dxrow[i] = acc
+		}
+	}
+	return dx
+}
+
+// Params returns the layer's parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }

@@ -1,0 +1,327 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Network is a sequential stack of layers ending in logits; softmax and
+// cross-entropy live in the trainer.
+type Network struct {
+	Layers []Layer
+}
+
+// Forward runs all layers.
+func (n *Network) Forward(x *Tensor, train bool) *Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates a gradient through all layers.
+func (n *Network) Backward(grad *Tensor) {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+}
+
+// Params collects all learnable parameters.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// NewCATICNN builds the paper's per-stage classifier: two convolution
+// layers (32 then 64 filters) and a 1024-unit fully connected layer
+// feeding the class logits ("we employ a common 2-layer CNN model (32-64)
+// with a fully connected layer (1024)", §V-A).
+func NewCATICNN(seqLen, embDim, classes int, seed int64) *Network {
+	return NewCNN(seqLen, embDim, 32, 64, 1024, classes, seed)
+}
+
+// NewCNN builds the same architecture with configurable sizes (used by the
+// ablation benchmarks).
+func NewCNN(seqLen, embDim, conv1, conv2, hidden, classes int, seed int64) *Network {
+	r := rand.New(rand.NewSource(seed))
+	l1 := seqLen / 2
+	l2 := l1 / 2
+	return &Network{Layers: []Layer{
+		NewConv1D(r, embDim, conv1, 3),
+		&ReLU{},
+		&MaxPool1D{},
+		NewConv1D(r, conv1, conv2, 3),
+		&ReLU{},
+		&MaxPool1D{},
+		&Flatten{},
+		NewDense(r, l2*conv2, hidden),
+		&ReLU{},
+		NewDense(r, hidden, classes),
+	}}
+}
+
+// Softmax converts logits to probabilities in place per row of [B, C].
+func Softmax(logits *Tensor) {
+	b, c := logits.Dim(0), logits.Dim(1)
+	for bi := 0; bi < b; bi++ {
+		row := logits.Data[bi*c : (bi+1)*c]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for i, v := range row {
+			e := math.Exp(float64(v - maxv))
+			row[i] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for i := range row {
+			row[i] *= inv
+		}
+	}
+}
+
+// Adam is the Adam optimizer.
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+	step  int
+}
+
+// NewAdam returns Adam with standard betas.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one update to every parameter and zeroes gradients.
+func (a *Adam) Step(params []*Param) {
+	a.step++
+	b1c := 1 - math.Pow(a.Beta1, float64(a.step))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.step))
+	lr := float32(a.LR * math.Sqrt(b2c) / b1c)
+	b1, b2 := float32(a.Beta1), float32(a.Beta2)
+	eps := float32(a.Eps)
+	for _, p := range params {
+		if p.m == nil {
+			p.m = make([]float32, len(p.W))
+			p.v = make([]float32, len(p.W))
+		}
+		for i := range p.W {
+			g := p.G[i]
+			p.m[i] = b1*p.m[i] + (1-b1)*g
+			p.v[i] = b2*p.v[i] + (1-b2)*g*g
+			p.W[i] -= lr * p.m[i] / (sqrt32(p.v[i]) + eps)
+		}
+		p.zeroGrad()
+	}
+}
+
+func sqrt32(x float32) float32 {
+	return float32(math.Sqrt(float64(x)))
+}
+
+// TrainConfig configures classifier training.
+type TrainConfig struct {
+	Epochs int
+	Batch  int
+	LR     float64
+	Seed   int64
+	// Progress, when non-nil, receives (epoch, loss) after each epoch.
+	Progress func(epoch int, loss float64)
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs == 0 {
+		c.Epochs = 3
+	}
+	if c.Batch == 0 {
+		c.Batch = 64
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	return c
+}
+
+// Dataset is a labeled classification dataset: Samples[i] is a flattened
+// [SeqLen, EmbDim] matrix, Labels[i] its class index.
+type Dataset struct {
+	Samples [][]float32
+	Labels  []int
+	SeqLen  int
+	EmbDim  int
+}
+
+// Add appends a sample.
+func (d *Dataset) Add(sample []float32, label int) {
+	d.Samples = append(d.Samples, sample)
+	d.Labels = append(d.Labels, label)
+}
+
+// Len returns the sample count.
+func (d *Dataset) Len() int { return len(d.Samples) }
+
+// ErrEmptyDataset reports training on no data.
+var ErrEmptyDataset = errors.New("nn: empty dataset")
+
+// TrainClassifier trains the network with softmax cross-entropy.
+func TrainClassifier(net *Network, ds *Dataset, classes int, cfg TrainConfig) error {
+	cfg = cfg.withDefaults()
+	if ds.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	opt := NewAdam(cfg.LR)
+	params := net.Params()
+
+	idx := make([]int, ds.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sampleSize := ds.SeqLen * ds.EmbDim
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var totalLoss float64
+		var seen int
+		for start := 0; start < len(idx); start += cfg.Batch {
+			end := start + cfg.Batch
+			if end > len(idx) {
+				end = len(idx)
+			}
+			b := end - start
+			x := NewTensor(b, ds.SeqLen, ds.EmbDim)
+			for bi, si := range idx[start:end] {
+				copy(x.Data[bi*sampleSize:(bi+1)*sampleSize], ds.Samples[si])
+			}
+			logits := net.Forward(x, true)
+			Softmax(logits)
+			// Cross-entropy loss and gradient (probs - onehot) / B.
+			grad := NewTensor(b, classes)
+			for bi, si := range idx[start:end] {
+				row := logits.Data[bi*classes : (bi+1)*classes]
+				y := ds.Labels[si]
+				p := row[y]
+				if p < 1e-9 {
+					p = 1e-9
+				}
+				totalLoss += -math.Log(float64(p))
+				for c := 0; c < classes; c++ {
+					g := row[c]
+					if c == y {
+						g -= 1
+					}
+					grad.Data[bi*classes+c] = g / float32(b)
+				}
+			}
+			seen += b
+			net.Backward(grad)
+			opt.Step(params)
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, totalLoss/float64(seen))
+		}
+	}
+	return nil
+}
+
+// Predict returns class probabilities for a batch of samples.
+func Predict(net *Network, samples [][]float32, seqLen, embDim int) [][]float32 {
+	if len(samples) == 0 {
+		return nil
+	}
+	const chunk = 256
+	out := make([][]float32, 0, len(samples))
+	for start := 0; start < len(samples); start += chunk {
+		end := start + chunk
+		if end > len(samples) {
+			end = len(samples)
+		}
+		b := end - start
+		x := NewTensor(b, seqLen, embDim)
+		size := seqLen * embDim
+		for bi, s := range samples[start:end] {
+			copy(x.Data[bi*size:(bi+1)*size], s)
+		}
+		logits := net.Forward(x, false)
+		Softmax(logits)
+		c := logits.Dim(1)
+		for bi := 0; bi < b; bi++ {
+			row := make([]float32, c)
+			copy(row, logits.Data[bi*c:(bi+1)*c])
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Argmax returns the index of the largest probability.
+func Argmax(row []float32) int {
+	best := 0
+	for i, v := range row {
+		if v > row[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// netState is the serialized form: architecture hyperparameters plus flat
+// weights, layer by layer.
+type netState struct {
+	SeqLen, EmbDim       int
+	Conv1, Conv2, Hidden int
+	Classes              int
+	Weights              [][]float32
+}
+
+// EncodeCNN serializes a network built by NewCNN along with its
+// architecture so DecodeCNN can rebuild it.
+func EncodeCNN(net *Network, seqLen, embDim, conv1, conv2, hidden, classes int) ([]byte, error) {
+	st := netState{
+		SeqLen: seqLen, EmbDim: embDim,
+		Conv1: conv1, Conv2: conv2, Hidden: hidden, Classes: classes,
+	}
+	for _, p := range net.Params() {
+		w := make([]float32, len(p.W))
+		copy(w, p.W)
+		st.Weights = append(st.Weights, w)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("nn: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCNN rebuilds a serialized network.
+func DecodeCNN(data []byte) (*Network, error) {
+	var st netState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("nn: decode: %w", err)
+	}
+	net := NewCNN(st.SeqLen, st.EmbDim, st.Conv1, st.Conv2, st.Hidden, st.Classes, 0)
+	params := net.Params()
+	if len(params) != len(st.Weights) {
+		return nil, fmt.Errorf("nn: decode: %d weight blocks for %d params", len(st.Weights), len(params))
+	}
+	for i, p := range params {
+		if len(p.W) != len(st.Weights[i]) {
+			return nil, fmt.Errorf("nn: decode: param %d size %d != %d", i, len(st.Weights[i]), len(p.W))
+		}
+		copy(p.W, st.Weights[i])
+	}
+	return net, nil
+}

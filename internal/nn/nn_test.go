@@ -1,0 +1,274 @@
+package nn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// numericGradCheck compares analytic and numeric gradients for one layer
+// stack on a tiny input.
+func TestGradientCheckDense(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	d := NewDense(r, 4, 3)
+	x := NewTensor(2, 4)
+	for i := range x.Data {
+		x.Data[i] = r.Float32()*2 - 1
+	}
+	// Loss = sum(out^2)/2 → dOut = out.
+	forward := func() float64 {
+		out := d.Forward(x, true)
+		var s float64
+		for _, v := range out.Data {
+			s += float64(v) * float64(v) / 2
+		}
+		return s
+	}
+	out := d.Forward(x, true)
+	grad := NewTensor(2, 3)
+	copy(grad.Data, out.Data)
+	dx := d.Backward(grad)
+
+	const eps = 1e-3
+	// Check dW numerically.
+	for _, pi := range []int{0, 5, 11} {
+		orig := d.W.W[pi]
+		d.W.W[pi] = orig + eps
+		lp := forward()
+		d.W.W[pi] = orig - eps
+		lm := forward()
+		d.W.W[pi] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(d.W.G[pi])) > 1e-2*(1+math.Abs(num)) {
+			t.Errorf("dW[%d]: analytic %.5f numeric %.5f", pi, d.W.G[pi], num)
+		}
+	}
+	// Check dX numerically.
+	for _, xi := range []int{0, 3, 7} {
+		orig := x.Data[xi]
+		x.Data[xi] = orig + eps
+		lp := forward()
+		x.Data[xi] = orig - eps
+		lm := forward()
+		x.Data[xi] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(dx.Data[xi])) > 1e-2*(1+math.Abs(num)) {
+			t.Errorf("dX[%d]: analytic %.5f numeric %.5f", xi, dx.Data[xi], num)
+		}
+	}
+}
+
+func TestGradientCheckConv(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	c := NewConv1D(r, 3, 2, 3)
+	x := NewTensor(1, 5, 3)
+	for i := range x.Data {
+		x.Data[i] = r.Float32()*2 - 1
+	}
+	forward := func() float64 {
+		out := c.Forward(x, true)
+		var s float64
+		for _, v := range out.Data {
+			s += float64(v) * float64(v) / 2
+		}
+		return s
+	}
+	out := c.Forward(x, true)
+	grad := NewTensor(out.Shape...)
+	copy(grad.Data, out.Data)
+	dx := c.Backward(grad)
+
+	const eps = 1e-3
+	for _, pi := range []int{0, 7, len(c.W.W) - 1} {
+		orig := c.W.W[pi]
+		c.W.W[pi] = orig + eps
+		lp := forward()
+		c.W.W[pi] = orig - eps
+		lm := forward()
+		c.W.W[pi] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(c.W.G[pi])) > 1e-2*(1+math.Abs(num)) {
+			t.Errorf("conv dW[%d]: analytic %.5f numeric %.5f", pi, c.W.G[pi], num)
+		}
+	}
+	for _, xi := range []int{0, 6, 14} {
+		orig := x.Data[xi]
+		x.Data[xi] = orig + eps
+		lp := forward()
+		x.Data[xi] = orig - eps
+		lm := forward()
+		x.Data[xi] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(dx.Data[xi])) > 1e-2*(1+math.Abs(num)) {
+			t.Errorf("conv dX[%d]: analytic %.5f numeric %.5f", xi, dx.Data[xi], num)
+		}
+	}
+}
+
+func TestMaxPoolForwardBackward(t *testing.T) {
+	p := &MaxPool1D{}
+	x := NewTensor(1, 4, 2)
+	copy(x.Data, []float32{1, 8, 3, 2, 5, 5, 7, 6})
+	out := p.Forward(x, true)
+	want := []float32{3, 8, 7, 6}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Errorf("pool out[%d] = %v, want %v", i, out.Data[i], v)
+		}
+	}
+	grad := NewTensor(1, 2, 2)
+	copy(grad.Data, []float32{1, 2, 3, 4})
+	dx := p.Backward(grad)
+	wantDx := []float32{0, 2, 1, 0, 0, 0, 3, 4}
+	for i, v := range wantDx {
+		if dx.Data[i] != v {
+			t.Errorf("pool dx[%d] = %v, want %v", i, dx.Data[i], v)
+		}
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	l := NewTensor(2, 3)
+	copy(l.Data, []float32{1, 2, 3, -1, 0, 1})
+	Softmax(l)
+	for bi := 0; bi < 2; bi++ {
+		var sum float64
+		for c := 0; c < 3; c++ {
+			v := l.Data[bi*3+c]
+			if v <= 0 || v >= 1 {
+				t.Fatalf("prob out of range: %v", v)
+			}
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("row %d sums to %v", bi, sum)
+		}
+	}
+	if !(l.Data[2] > l.Data[1] && l.Data[1] > l.Data[0]) {
+		t.Error("softmax not monotone")
+	}
+}
+
+// TestLearnsSeparableTask verifies end-to-end training: two Gaussian-ish
+// token patterns must be separable to near-100%.
+func TestLearnsSeparableTask(t *testing.T) {
+	const seqLen, embDim = 9, 8
+	r := rand.New(rand.NewSource(3))
+	ds := &Dataset{SeqLen: seqLen, EmbDim: embDim}
+	mk := func(label int) []float32 {
+		s := make([]float32, seqLen*embDim)
+		for i := range s {
+			s[i] = r.Float32()*0.4 - 0.2
+		}
+		// Class signal: a bump in a label-dependent channel.
+		for l := 0; l < seqLen; l++ {
+			s[l*embDim+label] += 1.0
+		}
+		return s
+	}
+	for i := 0; i < 400; i++ {
+		y := i % 2
+		ds.Add(mk(y), y)
+	}
+	net := NewCNN(seqLen, embDim, 8, 8, 32, 2, 7)
+	if err := TrainClassifier(net, ds, 2, TrainConfig{Epochs: 5, Batch: 32, LR: 2e-3, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	probs := Predict(net, ds.Samples, seqLen, embDim)
+	for i, p := range probs {
+		if Argmax(p) == ds.Labels[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(ds.Len())
+	if acc < 0.95 {
+		t.Errorf("training accuracy %.2f, want ≥0.95", acc)
+	}
+}
+
+func TestTrainEmptyDataset(t *testing.T) {
+	net := NewCNN(4, 4, 2, 2, 8, 2, 1)
+	err := TrainClassifier(net, &Dataset{SeqLen: 4, EmbDim: 4}, 2, TrainConfig{})
+	if !errors.Is(err, ErrEmptyDataset) {
+		t.Errorf("error = %v, want ErrEmptyDataset", err)
+	}
+}
+
+func TestEncodeDecodeCNN(t *testing.T) {
+	net := NewCNN(9, 8, 4, 4, 16, 3, 5)
+	r := rand.New(rand.NewSource(9))
+	x := NewTensor(2, 9, 8)
+	for i := range x.Data {
+		x.Data[i] = r.Float32()
+	}
+	want := net.Forward(x, false)
+
+	blob, err := EncodeCNN(net, 9, 8, 4, 4, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCNN(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := got.Forward(x, false)
+	for i := range want.Data {
+		if want.Data[i] != out.Data[i] {
+			t.Fatalf("output differs at %d after round trip", i)
+		}
+	}
+	if _, err := DecodeCNN([]byte("junk")); err == nil {
+		t.Error("DecodeCNN(junk) should fail")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	mkDS := func() *Dataset {
+		r := rand.New(rand.NewSource(4))
+		ds := &Dataset{SeqLen: 5, EmbDim: 4}
+		for i := 0; i < 64; i++ {
+			s := make([]float32, 20)
+			for j := range s {
+				s[j] = r.Float32()
+			}
+			ds.Add(s, i%3)
+		}
+		return ds
+	}
+	train := func() *Network {
+		net := NewCNN(5, 4, 4, 4, 8, 3, 11)
+		if err := TrainClassifier(net, mkDS(), 3, TrainConfig{Epochs: 2, Batch: 16, Seed: 5}); err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	a, b := train(), train()
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		for j := range pa[i].W {
+			if pa[i].W[j] != pb[i].W[j] {
+				t.Fatalf("nondeterministic training at param %d[%d]", i, j)
+			}
+		}
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if Argmax([]float32{0.1, 0.7, 0.2}) != 1 {
+		t.Error("argmax wrong")
+	}
+	if Argmax([]float32{0.9}) != 0 {
+		t.Error("argmax single wrong")
+	}
+}
+
+func TestReshapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Reshape with wrong size should panic")
+		}
+	}()
+	NewTensor(2, 3).Reshape(7)
+}

@@ -1,0 +1,288 @@
+// Package synth generates synthetic C-like programs with typed variables.
+// It is the corpus substitute for the paper's 2141 GCC-built open-source
+// binaries: the generator produces function bodies whose statements use
+// each variable the way real C code uses values of its type (loop counters,
+// byte buffers, struct field initialization runs, pointer dereference
+// chains, …), so the compiled instruction stream carries the same
+// type↔instruction-pattern coupling — including the paper's two noise
+// sources, *orphan variables* (variables touched by only one or two
+// instructions) and *uncertain samples* (identical generalized instructions
+// with different types).
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/ctypes"
+)
+
+// Program is one synthetic compilation unit ("binary source").
+type Program struct {
+	Name    string
+	Globals []*VarDecl
+	Funcs   []*Function
+}
+
+// Function is a C function definition.
+type Function struct {
+	Name   string
+	Params []*VarDecl
+	Locals []*VarDecl
+	Body   []Stmt
+	// Return is the return type; nil means void.
+	Return *ctypes.Type
+}
+
+// VarDecl declares a parameter, local, or global variable.
+type VarDecl struct {
+	Name string
+	Type *ctypes.Type
+	// Global marks file-scope variables living in the data section.
+	Global bool
+}
+
+// Class returns the CATI class of the declared type.
+func (d *VarDecl) Class() (ctypes.Class, error) {
+	c, err := ctypes.ClassOf(d.Type)
+	if err != nil {
+		return 0, fmt.Errorf("synth: var %s: %w", d.Name, err)
+	}
+	return c, nil
+}
+
+// --- Statements ---
+
+// Stmt is a statement node.
+type Stmt interface{ isStmt() }
+
+// Assign stores the value of RHS into LHS.
+type Assign struct {
+	LHS LValue
+	RHS Expr
+}
+
+// If branches on a comparison.
+type If struct {
+	Cond Expr // must evaluate to a truth value (Cmp or scalar read)
+	Then []Stmt
+	Else []Stmt
+}
+
+// While loops while Cond holds.
+type While struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// For is the classic counted loop: Init; Cond; Post.
+type For struct {
+	Init Stmt // may be nil
+	Cond Expr
+	Post Stmt // may be nil
+	Body []Stmt
+}
+
+// Return exits the function, optionally with a value.
+type Return struct {
+	Value Expr // may be nil
+}
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	X Expr
+}
+
+func (*Assign) isStmt()   {}
+func (*If) isStmt()       {}
+func (*While) isStmt()    {}
+func (*For) isStmt()      {}
+func (*Return) isStmt()   {}
+func (*ExprStmt) isStmt() {}
+
+// --- Expressions ---
+
+// Expr is an expression node. The generator keeps expressions shallow:
+// Binary/Cmp operands are atoms (variable reads or literals), which keeps
+// the code generator single-pass while producing realistic instruction
+// sequences.
+type Expr interface{ isExpr() }
+
+// LValue is an assignable location.
+type LValue interface {
+	Expr
+	isLValue()
+}
+
+// VarRef reads (or addresses) a declared variable.
+type VarRef struct {
+	Decl *VarDecl
+}
+
+// FieldRef accesses a field of a struct-typed local: base.f.
+type FieldRef struct {
+	Base  *VarDecl // struct-typed local
+	Field int      // field index
+}
+
+// PtrFieldRef accesses a field through a struct pointer: p->f.
+type PtrFieldRef struct {
+	Ptr   *VarDecl // pointer-to-struct local
+	Field int
+}
+
+// IndexRef accesses arr[idx] where arr is an array-typed local and idx an
+// integer-typed local or literal.
+type IndexRef struct {
+	Arr *VarDecl
+	Idx Expr // VarRef (integer) or IntLit
+}
+
+// DerefRef accesses *p for a pointer-typed local.
+type DerefRef struct {
+	Ptr *VarDecl
+	// Off is a constant element offset: *(p + Off). Zero for plain deref.
+	Off int
+}
+
+func (*VarRef) isExpr()      {}
+func (*FieldRef) isExpr()    {}
+func (*PtrFieldRef) isExpr() {}
+func (*IndexRef) isExpr()    {}
+func (*DerefRef) isExpr()    {}
+
+func (*VarRef) isLValue()      {}
+func (*FieldRef) isLValue()    {}
+func (*PtrFieldRef) isLValue() {}
+func (*IndexRef) isLValue()    {}
+func (*DerefRef) isLValue()    {}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int64
+	// Type gives the literal's C type (defaults to int when nil).
+	Type *ctypes.Type
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	Value float64
+	Type  *ctypes.Type // Float, Double or LongDouble
+}
+
+func (*IntLit) isExpr()   {}
+func (*FloatLit) isExpr() {}
+
+// BinOp is a binary arithmetic/bitwise operator.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota + 1
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+)
+
+// Binary applies Op to two atom operands.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota + 1
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// Cmp compares two atom operands, yielding a truth value.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// AddrOf takes the address of a local variable (&v).
+type AddrOf struct {
+	Target LValue
+}
+
+// Call invokes a function by name. Callee may be a program-local function
+// or an external ("libc") symbol.
+type Call struct {
+	Name string
+	Args []Expr
+	// Extern marks calls to functions outside the program (resolved to
+	// stub addresses at link time).
+	Extern bool
+	// Result is the callee's return type (nil = void).
+	Result *ctypes.Type
+}
+
+// Cast converts an atom to another arithmetic type.
+type Cast struct {
+	To *ctypes.Type
+	X  Expr
+}
+
+func (*Binary) isExpr() {}
+func (*Cmp) isExpr()    {}
+func (*AddrOf) isExpr() {}
+func (*Call) isExpr()   {}
+func (*Cast) isExpr()   {}
+
+// TypeOfExpr computes the static type of an expression (post-promotion for
+// Binary). Returns nil for truth values produced by Cmp (conceptually int).
+func TypeOfExpr(e Expr) *ctypes.Type {
+	switch x := e.(type) {
+	case *VarRef:
+		return x.Decl.Type
+	case *FieldRef:
+		st := x.Base.Type.ResolveBase()
+		if st.Kind == ctypes.KindArray {
+			st = st.Elem.ResolveBase()
+		}
+		return st.Fields[x.Field].Type
+	case *PtrFieldRef:
+		st := x.Ptr.Type.ResolveBase().Elem.ResolveBase()
+		return st.Fields[x.Field].Type
+	case *IndexRef:
+		return x.Arr.Type.ResolveBase().Elem
+	case *DerefRef:
+		return x.Ptr.Type.ResolveBase().Elem
+	case *IntLit:
+		if x.Type != nil {
+			return x.Type
+		}
+		return ctypes.Int
+	case *FloatLit:
+		if x.Type != nil {
+			return x.Type
+		}
+		return ctypes.Double
+	case *Binary:
+		return TypeOfExpr(x.L)
+	case *Cmp:
+		return ctypes.Int
+	case *AddrOf:
+		return ctypes.PointerTo(TypeOfExpr(x.Target))
+	case *Call:
+		return x.Result
+	case *Cast:
+		return x.To
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,829 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ctypes"
+)
+
+// Profile controls what a generated program looks like: its per-class
+// variable distribution and its size. The twelve test applications use
+// distinct profiles mirroring the support skews of the paper's Table VI.
+type Profile struct {
+	Name string
+	// Weights is the sampling weight of each CATI class for locals.
+	Weights map[ctypes.Class]float64
+	// FuncsMin/FuncsMax bound the number of functions per program.
+	FuncsMin, FuncsMax int
+	// EventsMin/EventsMax bound the usage events per variable; events are
+	// what become target instructions, so the low end produces the paper's
+	// orphan variables.
+	EventsMin, EventsMax int
+	// LocalsMin/LocalsMax bound locals per function.
+	LocalsMin, LocalsMax int
+}
+
+// DefaultWeights mirrors the corpus-wide type skew of the paper's Table V
+// supports (struct* and int dominate; float and short are rare).
+func DefaultWeights() map[ctypes.Class]float64 {
+	return map[ctypes.Class]float64{
+		ctypes.ClassPtrStruct:  22,
+		ctypes.ClassInt:        23,
+		ctypes.ClassDouble:     8,
+		ctypes.ClassStruct:     6,
+		ctypes.ClassULong:      5,
+		ctypes.ClassLong:       4.5,
+		ctypes.ClassPtrVoid:    3,
+		ctypes.ClassPtrArith:   7,
+		ctypes.ClassChar:       3.2,
+		ctypes.ClassEnum:       2.4,
+		ctypes.ClassUInt:       2,
+		ctypes.ClassBool:       1.6,
+		ctypes.ClassUChar:      0.7,
+		ctypes.ClassLongDouble: 0.35,
+		ctypes.ClassUShort:     0.3,
+		ctypes.ClassShort:      0.25,
+		ctypes.ClassLongLong:   0.15,
+		ctypes.ClassULongLong:  0.15,
+		ctypes.ClassFloat:      0.1,
+	}
+}
+
+// DefaultProfile returns the corpus-wide default generation profile.
+func DefaultProfile(name string) Profile {
+	return Profile{
+		Name:      name,
+		Weights:   DefaultWeights(),
+		FuncsMin:  6,
+		FuncsMax:  14,
+		EventsMin: 1,
+		EventsMax: 6,
+		LocalsMin: 4,
+		LocalsMax: 12,
+	}
+}
+
+// externFuncs are the fake libc symbols programs may call.
+var externFuncs = []struct {
+	name   string
+	result *ctypes.Type
+}{
+	{"memcpy", ctypes.PointerTo(ctypes.Void)},
+	{"memset", ctypes.PointerTo(ctypes.Void)},
+	{"strlen", ctypes.ULong},
+	{"strcmp", ctypes.Int},
+	{"malloc", ctypes.PointerTo(ctypes.Void)},
+	{"free", nil},
+	{"printf", ctypes.Int},
+	{"memchr", ctypes.PointerTo(ctypes.Void)},
+}
+
+// Generate builds a deterministic synthetic program from a profile and
+// seed.
+func Generate(prof Profile, seed int64) *Program {
+	g := &generator{
+		r:    rand.New(rand.NewSource(seed)),
+		prof: prof,
+		prog: &Program{Name: prof.Name},
+	}
+	g.makeStructPool()
+	g.makeGlobals()
+	nf := prof.FuncsMin
+	if prof.FuncsMax > prof.FuncsMin {
+		nf += g.r.Intn(prof.FuncsMax - prof.FuncsMin + 1)
+	}
+	for i := 0; i < nf; i++ {
+		g.prog.Funcs = append(g.prog.Funcs, g.genFunction(fmt.Sprintf("fn_%s_%d", prof.Name, i)))
+	}
+	return g.prog
+}
+
+// makeGlobals declares a handful of file-scope variables; functions use
+// them occasionally, so the data section also carries typed variables (the
+// paper's premise covers "every available memory unit").
+func (g *generator) makeGlobals() {
+	n := 2 + g.r.Intn(5)
+	for i := 0; i < n; i++ {
+		c := g.sampleClass()
+		t := g.concreteType(c)
+		// Long doubles as globals would require x87 absolute loads our
+		// generator already exercises via locals; keep globals simple.
+		if t.ResolveBase().Kind == ctypes.KindBase && t.ResolveBase().Base == ctypes.BaseLongDouble {
+			t = ctypes.Double
+		}
+		g.prog.Globals = append(g.prog.Globals, &VarDecl{
+			Name:   fmt.Sprintf("g_%s_%d", g.prof.Name, i),
+			Type:   t,
+			Global: true,
+		})
+	}
+}
+
+type generator struct {
+	r       *rand.Rand
+	prof    Profile
+	prog    *Program
+	structs []*ctypes.Type
+
+	// per-function state
+	fn      *Function
+	varSeq  int
+	intVars []*VarDecl // integer-class locals usable as counters/indices
+}
+
+func (g *generator) makeStructPool() {
+	fieldTypes := []*ctypes.Type{
+		ctypes.Int, ctypes.Long, ctypes.Char, ctypes.Double,
+		ctypes.UInt, ctypes.Bool, ctypes.ULong, ctypes.Short,
+	}
+	n := 2 + g.r.Intn(4)
+	for i := 0; i < n; i++ {
+		nf := 2 + g.r.Intn(6)
+		fields := make([]ctypes.Field, 0, nf)
+		for j := 0; j < nf; j++ {
+			var ft *ctypes.Type
+			switch g.r.Intn(10) {
+			case 0:
+				ft = ctypes.PointerTo(ctypes.Char)
+			case 1:
+				if len(g.structs) > 0 {
+					ft = ctypes.PointerTo(g.structs[g.r.Intn(len(g.structs))])
+				} else {
+					ft = ctypes.PointerTo(ctypes.Void)
+				}
+			default:
+				ft = fieldTypes[g.r.Intn(len(fieldTypes))]
+			}
+			fields = append(fields, ctypes.Field{Name: fmt.Sprintf("f%d", j), Type: ft})
+		}
+		g.structs = append(g.structs, ctypes.StructOf(fmt.Sprintf("s%s%d", g.prof.Name, i), fields...))
+	}
+}
+
+// concreteType materializes a concrete C type whose CATI class is c.
+func (g *generator) concreteType(c ctypes.Class) *ctypes.Type {
+	pick := func(ts ...*ctypes.Type) *ctypes.Type { return ts[g.r.Intn(len(ts))] }
+	arith := []*ctypes.Type{
+		ctypes.Char, ctypes.UChar, ctypes.Int, ctypes.UInt,
+		ctypes.Long, ctypes.ULong, ctypes.Double, ctypes.Float, ctypes.Short,
+	}
+	st := g.structs[g.r.Intn(len(g.structs))]
+	switch c {
+	case ctypes.ClassPtrVoid:
+		return ctypes.PointerTo(ctypes.Void)
+	case ctypes.ClassPtrStruct:
+		return ctypes.PointerTo(st)
+	case ctypes.ClassPtrArith:
+		return ctypes.PointerTo(arith[g.r.Intn(len(arith))])
+	case ctypes.ClassStruct:
+		if g.r.Intn(4) == 0 {
+			return ctypes.ArrayOf(st, 1+g.r.Intn(8)) // array of struct classifies struct
+		}
+		return st
+	case ctypes.ClassBool:
+		return ctypes.Bool
+	case ctypes.ClassChar:
+		if g.r.Intn(3) == 0 {
+			return ctypes.ArrayOf(ctypes.Char, 8<<g.r.Intn(5)) // char buffers
+		}
+		return ctypes.Char
+	case ctypes.ClassUChar:
+		if g.r.Intn(4) == 0 {
+			return ctypes.ArrayOf(ctypes.UChar, 8<<g.r.Intn(4))
+		}
+		return ctypes.UChar
+	case ctypes.ClassFloat:
+		return ctypes.Float
+	case ctypes.ClassDouble:
+		return ctypes.Double
+	case ctypes.ClassLongDouble:
+		return ctypes.LongDouble
+	case ctypes.ClassInt:
+		if g.r.Intn(12) == 0 {
+			return ctypes.TypedefOf("int32_t", ctypes.Int) // typedef chains
+		}
+		return ctypes.Int
+	case ctypes.ClassUInt:
+		if g.r.Intn(8) == 0 {
+			return ctypes.TypedefOf("uint32_t", ctypes.UInt)
+		}
+		return ctypes.UInt
+	case ctypes.ClassShort:
+		return ctypes.Short
+	case ctypes.ClassUShort:
+		return ctypes.UShort
+	case ctypes.ClassLong:
+		return pick(ctypes.Long, ctypes.TypedefOf("ssize_t", ctypes.Long))
+	case ctypes.ClassULong:
+		return pick(ctypes.ULong, ctypes.TypedefOf("size_t", ctypes.ULong))
+	case ctypes.ClassLongLong:
+		return ctypes.LongLong
+	case ctypes.ClassULongLong:
+		return ctypes.ULongLong
+	case ctypes.ClassEnum:
+		return ctypes.EnumOf(fmt.Sprintf("e%d", g.r.Intn(4)))
+	default:
+		return ctypes.Int
+	}
+}
+
+func (g *generator) sampleClass() ctypes.Class {
+	total := 0.0
+	for _, w := range g.prof.Weights {
+		total += w
+	}
+	x := g.r.Float64() * total
+	for _, c := range ctypes.AllClasses() {
+		w := g.prof.Weights[c]
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return c
+		}
+		x -= w
+	}
+	return ctypes.ClassInt
+}
+
+func (g *generator) genFunction(name string) *Function {
+	g.fn = &Function{Name: name}
+	g.varSeq = 0
+	g.intVars = nil
+
+	// Parameters: 0-4 scalars/pointers.
+	np := g.r.Intn(5)
+	for i := 0; i < np; i++ {
+		var t *ctypes.Type
+		switch g.r.Intn(4) {
+		case 0:
+			t = ctypes.PointerTo(g.structs[g.r.Intn(len(g.structs))])
+		case 1:
+			t = ctypes.PointerTo(ctypes.Char)
+		case 2:
+			t = ctypes.Long
+		default:
+			t = ctypes.Int
+		}
+		g.fn.Params = append(g.fn.Params, &VarDecl{Name: fmt.Sprintf("p%d", i), Type: t})
+	}
+
+	// Locals.
+	nl := g.prof.LocalsMin
+	if g.prof.LocalsMax > g.prof.LocalsMin {
+		nl += g.r.Intn(g.prof.LocalsMax - g.prof.LocalsMin + 1)
+	}
+	for i := 0; i < nl; i++ {
+		c := g.sampleClass()
+		d := &VarDecl{Name: fmt.Sprintf("v%d", g.varSeq), Type: g.concreteType(c)}
+		g.varSeq++
+		g.fn.Locals = append(g.fn.Locals, d)
+		if isIntScalar(d.Type) {
+			g.intVars = append(g.intVars, d)
+		}
+	}
+	// Guarantee at least one int scalar for conditions and counters.
+	if len(g.intVars) == 0 {
+		d := &VarDecl{Name: fmt.Sprintf("v%d", g.varSeq), Type: ctypes.Int}
+		g.varSeq++
+		g.fn.Locals = append(g.fn.Locals, d)
+		g.intVars = append(g.intVars, d)
+	}
+
+	// Usage events per local, plus occasional global usage.
+	var events [][]Stmt
+	for _, d := range g.prog.Globals {
+		if g.r.Intn(3) != 0 {
+			continue
+		}
+		n := 1 + g.r.Intn(2)
+		for e := 0; e < n; e++ {
+			if ev := g.usageEvent(d); len(ev) > 0 {
+				events = append(events, ev)
+			}
+		}
+	}
+	for _, d := range g.fn.Locals {
+		n := g.prof.EventsMin
+		if g.prof.EventsMax > g.prof.EventsMin {
+			n += g.r.Intn(g.prof.EventsMax - g.prof.EventsMin + 1)
+		}
+		var own [][]Stmt
+		for e := 0; e < n; e++ {
+			if ev := g.usageEvent(d); len(ev) > 0 {
+				own = append(own, ev)
+			}
+		}
+		// Real code often touches one variable several times in a row
+		// (init-use-update bursts); keeping some of a variable's events
+		// adjacent is what produces the paper's same-type clustering.
+		for len(own) >= 2 && g.r.Intn(3) != 0 {
+			merged := append(own[0], own[1]...)
+			own = append([][]Stmt{merged}, own[2:]...)
+		}
+		events = append(events, own...)
+	}
+	g.r.Shuffle(len(events), func(i, j int) { events[i], events[j] = events[j], events[i] })
+
+	// Assemble body: mostly straight-line (that is where the clustering
+	// phenomenon lives), with some events nested under control flow.
+	var body []Stmt
+	for i := 0; i < len(events); {
+		switch g.r.Intn(8) {
+		case 0: // if block over the next 1-3 events
+			n := 1 + g.r.Intn(3)
+			var then []Stmt
+			for j := 0; j < n && i < len(events); j++ {
+				then = append(then, events[i]...)
+				i++
+			}
+			var els []Stmt
+			if g.r.Intn(3) == 0 && i < len(events) {
+				els = events[i]
+				i++
+			}
+			body = append(body, &If{Cond: g.condition(), Then: then, Else: els})
+		case 1: // counted loop over the next 1-2 events
+			n := 1 + g.r.Intn(2)
+			var inner []Stmt
+			for j := 0; j < n && i < len(events); j++ {
+				inner = append(inner, events[i]...)
+				i++
+			}
+			ctr := g.intVars[g.r.Intn(len(g.intVars))]
+			body = append(body, &For{
+				Init: &Assign{LHS: &VarRef{Decl: ctr}, RHS: &IntLit{Value: 0}},
+				Cond: &Cmp{Op: CmpLt, L: &VarRef{Decl: ctr}, R: &IntLit{Value: int64(4 + g.r.Intn(60))}},
+				Post: &Assign{LHS: &VarRef{Decl: ctr},
+					RHS: &Binary{Op: OpAdd, L: &VarRef{Decl: ctr}, R: &IntLit{Value: 1}}},
+				Body: inner,
+			})
+		default:
+			body = append(body, events[i]...)
+			i++
+		}
+	}
+
+	// Occasional extern call for flavour.
+	if g.r.Intn(3) == 0 {
+		body = append(body, g.externCall())
+	}
+	// Call an earlier program function so the binary has an internal call
+	// graph (stripped-binary function recovery keys off call targets).
+	if len(g.prog.Funcs) > 0 && g.r.Intn(2) == 0 {
+		callee := g.prog.Funcs[g.r.Intn(len(g.prog.Funcs))]
+		var args []Expr
+		for i := range callee.Params {
+			p := callee.Params[i]
+			pt := p.Type.ResolveBase()
+			if pt.Kind == ctypes.KindPointer {
+				args = append(args, &IntLit{Value: 0, Type: p.Type})
+			} else {
+				args = append(args, &IntLit{Value: int64(g.r.Intn(64))})
+			}
+		}
+		call := &Call{Name: callee.Name, Args: args, Result: callee.Return}
+		if callee.Return != nil && isIntScalar(callee.Return) && g.r.Intn(2) == 0 {
+			tgt := g.intVars[g.r.Intn(len(g.intVars))]
+			body = append(body, &Assign{LHS: &VarRef{Decl: tgt}, RHS: call})
+		} else {
+			body = append(body, &ExprStmt{X: call})
+		}
+	}
+
+	// Return.
+	switch g.r.Intn(3) {
+	case 0:
+		g.fn.Return = ctypes.Int
+		body = append(body, &Return{Value: &VarRef{Decl: g.intVars[g.r.Intn(len(g.intVars))]}})
+	default:
+		body = append(body, &Return{})
+	}
+	g.fn.Body = body
+	return g.fn
+}
+
+func isIntScalar(t *ctypes.Type) bool {
+	t = t.ResolveBase()
+	if t.Kind == ctypes.KindEnum {
+		return false
+	}
+	return t.Kind == ctypes.KindBase && t.Base.IsInteger() && t.Base != ctypes.BaseBool &&
+		t.Base != ctypes.BaseChar && t.Base != ctypes.BaseUChar
+}
+
+// condition builds a branch condition over existing locals.
+func (g *generator) condition() Expr {
+	d := g.intVars[g.r.Intn(len(g.intVars))]
+	ops := []CmpOp{CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe}
+	return &Cmp{Op: ops[g.r.Intn(len(ops))], L: &VarRef{Decl: d}, R: &IntLit{Value: int64(g.r.Intn(256))}}
+}
+
+func (g *generator) externCall() Stmt {
+	ext := externFuncs[g.r.Intn(len(externFuncs))]
+	var args []Expr
+	for _, d := range g.fn.Locals {
+		if d.Type.ResolveBase().Kind == ctypes.KindPointer || d.Type.ResolveBase().Kind == ctypes.KindArray {
+			args = append(args, g.readOf(d))
+			break
+		}
+	}
+	if len(args) == 0 {
+		args = append(args, &IntLit{Value: int64(g.r.Intn(64))})
+	}
+	return &ExprStmt{X: &Call{Name: ext.name, Args: args, Extern: true, Result: ext.result}}
+}
+
+// readOf produces a read expression of a declared variable appropriate for
+// use as an argument/atom.
+func (g *generator) readOf(d *VarDecl) Expr {
+	if d.Type.ResolveBase().Kind == ctypes.KindArray {
+		return &AddrOf{Target: &IndexRef{Arr: d, Idx: &IntLit{Value: 0}}}
+	}
+	return &VarRef{Decl: d}
+}
+
+// otherVarOfClass finds another local in the same Stage-2 family, for
+// cross-variable arithmetic; falls back to a literal.
+func (g *generator) otherIntAtom(not *VarDecl) Expr {
+	var cands []*VarDecl
+	for _, d := range g.intVars {
+		if d != not {
+			cands = append(cands, d)
+		}
+	}
+	if len(cands) > 0 && g.r.Intn(2) == 0 {
+		return &VarRef{Decl: cands[g.r.Intn(len(cands))]}
+	}
+	return &IntLit{Value: int64(g.r.Intn(1 << 10))}
+}
+
+// usageEvent produces one type-typical usage of d: the statements whose
+// compiled form will contain the variable's target instruction(s).
+func (g *generator) usageEvent(d *VarDecl) []Stmt {
+	t := d.Type.ResolveBase()
+	switch t.Kind {
+	case ctypes.KindArray:
+		return g.arrayEvent(d, t)
+	case ctypes.KindStruct:
+		return g.structEvent(d, t)
+	case ctypes.KindPointer:
+		return g.pointerEvent(d, t)
+	case ctypes.KindEnum:
+		return g.enumEvent(d)
+	case ctypes.KindBase:
+		switch {
+		case t.Base == ctypes.BaseBool:
+			return g.boolEvent(d)
+		case t.Base == ctypes.BaseChar || t.Base == ctypes.BaseUChar:
+			return g.charEvent(d)
+		case t.Base.IsFloat():
+			return g.floatEvent(d, t)
+		default:
+			return g.intEvent(d)
+		}
+	}
+	return nil
+}
+
+func (g *generator) intEvent(d *VarDecl) []Stmt {
+	lhs := &VarRef{Decl: d}
+	switch g.r.Intn(6) {
+	case 0: // constant init (uncertain sample: same shape as pointer null)
+		return []Stmt{&Assign{LHS: lhs, RHS: &IntLit{Value: int64(g.r.Intn(1 << 12)), Type: d.Type}}}
+	case 1: // arithmetic accumulate
+		ops := []BinOp{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor}
+		return []Stmt{&Assign{LHS: lhs, RHS: &Binary{
+			Op: ops[g.r.Intn(len(ops))], L: &VarRef{Decl: d}, R: g.otherIntAtom(d)}}}
+	case 2: // shift
+		ops := []BinOp{OpShl, OpShr}
+		return []Stmt{&Assign{LHS: lhs, RHS: &Binary{
+			Op: ops[g.r.Intn(2)], L: &VarRef{Decl: d}, R: &IntLit{Value: int64(1 + g.r.Intn(7))}}}}
+	case 3: // division / modulo
+		ops := []BinOp{OpDiv, OpMod}
+		return []Stmt{&Assign{LHS: lhs, RHS: &Binary{
+			Op: ops[g.r.Intn(2)], L: &VarRef{Decl: d}, R: &IntLit{Value: int64(2 + g.r.Intn(30))}}}}
+	case 4: // comparison guard
+		return []Stmt{&If{
+			Cond: &Cmp{Op: CmpGt, L: &VarRef{Decl: d}, R: &IntLit{Value: int64(g.r.Intn(128))}},
+			Then: []Stmt{&Assign{LHS: lhs, RHS: &IntLit{Value: 0, Type: d.Type}}},
+		}}
+	default: // cross-width cast from another int
+		return []Stmt{&Assign{LHS: lhs, RHS: &Cast{To: d.Type, X: g.otherIntAtom(d)}}}
+	}
+}
+
+func (g *generator) enumEvent(d *VarDecl) []Stmt {
+	lhs := &VarRef{Decl: d}
+	if g.r.Intn(2) == 0 {
+		return []Stmt{&Assign{LHS: lhs, RHS: &IntLit{Value: int64(g.r.Intn(8)), Type: d.Type}}}
+	}
+	return []Stmt{&If{
+		Cond: &Cmp{Op: CmpEq, L: &VarRef{Decl: d}, R: &IntLit{Value: int64(g.r.Intn(8))}},
+		Then: []Stmt{&Assign{LHS: lhs, RHS: &IntLit{Value: int64(g.r.Intn(8)), Type: d.Type}}},
+	}}
+}
+
+func (g *generator) boolEvent(d *VarDecl) []Stmt {
+	lhs := &VarRef{Decl: d}
+	switch g.r.Intn(3) {
+	case 0: // flag = (a cmp b)
+		a := g.intVars[g.r.Intn(len(g.intVars))]
+		return []Stmt{&Assign{LHS: lhs, RHS: &Cmp{Op: CmpNe, L: &VarRef{Decl: a}, R: &IntLit{Value: 0}}}}
+	case 1: // constant flag
+		return []Stmt{&Assign{LHS: lhs, RHS: &IntLit{Value: int64(g.r.Intn(2)), Type: ctypes.Bool}}}
+	default: // test flag
+		return []Stmt{&If{
+			Cond: &Cmp{Op: CmpNe, L: &VarRef{Decl: d}, R: &IntLit{Value: 0}},
+			Then: []Stmt{&Assign{LHS: lhs, RHS: &IntLit{Value: 0, Type: ctypes.Bool}}},
+		}}
+	}
+}
+
+func (g *generator) charEvent(d *VarDecl) []Stmt {
+	lhs := &VarRef{Decl: d}
+	switch g.r.Intn(4) {
+	case 0: // character constant
+		return []Stmt{&Assign{LHS: lhs, RHS: &IntLit{Value: int64(32 + g.r.Intn(90)), Type: d.Type}}}
+	case 1: // load from a char buffer if one exists
+		if buf := g.findArray(ctypes.BaseChar, ctypes.BaseUChar); buf != nil {
+			idx := g.intVars[g.r.Intn(len(g.intVars))]
+			return []Stmt{&Assign{LHS: lhs, RHS: &IndexRef{Arr: buf, Idx: &VarRef{Decl: idx}}}}
+		}
+		return []Stmt{&Assign{LHS: lhs, RHS: &IntLit{Value: 0, Type: d.Type}}}
+	case 2: // compare against a character literal
+		return []Stmt{&If{
+			Cond: &Cmp{Op: CmpEq, L: &VarRef{Decl: d}, R: &IntLit{Value: int64(32 + g.r.Intn(90))}},
+			Then: []Stmt{&Assign{LHS: lhs, RHS: &IntLit{Value: 0, Type: d.Type}}},
+		}}
+	default: // arithmetic on the char
+		return []Stmt{&Assign{LHS: lhs, RHS: &Binary{
+			Op: OpAdd, L: &VarRef{Decl: d}, R: &IntLit{Value: 1}}}}
+	}
+}
+
+func (g *generator) floatEvent(d *VarDecl, t *ctypes.Type) []Stmt {
+	lhs := &VarRef{Decl: d}
+	lit := &FloatLit{Value: g.r.Float64() * 100, Type: t}
+	switch g.r.Intn(4) {
+	case 0:
+		return []Stmt{&Assign{LHS: lhs, RHS: lit}}
+	case 1:
+		ops := []BinOp{OpAdd, OpSub, OpMul, OpDiv}
+		return []Stmt{&Assign{LHS: lhs, RHS: &Binary{
+			Op: ops[g.r.Intn(4)], L: &VarRef{Decl: d}, R: lit}}}
+	case 2: // conversion from int
+		a := g.intVars[g.r.Intn(len(g.intVars))]
+		return []Stmt{&Assign{LHS: lhs, RHS: &Cast{To: t, X: &VarRef{Decl: a}}}}
+	default: // float-to-float arithmetic with another float var when present
+		if o := g.findFloat(d); o != nil {
+			return []Stmt{&Assign{LHS: lhs, RHS: &Binary{
+				Op: OpMul, L: &VarRef{Decl: d}, R: &Cast{To: t, X: &VarRef{Decl: o}}}}}
+		}
+		return []Stmt{&Assign{LHS: lhs, RHS: lit}}
+	}
+}
+
+func (g *generator) structEvent(d *VarDecl, t *ctypes.Type) []Stmt {
+	st := t
+	if t.Kind == ctypes.KindArray {
+		st = t.Elem.ResolveBase()
+	}
+	if st.Kind != ctypes.KindStruct || len(st.Fields) == 0 {
+		return nil
+	}
+	mk := func(field int) LValue {
+		if t.Kind == ctypes.KindArray {
+			// s[i].f lowered via constant index for simplicity.
+			return &FieldRef{Base: d, Field: field}
+		}
+		return &FieldRef{Base: d, Field: field}
+	}
+	switch g.r.Intn(3) {
+	case 0: // initialization run: several consecutive field stores — the
+		// paper's Figure 2 clustering pattern.
+		n := 2 + g.r.Intn(len(st.Fields))
+		var out []Stmt
+		for i := 0; i < n; i++ {
+			f := st.Fields[i%len(st.Fields)]
+			out = append(out, &Assign{LHS: mk(i % len(st.Fields)), RHS: g.literalFor(f.Type)})
+		}
+		return out
+	case 1: // read a field into a matching local
+		fi := g.r.Intn(len(st.Fields))
+		ft := st.Fields[fi].Type
+		if tgt := g.findScalarOfBase(ft); tgt != nil {
+			return []Stmt{&Assign{LHS: &VarRef{Decl: tgt}, RHS: mk(fi)}}
+		}
+		return []Stmt{&Assign{LHS: mk(fi), RHS: g.literalFor(ft)}}
+	default: // field update
+		fi := g.r.Intn(len(st.Fields))
+		ft := st.Fields[fi].Type.ResolveBase()
+		if ft.Kind == ctypes.KindBase && ft.Base.IsInteger() {
+			return []Stmt{&Assign{LHS: mk(fi), RHS: &Binary{
+				Op: OpAdd, L: mk(fi).(Expr), R: &IntLit{Value: 1}}}}
+		}
+		return []Stmt{&Assign{LHS: mk(fi), RHS: g.literalFor(st.Fields[fi].Type)}}
+	}
+}
+
+func (g *generator) pointerEvent(d *VarDecl, t *ctypes.Type) []Stmt {
+	pointee := t.Elem.ResolveBase()
+	lhs := &VarRef{Decl: d}
+	switch {
+	case pointee == nil || pointee.Kind == ctypes.KindBase && pointee.Base == ctypes.BaseVoid:
+		// void*: null init, aliasing, extern calls.
+		switch g.r.Intn(3) {
+		case 0:
+			return []Stmt{&Assign{LHS: lhs, RHS: &IntLit{Value: 0, Type: d.Type}}}
+		case 1:
+			if tgt := g.anyAddressable(d); tgt != nil {
+				return []Stmt{&Assign{LHS: lhs, RHS: &Cast{To: d.Type, X: &AddrOf{Target: &VarRef{Decl: tgt}}}}}
+			}
+			return []Stmt{&Assign{LHS: lhs, RHS: &IntLit{Value: 0, Type: d.Type}}}
+		default:
+			return []Stmt{&ExprStmt{X: &Call{Name: "free", Args: []Expr{&VarRef{Decl: d}}, Extern: true}}}
+		}
+	case pointee.Kind == ctypes.KindStruct:
+		if len(pointee.Fields) == 0 {
+			return []Stmt{&Assign{LHS: lhs, RHS: &IntLit{Value: 0, Type: d.Type}}}
+		}
+		switch g.r.Intn(4) {
+		case 0: // p = &local struct of that type (when present)
+			if s := g.findStructLocal(pointee); s != nil {
+				return []Stmt{&Assign{LHS: lhs, RHS: &AddrOf{Target: &VarRef{Decl: s}}}}
+			}
+			return []Stmt{&Assign{LHS: lhs, RHS: &IntLit{Value: 0, Type: d.Type}}}
+		case 1: // p->f = lit
+			fi := g.r.Intn(len(pointee.Fields))
+			return []Stmt{&Assign{
+				LHS: &PtrFieldRef{Ptr: d, Field: fi},
+				RHS: g.literalFor(pointee.Fields[fi].Type),
+			}}
+		case 2: // x = p->f
+			fi := g.r.Intn(len(pointee.Fields))
+			ft := pointee.Fields[fi].Type
+			if tgt := g.findScalarOfBase(ft); tgt != nil {
+				return []Stmt{&Assign{LHS: &VarRef{Decl: tgt}, RHS: &PtrFieldRef{Ptr: d, Field: fi}}}
+			}
+			return []Stmt{&Assign{
+				LHS: &PtrFieldRef{Ptr: d, Field: fi},
+				RHS: g.literalFor(pointee.Fields[fi].Type),
+			}}
+		default: // null check
+			return []Stmt{&If{
+				Cond: &Cmp{Op: CmpNe, L: &VarRef{Decl: d}, R: &IntLit{Value: 0}},
+				Then: []Stmt{&Assign{LHS: lhs, RHS: &IntLit{Value: 0, Type: d.Type}}},
+			}}
+		}
+	default:
+		// pointer to arithmetic: deref load/store, pointer bump.
+		switch g.r.Intn(4) {
+		case 0: // *p = lit
+			return []Stmt{&Assign{LHS: &DerefRef{Ptr: d}, RHS: g.literalFor(t.Elem)}}
+		case 1: // x = *p
+			if tgt := g.findScalarOfBase(t.Elem); tgt != nil {
+				return []Stmt{&Assign{LHS: &VarRef{Decl: tgt}, RHS: &DerefRef{Ptr: d}}}
+			}
+			return []Stmt{&Assign{LHS: &DerefRef{Ptr: d}, RHS: g.literalFor(t.Elem)}}
+		case 2: // p = p + 1 (scaled pointer bump)
+			return []Stmt{&Assign{LHS: lhs, RHS: &Binary{
+				Op: OpAdd, L: &VarRef{Decl: d}, R: &IntLit{Value: 1}}}}
+		default: // p = &arr[0] when a matching array exists, else null init
+			if arr := g.findArrayOfElem(t.Elem); arr != nil {
+				return []Stmt{&Assign{LHS: lhs, RHS: &AddrOf{
+					Target: &IndexRef{Arr: arr, Idx: &IntLit{Value: 0}}}}}
+			}
+			return []Stmt{&Assign{LHS: lhs, RHS: &IntLit{Value: 0, Type: d.Type}}}
+		}
+	}
+}
+
+func (g *generator) arrayEvent(d *VarDecl, t *ctypes.Type) []Stmt {
+	elem := t.Elem.ResolveBase()
+	if elem.Kind == ctypes.KindStruct {
+		return g.structEvent(d, t)
+	}
+	idx := g.intVars[g.r.Intn(len(g.intVars))]
+	switch g.r.Intn(3) {
+	case 0: // arr[i] = lit
+		return []Stmt{&Assign{
+			LHS: &IndexRef{Arr: d, Idx: &VarRef{Decl: idx}},
+			RHS: g.literalFor(t.Elem),
+		}}
+	case 1: // arr[const] = lit
+		return []Stmt{&Assign{
+			LHS: &IndexRef{Arr: d, Idx: &IntLit{Value: int64(g.r.Intn(t.Count))}},
+			RHS: g.literalFor(t.Elem),
+		}}
+	default: // x = arr[i]
+		if tgt := g.findScalarOfBase(t.Elem); tgt != nil {
+			return []Stmt{&Assign{LHS: &VarRef{Decl: tgt},
+				RHS: &IndexRef{Arr: d, Idx: &VarRef{Decl: idx}}}}
+		}
+		return []Stmt{&Assign{
+			LHS: &IndexRef{Arr: d, Idx: &VarRef{Decl: idx}},
+			RHS: g.literalFor(t.Elem),
+		}}
+	}
+}
+
+// literalFor returns an appropriate literal expression for a type.
+func (g *generator) literalFor(t *ctypes.Type) Expr {
+	rt := t.ResolveBase()
+	switch rt.Kind {
+	case ctypes.KindBase:
+		if rt.Base.IsFloat() {
+			return &FloatLit{Value: g.r.Float64() * 10, Type: rt}
+		}
+		return &IntLit{Value: int64(g.r.Intn(256)), Type: t}
+	case ctypes.KindPointer:
+		return &IntLit{Value: 0, Type: t} // NULL
+	case ctypes.KindEnum:
+		return &IntLit{Value: int64(g.r.Intn(8)), Type: t}
+	default:
+		return &IntLit{Value: 0, Type: t}
+	}
+}
+
+// --- local searches ---
+
+func (g *generator) findArray(bases ...ctypes.Base) *VarDecl {
+	for _, d := range g.fn.Locals {
+		t := d.Type.ResolveBase()
+		if t.Kind != ctypes.KindArray {
+			continue
+		}
+		e := t.Elem.ResolveBase()
+		if e.Kind != ctypes.KindBase {
+			continue
+		}
+		for _, b := range bases {
+			if e.Base == b {
+				return d
+			}
+		}
+	}
+	return nil
+}
+
+func (g *generator) findArrayOfElem(elem *ctypes.Type) *VarDecl {
+	want := elem.ResolveBase()
+	for _, d := range g.fn.Locals {
+		t := d.Type.ResolveBase()
+		if t.Kind == ctypes.KindArray && t.Elem.ResolveBase() == want {
+			return d
+		}
+	}
+	return nil
+}
+
+func (g *generator) findScalarOfBase(t *ctypes.Type) *VarDecl {
+	want := t.ResolveBase()
+	if want.Kind != ctypes.KindBase {
+		return nil
+	}
+	for _, d := range g.fn.Locals {
+		rt := d.Type.ResolveBase()
+		if rt.Kind == ctypes.KindBase && rt.Base == want.Base {
+			return d
+		}
+	}
+	return nil
+}
+
+func (g *generator) findFloat(not *VarDecl) *VarDecl {
+	for _, d := range g.fn.Locals {
+		if d == not {
+			continue
+		}
+		rt := d.Type.ResolveBase()
+		if rt.Kind == ctypes.KindBase && rt.Base.IsFloat() && rt.Base != ctypes.BaseLongDouble {
+			return d
+		}
+	}
+	return nil
+}
+
+func (g *generator) findStructLocal(st *ctypes.Type) *VarDecl {
+	for _, d := range g.fn.Locals {
+		if d.Type.ResolveBase() == st {
+			return d
+		}
+	}
+	return nil
+}
+
+func (g *generator) anyAddressable(not *VarDecl) *VarDecl {
+	for _, d := range g.fn.Locals {
+		if d == not {
+			continue
+		}
+		t := d.Type.ResolveBase()
+		if t.Kind == ctypes.KindBase && t.Base != ctypes.BaseLongDouble {
+			return d
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package synth
+
+import "repro/internal/ctypes"
+
+// AppProfile describes one of the twelve benchmark applications from the
+// paper's test set (Table VI). Scale is a relative size multiplier used by
+// the corpus builder to decide how many program units to generate; the
+// paper's supports range from gzip (725 variables) to R (93,495).
+type AppProfile struct {
+	Profile
+	Scale float64
+}
+
+// perturb returns the default weights with a few classes re-weighted, so
+// applications have distinct type mixes the way real projects do.
+func perturb(overrides map[ctypes.Class]float64) map[ctypes.Class]float64 {
+	w := DefaultWeights()
+	for c, v := range overrides {
+		w[c] = v
+	}
+	return w
+}
+
+// TestApps returns the twelve benchmark application profiles. The weight
+// tweaks follow the paper's observations: R has the most pointer VUCs and
+// over 10,000 float-family variables; gzip, nano and sed have no
+// float-family variables at all; bash has almost no floats (a single
+// float-family variable in Table III's Stage 3-2 discussion).
+func TestApps() []AppProfile {
+	mk := func(name string, scale float64, overrides map[ctypes.Class]float64) AppProfile {
+		p := DefaultProfile(name)
+		p.Weights = perturb(overrides)
+		return AppProfile{Profile: p, Scale: scale}
+	}
+	noFloat := map[ctypes.Class]float64{
+		ctypes.ClassFloat: 0, ctypes.ClassDouble: 0, ctypes.ClassLongDouble: 0,
+	}
+	return []AppProfile{
+		mk("bash", 1.6, map[ctypes.Class]float64{
+			ctypes.ClassFloat: 0.02, ctypes.ClassDouble: 0.05, ctypes.ClassLongDouble: 0,
+			ctypes.ClassPtrStruct: 26, ctypes.ClassChar: 5,
+		}),
+		mk("bison", 0.6, map[ctypes.Class]float64{
+			ctypes.ClassEnum: 5, ctypes.ClassStruct: 8, ctypes.ClassDouble: 0.4,
+		}),
+		mk("cflow", 0.25, map[ctypes.Class]float64{
+			ctypes.ClassPtrStruct: 28, ctypes.ClassChar: 5, ctypes.ClassDouble: 0.3,
+		}),
+		mk("gawk", 1.1, map[ctypes.Class]float64{
+			ctypes.ClassDouble: 3, ctypes.ClassPtrArith: 9, ctypes.ClassULong: 7,
+		}),
+		mk("grep", 0.5, map[ctypes.Class]float64{
+			ctypes.ClassChar: 7, ctypes.ClassUChar: 2, ctypes.ClassULong: 8,
+			ctypes.ClassDouble: 0.2,
+		}),
+		mk("gzip", 0.12, perturbInto(noFloat, map[ctypes.Class]float64{
+			ctypes.ClassUChar: 3, ctypes.ClassUInt: 6, ctypes.ClassULong: 7,
+		})),
+		mk("inetutils", 2.6, map[ctypes.Class]float64{
+			ctypes.ClassStruct: 9, ctypes.ClassPtrStruct: 24, ctypes.ClassDouble: 0.5,
+		}),
+		mk("less", 0.22, map[ctypes.Class]float64{
+			ctypes.ClassInt: 30, ctypes.ClassChar: 6, ctypes.ClassDouble: 0.3,
+		}),
+		mk("nano", 0.55, perturbInto(noFloat, map[ctypes.Class]float64{
+			ctypes.ClassBool: 4, ctypes.ClassPtrStruct: 24,
+		})),
+		mk("R", 7.5, map[ctypes.Class]float64{
+			ctypes.ClassDouble: 14, ctypes.ClassFloat: 0.5, ctypes.ClassLongDouble: 0.8,
+			ctypes.ClassPtrStruct: 28, ctypes.ClassPtrArith: 9,
+		}),
+		mk("sed", 0.35, perturbInto(noFloat, map[ctypes.Class]float64{
+			ctypes.ClassChar: 6, ctypes.ClassPtrArith: 9,
+		})),
+		mk("wget", 0.9, map[ctypes.Class]float64{
+			ctypes.ClassChar: 5, ctypes.ClassLong: 6, ctypes.ClassDouble: 0.6,
+		}),
+	}
+}
+
+func perturbInto(a, b map[ctypes.Class]float64) map[ctypes.Class]float64 {
+	out := make(map[ctypes.Class]float64, len(a)+len(b))
+	for c, v := range a {
+		out[c] = v
+	}
+	for c, v := range b {
+		out[c] = v
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/ctypes"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p1 := Generate(DefaultProfile("x"), 42)
+	p2 := Generate(DefaultProfile("x"), 42)
+	if len(p1.Funcs) != len(p2.Funcs) {
+		t.Fatalf("func counts differ: %d vs %d", len(p1.Funcs), len(p2.Funcs))
+	}
+	for i := range p1.Funcs {
+		if p1.Funcs[i].Name != p2.Funcs[i].Name ||
+			len(p1.Funcs[i].Locals) != len(p2.Funcs[i].Locals) ||
+			len(p1.Funcs[i].Body) != len(p2.Funcs[i].Body) {
+			t.Fatalf("function %d differs between same-seed runs", i)
+		}
+	}
+	p3 := Generate(DefaultProfile("x"), 43)
+	same := len(p1.Funcs) == len(p3.Funcs)
+	if same {
+		for i := range p1.Funcs {
+			if len(p1.Funcs[i].Body) != len(p3.Funcs[i].Body) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced structurally identical programs")
+	}
+}
+
+func TestGeneratedShape(t *testing.T) {
+	prof := DefaultProfile("shape")
+	p := Generate(prof, 7)
+	if len(p.Funcs) < prof.FuncsMin || len(p.Funcs) > prof.FuncsMax {
+		t.Fatalf("func count %d outside [%d,%d]", len(p.Funcs), prof.FuncsMin, prof.FuncsMax)
+	}
+	for _, f := range p.Funcs {
+		if len(f.Locals) == 0 {
+			t.Errorf("%s: no locals", f.Name)
+		}
+		if len(f.Body) == 0 {
+			t.Errorf("%s: empty body", f.Name)
+		}
+		for _, d := range f.Locals {
+			if _, err := d.Class(); err != nil {
+				t.Errorf("%s: local %s unclassifiable: %v", f.Name, d.Name, err)
+			}
+		}
+	}
+}
+
+func TestClassCoverageAcrossSeeds(t *testing.T) {
+	// Over enough seeds the generator must exercise every one of the 19
+	// classes (weights are all positive in the default profile).
+	seen := make(map[ctypes.Class]bool)
+	for seed := int64(0); seed < 60; seed++ {
+		p := Generate(DefaultProfile("cov"), seed)
+		for _, f := range p.Funcs {
+			for _, d := range f.Locals {
+				c, err := d.Class()
+				if err != nil {
+					t.Fatal(err)
+				}
+				seen[c] = true
+			}
+		}
+	}
+	for _, c := range ctypes.AllClasses() {
+		if !seen[c] {
+			t.Errorf("class %s never generated in 60 seeds", c)
+		}
+	}
+}
+
+func TestProfilesDistinct(t *testing.T) {
+	apps := TestApps()
+	if len(apps) != 12 {
+		t.Fatalf("apps = %d, want 12", len(apps))
+	}
+	names := make(map[string]bool)
+	for _, a := range apps {
+		if names[a.Name] {
+			t.Errorf("duplicate app %s", a.Name)
+		}
+		names[a.Name] = true
+		if a.Scale <= 0 {
+			t.Errorf("%s: non-positive scale", a.Name)
+		}
+	}
+	// The float-free applications must have zero float-family weight.
+	for _, a := range apps {
+		switch a.Name {
+		case "gzip", "nano", "sed":
+			if a.Weights[ctypes.ClassFloat] != 0 || a.Weights[ctypes.ClassDouble] != 0 {
+				t.Errorf("%s: expected no float weight", a.Name)
+			}
+		case "R":
+			if a.Weights[ctypes.ClassDouble] < 10 {
+				t.Errorf("R: expected heavy double weight")
+			}
+		}
+	}
+}
+
+func TestTypeOfExpr(t *testing.T) {
+	st := ctypes.StructOf("s",
+		ctypes.Field{Name: "a", Type: ctypes.Int},
+		ctypes.Field{Name: "b", Type: ctypes.Double},
+	)
+	sv := &VarDecl{Name: "s", Type: st}
+	pv := &VarDecl{Name: "p", Type: ctypes.PointerTo(st)}
+	av := &VarDecl{Name: "arr", Type: ctypes.ArrayOf(ctypes.Char, 8)}
+	dv := &VarDecl{Name: "dp", Type: ctypes.PointerTo(ctypes.Long)}
+	iv := &VarDecl{Name: "i", Type: ctypes.Int}
+
+	tests := []struct {
+		e    Expr
+		want string
+	}{
+		{&VarRef{Decl: iv}, "int"},
+		{&FieldRef{Base: sv, Field: 1}, "double"},
+		{&PtrFieldRef{Ptr: pv, Field: 0}, "int"},
+		{&IndexRef{Arr: av, Idx: &IntLit{Value: 0}}, "char"},
+		{&DerefRef{Ptr: dv}, "long int"},
+		{&IntLit{Value: 3}, "int"},
+		{&FloatLit{Value: 1.5, Type: ctypes.Float}, "float"},
+		{&Binary{Op: OpAdd, L: &VarRef{Decl: iv}, R: &IntLit{Value: 1}}, "int"},
+		{&Cmp{Op: CmpEq, L: &VarRef{Decl: iv}, R: &IntLit{Value: 1}}, "int"},
+		{&AddrOf{Target: &VarRef{Decl: iv}}, "int*"},
+		{&Cast{To: ctypes.ULong, X: &VarRef{Decl: iv}}, "long unsigned int"},
+		{&Call{Name: "strlen", Result: ctypes.ULong}, "long unsigned int"},
+	}
+	for _, tt := range tests {
+		if got := TypeOfExpr(tt.e).String(); got != tt.want {
+			t.Errorf("TypeOfExpr(%T) = %s, want %s", tt.e, got, tt.want)
+		}
+	}
+}
+
+func TestOrphanAndRichVariablesBothOccur(t *testing.T) {
+	// EventsMin=1 must yield some single-event variables (future orphans)
+	// and EventsMax>1 some multi-event ones.
+	prof := DefaultProfile("orphan")
+	p := Generate(prof, 3)
+	uses := make(map[*VarDecl]int)
+	for _, f := range p.Funcs {
+		walkCount(f.Body, uses)
+	}
+	single, multi := 0, 0
+	for _, f := range p.Funcs {
+		for _, d := range f.Locals {
+			switch {
+			case uses[d] <= 2:
+				single++
+			case uses[d] > 2:
+				multi++
+			}
+		}
+	}
+	if single == 0 || multi == 0 {
+		t.Errorf("usage spread: %d sparse, %d rich — want both nonzero", single, multi)
+	}
+}
+
+func walkCount(stmts []Stmt, uses map[*VarDecl]int) {
+	var expr func(e Expr)
+	expr = func(e Expr) {
+		switch x := e.(type) {
+		case *VarRef:
+			uses[x.Decl]++
+		case *FieldRef:
+			uses[x.Base]++
+		case *PtrFieldRef:
+			uses[x.Ptr]++
+		case *IndexRef:
+			uses[x.Arr]++
+			expr(x.Idx)
+		case *DerefRef:
+			uses[x.Ptr]++
+		case *Binary:
+			expr(x.L)
+			expr(x.R)
+		case *Cmp:
+			expr(x.L)
+			expr(x.R)
+		case *AddrOf:
+			expr(x.Target)
+		case *Cast:
+			expr(x.X)
+		case *Call:
+			for _, a := range x.Args {
+				expr(a)
+			}
+		}
+	}
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *Assign:
+			expr(x.LHS)
+			expr(x.RHS)
+		case *If:
+			expr(x.Cond)
+			walkCount(x.Then, uses)
+			walkCount(x.Else, uses)
+		case *While:
+			expr(x.Cond)
+			walkCount(x.Body, uses)
+		case *For:
+			if x.Init != nil {
+				walkCount([]Stmt{x.Init}, uses)
+			}
+			expr(x.Cond)
+			if x.Post != nil {
+				walkCount([]Stmt{x.Post}, uses)
+			}
+			walkCount(x.Body, uses)
+		case *Return:
+			if x.Value != nil {
+				expr(x.Value)
+			}
+		case *ExprStmt:
+			expr(x.X)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package vareco
+
+import (
+	"sort"
+
+	"repro/internal/asm"
+)
+
+// augmentDataflow performs a forward def-use scan over the function:
+// a register loaded from a variable's slot becomes an alias of the
+// variable, and subsequent instructions that use the register (before it
+// is redefined, the block ends, or a call clobbers it) are added to the
+// variable's instruction set. This is the "data flow of the target
+// variable" the paper extracts with IDA Pro (§IV-A); without it only the
+// direct slot touches count.
+func (r *Recovery) augmentDataflow(f *Func) {
+	if len(f.Vars) == 0 {
+		return
+	}
+
+	// Slot intervals for alias lookup.
+	varAt := func(disp int32) int {
+		for vi := range f.Vars {
+			v := &f.Vars[vi]
+			if disp >= v.Slot && disp < v.Slot+int32(v.Size) {
+				return vi
+			}
+		}
+		return -1
+	}
+
+	// Branch targets inside the function end basic blocks.
+	blockStart := make(map[uint64]bool)
+	for i := f.InstLo; i < f.InstHi; i++ {
+		in := &r.Insts[i]
+		if in.Op == asm.OpJMP || in.Op.IsCondJump() {
+			if s, ok := in.Args[0].(asm.Sym); ok && s.Resolved {
+				blockStart[s.Addr] = true
+			}
+		}
+	}
+
+	extra := make(map[int]map[int]bool) // var index → added instruction set
+	alias := make(map[int]int)          // hardware reg number → var index
+
+	add := func(vi, inst int) {
+		if extra[vi] == nil {
+			extra[vi] = make(map[int]bool)
+		}
+		extra[vi][inst] = true
+	}
+
+	for i := f.InstLo; i < f.InstHi; i++ {
+		in := &r.Insts[i]
+		if blockStart[in.Addr] {
+			alias = make(map[int]int)
+		}
+
+		// Uses: register sources, memory bases/indexes, and read-modify
+		// destinations.
+		for ai, a := range in.Args {
+			switch x := a.(type) {
+			case asm.RegArg:
+				if !x.Reg.IsGPR() {
+					continue
+				}
+				if ai == 0 && in.Op == asm.OpMOV {
+					continue // pure write, handled as redefinition below
+				}
+				if vi, ok := alias[x.Reg.Num()]; ok {
+					add(vi, i)
+				}
+			case asm.Mem:
+				if x.Base != asm.RegNone && x.Base.IsGPR() {
+					if vi, ok := alias[x.Base.Num()]; ok {
+						add(vi, i)
+					}
+				}
+				if x.Index != asm.RegNone && x.Index.IsGPR() {
+					if vi, ok := alias[x.Index.Num()]; ok {
+						add(vi, i)
+					}
+				}
+			}
+		}
+
+		// Definitions invalidate aliases; a fresh load from a slot creates
+		// one.
+		switch {
+		case in.Op == asm.OpCALL, in.Op == asm.OpRET, in.Op == asm.OpLEAVE:
+			alias = make(map[int]int)
+			continue
+		case in.Op == asm.OpJMP || in.Op.IsCondJump():
+			alias = make(map[int]int)
+			continue
+		case in.Op == asm.OpIDIV || in.Op == asm.OpDIV ||
+			in.Op == asm.OpCDQ || in.Op == asm.OpCQO:
+			delete(alias, 0) // rax
+			delete(alias, 2) // rdx
+			continue
+		}
+		if d, ok := in.Dst().(asm.RegArg); ok && d.Reg.IsGPR() {
+			if in.Op == asm.OpMOV {
+				if m, ok := in.Src().(asm.Mem); ok && m.Base == f.FrameReg {
+					if vi := varAt(m.Disp); vi >= 0 {
+						alias[d.Reg.Num()] = vi
+						continue
+					}
+				}
+			}
+			delete(alias, d.Reg.Num())
+		}
+	}
+
+	// Merge, dedup and keep sorted.
+	for vi, set := range extra {
+		v := &f.Vars[vi]
+		have := make(map[int]bool, len(v.Insts))
+		for _, idx := range v.Insts {
+			have[idx] = true
+		}
+		for idx := range set {
+			if !have[idx] {
+				v.Insts = append(v.Insts, idx)
+			}
+		}
+		sort.Ints(v.Insts)
+	}
+}

@@ -1,0 +1,98 @@
+package vareco
+
+import (
+	"sort"
+
+	"repro/internal/asm"
+)
+
+// RegVar is a recovered register-resident variable: optimized code
+// promotes hot scalars into callee-saved registers, leaving no stack slot.
+// The paper's premise ("a storage location, either register or memory,
+// that stores a value, is called a variable") covers these; IDA models
+// them as register variables.
+type RegVar struct {
+	// Reg is the 64-bit callee-saved register holding the variable.
+	Reg asm.Reg
+	// Insts lists the instructions that read or write the register inside
+	// the function body (saves/restores excluded).
+	Insts []int
+}
+
+// calleeSaved are the registers compilers use for register variables.
+var calleeSaved = []asm.Reg{asm.RBX, asm.R12, asm.R13, asm.R14, asm.R15}
+
+// findRegVars recovers register variables for one function: a callee-saved
+// register counts as a variable when the prologue saves it and the body
+// uses it. Called when Options.RegisterVars is set.
+func (r *Recovery) findRegVars(f *Func) {
+	// Which callee-saved registers does the prologue push?
+	saved := make(map[int]bool)
+	for i := f.InstLo; i < f.InstHi && i < f.InstLo+8; i++ {
+		in := &r.Insts[i]
+		if in.Op != asm.OpPUSH {
+			continue
+		}
+		d, ok := in.Dst().(asm.RegArg)
+		if !ok {
+			continue
+		}
+		for _, cs := range calleeSaved {
+			if d.Reg == cs {
+				saved[cs.Num()] = true
+			}
+		}
+	}
+	if len(saved) == 0 {
+		return
+	}
+
+	uses := make(map[int][]int) // reg hardware number → instruction indices
+	for i := f.InstLo; i < f.InstHi; i++ {
+		in := &r.Insts[i]
+		if in.Op == asm.OpPUSH || in.Op == asm.OpPOP {
+			continue
+		}
+		for num := range saved {
+			if instUsesReg(in, num) {
+				uses[num] = append(uses[num], i)
+			}
+		}
+	}
+
+	nums := make([]int, 0, len(uses))
+	for num := range uses {
+		nums = append(nums, num)
+	}
+	sort.Ints(nums)
+	for _, num := range nums {
+		if len(uses[num]) == 0 {
+			continue
+		}
+		f.RegVars = append(f.RegVars, RegVar{
+			Reg:   asm.GPR(num, 8),
+			Insts: uses[num],
+		})
+	}
+}
+
+// instUsesReg reports whether the instruction references the hardware
+// register (at any width) as an operand or address component.
+func instUsesReg(in *asm.Inst, num int) bool {
+	for _, a := range in.Args {
+		switch x := a.(type) {
+		case asm.RegArg:
+			if x.Reg.IsGPR() && !x.Reg.IsHighByte() && x.Reg.Num() == num {
+				return true
+			}
+		case asm.Mem:
+			if x.Base != asm.RegNone && x.Base.IsGPR() && x.Base.Num() == num {
+				return true
+			}
+			if x.Index != asm.RegNone && x.Index.IsGPR() && x.Index.Num() == num {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,325 @@
+package vareco
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/compile"
+	"repro/internal/dwarflite"
+	"repro/internal/elfx"
+	"repro/internal/synth"
+)
+
+func build(t *testing.T, seed int64, dialect compile.Dialect, opt int) (*compile.Result, *Recovery) {
+	t.Helper()
+	p := synth.Generate(synth.DefaultProfile("vr"), seed)
+	res, err := compile.Compile(p, compile.Options{Dialect: dialect, Opt: opt, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(elfx.Strip(res.Binary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rec
+}
+
+func TestRecoverFunctions(t *testing.T) {
+	res, rec := build(t, 1, compile.GCC, 0)
+	want := len(res.Debug.Funcs)
+	if len(rec.Funcs) != want {
+		t.Fatalf("recovered %d functions, want %d", len(rec.Funcs), want)
+	}
+	// Boundaries must match the (withheld) debug info exactly on this
+	// contiguous layout.
+	for i, f := range rec.Funcs {
+		df := res.Debug.Funcs[i]
+		if f.Low != df.Low || f.High != df.High {
+			t.Errorf("func %d: [%#x,%#x), want [%#x,%#x)", i, f.Low, f.High, df.Low, df.High)
+		}
+	}
+}
+
+func TestFrameRegDetection(t *testing.T) {
+	// GCC O0 → rbp frames; GCC O2 → rsp frames.
+	_, rec0 := build(t, 2, compile.GCC, 0)
+	for _, f := range rec0.Funcs {
+		if f.FrameReg != asm.RBP {
+			t.Errorf("O0 func at %#x: frame %s, want rbp", f.Low, f.FrameReg)
+		}
+	}
+	_, rec2 := build(t, 2, compile.GCC, 2)
+	for _, f := range rec2.Funcs {
+		if f.FrameReg != asm.RSP {
+			t.Errorf("O2 func at %#x: frame %s, want rsp", f.Low, f.FrameReg)
+		}
+	}
+	// Clang keeps rbp through O2.
+	_, recC := build(t, 2, compile.Clang, 2)
+	for _, f := range recC.Funcs {
+		if f.FrameReg != asm.RBP {
+			t.Errorf("clang O2 func at %#x: frame %s, want rbp", f.Low, f.FrameReg)
+		}
+	}
+}
+
+// TestRecoveryAccuracy measures slot recovery against ground truth: the
+// paper cites ~90% variable recovery from prior work; our recovery on our
+// own codegen should be at least that good.
+func TestRecoveryAccuracy(t *testing.T) {
+	for _, opt := range []int{0, 1, 2} {
+		res, rec := build(t, 3, compile.GCC, opt)
+		var matched, total int
+		for fi := range res.Debug.Funcs {
+			df := &res.Debug.Funcs[fi]
+			rf, ok := rec.FuncAt(df.Low)
+			if !ok {
+				total += len(df.Vars)
+				continue
+			}
+			for _, v := range df.Vars {
+				if v.Loc == dwarflite.LocReg {
+					continue // register variables are recovered separately
+				}
+				total++
+				size := int32(v.Type.Size())
+				for _, rv := range rf.Vars {
+					rvEnd := rv.Slot + int32(rv.Size)
+					if rv.Slot < v.FrameOff+size && rvEnd > v.FrameOff {
+						matched++
+						break
+					}
+				}
+			}
+		}
+		if total == 0 {
+			t.Fatal("no ground-truth variables")
+		}
+		ratio := float64(matched) / float64(total)
+		if ratio < 0.85 {
+			t.Errorf("O%d: recovery ratio %.2f (%d/%d), want ≥0.85", opt, ratio, matched, total)
+		}
+	}
+}
+
+func TestVariableInstructionGrouping(t *testing.T) {
+	_, rec := build(t, 5, compile.GCC, 0)
+	if rec.NumVars() == 0 {
+		t.Fatal("no variables recovered")
+	}
+	for _, f := range rec.Funcs {
+		seen := map[int]bool{}
+		for _, v := range f.Vars {
+			if len(v.Insts) == 0 {
+				t.Fatalf("variable at slot %d has no instructions", v.Slot)
+			}
+			for _, idx := range v.Insts {
+				if idx < f.InstLo || idx >= f.InstHi {
+					t.Fatalf("instruction %d outside function range [%d,%d)", idx, f.InstLo, f.InstHi)
+				}
+				in := &rec.Insts[idx]
+				m, ok := in.MemArg()
+				if !ok || m.Base != f.FrameReg {
+					t.Fatalf("grouped instruction %s has no frame access", asm.Print(in))
+				}
+				if seen[idx] {
+					t.Fatalf("instruction %d grouped under two variables", idx)
+				}
+				seen[idx] = true
+			}
+		}
+		// Variables must not overlap.
+		for i := 1; i < len(f.Vars); i++ {
+			prev, cur := f.Vars[i-1], f.Vars[i]
+			if prev.Slot+int32(prev.Size) > cur.Slot {
+				t.Fatalf("overlapping variables at %d and %d", prev.Slot, cur.Slot)
+			}
+		}
+	}
+}
+
+func TestOrphanVariablesExist(t *testing.T) {
+	// The corpus must show the paper's phenomenon: a sizeable share of
+	// variables with only 1–2 related instructions.
+	_, rec := build(t, 7, compile.GCC, 1)
+	orphan, total := 0, 0
+	for _, f := range rec.Funcs {
+		for _, v := range f.Vars {
+			total++
+			if len(v.Insts) <= 2 {
+				orphan++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no variables")
+	}
+	if orphan == 0 {
+		t.Error("no orphan variables in the corpus — paper requires ~35%")
+	}
+}
+
+func TestRecoverErrors(t *testing.T) {
+	if _, err := Recover(&elfx.Binary{}); !errors.Is(err, ErrNoText) {
+		t.Errorf("error = %v, want ErrNoText", err)
+	}
+}
+
+func TestFrameRegTagConsistency(t *testing.T) {
+	res, rec := build(t, 9, compile.GCC, 2)
+	for fi := range res.Debug.Funcs {
+		df := &res.Debug.Funcs[fi]
+		rf, ok := rec.FuncAt(df.Low)
+		if !ok {
+			t.Fatalf("function at %#x not recovered", df.Low)
+		}
+		wantReg := asm.RBP
+		if df.FrameReg == dwarflite.FrameRSP {
+			wantReg = asm.RSP
+		}
+		if rf.FrameReg != wantReg {
+			t.Errorf("func %s: frame %s, debug says %s", df.Name, rf.FrameReg, wantReg)
+		}
+	}
+}
+
+func TestGlobalRecovery(t *testing.T) {
+	res, rec := build(t, 11, compile.GCC, 0)
+	if len(res.Debug.Globals) == 0 {
+		t.Skip("generated program has no globals used")
+	}
+	if rec.DataHigh == 0 {
+		t.Fatal("no .data range detected")
+	}
+	if len(rec.Globals) == 0 {
+		t.Fatal("no globals recovered")
+	}
+	// Every recovered global must fall inside .data and match a debug
+	// record.
+	matched := 0
+	for _, g := range rec.Globals {
+		if !rec.InData(g.Addr) {
+			t.Fatalf("global at %#x outside .data [%#x,%#x)", g.Addr, rec.DataLow, rec.DataHigh)
+		}
+		if len(g.Insts) == 0 {
+			t.Fatal("global with no instructions")
+		}
+		if _, ok := res.Debug.GlobalAt(g.Addr); ok {
+			matched++
+		}
+	}
+	if matched == 0 {
+		t.Error("no recovered global matches debug info")
+	}
+	// Globals must not overlap.
+	for i := 1; i < len(rec.Globals); i++ {
+		prev, cur := rec.Globals[i-1], rec.Globals[i]
+		if prev.Addr+uint64(prev.Size) > cur.Addr {
+			t.Fatalf("overlapping globals at %#x and %#x", prev.Addr, cur.Addr)
+		}
+	}
+	// Literal-pool constants (rodata) must not be recovered as globals.
+	for _, g := range rec.Globals {
+		if g.Addr < 0x500000 {
+			t.Fatalf("rodata constant at %#x recovered as a global", g.Addr)
+		}
+	}
+}
+
+func TestDataflowAugmentation(t *testing.T) {
+	p := synth.Generate(synth.DefaultProfile("vr"), 5)
+	res, err := compile.Compile(p, compile.Options{Dialect: compile.GCC, Opt: 0, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Recover(elfx.Strip(res.Binary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow, err := RecoverOpts(elfx.Strip(res.Binary), Options{Dataflow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow.NumVars() != plain.NumVars() {
+		t.Fatalf("dataflow changed variable count: %d vs %d", flow.NumVars(), plain.NumVars())
+	}
+	count := func(r *Recovery) int {
+		n := 0
+		for _, f := range r.Funcs {
+			for _, v := range f.Vars {
+				n += len(v.Insts)
+			}
+		}
+		return n
+	}
+	np, nf := count(plain), count(flow)
+	if nf <= np {
+		t.Errorf("dataflow added no instructions: %d vs %d", nf, np)
+	}
+	// Added instructions must stay inside the owning function.
+	for _, f := range flow.Funcs {
+		for _, v := range f.Vars {
+			for _, idx := range v.Insts {
+				if idx < f.InstLo || idx >= f.InstHi {
+					t.Fatalf("dataflow instruction %d outside function", idx)
+				}
+			}
+		}
+	}
+}
+
+func TestRegisterVariableRecovery(t *testing.T) {
+	// O2 promotes hot scalars into callee-saved registers; with
+	// RegisterVars on, those must be recovered and match the debug info's
+	// register-located records.
+	p := synth.Generate(synth.DefaultProfile("vr"), 13)
+	res, err := compile.Compile(p, compile.Options{Dialect: compile.GCC, Opt: 2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RecoverOpts(elfx.Strip(res.Binary), Options{RegisterVars: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	debugRegVars := 0
+	for fi := range res.Debug.Funcs {
+		df := &res.Debug.Funcs[fi]
+		for vi := range df.Vars {
+			if df.Vars[vi].Loc != dwarflite.LocReg {
+				continue
+			}
+			debugRegVars++
+			rf, ok := rec.FuncAt(df.Low)
+			if !ok {
+				t.Fatalf("function %s not recovered", df.Name)
+			}
+			found := false
+			for _, rv := range rf.RegVars {
+				if byte(rv.Reg.Num()) == df.Vars[vi].RegNum {
+					found = true
+					if len(rv.Insts) == 0 {
+						t.Errorf("register variable %s has no instructions", rv.Reg)
+					}
+				}
+			}
+			if !found {
+				t.Errorf("%s: register variable in %d not recovered", df.Name, df.Vars[vi].RegNum)
+			}
+		}
+	}
+	if debugRegVars == 0 {
+		t.Skip("no promoted variables in this program")
+	}
+	// Without the option, no register variables appear.
+	plain, err := Recover(elfx.Strip(res.Binary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range plain.Funcs {
+		if len(f.RegVars) != 0 {
+			t.Fatal("register variables recovered without the option")
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package vuc implements the paper's central feature: the Variable Usage
+// Context. A VUC is the target instruction that operates a variable plus a
+// window of w instructions before and after it (§II-A, w=10 → 21
+// instructions). Each instruction is generalized (§IV-B) — immediates
+// become 0xIMM, code addresses become ADDR, known callee names become FUNC,
+// missing operands are padded with BLANK — and rendered as exactly three
+// tokens: mnemonic, operand 1, operand 2.
+package vuc
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/vareco"
+)
+
+// DefaultWindow is the paper's context window size w.
+const DefaultWindow = 10
+
+// TokensPerInst is the fixed token count per instruction (mnemonic + two
+// operand slots).
+const TokensPerInst = 3
+
+// Generalization tokens.
+const (
+	TokBlank = "BLANK"
+	TokAddr  = "ADDR"
+	TokFunc  = "FUNC"
+	TokPad   = "PAD" // mnemonic slot of padding beyond function bounds
+)
+
+// InstTok is one generalized instruction: [mnemonic, op1, op2].
+type InstTok [TokensPerInst]string
+
+// PadInst fills window positions outside the function.
+func PadInst() InstTok { return InstTok{TokPad, TokBlank, TokBlank} }
+
+// VarKey identifies a recovered variable. Stack variables are keyed by
+// their owning function's entry address and frame slot; globals by their
+// absolute address (with Global set and Slot zero).
+type VarKey struct {
+	FuncLow uint64
+	Slot    int32
+	Global  bool
+}
+
+// GlobalKey builds the key of a global variable.
+func GlobalKey(addr uint64) VarKey { return VarKey{FuncLow: addr, Global: true} }
+
+// VUC is one extracted variable usage context.
+type VUC struct {
+	// Tokens has 2w+1 entries; the center (index w) is the target
+	// instruction.
+	Tokens []InstTok
+	// Var identifies the variable this VUC belongs to (VUCs of one
+	// variable vote together).
+	Var VarKey
+	// CenterIdx is the target instruction's index in the recovery stream.
+	CenterIdx int
+}
+
+// Window returns w (Tokens has 2w+1 entries).
+func (v *VUC) Window() int { return (len(v.Tokens) - 1) / 2 }
+
+// FlatTokens returns all tokens in order, for embedding training.
+func (v *VUC) FlatTokens() []string {
+	out := make([]string, 0, len(v.Tokens)*TokensPerInst)
+	for _, it := range v.Tokens {
+		out = append(out, it[0], it[1], it[2])
+	}
+	return out
+}
+
+// Key returns a deduplication key: the concatenated token string. VUCs
+// with equal keys are indistinguishable to the classifier — the paper's
+// "uncertain samples" are variables whose VUCs collide under this key while
+// carrying different types.
+func (v *VUC) Key() string {
+	var sb strings.Builder
+	for _, it := range v.Tokens {
+		sb.WriteString(it[0])
+		sb.WriteByte('|')
+		sb.WriteString(it[1])
+		sb.WriteByte('|')
+		sb.WriteString(it[2])
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// CenterKey returns the generalized target instruction alone — the paper's
+// Table I counts uncertain samples among orphan variables by their 1–2
+// target instructions.
+func (v *VUC) CenterKey() string {
+	it := v.Tokens[v.Window()]
+	return it[0] + "|" + it[1] + "|" + it[2]
+}
+
+// Config controls extraction.
+type Config struct {
+	// Window is w; 0 means DefaultWindow.
+	Window int
+	// NoGeneralize disables operand generalization (ablation).
+	NoGeneralize bool
+}
+
+// Extract produces every VUC of every recovered variable: one VUC per
+// target instruction, windowed within the owning function and padded at
+// its edges.
+func Extract(rec *vareco.Recovery, cfg Config) []VUC {
+	w := cfg.Window
+	if w <= 0 {
+		w = DefaultWindow
+	}
+	// Tokenize the whole stream once.
+	toks := make([]InstTok, len(rec.Insts))
+	for i := range rec.Insts {
+		toks[i] = Tokenize(&rec.Insts[i], rec, cfg.NoGeneralize)
+	}
+	window := func(key VarKey, center, lo, hi int) VUC {
+		u := VUC{
+			Tokens:    make([]InstTok, 2*w+1),
+			Var:       key,
+			CenterIdx: center,
+		}
+		for j := -w; j <= w; j++ {
+			pos := center + j
+			if pos < lo || pos >= hi {
+				u.Tokens[j+w] = PadInst()
+			} else {
+				u.Tokens[j+w] = toks[pos]
+			}
+		}
+		return u
+	}
+
+	var out []VUC
+	for fi := range rec.Funcs {
+		f := &rec.Funcs[fi]
+		for vi := range f.Vars {
+			v := &f.Vars[vi]
+			key := VarKey{FuncLow: f.Low, Slot: v.Slot}
+			for _, instIdx := range v.Insts {
+				out = append(out, window(key, instIdx, f.InstLo, f.InstHi))
+			}
+		}
+	}
+	// Global variables: each access windows within its containing
+	// function.
+	for gi := range rec.Globals {
+		g := &rec.Globals[gi]
+		key := GlobalKey(g.Addr)
+		for _, instIdx := range g.Insts {
+			lo, hi := 0, len(rec.Insts)
+			if f, ok := rec.FuncAt(rec.Insts[instIdx].Addr); ok {
+				lo, hi = f.InstLo, f.InstHi
+			}
+			out = append(out, window(key, instIdx, lo, hi))
+		}
+	}
+	return out
+}
+
+// Tokenize generalizes one instruction into its three tokens. rec supplies
+// the text bounds for ADDR/FUNC classification of branch targets; it may
+// be nil, in which case all branch targets are ADDR+BLANK.
+func Tokenize(in *asm.Inst, rec *vareco.Recovery, noGeneralize bool) InstTok {
+	t := InstTok{asm.Mnemonic(in), TokBlank, TokBlank}
+	slot := 1
+	n := len(in.Args)
+	// AT&T operand order: reverse of the stored Intel order.
+	for i := n - 1; i >= 0 && slot < TokensPerInst; i-- {
+		a := in.Args[i]
+		if noGeneralize {
+			t[slot] = a.String()
+			slot++
+			continue
+		}
+		switch x := a.(type) {
+		case asm.Imm:
+			if x.Value < 0 {
+				t[slot] = "$-0xIMM"
+			} else {
+				t[slot] = "$0xIMM"
+			}
+			slot++
+		case asm.RegArg:
+			t[slot] = x.String()
+			slot++
+		case asm.Mem:
+			t[slot] = generalizeMem(x)
+			slot++
+		case asm.Sym:
+			t[slot] = TokAddr
+			slot++
+			if slot < TokensPerInst {
+				// A call outside .text is a library stub whose name
+				// survives stripping (dynamic symbols); intra-text targets
+				// in stripped binaries have no name.
+				if in.Op == asm.OpCALL && rec != nil && x.Resolved && !rec.InText(x.Addr) {
+					t[slot] = TokFunc
+					slot++
+				}
+			}
+		}
+	}
+	return t
+}
+
+// generalizeMem rewrites a memory operand with its displacement
+// generalized, preserving structure, register names and the scale factor
+// (§IV-B: "we don't touch the scale factor of effective address since it
+// is related to variable length").
+func generalizeMem(m asm.Mem) string {
+	if m.Base == asm.RegNone && m.Index == asm.RegNone {
+		return "0xIMM" // absolute address (literal pools)
+	}
+	var sb strings.Builder
+	if m.Disp != 0 {
+		if m.Disp < 0 {
+			sb.WriteString("-0xIMM")
+		} else {
+			sb.WriteString("0xIMM")
+		}
+	}
+	sb.WriteByte('(')
+	if m.Base != asm.RegNone {
+		sb.WriteString("%" + m.Base.String())
+	}
+	if m.Index != asm.RegNone {
+		sb.WriteString(",%" + m.Index.String())
+		sb.WriteString("," + strconv.Itoa(int(m.Scale)))
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}

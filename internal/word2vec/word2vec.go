@@ -1,0 +1,275 @@
+// Package word2vec is a pure-Go skip-gram Word2Vec with negative sampling,
+// the embedding stage of the paper (§IV-C): it learns a 32-dimensional
+// vector per generalized assembly token (window 5), maximizing the paper's
+// objective (Eq. 1) via the standard negative-sampling surrogate.
+package word2vec
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Config are the training hyperparameters; zero values take the paper's
+// defaults.
+type Config struct {
+	Dim      int     // embedding dimensionality (paper: 32)
+	Window   int     // max skip distance m (paper: 5)
+	Negative int     // negative samples per positive pair
+	Epochs   int     // passes over the corpus
+	LR       float64 // initial learning rate, linearly decayed
+	MinCount int     // drop tokens rarer than this
+	Seed     int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dim == 0 {
+		c.Dim = 32
+	}
+	if c.Window == 0 {
+		c.Window = 5
+	}
+	if c.Negative == 0 {
+		c.Negative = 5
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 3
+	}
+	if c.LR == 0 {
+		c.LR = 0.025
+	}
+	if c.MinCount == 0 {
+		c.MinCount = 1
+	}
+	return c
+}
+
+// Model is a trained embedding table.
+type Model struct {
+	Dim   int
+	Vocab map[string]int
+	Words []string
+	// Vecs is the input-embedding matrix, row per vocabulary word.
+	Vecs [][]float32
+}
+
+// Vector returns the embedding of a token; unknown tokens embed to the
+// zero vector (stripped-binary inference may see tokens unseen in
+// training — the paper reports >99% generalization coverage, and the rest
+// must not crash the pipeline).
+func (m *Model) Vector(tok string) []float32 {
+	if i, ok := m.Vocab[tok]; ok {
+		return m.Vecs[i]
+	}
+	return make([]float32, m.Dim)
+}
+
+// Has reports whether the token is in-vocabulary.
+func (m *Model) Has(tok string) bool {
+	_, ok := m.Vocab[tok]
+	return ok
+}
+
+// sigmoid lookup table, as in the reference implementation.
+const (
+	sigTableSize = 1024
+	sigMax       = 6.0
+)
+
+type sigTable [sigTableSize]float32
+
+func newSigTable() *sigTable {
+	var t sigTable
+	for i := range t {
+		x := (float64(i)/sigTableSize*2 - 1) * sigMax
+		t[i] = float32(1 / (1 + math.Exp(-x)))
+	}
+	return &t
+}
+
+func (t *sigTable) at(x float32) float32 {
+	if x >= sigMax {
+		return 1
+	}
+	if x <= -sigMax {
+		return 0
+	}
+	i := int((x + sigMax) / (2 * sigMax) * sigTableSize)
+	if i >= sigTableSize {
+		i = sigTableSize - 1
+	}
+	return t[i]
+}
+
+// Train learns embeddings from sentences (token sequences). Deterministic
+// for a fixed config.
+func Train(sentences [][]string, cfg Config) *Model {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	// Vocabulary with counts.
+	counts := make(map[string]int)
+	for _, s := range sentences {
+		for _, tok := range s {
+			counts[tok]++
+		}
+	}
+	words := make([]string, 0, len(counts))
+	for w, c := range counts {
+		if c >= cfg.MinCount {
+			words = append(words, w)
+		}
+	}
+	sort.Strings(words) // determinism independent of map order
+	vocab := make(map[string]int, len(words))
+	for i, w := range words {
+		vocab[w] = i
+	}
+	m := &Model{Dim: cfg.Dim, Vocab: vocab, Words: words}
+	if len(words) == 0 {
+		return m
+	}
+
+	// Unigram table for negative sampling (counts^0.75).
+	const tableSize = 1 << 17
+	table := make([]int32, tableSize)
+	var totalPow float64
+	pows := make([]float64, len(words))
+	for i, w := range words {
+		pows[i] = math.Pow(float64(counts[w]), 0.75)
+		totalPow += pows[i]
+	}
+	idx, cum := 0, pows[0]/totalPow
+	for i := range table {
+		table[i] = int32(idx)
+		if float64(i)/tableSize > cum && idx < len(words)-1 {
+			idx++
+			cum += pows[idx] / totalPow
+		}
+	}
+
+	// Parameter matrices.
+	in := make([]float32, len(words)*cfg.Dim)
+	out := make([]float32, len(words)*cfg.Dim)
+	for i := range in {
+		in[i] = (r.Float32() - 0.5) / float32(cfg.Dim)
+	}
+
+	sig := newSigTable()
+	grad := make([]float32, cfg.Dim)
+
+	// Token stream as indices.
+	var stream [][]int32
+	totalTokens := 0
+	for _, s := range sentences {
+		row := make([]int32, 0, len(s))
+		for _, tok := range s {
+			if i, ok := vocab[tok]; ok {
+				row = append(row, int32(i))
+			}
+		}
+		if len(row) > 1 {
+			stream = append(stream, row)
+			totalTokens += len(row)
+		}
+	}
+
+	trained := 0
+	totalSteps := cfg.Epochs * totalTokens
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, row := range stream {
+			for ci, center := range row {
+				// Linearly decayed learning rate with a floor.
+				lr := float32(cfg.LR) * (1 - float32(trained)/float32(totalSteps+1))
+				if lr < float32(cfg.LR)*0.0001 {
+					lr = float32(cfg.LR) * 0.0001
+				}
+				trained++
+				span := 1 + r.Intn(cfg.Window)
+				for d := -span; d <= span; d++ {
+					pos := ci + d
+					if d == 0 || pos < 0 || pos >= len(row) {
+						continue
+					}
+					ctx := row[pos]
+					vIn := in[int(ctx)*cfg.Dim : int(ctx+1)*cfg.Dim]
+					for k := range grad {
+						grad[k] = 0
+					}
+					// One positive + Negative negatives.
+					for s := 0; s <= cfg.Negative; s++ {
+						var target int32
+						var label float32
+						if s == 0 {
+							target, label = center, 1
+						} else {
+							target = table[r.Intn(tableSize)]
+							if target == center {
+								continue
+							}
+							label = 0
+						}
+						vOut := out[int(target)*cfg.Dim : int(target+1)*cfg.Dim]
+						var dot float32
+						for k := 0; k < cfg.Dim; k++ {
+							dot += vIn[k] * vOut[k]
+						}
+						g := (label - sig.at(dot)) * lr
+						for k := 0; k < cfg.Dim; k++ {
+							grad[k] += g * vOut[k]
+							vOut[k] += g * vIn[k]
+						}
+					}
+					for k := 0; k < cfg.Dim; k++ {
+						vIn[k] += grad[k]
+					}
+				}
+			}
+		}
+	}
+
+	m.Vecs = make([][]float32, len(words))
+	for i := range words {
+		v := make([]float32, cfg.Dim)
+		copy(v, in[i*cfg.Dim:(i+1)*cfg.Dim])
+		m.Vecs[i] = v
+	}
+	return m
+}
+
+// Similarity returns the cosine similarity of two tokens (0 when either is
+// out of vocabulary or zero).
+func (m *Model) Similarity(a, b string) float64 {
+	va, vb := m.Vector(a), m.Vector(b)
+	var dot, na, nb float64
+	for i := range va {
+		dot += float64(va[i]) * float64(vb[i])
+		na += float64(va[i]) * float64(va[i])
+		nb += float64(vb[i]) * float64(vb[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// Encode serializes the model.
+func (m *Model) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("word2vec: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a model.
+func Decode(data []byte) (*Model, error) {
+	var m Model
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("word2vec: decode: %w", err)
+	}
+	return &m, nil
+}
