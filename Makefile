@@ -1,0 +1,29 @@
+# Developer entry points. `make check` is the pre-commit gate: vet, build,
+# full test suite, and the race detector over the concurrent packages.
+
+GO ?= go
+RACE_PKGS = ./internal/par ./internal/nn ./internal/word2vec ./internal/classify
+
+.PHONY: check build test vet race bench bench-json
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
+
+# Parallel-core micro-benchmarks (worker sweep 1/2/4/8).
+bench:
+	$(GO) test ./internal/nn -run XXX -bench 'Parallel' -benchmem
+
+# Machine-readable timing records for the parallel compute core.
+bench-json:
+	$(GO) run ./cmd/catibench -bench-json BENCH_parallel.json

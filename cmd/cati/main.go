@@ -50,6 +50,7 @@ func run(args []string) error {
 func inferCmd(args []string) error {
 	fs := flag.NewFlagSet("infer", flag.ContinueOnError)
 	model := fs.String("model", "cati.model", "trained model file")
+	workers := fs.Int("workers", 0, "worker goroutines (0: CATI_WORKERS env, else GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,6 +65,7 @@ func inferCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	cati.Pipeline.Cfg.Workers = *workers
 	img, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		return err
@@ -86,6 +88,7 @@ func inferCmd(args []string) error {
 func annotateCmd(args []string) error {
 	fs := flag.NewFlagSet("annotate", flag.ContinueOnError)
 	model := fs.String("model", "cati.model", "trained model file")
+	workers := fs.Int("workers", 0, "worker goroutines (0: CATI_WORKERS env, else GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -100,6 +103,7 @@ func annotateCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	cati.Pipeline.Cfg.Workers = *workers
 	img, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		return err

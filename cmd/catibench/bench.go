@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/par"
+)
+
+// benchRecord is one line of BENCH_parallel.json: machine-readable timing
+// for the parallel compute core, comparable across hosts via GOMAXPROCS.
+type benchRecord struct {
+	Name       string `json:"name"`
+	NsPerOp    int64  `json:"ns_per_op"`
+	Workers    int    `json:"workers"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// Bench inputs are sized like one CATI stage: a 21-instruction window of
+// 96-wide embedded instructions through the paper's 32-64-1024 network.
+const (
+	benchSeqLen = 21
+	benchEmbDim = 96
+)
+
+// benchDataset builds a synthetic two-class corpus (no pipeline training
+// needed — the benchmark times the compute core, not the synthesizer).
+func benchDataset(n int) *nn.Dataset {
+	r := rand.New(rand.NewSource(17))
+	ds := &nn.Dataset{SeqLen: benchSeqLen, EmbDim: benchEmbDim}
+	dim := benchSeqLen * benchEmbDim
+	for i := 0; i < n; i++ {
+		s := make([]float32, dim)
+		label := i % 2
+		for j := range s {
+			s[j] = r.Float32()*0.2 - 0.1
+		}
+		if label == 1 {
+			for j := 0; j < benchEmbDim; j++ {
+				s[(benchSeqLen/2)*benchEmbDim+j] += 0.5
+			}
+		}
+		ds.Add(s, label)
+	}
+	return ds
+}
+
+// runParallelBench times training and inference across worker counts and
+// writes one JSON record per measurement to path. When workers > 0 only
+// that count is measured; otherwise a 1/2/4/8 sweep capped at resolved
+// parallelism runs.
+func runParallelBench(path string, workers int) error {
+	counts := []int{1, 2, 4, 8}
+	if workers > 0 {
+		counts = []int{workers}
+	}
+
+	trainDS := benchDataset(512)
+	predictDS := benchDataset(2048)
+	var records []benchRecord
+
+	for _, w := range counts {
+		cfg := nn.TrainConfig{Epochs: 1, Batch: 64, LR: 1e-3, Seed: 5, Workers: w}
+		net := nn.NewCNN(benchSeqLen, benchEmbDim, 32, 64, 1024, 2, 9)
+		t0 := time.Now()
+		if err := nn.TrainClassifier(net, trainDS, 2, cfg); err != nil {
+			return err
+		}
+		records = append(records, benchRecord{
+			Name:       "TrainClassifierParallel",
+			NsPerOp:    time.Since(t0).Nanoseconds(),
+			Workers:    par.Workers(w),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		})
+
+		t0 = time.Now()
+		const predictIters = 3
+		for i := 0; i < predictIters; i++ {
+			if out := nn.PredictN(net, predictDS.Samples, benchSeqLen, benchEmbDim, w); len(out) != predictDS.Len() {
+				return fmt.Errorf("bench: short predict output")
+			}
+		}
+		records = append(records, benchRecord{
+			Name:       "PredictParallel",
+			NsPerOp:    time.Since(t0).Nanoseconds() / predictIters,
+			Workers:    par.Workers(w),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		})
+		fmt.Printf("bench workers=%d: train %.2fs, predict %.2fs/op\n",
+			par.Workers(w),
+			float64(records[len(records)-2].NsPerOp)/1e9,
+			float64(records[len(records)-1].NsPerOp)/1e9)
+	}
+
+	blob, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d records)\n", path, len(records))
+	return nil
+}

@@ -8,6 +8,7 @@
 //	catibench fig6 debin compilerid timing clustering
 //	catibench ablation-window ablation-clamp ablation-generalize
 //	catibench ablation-embed ablation-flat
+//	catibench -bench-json BENCH_parallel.json [-workers N]
 package main
 
 import (
@@ -34,8 +35,14 @@ var order = []string{
 func run(args []string) error {
 	fs := flag.NewFlagSet("catibench", flag.ContinueOnError)
 	scale := fs.String("scale", "default", "experiment scale: default, quick or ablation")
+	workers := fs.Int("workers", 0, "worker goroutines (0: CATI_WORKERS env, else GOMAXPROCS)")
+	benchJSON := fs.String("bench-json", "", "run the parallel-core benchmark and write JSON records to this file (e.g. BENCH_parallel.json), then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *benchJSON != "" {
+		return runParallelBench(*benchJSON, *workers)
 	}
 
 	var s experiments.Scale
@@ -49,6 +56,7 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown scale %q", *scale)
 	}
+	s.Cfg.Workers = *workers
 	env := experiments.NewEnv(s)
 
 	ids := fs.Args()

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestCatibenchQuick(t *testing.T) {
 	if err := run([]string{"-scale", "quick", "table1", "clustering"}); err != nil {
@@ -14,5 +19,28 @@ func TestCatibenchErrors(t *testing.T) {
 	}
 	if err := run([]string{"-scale", "quick", "nosuch"}); err == nil {
 		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_parallel.json")
+	if err := run([]string{"-bench-json", path, "-workers", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []benchRecord
+	if err := json.Unmarshal(blob, &records); err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("want 2 records, got %d", len(records))
+	}
+	for _, r := range records {
+		if r.NsPerOp <= 0 || r.Workers != 1 || r.GOMAXPROCS < 1 {
+			t.Errorf("bad record: %+v", r)
+		}
 	}
 }

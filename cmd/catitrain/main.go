@@ -39,6 +39,7 @@ func run(args []string) error {
 	maxPerStage := fs.Int("max-per-stage", 4000, "training sample cap per stage")
 	seed := fs.Int64("seed", 7, "seed")
 	quick := fs.Bool("quick", false, "small architecture for a fast demo model")
+	workers := fs.Int("workers", 0, "worker goroutines (0: CATI_WORKERS env, else GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,6 +72,7 @@ func run(args []string) error {
 		Train:       nn.TrainConfig{Epochs: *epochs, Batch: 64, LR: 1e-3},
 		W2V:         word2vec.Config{Epochs: 2},
 		Seed:        *seed,
+		Workers:     *workers,
 	}
 	if *quick {
 		cfg.Conv1, cfg.Conv2, cfg.Hidden = 8, 8, 64

@@ -3,6 +3,7 @@ package classify
 import (
 	"repro/internal/ctypes"
 	"repro/internal/nn"
+	"repro/internal/par"
 	"repro/internal/vuc"
 )
 
@@ -25,17 +26,18 @@ func (p *Pipeline) Epsilon(toks []vuc.InstTok, stage ctypes.Stage) ([]float64, b
 		return nil, false
 	}
 
+	workers := par.Workers(p.Cfg.Workers)
 	blank := vuc.InstTok{vuc.TokBlank, vuc.TokBlank, vuc.TokBlank}
-	samples := make([][]float32, 0, seqLen+1)
-	samples = append(samples, p.EmbedWindow(toks))
-	for k := 0; k < seqLen; k++ {
+	samples := make([][]float32, seqLen+1)
+	samples[0] = p.EmbedWindow(toks)
+	par.ForEach(seqLen, workers, func(k int) {
 		occluded := make([]vuc.InstTok, seqLen)
 		copy(occluded, toks)
 		occluded[k] = blank
-		samples = append(samples, p.EmbedWindow(occluded))
-	}
+		samples[k+1] = p.EmbedWindow(occluded)
+	})
 
-	probs := nn.Predict(net, samples, seqLen, instDim)
+	probs := nn.PredictN(net, samples, seqLen, instDim, workers)
 	base := probs[0]
 	label := nn.Argmax(base)
 	baseConf := float64(base[label])
@@ -64,25 +66,49 @@ type EpsilonDistribution struct {
 const NumThresholds = 10
 
 // AggregateEpsilon computes the distribution for a set of VUC token
-// windows at one stage.
+// windows at one stage. The windows are independent occlusion sweeps, so
+// they shard across the worker pool; each shard accumulates a private
+// partial that is reduced in shard order (the partials hold integer-valued
+// counts, so the result is identical for every worker count).
 func (p *Pipeline) AggregateEpsilon(windows [][]vuc.InstTok, stage ctypes.Stage) EpsilonDistribution {
 	seqLen := p.Cfg.SeqLen()
 	dist := EpsilonDistribution{Share: make([][]float64, seqLen)}
 	for i := range dist.Share {
 		dist.Share[i] = make([]float64, NumThresholds)
 	}
-	for _, toks := range windows {
-		eps, ok := p.Epsilon(toks, stage)
-		if !ok {
-			continue
+	workers := par.Workers(p.Cfg.Workers)
+	type partial struct {
+		share [][]float64
+		count int
+	}
+	parts := make([]partial, par.NumShards(len(windows), workers))
+	par.Shard(len(windows), workers, func(s, wlo, whi int) {
+		pt := &parts[s]
+		pt.share = make([][]float64, seqLen)
+		for i := range pt.share {
+			pt.share[i] = make([]float64, NumThresholds)
 		}
-		dist.Count++
-		for pos, e := range eps {
-			for ti := 0; ti < NumThresholds; ti++ {
-				lo := 0.1 * float64(ti)
-				if e > lo && e < 1 {
-					dist.Share[pos][ti]++
+		for _, toks := range windows[wlo:whi] {
+			eps, ok := p.Epsilon(toks, stage)
+			if !ok {
+				continue
+			}
+			pt.count++
+			for pos, e := range eps {
+				for ti := 0; ti < NumThresholds; ti++ {
+					lo := 0.1 * float64(ti)
+					if e > lo && e < 1 {
+						pt.share[pos][ti]++
+					}
 				}
+			}
+		}
+	})
+	for _, pt := range parts {
+		dist.Count += pt.count
+		for pos := range pt.share {
+			for ti, v := range pt.share[pos] {
+				dist.Share[pos][ti] += v
 			}
 		}
 	}

@@ -1,0 +1,120 @@
+package classify
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/word2vec"
+)
+
+// TestW2VSeedRespected is the regression test for withDefaults clobbering
+// a caller-provided embedding seed: only a zero W2V.Seed may be derived
+// from the pipeline seed.
+func TestW2VSeedRespected(t *testing.T) {
+	got := Config{Seed: 5, W2V: word2vec.Config{Seed: 123}}.withDefaults()
+	if got.W2V.Seed != 123 {
+		t.Errorf("caller W2V.Seed overwritten: got %d, want 123", got.W2V.Seed)
+	}
+	derived := Config{Seed: 5}.withDefaults()
+	if derived.W2V.Seed != 5^0x77 {
+		t.Errorf("zero W2V.Seed not derived: got %d, want %d", derived.W2V.Seed, 5^0x77)
+	}
+}
+
+// TestWorkersPropagation: Config.Workers seeds the sub-config worker
+// counts without clobbering explicit choices.
+func TestWorkersPropagation(t *testing.T) {
+	c := Config{Workers: 3}.withDefaults()
+	if c.W2V.Workers != 3 || c.Train.Workers != 3 {
+		t.Errorf("Workers not propagated: w2v=%d train=%d", c.W2V.Workers, c.Train.Workers)
+	}
+	c = Config{Workers: 3, W2V: word2vec.Config{Workers: 2}}.withDefaults()
+	if c.W2V.Workers != 2 {
+		t.Errorf("explicit W2V.Workers clobbered: %d", c.W2V.Workers)
+	}
+}
+
+// TestPredictVUCsWorkersIdentical: inference through the stage tree must
+// be bitwise-identical for every worker count.
+func TestPredictVUCsWorkersIdentical(t *testing.T) {
+	c, p := sharedPipeline(t)
+	refs := c.All()
+	if len(refs) > 600 {
+		refs = refs[:600]
+	}
+	samples := make([][]float32, len(refs))
+	for i, r := range refs {
+		samples[i] = p.EmbedWindow(c.Tokens(r))
+	}
+
+	run := func(workers int) []VUCPrediction {
+		cfg := p.Cfg
+		cfg.Workers = workers
+		q := &Pipeline{Cfg: cfg, Embed: p.Embed, Stages: p.Stages, FlatNet: p.FlatNet}
+		preds, err := q.PredictVUCs(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return preds
+	}
+	one, four := run(1), run(4)
+	for i := range one {
+		if one[i].Class != four[i].Class || one[i].Confidence != four[i].Confidence {
+			t.Fatalf("prediction %d differs across worker counts: %v/%v vs %v/%v",
+				i, one[i].Class, one[i].Confidence, four[i].Class, four[i].Confidence)
+		}
+		for stage, row := range one[i].StageProbs {
+			other := four[i].StageProbs[stage]
+			for k := range row {
+				if row[k] != other[k] {
+					t.Fatalf("stage %s probs differ at sample %d", stage, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPredictVUCsConcurrent drives one trained pipeline from several
+// goroutines at once; under -race (Makefile check target) this proves the
+// prediction path shares only read-only state.
+func TestPredictVUCsConcurrent(t *testing.T) {
+	c, p := sharedPipeline(t)
+	refs := c.All()
+	if len(refs) > 300 {
+		refs = refs[:300]
+	}
+	samples := make([][]float32, len(refs))
+	for i, r := range refs {
+		samples[i] = p.EmbedWindow(c.Tokens(r))
+	}
+	want, err := p.PredictVUCs(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 6
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := p.PredictVUCs(samples)
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			for i := range want {
+				if got[i].Class != want[i].Class || got[i].Confidence != want[i].Confidence {
+					errs <- "concurrent PredictVUCs diverged"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

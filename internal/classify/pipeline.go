@@ -12,6 +12,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/ctypes"
 	"repro/internal/nn"
+	"repro/internal/par"
 	"repro/internal/vuc"
 	"repro/internal/word2vec"
 )
@@ -36,6 +37,13 @@ type Config struct {
 	Flat bool
 	// Seed namespaces all stochastic choices.
 	Seed int64
+	// Workers bounds pipeline parallelism: corpus embedding, per-stage CNN
+	// training and inference (the six stages run concurrently — they share
+	// only the read-only embedding matrix), and the occlusion sweep. 0
+	// resolves via par.Workers (CATI_WORKERS, then GOMAXPROCS); 1 forces
+	// the serial paths. It also seeds W2V.Workers and Train.Workers when
+	// those are unset.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -57,9 +65,19 @@ func (c Config) withDefaults() Config {
 	if c.W2V.Dim == 0 {
 		c.W2V.Dim = c.EmbedDim
 	}
-	c.W2V.Seed = c.Seed ^ 0x77
+	// Derive the embedding seed only when the caller left it unset — a
+	// caller-provided W2V.Seed must survive.
+	if c.W2V.Seed == 0 {
+		c.W2V.Seed = c.Seed ^ 0x77
+	}
 	if c.Train.Seed == 0 {
 		c.Train.Seed = c.Seed ^ 0x99
+	}
+	if c.W2V.Workers == 0 {
+		c.W2V.Workers = c.Workers
+	}
+	if c.Train.Workers == 0 {
+		c.Train.Workers = c.Workers
 	}
 	return c
 }
@@ -115,15 +133,18 @@ func Train(c *corpus.Corpus, cfg Config) (*Pipeline, error) {
 
 	embed := word2vec.Train(c.Sentences(), cfg.W2V)
 	p := &Pipeline{Cfg: cfg, Embed: embed, Stages: make(map[ctypes.Stage]*nn.Network)}
+	workers := par.Workers(cfg.Workers)
 
-	// Embed every sample once; stages share the matrix.
+	// Embed every sample once; stages share the matrix. Samples are
+	// independent and the model is read-only, so the loop shards freely.
 	samples := make([][]float32, len(refs))
 	classes := make([]ctypes.Class, len(refs))
-	for i, r := range refs {
+	par.ForEach(len(refs), workers, func(i int) {
+		r := refs[i]
 		samples[i] = p.EmbedWindow(c.Tokens(r))
 		_, s := c.At(r)
 		classes[i] = s.Class
-	}
+	})
 
 	if cfg.Flat {
 		ds := &nn.Dataset{SeqLen: cfg.SeqLen(), EmbDim: cfg.InstDim()}
@@ -139,30 +160,51 @@ func Train(c *corpus.Corpus, cfg Config) (*Pipeline, error) {
 		return p, nil
 	}
 
-	for _, stage := range ctypes.AllStages() {
-		arity := ctypes.StageArity(stage)
-		var idxs []int
-		var labels []int
-		for i, cl := range classes {
-			if l, ok := ctypes.StageLabel(stage, cl); ok {
-				idxs = append(idxs, i)
-				labels = append(labels, l)
+	// The six stage CNNs are independent — they read only the shared
+	// embedded samples — so they train concurrently, each stage itself
+	// data-parallel per cfg.Train.Workers. Every stage's sampling and
+	// initialization is seeded by (Seed, stage), so the result does not
+	// depend on scheduling.
+	stages := ctypes.AllStages()
+	nets := make([]*nn.Network, len(stages))
+	errs := make([]error, len(stages))
+	jobs := make([]func(), len(stages))
+	for si, stage := range stages {
+		jobs[si] = func() {
+			arity := ctypes.StageArity(stage)
+			var idxs []int
+			var labels []int
+			for i, cl := range classes {
+				if l, ok := ctypes.StageLabel(stage, cl); ok {
+					idxs = append(idxs, i)
+					labels = append(labels, l)
+				}
 			}
+			if len(idxs) == 0 {
+				return // stage has no data (e.g. no float-family samples)
+			}
+			sel := capRefs(idxs, labels, arity, cfg.MaxPerStage, cfg.Seed^int64(stage))
+			ds := &nn.Dataset{SeqLen: cfg.SeqLen(), EmbDim: cfg.InstDim()}
+			for _, i := range sel {
+				l, _ := ctypes.StageLabel(stage, classes[i])
+				ds.Add(samples[i], l)
+			}
+			net := nn.NewCNN(cfg.SeqLen(), cfg.InstDim(), cfg.Conv1, cfg.Conv2, cfg.Hidden, arity, cfg.Seed^int64(stage))
+			if err := nn.TrainClassifier(net, ds, arity, cfg.Train); err != nil {
+				errs[si] = fmt.Errorf("classify: %s: %w", stage, err)
+				return
+			}
+			nets[si] = net
 		}
-		if len(idxs) == 0 {
-			continue // stage has no data (e.g. no float-family samples)
+	}
+	par.Run(workers, jobs...)
+	for si, stage := range stages {
+		if errs[si] != nil {
+			return nil, errs[si]
 		}
-		sel := capRefs(idxs, labels, arity, cfg.MaxPerStage, cfg.Seed^int64(stage))
-		ds := &nn.Dataset{SeqLen: cfg.SeqLen(), EmbDim: cfg.InstDim()}
-		for _, i := range sel {
-			l, _ := ctypes.StageLabel(stage, classes[i])
-			ds.Add(samples[i], l)
+		if nets[si] != nil {
+			p.Stages[stage] = nets[si]
 		}
-		net := nn.NewCNN(cfg.SeqLen(), cfg.InstDim(), cfg.Conv1, cfg.Conv2, cfg.Hidden, arity, cfg.Seed^int64(stage))
-		if err := nn.TrainClassifier(net, ds, arity, cfg.Train); err != nil {
-			return nil, fmt.Errorf("classify: %s: %w", stage, err)
-		}
-		p.Stages[stage] = net
 	}
 	if len(p.Stages) == 0 {
 		return nil, ErrNoData
@@ -186,6 +228,12 @@ func flatLabels(classes []ctypes.Class) []int {
 	return out
 }
 
+// capFloor is the minimum per-label sample count capRefs keeps when
+// subsampling a stage's training set: proportional capping alone would
+// starve rare labels (e.g. the float family), so every non-empty label
+// keeps at least this many samples (or all it has).
+const capFloor = 200
+
 // capRefs subsamples idxs to at most maxN, proportionally per label with a
 // floor so rare labels keep representation. labels[i] corresponds to
 // idxs[i].
@@ -199,15 +247,14 @@ func capRefs(idxs, labels []int, arity, maxN int, seed int64) []int {
 		l := labels[i]
 		byLabel[l] = append(byLabel[l], idx)
 	}
-	const floor = 200
 	var out []int
 	for _, group := range byLabel {
 		if len(group) == 0 {
 			continue
 		}
 		want := int(float64(maxN) * float64(len(group)) / float64(len(idxs)))
-		if want < floor {
-			want = floor
+		if want < capFloor {
+			want = capFloor
 		}
 		if want > len(group) {
 			want = len(group)
@@ -227,39 +274,59 @@ type VUCPrediction struct {
 }
 
 // PredictVUCs runs every stage over the embedded samples and composes
-// per-VUC class decisions by walking the tree greedily.
+// per-VUC class decisions by walking the tree greedily. The stage networks
+// run concurrently (they share only read-only state), each additionally
+// fanning its sample chunks across the pool; output is bitwise-identical
+// for every worker count. Safe to call from multiple goroutines on one
+// pipeline.
 func (p *Pipeline) PredictVUCs(samples [][]float32) ([]VUCPrediction, error) {
 	if len(samples) == 0 {
 		return nil, nil
 	}
 	seqLen, instDim := p.Cfg.SeqLen(), p.Cfg.InstDim()
+	workers := par.Workers(p.Cfg.Workers)
 
 	if p.FlatNet != nil {
-		probs := nn.Predict(p.FlatNet, samples, seqLen, instDim)
+		probs := nn.PredictN(p.FlatNet, samples, seqLen, instDim, workers)
 		out := make([]VUCPrediction, len(samples))
-		for i, row := range probs {
+		par.ForEach(len(samples), workers, func(i int) {
+			row := probs[i]
 			best := nn.Argmax(row)
 			out[i] = VUCPrediction{
 				Class:      ctypes.Class(best + 1),
 				Confidence: float64(row[best]),
 			}
-		}
+		})
 		return out, nil
 	}
 
-	stageProbs := make(map[ctypes.Stage][][]float32, len(p.Stages))
-	for stage, net := range p.Stages {
-		stageProbs[stage] = nn.Predict(net, samples, seqLen, instDim)
+	stages := make([]ctypes.Stage, 0, len(p.Stages))
+	for _, s := range ctypes.AllStages() {
+		if p.Stages[s] != nil {
+			stages = append(stages, s)
+		}
+	}
+	probsBy := make([][][]float32, len(stages))
+	jobs := make([]func(), len(stages))
+	for si, stage := range stages {
+		jobs[si] = func() {
+			probsBy[si] = nn.PredictN(p.Stages[stage], samples, seqLen, instDim, workers)
+		}
+	}
+	par.Run(workers, jobs...)
+	stageProbs := make(map[ctypes.Stage][][]float32, len(stages))
+	for si, stage := range stages {
+		stageProbs[stage] = probsBy[si]
 	}
 	out := make([]VUCPrediction, len(samples))
-	for i := range samples {
-		pred := VUCPrediction{StageProbs: make(map[ctypes.Stage][]float32, len(p.Stages))}
-		for stage := range p.Stages {
+	par.ForEach(len(samples), workers, func(i int) {
+		pred := VUCPrediction{StageProbs: make(map[ctypes.Stage][]float32, len(stages))}
+		for _, stage := range stages {
 			pred.StageProbs[stage] = stageProbs[stage][i]
 		}
 		pred.Class, pred.Confidence = p.composeClass(pred.StageProbs)
 		out[i] = pred
-	}
+	})
 	return out, nil
 }
 

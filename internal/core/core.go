@@ -14,6 +14,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/ctypes"
 	"repro/internal/elfx"
+	"repro/internal/par"
 	"repro/internal/vareco"
 	"repro/internal/vuc"
 )
@@ -106,9 +107,9 @@ func (c *CATI) inferRecovery(rec *vareco.Recovery) ([]InferredVar, error) {
 	}
 
 	samples := make([][]float32, len(vucs))
-	for i := range vucs {
+	par.ForEach(len(vucs), par.Workers(c.Pipeline.Cfg.Workers), func(i int) {
 		samples[i] = c.Pipeline.EmbedWindow(vucs[i].Tokens)
-	}
+	})
 	preds, err := c.Pipeline.PredictVUCs(samples)
 	if err != nil {
 		return nil, fmt.Errorf("core: predict: %w", err)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/ctypes"
 	"repro/internal/nn"
+	"repro/internal/par"
 	"repro/internal/synth"
 	"repro/internal/vuc"
 	"repro/internal/word2vec"
@@ -307,11 +308,11 @@ func evalApp(pipe *classify.Pipeline, c *corpus.Corpus) (*AppEval, error) {
 		Vars:    make(map[varIdent]*VarEval),
 	}
 	samples := make([][]float32, len(refs))
-	for i, r := range refs {
-		samples[i] = pipe.EmbedWindow(c.Tokens(r))
-		_, s := c.At(r)
+	par.ForEach(len(refs), par.Workers(pipe.Cfg.Workers), func(i int) {
+		samples[i] = pipe.EmbedWindow(c.Tokens(refs[i]))
+		_, s := c.At(refs[i])
 		ae.Classes[i] = s.Class
-	}
+	})
 	preds, err := pipe.PredictVUCs(samples)
 	if err != nil {
 		return nil, err

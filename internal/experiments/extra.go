@@ -12,6 +12,7 @@ import (
 	"repro/internal/elfx"
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/par"
 	"repro/internal/synth"
 	"repro/internal/vareco"
 	"repro/internal/vuc"
@@ -380,9 +381,9 @@ func timeOnce(pipe *classify.Pipeline, bin *elfx.Binary) (PhaseTimings, error) {
 
 	t0 = time.Now()
 	samples := make([][]float32, len(vucs))
-	for i := range vucs {
+	par.ForEach(len(vucs), par.Workers(pipe.Cfg.Workers), func(i int) {
 		samples[i] = pipe.EmbedWindow(vucs[i].Tokens)
-	}
+	})
 	pt.Embed = time.Since(t0)
 
 	t0 = time.Now()

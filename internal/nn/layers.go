@@ -2,8 +2,13 @@ package nn
 
 import "math/rand"
 
-// Layer is one differentiable stage. Forward retains whatever it needs for
-// the subsequent Backward; networks are used by a single goroutine.
+// Layer is one differentiable stage. Forward with train=true retains
+// whatever the subsequent Backward needs (input, activation mask, pool
+// argmax), so a training network — or each per-worker replica built by
+// replicaNetwork — must be driven by a single goroutine at a time. Forward
+// with train=false mutates no layer state and is safe to call from any
+// number of goroutines concurrently, which is what parallel inference
+// relies on.
 type Layer interface {
 	Forward(x *Tensor, train bool) *Tensor
 	Backward(grad *Tensor) *Tensor
@@ -187,12 +192,11 @@ func (p *MaxPool1D) Forward(x *Tensor, train bool) *Tensor {
 
 // Backward routes gradients to the argmax positions.
 func (p *MaxPool1D) Backward(grad *Tensor) *Tensor {
-	b, ol, c := grad.Dim(0), grad.Dim(1), grad.Dim(2)
+	b, c := grad.Dim(0), grad.Dim(2)
 	dx := NewTensor(b, p.inLen, c)
 	for i, g := range grad.Data {
 		dx.Data[p.argmax[i]] += g
 	}
-	_ = ol
 	return dx
 }
 

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/par"
 )
 
 // Network is a sequential stack of layers ending in logits; softmax and
@@ -138,6 +140,13 @@ type TrainConfig struct {
 	Batch  int
 	LR     float64
 	Seed   int64
+	// Workers is the data-parallel worker count: each minibatch is sharded
+	// across this many network replicas and the shard gradients are reduced
+	// in fixed order before the optimizer step. 0 resolves via par.Workers
+	// (CATI_WORKERS, then GOMAXPROCS); 1 forces the serial path, which is
+	// bitwise-identical to the historical single-goroutine trainer. Results
+	// are deterministic for any fixed worker count.
+	Workers int
 	// Progress, when non-nil, receives (epoch, loss) after each epoch.
 	Progress func(epoch int, loss float64)
 }
@@ -176,12 +185,26 @@ func (d *Dataset) Len() int { return len(d.Samples) }
 // ErrEmptyDataset reports training on no data.
 var ErrEmptyDataset = errors.New("nn: empty dataset")
 
-// TrainClassifier trains the network with softmax cross-entropy.
+// TrainClassifier trains the network with softmax cross-entropy. With more
+// than one effective worker (see TrainConfig.Workers) minibatches are
+// sharded across per-worker network replicas; otherwise it runs the serial
+// trainer.
 func TrainClassifier(net *Network, ds *Dataset, classes int, cfg TrainConfig) error {
 	cfg = cfg.withDefaults()
 	if ds.Len() == 0 {
 		return ErrEmptyDataset
 	}
+	if workers := par.Workers(cfg.Workers); workers > 1 {
+		if replicas := trainReplicas(net, workers); replicas != nil {
+			return trainClassifierParallel(net, replicas, ds, classes, cfg)
+		}
+	}
+	return trainClassifierSerial(net, ds, classes, cfg)
+}
+
+// trainClassifierSerial is the single-goroutine trainer; Workers=1 runs
+// exactly this code, keeping serial results bit-for-bit reproducible.
+func trainClassifierSerial(net *Network, ds *Dataset, classes int, cfg TrainConfig) error {
 	r := rand.New(rand.NewSource(cfg.Seed))
 	opt := NewAdam(cfg.LR)
 	params := net.Params()
@@ -237,18 +260,161 @@ func TrainClassifier(net *Network, ds *Dataset, classes int, cfg TrainConfig) er
 	return nil
 }
 
-// Predict returns class probabilities for a batch of samples.
+// replicaNetwork mirrors net for one training worker: hyperparameters and
+// weight storage are shared with the original while the per-layer scratch
+// state (lastX, ReLU mask, pool argmax) and the gradient buffers are
+// private, so each worker can run Forward/Backward independently. Returns
+// nil when the network contains a layer type it cannot mirror; callers
+// then fall back to the serial trainer.
+func replicaNetwork(net *Network) *Network {
+	out := &Network{Layers: make([]Layer, len(net.Layers))}
+	for i, l := range net.Layers {
+		switch t := l.(type) {
+		case *Conv1D:
+			out.Layers[i] = &Conv1D{In: t.In, Out: t.Out, K: t.K, W: shadowParam(t.W), B: shadowParam(t.B)}
+		case *Dense:
+			out.Layers[i] = &Dense{In: t.In, Out: t.Out, W: shadowParam(t.W), B: shadowParam(t.B)}
+		case *ReLU:
+			out.Layers[i] = &ReLU{}
+		case *MaxPool1D:
+			out.Layers[i] = &MaxPool1D{}
+		case *Flatten:
+			out.Layers[i] = &Flatten{}
+		default:
+			return nil
+		}
+	}
+	return out
+}
+
+// shadowParam shares p's weight storage but owns a private gradient
+// buffer; Adam state stays with the original, the only Param the optimizer
+// ever steps.
+func shadowParam(p *Param) *Param {
+	return &Param{W: p.W, G: make([]float32, len(p.W))}
+}
+
+// trainReplicas builds one replica per worker, or nil if the architecture
+// cannot be replicated.
+func trainReplicas(net *Network, workers int) []*Network {
+	replicas := make([]*Network, workers)
+	for w := range replicas {
+		if replicas[w] = replicaNetwork(net); replicas[w] == nil {
+			return nil
+		}
+	}
+	return replicas
+}
+
+// trainClassifierParallel shards every minibatch across the replicas:
+// worker w runs Forward/Backward on a contiguous slice of the shuffled
+// batch, accumulating gradients into its private buffers, and the shard
+// gradients are reduced into the master parameters in fixed shard order
+// before the Adam step. The whole schedule (shuffle, batch boundaries,
+// shard boundaries, reduction order) is a pure function of cfg and the
+// worker count, so training is deterministic for a fixed worker count; it
+// is not bitwise-identical across different counts because float32
+// gradient summation is reassociated.
+func trainClassifierParallel(net *Network, replicas []*Network, ds *Dataset, classes int, cfg TrainConfig) error {
+	workers := len(replicas)
+	r := rand.New(rand.NewSource(cfg.Seed))
+	opt := NewAdam(cfg.LR)
+	params := net.Params()
+	repParams := make([][]*Param, workers)
+	for w, rep := range replicas {
+		repParams[w] = rep.Params()
+	}
+
+	idx := make([]int, ds.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sampleSize := ds.SeqLen * ds.EmbDim
+	losses := make([]float64, workers)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var totalLoss float64
+		var seen int
+		for start := 0; start < len(idx); start += cfg.Batch {
+			end := min(start+cfg.Batch, len(idx))
+			b := end - start
+			batch := idx[start:end]
+			ns := par.Shard(b, workers, func(s, lo, hi int) {
+				rep := replicas[s]
+				sb := hi - lo
+				x := NewTensor(sb, ds.SeqLen, ds.EmbDim)
+				for bi, si := range batch[lo:hi] {
+					copy(x.Data[bi*sampleSize:(bi+1)*sampleSize], ds.Samples[si])
+				}
+				logits := rep.Forward(x, true)
+				Softmax(logits)
+				grad := NewTensor(sb, classes)
+				var loss float64
+				for bi, si := range batch[lo:hi] {
+					row := logits.Data[bi*classes : (bi+1)*classes]
+					y := ds.Labels[si]
+					p := row[y]
+					if p < 1e-9 {
+						p = 1e-9
+					}
+					loss += -math.Log(float64(p))
+					for c := 0; c < classes; c++ {
+						g := row[c]
+						if c == y {
+							g -= 1
+						}
+						// Normalized by the full minibatch, not the shard.
+						grad.Data[bi*classes+c] = g / float32(b)
+					}
+				}
+				losses[s] = loss
+				rep.Backward(grad)
+			})
+			for s := 0; s < ns; s++ {
+				totalLoss += losses[s]
+				for pi, p := range params {
+					g := repParams[s][pi].G
+					for i, v := range g {
+						p.G[i] += v
+						g[i] = 0
+					}
+				}
+			}
+			seen += b
+			opt.Step(params)
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, totalLoss/float64(seen))
+		}
+	}
+	return nil
+}
+
+// predictChunk is the inference minibatch size: Predict processes samples
+// in chunks of this many rows, bounding peak activation memory; each chunk
+// is one unit of work for the worker pool.
+const predictChunk = 256
+
+// Predict returns class probabilities for a batch of samples, fanning
+// chunks out across par.Workers(0) workers.
 func Predict(net *Network, samples [][]float32, seqLen, embDim int) [][]float32 {
+	return PredictN(net, samples, seqLen, embDim, 0)
+}
+
+// PredictN is Predict with an explicit worker count (0 resolves via
+// par.Workers: CATI_WORKERS, then GOMAXPROCS). Inference-mode Forward
+// mutates no layer state, so all workers share net; chunks write disjoint
+// output rows, so the result is bitwise-identical for every worker count.
+func PredictN(net *Network, samples [][]float32, seqLen, embDim, workers int) [][]float32 {
 	if len(samples) == 0 {
 		return nil
 	}
-	const chunk = 256
-	out := make([][]float32, 0, len(samples))
-	for start := 0; start < len(samples); start += chunk {
-		end := start + chunk
-		if end > len(samples) {
-			end = len(samples)
-		}
+	out := make([][]float32, len(samples))
+	chunks := (len(samples) + predictChunk - 1) / predictChunk
+	par.ForEach(chunks, par.Workers(workers), func(ci int) {
+		start := ci * predictChunk
+		end := min(start+predictChunk, len(samples))
 		b := end - start
 		x := NewTensor(b, seqLen, embDim)
 		size := seqLen * embDim
@@ -261,9 +427,9 @@ func Predict(net *Network, samples [][]float32, seqLen, embDim int) [][]float32 
 		for bi := 0; bi < b; bi++ {
 			row := make([]float32, c)
 			copy(row, logits.Data[bi*c:(bi+1)*c])
-			out = append(out, row)
+			out[start+bi] = row
 		}
-	}
+	})
 	return out
 }
 

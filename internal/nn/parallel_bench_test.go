@@ -1,0 +1,51 @@
+package nn
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchNet/benchData size the parallel benchmarks like one CATI stage at
+// bench scale: 21×96 inputs through the paper's 32-64-1024 architecture.
+const (
+	benchSeqLen = 21
+	benchEmbDim = 96
+)
+
+func benchData(n int) *Dataset { return parallelDataset(n, benchSeqLen, benchEmbDim) }
+
+// BenchmarkTrainClassifierParallel compares the sharded trainer across
+// worker counts; at 4+ workers on a multicore host it must beat the serial
+// path by ≥2x.
+func BenchmarkTrainClassifierParallel(b *testing.B) {
+	ds := benchData(512)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := TrainConfig{Epochs: 1, Batch: 64, LR: 1e-3, Seed: 5, Workers: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net := NewCNN(benchSeqLen, benchEmbDim, 32, 64, 1024, 2, 9)
+				if err := TrainClassifier(net, ds, 2, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPredictParallel measures chunked inference across worker
+// counts on one shared network.
+func BenchmarkPredictParallel(b *testing.B) {
+	ds := benchData(2048)
+	net := NewCNN(benchSeqLen, benchEmbDim, 32, 64, 1024, 2, 9)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if out := PredictN(net, ds.Samples, benchSeqLen, benchEmbDim, workers); len(out) != ds.Len() {
+					b.Fatal("short output")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,191 @@
+package nn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// parallelDataset builds a deterministic two-class dataset large enough to
+// span several minibatches and Predict chunks.
+func parallelDataset(n, seqLen, embDim int) *Dataset {
+	r := rand.New(rand.NewSource(17))
+	ds := &Dataset{SeqLen: seqLen, EmbDim: embDim}
+	for i := 0; i < n; i++ {
+		y := i % 2
+		s := make([]float32, seqLen*embDim)
+		for j := range s {
+			s[j] = r.Float32()*0.4 - 0.2
+		}
+		for l := 0; l < seqLen; l++ {
+			s[l*embDim+y] += 1.0
+		}
+		ds.Add(s, y)
+	}
+	return ds
+}
+
+// TestTrainWorkersOneMatchesSerial pins the satellite guarantee: Workers=1
+// through the public API runs the historical serial trainer bit-for-bit.
+func TestTrainWorkersOneMatchesSerial(t *testing.T) {
+	const seqLen, embDim = 8, 6
+	ds := parallelDataset(150, seqLen, embDim)
+	cfg := TrainConfig{Epochs: 2, Batch: 32, LR: 2e-3, Seed: 5}
+
+	serial := NewCNN(seqLen, embDim, 4, 4, 16, 2, 9)
+	if err := trainClassifierSerial(serial, ds, 2, cfg.withDefaults()); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 1
+	public := NewCNN(seqLen, embDim, 4, 4, 16, 2, 9)
+	if err := TrainClassifier(public, ds, 2, cfg); err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := serial.Params(), public.Params()
+	for i := range pa {
+		for j := range pa[i].W {
+			if pa[i].W[j] != pb[i].W[j] {
+				t.Fatalf("Workers=1 diverges from serial at param %d[%d]: %v != %v",
+					i, j, pa[i].W[j], pb[i].W[j])
+			}
+		}
+	}
+}
+
+// TestTrainParallelDeterministic asserts the tentpole's determinism
+// contract: a fixed worker count reproduces identical weights.
+func TestTrainParallelDeterministic(t *testing.T) {
+	const seqLen, embDim = 8, 6
+	train := func() *Network {
+		net := NewCNN(seqLen, embDim, 4, 4, 16, 2, 9)
+		ds := parallelDataset(150, seqLen, embDim)
+		cfg := TrainConfig{Epochs: 2, Batch: 32, LR: 2e-3, Seed: 5, Workers: 4}
+		if err := TrainClassifier(net, ds, 2, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	a, b := train(), train()
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		for j := range pa[i].W {
+			if pa[i].W[j] != pb[i].W[j] {
+				t.Fatalf("Workers=4 training nondeterministic at param %d[%d]", i, j)
+			}
+		}
+	}
+}
+
+// TestTrainParallelLearns checks the sharded trainer still converges on a
+// separable task.
+func TestTrainParallelLearns(t *testing.T) {
+	const seqLen, embDim = 9, 8
+	ds := parallelDataset(400, seqLen, embDim)
+	net := NewCNN(seqLen, embDim, 8, 8, 32, 2, 7)
+	cfg := TrainConfig{Epochs: 5, Batch: 32, LR: 2e-3, Seed: 1, Workers: 4}
+	if err := TrainClassifier(net, ds, 2, cfg); err != nil {
+		t.Fatal(err)
+	}
+	probs := Predict(net, ds.Samples, seqLen, embDim)
+	correct := 0
+	for i, p := range probs {
+		if Argmax(p) == ds.Labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(ds.Len()); acc < 0.95 {
+		t.Errorf("parallel training accuracy %.2f, want ≥0.95", acc)
+	}
+}
+
+// TestPredictWorkersIdentical asserts inference output is bitwise-equal
+// across worker counts (chunks write disjoint rows).
+func TestPredictWorkersIdentical(t *testing.T) {
+	const seqLen, embDim = 8, 6
+	ds := parallelDataset(600, seqLen, embDim) // > 2 predictChunks
+	net := NewCNN(seqLen, embDim, 4, 4, 16, 2, 3)
+	one := PredictN(net, ds.Samples, seqLen, embDim, 1)
+	four := PredictN(net, ds.Samples, seqLen, embDim, 4)
+	if len(one) != len(four) {
+		t.Fatalf("row count %d vs %d", len(one), len(four))
+	}
+	for i := range one {
+		for c := range one[i] {
+			if one[i][c] != four[i][c] {
+				t.Fatalf("Predict differs across worker counts at [%d][%d]", i, c)
+			}
+		}
+	}
+}
+
+// TestPredictConcurrent drives one shared trained network from many
+// goroutines simultaneously; run under -race (see Makefile check target)
+// this proves inference-mode Forward is state-free.
+func TestPredictConcurrent(t *testing.T) {
+	const seqLen, embDim = 8, 6
+	ds := parallelDataset(300, seqLen, embDim)
+	net := NewCNN(seqLen, embDim, 4, 4, 16, 2, 3)
+	if err := TrainClassifier(net, ds, 2, TrainConfig{Epochs: 1, Batch: 32, Seed: 2, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := PredictN(net, ds.Samples, seqLen, embDim, 1)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := Predict(net, ds.Samples, seqLen, embDim)
+			for i := range want {
+				for c := range want[i] {
+					if got[i][c] != want[i][c] {
+						errs <- "concurrent Predict diverged"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestReplicaNetworkSharing verifies the replica contract: weights are the
+// same storage, gradients are not.
+func TestReplicaNetworkSharing(t *testing.T) {
+	net := NewCNN(8, 6, 4, 4, 16, 2, 1)
+	rep := replicaNetwork(net)
+	if rep == nil {
+		t.Fatal("replicaNetwork failed on a standard CNN")
+	}
+	mp, rp := net.Params(), rep.Params()
+	if len(mp) != len(rp) {
+		t.Fatalf("param count %d vs %d", len(mp), len(rp))
+	}
+	for i := range mp {
+		mp[i].W[0] = 42
+		if rp[i].W[0] != 42 {
+			t.Fatalf("param %d weights not shared", i)
+		}
+		rp[i].G[0] = 7
+		if mp[i].G[0] == 7 {
+			t.Fatalf("param %d gradients shared", i)
+		}
+		mp[i].G[0], rp[i].G[0] = 0, 0
+	}
+	// Unknown layer types refuse replication.
+	if replicaNetwork(&Network{Layers: []Layer{fakeLayer{}}}) != nil {
+		t.Error("replicaNetwork should reject unknown layers")
+	}
+}
+
+type fakeLayer struct{}
+
+func (fakeLayer) Forward(x *Tensor, train bool) *Tensor { return x }
+func (fakeLayer) Backward(g *Tensor) *Tensor            { return g }
+func (fakeLayer) Params() []*Param                      { return nil }

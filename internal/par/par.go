@@ -1,0 +1,149 @@
+// Package par is the compute core's shared worker-pool substrate. Every
+// hot loop in the pipeline — minibatch training, CNN inference, Word2Vec,
+// corpus embedding, the occlusion sweep — fans its work out through the
+// helpers here, so one knob governs parallelism everywhere:
+//
+//   - an explicit Workers field on the relevant config (highest priority),
+//   - the CATI_WORKERS environment variable,
+//   - runtime.GOMAXPROCS(0) (the default).
+//
+// All helpers run inline (no goroutines) when the effective worker count
+// or the item count is 1, which keeps the serial paths bitwise-identical
+// to the historical single-goroutine implementation and free of scheduling
+// overhead. Shard boundaries are a pure function of (n, workers), so any
+// computation that reduces shard results in shard order is deterministic
+// for a fixed worker count.
+package par
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// EnvWorkers is the environment variable consulted by Workers when no
+// explicit count is configured.
+const EnvWorkers = "CATI_WORKERS"
+
+// Workers resolves an effective worker count: explicit when positive, else
+// CATI_WORKERS when set to a positive integer, else GOMAXPROCS.
+func Workers(explicit int) int {
+	if explicit > 0 {
+		return explicit
+	}
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// WorkersExplicit resolves like Workers but without the GOMAXPROCS
+// fallback: it returns 1 unless the caller or CATI_WORKERS explicitly
+// asked for parallelism. It guards paths where concurrency changes
+// numerical results (Word2Vec's Hogwild trainer), so determinism stays the
+// default and nondeterminism is an explicit opt-in.
+func WorkersExplicit(explicit int) int {
+	if explicit > 0 {
+		return explicit
+	}
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1
+}
+
+// NumShards reports how many shards Shard will use for n items across the
+// given worker count: min(workers, n), and at least 1 when n > 0.
+func NumShards(n, workers int) int {
+	if n <= 0 {
+		return 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		return n
+	}
+	return workers
+}
+
+// shardBounds returns the half-open range [lo, hi) of shard s when n items
+// are split into ns balanced contiguous shards.
+func shardBounds(n, ns, s int) (lo, hi int) {
+	base, rem := n/ns, n%ns
+	lo = s*base + min(s, rem)
+	hi = lo + base
+	if s < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// Shard splits n items into NumShards(n, workers) balanced contiguous
+// shards and runs fn(shard, lo, hi) for each, concurrently when more than
+// one shard exists. It blocks until every shard is done and returns the
+// shard count. Shard boundaries depend only on (n, workers).
+func Shard(n, workers int, fn func(shard, lo, hi int)) int {
+	ns := NumShards(n, workers)
+	if ns == 0 {
+		return 0
+	}
+	if ns == 1 {
+		fn(0, 0, n)
+		return 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(ns)
+	for s := 0; s < ns; s++ {
+		lo, hi := shardBounds(n, ns, s)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			fn(s, lo, hi)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	return ns
+}
+
+// ForEach runs fn(i) for every i in [0, n), sharded across the pool. With
+// one worker (or one item) it degenerates to a plain ascending loop.
+func ForEach(n, workers int, fn func(i int)) {
+	Shard(n, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Run executes the thunks with at most workers in flight and blocks until
+// all complete. With one worker it runs them inline in order.
+func Run(workers int, fns ...func()) {
+	if len(fns) == 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 || len(fns) == 1 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		sem <- struct{}{}
+		go func(fn func()) {
+			defer func() { <-sem; wg.Done() }()
+			fn()
+		}(fn)
+	}
+	wg.Wait()
+}

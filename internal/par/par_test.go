@@ -1,0 +1,147 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("explicit Workers(3) = %d", got)
+	}
+	t.Setenv(EnvWorkers, "5")
+	if got := Workers(0); got != 5 {
+		t.Errorf("env Workers(0) = %d, want 5", got)
+	}
+	if got := Workers(2); got != 2 {
+		t.Errorf("explicit beats env: Workers(2) = %d", got)
+	}
+	t.Setenv(EnvWorkers, "bogus")
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("bad env Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	t.Setenv(EnvWorkers, "-2")
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("negative env Workers(0) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestWorkersExplicit(t *testing.T) {
+	if got := WorkersExplicit(6); got != 6 {
+		t.Errorf("WorkersExplicit(6) = %d", got)
+	}
+	t.Setenv(EnvWorkers, "4")
+	if got := WorkersExplicit(0); got != 4 {
+		t.Errorf("env WorkersExplicit(0) = %d, want 4", got)
+	}
+	t.Setenv(EnvWorkers, "")
+	if got := WorkersExplicit(0); got != 1 {
+		t.Errorf("default WorkersExplicit(0) = %d, want 1 (no GOMAXPROCS fallback)", got)
+	}
+}
+
+func TestShardPartition(t *testing.T) {
+	for _, tc := range []struct{ n, workers, wantShards int }{
+		{0, 4, 0}, {1, 4, 1}, {4, 4, 4}, {10, 3, 3}, {10, 1, 1}, {3, 8, 3}, {10, 0, 1},
+	} {
+		if got := NumShards(tc.n, tc.workers); got != tc.wantShards {
+			t.Errorf("NumShards(%d, %d) = %d, want %d", tc.n, tc.workers, got, tc.wantShards)
+		}
+		var mu sync.Mutex
+		seen := make([]int, tc.n)
+		ns := Shard(tc.n, tc.workers, func(s, lo, hi int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if lo > hi || lo < 0 || hi > tc.n {
+				t.Errorf("Shard(%d, %d): bad bounds [%d, %d)", tc.n, tc.workers, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+		})
+		if ns != tc.wantShards {
+			t.Errorf("Shard(%d, %d) used %d shards, want %d", tc.n, tc.workers, ns, tc.wantShards)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("Shard(%d, %d): item %d covered %d times", tc.n, tc.workers, i, c)
+			}
+		}
+	}
+}
+
+func TestShardDeterministicBounds(t *testing.T) {
+	type span struct{ s, lo, hi int }
+	collect := func() []span {
+		var mu sync.Mutex
+		var out []span
+		Shard(17, 4, func(s, lo, hi int) {
+			mu.Lock()
+			out = append(out, span{s, lo, hi})
+			mu.Unlock()
+		})
+		bySlot := make([]span, len(out))
+		for _, sp := range out {
+			bySlot[sp.s] = sp
+		}
+		return bySlot
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shard bounds not deterministic: %v vs %v", a[i], b[i])
+		}
+	}
+}
+
+func TestForEachVisitsAll(t *testing.T) {
+	const n = 100
+	var hits [n]int32
+	ForEach(n, 7, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	var order []int
+	ForEach(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial ForEach out of order: %v", order)
+		}
+	}
+}
+
+func TestRunBounded(t *testing.T) {
+	const workers = 3
+	var inFlight, peak int32
+	var fns []func()
+	for i := 0; i < 20; i++ {
+		fns = append(fns, func() {
+			cur := atomic.AddInt32(&inFlight, 1)
+			for {
+				p := atomic.LoadInt32(&peak)
+				if cur <= p || atomic.CompareAndSwapInt32(&peak, p, cur) {
+					break
+				}
+			}
+			runtime.Gosched()
+			atomic.AddInt32(&inFlight, -1)
+		})
+	}
+	Run(workers, fns...)
+	if peak > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", peak, workers)
+	}
+	var ran int32
+	Run(1, func() { atomic.AddInt32(&ran, 1) }, func() { atomic.AddInt32(&ran, 1) })
+	if ran != 2 {
+		t.Errorf("serial Run executed %d of 2 thunks", ran)
+	}
+	Run(4) // no thunks: must not hang
+}

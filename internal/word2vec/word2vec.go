@@ -11,6 +11,9 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
+
+	"repro/internal/par"
 )
 
 // Config are the training hyperparameters; zero values take the paper's
@@ -23,6 +26,20 @@ type Config struct {
 	LR       float64 // initial learning rate, linearly decayed
 	MinCount int     // drop tokens rarer than this
 	Seed     int64
+	// Workers is the parallel training shard count. Because parallel
+	// Word2Vec is nondeterministic (see Deterministic), it is opt-in: 0
+	// reads CATI_WORKERS and otherwise trains serially — GOMAXPROCS alone
+	// never triggers it (par.WorkersExplicit).
+	Workers int
+	// Deterministic forces the serial trainer regardless of Workers,
+	// guaranteeing bit-for-bit reproducible embeddings for a fixed Seed.
+	// Parallel training is Hogwild-style — sentence shards update the
+	// shared matrices concurrently with per-shard RNGs derived from
+	// (Seed, shard) — so its result depends on update interleaving and is
+	// reproducible only in distribution, not bitwise (striped row locks
+	// make the races memory-safe; see DESIGN.md "Parallelism &
+	// determinism").
+	Deterministic bool
 }
 
 func (c Config) withDefaults() Config {
@@ -105,7 +122,8 @@ func (t *sigTable) at(x float32) float32 {
 }
 
 // Train learns embeddings from sentences (token sequences). Deterministic
-// for a fixed config.
+// for a fixed config unless parallelism is explicitly enabled via
+// Config.Workers or CATI_WORKERS (and not vetoed by Config.Deterministic).
 func Train(sentences [][]string, cfg Config) *Model {
 	cfg = cfg.withDefaults()
 	r := rand.New(rand.NewSource(cfg.Seed))
@@ -134,7 +152,6 @@ func Train(sentences [][]string, cfg Config) *Model {
 	}
 
 	// Unigram table for negative sampling (counts^0.75).
-	const tableSize = 1 << 17
 	table := make([]int32, tableSize)
 	var totalPow float64
 	pows := make([]float64, len(words))
@@ -159,7 +176,6 @@ func Train(sentences [][]string, cfg Config) *Model {
 	}
 
 	sig := newSigTable()
-	grad := make([]float32, cfg.Dim)
 
 	// Token stream as indices.
 	var stream [][]int32
@@ -177,6 +193,35 @@ func Train(sentences [][]string, cfg Config) *Model {
 		}
 	}
 
+	workers := 1
+	if !cfg.Deterministic {
+		workers = par.WorkersExplicit(cfg.Workers)
+	}
+	if workers > 1 && len(stream) > 1 {
+		trainParallel(cfg, stream, table, in, out, sig, workers)
+	} else {
+		trainSerial(cfg, stream, table, in, out, sig, r, totalTokens)
+	}
+
+	m.Vecs = make([][]float32, len(words))
+	for i := range words {
+		v := make([]float32, cfg.Dim)
+		copy(v, in[i*cfg.Dim:(i+1)*cfg.Dim])
+		m.Vecs[i] = v
+	}
+	return m
+}
+
+// tableSize is the negative-sampling unigram table length (reference
+// implementation uses 1e8; 128K keeps the same sampling resolution at our
+// vocabulary sizes).
+const tableSize = 1 << 17
+
+// trainSerial is the historical single-goroutine trainer; Deterministic
+// configs and Workers=1 run exactly this code, so serial embeddings stay
+// bit-for-bit reproducible.
+func trainSerial(cfg Config, stream [][]int32, table []int32, in, out []float32, sig *sigTable, r *rand.Rand, totalTokens int) {
+	grad := make([]float32, cfg.Dim)
 	trained := 0
 	totalSteps := cfg.Epochs * totalTokens
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
@@ -230,14 +275,113 @@ func Train(sentences [][]string, cfg Config) *Model {
 			}
 		}
 	}
+}
 
-	m.Vecs = make([][]float32, len(words))
-	for i := range words {
-		v := make([]float32, cfg.Dim)
-		copy(v, in[i*cfg.Dim:(i+1)*cfg.Dim])
-		m.Vecs[i] = v
+// lockStripes is the row-lock stripe count guarding the shared matrices
+// during parallel training; rows hash to stripes by index.
+const lockStripes = 256
+
+// rowLocks stripes the input and output matrices separately. Workers take
+// an in-stripe lock for the context row, then out-stripe locks one target
+// at a time — in-before-out ordering everywhere, so no cycles exist.
+type rowLocks struct {
+	in  [lockStripes]sync.Mutex
+	out [lockStripes]sync.Mutex
+}
+
+// trainParallel splits the sentence stream into contiguous shards, one per
+// worker, and trains all shards concurrently within each epoch (with a
+// barrier between epochs). Each shard draws windows and negatives from its
+// own RNG seeded by (Seed, shard) and decays its learning rate against its
+// own token count, so a shard's schedule is deterministic — but updates to
+// the shared matrices interleave across shards Hogwild-style, making the
+// final embedding reproducible only in distribution. Striped row locks
+// keep concurrent row updates memory-safe (and the race detector quiet)
+// at negligible cost next to the dot products.
+func trainParallel(cfg Config, stream [][]int32, table []int32, in, out []float32, sig *sigTable, workers int) {
+	ns := par.NumShards(len(stream), workers)
+	type shardState struct {
+		rng     *rand.Rand
+		grad    []float32
+		trained int
+		total   int
 	}
-	return m
+	states := make([]*shardState, ns)
+	locks := &rowLocks{}
+	for s := range states {
+		states[s] = &shardState{
+			// golden-ratio hash of the shard index keeps neighbor shards'
+			// streams uncorrelated.
+			rng:  rand.New(rand.NewSource(cfg.Seed ^ int64(s+1)*-0x61C8864680B583EB)),
+			grad: make([]float32, cfg.Dim),
+		}
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		par.Shard(len(stream), workers, func(shard, lo, hi int) {
+			st := states[shard]
+			if epoch == 0 {
+				for _, row := range stream[lo:hi] {
+					st.total += len(row)
+				}
+			}
+			totalSteps := cfg.Epochs * st.total
+			for _, row := range stream[lo:hi] {
+				for ci, center := range row {
+					lr := float32(cfg.LR) * (1 - float32(st.trained)/float32(totalSteps+1))
+					if lr < float32(cfg.LR)*0.0001 {
+						lr = float32(cfg.LR) * 0.0001
+					}
+					st.trained++
+					span := 1 + st.rng.Intn(cfg.Window)
+					for d := -span; d <= span; d++ {
+						pos := ci + d
+						if d == 0 || pos < 0 || pos >= len(row) {
+							continue
+						}
+						ctx := row[pos]
+						vIn := in[int(ctx)*cfg.Dim : int(ctx+1)*cfg.Dim]
+						grad := st.grad
+						for k := range grad {
+							grad[k] = 0
+						}
+						inLk := &locks.in[int(ctx)%lockStripes]
+						inLk.Lock()
+						for s := 0; s <= cfg.Negative; s++ {
+							var target int32
+							var label float32
+							if s == 0 {
+								target, label = center, 1
+							} else {
+								target = table[st.rng.Intn(tableSize)]
+								if target == center {
+									continue
+								}
+								label = 0
+							}
+							vOut := out[int(target)*cfg.Dim : int(target+1)*cfg.Dim]
+							outLk := &locks.out[int(target)%lockStripes]
+							outLk.Lock()
+							var dot float32
+							for k := 0; k < cfg.Dim; k++ {
+								dot += vIn[k] * vOut[k]
+							}
+							g := (label - sig.at(dot)) * lr
+							for k := 0; k < cfg.Dim; k++ {
+								grad[k] += g * vOut[k]
+								vOut[k] += g * vIn[k]
+							}
+							outLk.Unlock()
+						}
+						for k := 0; k < cfg.Dim; k++ {
+							vIn[k] += grad[k]
+						}
+						inLk.Unlock()
+					}
+				}
+			}
+		})
+	}
 }
 
 // Similarity returns the cosine similarity of two tokens (0 when either is

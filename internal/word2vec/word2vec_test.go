@@ -102,6 +102,46 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+// TestDeterministicOverridesWorkers: the Deterministic flag must force the
+// serial trainer, so Workers=4 reproduces the Workers=1 embedding exactly.
+func TestDeterministicOverridesWorkers(t *testing.T) {
+	corp := topicCorpus(60, 6)
+	serial := Train(corp, Config{Dim: 8, Epochs: 2, Seed: 7, Workers: 1})
+	det := Train(corp, Config{Dim: 8, Epochs: 2, Seed: 7, Workers: 4, Deterministic: true})
+	for i, w := range serial.Words {
+		for k := range serial.Vecs[i] {
+			if serial.Vecs[i][k] != det.Vecs[i][k] {
+				t.Fatalf("%s: Deterministic+Workers=4 differs from serial at %d", w, k)
+			}
+		}
+	}
+}
+
+// TestParallelTraining exercises the sharded Hogwild trainer (race-clean
+// via striped row locks; run under -race by the Makefile check target) and
+// checks it still learns the topic structure.
+func TestParallelTraining(t *testing.T) {
+	m := Train(topicCorpus(400, 2), Config{Dim: 16, Epochs: 5, Seed: 3, Workers: 3})
+	if len(m.Words) != 10 {
+		t.Fatalf("vocab = %d, want 10", len(m.Words))
+	}
+	for i, w := range m.Words {
+		var norm float64
+		for _, x := range m.Vecs[i] {
+			norm += float64(x) * float64(x)
+		}
+		if norm == 0 {
+			t.Errorf("%s: zero vector after parallel training", w)
+		}
+		if math.IsNaN(norm) || math.IsInf(norm, 0) {
+			t.Fatalf("%s: non-finite vector after parallel training", w)
+		}
+	}
+	if within, across := m.Similarity("mov", "add"), m.Similarity("mov", "addsd"); within <= across {
+		t.Errorf("parallel: within-topic similarity %.3f not above across-topic %.3f", within, across)
+	}
+}
+
 func TestMinCount(t *testing.T) {
 	sentences := [][]string{{"common", "common", "common", "rare", "common", "common"}}
 	m := Train(sentences, Config{Dim: 4, Epochs: 1, MinCount: 2, Seed: 1})
