@@ -1,12 +1,22 @@
-# Developer entry points. `make check` is the pre-commit gate: vet, build,
-# full test suite, and the race detector over the concurrent packages.
+# Developer entry points. `make check` is the pre-commit gate: lint (gofmt
+# + vet), build, full test suite, and the race detector over the
+# concurrent packages.
 
 GO ?= go
-RACE_PKGS = ./internal/par ./internal/nn ./internal/word2vec ./internal/classify
+GOFMT ?= gofmt
+RACE_PKGS = ./internal/par ./internal/obs ./internal/nn ./internal/word2vec ./internal/classify ./internal/core
 
-.PHONY: check build test vet race bench bench-json
+.PHONY: check build test lint vet race bench bench-json
 
-check: vet build test race
+check: lint build test race
+
+# lint fails when any file is unformatted (gofmt -l prints it) or vet
+# complains.
+lint: vet
+	@out="$$($(GOFMT) -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt: unformatted files:"; echo "$$out"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...

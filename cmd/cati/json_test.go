@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/elfx"
+	"repro/internal/nn"
+	"repro/internal/synth"
+	"repro/internal/word2vec"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// everything it wrote.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outc := make(chan []byte)
+	go func() {
+		b, _ := io.ReadAll(r)
+		outc <- b
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-outc
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", ferr, out)
+	}
+	return string(out)
+}
+
+// TestCatiInferJSON runs `cati infer -json -trace` and validates the
+// JSON-lines protocol: one record per inferred variable, then a trailing
+// trace record with the five inference stages.
+func TestCatiInferJSON(t *testing.T) {
+	dir := t.TempDir()
+
+	p := synth.Generate(synth.DefaultProfile("jsoncli"), 4)
+	res, err := compile.Compile(p, compile.Options{Dialect: compile.GCC, Opt: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := elfx.Write(elfx.Strip(res.Binary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "a.elf")
+	if err := os.WriteFile(bin, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := corpus.Build(corpus.BuildConfig{
+		Name: "json-train", Binaries: 2,
+		Profile: synth.DefaultProfile("jsontrain"), Window: 5, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cati, err := core.Train(c, classify.Config{
+		Window: 5, Conv1: 8, Conv2: 8, Hidden: 64, MaxPerStage: 400,
+		Train: nn.TrainConfig{Epochs: 1, Batch: 32, LR: 2e-3},
+		W2V:   word2vec.Config{Epochs: 1}, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := cati.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := filepath.Join(dir, "m.model")
+	if err := os.WriteFile(model, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := captureStdout(t, func() error {
+		return run([]string{"infer", "-json", "-trace", "-model", model, bin})
+	})
+
+	dec := json.NewDecoder(strings.NewReader(out))
+	vars, traces := 0, 0
+	for dec.More() {
+		var rec map[string]any
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatalf("bad JSON line: %v\noutput:\n%s", err, out)
+		}
+		if stages, ok := rec["trace"]; ok {
+			traces++
+			names := map[string]bool{}
+			for _, s := range stages.([]any) {
+				names[s.(map[string]any)["stage"].(string)] = true
+			}
+			for _, want := range []string{"recover", "extract", "embed", "predict", "vote"} {
+				if !names[want] {
+					t.Fatalf("trace missing stage %q: %v", want, names)
+				}
+			}
+			continue
+		}
+		vars++
+		if rec["binary"] != bin {
+			t.Fatalf("record names wrong binary: %v", rec["binary"])
+		}
+		if _, ok := rec["class"].(string); !ok {
+			t.Fatalf("record missing class: %v", rec)
+		}
+	}
+	if vars == 0 {
+		t.Fatalf("no variable records emitted:\n%s", out)
+	}
+	if traces != 1 {
+		t.Fatalf("want exactly 1 trace record, got %d", traces)
+	}
+}

@@ -5,20 +5,30 @@
 //
 // Usage:
 //
-//	cati infer    -model cati.model binary.stripped.elf
+//	cati infer    -model cati.model binary.stripped.elf [more.elf ...]
+//	cati infer    -json -trace -timeout 30s -model cati.model binary.elf
 //	cati annotate -model cati.model binary.stripped.elf
 //	cati strip    in.elf out.elf
 //	cati disasm   binary.elf
+//
+// infer accepts multiple binaries and fans them out over the worker pool
+// (core.InferBatch). -timeout and Ctrl-C cancel at the next stage/shard
+// boundary; -trace prints the per-stage wall-time breakdown on exit, and
+// -json emits one machine-readable record per inferred variable (plus a
+// trailing trace record when -trace is set).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/cmd/internal/cliflags"
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/elfx"
+	"repro/internal/obs"
 	"repro/internal/vareco"
 )
 
@@ -50,12 +60,13 @@ func run(args []string) error {
 func inferCmd(args []string) error {
 	fs := flag.NewFlagSet("infer", flag.ContinueOnError)
 	model := fs.String("model", "cati.model", "trained model file")
-	workers := fs.Int("workers", 0, "worker goroutines (0: CATI_WORKERS env, else GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "emit one JSON record per inferred variable (JSON lines)")
+	rt := cliflags.AddRuntime(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: cati infer -model m binary.elf")
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: cati infer -model m binary.elf [more.elf ...]")
 	}
 	blob, err := os.ReadFile(*model)
 	if err != nil {
@@ -65,20 +76,100 @@ func inferCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	cati.Pipeline.Cfg.Workers = *workers
-	img, err := os.ReadFile(fs.Arg(0))
+	cati.Pipeline.Cfg.Workers = rt.Workers
+	trace := rt.NewTrace()
+	cati.Pipeline.Cfg.Trace = trace
+
+	ctx, stop := rt.Context()
+	defer stop()
+
+	bins := make([]*elfx.Binary, fs.NArg())
+	for i := 0; i < fs.NArg(); i++ {
+		img, err := os.ReadFile(fs.Arg(i))
+		if err != nil {
+			return err
+		}
+		if bins[i], err = elfx.Read(img); err != nil {
+			return fmt.Errorf("%s: %w", fs.Arg(i), err)
+		}
+	}
+	results, err := cati.InferBatch(ctx, bins)
 	if err != nil {
+		if !*jsonOut {
+			cliflags.PrintTrace(os.Stdout, trace)
+		}
 		return err
 	}
-	vars, err := cati.InferImage(img)
-	if err != nil {
-		return err
+
+	if *jsonOut {
+		return printJSON(os.Stdout, fs, results, trace)
 	}
-	fmt.Printf("%-10s  %-8s  %-5s  %-5s  %s\n", "FUNC", "SLOT", "SIZE", "VUCS", "TYPE")
-	for _, v := range vars {
-		fmt.Printf("%#-10x  %-8d  %-5d  %-5d  %s\n", v.FuncLow, v.Slot, v.Size, v.NumVUCs, v.Class)
+	total := 0
+	for bi, vars := range results {
+		if len(results) > 1 {
+			fmt.Printf("== %s\n", fs.Arg(bi))
+		}
+		fmt.Printf("%-10s  %-8s  %-5s  %-5s  %s\n", "FUNC", "SLOT", "SIZE", "VUCS", "TYPE")
+		for _, v := range vars {
+			fmt.Printf("%#-10x  %-8d  %-5d  %-5d  %s\n", v.FuncLow, v.Slot, v.Size, v.NumVUCs, v.Class)
+		}
+		total += len(vars)
 	}
-	fmt.Printf("%d variables\n", len(vars))
+	fmt.Printf("%d variables\n", total)
+	cliflags.PrintTrace(os.Stdout, trace)
+	return nil
+}
+
+// varRecord is the machine-readable form of one inferred variable
+// (`cati infer -json`, one JSON object per line).
+type varRecord struct {
+	Binary  string `json:"binary"`
+	FuncLow uint64 `json:"func_low"`
+	Slot    int32  `json:"slot"`
+	Global  bool   `json:"global"`
+	Size    int    `json:"size"`
+	NumVUCs int    `json:"num_vucs"`
+	Class   string `json:"class"`
+}
+
+// stageRecord is the machine-readable form of one traced stage.
+type stageRecord struct {
+	Stage   string `json:"stage"`
+	WallNs  int64  `json:"wall_ns"`
+	Items   int    `json:"items"`
+	Workers int    `json:"workers"`
+}
+
+// printJSON writes one varRecord line per inferred variable and, when
+// tracing is on, a final {"trace": [...]} line with the stage breakdown.
+func printJSON(w *os.File, fs *flag.FlagSet, results [][]core.InferredVar, trace *obs.Trace) error {
+	enc := json.NewEncoder(w)
+	for bi, vars := range results {
+		for _, v := range vars {
+			rec := varRecord{
+				Binary:  fs.Arg(bi),
+				FuncLow: v.FuncLow,
+				Slot:    v.Slot,
+				Global:  v.Global,
+				Size:    v.Size,
+				NumVUCs: v.NumVUCs,
+				Class:   v.Class.String(),
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+	}
+	if trace != nil {
+		stages := trace.Stages()
+		recs := make([]stageRecord, len(stages))
+		for i, s := range stages {
+			recs[i] = stageRecord{Stage: s.Name, WallNs: s.Wall.Nanoseconds(), Items: s.Items, Workers: s.Workers}
+		}
+		if err := enc.Encode(map[string][]stageRecord{"trace": recs}); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -88,7 +179,7 @@ func inferCmd(args []string) error {
 func annotateCmd(args []string) error {
 	fs := flag.NewFlagSet("annotate", flag.ContinueOnError)
 	model := fs.String("model", "cati.model", "trained model file")
-	workers := fs.Int("workers", 0, "worker goroutines (0: CATI_WORKERS env, else GOMAXPROCS)")
+	rt := cliflags.AddRuntime(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,7 +194,14 @@ func annotateCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	cati.Pipeline.Cfg.Workers = *workers
+	cati.Pipeline.Cfg.Workers = rt.Workers
+	trace := rt.NewTrace()
+	cati.Pipeline.Cfg.Trace = trace
+	defer cliflags.PrintTrace(os.Stdout, trace)
+
+	ctx, stop := rt.Context()
+	defer stop()
+
 	img, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		return err
@@ -112,7 +210,7 @@ func annotateCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	vars, err := cati.InferBinary(bin)
+	vars, err := cati.InferBinaryCtx(ctx, bin)
 	if err != nil {
 		return err
 	}

@@ -17,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"repro/cmd/internal/cliflags"
 	"repro/internal/experiments"
 )
 
@@ -35,14 +36,14 @@ var order = []string{
 func run(args []string) error {
 	fs := flag.NewFlagSet("catibench", flag.ContinueOnError)
 	scale := fs.String("scale", "default", "experiment scale: default, quick or ablation")
-	workers := fs.Int("workers", 0, "worker goroutines (0: CATI_WORKERS env, else GOMAXPROCS)")
 	benchJSON := fs.String("bench-json", "", "run the parallel-core benchmark and write JSON records to this file (e.g. BENCH_parallel.json), then exit")
+	rt := cliflags.AddRuntime(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *benchJSON != "" {
-		return runParallelBench(*benchJSON, *workers)
+		return runParallelBench(*benchJSON, rt.Workers)
 	}
 
 	var s experiments.Scale
@@ -56,14 +57,24 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown scale %q", *scale)
 	}
-	s.Cfg.Workers = *workers
+	ctx, stop := rt.Context()
+	defer stop()
+	trace := rt.NewTrace()
+	defer cliflags.PrintTrace(os.Stdout, trace)
+
+	s.Cfg.Workers = rt.Workers
+	s.Cfg.Trace = trace
 	env := experiments.NewEnv(s)
+	env.Ctx = ctx
 
 	ids := fs.Args()
 	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
 		ids = order
 	}
 	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		start := time.Now()
 		tab, err := runOne(env, id)
 		if err != nil {

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	catitrain -out cati.model -binaries 48 -epochs 2
+//	catitrain -timeout 10m -trace -out cati.model
+//
+// Ctrl-C (or -timeout expiry) cancels training at the next stage/shard
+// boundary; with -trace the per-stage breakdown of whatever completed is
+// printed on exit.
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"os"
 	"time"
 
+	"repro/cmd/internal/cliflags"
 	"repro/internal/classify"
 	"repro/internal/compile"
 	"repro/internal/core"
@@ -34,12 +40,12 @@ func run(args []string) error {
 	out := fs.String("out", "cati.model", "output model file")
 	binaries := fs.Int("binaries", 24, "training binaries to generate")
 	dialect := fs.String("dialect", "gcc", "compiler dialect: gcc or clang")
-	window := fs.Int("window", 10, "VUC window w")
+	window := cliflags.Window(fs)
 	epochs := fs.Int("epochs", 2, "CNN training epochs")
 	maxPerStage := fs.Int("max-per-stage", 4000, "training sample cap per stage")
-	seed := fs.Int64("seed", 7, "seed")
+	seed := cliflags.Seed(fs, 7)
 	quick := fs.Bool("quick", false, "small architecture for a fast demo model")
-	workers := fs.Int("workers", 0, "worker goroutines (0: CATI_WORKERS env, else GOMAXPROCS)")
+	rt := cliflags.AddRuntime(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,9 +55,14 @@ func run(args []string) error {
 		d = compile.Clang
 	}
 
+	ctx, stop := rt.Context()
+	defer stop()
+	trace := rt.NewTrace()
+	defer cliflags.PrintTrace(os.Stdout, trace)
+
 	start := time.Now()
 	fmt.Printf("building corpus: %d binaries (%s)...\n", *binaries, *dialect)
-	c, err := corpus.Build(corpus.BuildConfig{
+	c, err := corpus.BuildCtx(ctx, corpus.BuildConfig{
 		Name:     "train",
 		Binaries: *binaries,
 		Profile:  synth.DefaultProfile("train"),
@@ -72,14 +83,15 @@ func run(args []string) error {
 		Train:       nn.TrainConfig{Epochs: *epochs, Batch: 64, LR: 1e-3},
 		W2V:         word2vec.Config{Epochs: 2},
 		Seed:        *seed,
-		Workers:     *workers,
+		Workers:     rt.Workers,
+		Trace:       trace,
 	}
 	if *quick {
 		cfg.Conv1, cfg.Conv2, cfg.Hidden = 8, 8, 64
 	}
 	fmt.Println("training embedding + 6-stage classifier...")
 	t0 := time.Now()
-	cati, err := core.Train(c, cfg)
+	cati, err := core.TrainCtx(ctx, c, cfg)
 	if err != nil {
 		return err
 	}

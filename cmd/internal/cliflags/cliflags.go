@@ -1,0 +1,85 @@
+// Package cliflags centralizes the flag plumbing shared by the CATI
+// CLIs (catitrain, cati, catibench): the worker-pool size, the run
+// deadline, stage tracing, and the common -seed/-window knobs. One
+// definition means every tool spells the flags, defaults and help text
+// identically.
+package cliflags
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/vuc"
+)
+
+// Runtime carries the execution flags every long-running CLI shares.
+type Runtime struct {
+	// Workers is the -workers flag (0: CATI_WORKERS env, else GOMAXPROCS).
+	Workers int
+	// Timeout is the -timeout flag; 0 means no deadline.
+	Timeout time.Duration
+	// Trace is the -trace flag: record and print per-stage wall times.
+	Trace bool
+}
+
+// AddRuntime registers -workers, -timeout and -trace on the flag set and
+// returns the struct they fill in after fs.Parse.
+func AddRuntime(fs *flag.FlagSet) *Runtime {
+	r := &Runtime{}
+	fs.IntVar(&r.Workers, "workers", 0, "worker goroutines (0: CATI_WORKERS env, else GOMAXPROCS)")
+	fs.DurationVar(&r.Timeout, "timeout", 0, "overall deadline, e.g. 90s or 10m (0: none)")
+	fs.BoolVar(&r.Trace, "trace", false, "record per-stage wall times and print the breakdown on exit")
+	return r
+}
+
+// Context returns a context that is cancelled on Ctrl-C (SIGINT) or
+// SIGTERM and, when -timeout is set, when the deadline passes. The
+// returned stop function releases the signal handler and must be called
+// on exit; after the first signal cancels the context, a second signal
+// kills the process the default way.
+func (r *Runtime) Context() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if r.Timeout > 0 {
+		tctx, cancel := context.WithTimeout(ctx, r.Timeout)
+		return tctx, func() { cancel(); stop() }
+	}
+	return ctx, stop
+}
+
+// NewTrace returns a fresh trace when -trace was given, else nil — and a
+// nil *obs.Trace records nothing at no cost, so callers can attach the
+// result unconditionally.
+func (r *Runtime) NewTrace() *obs.Trace {
+	if !r.Trace {
+		return nil
+	}
+	return &obs.Trace{}
+}
+
+// PrintTrace writes the stage breakdown to w; a no-op when tracing is
+// off (nil trace) or nothing was recorded. Safe to defer: it prints
+// whatever stages completed even when the run was cancelled mid-way.
+func PrintTrace(w io.Writer, t *obs.Trace) {
+	if t == nil || len(t.Stages()) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "stage breakdown:")
+	fmt.Fprint(w, t.Format())
+}
+
+// Seed registers the common -seed flag with the tool's default.
+func Seed(fs *flag.FlagSet, def int64) *int64 {
+	return fs.Int64("seed", def, "seed namespacing all stochastic choices")
+}
+
+// Window registers the common -window flag (the VUC half-window w).
+func Window(fs *flag.FlagSet) *int {
+	return fs.Int("window", vuc.DefaultWindow, "VUC window w")
+}

@@ -1,0 +1,108 @@
+package classify
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestTrainCtxTraceStages trains a tiny pipeline with observability
+// attached and checks the per-phase records: w2v, embed, then the
+// per-stage CNN trainings, with paired start/end hook events.
+func TestTrainCtxTraceStages(t *testing.T) {
+	c, _ := sharedPipeline(t)
+	var mu sync.Mutex
+	starts, ends := map[string]int{}, map[string]int{}
+	cfg := tinyConfig()
+	cfg.Train.Epochs = 1
+	cfg.Trace = &obs.Trace{}
+	cfg.Hook = func(e obs.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		if e.Done {
+			ends[e.Stage]++
+		} else {
+			starts[e.Stage]++
+		}
+	}
+	p, err := TrainCtx(context.Background(), c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil || len(p.Stages) == 0 {
+		t.Fatal("no pipeline trained")
+	}
+
+	seen := map[string]bool{}
+	cnn := 0
+	for _, s := range cfg.Trace.Stages() {
+		seen[s.Name] = true
+		if strings.HasPrefix(s.Name, "cnn:") {
+			cnn++
+		}
+		if s.Wall < 0 || s.Err != nil {
+			t.Fatalf("bad stage record: %+v", s)
+		}
+	}
+	if !seen["w2v"] || !seen["embed"] {
+		t.Fatalf("missing w2v/embed stages: %v", seen)
+	}
+	if cnn == 0 {
+		t.Fatal("no cnn:* stages recorded")
+	}
+	for name, n := range starts {
+		if ends[name] != n {
+			t.Fatalf("stage %s: %d starts, %d ends", name, n, ends[name])
+		}
+	}
+}
+
+func TestTrainCtxCancelled(t *testing.T) {
+	c, _ := sharedPipeline(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := tinyConfig()
+	// Cancel as soon as the first stage starts: training must stop at the
+	// next sentence/shard boundary and surface context.Canceled.
+	cfg.Hook = func(e obs.Event) { cancel() }
+	_, err := TrainCtx(ctx, c, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestPredictVUCsCtxCancelled(t *testing.T) {
+	c, p := sharedPipeline(t)
+	refs := c.All()
+	samples := make([][]float32, len(refs))
+	for i, r := range refs {
+		samples[i] = p.EmbedWindow(c.Tokens(r))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.PredictVUCsCtx(ctx, samples); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestWithDefaultsWindow pins the centralized window resolution: a zero
+// window resolves to the paper's default, a set window survives, and
+// WithDefaults is idempotent — the contract core relies on so a loaded
+// model and a trained model extract identical VUC windows.
+func TestWithDefaultsWindow(t *testing.T) {
+	if got := (Config{}).WithDefaults().Window; got != 10 {
+		t.Fatalf("default window = %d, want 10", got)
+	}
+	if got := (Config{Window: 5}).WithDefaults().Window; got != 5 {
+		t.Fatalf("explicit window clobbered: %d", got)
+	}
+	once := (Config{Seed: 3}).WithDefaults()
+	twice := once.WithDefaults()
+	if once.Window != twice.Window || once.EmbedDim != twice.EmbedDim ||
+		once.W2V != twice.W2V || once.Train.Seed != twice.Train.Seed {
+		t.Fatalf("WithDefaults not idempotent:\n%+v\n%+v", once, twice)
+	}
+}

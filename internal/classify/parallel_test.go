@@ -7,15 +7,15 @@ import (
 	"repro/internal/word2vec"
 )
 
-// TestW2VSeedRespected is the regression test for withDefaults clobbering
+// TestW2VSeedRespected is the regression test for WithDefaults clobbering
 // a caller-provided embedding seed: only a zero W2V.Seed may be derived
 // from the pipeline seed.
 func TestW2VSeedRespected(t *testing.T) {
-	got := Config{Seed: 5, W2V: word2vec.Config{Seed: 123}}.withDefaults()
+	got := Config{Seed: 5, W2V: word2vec.Config{Seed: 123}}.WithDefaults()
 	if got.W2V.Seed != 123 {
 		t.Errorf("caller W2V.Seed overwritten: got %d, want 123", got.W2V.Seed)
 	}
-	derived := Config{Seed: 5}.withDefaults()
+	derived := Config{Seed: 5}.WithDefaults()
 	if derived.W2V.Seed != 5^0x77 {
 		t.Errorf("zero W2V.Seed not derived: got %d, want %d", derived.W2V.Seed, 5^0x77)
 	}
@@ -24,11 +24,11 @@ func TestW2VSeedRespected(t *testing.T) {
 // TestWorkersPropagation: Config.Workers seeds the sub-config worker
 // counts without clobbering explicit choices.
 func TestWorkersPropagation(t *testing.T) {
-	c := Config{Workers: 3}.withDefaults()
+	c := Config{Workers: 3}.WithDefaults()
 	if c.W2V.Workers != 3 || c.Train.Workers != 3 {
 		t.Errorf("Workers not propagated: w2v=%d train=%d", c.W2V.Workers, c.Train.Workers)
 	}
-	c = Config{Workers: 3, W2V: word2vec.Config{Workers: 2}}.withDefaults()
+	c = Config{Workers: 3, W2V: word2vec.Config{Workers: 2}}.WithDefaults()
 	if c.W2V.Workers != 2 {
 		t.Errorf("explicit W2V.Workers clobbered: %d", c.W2V.Workers)
 	}

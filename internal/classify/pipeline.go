@@ -5,6 +5,7 @@
 package classify
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/ctypes"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/vuc"
 	"repro/internal/word2vec"
@@ -44,9 +46,25 @@ type Config struct {
 	// the serial paths. It also seeds W2V.Workers and Train.Workers when
 	// those are unset.
 	Workers int
+	// Trace, when non-nil, accumulates a per-stage record (wall time, item
+	// count, worker count) of every pipeline stage that runs: training
+	// records "w2v", "embed" and the per-stage "cnn:*" trainings;
+	// inference (via core) records the recover/extract/embed/predict/vote
+	// stages. Not serialized with the model.
+	Trace *obs.Trace
+	// Hook, when non-nil, receives start/end events for the same stages.
+	// Stages may run concurrently, so hooks must be safe for concurrent
+	// calls. Not serialized with the model.
+	Hook obs.Hook
 }
 
-func (c Config) withDefaults() Config {
+// WithDefaults resolves every zero field to the paper's value and derives
+// the dependent seeds/worker counts. Train applies it before training and
+// stores the resolved config on the pipeline; inference paths that read
+// hyperparameters from a possibly hand-built or legacy-deserialized config
+// (e.g. the VUC window) must resolve them through here too, so a loaded
+// model and a freshly trained one behave identically.
+func (c Config) WithDefaults() Config {
 	if c.EmbedDim == 0 {
 		c.EmbedDim = 32
 	}
@@ -122,7 +140,17 @@ func EmbedWindow(m *word2vec.Model, toks []vuc.InstTok, dim int) []float32 {
 // Train builds the full pipeline from a labeled corpus: Word2Vec over the
 // corpus token streams, then one CNN per stage (or one flat CNN).
 func Train(c *corpus.Corpus, cfg Config) (*Pipeline, error) {
-	cfg = cfg.withDefaults()
+	return TrainCtx(context.Background(), c, cfg)
+}
+
+// TrainCtx is Train with cooperative cancellation and per-stage
+// observability: the Word2Vec pass, the corpus embedding loop, and each
+// CNN training check ctx at their work-item boundaries and return
+// ctx.Err() promptly once it is cancelled. Each phase reports through
+// cfg.Trace/cfg.Hook when set ("w2v", "embed", then "cnn:<stage>" — the
+// CNN stages run concurrently, so their wall times overlap).
+func TrainCtx(ctx context.Context, c *corpus.Corpus, cfg Config) (*Pipeline, error) {
+	cfg = cfg.WithDefaults()
 	if cfg.Window != c.Window {
 		return nil, fmt.Errorf("classify: config window %d != corpus window %d", cfg.Window, c.Window)
 	}
@@ -130,33 +158,54 @@ func Train(c *corpus.Corpus, cfg Config) (*Pipeline, error) {
 	if len(refs) == 0 {
 		return nil, ErrNoData
 	}
-
-	embed := word2vec.Train(c.Sentences(), cfg.W2V)
-	p := &Pipeline{Cfg: cfg, Embed: embed, Stages: make(map[ctypes.Stage]*nn.Network)}
 	workers := par.Workers(cfg.Workers)
+	run := obs.Runner{Trace: cfg.Trace, Hook: cfg.Hook}
+
+	var embed *word2vec.Model
+	err := run.Stage(ctx, "w2v", par.WorkersExplicit(cfg.W2V.Workers), func() (int, error) {
+		sents := c.Sentences()
+		var err error
+		embed, err = word2vec.TrainCtx(ctx, sents, cfg.W2V)
+		return len(sents), err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("classify: w2v: %w", err)
+	}
+	p := &Pipeline{Cfg: cfg, Embed: embed, Stages: make(map[ctypes.Stage]*nn.Network)}
 
 	// Embed every sample once; stages share the matrix. Samples are
 	// independent and the model is read-only, so the loop shards freely.
 	samples := make([][]float32, len(refs))
 	classes := make([]ctypes.Class, len(refs))
-	par.ForEach(len(refs), workers, func(i int) {
-		r := refs[i]
-		samples[i] = p.EmbedWindow(c.Tokens(r))
-		_, s := c.At(r)
-		classes[i] = s.Class
+	err = run.Stage(ctx, "embed", workers, func() (int, error) {
+		return len(refs), par.ForEachCtx(ctx, len(refs), workers, func(i int) {
+			r := refs[i]
+			samples[i] = p.EmbedWindow(c.Tokens(r))
+			_, s := c.At(r)
+			classes[i] = s.Class
+		})
 	})
+	if err != nil {
+		return nil, fmt.Errorf("classify: embed: %w", err)
+	}
 
 	if cfg.Flat {
-		ds := &nn.Dataset{SeqLen: cfg.SeqLen(), EmbDim: cfg.InstDim()}
-		idxs := capRefs(allIndices(len(refs)), flatLabels(classes), ctypes.NumClasses, cfg.MaxPerStage, cfg.Seed)
-		for _, i := range idxs {
-			ds.Add(samples[i], int(classes[i])-1)
-		}
-		net := nn.NewCNN(cfg.SeqLen(), cfg.InstDim(), cfg.Conv1, cfg.Conv2, cfg.Hidden, ctypes.NumClasses, cfg.Seed)
-		if err := nn.TrainClassifier(net, ds, ctypes.NumClasses, cfg.Train); err != nil {
+		err := run.Stage(ctx, "cnn:flat", par.Workers(cfg.Train.Workers), func() (int, error) {
+			ds := &nn.Dataset{SeqLen: cfg.SeqLen(), EmbDim: cfg.InstDim()}
+			idxs := capRefs(allIndices(len(refs)), flatLabels(classes), ctypes.NumClasses, cfg.MaxPerStage, cfg.Seed)
+			for _, i := range idxs {
+				ds.Add(samples[i], int(classes[i])-1)
+			}
+			net := nn.NewCNN(cfg.SeqLen(), cfg.InstDim(), cfg.Conv1, cfg.Conv2, cfg.Hidden, ctypes.NumClasses, cfg.Seed)
+			if err := nn.TrainClassifierCtx(ctx, net, ds, ctypes.NumClasses, cfg.Train); err != nil {
+				return ds.Len(), err
+			}
+			p.FlatNet = net
+			return ds.Len(), nil
+		})
+		if err != nil {
 			return nil, fmt.Errorf("classify: flat: %w", err)
 		}
-		p.FlatNet = net
 		return p, nil
 	}
 
@@ -171,33 +220,37 @@ func Train(c *corpus.Corpus, cfg Config) (*Pipeline, error) {
 	jobs := make([]func(), len(stages))
 	for si, stage := range stages {
 		jobs[si] = func() {
-			arity := ctypes.StageArity(stage)
-			var idxs []int
-			var labels []int
-			for i, cl := range classes {
-				if l, ok := ctypes.StageLabel(stage, cl); ok {
-					idxs = append(idxs, i)
-					labels = append(labels, l)
+			errs[si] = run.Stage(ctx, fmt.Sprintf("cnn:%s", stage), par.Workers(cfg.Train.Workers), func() (int, error) {
+				arity := ctypes.StageArity(stage)
+				var idxs []int
+				var labels []int
+				for i, cl := range classes {
+					if l, ok := ctypes.StageLabel(stage, cl); ok {
+						idxs = append(idxs, i)
+						labels = append(labels, l)
+					}
 				}
-			}
-			if len(idxs) == 0 {
-				return // stage has no data (e.g. no float-family samples)
-			}
-			sel := capRefs(idxs, labels, arity, cfg.MaxPerStage, cfg.Seed^int64(stage))
-			ds := &nn.Dataset{SeqLen: cfg.SeqLen(), EmbDim: cfg.InstDim()}
-			for _, i := range sel {
-				l, _ := ctypes.StageLabel(stage, classes[i])
-				ds.Add(samples[i], l)
-			}
-			net := nn.NewCNN(cfg.SeqLen(), cfg.InstDim(), cfg.Conv1, cfg.Conv2, cfg.Hidden, arity, cfg.Seed^int64(stage))
-			if err := nn.TrainClassifier(net, ds, arity, cfg.Train); err != nil {
-				errs[si] = fmt.Errorf("classify: %s: %w", stage, err)
-				return
-			}
-			nets[si] = net
+				if len(idxs) == 0 {
+					return 0, nil // stage has no data (e.g. no float-family samples)
+				}
+				sel := capRefs(idxs, labels, arity, cfg.MaxPerStage, cfg.Seed^int64(stage))
+				ds := &nn.Dataset{SeqLen: cfg.SeqLen(), EmbDim: cfg.InstDim()}
+				for _, i := range sel {
+					l, _ := ctypes.StageLabel(stage, classes[i])
+					ds.Add(samples[i], l)
+				}
+				net := nn.NewCNN(cfg.SeqLen(), cfg.InstDim(), cfg.Conv1, cfg.Conv2, cfg.Hidden, arity, cfg.Seed^int64(stage))
+				if err := nn.TrainClassifierCtx(ctx, net, ds, arity, cfg.Train); err != nil {
+					return ds.Len(), fmt.Errorf("classify: %s: %w", stage, err)
+				}
+				nets[si] = net
+				return ds.Len(), nil
+			})
 		}
 	}
-	par.Run(workers, jobs...)
+	if err := par.RunCtx(ctx, workers, jobs...); err != nil {
+		return nil, err
+	}
 	for si, stage := range stages {
 		if errs[si] != nil {
 			return nil, errs[si]
@@ -280,6 +333,13 @@ type VUCPrediction struct {
 // for every worker count. Safe to call from multiple goroutines on one
 // pipeline.
 func (p *Pipeline) PredictVUCs(samples [][]float32) ([]VUCPrediction, error) {
+	return p.PredictVUCsCtx(context.Background(), samples)
+}
+
+// PredictVUCsCtx is PredictVUCs with cooperative cancellation: stage
+// fan-out stops scheduling and in-flight chunk loops bail at their next
+// chunk boundary once ctx is cancelled, returning ctx.Err().
+func (p *Pipeline) PredictVUCsCtx(ctx context.Context, samples [][]float32) ([]VUCPrediction, error) {
 	if len(samples) == 0 {
 		return nil, nil
 	}
@@ -287,9 +347,12 @@ func (p *Pipeline) PredictVUCs(samples [][]float32) ([]VUCPrediction, error) {
 	workers := par.Workers(p.Cfg.Workers)
 
 	if p.FlatNet != nil {
-		probs := nn.PredictN(p.FlatNet, samples, seqLen, instDim, workers)
+		probs, err := nn.PredictNCtx(ctx, p.FlatNet, samples, seqLen, instDim, workers)
+		if err != nil {
+			return nil, err
+		}
 		out := make([]VUCPrediction, len(samples))
-		par.ForEach(len(samples), workers, func(i int) {
+		err = par.ForEachCtx(ctx, len(samples), workers, func(i int) {
 			row := probs[i]
 			best := nn.Argmax(row)
 			out[i] = VUCPrediction{
@@ -297,6 +360,9 @@ func (p *Pipeline) PredictVUCs(samples [][]float32) ([]VUCPrediction, error) {
 				Confidence: float64(row[best]),
 			}
 		})
+		if err != nil {
+			return nil, err
+		}
 		return out, nil
 	}
 
@@ -307,19 +373,27 @@ func (p *Pipeline) PredictVUCs(samples [][]float32) ([]VUCPrediction, error) {
 		}
 	}
 	probsBy := make([][][]float32, len(stages))
+	errsBy := make([]error, len(stages))
 	jobs := make([]func(), len(stages))
 	for si, stage := range stages {
 		jobs[si] = func() {
-			probsBy[si] = nn.PredictN(p.Stages[stage], samples, seqLen, instDim, workers)
+			probsBy[si], errsBy[si] = nn.PredictNCtx(ctx, p.Stages[stage], samples, seqLen, instDim, workers)
 		}
 	}
-	par.Run(workers, jobs...)
+	if err := par.RunCtx(ctx, workers, jobs...); err != nil {
+		return nil, err
+	}
+	for _, err := range errsBy {
+		if err != nil {
+			return nil, err
+		}
+	}
 	stageProbs := make(map[ctypes.Stage][][]float32, len(stages))
 	for si, stage := range stages {
 		stageProbs[stage] = probsBy[si]
 	}
 	out := make([]VUCPrediction, len(samples))
-	par.ForEach(len(samples), workers, func(i int) {
+	err := par.ForEachCtx(ctx, len(samples), workers, func(i int) {
 		pred := VUCPrediction{StageProbs: make(map[ctypes.Stage][]float32, len(stages))}
 		for _, stage := range stages {
 			pred.StageProbs[stage] = stageProbs[stage][i]
@@ -327,6 +401,9 @@ func (p *Pipeline) PredictVUCs(samples [][]float32) ([]VUCPrediction, error) {
 		pred.Class, pred.Confidence = p.composeClass(pred.StageProbs)
 		out[i] = pred
 	})
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

@@ -3,9 +3,18 @@
 // stripped binary — disassemble, locate variables, extract and generalize
 // VUCs, embed, classify with the six-stage CNN tree, and vote per variable
 // (paper §III system workflow).
+//
+// Every long-running entry point comes in two forms: a context-taking one
+// (TrainCtx, InferBinaryCtx, InferImageCtx, InferBatch) that honors
+// cancellation and deadlines at stage/shard boundaries, and a thin
+// context.Background() wrapper keeping the historical signature. Inference
+// runs as an explicit staged pipeline (recover → extract → embed →
+// predict → vote); attach an obs.Trace/obs.Hook via the pipeline config to
+// observe per-stage wall time, item counts and worker counts.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -14,6 +23,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/ctypes"
 	"repro/internal/elfx"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/vareco"
 	"repro/internal/vuc"
@@ -31,7 +41,14 @@ var ErrNotTrained = errors.New("core: system has no trained pipeline")
 
 // Train builds a CATI system from a labeled corpus.
 func Train(c *corpus.Corpus, cfg classify.Config) (*CATI, error) {
-	p, err := classify.Train(c, cfg)
+	return TrainCtx(context.Background(), c, cfg)
+}
+
+// TrainCtx is Train with cooperative cancellation: training checks ctx at
+// sentence/minibatch/stage boundaries and returns ctx.Err() promptly once
+// it is cancelled. Per-phase timings report through cfg.Trace/cfg.Hook.
+func TrainCtx(ctx context.Context, c *corpus.Corpus, cfg classify.Config) (*CATI, error) {
+	p, err := classify.TrainCtx(ctx, c, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -77,77 +94,172 @@ type InferredVar struct {
 // returns one typed record per recovered variable, ordered by function and
 // slot.
 func (c *CATI) InferBinary(bin *elfx.Binary) ([]InferredVar, error) {
+	return c.InferBinaryCtx(context.Background(), bin)
+}
+
+// InferBinaryCtx is InferBinary with cooperative cancellation: every
+// pipeline stage (recover, extract, embed, predict, vote) refuses to
+// start once ctx is cancelled, and the embed/predict stages additionally
+// bail at shard/chunk boundaries mid-stage, returning ctx.Err().
+func (c *CATI) InferBinaryCtx(ctx context.Context, bin *elfx.Binary) ([]InferredVar, error) {
 	if c.Pipeline == nil {
 		return nil, ErrNotTrained
 	}
-	rec, err := vareco.RecoverOpts(bin, vareco.Options{Dataflow: true})
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	return c.inferRecovery(rec)
+	return c.infer(ctx, bin, c.runner())
 }
 
 // InferImage is InferBinary for a raw ELF image.
 func (c *CATI) InferImage(image []byte) ([]InferredVar, error) {
+	return c.InferImageCtx(context.Background(), image)
+}
+
+// InferImageCtx is InferImage with cooperative cancellation.
+func (c *CATI) InferImageCtx(ctx context.Context, image []byte) ([]InferredVar, error) {
 	bin, err := elfx.Read(image)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return c.InferBinary(bin)
+	return c.InferBinaryCtx(ctx, bin)
 }
 
-func (c *CATI) inferRecovery(rec *vareco.Recovery) ([]InferredVar, error) {
-	w := c.Pipeline.Cfg.Window
-	if w == 0 {
-		w = vuc.DefaultWindow
+// InferBatch fans inference out over many binaries on the shared worker
+// pool: up to Workers binaries run concurrently (each one's stages then
+// share the same pool for their intra-binary parallelism), results land
+// at the index of their input, and the first error — or ctx.Err() once
+// cancelled, which also stops scheduling of the remaining binaries — is
+// returned. With a Trace attached, every binary's stages land in the one
+// trace (concurrently, so their wall times overlap).
+func (c *CATI) InferBatch(ctx context.Context, bins []*elfx.Binary) ([][]InferredVar, error) {
+	if c.Pipeline == nil {
+		return nil, ErrNotTrained
 	}
-	vucs := vuc.Extract(rec, vuc.Config{Window: w})
+	if len(bins) == 0 {
+		return nil, nil
+	}
+	run := c.runner()
+	out := make([][]InferredVar, len(bins))
+	errs := make([]error, len(bins))
+	jobs := make([]func(), len(bins))
+	for i, bin := range bins {
+		jobs[i] = func() {
+			out[i], errs[i] = c.infer(ctx, bin, run)
+		}
+	}
+	if err := par.RunCtx(ctx, par.Workers(c.Pipeline.Cfg.Workers), jobs...); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: binary %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// runner builds the stage runner from the pipeline config's observability
+// plumbing; with neither Trace nor Hook set it is free.
+func (c *CATI) runner() obs.Runner {
+	return obs.Runner{Trace: c.Pipeline.Cfg.Trace, Hook: c.Pipeline.Cfg.Hook}
+}
+
+// infer executes the paper's §III workflow as an explicit staged
+// pipeline. Each stage runs under the obs.Runner, which checks ctx,
+// records wall time/items/workers, and fires hooks.
+func (c *CATI) infer(ctx context.Context, bin *elfx.Binary, run obs.Runner) ([]InferredVar, error) {
+	workers := par.Workers(c.Pipeline.Cfg.Workers)
+
+	// Stage 1: recover — disassemble and locate variables.
+	var rec *vareco.Recovery
+	err := run.Stage(ctx, "recover", 1, func() (int, error) {
+		var err error
+		rec, err = vareco.RecoverOpts(bin, vareco.Options{Dataflow: true})
+		if rec == nil {
+			return 0, err
+		}
+		return len(rec.Funcs), err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	// Stage 2: extract — generalize tokens and window VUCs. The window
+	// must resolve exactly as training resolved it, so it goes through
+	// Config.WithDefaults rather than re-implementing the default here.
+	var vucs []vuc.VUC
+	err = run.Stage(ctx, "extract", 1, func() (int, error) {
+		w := c.Pipeline.Cfg.WithDefaults().Window
+		vucs = vuc.Extract(rec, vuc.Config{Window: w})
+		return len(vucs), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	if len(vucs) == 0 {
 		return nil, nil
 	}
 
+	// Stage 3: embed — Word2Vec lookup per token window.
 	samples := make([][]float32, len(vucs))
-	par.ForEach(len(vucs), par.Workers(c.Pipeline.Cfg.Workers), func(i int) {
-		samples[i] = c.Pipeline.EmbedWindow(vucs[i].Tokens)
+	err = run.Stage(ctx, "embed", workers, func() (int, error) {
+		return len(vucs), par.ForEachCtx(ctx, len(vucs), workers, func(i int) {
+			samples[i] = c.Pipeline.EmbedWindow(vucs[i].Tokens)
+		})
 	})
-	preds, err := c.Pipeline.PredictVUCs(samples)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 4: predict — the six-stage CNN tree per VUC.
+	var preds []classify.VUCPrediction
+	err = run.Stage(ctx, "predict", workers, func() (int, error) {
+		var err error
+		preds, err = c.Pipeline.PredictVUCsCtx(ctx, samples)
+		return len(samples), err
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: predict: %w", err)
 	}
 
-	// Group predictions per variable and vote.
-	groups := make(map[vuc.VarKey][]classify.VUCPrediction)
-	for i := range vucs {
-		groups[vucs[i].Var] = append(groups[vucs[i].Var], preds[i])
-	}
-
-	sizeOf := make(map[vuc.VarKey]int)
-	for _, f := range rec.Funcs {
-		for _, v := range f.Vars {
-			sizeOf[vuc.VarKey{FuncLow: f.Low, Slot: v.Slot}] = v.Size
+	// Stage 5: vote — group predictions per variable and vote.
+	var out []InferredVar
+	err = run.Stage(ctx, "vote", 1, func() (int, error) {
+		groups := make(map[vuc.VarKey][]classify.VUCPrediction)
+		for i := range vucs {
+			groups[vucs[i].Var] = append(groups[vucs[i].Var], preds[i])
 		}
-	}
-	for _, g := range rec.Globals {
-		sizeOf[vuc.GlobalKey(g.Addr)] = g.Size
-	}
 
-	out := make([]InferredVar, 0, len(groups))
-	for key, g := range groups {
-		vp := classify.VoteVariable(g, c.Clamp)
-		out = append(out, InferredVar{
-			FuncLow: key.FuncLow,
-			Slot:    key.Slot,
-			Global:  key.Global,
-			Size:    sizeOf[key],
-			NumVUCs: len(g),
-			Class:   vp.Class,
+		sizeOf := make(map[vuc.VarKey]int)
+		for _, f := range rec.Funcs {
+			for _, v := range f.Vars {
+				sizeOf[vuc.VarKey{FuncLow: f.Low, Slot: v.Slot}] = v.Size
+			}
+		}
+		for _, g := range rec.Globals {
+			sizeOf[vuc.GlobalKey(g.Addr)] = g.Size
+		}
+
+		out = make([]InferredVar, 0, len(groups))
+		for key, g := range groups {
+			vp := classify.VoteVariable(g, c.Clamp)
+			out = append(out, InferredVar{
+				FuncLow: key.FuncLow,
+				Slot:    key.Slot,
+				Global:  key.Global,
+				Size:    sizeOf[key],
+				NumVUCs: len(g),
+				Class:   vp.Class,
+			})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].FuncLow != out[j].FuncLow {
+				return out[i].FuncLow < out[j].FuncLow
+			}
+			return out[i].Slot < out[j].Slot
 		})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].FuncLow != out[j].FuncLow {
-			return out[i].FuncLow < out[j].FuncLow
-		}
-		return out[i].Slot < out[j].Slot
+		return len(out), nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/corpus"
+	"repro/internal/elfx"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/synth"
+	"repro/internal/word2vec"
+)
+
+// noGoroutineLeak fails the test if goroutines outlive it (bounded wait
+// for cancelled shards to drain).
+func noGoroutineLeak(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > before {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<16)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+}
+
+// withObs temporarily attaches observability to the shared CATI and
+// restores the config on cleanup so other tests see a clean pipeline.
+func withObs(t *testing.T, c *CATI, trace *obs.Trace, hook obs.Hook) {
+	t.Helper()
+	prevTrace, prevHook := c.Pipeline.Cfg.Trace, c.Pipeline.Cfg.Hook
+	c.Pipeline.Cfg.Trace, c.Pipeline.Cfg.Hook = trace, hook
+	t.Cleanup(func() {
+		c.Pipeline.Cfg.Trace, c.Pipeline.Cfg.Hook = prevTrace, prevHook
+	})
+}
+
+func trainCorpus(t *testing.T) *corpus.Corpus {
+	t.Helper()
+	c, err := corpus.Build(corpus.BuildConfig{
+		Name:     "ctx-train",
+		Binaries: 4,
+		Profile:  synth.DefaultProfile("ctx"),
+		Window:   5,
+		Seed:     31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestTrainCtxCancelMidTrain cancels as soon as the first training stage
+// starts and requires context.Canceled back within a bounded wait — the
+// trainer must bail at the next sentence/minibatch/stage boundary, not
+// finish the epoch.
+func TestTrainCtxCancelMidTrain(t *testing.T) {
+	noGoroutineLeak(t)
+	c := trainCorpus(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := classify.Config{
+		Window: 5,
+		Conv1:  8, Conv2: 8, Hidden: 64,
+		MaxPerStage: 1200,
+		Train:       nn.TrainConfig{Epochs: 50, Batch: 32, LR: 2e-3},
+		W2V:         word2vec.Config{Epochs: 10},
+		Seed:        5,
+		Hook:        func(e obs.Event) { cancel() },
+	}
+	type result struct {
+		cati *CATI
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		cati, err := TrainCtx(ctx, c, cfg)
+		done <- result{cati, err}
+	}()
+	select {
+	case r := <-done:
+		if !errors.Is(r.err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", r.err)
+		}
+		if r.cati != nil {
+			t.Fatal("cancelled training must not return a system")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled training did not return within 30s")
+	}
+}
+
+// TestTrainCtxCancelWorkers1 pins the serial paths: Workers=1 must honor
+// ctx too.
+func TestTrainCtxCancelWorkers1(t *testing.T) {
+	noGoroutineLeak(t)
+	c := trainCorpus(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := classify.Config{
+		Window: 5,
+		Conv1:  8, Conv2: 8, Hidden: 64,
+		Train:   nn.TrainConfig{Epochs: 50, Batch: 32, LR: 2e-3},
+		W2V:     word2vec.Config{Epochs: 10},
+		Seed:    5,
+		Workers: 1,
+		Hook:    func(e obs.Event) { cancel() },
+	}
+	if _, err := TrainCtx(ctx, c, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestInferBatchMatchesInferBinary(t *testing.T) {
+	cati := sharedCATI(t)
+	bins := []*elfx.Binary{testBinary(t, 77), testBinary(t, 177), testBinary(t, 277)}
+	batch, err := cati.InferBatch(context.Background(), bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(bins) {
+		t.Fatalf("want %d results, got %d", len(bins), len(batch))
+	}
+	for i, bin := range bins {
+		solo, err := cati.InferBinary(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(solo) != len(batch[i]) {
+			t.Fatalf("binary %d: batch %d vars, solo %d", i, len(batch[i]), len(solo))
+		}
+		for j := range solo {
+			if solo[j] != batch[i][j] {
+				t.Fatalf("binary %d var %d: batch %+v != solo %+v", i, j, batch[i][j], solo[j])
+			}
+		}
+	}
+}
+
+func TestInferBatchCancelled(t *testing.T) {
+	noGoroutineLeak(t)
+	cati := sharedCATI(t)
+	bins := make([]*elfx.Binary, 8)
+	for i := range bins {
+		bins[i] = testBinary(t, 500+int64(i))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel when the first stage of the first binary starts.
+	withObs(t, cati, nil, func(e obs.Event) { cancel() })
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := cati.InferBatch(ctx, bins)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled InferBatch did not return within 30s")
+	}
+}
+
+func TestInferBinaryCtxPreCancelledWorkers1(t *testing.T) {
+	noGoroutineLeak(t)
+	cati := sharedCATI(t)
+	prev := cati.Pipeline.Cfg.Workers
+	cati.Pipeline.Cfg.Workers = 1
+	t.Cleanup(func() { cati.Pipeline.Cfg.Workers = prev })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cati.InferBinaryCtx(ctx, testBinary(t, 77)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestInferTrace checks the staged breakdown: the five §III stages land
+// in order, and their wall times sum to approximately the end-to-end
+// time (they run sequentially within one binary).
+func TestInferTrace(t *testing.T) {
+	cati := sharedCATI(t)
+	trace := &obs.Trace{}
+	withObs(t, cati, trace, nil)
+
+	t0 := time.Now()
+	vars, err := cati.InferBinaryCtx(context.Background(), testBinary(t, 77))
+	elapsed := time.Since(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vars) == 0 {
+		t.Fatal("no variables inferred")
+	}
+	stages := trace.Stages()
+	want := []string{"recover", "extract", "embed", "predict", "vote"}
+	if len(stages) != len(want) {
+		t.Fatalf("want %d stages, got %+v", len(want), stages)
+	}
+	for i, name := range want {
+		if stages[i].Name != name {
+			t.Fatalf("stage %d = %s, want %s", i, stages[i].Name, name)
+		}
+	}
+	if total := trace.Total(); total > elapsed {
+		t.Fatalf("stage sum %v exceeds end-to-end %v", total, elapsed)
+	}
+	// The stages are the whole pipeline, so their sum must account for
+	// the bulk of the elapsed time (generous bound: half).
+	if total := trace.Total(); total < elapsed/2 {
+		t.Fatalf("stage sum %v < half of end-to-end %v", total, elapsed)
+	}
+}
+
+func TestInferBatchNotTrained(t *testing.T) {
+	var empty CATI
+	if _, err := empty.InferBatch(context.Background(), nil); !errors.Is(err, ErrNotTrained) {
+		t.Fatalf("want ErrNotTrained, got %v", err)
+	}
+}

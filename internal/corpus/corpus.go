@@ -10,6 +10,7 @@
 package corpus
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/compile"
@@ -171,10 +172,20 @@ func (cfg BuildConfig) withDefaults() BuildConfig {
 
 // Build generates and labels a corpus.
 func Build(cfg BuildConfig) (*Corpus, error) {
+	return BuildCtx(context.Background(), cfg)
+}
+
+// BuildCtx is Build with cooperative cancellation: generation checks ctx
+// before each program unit (generate → compile → strip → recover → label
+// is one unit of work) and returns ctx.Err() once cancelled.
+func BuildCtx(ctx context.Context, cfg BuildConfig) (*Corpus, error) {
 	cfg = cfg.withDefaults()
 	c := &Corpus{Name: cfg.Name, Window: cfg.Window}
 	intern := make(map[vuc.InstTok]vuc.InstTok)
 	for i := 0; i < cfg.Binaries; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		seed := cfg.Seed*1_000_003 + int64(i)
 		prog := synth.Generate(cfg.Profile, seed)
 		opt := cfg.Opts[i%len(cfg.Opts)]

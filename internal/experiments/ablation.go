@@ -32,11 +32,11 @@ func (e *Env) ablationEval(mutate func(*corpus.BuildConfig, *classify.Config)) (
 		clsCfg.Window = 10
 	}
 
-	train, err := corpus.Build(trainCfg)
+	train, err := corpus.BuildCtx(e.context(), trainCfg)
 	if err != nil {
 		return 0, 0, err
 	}
-	pipe, err := classify.Train(train, clsCfg)
+	pipe, err := classify.TrainCtx(e.context(), train, clsCfg)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -45,11 +45,11 @@ func (e *Env) ablationEval(mutate func(*corpus.BuildConfig, *classify.Config)) (
 	testCfg.Name = "abl-test"
 	testCfg.Binaries = maxInt(2, e.Scale.AppBinaries)
 	testCfg.Seed = e.Scale.Seed + 5000
-	test, err := corpus.Build(testCfg)
+	test, err := corpus.BuildCtx(e.context(), testCfg)
 	if err != nil {
 		return 0, 0, err
 	}
-	ae, err := evalApp(pipe, test)
+	ae, err := evalApp(e.context(), pipe, test)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -105,6 +106,11 @@ func AblationScale() Scale {
 // process share one Env.
 type Env struct {
 	Scale Scale
+	// Ctx, when non-nil, bounds the expensive artifact builds (corpus
+	// generation, pipeline training, app evaluation): once cancelled they
+	// stop at their next stage/shard boundary and return the context
+	// error. nil means context.Background().
+	Ctx context.Context
 
 	mu           sync.Mutex
 	trainGCC     *corpus.Corpus
@@ -119,6 +125,14 @@ type Env struct {
 
 // NewEnv creates an experiment environment at the given scale.
 func NewEnv(s Scale) *Env { return &Env{Scale: s} }
+
+// context resolves the env's context (Background when unset).
+func (e *Env) context() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
+}
 
 // varIdent identifies a variable across a corpus.
 type varIdent struct {
@@ -181,7 +195,7 @@ func (e *Env) trainCorpusLocked(d compile.Dialect) (*corpus.Corpus, error) {
 	if *slot != nil {
 		return *slot, nil
 	}
-	c, err := corpus.Build(corpus.BuildConfig{
+	c, err := corpus.BuildCtx(e.context(), corpus.BuildConfig{
 		Name:     "train-" + d.String(),
 		Binaries: e.Scale.TrainBinaries,
 		Profile:  synth.DefaultProfile("tr" + d.String()),
@@ -217,7 +231,7 @@ func (e *Env) pipelineLocked(d compile.Dialect) (*classify.Pipeline, error) {
 	}
 	cfg := e.Scale.Cfg
 	cfg.Seed ^= int64(d) * 131
-	p, err := classify.Train(c, cfg)
+	p, err := classify.TrainCtx(e.context(), c, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: train pipeline (%s): %w", d, err)
 	}
@@ -246,7 +260,7 @@ func (e *Env) appCorporaLocked(d compile.Dialect) ([]*corpus.Corpus, error) {
 		if n < 1 {
 			n = 1
 		}
-		c, err := corpus.Build(corpus.BuildConfig{
+		c, err := corpus.BuildCtx(e.context(), corpus.BuildConfig{
 			Name:     app.Name,
 			Binaries: n,
 			Profile:  app.Profile,
@@ -287,7 +301,7 @@ func (e *Env) Apps(d compile.Dialect) ([]*AppEval, error) {
 	}
 	var out []*AppEval
 	for _, c := range corpora {
-		ae, err := evalApp(pipe, c)
+		ae, err := evalApp(e.context(), pipe, c)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: eval %s: %w", c.Name, err)
 		}
@@ -298,7 +312,7 @@ func (e *Env) Apps(d compile.Dialect) ([]*AppEval, error) {
 }
 
 // evalApp runs the pipeline over a corpus and votes per variable.
-func evalApp(pipe *classify.Pipeline, c *corpus.Corpus) (*AppEval, error) {
+func evalApp(ctx context.Context, pipe *classify.Pipeline, c *corpus.Corpus) (*AppEval, error) {
 	refs := c.All()
 	ae := &AppEval{
 		Name:    c.Name,
@@ -308,12 +322,15 @@ func evalApp(pipe *classify.Pipeline, c *corpus.Corpus) (*AppEval, error) {
 		Vars:    make(map[varIdent]*VarEval),
 	}
 	samples := make([][]float32, len(refs))
-	par.ForEach(len(refs), par.Workers(pipe.Cfg.Workers), func(i int) {
+	err := par.ForEachCtx(ctx, len(refs), par.Workers(pipe.Cfg.Workers), func(i int) {
 		samples[i] = pipe.EmbedWindow(c.Tokens(refs[i]))
 		_, s := c.At(refs[i])
 		ae.Classes[i] = s.Class
 	})
-	preds, err := pipe.PredictVUCs(samples)
+	if err != nil {
+		return nil, err
+	}
+	preds, err := pipe.PredictVUCsCtx(ctx, samples)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// cancelAfterEpoch trains with many epochs and cancels from the Progress
+// callback after the first one; the trainer must notice at the next
+// minibatch boundary and return context.Canceled.
+func cancelAfterEpoch(t *testing.T, workers int) {
+	t.Helper()
+	ds := parallelDataset(96, 7, 8)
+	net := NewCNN(7, 8, 4, 4, 16, 2, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	epochs := 0
+	cfg := TrainConfig{
+		Epochs: 1000, Batch: 16, LR: 1e-3, Seed: 2, Workers: workers,
+		Progress: func(epoch int, loss float64) {
+			epochs++
+			cancel()
+		},
+	}
+	err := TrainClassifierCtx(ctx, net, ds, 2, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if epochs < 1 || epochs > 2 {
+		t.Fatalf("trained %d epochs after cancellation (want 1-2)", epochs)
+	}
+}
+
+func TestTrainClassifierCtxCancelSerial(t *testing.T)   { cancelAfterEpoch(t, 1) }
+func TestTrainClassifierCtxCancelParallel(t *testing.T) { cancelAfterEpoch(t, 2) }
+
+func TestTrainClassifierCtxPreCancelled(t *testing.T) {
+	ds := parallelDataset(32, 7, 8)
+	net := NewCNN(7, 8, 4, 4, 16, 2, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := TrainClassifierCtx(ctx, net, ds, 2, TrainConfig{Epochs: 3, Batch: 16, Seed: 2, Workers: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestPredictNCtxCancelled(t *testing.T) {
+	ds := parallelDataset(600, 7, 8) // >2 predict chunks
+	net := NewCNN(7, 8, 4, 4, 16, 2, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := PredictNCtx(ctx, net, ds.Samples, 7, 8, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if out != nil {
+		t.Fatal("cancelled predict must not return partial output")
+	}
+}
+
+func TestPredictNCtxMatchesPredictN(t *testing.T) {
+	ds := parallelDataset(300, 7, 8)
+	net := NewCNN(7, 8, 4, 4, 16, 2, 1)
+	want := PredictN(net, ds.Samples, 7, 8, 1)
+	got, err := PredictNCtx(context.Background(), net, ds.Samples, 7, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if want[i][j] != got[i][j] {
+				t.Fatalf("row %d differs", i)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -190,21 +191,29 @@ var ErrEmptyDataset = errors.New("nn: empty dataset")
 // sharded across per-worker network replicas; otherwise it runs the serial
 // trainer.
 func TrainClassifier(net *Network, ds *Dataset, classes int, cfg TrainConfig) error {
+	return TrainClassifierCtx(context.Background(), net, ds, classes, cfg)
+}
+
+// TrainClassifierCtx is TrainClassifier with cooperative cancellation:
+// both trainers check ctx at every minibatch boundary (serial) or
+// minibatch-shard boundary (parallel) and return ctx.Err() promptly,
+// leaving the network in whatever partially-trained state it reached.
+func TrainClassifierCtx(ctx context.Context, net *Network, ds *Dataset, classes int, cfg TrainConfig) error {
 	cfg = cfg.withDefaults()
 	if ds.Len() == 0 {
 		return ErrEmptyDataset
 	}
 	if workers := par.Workers(cfg.Workers); workers > 1 {
 		if replicas := trainReplicas(net, workers); replicas != nil {
-			return trainClassifierParallel(net, replicas, ds, classes, cfg)
+			return trainClassifierParallel(ctx, net, replicas, ds, classes, cfg)
 		}
 	}
-	return trainClassifierSerial(net, ds, classes, cfg)
+	return trainClassifierSerial(ctx, net, ds, classes, cfg)
 }
 
 // trainClassifierSerial is the single-goroutine trainer; Workers=1 runs
 // exactly this code, keeping serial results bit-for-bit reproducible.
-func trainClassifierSerial(net *Network, ds *Dataset, classes int, cfg TrainConfig) error {
+func trainClassifierSerial(ctx context.Context, net *Network, ds *Dataset, classes int, cfg TrainConfig) error {
 	r := rand.New(rand.NewSource(cfg.Seed))
 	opt := NewAdam(cfg.LR)
 	params := net.Params()
@@ -220,6 +229,9 @@ func trainClassifierSerial(net *Network, ds *Dataset, classes int, cfg TrainConf
 		var totalLoss float64
 		var seen int
 		for start := 0; start < len(idx); start += cfg.Batch {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			end := start + cfg.Batch
 			if end > len(idx) {
 				end = len(idx)
@@ -315,7 +327,7 @@ func trainReplicas(net *Network, workers int) []*Network {
 // worker count, so training is deterministic for a fixed worker count; it
 // is not bitwise-identical across different counts because float32
 // gradient summation is reassociated.
-func trainClassifierParallel(net *Network, replicas []*Network, ds *Dataset, classes int, cfg TrainConfig) error {
+func trainClassifierParallel(ctx context.Context, net *Network, replicas []*Network, ds *Dataset, classes int, cfg TrainConfig) error {
 	workers := len(replicas)
 	r := rand.New(rand.NewSource(cfg.Seed))
 	opt := NewAdam(cfg.LR)
@@ -337,6 +349,9 @@ func trainClassifierParallel(net *Network, replicas []*Network, ds *Dataset, cla
 		var totalLoss float64
 		var seen int
 		for start := 0; start < len(idx); start += cfg.Batch {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			end := min(start+cfg.Batch, len(idx))
 			b := end - start
 			batch := idx[start:end]
@@ -407,12 +422,19 @@ func Predict(net *Network, samples [][]float32, seqLen, embDim int) [][]float32 
 // mutates no layer state, so all workers share net; chunks write disjoint
 // output rows, so the result is bitwise-identical for every worker count.
 func PredictN(net *Network, samples [][]float32, seqLen, embDim, workers int) [][]float32 {
+	out, _ := PredictNCtx(context.Background(), net, samples, seqLen, embDim, workers)
+	return out
+}
+
+// PredictNCtx is PredictN with cooperative cancellation: once ctx is
+// cancelled no further chunks start and the call returns (nil, ctx.Err()).
+func PredictNCtx(ctx context.Context, net *Network, samples [][]float32, seqLen, embDim, workers int) ([][]float32, error) {
 	if len(samples) == 0 {
-		return nil
+		return nil, nil
 	}
 	out := make([][]float32, len(samples))
 	chunks := (len(samples) + predictChunk - 1) / predictChunk
-	par.ForEach(chunks, par.Workers(workers), func(ci int) {
+	err := par.ForEachCtx(ctx, chunks, par.Workers(workers), func(ci int) {
 		start := ci * predictChunk
 		end := min(start+predictChunk, len(samples))
 		b := end - start
@@ -430,7 +452,10 @@ func PredictN(net *Network, samples [][]float32, seqLen, embDim, workers int) []
 			out[start+bi] = row
 		}
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Argmax returns the index of the largest probability.

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -33,7 +34,7 @@ func TestTrainWorkersOneMatchesSerial(t *testing.T) {
 	cfg := TrainConfig{Epochs: 2, Batch: 32, LR: 2e-3, Seed: 5}
 
 	serial := NewCNN(seqLen, embDim, 4, 4, 16, 2, 9)
-	if err := trainClassifierSerial(serial, ds, 2, cfg.withDefaults()); err != nil {
+	if err := trainClassifierSerial(context.Background(), serial, ds, 2, cfg.withDefaults()); err != nil {
 		t.Fatal(err)
 	}
 	cfg.Workers = 1

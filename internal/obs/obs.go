@@ -1,0 +1,145 @@
+// Package obs is the pipeline's observability substrate: named stages,
+// per-stage wall-clock traces, and optional hook callbacks. The paper's
+// workflow is explicitly staged (extract → generalize → embed → classify →
+// vote, §III); obs makes those stages first-class so callers can see where
+// the time went, cancel between stages, and attach their own telemetry.
+//
+// A Runner is cheap and nil-safe in all its parts: a zero Runner runs
+// stages with no recording, a Runner with only a Trace records timings,
+// and a Hook additionally receives start/end events as they happen. Stages
+// may run concurrently (classify trains its six CNNs in parallel); Trace
+// is safe for concurrent Add.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stage is one recorded pipeline stage.
+type Stage struct {
+	// Name identifies the stage (e.g. "recover", "embed", "cnn:stage1").
+	Name string
+	// Wall is the stage's wall-clock duration.
+	Wall time.Duration
+	// Items is the number of work items the stage processed (VUCs,
+	// samples, sentences ... stage-dependent; 0 when not meaningful).
+	Items int
+	// Workers is the worker count the stage ran with.
+	Workers int
+	// Err records the stage's failure, if any.
+	Err error
+}
+
+// Trace accumulates stage records. Safe for concurrent use; stages land
+// in completion order.
+type Trace struct {
+	mu     sync.Mutex
+	stages []Stage
+}
+
+// Add appends a completed stage record.
+func (t *Trace) Add(s Stage) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.stages = append(t.stages, s)
+	t.mu.Unlock()
+}
+
+// Stages returns a snapshot of the recorded stages.
+func (t *Trace) Stages() []Stage {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Stage, len(t.stages))
+	copy(out, t.stages)
+	return out
+}
+
+// Total sums the recorded stage wall times. Note that concurrent stages
+// (e.g. the six CNN trainings) overlap, so Total can exceed the
+// end-to-end elapsed time for training traces; inference stages run
+// sequentially and sum to ~the end-to-end time.
+func (t *Trace) Total() time.Duration {
+	var sum time.Duration
+	for _, s := range t.Stages() {
+		sum += s.Wall
+	}
+	return sum
+}
+
+// Reset clears the trace for reuse across runs.
+func (t *Trace) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.stages = t.stages[:0]
+	t.mu.Unlock()
+}
+
+// Format renders the stage breakdown as an aligned table.
+func (t *Trace) Format() string {
+	stages := t.Stages()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s  %10s  %8s  %7s\n", "STAGE", "WALL", "ITEMS", "WORKERS")
+	for _, s := range stages {
+		fmt.Fprintf(&b, "%-16s  %10s  %8d  %7d", s.Name, s.Wall.Round(time.Microsecond), s.Items, s.Workers)
+		if s.Err != nil {
+			fmt.Fprintf(&b, "  ! %v", s.Err)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-16s  %10s\n", "total", t.Total().Round(time.Microsecond))
+	return b.String()
+}
+
+// Event is one hook notification: a stage starting (Done=false, only
+// Name/Workers set) or finishing (Done=true, all fields set).
+type Event struct {
+	Stage   string
+	Done    bool
+	Wall    time.Duration
+	Items   int
+	Workers int
+	Err     error
+}
+
+// Hook receives stage events as they happen. Hooks must be fast and may
+// be called from multiple goroutines when stages run concurrently.
+type Hook func(Event)
+
+// Runner executes named stages, recording each into Trace and firing
+// Hook, when set. The zero Runner is valid and adds no overhead beyond
+// the context check.
+type Runner struct {
+	Trace *Trace
+	Hook  Hook
+}
+
+// Stage runs fn as the named stage: it refuses to start once ctx is
+// cancelled (returning ctx.Err()), times the run, and records/notifies
+// the outcome. fn reports how many items it processed.
+func (r Runner) Stage(ctx context.Context, name string, workers int, fn func() (items int, err error)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if r.Hook != nil {
+		r.Hook(Event{Stage: name, Workers: workers})
+	}
+	t0 := time.Now()
+	items, err := fn()
+	wall := time.Since(t0)
+	r.Trace.Add(Stage{Name: name, Wall: wall, Items: items, Workers: workers, Err: err})
+	if r.Hook != nil {
+		r.Hook(Event{Stage: name, Done: true, Wall: wall, Items: items, Workers: workers, Err: err})
+	}
+	return err
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRunnerRecordsStages(t *testing.T) {
+	tr := &Trace{}
+	var events []Event
+	run := Runner{Trace: tr, Hook: func(e Event) { events = append(events, e) }}
+
+	err := run.Stage(context.Background(), "alpha", 4, func() (int, error) {
+		time.Sleep(time.Millisecond)
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := tr.Stages()
+	if len(stages) != 1 {
+		t.Fatalf("want 1 stage, got %d", len(stages))
+	}
+	s := stages[0]
+	if s.Name != "alpha" || s.Items != 42 || s.Workers != 4 || s.Err != nil {
+		t.Fatalf("bad stage record: %+v", s)
+	}
+	if s.Wall <= 0 {
+		t.Fatal("stage wall time not recorded")
+	}
+	if tr.Total() < s.Wall {
+		t.Fatalf("Total %v < stage wall %v", tr.Total(), s.Wall)
+	}
+	if len(events) != 2 || events[0].Done || !events[1].Done {
+		t.Fatalf("want start+end events, got %+v", events)
+	}
+	if events[1].Items != 42 || events[1].Wall != s.Wall {
+		t.Fatalf("end event does not match record: %+v", events[1])
+	}
+}
+
+func TestRunnerStageError(t *testing.T) {
+	tr := &Trace{}
+	run := Runner{Trace: tr}
+	boom := errors.New("boom")
+	if err := run.Stage(context.Background(), "bad", 1, func() (int, error) { return 7, boom }); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	stages := tr.Stages()
+	if len(stages) != 1 || !errors.Is(stages[0].Err, boom) || stages[0].Items != 7 {
+		t.Fatalf("error stage not recorded: %+v", stages)
+	}
+}
+
+func TestRunnerRefusesCancelledCtx(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr := &Trace{}
+	ran := false
+	err := Runner{Trace: tr}.Stage(ctx, "never", 1, func() (int, error) { ran = true; return 0, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if ran {
+		t.Fatal("stage body ran under a cancelled context")
+	}
+	if len(tr.Stages()) != 0 {
+		t.Fatal("refused stage must not be recorded")
+	}
+}
+
+func TestZeroRunnerAndNilTrace(t *testing.T) {
+	var run Runner // no trace, no hook
+	if err := run.Stage(context.Background(), "free", 1, func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	var tr *Trace
+	tr.Add(Stage{Name: "x"}) // nil trace: no-op, no panic
+	if tr.Stages() != nil || tr.Total() != 0 {
+		t.Fatal("nil trace should report nothing")
+	}
+	tr.Reset()
+}
+
+func TestTraceConcurrentAdd(t *testing.T) {
+	tr := &Trace{}
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.Add(Stage{Name: "s", Wall: time.Millisecond})
+		}()
+	}
+	wg.Wait()
+	if len(tr.Stages()) != 32 {
+		t.Fatalf("lost stages: %d of 32", len(tr.Stages()))
+	}
+	if tr.Total() != 32*time.Millisecond {
+		t.Fatalf("Total = %v", tr.Total())
+	}
+}
+
+func TestTraceFormatAndReset(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(Stage{Name: "embed", Wall: 2 * time.Millisecond, Items: 10, Workers: 2})
+	out := tr.Format()
+	for _, want := range []string{"STAGE", "embed", "total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+	tr.Reset()
+	if len(tr.Stages()) != 0 {
+		t.Fatal("Reset did not clear the trace")
+	}
+}

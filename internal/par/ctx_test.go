@@ -1,0 +1,154 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// noGoroutineLeak fails the test if goroutines outlive it (bounded wait
+// for the pool's workers to drain).
+func noGoroutineLeak(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > before {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<16)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+}
+
+func TestForEachCtxBackgroundRunsAll(t *testing.T) {
+	noGoroutineLeak(t)
+	var n atomic.Int32
+	if err := ForEachCtx(context.Background(), 100, 4, func(i int) { n.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 100 {
+		t.Fatalf("ran %d of 100 items", n.Load())
+	}
+}
+
+func TestForEachCtxCancelStopsScheduling(t *testing.T) {
+	noGoroutineLeak(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var n atomic.Int32
+	err := ForEachCtx(ctx, 10_000, 4, func(i int) {
+		if n.Add(1) == 8 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// Each of the ≤4 shards may have had one item in flight when cancel
+	// landed; everything else must have been skipped.
+	if got := n.Load(); got > 16 {
+		t.Fatalf("ran %d items after cancellation", got)
+	}
+}
+
+func TestForEachCtxSingleWorkerHonorsCtx(t *testing.T) {
+	noGoroutineLeak(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var n int // single worker: no synchronization needed
+	err := ForEachCtx(ctx, 1000, 1, func(i int) {
+		n++
+		if n == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("serial path ran %d items past cancellation", n)
+	}
+}
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	if err := ForEachCtx(ctx, 10, 2, func(i int) { ran = true }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if ran {
+		t.Fatal("item ran under a cancelled context")
+	}
+}
+
+func TestRunCtxBackgroundRunsAll(t *testing.T) {
+	noGoroutineLeak(t)
+	var n atomic.Int32
+	fns := make([]func(), 9)
+	for i := range fns {
+		fns[i] = func() { n.Add(1) }
+	}
+	if err := RunCtx(context.Background(), 3, fns...); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 9 {
+		t.Fatalf("ran %d of 9 thunks", n.Load())
+	}
+}
+
+func TestRunCtxCancelStopsScheduling(t *testing.T) {
+	noGoroutineLeak(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var n atomic.Int32
+	fns := make([]func(), 64)
+	for i := range fns {
+		fns[i] = func() {
+			if n.Add(1) == 2 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	err := RunCtx(ctx, 2, fns...)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// Two in flight when cancel landed, plus at most a couple already
+	// admitted through the semaphore race.
+	if got := n.Load(); got > 8 {
+		t.Fatalf("scheduled %d thunks after cancellation", got)
+	}
+}
+
+func TestRunCtxSerialHonorsCtx(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n := 0
+	fns := []func(){
+		func() { n++; cancel() },
+		func() { n++ },
+		func() { n++ },
+	}
+	if err := RunCtx(ctx, 1, fns...); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("serial path ran %d thunks past cancellation", n)
+	}
+}
+
+func TestRunCtxEmpty(t *testing.T) {
+	if err := RunCtx(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,10 +16,12 @@
 package par
 
 import (
+	"context"
 	"os"
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // EnvWorkers is the environment variable consulted by Workers when no
@@ -118,6 +120,92 @@ func ForEach(n, workers int, fn func(i int)) {
 			fn(i)
 		}
 	})
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: each shard checks
+// ctx between items, so once ctx is cancelled no further items start and
+// the call returns ctx.Err() after in-flight items finish. A context that
+// can never be cancelled (Done() == nil, e.g. context.Background()) takes
+// the plain ForEach path with zero per-item overhead, which keeps the
+// non-ctx wrapper APIs exactly as fast as before.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	if ctx.Done() == nil {
+		ForEach(n, workers, fn)
+		return nil
+	}
+	var stop atomic.Bool
+	done := ctx.Done()
+	Shard(n, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if stop.Load() {
+				return
+			}
+			select {
+			case <-done:
+				stop.Store(true)
+				return
+			default:
+			}
+			fn(i)
+		}
+	})
+	if stop.Load() {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// RunCtx is Run with cooperative cancellation: once ctx is cancelled no
+// further thunks are scheduled and the call returns ctx.Err() after
+// in-flight thunks finish. Thunks that never ran are simply skipped —
+// callers that need to distinguish "ran" from "skipped" should record
+// completion in the thunk itself. An uncancellable context takes the
+// plain Run path.
+func RunCtx(ctx context.Context, workers int, fns ...func()) error {
+	if ctx.Done() == nil {
+		Run(workers, fns...)
+		return nil
+	}
+	if len(fns) == 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	done := ctx.Done()
+	if workers == 1 || len(fns) == 1 {
+		for _, fn := range fns {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+			fn()
+		}
+		return nil
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	var cancelled bool
+loop:
+	for _, fn := range fns {
+		select {
+		case <-done:
+			cancelled = true
+			break loop
+		case sem <- struct{}{}:
+		}
+		wg.Add(1)
+		go func(fn func()) {
+			defer func() { <-sem; wg.Done() }()
+			fn()
+		}(fn)
+	}
+	wg.Wait()
+	if cancelled {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // Run executes the thunks with at most workers in flight and blocks until

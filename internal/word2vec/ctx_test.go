@@ -1,0 +1,58 @@
+package word2vec
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func ctxSentences() [][]string {
+	var out [][]string
+	for i := 0; i < 64; i++ {
+		out = append(out, []string{"mov", "rax", "rbx", "add", "rcx", "0xIMM"})
+	}
+	return out
+}
+
+func TestTrainCtxPreCancelledSerial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, err := TrainCtx(ctx, ctxSentences(), Config{Epochs: 3, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if m != nil {
+		t.Fatal("cancelled training must not return a model")
+	}
+}
+
+func TestTrainCtxPreCancelledParallel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, err := TrainCtx(ctx, ctxSentences(), Config{Epochs: 3, Seed: 1, Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if m != nil {
+		t.Fatal("cancelled training must not return a model")
+	}
+}
+
+func TestTrainCtxBackgroundMatchesTrain(t *testing.T) {
+	cfg := Config{Epochs: 2, Seed: 9, Deterministic: true}
+	a := Train(ctxSentences(), cfg)
+	b, err := TrainCtx(context.Background(), ctxSentences(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Words) != len(b.Words) {
+		t.Fatalf("vocab mismatch: %d vs %d", len(a.Words), len(b.Words))
+	}
+	for i := range a.Vecs {
+		for j := range a.Vecs[i] {
+			if a.Vecs[i][j] != b.Vecs[i][j] {
+				t.Fatalf("embedding %d differs", i)
+			}
+		}
+	}
+}

@@ -6,12 +6,14 @@ package word2vec
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/par"
 )
@@ -125,6 +127,14 @@ func (t *sigTable) at(x float32) float32 {
 // for a fixed config unless parallelism is explicitly enabled via
 // Config.Workers or CATI_WORKERS (and not vetoed by Config.Deterministic).
 func Train(sentences [][]string, cfg Config) *Model {
+	m, _ := TrainCtx(context.Background(), sentences, cfg)
+	return m
+}
+
+// TrainCtx is Train with cooperative cancellation: both trainers check
+// ctx at every sentence boundary, and once it is cancelled training stops
+// and (nil, ctx.Err()) is returned.
+func TrainCtx(ctx context.Context, sentences [][]string, cfg Config) (*Model, error) {
 	cfg = cfg.withDefaults()
 	r := rand.New(rand.NewSource(cfg.Seed))
 
@@ -148,7 +158,7 @@ func Train(sentences [][]string, cfg Config) *Model {
 	}
 	m := &Model{Dim: cfg.Dim, Vocab: vocab, Words: words}
 	if len(words) == 0 {
-		return m
+		return m, nil
 	}
 
 	// Unigram table for negative sampling (counts^0.75).
@@ -198,9 +208,13 @@ func Train(sentences [][]string, cfg Config) *Model {
 		workers = par.WorkersExplicit(cfg.Workers)
 	}
 	if workers > 1 && len(stream) > 1 {
-		trainParallel(cfg, stream, table, in, out, sig, workers)
+		if err := trainParallel(ctx, cfg, stream, table, in, out, sig, workers); err != nil {
+			return nil, err
+		}
 	} else {
-		trainSerial(cfg, stream, table, in, out, sig, r, totalTokens)
+		if err := trainSerial(ctx, cfg, stream, table, in, out, sig, r, totalTokens); err != nil {
+			return nil, err
+		}
 	}
 
 	m.Vecs = make([][]float32, len(words))
@@ -209,7 +223,7 @@ func Train(sentences [][]string, cfg Config) *Model {
 		copy(v, in[i*cfg.Dim:(i+1)*cfg.Dim])
 		m.Vecs[i] = v
 	}
-	return m
+	return m, nil
 }
 
 // tableSize is the negative-sampling unigram table length (reference
@@ -220,12 +234,20 @@ const tableSize = 1 << 17
 // trainSerial is the historical single-goroutine trainer; Deterministic
 // configs and Workers=1 run exactly this code, so serial embeddings stay
 // bit-for-bit reproducible.
-func trainSerial(cfg Config, stream [][]int32, table []int32, in, out []float32, sig *sigTable, r *rand.Rand, totalTokens int) {
+func trainSerial(ctx context.Context, cfg Config, stream [][]int32, table []int32, in, out []float32, sig *sigTable, r *rand.Rand, totalTokens int) error {
 	grad := make([]float32, cfg.Dim)
 	trained := 0
 	totalSteps := cfg.Epochs * totalTokens
+	done := ctx.Done()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		for _, row := range stream {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			for ci, center := range row {
 				// Linearly decayed learning rate with a floor.
 				lr := float32(cfg.LR) * (1 - float32(trained)/float32(totalSteps+1))
@@ -275,6 +297,7 @@ func trainSerial(cfg Config, stream [][]int32, table []int32, in, out []float32,
 			}
 		}
 	}
+	return nil
 }
 
 // lockStripes is the row-lock stripe count guarding the shared matrices
@@ -298,7 +321,7 @@ type rowLocks struct {
 // final embedding reproducible only in distribution. Striped row locks
 // keep concurrent row updates memory-safe (and the race detector quiet)
 // at negligible cost next to the dot products.
-func trainParallel(cfg Config, stream [][]int32, table []int32, in, out []float32, sig *sigTable, workers int) {
+func trainParallel(ctx context.Context, cfg Config, stream [][]int32, table []int32, in, out []float32, sig *sigTable, workers int) error {
 	ns := par.NumShards(len(stream), workers)
 	type shardState struct {
 		rng     *rand.Rand
@@ -317,6 +340,8 @@ func trainParallel(cfg Config, stream [][]int32, table []int32, in, out []float3
 		}
 	}
 
+	done := ctx.Done()
+	var stop atomic.Bool
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		par.Shard(len(stream), workers, func(shard, lo, hi int) {
 			st := states[shard]
@@ -327,6 +352,17 @@ func trainParallel(cfg Config, stream [][]int32, table []int32, in, out []float3
 			}
 			totalSteps := cfg.Epochs * st.total
 			for _, row := range stream[lo:hi] {
+				if done != nil {
+					if stop.Load() {
+						return
+					}
+					select {
+					case <-done:
+						stop.Store(true)
+						return
+					default:
+					}
+				}
 				for ci, center := range row {
 					lr := float32(cfg.LR) * (1 - float32(st.trained)/float32(totalSteps+1))
 					if lr < float32(cfg.LR)*0.0001 {
@@ -381,7 +417,11 @@ func trainParallel(cfg Config, stream [][]int32, table []int32, in, out []float3
 				}
 			}
 		})
+		if stop.Load() {
+			return ctx.Err()
+		}
 	}
+	return nil
 }
 
 // Similarity returns the cosine similarity of two tokens (0 when either is
