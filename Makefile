@@ -1,14 +1,17 @@
 # Developer entry points. `make check` is the pre-commit gate: lint (gofmt
-# + vet), build, full test suite, and the race detector over the
-# concurrent packages.
+# + vet), build, full test suite, the race detector over the concurrent
+# packages, and a short fuzz smoke over the hostile-input parsers.
 
 GO ?= go
 GOFMT ?= gofmt
 RACE_PKGS = ./internal/par ./internal/obs ./internal/nn ./internal/word2vec ./internal/classify ./internal/core
+# FUZZTIME bounds each fuzz target during `make fuzz`; the committed seed
+# corpus always runs in full via plain `go test`.
+FUZZTIME ?= 5s
 
-.PHONY: check build test lint vet race bench bench-json
+.PHONY: check build test lint vet race fuzz bench bench-json
 
-check: lint build test race
+check: lint build test race fuzz
 
 # lint fails when any file is unformatted (gofmt -l prints it) or vet
 # complains.
@@ -29,6 +32,14 @@ test:
 
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
+
+# Fuzz smoke: each hostile-input target runs for FUZZTIME under the race
+# detector. Any panic or data race the fuzzer finds fails the build; fix
+# it and commit the minimized input as a regression test.
+fuzz:
+	$(GO) test -race -run XXX -fuzz FuzzElfRead -fuzztime $(FUZZTIME) ./internal/elfx
+	$(GO) test -race -run XXX -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/asm
+	$(GO) test -race -run XXX -fuzz FuzzInferBinary -fuzztime $(FUZZTIME) ./internal/core
 
 # Parallel-core micro-benchmarks (worker sweep 1/2/4/8).
 bench:

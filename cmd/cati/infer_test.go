@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/elfx"
+	"repro/internal/nn"
+	"repro/internal/synth"
+	"repro/internal/word2vec"
+)
+
+var (
+	inferOnce  sync.Once
+	inferModel string // path to a tiny trained model on disk
+	inferErr   error
+)
+
+// testModel trains one tiny flat model per process and writes it to disk
+// for the infer CLI tests.
+func testModel(t *testing.T) string {
+	t.Helper()
+	inferOnce.Do(func() {
+		var c *corpus.Corpus
+		c, inferErr = corpus.Build(corpus.BuildConfig{
+			Name: "infer-train", Binaries: 2,
+			Profile: synth.DefaultProfile("infertrain"), Window: 5, Seed: 41,
+		})
+		if inferErr != nil {
+			return
+		}
+		var cati *core.CATI
+		cati, inferErr = core.Train(c, classify.Config{
+			Window: 5, Conv1: 4, Conv2: 4, Hidden: 16, MaxPerStage: 200, Flat: true,
+			Train: nn.TrainConfig{Epochs: 1, Batch: 32, LR: 2e-3},
+			W2V:   word2vec.Config{Epochs: 1}, Seed: 4,
+		})
+		if inferErr != nil {
+			return
+		}
+		var blob []byte
+		if blob, inferErr = cati.Save(); inferErr != nil {
+			return
+		}
+		dir, err := os.MkdirTemp("", "cati-infer-model")
+		if err != nil {
+			inferErr = err
+			return
+		}
+		inferModel = filepath.Join(dir, "m.model")
+		inferErr = os.WriteFile(inferModel, blob, 0o644)
+	})
+	if inferErr != nil {
+		t.Fatal(inferErr)
+	}
+	return inferModel
+}
+
+// writeBinary compiles a small program and writes its stripped image.
+func writeBinary(t *testing.T, dir string, name string, seed int64) string {
+	t.Helper()
+	p := synth.Generate(synth.DefaultProfile("infer-bin"), seed)
+	res, err := compile.Compile(p, compile.Options{Dialect: compile.GCC, Opt: 1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := elfx.Write(elfx.Strip(res.Binary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// exitCode extracts the CLI exit code an error maps to.
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var ee *exitError
+	if errors.As(err, &ee) {
+		return ee.code
+	}
+	return 1
+}
+
+// TestInferExitCodes pins the documented contract: 0 all ok, 2 partial
+// failure, 3 all failed — with the corrupt binary reported per file, not
+// aborting its batchmates.
+func TestInferExitCodes(t *testing.T) {
+	model := testModel(t)
+	dir := t.TempDir()
+	good1 := writeBinary(t, dir, "good1.elf", 61)
+	good2 := writeBinary(t, dir, "good2.elf", 62)
+	corrupt := filepath.Join(dir, "corrupt.elf")
+	if err := os.WriteFile(corrupt, []byte("\x7fELF garbage, not a real image"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run([]string{"infer", "-model", model, good1, good2}); exitCode(err) != 0 {
+		t.Fatalf("all-good batch: want exit 0, got %d (%v)", exitCode(err), err)
+	}
+	err := run([]string{"infer", "-model", model, good1, corrupt, good2})
+	if exitCode(err) != 2 {
+		t.Fatalf("partial failure: want exit 2, got %d (%v)", exitCode(err), err)
+	}
+	err = run([]string{"infer", "-model", model, corrupt, filepath.Join(dir, "missing.elf")})
+	if exitCode(err) != 3 {
+		t.Fatalf("all failed: want exit 3, got %d (%v)", exitCode(err), err)
+	}
+	// Infrastructure failure (bad model path) stays exit 1.
+	if err := run([]string{"infer", "-model", "/nonexistent", good1}); exitCode(err) != 1 {
+		t.Fatalf("bad model: want exit 1, got %d", exitCode(err))
+	}
+}
+
+// TestInferJSONErrorRecords: -json emits per-variable records for
+// healthy binaries and one error record per failed binary.
+func TestInferJSONErrorRecords(t *testing.T) {
+	model := testModel(t)
+	dir := t.TempDir()
+	good := writeBinary(t, dir, "good.elf", 63)
+	corrupt := filepath.Join(dir, "corrupt.elf")
+	if err := os.WriteFile(corrupt, []byte("\x7fELF garbage, not a real image"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture stdout across the run.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run([]string{"infer", "-json", "-model", model, good, corrupt})
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+
+	if exitCode(runErr) != 2 {
+		t.Fatalf("want exit 2, got %d (%v)", exitCode(runErr), runErr)
+	}
+	varRecords, errRecords := 0, 0
+	dec := json.NewDecoder(&buf)
+	for dec.More() {
+		var rec map[string]any
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case rec["error"] != nil:
+			errRecords++
+			if rec["binary"] != corrupt {
+				t.Fatalf("error record names %v, want %s", rec["binary"], corrupt)
+			}
+			if rec["attempts"] == nil {
+				t.Fatal("error record missing attempts")
+			}
+		case rec["class"] != nil:
+			varRecords++
+			if rec["binary"] != good {
+				t.Fatalf("variable record names %v, want %s", rec["binary"], good)
+			}
+		}
+	}
+	if errRecords != 1 {
+		t.Fatalf("want exactly 1 error record, got %d", errRecords)
+	}
+	if varRecords == 0 {
+		t.Fatal("no variable records for the healthy binary")
+	}
+}

@@ -12,14 +12,27 @@
 //	cati disasm   binary.elf
 //
 // infer accepts multiple binaries and fans them out over the worker pool
-// (core.InferBatch). -timeout and Ctrl-C cancel at the next stage/shard
-// boundary; -trace prints the per-stage wall-time breakdown on exit, and
-// -json emits one machine-readable record per inferred variable (plus a
-// trailing trace record when -trace is set).
+// (core.InferBatch). Each binary is its own error domain: an unreadable
+// file, malformed ELF, or analysis failure is reported for that binary
+// while the rest of the batch completes. -timeout and Ctrl-C cancel at
+// the next stage/shard boundary; -binary-timeout bounds each binary
+// individually and -retries re-runs a binary after a transient failure;
+// -trace prints the per-stage wall-time breakdown on exit, and -json
+// emits one machine-readable record per inferred variable plus one error
+// record per failed binary (and a trailing trace record when -trace is
+// set).
+//
+// infer exit codes:
+//
+//	0  every binary inferred successfully
+//	1  usage or infrastructure error (bad flags, unreadable model, cancel)
+//	2  partial failure: some binaries failed, others succeeded
+//	3  every binary failed
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -35,9 +48,23 @@ import (
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "cati:", err)
-		os.Exit(1)
+		code := 1
+		var ee *exitError
+		if errors.As(err, &ee) {
+			code = ee.code
+		}
+		os.Exit(code)
 	}
 }
+
+// exitError carries a specific process exit code through the error
+// return path (partial-failure conventions documented on the package).
+type exitError struct {
+	code int
+	msg  string
+}
+
+func (e *exitError) Error() string { return e.msg }
 
 func run(args []string) error {
 	if len(args) == 0 {
@@ -61,6 +88,8 @@ func inferCmd(args []string) error {
 	fs := flag.NewFlagSet("infer", flag.ContinueOnError)
 	model := fs.String("model", "cati.model", "trained model file")
 	jsonOut := fs.Bool("json", false, "emit one JSON record per inferred variable (JSON lines)")
+	binTimeout := fs.Duration("binary-timeout", 0, "per-binary wall-time limit (0: none)")
+	retries := fs.Int("retries", 0, "extra attempts per binary after a transient failure")
 	rt := cliflags.AddRuntime(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,41 +112,84 @@ func inferCmd(args []string) error {
 	ctx, stop := rt.Context()
 	defer stop()
 
-	bins := make([]*elfx.Binary, fs.NArg())
+	// Read and parse each input in its own error domain: a missing file or
+	// malformed ELF becomes that binary's result record, not a batch abort.
+	results := make([]core.BinaryResult, fs.NArg())
+	var bins []*elfx.Binary
+	var binIdx []int
 	for i := 0; i < fs.NArg(); i++ {
 		img, err := os.ReadFile(fs.Arg(i))
 		if err != nil {
-			return err
+			results[i] = core.BinaryResult{Err: err}
+			continue
 		}
-		if bins[i], err = elfx.Read(img); err != nil {
-			return fmt.Errorf("%s: %w", fs.Arg(i), err)
+		bin, err := elfx.Read(img)
+		if err != nil {
+			results[i] = core.BinaryResult{Err: err}
+			continue
 		}
+		bins = append(bins, bin)
+		binIdx = append(binIdx, i)
 	}
-	results, err := cati.InferBatch(ctx, bins)
+	batch, err := cati.InferBatchOpts(ctx, bins, core.BatchOptions{
+		Timeout: *binTimeout,
+		Retries: *retries,
+	})
 	if err != nil {
 		if !*jsonOut {
 			cliflags.PrintTrace(os.Stdout, trace)
 		}
 		return err
 	}
+	for i, res := range batch {
+		results[binIdx[i]] = res
+	}
 
 	if *jsonOut {
-		return printJSON(os.Stdout, fs, results, trace)
+		if err := printJSON(os.Stdout, fs, results, trace); err != nil {
+			return err
+		}
+		return batchStatus(results)
 	}
-	total := 0
-	for bi, vars := range results {
+	total, failed := 0, 0
+	for bi, res := range results {
 		if len(results) > 1 {
 			fmt.Printf("== %s\n", fs.Arg(bi))
 		}
+		if res.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "cati: %s: %v\n", fs.Arg(bi), res.Err)
+			continue
+		}
 		fmt.Printf("%-10s  %-8s  %-5s  %-5s  %s\n", "FUNC", "SLOT", "SIZE", "VUCS", "TYPE")
-		for _, v := range vars {
+		for _, v := range res.Vars {
 			fmt.Printf("%#-10x  %-8d  %-5d  %-5d  %s\n", v.FuncLow, v.Slot, v.Size, v.NumVUCs, v.Class)
 		}
-		total += len(vars)
+		total += len(res.Vars)
 	}
 	fmt.Printf("%d variables\n", total)
 	cliflags.PrintTrace(os.Stdout, trace)
-	return nil
+	return batchStatus(results)
+}
+
+// batchStatus maps per-binary outcomes to the documented exit codes:
+// nil when every binary succeeded, 2 on partial failure, 3 when all
+// failed.
+func batchStatus(results []core.BinaryResult) error {
+	failed := 0
+	for _, res := range results {
+		if res.Err != nil {
+			failed++
+		}
+	}
+	switch {
+	case failed == 0:
+		return nil
+	case failed == len(results):
+		return &exitError{code: 3, msg: fmt.Sprintf("all %d binaries failed", failed)}
+	default:
+		return &exitError{code: 2, msg: fmt.Sprintf("%d of %d binaries failed", failed, len(results))}
+	}
 }
 
 // varRecord is the machine-readable form of one inferred variable
@@ -140,12 +212,28 @@ type stageRecord struct {
 	Workers int    `json:"workers"`
 }
 
-// printJSON writes one varRecord line per inferred variable and, when
-// tracing is on, a final {"trace": [...]} line with the stage breakdown.
-func printJSON(w *os.File, fs *flag.FlagSet, results [][]core.InferredVar, trace *obs.Trace) error {
+// errRecord is the machine-readable form of one failed binary
+// (`cati infer -json`): the error message and how many attempts ran.
+type errRecord struct {
+	Binary   string `json:"binary"`
+	Error    string `json:"error"`
+	Attempts int    `json:"attempts"`
+}
+
+// printJSON writes one varRecord line per inferred variable, one
+// errRecord line per failed binary, and, when tracing is on, a final
+// {"trace": [...]} line with the stage breakdown.
+func printJSON(w *os.File, fs *flag.FlagSet, results []core.BinaryResult, trace *obs.Trace) error {
 	enc := json.NewEncoder(w)
-	for bi, vars := range results {
-		for _, v := range vars {
+	for bi, res := range results {
+		if res.Err != nil {
+			rec := errRecord{Binary: fs.Arg(bi), Error: res.Err.Error(), Attempts: res.Attempts}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, v := range res.Vars {
 			rec := varRecord{
 				Binary:  fs.Arg(bi),
 				FuncLow: v.FuncLow,

@@ -6,10 +6,17 @@
 //
 //	catitrain -out cati.model -binaries 48 -epochs 2
 //	catitrain -timeout 10m -trace -out cati.model
+//	catitrain -checkpoint ckpt/ -out cati.model
 //
 // Ctrl-C (or -timeout expiry) cancels training at the next stage/shard
 // boundary; with -trace the per-stage breakdown of whatever completed is
-// printed on exit.
+// printed on exit. With -checkpoint, every completed training phase (the
+// embedding and each stage CNN) is snapshotted to the given directory as
+// a checksummed artifact; re-running the same command after a crash or
+// cancellation resumes from the completed phases and produces the same
+// model an uninterrupted run would have. Changing any training flag
+// invalidates the checkpoints (they are discarded and training restarts
+// cleanly).
 package main
 
 import (
@@ -45,6 +52,7 @@ func run(args []string) error {
 	maxPerStage := fs.Int("max-per-stage", 4000, "training sample cap per stage")
 	seed := cliflags.Seed(fs, 7)
 	quick := fs.Bool("quick", false, "small architecture for a fast demo model")
+	ckptDir := fs.String("checkpoint", "", "directory for per-phase training checkpoints (resume after crash/cancel)")
 	rt := cliflags.AddRuntime(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +93,7 @@ func run(args []string) error {
 		Seed:        *seed,
 		Workers:     rt.Workers,
 		Trace:       trace,
+		Checkpoint:  *ckptDir,
 	}
 	if *quick {
 		cfg.Conv1, cfg.Conv2, cfg.Hidden = 8, 8, 64

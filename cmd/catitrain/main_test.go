@@ -26,3 +26,58 @@ func TestCatitrainProducesLoadableModel(t *testing.T) {
 		t.Fatalf("saved model does not load: %v", err)
 	}
 }
+
+// TestCatitrainCheckpointResume: the -checkpoint flag populates the
+// directory with sealed phase snapshots, and a second identical run
+// resumes from them and produces a byte-identical model.
+func TestCatitrainCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt")
+	model1 := filepath.Join(dir, "m1.model")
+	args := []string{
+		"-binaries", "3", "-window", "5", "-epochs", "1",
+		"-max-per-stage", "500", "-quick", "-workers", "1",
+		"-checkpoint", ckpt,
+	}
+	if err := run(append([]string{"-out", model1}, args...)); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := filepath.Glob(filepath.Join(ckpt, "*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 3 { // meta + w2v + at least one stage CNN
+		t.Fatalf("checkpoint dir sparse after full run: %v", snaps)
+	}
+	// Second run resumes every phase from the checkpoints.
+	model2 := filepath.Join(dir, "m2.model")
+	if err := run(append([]string{"-out", model2}, args...)); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(model1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(model2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := core.Load(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := core.Load(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for stage, n1 := range c1.Pipeline.Stages {
+		p1, p2 := n1.Params(), c2.Pipeline.Stages[stage].Params()
+		for k := range p1 {
+			for l := range p1[k].W {
+				if p1[k].W[l] != p2[k].W[l] {
+					t.Fatalf("stage %s differs after resume at param %d[%d]", stage, k, l)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package artifact is the durable-blob substrate shared by every model
+// file the system writes: the trained model (core.Save/Load) and the
+// training checkpoints (classify, catitrain). It wraps an opaque payload
+// in a fixed envelope — magic, kind tag, schema version, payload length,
+// CRC-32C checksum — so a reader can reject the failure modes that
+// otherwise surface as gob panics, silent weight corruption, or models
+// from an incompatible build: wrong file, truncated write, bit flips, and
+// version skew all map to distinct typed errors.
+//
+// Envelope layout (little-endian):
+//
+//	off  size  field
+//	  0     4  magic "CATB"
+//	  4     8  kind tag, NUL-padded ASCII (e.g. "model", "ckpt")
+//	 12     4  schema version (caller-defined)
+//	 16     8  payload length
+//	 24     4  CRC-32C (Castagnoli) of the payload
+//	 28     —  payload
+package artifact
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Envelope constants.
+const (
+	magic      = "CATB"
+	kindLen    = 8
+	headerSize = 4 + kindLen + 4 + 8 + 4
+)
+
+// Typed failure modes, each distinguishable with errors.Is.
+var (
+	// ErrTooShort reports a blob smaller than the envelope header.
+	ErrTooShort = errors.New("artifact: blob shorter than header")
+	// ErrMagic reports a blob that is not an artifact at all.
+	ErrMagic = errors.New("artifact: bad magic (not a CATI artifact)")
+	// ErrKind reports an artifact of a different kind than expected.
+	ErrKind = errors.New("artifact: kind mismatch")
+	// ErrVersion reports a schema version the reader does not support.
+	ErrVersion = errors.New("artifact: unsupported version")
+	// ErrTruncated reports a payload shorter or longer than the header
+	// declares (interrupted write, concatenation, trailing garbage).
+	ErrTruncated = errors.New("artifact: truncated or oversized payload")
+	// ErrChecksum reports payload bytes that do not match the checksum
+	// (bit flips, torn writes).
+	ErrChecksum = errors.New("artifact: checksum mismatch")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Seal wraps payload in the envelope. kind must be 1–8 ASCII bytes; it
+// panics on a malformed kind since that is a programming error, not data.
+func Seal(kind string, version uint32, payload []byte) []byte {
+	if len(kind) == 0 || len(kind) > kindLen {
+		panic(fmt.Sprintf("artifact: kind %q must be 1..%d bytes", kind, kindLen))
+	}
+	out := make([]byte, headerSize+len(payload))
+	copy(out, magic)
+	copy(out[4:], kind)
+	binary.LittleEndian.PutUint32(out[12:], version)
+	binary.LittleEndian.PutUint64(out[16:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(out[24:], crc32.Checksum(payload, castagnoli))
+	copy(out[headerSize:], payload)
+	return out
+}
+
+// Open validates the envelope and returns the payload. The expected kind
+// and version must match exactly; every failure mode maps to one of the
+// typed errors above. The returned slice aliases blob.
+func Open(kind string, version uint32, blob []byte) ([]byte, error) {
+	if len(blob) < headerSize {
+		return nil, fmt.Errorf("%w (%d bytes)", ErrTooShort, len(blob))
+	}
+	if string(blob[:4]) != magic {
+		return nil, ErrMagic
+	}
+	// Compare the full padded field, not the NUL-trimmed string, so even a
+	// flipped padding byte is rejected rather than silently accepted.
+	var wantKind [kindLen]byte
+	copy(wantKind[:], kind)
+	if string(blob[4:4+kindLen]) != string(wantKind[:]) {
+		return nil, fmt.Errorf("%w: got %q, want %q", ErrKind, kindString(blob[4:4+kindLen]), kind)
+	}
+	if v := binary.LittleEndian.Uint32(blob[12:]); v != version {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads %d", ErrVersion, v, version)
+	}
+	n := binary.LittleEndian.Uint64(blob[16:])
+	payload := blob[headerSize:]
+	if n != uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: header declares %d payload bytes, file carries %d", ErrTruncated, n, len(payload))
+	}
+	want := binary.LittleEndian.Uint32(blob[24:])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: computed %#08x, header says %#08x", ErrChecksum, got, want)
+	}
+	return payload, nil
+}
+
+// Kind peeks the kind tag of a sealed blob without validating the rest,
+// for diagnostics ("this is a checkpoint, not a model").
+func Kind(blob []byte) (string, bool) {
+	if len(blob) < headerSize || string(blob[:4]) != magic {
+		return "", false
+	}
+	return kindString(blob[4 : 4+kindLen]), true
+}
+
+func kindString(b []byte) string {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}

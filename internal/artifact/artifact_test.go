@@ -1,0 +1,89 @@
+package artifact
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	payload := []byte("hello model weights")
+	blob := Seal("model", 3, payload)
+	got, err := Open("model", 3, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload %q != %q", got, payload)
+	}
+	if k, ok := Kind(blob); !ok || k != "model" {
+		t.Fatalf("Kind = %q, %v", k, ok)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	blob := Seal("ckpt", 1, nil)
+	got, err := Open("ckpt", 1, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("want empty payload, got %d bytes", len(got))
+	}
+}
+
+func TestFailureModes(t *testing.T) {
+	blob := Seal("model", 2, []byte("payload bytes here"))
+
+	cases := []struct {
+		name string
+		blob []byte
+		kind string
+		ver  uint32
+		want error
+	}{
+		{"empty", nil, "model", 2, ErrTooShort},
+		{"short", blob[:10], "model", 2, ErrTooShort},
+		{"not-artifact", []byte("GIF89a definitely not an artifact blob"), "model", 2, ErrMagic},
+		{"wrong-kind", blob, "ckpt", 2, ErrKind},
+		{"version-bump", blob, "model", 3, ErrVersion},
+		{"truncated-payload", blob[:len(blob)-4], "model", 2, ErrTruncated},
+		{"trailing-garbage", append(append([]byte(nil), blob...), 0xAA), "model", 2, ErrTruncated},
+	}
+	for _, tc := range cases {
+		if _, err := Open(tc.kind, tc.ver, tc.blob); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestEveryBitFlipCaught: flipping any single bit of the payload or the
+// checksum field must fail with ErrChecksum (header-field flips may fail
+// with other typed errors, never succeed silently).
+func TestEveryBitFlipCaught(t *testing.T) {
+	payload := []byte("weights weights weights")
+	blob := Seal("model", 1, payload)
+	for byteIdx := 0; byteIdx < len(blob); byteIdx++ {
+		for bit := 0; bit < 8; bit++ {
+			flipped := append([]byte(nil), blob...)
+			flipped[byteIdx] ^= 1 << bit
+			if _, err := Open("model", 1, flipped); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d went undetected", byteIdx, bit)
+			}
+		}
+	}
+	// Payload-region flips specifically must be checksum errors.
+	flipped := append([]byte(nil), blob...)
+	flipped[headerSize+2] ^= 0x10
+	if _, err := Open("model", 1, flipped); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("payload flip: got %v, want ErrChecksum", err)
+	}
+}
+
+func TestSealBadKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-long kind should panic")
+		}
+	}()
+	Seal("waytoolongkind", 1, nil)
+}

@@ -1,0 +1,174 @@
+package classify
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/artifact"
+	"repro/internal/nn"
+	"repro/internal/par"
+	"repro/internal/word2vec"
+)
+
+// Checkpoint file layout: one sealed artifact per completed training
+// phase inside Config.Checkpoint —
+//
+//	meta.ckpt        fingerprint of (resolved config, corpus size)
+//	w2v.ckpt         the trained Word2Vec model
+//	cnn-<stage>.ckpt one per completed stage CNN (or cnn-flat.ckpt)
+//
+// Every file is written atomically (temp + rename), so a crash mid-write
+// leaves either no file or a complete one; a torn rename or later bit rot
+// is caught by the artifact checksum and the phase simply retrains.
+// Because each phase is deterministic given the resolved config and seed,
+// a resumed run converges to the same model as an uninterrupted one.
+const (
+	ckptKind    = "ckpt"
+	ckptVersion = 1
+)
+
+// checkpoint is a per-run handle on the checkpoint directory; nil when
+// checkpointing is off.
+type checkpoint struct {
+	dir string
+}
+
+// openCheckpoint prepares dir for the given training fingerprint. Stale
+// checkpoints — from a different config, corpus, or code version — are
+// discarded wholesale: resuming from mismatched phases would silently
+// produce a model equivalent to neither run.
+func openCheckpoint(dir string, fingerprint uint32) (*checkpoint, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("classify: checkpoint: %w", err)
+	}
+	c := &checkpoint{dir: dir}
+	meta := make([]byte, 4)
+	meta[0] = byte(fingerprint)
+	meta[1] = byte(fingerprint >> 8)
+	meta[2] = byte(fingerprint >> 16)
+	meta[3] = byte(fingerprint >> 24)
+	if old, err := c.load("meta"); err == nil && string(old) == string(meta) {
+		return c, nil
+	}
+	// Fresh run (or mismatch): clear phase files, then stamp the meta.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("classify: checkpoint: %w", err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".ckpt" {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return nil, fmt.Errorf("classify: checkpoint: %w", err)
+			}
+		}
+	}
+	if err := c.save("meta", meta); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// fingerprintTraining hashes everything a phase result depends on, so a
+// checkpoint can never be resumed against a different run shape. The
+// resolved trainer worker count is included because the data-parallel
+// trainer is deterministic only for a fixed count — resuming a 4-worker
+// run with 8 workers would mix two different (both valid) models.
+func fingerprintTraining(cfg Config, corpusRefs int) uint32 {
+	desc := fmt.Sprintf("%+v|refs=%d|trainWorkers=%d|ckptv=%d",
+		toCfgState(cfg), corpusRefs, par.Workers(cfg.Train.Workers), ckptVersion)
+	return crc32.ChecksumIEEE([]byte(desc))
+}
+
+// load returns the named phase payload, or an error when the file is
+// absent, truncated, corrupt, or from another artifact kind/version —
+// callers treat any error as "phase not checkpointed" and retrain.
+func (c *checkpoint) load(name string) ([]byte, error) {
+	blob, err := os.ReadFile(filepath.Join(c.dir, name+".ckpt"))
+	if err != nil {
+		return nil, err
+	}
+	return artifact.Open(ckptKind, ckptVersion, blob)
+}
+
+// save seals and atomically writes the named phase payload.
+func (c *checkpoint) save(name string, payload []byte) error {
+	path := filepath.Join(c.dir, name+".ckpt")
+	tmp, err := os.CreateTemp(c.dir, name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("classify: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(artifact.Seal(ckptKind, ckptVersion, payload)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("classify: checkpoint %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("classify: checkpoint %s: %w", name, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("classify: checkpoint %s: %w", name, err)
+	}
+	return nil
+}
+
+// loadEmbed returns the checkpointed Word2Vec model, or nil when absent
+// or unreadable.
+func (c *checkpoint) loadEmbed() *word2vec.Model {
+	if c == nil {
+		return nil
+	}
+	payload, err := c.load("w2v")
+	if err != nil {
+		return nil
+	}
+	m, err := word2vec.Decode(payload)
+	if err != nil {
+		return nil
+	}
+	return m
+}
+
+// saveEmbed checkpoints the trained Word2Vec model.
+func (c *checkpoint) saveEmbed(m *word2vec.Model) error {
+	if c == nil {
+		return nil
+	}
+	payload, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	return c.save("w2v", payload)
+}
+
+// loadNet returns the checkpointed network for the named phase, or nil.
+func (c *checkpoint) loadNet(name string) *nn.Network {
+	if c == nil {
+		return nil
+	}
+	payload, err := c.load(name)
+	if err != nil {
+		return nil
+	}
+	net, err := nn.DecodeCNN(payload)
+	if err != nil {
+		return nil
+	}
+	if net.CheckFinite() != nil {
+		return nil
+	}
+	return net
+}
+
+// saveNet checkpoints one trained stage network.
+func (c *checkpoint) saveNet(name string, net *nn.Network, seqLen, instDim, conv1, conv2, hidden, arity int) error {
+	if c == nil {
+		return nil
+	}
+	payload, err := nn.EncodeCNN(net, seqLen, instDim, conv1, conv2, hidden, arity)
+	if err != nil {
+		return err
+	}
+	return c.save(name, payload)
+}

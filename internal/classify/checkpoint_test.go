@@ -1,0 +1,206 @@
+package classify
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ctypes"
+	"repro/internal/nn"
+	"repro/internal/obs"
+)
+
+// ckptConfig is tinyConfig pinned to one worker: the data-parallel
+// trainer is deterministic per worker count, and these tests compare
+// weights across runs.
+func ckptConfig() Config {
+	cfg := tinyConfig()
+	cfg.Workers = 1
+	cfg.Train.Epochs = 1
+	return cfg
+}
+
+// samePipeline compares two pipelines weight-for-weight.
+func samePipeline(t *testing.T, a, b *Pipeline) {
+	t.Helper()
+	if len(a.Embed.Vecs) != len(b.Embed.Vecs) {
+		t.Fatalf("embedding sizes differ: %d vs %d", len(a.Embed.Vecs), len(b.Embed.Vecs))
+	}
+	for i := range a.Embed.Vecs {
+		for j := range a.Embed.Vecs[i] {
+			if a.Embed.Vecs[i][j] != b.Embed.Vecs[i][j] {
+				t.Fatalf("embedding differs at [%d][%d]", i, j)
+			}
+		}
+	}
+	if len(a.Stages) != len(b.Stages) {
+		t.Fatalf("stage counts differ: %d vs %d", len(a.Stages), len(b.Stages))
+	}
+	for stage, na := range a.Stages {
+		nb := b.Stages[stage]
+		if nb == nil {
+			t.Fatalf("stage %s missing in second pipeline", stage)
+		}
+		pa, pb := na.Params(), nb.Params()
+		if len(pa) != len(pb) {
+			t.Fatalf("stage %s: param tensor counts differ", stage)
+		}
+		for k := range pa {
+			for l := range pa[k].W {
+				if pa[k].W[l] != pb[k].W[l] {
+					t.Fatalf("stage %s param %d[%d]: %v != %v", stage, k, l, pa[k].W[l], pb[k].W[l])
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointResumeEquivalence is the headline robustness guarantee:
+// cancel training mid-run, resume from the checkpoint directory, and the
+// final model is weight-identical to an uninterrupted run.
+func TestCheckpointResumeEquivalence(t *testing.T) {
+	c, _ := sharedPipeline(t) // reuse the shared corpus only
+	cfg := ckptConfig()
+
+	fresh, err := Train(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	cfg.Checkpoint = dir
+
+	// First attempt: cancel after the embedding and two CNN stages have
+	// completed and checkpointed.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var cnnDone atomic.Int32
+	cfgCancel := cfg
+	cfgCancel.Hook = func(e obs.Event) {
+		if e.Done && e.Err == nil && len(e.Stage) > 4 && e.Stage[:4] == "cnn:" {
+			if cnnDone.Add(1) == 2 {
+				cancel()
+			}
+		}
+	}
+	if _, err := TrainCtx(ctx, c, cfgCancel); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled from interrupted run, got %v", err)
+	}
+	ckpts, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// meta + w2v + the two completed stages, possibly more if a stage
+	// finished between the cancel and the pool noticing.
+	if len(ckpts) < 4 {
+		t.Fatalf("want >= 4 checkpoint files after partial run, got %v", ckpts)
+	}
+
+	// Second attempt: same config, same dir — must complete and match the
+	// uninterrupted model exactly.
+	resumed, err := TrainCtx(context.Background(), c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePipeline(t, fresh, resumed)
+}
+
+// TestCheckpointStaleDiscarded: checkpoints from a different config must
+// not leak into a new run — the resumed model must match a fresh train
+// of the NEW config, not the old one.
+func TestCheckpointStaleDiscarded(t *testing.T) {
+	c, _ := sharedPipeline(t)
+	dir := t.TempDir()
+
+	cfgA := ckptConfig()
+	cfgA.Checkpoint = dir
+	if _, err := Train(c, cfgA); err != nil {
+		t.Fatal(err)
+	}
+
+	cfgB := ckptConfig()
+	cfgB.Seed = 99 // different stochastic universe
+	freshB, err := Train(c, cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB.Checkpoint = dir // dir still holds cfgA's checkpoints
+	gotB, err := Train(c, cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePipeline(t, freshB, gotB)
+}
+
+// TestCheckpointCorruptedPhaseRetrains: a bit-flipped checkpoint file is
+// rejected by its checksum and the phase silently retrains — corruption
+// can cost time, never correctness.
+func TestCheckpointCorruptedPhaseRetrains(t *testing.T) {
+	c, _ := sharedPipeline(t)
+	dir := t.TempDir()
+	cfg := ckptConfig()
+	cfg.Checkpoint = dir
+
+	fresh, err := Train(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte in the w2v checkpoint.
+	path := filepath.Join(dir, "w2v.ckpt")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-1] ^= 0x01
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Train(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePipeline(t, fresh, resumed)
+}
+
+// TestCheckpointLoadNetRejectsWrongKind pins the loader's typed-error
+// path: a foreign file in the checkpoint directory is skipped, not
+// decoded.
+func TestCheckpointLoadNetRejectsWrongKind(t *testing.T) {
+	dir := t.TempDir()
+	ckpt, err := openCheckpoint(dir, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "cnn-"+ctypes.Stage1.String()+".ckpt"),
+		[]byte("not an artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if net := ckpt.loadNet("cnn-" + ctypes.Stage1.String()); net != nil {
+		t.Fatal("garbage checkpoint must not decode to a network")
+	}
+	if m := ckpt.loadEmbed(); m != nil {
+		t.Fatal("absent embed checkpoint must return nil")
+	}
+}
+
+// TestCheckpointNilSafe: all checkpoint methods are no-ops on the nil
+// handle (checkpointing disabled).
+func TestCheckpointNilSafe(t *testing.T) {
+	var ckpt *checkpoint
+	if m := ckpt.loadEmbed(); m != nil {
+		t.Fatal("nil checkpoint loaded an embedding")
+	}
+	if n := ckpt.loadNet("cnn-flat"); n != nil {
+		t.Fatal("nil checkpoint loaded a network")
+	}
+	if err := ckpt.saveEmbed(nil); err != nil {
+		t.Fatal(err)
+	}
+	net := nn.NewCNN(4, 4, 2, 2, 8, 3, 1)
+	if err := ckpt.saveNet("cnn-flat", net, 4, 4, 2, 2, 8, 3); err != nil {
+		t.Fatal(err)
+	}
+}

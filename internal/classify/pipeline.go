@@ -56,6 +56,15 @@ type Config struct {
 	// Stages may run concurrently, so hooks must be safe for concurrent
 	// calls. Not serialized with the model.
 	Hook obs.Hook
+	// Checkpoint, when non-empty, is a directory where TrainCtx snapshots
+	// each completed training phase (the Word2Vec model and every stage
+	// CNN) as a checksummed artifact. A later TrainCtx with the same
+	// resolved config and corpus shape loads the completed phases and
+	// trains only what is missing, so a cancelled or crashed run resumes
+	// where it stopped and converges to the same model as an uninterrupted
+	// one. Stale checkpoints (different config/corpus/worker count) are
+	// discarded automatically. Not serialized with the model.
+	Checkpoint string
 }
 
 // WithDefaults resolves every zero field to the paper's value and derives
@@ -161,12 +170,27 @@ func TrainCtx(ctx context.Context, c *corpus.Corpus, cfg Config) (*Pipeline, err
 	workers := par.Workers(cfg.Workers)
 	run := obs.Runner{Trace: cfg.Trace, Hook: cfg.Hook}
 
+	var ckpt *checkpoint
+	if cfg.Checkpoint != "" {
+		var err error
+		ckpt, err = openCheckpoint(cfg.Checkpoint, fingerprintTraining(cfg, len(refs)))
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	var embed *word2vec.Model
 	err := run.Stage(ctx, "w2v", par.WorkersExplicit(cfg.W2V.Workers), func() (int, error) {
+		if m := ckpt.loadEmbed(); m != nil {
+			embed = m
+			return 0, nil // resumed from checkpoint, nothing trained
+		}
 		sents := c.Sentences()
 		var err error
-		embed, err = word2vec.TrainCtx(ctx, sents, cfg.W2V)
-		return len(sents), err
+		if embed, err = word2vec.TrainCtx(ctx, sents, cfg.W2V); err != nil {
+			return len(sents), err
+		}
+		return len(sents), ckpt.saveEmbed(embed)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("classify: w2v: %w", err)
@@ -191,6 +215,10 @@ func TrainCtx(ctx context.Context, c *corpus.Corpus, cfg Config) (*Pipeline, err
 
 	if cfg.Flat {
 		err := run.Stage(ctx, "cnn:flat", par.Workers(cfg.Train.Workers), func() (int, error) {
+			if net := ckpt.loadNet("cnn-flat"); net != nil {
+				p.FlatNet = net
+				return 0, nil
+			}
 			ds := &nn.Dataset{SeqLen: cfg.SeqLen(), EmbDim: cfg.InstDim()}
 			idxs := capRefs(allIndices(len(refs)), flatLabels(classes), ctypes.NumClasses, cfg.MaxPerStage, cfg.Seed)
 			for _, i := range idxs {
@@ -201,7 +229,7 @@ func TrainCtx(ctx context.Context, c *corpus.Corpus, cfg Config) (*Pipeline, err
 				return ds.Len(), err
 			}
 			p.FlatNet = net
-			return ds.Len(), nil
+			return ds.Len(), ckpt.saveNet("cnn-flat", net, cfg.SeqLen(), cfg.InstDim(), cfg.Conv1, cfg.Conv2, cfg.Hidden, ctypes.NumClasses)
 		})
 		if err != nil {
 			return nil, fmt.Errorf("classify: flat: %w", err)
@@ -222,6 +250,10 @@ func TrainCtx(ctx context.Context, c *corpus.Corpus, cfg Config) (*Pipeline, err
 		jobs[si] = func() {
 			errs[si] = run.Stage(ctx, fmt.Sprintf("cnn:%s", stage), par.Workers(cfg.Train.Workers), func() (int, error) {
 				arity := ctypes.StageArity(stage)
+				if net := ckpt.loadNet("cnn-" + stage.String()); net != nil {
+					nets[si] = net
+					return 0, nil
+				}
 				var idxs []int
 				var labels []int
 				for i, cl := range classes {
@@ -244,7 +276,7 @@ func TrainCtx(ctx context.Context, c *corpus.Corpus, cfg Config) (*Pipeline, err
 					return ds.Len(), fmt.Errorf("classify: %s: %w", stage, err)
 				}
 				nets[si] = net
-				return ds.Len(), nil
+				return ds.Len(), ckpt.saveNet("cnn-"+stage.String(), net, cfg.SeqLen(), cfg.InstDim(), cfg.Conv1, cfg.Conv2, cfg.Hidden, arity)
 			})
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"math"
 
 	"repro/internal/ctypes"
 	"repro/internal/nn"
@@ -87,6 +88,34 @@ func (p *Pipeline) Encode() ([]byte, error) {
 		return nil, fmt.Errorf("classify: encode: %w", err)
 	}
 	return buf.Bytes(), nil
+}
+
+// CheckFinite validates every weight in the pipeline — the embedding
+// matrix and each stage CNN — reporting the first NaN or Inf. Loaders use
+// it to reject diverged or otherwise poisoned artifacts up front, before
+// inference silently propagates non-finite activations.
+func (p *Pipeline) CheckFinite() error {
+	if p.Embed != nil {
+		for i, row := range p.Embed.Vecs {
+			for j, v := range row {
+				f := float64(v)
+				if math.IsNaN(f) || math.IsInf(f, 0) {
+					return fmt.Errorf("classify: embedding row %d element %d: %w", i, j, nn.ErrNotFinite)
+				}
+			}
+		}
+	}
+	for stage, net := range p.Stages {
+		if err := net.CheckFinite(); err != nil {
+			return fmt.Errorf("classify: stage %s: %w", stage, err)
+		}
+	}
+	if p.FlatNet != nil {
+		if err := p.FlatNet.CheckFinite(); err != nil {
+			return fmt.Errorf("classify: flat: %w", err)
+		}
+	}
+	return nil
 }
 
 // Decode rebuilds a serialized pipeline.

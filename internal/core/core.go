@@ -18,7 +18,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/classify"
 	"repro/internal/corpus"
 	"repro/internal/ctypes"
@@ -55,19 +57,47 @@ func TrainCtx(ctx context.Context, c *corpus.Corpus, cfg classify.Config) (*CATI
 	return &CATI{Pipeline: p, Clamp: classify.DefaultClamp}, nil
 }
 
-// Save serializes the system.
+// Model artifact framing: Save seals the serialized pipeline in an
+// artifact envelope (magic, kind, version, length, CRC-32C), and Load
+// refuses anything that is not byte-identical to what a compatible build
+// wrote — truncation, bit flips, version skew, and non-finite weights all
+// map to typed errors instead of gob panics or silent corruption.
+const (
+	// modelKind tags model files in the artifact envelope.
+	modelKind = "model"
+	// ModelVersion is the model schema version this build reads and
+	// writes. Bump it whenever the serialized pipeline layout changes
+	// incompatibly; Load rejects other versions with artifact.ErrVersion.
+	ModelVersion = 1
+)
+
+// Save serializes the system as a versioned, checksummed artifact.
 func (c *CATI) Save() ([]byte, error) {
 	if c.Pipeline == nil {
 		return nil, ErrNotTrained
 	}
-	return c.Pipeline.Encode()
+	payload, err := c.Pipeline.Encode()
+	if err != nil {
+		return nil, err
+	}
+	return artifact.Seal(modelKind, ModelVersion, payload), nil
 }
 
-// Load rebuilds a saved system.
+// Load rebuilds a saved system, validating the envelope (magic, kind,
+// version, length, checksum) and the decoded weights (all finite) before
+// accepting it. Failure modes are distinguishable with errors.Is against
+// the artifact package's typed errors and nn.ErrNotFinite.
 func Load(data []byte) (*CATI, error) {
-	p, err := classify.Decode(data)
+	payload, err := artifact.Open(modelKind, ModelVersion, data)
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	p, err := classify.Decode(payload)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := p.CheckFinite(); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
 	}
 	return &CATI{Pipeline: p, Clamp: classify.DefaultClamp}, nil
 }
@@ -122,14 +152,60 @@ func (c *CATI) InferImageCtx(ctx context.Context, image []byte) ([]InferredVar, 
 	return c.InferBinaryCtx(ctx, bin)
 }
 
+// BinaryResult is one binary's outcome in an InferBatch: either the
+// inferred variables or the error that stopped that binary — never both.
+// Errors are contained per binary, so one malformed input cannot poison
+// its batchmates.
+type BinaryResult struct {
+	// Vars are the inferred variables; nil when Err is set.
+	Vars []InferredVar
+	// Err is the binary's failure: a parse/analysis error, a contained
+	// worker panic (*par.PanicError), or context.DeadlineExceeded when the
+	// per-binary timeout fired. nil on success.
+	Err error
+	// Attempts is how many times the binary ran (> 1 after retries).
+	Attempts int
+}
+
+// BatchOptions tunes per-binary fault isolation in InferBatchOpts.
+type BatchOptions struct {
+	// Timeout bounds each binary's wall time (0: none). A binary that
+	// exceeds it fails with context.DeadlineExceeded in its result record;
+	// the rest of the batch is unaffected.
+	Timeout time.Duration
+	// Retries is how many extra attempts a binary gets after a transient
+	// failure (a contained panic or a per-binary timeout). Deterministic
+	// failures — malformed ELF, undecodable text, no .text section — are
+	// never retried: the same bytes produce the same error.
+	Retries int
+}
+
+// retryable reports whether a per-binary failure is worth another
+// attempt: contained panics and per-binary timeouts may be load-induced;
+// parse and analysis errors are deterministic.
+func retryable(err error) bool {
+	var pe *par.PanicError
+	return errors.As(err, &pe) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // InferBatch fans inference out over many binaries on the shared worker
 // pool: up to Workers binaries run concurrently (each one's stages then
-// share the same pool for their intra-binary parallelism), results land
-// at the index of their input, and the first error — or ctx.Err() once
-// cancelled, which also stops scheduling of the remaining binaries — is
-// returned. With a Trace attached, every binary's stages land in the one
-// trace (concurrently, so their wall times overlap).
-func (c *CATI) InferBatch(ctx context.Context, bins []*elfx.Binary) ([][]InferredVar, error) {
+// share the same pool for their intra-binary parallelism) and results
+// land at the index of their input. Each binary gets its own error
+// domain: a parse failure, analysis error, or even a panic inside one
+// binary's stages becomes that binary's Err record while the rest of the
+// batch completes normally. The returned error is non-nil only when the
+// whole batch could not run (ErrNotTrained) or the parent ctx was
+// cancelled — per-binary failures never abort the batch. With a Trace
+// attached, every binary's stages land in the one trace (concurrently,
+// so their wall times overlap).
+func (c *CATI) InferBatch(ctx context.Context, bins []*elfx.Binary) ([]BinaryResult, error) {
+	return c.InferBatchOpts(ctx, bins, BatchOptions{})
+}
+
+// InferBatchOpts is InferBatch with explicit per-binary timeout and
+// bounded-retry policy.
+func (c *CATI) InferBatchOpts(ctx context.Context, bins []*elfx.Binary, opts BatchOptions) ([]BinaryResult, error) {
 	if c.Pipeline == nil {
 		return nil, ErrNotTrained
 	}
@@ -137,23 +213,64 @@ func (c *CATI) InferBatch(ctx context.Context, bins []*elfx.Binary) ([][]Inferre
 		return nil, nil
 	}
 	run := c.runner()
-	out := make([][]InferredVar, len(bins))
-	errs := make([]error, len(bins))
+	out := make([]BinaryResult, len(bins))
 	jobs := make([]func(), len(bins))
 	for i, bin := range bins {
 		jobs[i] = func() {
-			out[i], errs[i] = c.infer(ctx, bin, run)
+			out[i] = c.inferIsolated(ctx, bin, run, opts)
 		}
 	}
+	// RunCtx contains panics already, but inferIsolated contains them per
+	// binary first, so one binary's panic cannot surface as the pool-level
+	// error and mask its batchmates' results.
 	if err := par.RunCtx(ctx, par.Workers(c.Pipeline.Cfg.Workers), jobs...); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("core: batch: %w", err)
+	}
+	// Binaries skipped by a cancelled pool have no attempts; report the
+	// cancellation rather than a half-filled slice.
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: binary %d: %w", i, err)
+	return out, nil
+}
+
+// inferIsolated runs one binary inside its own error domain: panics are
+// contained to this binary, an optional per-binary deadline applies, and
+// transient failures are retried up to opts.Retries times.
+func (c *CATI) inferIsolated(ctx context.Context, bin *elfx.Binary, run obs.Runner, opts BatchOptions) BinaryResult {
+	res := BinaryResult{}
+	for {
+		res.Attempts++
+		bctx := ctx
+		cancel := context.CancelFunc(func() {})
+		if opts.Timeout > 0 {
+			bctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		}
+		err := par.SafeErr(func() error {
+			vars, err := c.infer(bctx, bin, run)
+			if err == nil {
+				res.Vars = vars
+			}
+			return err
+		})
+		cancel()
+		if err == nil {
+			res.Err = nil
+			return res
+		}
+		res.Err = err
+		// Parent cancellation is not a per-binary failure mode: surface it
+		// as-is and let the batch-level ctx check report it.
+		if ctx.Err() != nil {
+			return res
+		}
+		if res.Attempts > opts.Retries || !retryable(err) {
+			return res
 		}
 	}
-	return out, nil
 }
 
 // runner builds the stage runner from the pipeline config's observability

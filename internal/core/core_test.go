@@ -21,7 +21,7 @@ var (
 	serr   error
 )
 
-func sharedCATI(t *testing.T) *CATI {
+func sharedCATI(t testing.TB) *CATI {
 	t.Helper()
 	once.Do(func() {
 		var c *corpus.Corpus
@@ -50,7 +50,7 @@ func sharedCATI(t *testing.T) *CATI {
 	return shared
 }
 
-func testBinary(t *testing.T, seed int64) *elfx.Binary {
+func testBinary(t testing.TB, seed int64) *elfx.Binary {
 	t.Helper()
 	p := synth.Generate(synth.DefaultProfile("target"), seed)
 	res, err := compile.Compile(p, compile.Options{Dialect: compile.GCC, Opt: 1, Seed: seed})

@@ -137,12 +137,18 @@ func TestInferBatchMatchesInferBinary(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(solo) != len(batch[i]) {
-			t.Fatalf("binary %d: batch %d vars, solo %d", i, len(batch[i]), len(solo))
+		if batch[i].Err != nil {
+			t.Fatalf("binary %d: unexpected error %v", i, batch[i].Err)
+		}
+		if batch[i].Attempts != 1 {
+			t.Fatalf("binary %d: want 1 attempt, got %d", i, batch[i].Attempts)
+		}
+		if len(solo) != len(batch[i].Vars) {
+			t.Fatalf("binary %d: batch %d vars, solo %d", i, len(batch[i].Vars), len(solo))
 		}
 		for j := range solo {
-			if solo[j] != batch[i][j] {
-				t.Fatalf("binary %d var %d: batch %+v != solo %+v", i, j, batch[i][j], solo[j])
+			if solo[j] != batch[i].Vars[j] {
+				t.Fatalf("binary %d var %d: batch %+v != solo %+v", i, j, batch[i].Vars[j], solo[j])
 			}
 		}
 	}

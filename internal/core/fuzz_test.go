@@ -1,0 +1,82 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/corpus"
+	"repro/internal/elfx"
+	"repro/internal/nn"
+	"repro/internal/synth"
+	"repro/internal/word2vec"
+)
+
+var (
+	fuzzOnce sync.Once
+	fuzzCATI *CATI
+	fuzzErr  error
+)
+
+// fuzzModel trains the smallest useful system once per process: a flat
+// classifier over a two-binary corpus, enough for the full recover →
+// extract → embed → predict → vote pipeline to run on fuzzed images.
+func fuzzModel(t testing.TB) *CATI {
+	t.Helper()
+	fuzzOnce.Do(func() {
+		var c *corpus.Corpus
+		c, fuzzErr = corpus.Build(corpus.BuildConfig{
+			Name:     "fuzz-train",
+			Binaries: 2,
+			Profile:  synth.DefaultProfile("fuzz"),
+			Window:   5,
+			Seed:     91,
+		})
+		if fuzzErr != nil {
+			return
+		}
+		fuzzCATI, fuzzErr = Train(c, classify.Config{
+			Window: 5,
+			Conv1:  4, Conv2: 4, Hidden: 16,
+			MaxPerStage: 200,
+			Flat:        true,
+			Train:       nn.TrainConfig{Epochs: 1, Batch: 32, LR: 2e-3},
+			W2V:         word2vec.Config{Epochs: 1},
+			Seed:        9,
+		})
+	})
+	if fuzzErr != nil {
+		t.Fatal(fuzzErr)
+	}
+	return fuzzCATI
+}
+
+// FuzzInferBinary drives the entire inference pipeline — ELF parsing,
+// disassembly, variable recovery, VUC extraction, embedding, the CNN,
+// and voting — on arbitrary images with a trained model. Every input is
+// either inferred or rejected with an error; no byte sequence may panic
+// any stage.
+func FuzzInferBinary(f *testing.F) {
+	cati := fuzzModel(f)
+	valid, err := elfx.Write(testBinary(f, 901))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated mid-section
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte("not an elf at all"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vars, err := cati.InferImage(data)
+		if err != nil {
+			return
+		}
+		for _, v := range vars {
+			if v.NumVUCs <= 0 {
+				t.Fatalf("inferred variable with %d VUCs", v.NumVUCs)
+			}
+		}
+	})
+}

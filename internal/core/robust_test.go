@@ -1,0 +1,203 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/elfx"
+	"repro/internal/nn"
+	"repro/internal/par"
+)
+
+// freshCATI returns an independent copy of the shared system (via
+// save/load) so tests can mutate weights without poisoning batchmates.
+func freshCATI(t *testing.T) *CATI {
+	t.Helper()
+	blob, err := sharedCATI(t).Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestLoadRejectsCorruption is the artifact acceptance matrix: every
+// tampering mode maps to its typed error, and nothing panics.
+func TestLoadRejectsCorruption(t *testing.T) {
+	blob, err := sharedCATI(t).Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("empty", func(t *testing.T) {
+		if _, err := Load(nil); !errors.Is(err, artifact.ErrTooShort) {
+			t.Fatalf("want ErrTooShort, got %v", err)
+		}
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		if _, err := Load(blob[:10]); !errors.Is(err, artifact.ErrTooShort) {
+			t.Fatalf("want ErrTooShort, got %v", err)
+		}
+	})
+	t.Run("truncated payload", func(t *testing.T) {
+		if _, err := Load(blob[:len(blob)-7]); !errors.Is(err, artifact.ErrTruncated) {
+			t.Fatalf("want ErrTruncated, got %v", err)
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		grown := append(append([]byte(nil), blob...), 0xFF)
+		if _, err := Load(grown); !errors.Is(err, artifact.ErrTruncated) {
+			t.Fatalf("want ErrTruncated, got %v", err)
+		}
+	})
+	t.Run("wrong magic", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[0] ^= 0xFF
+		if _, err := Load(bad); !errors.Is(err, artifact.ErrMagic) {
+			t.Fatalf("want ErrMagic, got %v", err)
+		}
+	})
+	t.Run("version bump", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[12]++ // version field, little-endian low byte
+		if _, err := Load(bad); !errors.Is(err, artifact.ErrVersion) {
+			t.Fatalf("want ErrVersion, got %v", err)
+		}
+	})
+	t.Run("payload bit flip", func(t *testing.T) {
+		// The acceptance scenario: one flipped bit anywhere in the payload
+		// must surface as a checksum error, not a gob decode of bad weights.
+		bad := append([]byte(nil), blob...)
+		bad[len(bad)/2] ^= 0x08
+		if _, err := Load(bad); !errors.Is(err, artifact.ErrChecksum) {
+			t.Fatalf("want ErrChecksum, got %v", err)
+		}
+	})
+}
+
+// TestLoadRejectsNonFinite: a structurally valid artifact whose weights
+// contain NaN (a diverged or hand-poisoned model) is refused at load.
+func TestLoadRejectsNonFinite(t *testing.T) {
+	c := freshCATI(t)
+	for _, net := range c.Pipeline.Stages {
+		p := net.Params()
+		p[0].W[0] = float32(nan())
+		break
+	}
+	blob, err := c.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(blob); !errors.Is(err, nn.ErrNotFinite) {
+		t.Fatalf("want ErrNotFinite, got %v", err)
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+// hostileBinary is a structurally valid Binary whose .text is garbage
+// the decoder rejects — the in-memory analogue of a corrupted ELF.
+func hostileBinary() *elfx.Binary {
+	return &elfx.Binary{
+		Entry: 0x401000,
+		Sections: []elfx.Section{{
+			Name: ".text", Type: elfx.SHTProgbits,
+			Flags: elfx.SHFAlloc | elfx.SHFExecinstr,
+			Addr:  0x401000,
+			// A lone two-byte-opcode escape: truncated instruction.
+			Data: []byte{0x0F},
+		}},
+	}
+}
+
+// TestInferBatchPartialFailure is the acceptance scenario: a batch of
+// three where the middle binary is corrupt yields two successes and one
+// error record — no crash, no aborted batch.
+func TestInferBatchPartialFailure(t *testing.T) {
+	cati := sharedCATI(t)
+	bins := []*elfx.Binary{testBinary(t, 301), hostileBinary(), testBinary(t, 302)}
+	results, err := cati.InferBatch(context.Background(), bins)
+	if err != nil {
+		t.Fatalf("batch-level error for a per-binary failure: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("want 3 results, got %d", len(results))
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil {
+			t.Fatalf("healthy binary %d failed: %v", i, results[i].Err)
+		}
+		if len(results[i].Vars) == 0 {
+			t.Fatalf("healthy binary %d inferred nothing", i)
+		}
+	}
+	if results[1].Err == nil {
+		t.Fatal("corrupt binary must carry an error record")
+	}
+	if results[1].Vars != nil {
+		t.Fatal("failed binary must not carry variables")
+	}
+	if results[1].Attempts != 1 {
+		t.Fatalf("deterministic failure retried: %d attempts", results[1].Attempts)
+	}
+}
+
+// TestInferBatchNoRetryOnDeterministicFailure: retries are reserved for
+// transient failures; a malformed binary fails once even with budget.
+func TestInferBatchNoRetryOnDeterministicFailure(t *testing.T) {
+	cati := sharedCATI(t)
+	results, err := cati.InferBatchOpts(context.Background(),
+		[]*elfx.Binary{hostileBinary()}, BatchOptions{Retries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil || results[0].Attempts != 1 {
+		t.Fatalf("want 1 attempt with error, got %d attempts, err=%v",
+			results[0].Attempts, results[0].Err)
+	}
+}
+
+// TestInferBatchPerBinaryTimeout: an impossible per-binary deadline
+// produces DeadlineExceeded records after the full retry budget, while
+// the batch itself still returns cleanly.
+func TestInferBatchPerBinaryTimeout(t *testing.T) {
+	cati := sharedCATI(t)
+	bins := []*elfx.Binary{testBinary(t, 303), testBinary(t, 304)}
+	results, err := cati.InferBatchOpts(context.Background(), bins,
+		BatchOptions{Timeout: time.Nanosecond, Retries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if !errors.Is(res.Err, context.DeadlineExceeded) {
+			t.Fatalf("binary %d: want DeadlineExceeded, got %v", i, res.Err)
+		}
+		if res.Attempts != 3 {
+			t.Fatalf("binary %d: want 3 attempts (1 + 2 retries), got %d", i, res.Attempts)
+		}
+	}
+}
+
+// TestRetryable pins the retry policy's error classification: contained
+// panics and deadlines retry, deterministic errors do not.
+func TestRetryable(t *testing.T) {
+	if retryable(errors.New("parse error")) {
+		t.Error("plain errors must not retry")
+	}
+	if !retryable(context.DeadlineExceeded) {
+		t.Error("deadline must retry")
+	}
+	panicErr := par.SafeErr(func() error { panic("transient wobble") })
+	if !retryable(panicErr) {
+		t.Error("contained panics must retry")
+	}
+}

@@ -266,7 +266,10 @@ func Read(data []byte) (*Binary, error) {
 	shnum := int(binary.LittleEndian.Uint16(data[60:]))
 	shstrndx := int(binary.LittleEndian.Uint16(data[62:]))
 
-	if shoff+uint64(shnum)*shSize > uint64(len(data)) {
+	// shoff comes straight from the (possibly hostile) image, so the bound
+	// must be overflow-safe: shoff near 2^64 would wrap a naive
+	// shoff+shnum*shSize sum back into range.
+	if shoff > uint64(len(data)) || uint64(shnum)*shSize > uint64(len(data))-shoff {
 		return nil, fmt.Errorf("section header table out of bounds: %w", ErrMalformed)
 	}
 
@@ -299,7 +302,9 @@ func Read(data []byte) (*Binary, error) {
 		if s.typ == SHTNull {
 			return nil, nil
 		}
-		if s.off+s.size > uint64(len(data)) {
+		// Overflow-safe: off and size are attacker-controlled uint64s whose
+		// sum can wrap past the image length.
+		if s.off > uint64(len(data)) || s.size > uint64(len(data))-s.off {
 			return nil, fmt.Errorf("section %d data out of bounds: %w", i, ErrMalformed)
 		}
 		return data[s.off : s.off+s.size], nil

@@ -1,0 +1,100 @@
+package elfx
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// hostileImage returns a valid image with a targeted corruption applied,
+// for overflow regression tests and fuzz seeds.
+func hostileImage(t testing.TB, corrupt func(img []byte)) []byte {
+	t.Helper()
+	img, err := Write(sampleBinary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img = append([]byte(nil), img...)
+	corrupt(img)
+	return img
+}
+
+// shoffOf reads the section-header-table offset from an image's ELF
+// header (e_shoff lives at byte 40).
+func shoffOf(img []byte) uint64 {
+	return binary.LittleEndian.Uint64(img[40:])
+}
+
+// TestReadHostile pins parser crashes found by fuzzing as typed errors:
+// each of these images once drove Read into an out-of-bounds slice via
+// unsigned-sum wraparound, and must now be rejected with ErrMalformed.
+func TestReadHostile(t *testing.T) {
+	tests := []struct {
+		name    string
+		corrupt func(img []byte)
+	}{
+		{"shoff wraps past 2^64", func(img []byte) {
+			// shoff + shnum*shSize wraps back below len(img).
+			binary.LittleEndian.PutUint64(img[40:], ^uint64(0)-shSize+1)
+		}},
+		{"shoff just past end", func(img []byte) {
+			binary.LittleEndian.PutUint64(img[40:], uint64(len(img))+1)
+		}},
+		{"section off+size wraps", func(img []byte) {
+			// Section header 1's off/size fields sum past 2^64, so the
+			// naive bound off+size <= len held while data[off:off+size]
+			// exploded.
+			sh := shoffOf(img) + 1*shSize
+			binary.LittleEndian.PutUint64(img[sh+24:], ^uint64(0)-0xFF) // sh_offset
+			binary.LittleEndian.PutUint64(img[sh+32:], 0x200)           // sh_size
+		}},
+		{"section size past end", func(img []byte) {
+			sh := shoffOf(img) + 1*shSize
+			binary.LittleEndian.PutUint64(img[sh+32:], uint64(len(img))+1)
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			img := hostileImage(t, tt.corrupt)
+			if _, err := Read(img); !errors.Is(err, ErrMalformed) {
+				t.Fatalf("error = %v, want ErrMalformed", err)
+			}
+		})
+	}
+}
+
+// FuzzElfRead throws arbitrary bytes at the ELF reader: any input may be
+// rejected, none may panic. Accepted images must survive the symbol and
+// section accessors that inference uses.
+func FuzzElfRead(f *testing.F) {
+	valid, err := Write(sampleBinary())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{0x7F, 'E', 'L', 'F', 2, 1, 1, 0})
+	f.Add(hostileImage(f, func(img []byte) {
+		binary.LittleEndian.PutUint64(img[40:], ^uint64(0)-shSize+1)
+	}))
+	f.Add(hostileImage(f, func(img []byte) {
+		sh := shoffOf(img) + 1*shSize
+		binary.LittleEndian.PutUint64(img[sh+24:], ^uint64(0)-0xFF)
+		binary.LittleEndian.PutUint64(img[sh+32:], 0x200)
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := Read(data)
+		if err != nil {
+			return
+		}
+		// A parsed binary must be safe to interrogate.
+		_ = b.IsStripped()
+		for _, s := range b.Sections {
+			_, _ = b.Section(s.Name)
+		}
+		for _, sym := range b.Symbols {
+			_, _ = b.SymbolAt(sym.Addr)
+		}
+		_, _ = b.Text()
+	})
+}

@@ -208,7 +208,9 @@ type Flatten struct {
 	inShape []int
 }
 
-// Forward reshapes.
+// Forward reshapes. The unchecked Reshape is safe here by construction:
+// [B, n] with n the product of the remaining axes preserves the element
+// count for any input shape.
 func (f *Flatten) Forward(x *Tensor, train bool) *Tensor {
 	if train {
 		f.inShape = append(f.inShape[:0], x.Shape...)
@@ -220,7 +222,8 @@ func (f *Flatten) Forward(x *Tensor, train bool) *Tensor {
 	return x.Reshape(x.Dim(0), n)
 }
 
-// Backward restores the shape.
+// Backward restores the shape. Safe for the same reason as Forward: grad
+// mirrors Forward's output, whose element count equals inShape's.
 func (f *Flatten) Backward(grad *Tensor) *Tensor {
 	return grad.Reshape(f.inShape...)
 }

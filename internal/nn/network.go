@@ -186,6 +186,35 @@ func (d *Dataset) Len() int { return len(d.Samples) }
 // ErrEmptyDataset reports training on no data.
 var ErrEmptyDataset = errors.New("nn: empty dataset")
 
+// ErrDiverged reports a training run whose loss went non-finite (NaN or
+// Inf) — typically a too-high learning rate or corrupt input. Both
+// trainers check after every minibatch, so the error surfaces at the
+// first poisoned step instead of silently baking NaNs into the weights.
+var ErrDiverged = errors.New("nn: training diverged (non-finite loss)")
+
+// ErrNotFinite reports NaN or Inf weights in a network (corrupt or
+// diverged artifact).
+var ErrNotFinite = errors.New("nn: non-finite weight")
+
+// CheckFinite walks every learnable parameter and reports the first NaN
+// or Inf, so loaders can reject poisoned artifacts before inference
+// silently propagates them.
+func (n *Network) CheckFinite() error {
+	for pi, p := range n.Params() {
+		for i, w := range p.W {
+			f := float64(w)
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return fmt.Errorf("%w: param %d element %d = %v", ErrNotFinite, pi, i, w)
+			}
+		}
+	}
+	return nil
+}
+
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
 // TrainClassifier trains the network with softmax cross-entropy. With more
 // than one effective worker (see TrainConfig.Workers) minibatches are
 // sharded across per-worker network replicas; otherwise it runs the serial
@@ -260,6 +289,9 @@ func trainClassifierSerial(ctx context.Context, net *Network, ds *Dataset, class
 					}
 					grad.Data[bi*classes+c] = g / float32(b)
 				}
+			}
+			if !finite(totalLoss) {
+				return fmt.Errorf("epoch %d: %w", epoch, ErrDiverged)
 			}
 			seen += b
 			net.Backward(grad)
@@ -396,6 +428,9 @@ func trainClassifierParallel(ctx context.Context, net *Network, replicas []*Netw
 					}
 				}
 			}
+			if !finite(totalLoss) {
+				return fmt.Errorf("epoch %d: %w", epoch, ErrDiverged)
+			}
 			seen += b
 			opt.Step(params)
 		}
@@ -497,11 +532,20 @@ func EncodeCNN(net *Network, seqLen, embDim, conv1, conv2, hidden, classes int) 
 	return buf.Bytes(), nil
 }
 
+// maxDecodeDim bounds each architecture dimension DecodeCNN accepts, so a
+// forged or corrupt blob cannot demand a pathological allocation.
+const maxDecodeDim = 1 << 20
+
 // DecodeCNN rebuilds a serialized network.
 func DecodeCNN(data []byte) (*Network, error) {
 	var st netState
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
 		return nil, fmt.Errorf("nn: decode: %w", err)
+	}
+	for _, d := range []int{st.SeqLen, st.EmbDim, st.Conv1, st.Conv2, st.Hidden, st.Classes} {
+		if d <= 0 || d > maxDecodeDim {
+			return nil, fmt.Errorf("nn: decode: architecture dimension %d out of range", d)
+		}
 	}
 	net := NewCNN(st.SeqLen, st.EmbDim, st.Conv1, st.Conv2, st.Hidden, st.Classes, 0)
 	params := net.Params()

@@ -1,0 +1,119 @@
+package nn
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/par"
+)
+
+func tinyDataset(n, seqLen, embDim, classes int) *Dataset {
+	r := rand.New(rand.NewSource(1))
+	ds := &Dataset{SeqLen: seqLen, EmbDim: embDim}
+	for i := 0; i < n; i++ {
+		s := make([]float32, seqLen*embDim)
+		for j := range s {
+			s[j] = r.Float32()
+		}
+		ds.Add(s, i%classes)
+	}
+	return ds
+}
+
+// TestTrainDivergenceGuard: a network whose weights go NaN (here: seeded
+// directly into the output layer, the way a diverged Adam step would) must
+// surface ErrDiverged from both trainers at the first poisoned minibatch
+// instead of silently baking NaNs into the artifact.
+func TestTrainDivergenceGuard(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ds := tinyDataset(64, 8, 4, 3)
+		net := NewCNN(8, 4, 4, 4, 16, 3, 1)
+		params := net.Params()
+		out := params[len(params)-1].W // output-layer bias-or-weight block
+		out[0] = float32(math.NaN())
+		err := TrainClassifierCtx(context.Background(), net, ds, 3, TrainConfig{
+			Epochs: 2, Batch: 16, LR: 1e-3, Workers: workers,
+		})
+		if !errors.Is(err, ErrDiverged) {
+			t.Fatalf("workers=%d: want ErrDiverged, got %v", workers, err)
+		}
+	}
+}
+
+// TestTrainCleanStaysFinite pins the guard's false-positive rate: a
+// healthy run must not trip it.
+func TestTrainCleanStaysFinite(t *testing.T) {
+	ds := tinyDataset(64, 8, 4, 3)
+	net := NewCNN(8, 4, 4, 4, 16, 3, 1)
+	if err := TrainClassifier(net, ds, 3, TrainConfig{Epochs: 2, Batch: 16, LR: 1e-3, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.CheckFinite(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	net := NewCNN(8, 4, 4, 4, 16, 3, 1)
+	if err := net.CheckFinite(); err != nil {
+		t.Fatal(err)
+	}
+	net.Params()[2].W[0] = float32(math.Inf(1))
+	if err := net.CheckFinite(); !errors.Is(err, ErrNotFinite) {
+		t.Fatalf("want ErrNotFinite, got %v", err)
+	}
+	net.Params()[2].W[0] = float32(math.NaN())
+	if err := net.CheckFinite(); !errors.Is(err, ErrNotFinite) {
+		t.Fatalf("want ErrNotFinite for NaN, got %v", err)
+	}
+}
+
+// TestReshapeCheckedError: the validated path returns *ShapeError; the
+// unchecked path panics with the same typed value, which par containment
+// converts to an error reachable with errors.As.
+func TestReshapeCheckedError(t *testing.T) {
+	tr := NewTensor(2, 3)
+	if _, err := tr.ReshapeChecked(7); err == nil {
+		t.Fatal("want error")
+	} else {
+		var se *ShapeError
+		if !errors.As(err, &se) {
+			t.Fatalf("want *ShapeError, got %T", err)
+		}
+	}
+	if v, err := tr.ReshapeChecked(3, 2); err != nil || v.Dim(0) != 3 {
+		t.Fatalf("valid reshape failed: %v", err)
+	}
+
+	// Contained through the pool: a reshape panic inside a fan-out comes
+	// back as an error carrying the ShapeError, not a process crash.
+	err := par.ForEachCtx(context.Background(), 4, 4, func(i int) {
+		if i == 2 {
+			NewTensor(2, 3).Reshape(5)
+		}
+	})
+	var se *ShapeError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *ShapeError through par containment, got %v", err)
+	}
+}
+
+func TestDecodeCNNHostile(t *testing.T) {
+	// Garbage bytes must error, not panic.
+	if _, err := DecodeCNN([]byte("not a gob stream at all")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+	// A structurally valid gob with insane dimensions must be rejected
+	// before any allocation.
+	net := NewCNN(8, 4, 4, 4, 16, 3, 1)
+	blob, err := EncodeCNN(net, -1, 4, 4, 4, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCNN(blob); err == nil {
+		t.Fatal("negative seqLen should fail")
+	}
+}

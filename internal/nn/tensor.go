@@ -31,16 +31,47 @@ func (t *Tensor) Len() int { return len(t.Data) }
 // Dim returns the size of axis i.
 func (t *Tensor) Dim(i int) int { return t.Shape[i] }
 
-// Reshape returns a view with a new shape of equal element count.
-func (t *Tensor) Reshape(shape ...int) *Tensor {
+// ShapeError reports an element-count-changing reshape. It is the value
+// Reshape panics with, so a contained panic (par.Safe / par.ForEachCtx)
+// surfaces as a structured error reachable with errors.As rather than a
+// formatted string.
+type ShapeError struct {
+	From, To []int
+}
+
+func (e *ShapeError) Error() string {
+	return fmt.Sprintf("nn: reshape %v to %v changes element count", e.From, e.To)
+}
+
+// ReshapeChecked returns a view with a new shape of equal element count,
+// or a *ShapeError when the counts differ. This is the validated path for
+// shapes that derive from external input.
+func (t *Tensor) ReshapeChecked(shape ...int) (*Tensor, error) {
 	n := 1
 	for _, d := range shape {
 		n *= d
 	}
 	if n != len(t.Data) {
-		panic(fmt.Sprintf("nn: reshape %v to %v", t.Shape, shape))
+		return nil, &ShapeError{
+			From: append([]int(nil), t.Shape...),
+			To:   append([]int(nil), shape...),
+		}
 	}
-	return &Tensor{Data: t.Data, Shape: append([]int(nil), shape...)}
+	return &Tensor{Data: t.Data, Shape: append([]int(nil), shape...)}, nil
+}
+
+// Reshape returns a view with a new shape of equal element count. It
+// panics with a *ShapeError on mismatch — reserved for call sites whose
+// shapes are provably consistent (see Flatten); anything shape-derived
+// from external input must use ReshapeChecked. Inside the worker pool a
+// violation is contained by par's recover-to-error layer instead of
+// killing the process.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	out, err := t.ReshapeChecked(shape...)
+	if err != nil {
+		panic(err)
+	}
+	return out
 }
 
 // Param is one learnable parameter with its gradient accumulator.

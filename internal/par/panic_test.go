@@ -1,0 +1,183 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSafeConvertsPanic pins the recover-to-error conversion: value and
+// worker stack are both preserved.
+func TestSafeConvertsPanic(t *testing.T) {
+	err := Safe(func() { panic("boom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	if pe.Value != "boom" {
+		t.Errorf("Value = %v, want boom", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "panic_test.go") {
+		t.Errorf("stack does not mention the panic site:\n%s", pe.Stack)
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Errorf("Error() = %q does not mention the value", err.Error())
+	}
+}
+
+// TestSafeNoDoubleWrap: a *PanicError re-raised through another Safe layer
+// passes through unchanged.
+func TestSafeNoDoubleWrap(t *testing.T) {
+	inner := Safe(func() { panic("inner") })
+	outer := Safe(func() { panic(inner) })
+	if outer != inner {
+		t.Fatalf("re-wrapped: outer %v != inner %v", outer, inner)
+	}
+}
+
+// TestPanicErrorUnwrap: panicking with an error value keeps it reachable
+// via errors.Is through the containment layer.
+func TestPanicErrorUnwrap(t *testing.T) {
+	sentinel := errors.New("typed failure")
+	err := Safe(func() { panic(sentinel) })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is through PanicError failed: %v", err)
+	}
+	if err := Safe(func() { panic("plain") }); errors.Unwrap(err) != nil {
+		t.Fatalf("non-error panic value should unwrap to nil, got %v", errors.Unwrap(err))
+	}
+}
+
+// TestSafeErr passes fn's own error through and converts panics.
+func TestSafeErr(t *testing.T) {
+	want := errors.New("own error")
+	if err := SafeErr(func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("got %v, want %v", err, want)
+	}
+	var pe *PanicError
+	if err := SafeErr(func() error { panic("pow") }); !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	if err := SafeErr(func() error { return nil }); err != nil {
+		t.Fatalf("want nil, got %v", err)
+	}
+}
+
+// TestShardPanicDrains: one shard panics, every other shard still
+// completes, and the caller sees a recoverable *PanicError.
+func TestShardPanicDrains(t *testing.T) {
+	const n, workers = 64, 8
+	var done atomic.Int64
+	err := Safe(func() {
+		Shard(n, workers, func(s, lo, hi int) {
+			if s == 3 {
+				panic(fmt.Sprintf("shard %d down", s))
+			}
+			done.Add(int64(hi - lo))
+		})
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	lo3, hi3 := shardBounds(n, NumShards(n, workers), 3)
+	if got, want := done.Load(), int64(n-(hi3-lo3)); got != want {
+		t.Errorf("pool did not drain: %d items done, want %d", got, want)
+	}
+}
+
+// TestShardErrFirstInShardOrder: several shards panic; the shard-order
+// first one is returned deterministically.
+func TestShardErrFirstInShardOrder(t *testing.T) {
+	for try := 0; try < 10; try++ {
+		_, err := ShardErr(8, 8, func(s, lo, hi int) {
+			if s >= 2 {
+				panic(s)
+			}
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("want *PanicError, got %v", err)
+		}
+		if pe.Value != 2 {
+			t.Fatalf("want first panicking shard 2, got %v", pe.Value)
+		}
+	}
+}
+
+// TestForEachCtxPanicToError covers both the uncancellable fast path and
+// the cancellable path, serial and parallel.
+func TestForEachCtxPanicToError(t *testing.T) {
+	ctxs := map[string]context.Context{
+		"background": context.Background(),
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctxs["cancellable"] = cctx
+	for name, ctx := range ctxs {
+		for _, workers := range []int{1, 4} {
+			err := ForEachCtx(ctx, 16, workers, func(i int) {
+				if i == 5 {
+					panic("item 5")
+				}
+			})
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("%s/workers=%d: want *PanicError, got %v", name, workers, err)
+			}
+		}
+	}
+}
+
+// TestRunCtxPanicKeepsDraining: a panicking thunk must not stop the rest.
+func TestRunCtxPanicKeepsDraining(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		fns := make([]func(), 8)
+		for i := range fns {
+			i := i
+			fns[i] = func() {
+				if i == 2 {
+					panic("thunk 2")
+				}
+				ran.Add(1)
+			}
+		}
+		err := RunCtx(context.Background(), workers, fns...)
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: want *PanicError, got %v", workers, err)
+		}
+		if ran.Load() != 7 {
+			t.Errorf("workers=%d: %d thunks ran, want 7", workers, ran.Load())
+		}
+	}
+}
+
+// TestRunPanicRecoverable: the non-ctx Run re-raises on the caller's
+// goroutine where a recover works — never from a worker goroutine.
+func TestRunPanicRecoverable(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := Safe(func() {
+			Run(workers, func() {}, func() { panic("pow") }, func() {})
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: want *PanicError, got %v", workers, err)
+		}
+	}
+}
+
+// TestRunCtxNoPanicStillNil pins the happy path after the rework.
+func TestRunCtxNoPanicStillNil(t *testing.T) {
+	var n atomic.Int64
+	if err := RunCtx(context.Background(), 4, func() { n.Add(1) }, func() { n.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 2 {
+		t.Fatalf("ran %d, want 2", n.Load())
+	}
+}

@@ -17,12 +17,66 @@ package par
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a panic recovered from a worker goroutine (or an inline
+// shard), converted into an error so fan-outs degrade to a failed call
+// instead of a crashed process. It carries the panicking goroutine's
+// stack, which would otherwise be lost when the panic is re-raised or
+// returned on the caller's goroutine.
+type PanicError struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: worker panic: %v\n%s", e.Value, e.Stack)
+}
+
+// Unwrap exposes the panic value when it was itself an error, so callers
+// can errors.Is/As through a contained panic (e.g. nn's ShapeError).
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Safe runs fn, converting a panic into a *PanicError. An already-wrapped
+// *PanicError passes through unwrapped, so nested fan-outs don't stack
+// envelopes.
+func Safe(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*PanicError); ok {
+				err = pe
+				return
+			}
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// SafeErr runs an error-returning fn under Safe: the returned error is
+// fn's own error, or a *PanicError when fn panicked.
+func SafeErr(fn func() error) error {
+	var err error
+	if pe := Safe(func() { err = fn() }); pe != nil {
+		return pe
+	}
+	return err
+}
 
 // EnvWorkers is the environment variable consulted by Workers when no
 // explicit count is configured.
@@ -90,30 +144,53 @@ func shardBounds(n, ns, s int) (lo, hi int) {
 // shards and runs fn(shard, lo, hi) for each, concurrently when more than
 // one shard exists. It blocks until every shard is done and returns the
 // shard count. Shard boundaries depend only on (n, workers).
+//
+// A panic in any shard is contained: the pool keeps draining (every other
+// shard runs to completion) and the first panicking shard's *PanicError is
+// re-raised on the caller's goroutine, where it can be recovered — the
+// process is never killed from a worker goroutine.
 func Shard(n, workers int, fn func(shard, lo, hi int)) int {
+	ns, err := ShardErr(n, workers, fn)
+	if err != nil {
+		panic(err)
+	}
+	return ns
+}
+
+// ShardErr is Shard with recover-to-error semantics: instead of re-raising
+// a contained worker panic it returns the first one (in shard order) as a
+// *PanicError. All shards always run to completion first.
+func ShardErr(n, workers int, fn func(shard, lo, hi int)) (int, error) {
 	ns := NumShards(n, workers)
 	if ns == 0 {
-		return 0
+		return 0, nil
 	}
 	if ns == 1 {
-		fn(0, 0, n)
-		return 1
+		return 1, Safe(func() { fn(0, 0, n) })
 	}
+	errs := make([]error, ns)
 	var wg sync.WaitGroup
 	wg.Add(ns)
 	for s := 0; s < ns; s++ {
 		lo, hi := shardBounds(n, ns, s)
 		go func(s, lo, hi int) {
 			defer wg.Done()
-			fn(s, lo, hi)
+			errs[s] = Safe(func() { fn(s, lo, hi) })
 		}(s, lo, hi)
 	}
 	wg.Wait()
-	return ns
+	for _, err := range errs {
+		if err != nil {
+			return ns, err
+		}
+	}
+	return ns, nil
 }
 
 // ForEach runs fn(i) for every i in [0, n), sharded across the pool. With
-// one worker (or one item) it degenerates to a plain ascending loop.
+// one worker (or one item) it degenerates to a plain ascending loop. Like
+// Shard, a worker panic drains the pool and re-raises as a *PanicError on
+// the caller's goroutine.
 func ForEach(n, workers int, fn func(i int)) {
 	Shard(n, workers, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -122,20 +199,26 @@ func ForEach(n, workers int, fn func(i int)) {
 	})
 }
 
-// ForEachCtx is ForEach with cooperative cancellation: each shard checks
-// ctx between items, so once ctx is cancelled no further items start and
-// the call returns ctx.Err() after in-flight items finish. A context that
-// can never be cancelled (Done() == nil, e.g. context.Background()) takes
-// the plain ForEach path with zero per-item overhead, which keeps the
-// non-ctx wrapper APIs exactly as fast as before.
+// ForEachCtx is ForEach with cooperative cancellation and recover-to-error
+// semantics: each shard checks ctx between items, so once ctx is cancelled
+// no further items start and the call returns ctx.Err() after in-flight
+// items finish; a panic in any item is contained and returned as a
+// *PanicError after the pool drains. A context that can never be cancelled
+// (Done() == nil, e.g. context.Background()) takes the plain ForEach path
+// with zero per-item overhead, which keeps the non-ctx wrapper APIs
+// exactly as fast as before.
 func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	if ctx.Done() == nil {
-		ForEach(n, workers, fn)
-		return nil
+		_, err := ShardErr(n, workers, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		})
+		return err
 	}
 	var stop atomic.Bool
 	done := ctx.Done()
-	Shard(n, workers, func(_, lo, hi int) {
+	_, err := ShardErr(n, workers, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if stop.Load() {
 				return
@@ -149,23 +232,24 @@ func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 			fn(i)
 		}
 	})
+	if err != nil {
+		return err
+	}
 	if stop.Load() {
 		return ctx.Err()
 	}
 	return nil
 }
 
-// RunCtx is Run with cooperative cancellation: once ctx is cancelled no
-// further thunks are scheduled and the call returns ctx.Err() after
-// in-flight thunks finish. Thunks that never ran are simply skipped —
-// callers that need to distinguish "ran" from "skipped" should record
-// completion in the thunk itself. An uncancellable context takes the
-// plain Run path.
+// RunCtx is Run with cooperative cancellation and recover-to-error
+// semantics: once ctx is cancelled no further thunks are scheduled and the
+// call returns ctx.Err() after in-flight thunks finish. A panicking thunk
+// is contained as a *PanicError; the remaining thunks still run (the pool
+// keeps draining) and the first error in thunk order is returned. Thunks
+// that never ran are simply skipped — callers that need to distinguish
+// "ran" from "skipped" should record completion in the thunk itself. An
+// uncancellable context skips the per-thunk ctx checks.
 func RunCtx(ctx context.Context, workers int, fns ...func()) error {
-	if ctx.Done() == nil {
-		Run(workers, fns...)
-		return nil
-	}
 	if len(fns) == 0 {
 		return nil
 	}
@@ -173,35 +257,56 @@ func RunCtx(ctx context.Context, workers int, fns ...func()) error {
 		workers = 1
 	}
 	done := ctx.Done()
-	if workers == 1 || len(fns) == 1 {
-		for _, fn := range fns {
-			select {
-			case <-done:
-				return ctx.Err()
-			default:
+	errs := make([]error, len(fns))
+	firstErr := func() error {
+		for _, err := range errs {
+			if err != nil {
+				return err
 			}
-			fn()
 		}
 		return nil
+	}
+	if workers == 1 || len(fns) == 1 {
+		for i, fn := range fns {
+			if done != nil {
+				select {
+				case <-done:
+					if err := firstErr(); err != nil {
+						return err
+					}
+					return ctx.Err()
+				default:
+				}
+			}
+			errs[i] = Safe(fn)
+		}
+		return firstErr()
 	}
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	var cancelled bool
 loop:
-	for _, fn := range fns {
-		select {
-		case <-done:
-			cancelled = true
-			break loop
-		case sem <- struct{}{}:
+	for i, fn := range fns {
+		if done != nil {
+			select {
+			case <-done:
+				cancelled = true
+				break loop
+			case sem <- struct{}{}:
+			}
+		} else {
+			sem <- struct{}{}
 		}
 		wg.Add(1)
-		go func(fn func()) {
+		go func(i int, fn func()) {
 			defer func() { <-sem; wg.Done() }()
-			fn()
-		}(fn)
+			errs[i] = Safe(fn)
+		}(i, fn)
 	}
 	wg.Wait()
+	if err := firstErr(); err != nil {
+		return err
+	}
 	if cancelled {
 		return ctx.Err()
 	}
@@ -209,29 +314,11 @@ loop:
 }
 
 // Run executes the thunks with at most workers in flight and blocks until
-// all complete. With one worker it runs them inline in order.
+// all complete. With one worker it runs them inline in order. Like Shard,
+// a panicking thunk drains the pool and re-raises as a *PanicError on the
+// caller's goroutine.
 func Run(workers int, fns ...func()) {
-	if len(fns) == 0 {
-		return
+	if err := RunCtx(context.Background(), workers, fns...); err != nil {
+		panic(err)
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	if workers == 1 || len(fns) == 1 {
-		for _, fn := range fns {
-			fn()
-		}
-		return
-	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	wg.Add(len(fns))
-	for _, fn := range fns {
-		sem <- struct{}{}
-		go func(fn func()) {
-			defer func() { <-sem; wg.Done() }()
-			fn()
-		}(fn)
-	}
-	wg.Wait()
 }
