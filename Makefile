@@ -1,24 +1,30 @@
 # Developer entry points. `make check` is the pre-commit gate: lint (gofmt
-# + vet), build, full test suite, the race detector over the concurrent
-# packages, and a short fuzz smoke over the hostile-input parsers.
+# + vet + stderr-print hygiene), build, full test suite, coverage summary,
+# the race detector over the concurrent packages, and a short fuzz smoke
+# over the hostile-input parsers.
 
 GO ?= go
 GOFMT ?= gofmt
-RACE_PKGS = ./internal/par ./internal/obs ./internal/nn ./internal/word2vec ./internal/classify ./internal/core
+RACE_PKGS = ./internal/par ./internal/obs ./internal/telemetry ./internal/nn ./internal/word2vec ./internal/classify ./internal/core
 # FUZZTIME bounds each fuzz target during `make fuzz`; the committed seed
 # corpus always runs in full via plain `go test`.
 FUZZTIME ?= 5s
 
-.PHONY: check build test lint vet race fuzz bench bench-json
+.PHONY: check build test lint vet race fuzz cover bench bench-json
 
-check: lint build test race fuzz
+check: lint build test cover race fuzz
 
-# lint fails when any file is unformatted (gofmt -l prints it) or vet
-# complains.
+# lint fails when any file is unformatted (gofmt -l prints it), vet
+# complains, or a CLI writes raw diagnostics to stderr instead of routing
+# them through the shared slog handler (cmd/internal/cliflags.Setup).
 lint: vet
 	@out="$$($(GOFMT) -l .)"; \
 	if [ -n "$$out" ]; then \
 		echo "gofmt: unformatted files:"; echo "$$out"; exit 1; \
+	fi
+	@out="$$(grep -rn 'fmt\.Fprintf(os\.Stderr' cmd/ --include='*.go' | grep -v '^cmd/internal/cliflags/' || true)"; \
+	if [ -n "$$out" ]; then \
+		echo "lint: raw stderr prints in cmd/ (use the slog logger from Setup):"; echo "$$out"; exit 1; \
 	fi
 
 vet:
@@ -29,6 +35,13 @@ build:
 
 test:
 	$(GO) test ./...
+
+# cover runs the test suite once with coverage and prints the per-package
+# statement coverage summary (and leaves cover.out for `go tool cover`).
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -n 1
+	@echo "per-package coverage in cover.out (go tool cover -html=cover.out)"
 
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)

@@ -97,6 +97,10 @@ func inferCmd(args []string) error {
 	if fs.NArg() < 1 {
 		return fmt.Errorf("usage: cati infer -model m binary.elf [more.elf ...]")
 	}
+	log, err := rt.Setup()
+	if err != nil {
+		return err
+	}
 	blob, err := os.ReadFile(*model)
 	if err != nil {
 		return err
@@ -108,6 +112,7 @@ func inferCmd(args []string) error {
 	cati.Pipeline.Cfg.Workers = rt.Workers
 	trace := rt.NewTrace()
 	cati.Pipeline.Cfg.Trace = trace
+	cati.Pipeline.Cfg.Hook = cliflags.StageHook(log)
 
 	ctx, stop := rt.Context()
 	defer stop()
@@ -136,13 +141,18 @@ func inferCmd(args []string) error {
 		Retries: *retries,
 	})
 	if err != nil {
-		if !*jsonOut {
-			cliflags.PrintTrace(os.Stdout, trace)
-		}
+		cliflags.PrintTrace(os.Stderr, trace)
 		return err
 	}
 	for i, res := range batch {
 		results[binIdx[i]] = res
+	}
+	// Per-binary failures are diagnostics: they go to the structured log
+	// (stderr) in both output modes, so -json stdout stays pure protocol.
+	for bi, res := range results {
+		if res.Err != nil {
+			log.Error("binary failed", "binary", fs.Arg(bi), "attempts", res.Attempts, "error", res.Err)
+		}
 	}
 
 	if *jsonOut {
@@ -151,14 +161,12 @@ func inferCmd(args []string) error {
 		}
 		return batchStatus(results)
 	}
-	total, failed := 0, 0
+	total := 0
 	for bi, res := range results {
 		if len(results) > 1 {
 			fmt.Printf("== %s\n", fs.Arg(bi))
 		}
 		if res.Err != nil {
-			failed++
-			fmt.Fprintf(os.Stderr, "cati: %s: %v\n", fs.Arg(bi), res.Err)
 			continue
 		}
 		fmt.Printf("%-10s  %-8s  %-5s  %-5s  %s\n", "FUNC", "SLOT", "SIZE", "VUCS", "TYPE")
@@ -168,7 +176,7 @@ func inferCmd(args []string) error {
 		total += len(res.Vars)
 	}
 	fmt.Printf("%d variables\n", total)
-	cliflags.PrintTrace(os.Stdout, trace)
+	cliflags.PrintTrace(os.Stderr, trace)
 	return batchStatus(results)
 }
 
@@ -274,6 +282,10 @@ func annotateCmd(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: cati annotate -model m binary.elf")
 	}
+	log, err := rt.Setup()
+	if err != nil {
+		return err
+	}
 	blob, err := os.ReadFile(*model)
 	if err != nil {
 		return err
@@ -285,7 +297,8 @@ func annotateCmd(args []string) error {
 	cati.Pipeline.Cfg.Workers = rt.Workers
 	trace := rt.NewTrace()
 	cati.Pipeline.Cfg.Trace = trace
-	defer cliflags.PrintTrace(os.Stdout, trace)
+	cati.Pipeline.Cfg.Hook = cliflags.StageHook(log)
+	defer cliflags.PrintTrace(os.Stderr, trace)
 
 	ctx, stop := rt.Context()
 	defer stop()

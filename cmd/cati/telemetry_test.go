@@ -1,0 +1,218 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// captureStreams runs fn with both stdout and stderr redirected to pipes
+// and returns what each received plus fn's error.
+func captureStreams(t *testing.T, fn func() error) (stdout, stderr string, err error) {
+	t.Helper()
+	oldOut, oldErr := os.Stdout, os.Stderr
+	ro, wo, perr := os.Pipe()
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	re, we, perr := os.Pipe()
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	os.Stdout, os.Stderr = wo, we
+	outc := make(chan []byte)
+	errc := make(chan []byte)
+	go func() { b, _ := io.ReadAll(ro); outc <- b }()
+	go func() { b, _ := io.ReadAll(re); errc <- b }()
+	err = fn()
+	wo.Close()
+	we.Close()
+	os.Stdout, os.Stderr = oldOut, oldErr
+	return string(<-outc), string(<-errc), err
+}
+
+// decodeLines feeds the stream through a JSON decoder and returns the
+// decoded records, failing the test on any non-JSON content.
+func decodeLines(t *testing.T, name, stream string) []map[string]any {
+	t.Helper()
+	var recs []map[string]any
+	dec := json.NewDecoder(strings.NewReader(stream))
+	for dec.More() {
+		var rec map[string]any
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatalf("%s is not pure JSON lines: %v\n%s", name, err, stream)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// TestInferJSONStreamsStayJSON pins the stream separation contract: with
+// `-json -trace -log-format json`, stdout carries only protocol records
+// (variables, errors, the trace), stderr carries only slog JSON lines, and
+// the two never interleave into either stream — so the concatenation of
+// both still decodes cleanly.
+func TestInferJSONStreamsStayJSON(t *testing.T) {
+	model := testModel(t)
+	dir := t.TempDir()
+	good := writeBinary(t, dir, "good.elf", 71)
+	corrupt := filepath.Join(dir, "corrupt.elf")
+	if err := os.WriteFile(corrupt, []byte("\x7fELF garbage, not a real image"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	stdout, stderr, runErr := captureStreams(t, func() error {
+		return run([]string{"infer", "-json", "-trace", "-log-format", "json",
+			"-model", model, good, corrupt})
+	})
+	if exitCode(runErr) != 2 {
+		t.Fatalf("want exit 2, got %d (%v)", exitCode(runErr), runErr)
+	}
+
+	outRecs := decodeLines(t, "stdout", stdout)
+	vars, errs, traces := 0, 0, 0
+	for _, rec := range outRecs {
+		switch {
+		case rec["trace"] != nil:
+			traces++
+		case rec["error"] != nil:
+			errs++
+		case rec["class"] != nil:
+			vars++
+		default:
+			t.Fatalf("unrecognized stdout record: %v", rec)
+		}
+	}
+	if vars == 0 || errs != 1 || traces != 1 {
+		t.Fatalf("stdout protocol records: vars=%d errs=%d traces=%d (want >0, 1, 1)\n%s",
+			vars, errs, traces, stdout)
+	}
+
+	// Every stderr line is a slog JSON record (has msg and level), and the
+	// per-binary failure surfaced there, not on stdout.
+	errRecs := decodeLines(t, "stderr", stderr)
+	sawFailure := false
+	for _, rec := range errRecs {
+		if rec["msg"] == nil || rec["level"] == nil {
+			t.Fatalf("stderr record missing slog fields: %v", rec)
+		}
+		if rec["msg"] == "binary failed" {
+			sawFailure = true
+		}
+	}
+	if !sawFailure {
+		t.Fatalf("stderr missing the binary-failure log line:\n%s", stderr)
+	}
+
+	// The combined byte stream is still pure JSON lines.
+	decodeLines(t, "stdout+stderr", stdout+stderr)
+
+	// The human trace table must not leak into stdout.
+	if strings.Contains(stdout, "stage breakdown") {
+		t.Fatal("trace table leaked into stdout")
+	}
+}
+
+// scrapeMetrics GETs the exposition page and parses series lines into a
+// name{labels} → value map.
+func scrapeMetrics(t *testing.T, addr string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed value in %q: %v", line, err)
+		}
+		series[line[:sp]] = v
+	}
+	return series
+}
+
+// sumPrefix totals every series whose name (before any label block) is
+// exactly name.
+func sumPrefix(series map[string]float64, name string) float64 {
+	var sum float64
+	for k, v := range series {
+		base := k
+		if i := strings.IndexByte(k, '{'); i >= 0 {
+			base = k[:i]
+		}
+		if base == name {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// TestInferServesMetrics is the end-to-end acceptance check: an infer run
+// with -debug-addr serves a /metrics page whose stage-latency histograms,
+// worker-pool counters and per-binary outcome counters are all nonzero.
+func TestInferServesMetrics(t *testing.T) {
+	model := testModel(t)
+	dir := t.TempDir()
+	good := writeBinary(t, dir, "good.elf", 72)
+
+	if err := run([]string{"infer", "-debug-addr", "127.0.0.1:0", "-model", model, good}); err != nil {
+		t.Fatal(err)
+	}
+	addr := telemetry.ServerAddr()
+	if addr == "" {
+		t.Fatal("no debug server address recorded")
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("/healthz = %d %q", resp.StatusCode, body)
+	}
+
+	series := scrapeMetrics(t, addr)
+	for _, name := range []string{
+		"cati_stage_seconds_count", // stage-latency histograms got observations
+		"cati_par_tasks_started_total",
+		"cati_par_tasks_completed_total",
+		"cati_binaries_inferred_total",
+		"cati_vucs_extracted_total",
+	} {
+		if sumPrefix(series, name) <= 0 {
+			t.Errorf("metric %s is zero or absent after an infer run", name)
+		}
+	}
+	// Each inference stage shows up as a labeled histogram series.
+	for _, stage := range []string{"recover", "extract", "embed", "predict", "vote"} {
+		key := `cati_stage_seconds_count{stage="` + stage + `"}`
+		if series[key] <= 0 {
+			t.Errorf("no latency observations for stage %q", stage)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 	"runtime"
@@ -54,7 +55,7 @@ func benchDataset(n int) *nn.Dataset {
 // writes one JSON record per measurement to path. When workers > 0 only
 // that count is measured; otherwise a 1/2/4/8 sweep capped at resolved
 // parallelism runs.
-func runParallelBench(path string, workers int) error {
+func runParallelBench(log *slog.Logger, path string, workers int) error {
 	counts := []int{1, 2, 4, 8}
 	if workers > 0 {
 		counts = []int{workers}
@@ -91,10 +92,10 @@ func runParallelBench(path string, workers int) error {
 			Workers:    par.Workers(w),
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 		})
-		fmt.Printf("bench workers=%d: train %.2fs, predict %.2fs/op\n",
-			par.Workers(w),
-			float64(records[len(records)-2].NsPerOp)/1e9,
-			float64(records[len(records)-1].NsPerOp)/1e9)
+		log.Info("bench point",
+			"workers", par.Workers(w),
+			"train_s", float64(records[len(records)-2].NsPerOp)/1e9,
+			"predict_s_per_op", float64(records[len(records)-1].NsPerOp)/1e9)
 	}
 
 	blob, err := json.MarshalIndent(records, "", "  ")
@@ -104,6 +105,6 @@ func runParallelBench(path string, workers int) error {
 	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d records)\n", path, len(records))
+	log.Info("wrote bench records", "path", path, "records", len(records))
 	return nil
 }

@@ -41,9 +41,13 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	log, err := rt.Setup()
+	if err != nil {
+		return err
+	}
 
 	if *benchJSON != "" {
-		return runParallelBench(*benchJSON, rt.Workers)
+		return runParallelBench(log, *benchJSON, rt.Workers)
 	}
 
 	var s experiments.Scale
@@ -60,10 +64,11 @@ func run(args []string) error {
 	ctx, stop := rt.Context()
 	defer stop()
 	trace := rt.NewTrace()
-	defer cliflags.PrintTrace(os.Stdout, trace)
+	defer cliflags.PrintTrace(os.Stderr, trace)
 
 	s.Cfg.Workers = rt.Workers
 	s.Cfg.Trace = trace
+	s.Cfg.Hook = cliflags.StageHook(log)
 	env := experiments.NewEnv(s)
 	env.Ctx = ctx
 
@@ -81,7 +86,7 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		fmt.Println(tab.Format())
-		fmt.Printf("(%s took %.1fs)\n\n", id, time.Since(start).Seconds())
+		log.Info("experiment done", "id", id, "elapsed", time.Since(start).Round(time.Millisecond))
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/cmd/internal/cliflags"
 	"repro/internal/compile"
 	"repro/internal/elfx"
 	"repro/internal/synth"
@@ -32,7 +33,12 @@ func run(args []string) error {
 	dialect := fs.String("dialect", "gcc", "compiler dialect: gcc or clang")
 	seed := fs.Int64("seed", 1, "generation seed")
 	profile := fs.String("profile", "default", "type-distribution profile: default or one of the twelve app names")
+	diag := cliflags.AddDiag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	log, err := diag.Setup()
+	if err != nil {
 		return err
 	}
 
@@ -87,7 +93,7 @@ func run(args []string) error {
 		if err := os.WriteFile(filepath.Join(*out, base+".stripped.elf"), stripped, 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (%d bytes, %d funcs)\n", base, len(full), len(prog.Funcs))
+		log.Info("wrote binary", "name", base, "bytes", len(full), "funcs", len(prog.Funcs))
 	}
 	return nil
 }

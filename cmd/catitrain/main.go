@@ -63,13 +63,18 @@ func run(args []string) error {
 		d = compile.Clang
 	}
 
+	log, err := rt.Setup()
+	if err != nil {
+		return err
+	}
+
 	ctx, stop := rt.Context()
 	defer stop()
 	trace := rt.NewTrace()
-	defer cliflags.PrintTrace(os.Stdout, trace)
+	defer cliflags.PrintTrace(os.Stderr, trace)
 
 	start := time.Now()
-	fmt.Printf("building corpus: %d binaries (%s)...\n", *binaries, *dialect)
+	log.Info("building corpus", "binaries", *binaries, "dialect", *dialect)
 	c, err := corpus.BuildCtx(ctx, corpus.BuildConfig{
 		Name:     "train",
 		Binaries: *binaries,
@@ -82,8 +87,8 @@ func run(args []string) error {
 		return err
 	}
 	st := c.Stats()
-	fmt.Printf("corpus: %d variables, %d VUCs (%.1fs)\n",
-		st.Variables, st.VUCs, time.Since(start).Seconds())
+	log.Info("corpus built", "variables", st.Variables, "vucs", st.VUCs,
+		"elapsed", time.Since(start).Round(time.Millisecond))
 
 	cfg := classify.Config{
 		Window:      *window,
@@ -93,18 +98,19 @@ func run(args []string) error {
 		Seed:        *seed,
 		Workers:     rt.Workers,
 		Trace:       trace,
+		Hook:        cliflags.StageHook(log),
 		Checkpoint:  *ckptDir,
 	}
 	if *quick {
 		cfg.Conv1, cfg.Conv2, cfg.Hidden = 8, 8, 64
 	}
-	fmt.Println("training embedding + 6-stage classifier...")
+	log.Info("training embedding + 6-stage classifier")
 	t0 := time.Now()
 	cati, err := core.TrainCtx(ctx, c, cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("trained in %.1fs\n", time.Since(t0).Seconds())
+	log.Info("training done", "elapsed", time.Since(t0).Round(time.Millisecond))
 
 	blob, err := cati.Save()
 	if err != nil {

@@ -1,8 +1,9 @@
 // Package cliflags centralizes the flag plumbing shared by the CATI
-// CLIs (catitrain, cati, catibench): the worker-pool size, the run
-// deadline, stage tracing, and the common -seed/-window knobs. One
-// definition means every tool spells the flags, defaults and help text
-// identically.
+// CLIs (catitrain, cati, catibench, catigen): the worker-pool size, the
+// run deadline, stage tracing, the telemetry/diagnostics trio
+// (-debug-addr, -log-format, -log-level), and the common -seed/-window
+// knobs. One definition means every tool spells the flags, defaults and
+// help text identically.
 package cliflags
 
 import (
@@ -10,14 +11,64 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/telemetry"
 	"repro/internal/vuc"
 )
+
+// Diag carries the diagnostics flags every CLI shares: structured-log
+// shape and the optional debug server.
+type Diag struct {
+	// DebugAddr is the -debug-addr flag: when non-empty, serve /metrics,
+	// /healthz, /debug/vars and /debug/pprof on this address and enable
+	// metric collection.
+	DebugAddr string
+	// LogFormat is the -log-format flag: "text" or "json".
+	LogFormat string
+	// LogLevel is the -log-level flag: debug, info, warn or error.
+	LogLevel string
+}
+
+// AddDiag registers -debug-addr, -log-format and -log-level on the flag
+// set and returns the struct they fill in after fs.Parse.
+func AddDiag(fs *flag.FlagSet) *Diag {
+	d := &Diag{}
+	addDiag(fs, d)
+	return d
+}
+
+func addDiag(fs *flag.FlagSet, d *Diag) {
+	fs.StringVar(&d.DebugAddr, "debug-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (e.g. localhost:6060) and enable metric collection")
+	fs.StringVar(&d.LogFormat, "log-format", "text", "diagnostic log format: text or json (always on stderr)")
+	fs.StringVar(&d.LogLevel, "log-level", "info", "diagnostic log level: debug, info, warn or error")
+}
+
+// Setup builds the shared structured logger on stderr, installs it as the
+// slog default, and — when -debug-addr was given — starts the debug
+// server (which enables metric collection). Call it right after fs.Parse;
+// everything diagnostic the CLI prints from then on goes through the
+// returned logger, keeping stdout exclusively for data.
+func (d *Diag) Setup() (*slog.Logger, error) {
+	log, err := telemetry.NewLogger(os.Stderr, d.LogFormat, d.LogLevel)
+	if err != nil {
+		return nil, err
+	}
+	slog.SetDefault(log)
+	if d.DebugAddr != "" {
+		srv, err := telemetry.StartServer(d.DebugAddr, nil)
+		if err != nil {
+			return nil, err
+		}
+		log.Info("debug server listening", "addr", srv.Addr)
+	}
+	return log, nil
+}
 
 // Runtime carries the execution flags every long-running CLI shares.
 type Runtime struct {
@@ -27,16 +78,39 @@ type Runtime struct {
 	Timeout time.Duration
 	// Trace is the -trace flag: record and print per-stage wall times.
 	Trace bool
+	// Diag holds the embedded diagnostics flags (Setup is promoted).
+	Diag
 }
 
-// AddRuntime registers -workers, -timeout and -trace on the flag set and
-// returns the struct they fill in after fs.Parse.
+// AddRuntime registers -workers, -timeout, -trace and the diagnostics
+// trio on the flag set and returns the struct they fill in after
+// fs.Parse.
 func AddRuntime(fs *flag.FlagSet) *Runtime {
 	r := &Runtime{}
 	fs.IntVar(&r.Workers, "workers", 0, "worker goroutines (0: CATI_WORKERS env, else GOMAXPROCS)")
 	fs.DurationVar(&r.Timeout, "timeout", 0, "overall deadline, e.g. 90s or 10m (0: none)")
 	fs.BoolVar(&r.Trace, "trace", false, "record per-stage wall times and print the breakdown on exit")
+	addDiag(fs, &r.Diag)
 	return r
+}
+
+// StageHook returns an obs.Hook that logs stage completions (and, at
+// debug level, starts) with the same stage/wall/items/workers attributes
+// the telemetry histograms are labeled by, so log lines and /metrics
+// series correlate. Hooks may fire from concurrent stages; slog handlers
+// are safe for that.
+func StageHook(log *slog.Logger) obs.Hook {
+	return func(e obs.Event) {
+		if !e.Done {
+			log.Debug("stage start", "stage", e.Stage, "workers", e.Workers)
+			return
+		}
+		if e.Err != nil {
+			log.Warn("stage failed", "stage", e.Stage, "wall", e.Wall, "items", e.Items, "workers", e.Workers, "error", e.Err)
+			return
+		}
+		log.Debug("stage done", "stage", e.Stage, "wall", e.Wall, "items", e.Items, "workers", e.Workers)
+	}
 }
 
 // Context returns a context that is cancelled on Ctrl-C (SIGINT) or

@@ -9,8 +9,20 @@ import (
 	"repro/internal/artifact"
 	"repro/internal/nn"
 	"repro/internal/par"
+	"repro/internal/telemetry"
 	"repro/internal/word2vec"
 )
+
+// countPhase records a checkpoint phase event: "saved" when a completed
+// training phase is sealed to disk, "resumed" when a later run loads it
+// instead of retraining.
+func countPhase(event string) {
+	if !telemetry.On() {
+		return
+	}
+	telemetry.Default().Counter("cati_checkpoint_phases_total",
+		"Training checkpoint phases by event (saved, resumed).", "event", event).Inc()
+}
 
 // Checkpoint file layout: one sealed artifact per completed training
 // phase inside Config.Checkpoint —
@@ -110,6 +122,9 @@ func (c *checkpoint) save(name string, payload []byte) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("classify: checkpoint %s: %w", name, err)
 	}
+	if name != "meta" {
+		countPhase("saved")
+	}
 	return nil
 }
 
@@ -127,6 +142,7 @@ func (c *checkpoint) loadEmbed() *word2vec.Model {
 	if err != nil {
 		return nil
 	}
+	countPhase("resumed")
 	return m
 }
 
@@ -158,6 +174,7 @@ func (c *checkpoint) loadNet(name string) *nn.Network {
 	if net.CheckFinite() != nil {
 		return nil
 	}
+	countPhase("resumed")
 	return net
 }
 

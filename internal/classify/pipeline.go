@@ -15,9 +15,22 @@ import (
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/telemetry"
 	"repro/internal/vuc"
 	"repro/internal/word2vec"
 )
+
+// countPredictions records n CNN predictions for one classifier stage
+// ("flat" for the single-classifier ablation). Skipped wholesale while
+// collection is off so the per-call registry lookup never hits the
+// predict path.
+func countPredictions(stage string, n int) {
+	if !telemetry.On() {
+		return
+	}
+	telemetry.Default().Counter("cati_predictions_total",
+		"CNN predictions made, by classifier stage.", "stage", stage).Add(uint64(n))
+}
 
 // Config are the pipeline hyperparameters; zero values take the paper's.
 type Config struct {
@@ -383,6 +396,7 @@ func (p *Pipeline) PredictVUCsCtx(ctx context.Context, samples [][]float32) ([]V
 		if err != nil {
 			return nil, err
 		}
+		countPredictions("flat", len(samples))
 		out := make([]VUCPrediction, len(samples))
 		err = par.ForEachCtx(ctx, len(samples), workers, func(i int) {
 			row := probs[i]
@@ -423,6 +437,7 @@ func (p *Pipeline) PredictVUCsCtx(ctx context.Context, samples [][]float32) ([]V
 	stageProbs := make(map[ctypes.Stage][][]float32, len(stages))
 	for si, stage := range stages {
 		stageProbs[stage] = probsBy[si]
+		countPredictions(stage.String(), len(samples))
 	}
 	out := make([]VUCPrediction, len(samples))
 	err := par.ForEachCtx(ctx, len(samples), workers, func(i int) {

@@ -3,21 +3,34 @@ package classify
 import (
 	"repro/internal/ctypes"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 )
 
 // DefaultClamp is the paper's confidence threshold: per-VUC confidences at
 // or above it count as 1.0 in the vote (Eq. 3, threshold 0.9).
 const DefaultClamp = 0.9
 
+// mClampHits counts per-class confidences the vote clamped to 1.0 — the
+// share of votes the Eq. 3 threshold actually changes, which is what the
+// clamp ablation tunes. Hits are batched per probability row, so voting
+// costs one atomic add per row, not per class.
+var mClampHits = telemetry.Default().Counter("cati_vote_clamp_hits_total",
+	"Per-class confidences clamped to 1.0 during voting (Eq. 3).")
+
 // clampRow applies Eq. 3 to one probability row.
 func clampRow(row []float32, clamp float64) []float64 {
 	out := make([]float64, len(row))
+	hits := 0
 	for i, v := range row {
 		if clamp > 0 && float64(v) >= clamp {
 			out[i] = 1.0
+			hits++
 		} else {
 			out[i] = float64(v)
 		}
+	}
+	if hits > 0 {
+		mClampHits.Add(uint64(hits))
 	}
 	return out
 }
@@ -48,6 +61,7 @@ func VoteVariable(preds []VUCPrediction, clamp float64) VarPrediction {
 			v := p.Confidence
 			if clamp > 0 && v >= clamp {
 				v = 1
+				mClampHits.Inc()
 			}
 			sums[c] += v
 		}

@@ -27,9 +27,53 @@ import (
 	"repro/internal/elfx"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/telemetry"
 	"repro/internal/vareco"
 	"repro/internal/vuc"
 )
+
+// Inference and artifact telemetry. Binary outcome counters follow the
+// BinaryResult contract: one inferred/failed increment per binary (after
+// retries settle), plus one retry increment per extra attempt and a
+// timeout increment when the per-binary deadline was the failure.
+var (
+	mVUCs = telemetry.Default().Counter("cati_vucs_extracted_total",
+		"VUCs extracted across all inferred binaries.")
+	mBinInferred = telemetry.Default().Counter("cati_binaries_inferred_total",
+		"Binaries whose inference completed successfully.")
+	mBinFailed = telemetry.Default().Counter("cati_binaries_failed_total",
+		"Binaries whose inference failed after all attempts.")
+	mBinRetries = telemetry.Default().Counter("cati_binary_retries_total",
+		"Extra inference attempts made after transient per-binary failures.")
+	mBinTimeouts = telemetry.Default().Counter("cati_binaries_timeout_total",
+		"Binaries that failed because the per-binary timeout fired.")
+)
+
+// countOutcome records one binary's final inference outcome.
+func countOutcome(err error) {
+	if err == nil {
+		mBinInferred.Inc()
+		return
+	}
+	mBinFailed.Inc()
+	if errors.Is(err, context.DeadlineExceeded) {
+		mBinTimeouts.Inc()
+	}
+}
+
+// countArtifact records a model save/load outcome under one labeled
+// counter family.
+func countArtifact(op string, err error) {
+	if !telemetry.On() {
+		return
+	}
+	result := "ok"
+	if err != nil {
+		result = "error"
+	}
+	telemetry.Default().Counter("cati_artifact_ops_total",
+		"Model artifact operations by kind and outcome.", "op", op, "result", result).Inc()
+}
 
 // CATI is a trained type-inference system.
 type CATI struct {
@@ -72,7 +116,8 @@ const (
 )
 
 // Save serializes the system as a versioned, checksummed artifact.
-func (c *CATI) Save() ([]byte, error) {
+func (c *CATI) Save() (blob []byte, err error) {
+	defer func() { countArtifact("save", err) }()
 	if c.Pipeline == nil {
 		return nil, ErrNotTrained
 	}
@@ -87,7 +132,8 @@ func (c *CATI) Save() ([]byte, error) {
 // version, length, checksum) and the decoded weights (all finite) before
 // accepting it. Failure modes are distinguishable with errors.Is against
 // the artifact package's typed errors and nn.ErrNotFinite.
-func Load(data []byte) (*CATI, error) {
+func Load(data []byte) (c *CATI, err error) {
+	defer func() { countArtifact("load", err) }()
 	payload, err := artifact.Open(modelKind, ModelVersion, data)
 	if err != nil {
 		return nil, fmt.Errorf("core: load: %w", err)
@@ -135,7 +181,9 @@ func (c *CATI) InferBinaryCtx(ctx context.Context, bin *elfx.Binary) ([]Inferred
 	if c.Pipeline == nil {
 		return nil, ErrNotTrained
 	}
-	return c.infer(ctx, bin, c.runner())
+	vars, err := c.infer(ctx, bin, c.runner())
+	countOutcome(err)
+	return vars, err
 }
 
 // InferImage is InferBinary for a raw ELF image.
@@ -244,6 +292,9 @@ func (c *CATI) inferIsolated(ctx context.Context, bin *elfx.Binary, run obs.Runn
 	res := BinaryResult{}
 	for {
 		res.Attempts++
+		if res.Attempts > 1 {
+			mBinRetries.Inc()
+		}
 		bctx := ctx
 		cancel := context.CancelFunc(func() {})
 		if opts.Timeout > 0 {
@@ -259,15 +310,17 @@ func (c *CATI) inferIsolated(ctx context.Context, bin *elfx.Binary, run obs.Runn
 		cancel()
 		if err == nil {
 			res.Err = nil
+			countOutcome(nil)
 			return res
 		}
 		res.Err = err
 		// Parent cancellation is not a per-binary failure mode: surface it
-		// as-is and let the batch-level ctx check report it.
+		// as-is (uncounted) and let the batch-level ctx check report it.
 		if ctx.Err() != nil {
 			return res
 		}
 		if res.Attempts > opts.Retries || !retryable(err) {
+			countOutcome(err)
 			return res
 		}
 	}
@@ -311,6 +364,7 @@ func (c *CATI) infer(ctx context.Context, bin *elfx.Binary, run obs.Runner) ([]I
 	if err != nil {
 		return nil, err
 	}
+	mVUCs.Add(uint64(len(vucs)))
 	if len(vucs) == 0 {
 		return nil, nil
 	}

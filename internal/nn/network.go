@@ -8,9 +8,34 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/par"
+	"repro/internal/telemetry"
 )
+
+// Training telemetry, shared by the serial and data-parallel trainers.
+// Counters accumulate across every network trained in the process (the
+// six stage CNNs train concurrently); the gauges hold the most recently
+// completed epoch's mean loss and throughput.
+var (
+	mMinibatches = telemetry.Default().Counter("cati_nn_minibatches_total",
+		"Minibatches processed across all classifier trainings.")
+	mExamples = telemetry.Default().Counter("cati_nn_examples_total",
+		"Training examples consumed across all classifier trainings.")
+	mLoss = telemetry.Default().FloatGauge("cati_nn_loss",
+		"Mean cross-entropy loss of the most recently completed epoch.")
+	mExamplesPerSec = telemetry.Default().FloatGauge("cati_nn_examples_per_second",
+		"Training throughput of the most recently completed epoch.")
+)
+
+// epochDone updates the loss/throughput gauges after one epoch.
+func epochDone(meanLoss float64, seen int, elapsed time.Duration) {
+	mLoss.Set(meanLoss)
+	if s := elapsed.Seconds(); s > 0 {
+		mExamplesPerSec.Set(float64(seen) / s)
+	}
+}
 
 // Network is a sequential stack of layers ending in logits; softmax and
 // cross-entropy live in the trainer.
@@ -254,6 +279,7 @@ func trainClassifierSerial(ctx context.Context, net *Network, ds *Dataset, class
 	sampleSize := ds.SeqLen * ds.EmbDim
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochStart := time.Now()
 		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		var totalLoss float64
 		var seen int
@@ -294,9 +320,12 @@ func trainClassifierSerial(ctx context.Context, net *Network, ds *Dataset, class
 				return fmt.Errorf("epoch %d: %w", epoch, ErrDiverged)
 			}
 			seen += b
+			mMinibatches.Inc()
+			mExamples.Add(uint64(b))
 			net.Backward(grad)
 			opt.Step(params)
 		}
+		epochDone(totalLoss/float64(seen), seen, time.Since(epochStart))
 		if cfg.Progress != nil {
 			cfg.Progress(epoch, totalLoss/float64(seen))
 		}
@@ -377,6 +406,7 @@ func trainClassifierParallel(ctx context.Context, net *Network, replicas []*Netw
 	losses := make([]float64, workers)
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochStart := time.Now()
 		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		var totalLoss float64
 		var seen int
@@ -432,8 +462,11 @@ func trainClassifierParallel(ctx context.Context, net *Network, replicas []*Netw
 				return fmt.Errorf("epoch %d: %w", epoch, ErrDiverged)
 			}
 			seen += b
+			mMinibatches.Inc()
+			mExamples.Add(uint64(b))
 			opt.Step(params)
 		}
+		epochDone(totalLoss/float64(seen), seen, time.Since(epochStart))
 		if cfg.Progress != nil {
 			cfg.Progress(epoch, totalLoss/float64(seen))
 		}

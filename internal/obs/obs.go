@@ -17,6 +17,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Stage is one recorded pipeline stage.
@@ -138,8 +140,34 @@ func (r Runner) Stage(ctx context.Context, name string, workers int, fn func() (
 	items, err := fn()
 	wall := time.Since(t0)
 	r.Trace.Add(Stage{Name: name, Wall: wall, Items: items, Workers: workers, Err: err})
+	record(name, wall, items, err)
 	if r.Hook != nil {
 		r.Hook(Event{Stage: name, Done: true, Wall: wall, Items: items, Workers: workers, Err: err})
 	}
 	return err
+}
+
+// record feeds the stage outcome into the process-wide telemetry registry:
+// a latency histogram, an item counter and run/error counters, all labeled
+// by stage name. Unlike a Trace — one run's table — these accumulate over
+// every stage execution in the process, which is what a /metrics scrape of
+// a long-running service needs; the -trace table stays a per-run view over
+// the same events. The whole call is skipped while collection is off.
+func record(name string, wall time.Duration, items int, err error) {
+	if !telemetry.On() {
+		return
+	}
+	reg := telemetry.Default()
+	reg.Histogram("cati_stage_seconds", "Wall-clock stage latency by pipeline stage.",
+		telemetry.StageBuckets, "stage", name).Observe(wall.Seconds())
+	if items > 0 {
+		reg.Counter("cati_stage_items_total", "Work items processed, by pipeline stage.",
+			"stage", name).Add(uint64(items))
+	}
+	reg.Counter("cati_stage_runs_total", "Completed stage executions, by pipeline stage.",
+		"stage", name).Inc()
+	if err != nil {
+		reg.Counter("cati_stage_errors_total", "Stage executions that returned an error, by pipeline stage.",
+			"stage", name).Inc()
+	}
 }

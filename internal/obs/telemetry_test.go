@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestStageFeedsTelemetry checks that Runner.Stage reports each execution
+// into the stage-labeled histogram and counters. Unique stage names keep
+// the assertions delta-free against the shared process registry.
+func TestStageFeedsTelemetry(t *testing.T) {
+	telemetry.SetEnabled(true)
+	t.Cleanup(func() { telemetry.SetEnabled(false) })
+
+	var r Runner // no Trace, no Hook: metrics flow regardless
+	const stage = "test-telemetry-ok"
+	for i := 0; i < 3; i++ {
+		if err := r.Stage(context.Background(), stage, 1, func() (int, error) {
+			return 7, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reg := telemetry.Default()
+	h := reg.Histogram("cati_stage_seconds", "", telemetry.StageBuckets, "stage", stage)
+	if got := h.Count(); got != 3 {
+		t.Errorf("stage latency observations = %d, want 3", got)
+	}
+	if got := reg.Counter("cati_stage_runs_total", "", "stage", stage).Value(); got != 3 {
+		t.Errorf("stage runs = %d, want 3", got)
+	}
+	if got := reg.Counter("cati_stage_items_total", "", "stage", stage).Value(); got != 21 {
+		t.Errorf("stage items = %d, want 21", got)
+	}
+	if got := reg.Counter("cati_stage_errors_total", "", "stage", stage).Value(); got != 0 {
+		t.Errorf("stage errors = %d, want 0", got)
+	}
+
+	const failing = "test-telemetry-fail"
+	wantErr := errors.New("stage broke")
+	if err := r.Stage(context.Background(), failing, 1, func() (int, error) {
+		return 0, wantErr
+	}); !errors.Is(err, wantErr) {
+		t.Fatalf("Stage returned %v, want %v", err, wantErr)
+	}
+	if got := reg.Counter("cati_stage_errors_total", "", "stage", failing).Value(); got != 1 {
+		t.Errorf("failing stage errors = %d, want 1", got)
+	}
+}
+
+// TestStageTelemetryDisabled checks the off path records nothing.
+func TestStageTelemetryDisabled(t *testing.T) {
+	if telemetry.On() {
+		t.Skip("registry enabled by environment")
+	}
+	var r Runner
+	const stage = "test-telemetry-off"
+	if err := r.Stage(context.Background(), stage, 1, func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	h := telemetry.Default().Histogram("cati_stage_seconds", "", telemetry.StageBuckets, "stage", stage)
+	if got := h.Count(); got != 0 {
+		t.Errorf("disabled registry observed %d stage latencies", got)
+	}
+}

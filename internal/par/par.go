@@ -24,6 +24,26 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Pool telemetry: all writes are atomic no-ops until a debug server (or a
+// test) enables the default registry, so the hot shard/thunk paths stay
+// free when observability is off.
+var (
+	mTasksStarted = telemetry.Default().Counter("cati_par_tasks_started_total",
+		"Work items (shards and thunks) handed to the worker pool.")
+	mTasksDone = telemetry.Default().Counter("cati_par_tasks_completed_total",
+		"Work items the pool finished, successful or not.")
+	mPanics = telemetry.Default().Counter("cati_par_panics_recovered_total",
+		"Panics recovered from pool work and contained as *PanicError.")
+	mBusy = telemetry.Default().Gauge("cati_par_workers_busy",
+		"Pool goroutines currently executing work.")
+	mQueueWait = telemetry.Default().Histogram("cati_par_queue_wait_seconds",
+		"Wait for a free pool slot before a thunk starts (RunCtx semaphore).",
+		telemetry.QueueBuckets)
 )
 
 // PanicError is a panic recovered from a worker goroutine (or an inline
@@ -57,10 +77,13 @@ func (e *PanicError) Unwrap() error {
 func Safe(fn func()) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			// A pre-wrapped *PanicError was already counted where it was
+			// first recovered, so nested fan-outs count each panic once.
 			if pe, ok := r.(*PanicError); ok {
 				err = pe
 				return
 			}
+			mPanics.Inc()
 			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
@@ -166,7 +189,10 @@ func ShardErr(n, workers int, fn func(shard, lo, hi int)) (int, error) {
 		return 0, nil
 	}
 	if ns == 1 {
-		return 1, Safe(func() { fn(0, 0, n) })
+		mTasksStarted.Inc()
+		err := Safe(func() { fn(0, 0, n) })
+		mTasksDone.Inc()
+		return 1, err
 	}
 	errs := make([]error, ns)
 	var wg sync.WaitGroup
@@ -175,7 +201,11 @@ func ShardErr(n, workers int, fn func(shard, lo, hi int)) (int, error) {
 		lo, hi := shardBounds(n, ns, s)
 		go func(s, lo, hi int) {
 			defer wg.Done()
+			mTasksStarted.Inc()
+			mBusy.Inc()
 			errs[s] = Safe(func() { fn(s, lo, hi) })
+			mBusy.Dec()
+			mTasksDone.Inc()
 		}(s, lo, hi)
 	}
 	wg.Wait()
@@ -278,7 +308,9 @@ func RunCtx(ctx context.Context, workers int, fns ...func()) error {
 				default:
 				}
 			}
+			mTasksStarted.Inc()
 			errs[i] = Safe(fn)
+			mTasksDone.Inc()
 		}
 		return firstErr()
 	}
@@ -287,6 +319,12 @@ func RunCtx(ctx context.Context, workers int, fns ...func()) error {
 	var cancelled bool
 loop:
 	for i, fn := range fns {
+		// Time the wait for a pool slot only when the histogram is live —
+		// the time.Now pair is the one cost worth gating explicitly.
+		var waitStart time.Time
+		if mQueueWait.Enabled() {
+			waitStart = time.Now()
+		}
 		if done != nil {
 			select {
 			case <-done:
@@ -297,10 +335,17 @@ loop:
 		} else {
 			sem <- struct{}{}
 		}
+		if !waitStart.IsZero() {
+			mQueueWait.ObserveSince(waitStart)
+		}
 		wg.Add(1)
 		go func(i int, fn func()) {
 			defer func() { <-sem; wg.Done() }()
+			mTasksStarted.Inc()
+			mBusy.Inc()
 			errs[i] = Safe(fn)
+			mBusy.Dec()
+			mTasksDone.Inc()
 		}(i, fn)
 	}
 	wg.Wait()

@@ -1,0 +1,122 @@
+package par
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// withTelemetry enables the default registry for one test and restores the
+// disabled state afterwards, so the package's other tests keep exercising
+// the no-op fast path.
+func withTelemetry(t *testing.T) {
+	t.Helper()
+	telemetry.SetEnabled(true)
+	t.Cleanup(func() { telemetry.SetEnabled(false) })
+}
+
+func TestTelemetryBusyGaugeRisesAndFalls(t *testing.T) {
+	withTelemetry(t)
+	baseBusy := mBusy.Value()
+	baseStarted := mTasksStarted.Value()
+	baseDone := mTasksDone.Value()
+
+	const n = 4
+	var entered sync.WaitGroup
+	entered.Add(n)
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Shard(n, n, func(_, _, _ int) {
+			entered.Done()
+			<-release
+		})
+	}()
+
+	// All n shards are in flight once every one has entered fn.
+	entered.Wait()
+	if got := mBusy.Value() - baseBusy; got != n {
+		t.Errorf("busy gauge while pool saturated = %d, want %d", got, n)
+	}
+	close(release)
+	<-done
+	if got := mBusy.Value() - baseBusy; got != 0 {
+		t.Errorf("busy gauge after drain = %d, want 0", got)
+	}
+	if got := mTasksStarted.Value() - baseStarted; got != n {
+		t.Errorf("tasks started = %d, want %d", got, n)
+	}
+	if got := mTasksDone.Value() - baseDone; got != n {
+		t.Errorf("tasks completed = %d, want %d", got, n)
+	}
+}
+
+func TestTelemetryPanicCountedOnce(t *testing.T) {
+	withTelemetry(t)
+	base := mPanics.Value()
+	if _, err := ShardErr(4, 4, func(s, _, _ int) {
+		if s == 2 {
+			panic("boom")
+		}
+	}); err == nil {
+		t.Fatal("ShardErr swallowed the panic")
+	}
+	if got := mPanics.Value() - base; got != 1 {
+		t.Fatalf("panics recovered = %d, want 1", got)
+	}
+}
+
+func TestTelemetryNestedPanicCountedOnce(t *testing.T) {
+	withTelemetry(t)
+	base := mPanics.Value()
+	// The inner Shard contains the panic and re-raises it as *PanicError;
+	// the outer Safe must pass it through without counting it again.
+	err := Safe(func() {
+		Shard(2, 2, func(s, _, _ int) {
+			if s == 1 {
+				panic("inner boom")
+			}
+		})
+	})
+	if err == nil {
+		t.Fatal("nested panic was not contained")
+	}
+	if got := mPanics.Value() - base; got != 1 {
+		t.Fatalf("panics recovered across nested fan-out = %d, want 1", got)
+	}
+}
+
+func TestTelemetryQueueWaitObserved(t *testing.T) {
+	withTelemetry(t)
+	base := mQueueWait.Count()
+	const thunks = 4
+	fns := make([]func(), thunks)
+	for i := range fns {
+		fns[i] = func() { time.Sleep(time.Millisecond) }
+	}
+	if err := RunCtx(context.Background(), 2, fns...); err != nil {
+		t.Fatal(err)
+	}
+	if got := mQueueWait.Count() - base; got != thunks {
+		t.Fatalf("queue waits observed = %d, want %d", got, thunks)
+	}
+}
+
+func TestTelemetryDisabledRecordsNothing(t *testing.T) {
+	if telemetry.On() {
+		t.Skip("registry enabled by environment")
+	}
+	baseStarted := mTasksStarted.Value()
+	basePanics := mPanics.Value()
+	Shard(8, 4, func(_, _, _ int) {})
+	if err := Safe(func() { panic("quiet") }); err == nil {
+		t.Fatal("panic not contained")
+	}
+	if mTasksStarted.Value() != baseStarted || mPanics.Value() != basePanics {
+		t.Fatal("disabled registry recorded pool activity")
+	}
+}

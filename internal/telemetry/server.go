@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Server is a running debug HTTP server. It mounts:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/healthz       liveness probe ("ok")
+//	/debug/vars    expvar JSON (Go runtime memstats, cmdline)
+//	/debug/pprof/  the standard pprof profile handlers
+//
+// Starting a server enables collection on its registry, so a process run
+// with -debug-addr records metrics and one without pays only the atomic
+// no-op fast path.
+type Server struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+	lis  net.Listener
+	srv  *http.Server
+}
+
+var (
+	srvMu       sync.Mutex
+	lastSrvAddr string
+)
+
+// ServerAddr returns the bound address of the most recently started debug
+// server ("" when none started). It exists so tests and parent processes
+// can discover the port a ":0" listen resolved to.
+func ServerAddr() string {
+	srvMu.Lock()
+	defer srvMu.Unlock()
+	return lastSrvAddr
+}
+
+// StartServer binds addr, enables collection on reg (nil: the default
+// registry) and serves the debug endpoints until Close. The listener is
+// bound synchronously — a bad address fails here, not in the background —
+// and serving happens on a goroutine of its own.
+func StartServer(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		reg = Default()
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug server: %w", err)
+	}
+	reg.SetEnabled(true)
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{Addr: lis.Addr().String(), lis: lis, srv: &http.Server{Handler: mux}}
+	srvMu.Lock()
+	lastSrvAddr = s.Addr
+	srvMu.Unlock()
+	go func() { _ = s.srv.Serve(lis) }()
+	return s, nil
+}
+
+// Close stops serving and releases the listener. Collection stays enabled:
+// metrics keep accumulating for a later server or an in-process reader.
+func (s *Server) Close() error {
+	return s.srv.Close()
+}

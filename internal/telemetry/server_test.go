@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := StartServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if !reg.Enabled() {
+		t.Fatal("StartServer did not enable collection")
+	}
+	if got := ServerAddr(); got != srv.Addr {
+		t.Fatalf("ServerAddr() = %q, want %q", got, srv.Addr)
+	}
+	reg.Counter("srv_test_total", "help").Add(2)
+
+	base := "http://" + srv.Addr
+	if code, body := get(t, base+"/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if !strings.Contains(body, "srv_test_total 2") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if code, body := get(t, base+"/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars = %d (memstats present: %v)", code, strings.Contains(body, "memstats"))
+	}
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestStartServerBadAddr(t *testing.T) {
+	if _, err := StartServer("256.0.0.1:bad", NewRegistry()); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

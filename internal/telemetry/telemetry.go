@@ -1,0 +1,429 @@
+// Package telemetry is the pipeline's runtime metrics substrate: a
+// dependency-free registry of atomic counters, gauges and fixed-bucket
+// histograms with Prometheus text-format exposition, plus the debug HTTP
+// server (server.go) and the shared structured-logging handler (log.go)
+// the CLIs mount them behind.
+//
+// The registry is built for hot paths: every metric write starts with one
+// atomic bool load of the registry's enabled flag and returns immediately
+// when collection is off, so instrumented code (par's shard loop, nn's
+// minibatch loop) pays a no-op fast path unless a debug server — or a
+// test — has switched collection on. Metric handles are created once at
+// package init (or lazily for labeled families) and are safe for
+// concurrent use; nil handles are safe no-ops so callers never need nil
+// checks.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry owns a set of metric families and the enabled flag their
+// metrics consult on every write.
+type Registry struct {
+	on   atomic.Bool
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// family groups all label variants of one metric name under one type and
+// help string, the unit Prometheus exposition renders together.
+type family struct {
+	name string
+	help string
+	typ  string // "counter", "gauge" or "histogram"
+	// metrics maps the rendered label signature (`stage="embed"`, "" when
+	// unlabeled) to the variant.
+	metrics map[string]*metric
+}
+
+type metric struct {
+	labels string
+	c      *Counter
+	g      *Gauge
+	f      *FloatGauge
+	h      *Histogram
+}
+
+// NewRegistry returns an empty, disabled registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// std is the process-wide default registry every instrumented package
+// registers into; the debug server enables and serves it.
+var std = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return std }
+
+// On reports whether the default registry is collecting.
+func On() bool { return std.Enabled() }
+
+// SetEnabled switches collection on the default registry.
+func SetEnabled(v bool) { std.SetEnabled(v) }
+
+// Enabled reports whether metric writes are being collected.
+func (r *Registry) Enabled() bool { return r.on.Load() }
+
+// SetEnabled switches collection on or off. Metrics created while the
+// registry was disabled start counting from their current (usually zero)
+// state; disabling freezes values but keeps them exposable.
+func (r *Registry) SetEnabled(v bool) { r.on.Store(v) }
+
+// familyLocked returns the named family, creating it with the given type
+// and help on first use. Re-registering a name as a different metric type
+// is a programming error and panics.
+func (r *Registry) familyLocked(name, help, typ string) *family {
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, metrics: make(map[string]*metric)}
+		r.fams[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// labelString renders alternating key/value pairs as `k1="v1",k2="v2"`.
+func labelString(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: odd label list %q", kv))
+	}
+	var b strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+// Counter registers (or returns) the cumulative counter with the given
+// name and optional alternating label key/value pairs.
+func (r *Registry) Counter(name, help string, kv ...string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, "counter")
+	sig := labelString(kv)
+	if m, ok := f.metrics[sig]; ok {
+		return m.c
+	}
+	c := &Counter{on: &r.on}
+	f.metrics[sig] = &metric{labels: sig, c: c}
+	return c
+}
+
+// Gauge registers (or returns) the integer gauge with the given name and
+// optional labels.
+func (r *Registry) Gauge(name, help string, kv ...string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, "gauge")
+	sig := labelString(kv)
+	if m, ok := f.metrics[sig]; ok {
+		return m.g
+	}
+	g := &Gauge{on: &r.on}
+	f.metrics[sig] = &metric{labels: sig, g: g}
+	return g
+}
+
+// FloatGauge registers (or returns) the float gauge with the given name
+// and optional labels. Integer and float gauges share the "gauge"
+// exposition type but a name must stick to one Go flavor.
+func (r *Registry) FloatGauge(name, help string, kv ...string) *FloatGauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, "gauge")
+	sig := labelString(kv)
+	if m, ok := f.metrics[sig]; ok {
+		return m.f
+	}
+	fg := &FloatGauge{on: &r.on}
+	f.metrics[sig] = &metric{labels: sig, f: fg}
+	return fg
+}
+
+// Histogram registers (or returns) the fixed-bucket histogram with the
+// given name, bucket upper bounds (ascending; +Inf is implicit) and
+// optional labels. All variants of one name must share bucket bounds.
+func (r *Registry) Histogram(name, help string, buckets []float64, kv ...string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, "histogram")
+	sig := labelString(kv)
+	if m, ok := f.metrics[sig]; ok {
+		return m.h
+	}
+	h := &Histogram{on: &r.on, bounds: append([]float64(nil), buckets...)}
+	h.counts = make([]atomic.Uint64, len(h.bounds)+1)
+	f.metrics[sig] = &metric{labels: sig, h: h}
+	return h
+}
+
+// Counter is a cumulative atomic counter.
+type Counter struct {
+	on *atomic.Bool
+	v  atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. A no-op (one atomic load) while collection is disabled.
+func (c *Counter) Add(n uint64) {
+	if c == nil || !c.on.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic integer gauge (a value that goes up and down, e.g.
+// busy workers).
+type Gauge struct {
+	on *atomic.Bool
+	v  atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Add adds d (which may be negative).
+func (g *Gauge) Add(d int64) {
+	if g == nil || !g.on.Load() {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil || !g.on.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// FloatGauge is an atomic float64 gauge (e.g. the last epoch's loss).
+type FloatGauge struct {
+	on   *atomic.Bool
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (f *FloatGauge) Set(v float64) {
+	if f == nil || !f.on.Load() {
+		return
+	}
+	f.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value.
+func (f *FloatGauge) Value() float64 {
+	if f == nil {
+		return 0
+	}
+	return math.Float64frombits(f.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: per-bucket atomic counts plus an
+// atomic sum, observed without locks.
+type Histogram struct {
+	on     *atomic.Bool
+	bounds []float64
+	counts []atomic.Uint64 // one per bound, plus the +Inf overflow bucket
+	n      atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Enabled reports whether observations are being collected — callers that
+// must pay for the observed value itself (e.g. a time.Now() pair) can skip
+// that work when off.
+func (h *Histogram) Enabled() bool { return h != nil && h.on.Load() }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !h.on.Load() {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if !h.Enabled() {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Time-bucket presets shared by the instrumented packages.
+var (
+	// StageBuckets span pipeline stage latencies: microsecond votes on
+	// tiny binaries up to multi-minute CNN training phases.
+	StageBuckets = []float64{1e-5, 1e-4, 1e-3, 0.005, 0.025, 0.1, 0.5, 1, 5, 15, 60, 300}
+	// QueueBuckets span worker-pool slot waits: sub-microsecond on an idle
+	// pool up to seconds when every slot is taken by long shards.
+	QueueBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 1, 10}
+)
+
+// fmtFloat renders a float the way Prometheus text format expects.
+func fmtFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (# HELP / # TYPE headers, then one line per series),
+// families and label variants in lexical order for stable scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	variants := make([][]*metric, len(names))
+	for i, name := range names {
+		f := r.fams[name]
+		fams[i] = f
+		sigs := make([]string, 0, len(f.metrics))
+		for sig := range f.metrics {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			variants[i] = append(variants[i], f.metrics[sig])
+		}
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for i, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for _, m := range variants[i] {
+			writeMetric(&b, f.name, m)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// series renders `name{labels}` (or bare name), merging extra label pairs
+// (the histogram le) into an existing signature.
+func series(name, labels, extra string) string {
+	all := labels
+	if extra != "" {
+		if all != "" {
+			all += ","
+		}
+		all += extra
+	}
+	if all == "" {
+		return name
+	}
+	return name + "{" + all + "}"
+}
+
+func writeMetric(b *strings.Builder, name string, m *metric) {
+	switch {
+	case m.c != nil:
+		fmt.Fprintf(b, "%s %d\n", series(name, m.labels, ""), m.c.Value())
+	case m.g != nil:
+		fmt.Fprintf(b, "%s %d\n", series(name, m.labels, ""), m.g.Value())
+	case m.f != nil:
+		fmt.Fprintf(b, "%s %s\n", series(name, m.labels, ""), fmtFloat(m.f.Value()))
+	case m.h != nil:
+		h := m.h
+		var cum uint64
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			le := `le="` + fmtFloat(bound) + `"`
+			fmt.Fprintf(b, "%s %d\n", series(name+"_bucket", m.labels, le), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(b, "%s %d\n", series(name+"_bucket", m.labels, `le="+Inf"`), cum)
+		fmt.Fprintf(b, "%s %s\n", series(name+"_sum", m.labels, ""), fmtFloat(h.Sum()))
+		fmt.Fprintf(b, "%s %d\n", series(name+"_count", m.labels, ""), h.Count())
+	}
+}
+
+// ServeHTTP serves the exposition text — the registry is its own /metrics
+// handler.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WritePrometheus(w)
+}

@@ -1,0 +1,249 @@
+package telemetry
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisabledRegistryIsNoOp(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	g := r.Gauge("g", "help")
+	f := r.FloatGauge("f", "help")
+	h := r.Histogram("h_seconds", "help", []float64{1, 2})
+
+	c.Inc()
+	c.Add(5)
+	g.Inc()
+	g.Set(9)
+	f.Set(3.5)
+	h.Observe(1.5)
+	h.ObserveSince(time.Now())
+
+	if c.Value() != 0 || g.Value() != 0 || f.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("disabled registry recorded writes: c=%d g=%d f=%g hn=%d",
+			c.Value(), g.Value(), f.Value(), h.Count())
+	}
+	if h.Enabled() {
+		t.Fatal("histogram reports enabled on a disabled registry")
+	}
+}
+
+func TestNilMetricsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var f *FloatGauge
+	var h *Histogram
+	c.Inc()
+	c.Add(2)
+	g.Inc()
+	g.Dec()
+	g.Set(1)
+	f.Set(1)
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 || f.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics returned nonzero values")
+	}
+	if h.Enabled() {
+		t.Fatal("nil histogram reports enabled")
+	}
+}
+
+func TestCounterGaugeValues(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "help")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 1 {
+		t.Fatalf("gauge = %d, want 1", got)
+	}
+	g.Set(-7)
+	if got := g.Value(); got != -7 {
+		t.Fatalf("gauge = %d, want -7", got)
+	}
+	f := r.FloatGauge("f", "help")
+	f.Set(0.25)
+	if got := f.Value(); got != 0.25 {
+		t.Fatalf("float gauge = %g, want 0.25", got)
+	}
+}
+
+func TestSameNameReturnsSameMetric(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	a := r.Counter("dup_total", "help", "k", "v")
+	b := r.Counter("dup_total", "help", "k", "v")
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	other := r.Counter("dup_total", "help", "k", "w")
+	if a == other {
+		t.Fatal("different labels returned the same counter")
+	}
+	a.Inc()
+	if b.Value() != 1 || other.Value() != 0 {
+		t.Fatalf("variant isolation broken: b=%d other=%d", b.Value(), other.Value())
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x", "help")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	h := r.Histogram("lat_seconds", "help", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.05+0.05+0.5+5; got != want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q\n%s", line, out)
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.Counter("b_total", "b counts things", "stage", "embed").Add(3)
+	r.Counter("b_total", "b counts things", "stage", "vote").Add(1)
+	r.Gauge("a_busy", "busy workers").Set(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Families sorted by name, HELP/TYPE headers before series, labeled
+	// variants in lexical order.
+	want := "# HELP a_busy busy workers\n" +
+		"# TYPE a_busy gauge\n" +
+		"a_busy 2\n" +
+		"# HELP b_total b counts things\n" +
+		"# TYPE b_total counter\n" +
+		`b_total{stage="embed"} 3` + "\n" +
+		`b_total{stage="vote"} 1` + "\n"
+	if out != want {
+		t.Fatalf("exposition =\n%s\nwant\n%s", out, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.Counter("esc_total", "help", "path", `a"b\c`+"\n").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `esc_total{path="a\"b\\c\n"} 1`; !strings.Contains(b.String(), want) {
+		t.Fatalf("exposition missing %q:\n%s", want, b.String())
+	}
+}
+
+func TestLoggerLevelsAndFormats(t *testing.T) {
+	for _, tc := range []struct{ format, level string }{
+		{"text", "debug"}, {"text", "info"}, {"json", "warn"}, {"json", "error"},
+		{"", ""}, {"TEXT", "WARNING"},
+	} {
+		if _, err := NewLogger(io.Discard, tc.format, tc.level); err != nil {
+			t.Errorf("NewLogger(%q, %q): %v", tc.format, tc.level, err)
+		}
+	}
+	if _, err := NewLogger(io.Discard, "xml", "info"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := NewLogger(io.Discard, "text", "loud"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
+
+func TestLoggerFiltersBelowLevel(t *testing.T) {
+	var b strings.Builder
+	log, err := NewLogger(&b, "text", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hidden")
+	log.Warn("shown")
+	out := b.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("info line leaked through warn level: %s", out)
+	}
+	if !strings.Contains(out, "shown") {
+		t.Errorf("warn line missing: %s", out)
+	}
+}
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "help")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	c := r.Counter("bench_total", "help")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramDisabled(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "help", StageBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.003)
+	}
+}
+
+func BenchmarkHistogramEnabled(b *testing.B) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	h := r.Histogram("bench_seconds", "help", StageBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.003)
+	}
+}

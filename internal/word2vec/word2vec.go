@@ -16,6 +16,17 @@ import (
 	"sync/atomic"
 
 	"repro/internal/par"
+	"repro/internal/telemetry"
+)
+
+// Embedding-training telemetry: cumulative sentence/token throughput
+// across epochs, shared by the serial and Hogwild trainers. Per-sentence
+// atomic adds are negligible next to the dot products a sentence costs.
+var (
+	mSentences = telemetry.Default().Counter("cati_w2v_sentences_total",
+		"Sentences consumed by Word2Vec training, across epochs.")
+	mTokens = telemetry.Default().Counter("cati_w2v_tokens_total",
+		"Tokens consumed by Word2Vec training, across epochs.")
 )
 
 // Config are the training hyperparameters; zero values take the paper's
@@ -248,6 +259,8 @@ func trainSerial(ctx context.Context, cfg Config, stream [][]int32, table []int3
 				default:
 				}
 			}
+			mSentences.Inc()
+			mTokens.Add(uint64(len(row)))
 			for ci, center := range row {
 				// Linearly decayed learning rate with a floor.
 				lr := float32(cfg.LR) * (1 - float32(trained)/float32(totalSteps+1))
@@ -363,6 +376,8 @@ func trainParallel(ctx context.Context, cfg Config, stream [][]int32, table []in
 					default:
 					}
 				}
+				mSentences.Inc()
+				mTokens.Add(uint64(len(row)))
 				for ci, center := range row {
 					lr := float32(cfg.LR) * (1 - float32(st.trained)/float32(totalSteps+1))
 					if lr < float32(cfg.LR)*0.0001 {
