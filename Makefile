@@ -5,12 +5,12 @@
 
 GO ?= go
 GOFMT ?= gofmt
-RACE_PKGS = ./internal/par ./internal/obs ./internal/telemetry ./internal/nn ./internal/word2vec ./internal/classify ./internal/core
+RACE_PKGS = ./internal/par ./internal/obs ./internal/telemetry ./internal/nn ./internal/word2vec ./internal/classify ./internal/core ./internal/serve
 # FUZZTIME bounds each fuzz target during `make fuzz`; the committed seed
 # corpus always runs in full via plain `go test`.
 FUZZTIME ?= 5s
 
-.PHONY: check build test lint vet race fuzz cover bench bench-json
+.PHONY: check build test lint vet race fuzz cover bench bench-json bench-serve
 
 check: lint build test cover race fuzz
 
@@ -61,3 +61,8 @@ bench:
 # Machine-readable timing records for the parallel compute core.
 bench-json:
 	$(GO) run ./cmd/catibench -bench-json BENCH_parallel.json
+
+# Closed-loop load sweep over the catiserve configurations (result cache
+# off/on x micro-batching off/on): RPS and latency percentiles per point.
+bench-serve:
+	$(GO) run ./cmd/catibench -serve-bench BENCH_serve.json

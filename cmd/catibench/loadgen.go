@@ -1,0 +1,280 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/elfx"
+	"repro/internal/nn"
+	"repro/internal/serve"
+	"repro/internal/synth"
+	"repro/internal/word2vec"
+)
+
+// serveRecord is one line of BENCH_serve.json: the closed-loop load
+// result for one catiserve configuration.
+type serveRecord struct {
+	Name        string  `json:"name"`
+	Concurrency int     `json:"concurrency"`
+	DurationS   float64 `json:"duration_s"`
+	Requests    int     `json:"requests"`
+	// Errors counts non-200 responses (429 shed included) and transport
+	// failures; the closed loop keeps going either way.
+	Errors int `json:"errors"`
+	// Cached counts 200s answered from the result cache.
+	Cached  int     `json:"cached"`
+	RPS     float64 `json:"rps"`
+	P50Ms   float64 `json:"p50_ms"`
+	P95Ms   float64 `json:"p95_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	Cache   bool    `json:"cache"`
+	Batch   bool    `json:"batch"`
+	ModelFP string  `json:"model,omitempty"`
+}
+
+// loadgenImages synthesizes a small, fixed set of distinct stripped
+// binaries. Clients cycle through them, so a result cache warms after
+// one pass — the repeat-submission shape real decompiler workloads have.
+func loadgenImages(n int) ([][]byte, error) {
+	images := make([][]byte, n)
+	for i := range images {
+		seed := int64(900 + i)
+		p := synth.Generate(synth.DefaultProfile("loadgen"), seed)
+		res, err := compile.Compile(p, compile.Options{Dialect: compile.GCC, Opt: 1, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		img, err := elfx.Write(elfx.Strip(res.Binary))
+		if err != nil {
+			return nil, err
+		}
+		images[i] = img
+	}
+	return images, nil
+}
+
+// runLoadgen drives url with a closed loop: concurrency clients, each
+// POSTing the next image the moment its previous response lands, for the
+// given duration. Returns the aggregate; percentiles cover successful
+// requests only (shed requests return in microseconds and would flatter
+// the tail).
+func runLoadgen(ctx context.Context, url string, images [][]byte, concurrency int, duration time.Duration) (serveRecord, error) {
+	if len(images) == 0 {
+		return serveRecord{}, fmt.Errorf("loadgen: no images")
+	}
+	ctx, cancel := context.WithTimeout(ctx, duration)
+	defer cancel()
+
+	type worker struct {
+		lat            []time.Duration
+		errors, cached int
+	}
+	workers := make([]worker, concurrency)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			me := &workers[w]
+			client := &http.Client{}
+			for i := w; ctx.Err() == nil; i++ {
+				img := images[i%len(images)]
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(img))
+				if err != nil {
+					me.errors++
+					continue
+				}
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					if ctx.Err() != nil {
+						return // cut off mid-request by the clock, not a failure
+					}
+					me.errors++
+					continue
+				}
+				var ir serve.InferResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&ir)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || decErr != nil {
+					me.errors++
+					continue
+				}
+				me.lat = append(me.lat, time.Since(t0))
+				if ir.Cached {
+					me.cached++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lat []time.Duration
+	rec := serveRecord{Concurrency: concurrency, DurationS: elapsed.Seconds()}
+	for i := range workers {
+		lat = append(lat, workers[i].lat...)
+		rec.Errors += workers[i].errors
+		rec.Cached += workers[i].cached
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	rec.Requests = len(lat) + rec.Errors
+	rec.RPS = float64(len(lat)) / elapsed.Seconds()
+	rec.P50Ms = percentileMs(lat, 0.50)
+	rec.P95Ms = percentileMs(lat, 0.95)
+	rec.P99Ms = percentileMs(lat, 0.99)
+	return rec, nil
+}
+
+// percentileMs is the nearest-rank percentile of a sorted sample, in
+// milliseconds (0 for an empty sample).
+func percentileMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// runServeURL load-tests an already-running catiserve at url and prints
+// the single JSON record to stdout.
+func runServeURL(ctx context.Context, log *slog.Logger, url string, concurrency int, duration time.Duration) error {
+	images, err := loadgenImages(6)
+	if err != nil {
+		return err
+	}
+	log.Info("load-generating", "url", url, "concurrency", concurrency, "duration", duration)
+	rec, err := runLoadgen(ctx, url, images, concurrency, duration)
+	if err != nil {
+		return err
+	}
+	rec.Name = "serve/external"
+	return json.NewEncoder(os.Stdout).Encode(rec)
+}
+
+// runServeBench is the self-contained sweep behind `catibench
+// -serve-bench FILE`: train a small model in-process, then measure the
+// 2×2 of {result cache off/on} × {micro-batching off/on} against a
+// loopback catiserve, writing one JSON record per configuration.
+func runServeBench(ctx context.Context, log *slog.Logger, path string, concurrency int, duration time.Duration) error {
+	log.Info("training loadgen model")
+	c, err := corpus.Build(corpus.BuildConfig{
+		Name: "loadgen-train", Binaries: 4,
+		Profile: synth.DefaultProfile("loadgentrain"), Window: 5, Seed: 47,
+	})
+	if err != nil {
+		return err
+	}
+	cati, err := core.Train(c, classify.Config{
+		Window: 5, Conv1: 8, Conv2: 8, Hidden: 32, MaxPerStage: 500, Flat: true,
+		Train: nn.TrainConfig{Epochs: 1, Batch: 32, LR: 2e-3},
+		W2V:   word2vec.Config{Epochs: 1}, Seed: 7,
+	})
+	if err != nil {
+		return err
+	}
+	blob, err := cati.Save()
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "cati-loadgen")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	model := filepath.Join(dir, "m.model")
+	if err := os.WriteFile(model, blob, 0o644); err != nil {
+		return err
+	}
+	images, err := loadgenImages(6)
+	if err != nil {
+		return err
+	}
+
+	configs := []struct {
+		name         string
+		cache, batch bool
+	}{
+		{"serve/cache=off,batch=off", false, false},
+		{"serve/cache=off,batch=on", false, true},
+		{"serve/cache=on,batch=off", true, false},
+		{"serve/cache=on,batch=on", true, true},
+	}
+	var records []serveRecord
+	for _, cfg := range configs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		sc := serve.Config{ModelPath: model, WatchInterval: -1, Log: log}
+		if cfg.cache {
+			sc.CacheSize = 256
+		} else {
+			sc.CacheSize = -1
+		}
+		if cfg.batch {
+			sc.MaxBatch = 8
+			sc.Linger = 2 * time.Millisecond
+		} else {
+			sc.MaxBatch = 1
+		}
+		// Admission wide open relative to the load, so the sweep measures
+		// cache/batch effects, not shedding.
+		sc.MaxInFlight = 2 * concurrency
+		sc.MaxQueue = 2 * concurrency
+
+		srv, err := serve.New(sc)
+		if err != nil {
+			return err
+		}
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			return err
+		}
+		rec, err := runLoadgen(ctx, "http://"+srv.Addr+"/v1/infer", images, concurrency, duration)
+		if cerr := srv.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		rec.Name = cfg.name
+		rec.Cache = cfg.cache
+		rec.Batch = cfg.batch
+		rec.ModelFP = srv.Registry().Active().Fingerprint
+		records = append(records, rec)
+		log.Info("serve bench point", "name", rec.Name, "rps", fmt.Sprintf("%.1f", rec.RPS),
+			"p50_ms", fmt.Sprintf("%.2f", rec.P50Ms), "p95_ms", fmt.Sprintf("%.2f", rec.P95Ms),
+			"cached", rec.Cached, "errors", rec.Errors)
+	}
+
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	log.Info("wrote serve bench records", "path", path, "records", len(records))
+	return nil
+}

@@ -9,6 +9,16 @@
 //	catibench ablation-window ablation-clamp ablation-generalize
 //	catibench ablation-embed ablation-flat
 //	catibench -bench-json BENCH_parallel.json [-workers N]
+//	catibench -serve-bench BENCH_serve.json
+//	catibench -serve-url http://host:8090/v1/infer -serve-concurrency 16
+//
+// -serve-bench runs the self-contained catiserve sweep: it trains a
+// small model, starts a loopback service per configuration, and measures
+// the 2×2 of {result cache off/on} × {micro-batching off/on} under a
+// closed-loop load (-serve-concurrency clients for -serve-duration
+// each), writing RPS and p50/p95/p99 latency records to the file.
+// -serve-url points the same load generator at an already-running
+// catiserve instead and prints one record to stdout.
 package main
 
 import (
@@ -37,6 +47,10 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("catibench", flag.ContinueOnError)
 	scale := fs.String("scale", "default", "experiment scale: default, quick or ablation")
 	benchJSON := fs.String("bench-json", "", "run the parallel-core benchmark and write JSON records to this file (e.g. BENCH_parallel.json), then exit")
+	serveBench := fs.String("serve-bench", "", "run the catiserve cache/batch sweep and write JSON records to this file (e.g. BENCH_serve.json), then exit")
+	serveURL := fs.String("serve-url", "", "load-test a running catiserve at this /v1/infer URL and print the JSON record, then exit")
+	serveConc := fs.Int("serve-concurrency", 8, "closed-loop clients for -serve-bench / -serve-url")
+	serveDur := fs.Duration("serve-duration", 3*time.Second, "measurement window per configuration for -serve-bench / -serve-url")
 	rt := cliflags.AddRuntime(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,6 +62,14 @@ func run(args []string) error {
 
 	if *benchJSON != "" {
 		return runParallelBench(log, *benchJSON, rt.Workers)
+	}
+	if *serveBench != "" || *serveURL != "" {
+		ctx, stop := rt.Context()
+		defer stop()
+		if *serveBench != "" {
+			return runServeBench(ctx, log, *serveBench, *serveConc, *serveDur)
+		}
+		return runServeURL(ctx, log, *serveURL, *serveConc, *serveDur)
 	}
 
 	var s experiments.Scale

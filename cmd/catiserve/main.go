@@ -1,0 +1,159 @@
+// Command catiserve runs CATI as a long-lived HTTP inference service:
+// load a trained model once, keep it warm, and answer type-inference
+// requests for stripped binaries over a small JSON API (see
+// internal/serve for the endpoint and behavior contract).
+//
+// Usage:
+//
+//	catiserve -model cati.model
+//	catiserve -model cati.model -addr :8090 -max-batch 16 -cache-size 4096
+//	catiserve -model cati.model -debug-addr localhost:6060 -log-format json
+//
+// The daemon answers on three endpoints:
+//
+//	POST /v1/infer    raw ELF image in the body → inferred types as JSON
+//	GET  /v1/models   the active model's fingerprint, path and load time
+//	GET  /v1/healthz  liveness (never blocked by inference load)
+//
+// Signals:
+//
+//	SIGHUP           reload the model artifact now (a failed reload keeps
+//	                 the current model serving)
+//	SIGINT/SIGTERM   graceful drain: stop accepting, finish in-flight
+//	                 requests up to -drain-timeout, then exit
+//
+// The artifact file is also polled every -watch-interval, so retraining
+// in place (write to a temp file, rename over -model) rolls the daemon
+// onto the new model without a restart; every response names the model
+// that produced it in the "model" field and X-Cati-Model header.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/cmd/internal/cliflags"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "catiserve:", err)
+		os.Exit(1)
+	}
+}
+
+// daemon is a parsed-and-started catiserve instance: the service, the
+// flag groups that configured it, and the shared logger.
+type daemon struct {
+	srv  *serve.Server
+	sv   *cliflags.Serve
+	diag *cliflags.Diag
+	log  *slog.Logger
+}
+
+// newDaemon parses args, sets up diagnostics and builds the service —
+// loading the model, so a missing or corrupt artifact fails here — but
+// does not bind the listen address yet (start does).
+func newDaemon(args []string) (*daemon, error) {
+	fs := flag.NewFlagSet("catiserve", flag.ContinueOnError)
+	model := fs.String("model", "cati.model", "trained model artifact to serve (reloaded on SIGHUP or file change)")
+	workers := fs.Int("workers", 0, "inference worker goroutines (0: CATI_WORKERS env, else GOMAXPROCS)")
+	sv := cliflags.AddServe(fs)
+	diag := cliflags.AddDiag(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() != 0 {
+		return nil, fmt.Errorf("usage: catiserve -model m [flags] (no positional arguments)")
+	}
+	log, err := diag.Setup()
+	if err != nil {
+		return nil, err
+	}
+	srv, err := serve.New(serve.Config{
+		ModelPath:     *model,
+		Workers:       *workers,
+		MaxInFlight:   sv.MaxInFlight,
+		MaxQueue:      sv.MaxQueue,
+		QueueWait:     sv.QueueWait,
+		RetryAfter:    sv.RetryAfter,
+		MaxBatch:      sv.MaxBatch,
+		Linger:        sv.BatchLinger,
+		CacheSize:     sv.CacheSize,
+		BinaryTimeout: sv.BinaryTimeout,
+		Retries:       sv.Retries,
+		MaxBody:       sv.MaxBody,
+		WatchInterval: sv.WatchInterval,
+		Log:           log,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &daemon{srv: srv, sv: sv, diag: diag, log: log}, nil
+}
+
+// start binds -addr and begins serving. After start, the bound address
+// is d.srv.Addr (which resolves ":0" listens for tests).
+func (d *daemon) start() error { return d.srv.Start(d.sv.Addr) }
+
+// loop blocks, serving reloads, until ctx is cancelled: each SIGHUP
+// swaps in a freshly loaded model (or logs and keeps the current one).
+func (d *daemon) loop(ctx context.Context, hup <-chan os.Signal) {
+	for {
+		select {
+		case <-hup:
+			d.reload()
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// reload is the SIGHUP action, split out so tests can invoke it without
+// delivering a signal.
+func (d *daemon) reload() {
+	if err := d.srv.Registry().Load(); err != nil {
+		d.log.Error("model reload failed; keeping current model", "error", err)
+		return
+	}
+	d.log.Info("model reloaded", "model", d.srv.Registry().Active().Fingerprint)
+}
+
+// drain shuts everything down gracefully: the inference API first (in-
+// flight requests get up to -drain-timeout), then the debug server, so
+// a monitoring system can scrape the final request counts.
+func (d *daemon) drain() error {
+	d.log.Info("draining", "timeout", d.sv.DrainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), d.sv.DrainTimeout)
+	defer cancel()
+	err := d.srv.Shutdown(ctx)
+	if d.diag.Server != nil {
+		if derr := d.diag.Server.Shutdown(ctx); err == nil {
+			err = derr
+		}
+	}
+	return err
+}
+
+func run(args []string) error {
+	d, err := newDaemon(args)
+	if err != nil {
+		return err
+	}
+	if err := d.start(); err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	d.loop(ctx, hup)
+	return d.drain()
+}

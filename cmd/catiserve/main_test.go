@@ -1,0 +1,268 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/elfx"
+	"repro/internal/nn"
+	"repro/internal/serve"
+	"repro/internal/synth"
+	"repro/internal/word2vec"
+)
+
+var (
+	fixOnce sync.Once
+	fixErr  error
+	// blobA/blobB are two sealed artifacts of the same tiny model with
+	// distinct fingerprints (a config tweak changes the sealed bytes).
+	blobA, blobB []byte
+	fpA, fpB     string
+	fixCATI      *core.CATI // loaded from blobA, for serial baselines
+)
+
+// fixture trains one tiny flat model per process and derives the two
+// artifact variants the reload tests swap between.
+func fixture(t *testing.T) {
+	t.Helper()
+	fixOnce.Do(func() {
+		var c *corpus.Corpus
+		c, fixErr = corpus.Build(corpus.BuildConfig{
+			Name: "serve-cli-train", Binaries: 2,
+			Profile: synth.DefaultProfile("servecli"), Window: 5, Seed: 43,
+		})
+		if fixErr != nil {
+			return
+		}
+		var cati *core.CATI
+		cati, fixErr = core.Train(c, classify.Config{
+			Window: 5, Conv1: 4, Conv2: 4, Hidden: 16, MaxPerStage: 200, Flat: true,
+			Train: nn.TrainConfig{Epochs: 1, Batch: 32, LR: 2e-3},
+			W2V:   word2vec.Config{Epochs: 1}, Seed: 6,
+		})
+		if fixErr != nil {
+			return
+		}
+		if blobA, fixErr = cati.Save(); fixErr != nil {
+			return
+		}
+		cati.Pipeline.Cfg.MaxPerStage++ // different sealed bytes → new print
+		if blobB, fixErr = cati.Save(); fixErr != nil {
+			return
+		}
+		if fixCATI, fixErr = core.Load(blobA); fixErr != nil {
+			return
+		}
+		fpA = fixCATI.Fingerprint()
+		var b *core.CATI
+		if b, fixErr = core.Load(blobB); fixErr != nil {
+			return
+		}
+		fpB = b.Fingerprint()
+		if fpA == fpB {
+			fixErr = fmt.Errorf("fixture fingerprints collide: %s", fpA)
+		}
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+}
+
+// testImage compiles a small stripped binary and returns its image.
+func testImage(t *testing.T, seed int64) []byte {
+	t.Helper()
+	p := synth.Generate(synth.DefaultProfile("servecli-bin"), seed)
+	res, err := compile.Compile(p, compile.Options{Dialect: compile.GCC, Opt: 1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := elfx.Write(elfx.Strip(res.Binary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// startDaemon writes blobA to a temp model file, builds a daemon on a
+// loopback port with file-watching off, and starts it.
+func startDaemon(t *testing.T, extra ...string) (*daemon, string) {
+	t.Helper()
+	fixture(t)
+	model := filepath.Join(t.TempDir(), "m.model")
+	if err := os.WriteFile(model, blobA, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{
+		"-model", model, "-addr", "127.0.0.1:0", "-watch-interval", "-1s",
+	}, extra...)
+	d, err := newDaemon(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = d.srv.Close() })
+	return d, model
+}
+
+func postInfer(t *testing.T, addr string, image []byte) (*http.Response, serve.InferResponse) {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+"/v1/infer", "application/octet-stream", bytes.NewReader(image))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/infer = %d: %s", resp.StatusCode, body)
+	}
+	var ir serve.InferResponse
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatalf("bad infer body: %v: %s", err, body)
+	}
+	return resp, ir
+}
+
+// TestDaemonEndToEnd drives the daemon exactly as a client would —
+// loopback HTTP, raw image in — and checks the inferred variables match
+// an in-process InferBinary on the same model, then drains.
+func TestDaemonEndToEnd(t *testing.T) {
+	d, _ := startDaemon(t, "-debug-addr", "127.0.0.1:0")
+	img := testImage(t, 71)
+
+	_, ir := postInfer(t, d.srv.Addr, img)
+	if ir.Model != fpA {
+		t.Fatalf("response model %q, want %q", ir.Model, fpA)
+	}
+	bin, err := elfx.Read(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fixCATI.InferBinary(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ir.Vars) != len(want) || ir.NumVars != len(want) {
+		t.Fatalf("served %d vars, in-process inference found %d", len(ir.Vars), len(want))
+	}
+	for i, v := range want {
+		got := ir.Vars[i]
+		if got.FuncLow != v.FuncLow || got.Slot != v.Slot || got.Global != v.Global ||
+			got.Size != v.Size || got.NumVUCs != v.NumVUCs || got.Class != v.Class.String() {
+			t.Fatalf("var %d: served %+v, want %+v", i, got, v)
+		}
+	}
+
+	// /v1/models names the same model.
+	resp, err := http.Get("http://" + d.srv.Addr + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr serve.ModelsResponse
+	err = json.NewDecoder(resp.Body).Decode(&mr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Active.Fingerprint != fpA {
+		t.Fatalf("/v1/models fingerprint %q, want %q", mr.Active.Fingerprint, fpA)
+	}
+
+	// -debug-addr was given: the daemon holds the handle and drain shuts
+	// both servers down cleanly.
+	if d.diag.Server == nil {
+		t.Fatal("debug server handle not recorded")
+	}
+	if err := d.drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, err := http.Get("http://" + d.srv.Addr + "/v1/healthz"); err == nil {
+		t.Fatal("API still serving after drain")
+	}
+	if _, err := http.Get("http://" + d.diag.Server.Addr + "/healthz"); err == nil {
+		t.Fatal("debug server still serving after drain")
+	}
+}
+
+// TestDaemonReloadOnHup exercises the signal loop's reload path: swap
+// the artifact on disk, deliver a (test-injected) SIGHUP, and watch the
+// daemon roll onto the new fingerprint without restarting.
+func TestDaemonReloadOnHup(t *testing.T) {
+	d, model := startDaemon(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	hup := make(chan os.Signal, 1)
+	loopDone := make(chan struct{})
+	go func() {
+		defer close(loopDone)
+		d.loop(ctx, hup)
+	}()
+
+	if err := os.WriteFile(model, blobB, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hup <- syscall.SIGHUP
+
+	deadline := time.Now().Add(10 * time.Second)
+	for d.srv.Registry().Active().Fingerprint != fpB {
+		if time.Now().After(deadline) {
+			t.Fatalf("model never reloaded (still %s)", d.srv.Registry().Active().Fingerprint)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// A reload that fails to load keeps the current model serving.
+	if err := os.WriteFile(model, []byte("not a model artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hup <- syscall.SIGHUP
+	time.Sleep(50 * time.Millisecond)
+	if got := d.srv.Registry().Active().Fingerprint; got != fpB {
+		t.Fatalf("failed reload replaced the model: %s", got)
+	}
+	_, ir := postInfer(t, d.srv.Addr, testImage(t, 72))
+	if ir.Model != fpB {
+		t.Fatalf("serving on %q after reload, want %q", ir.Model, fpB)
+	}
+
+	cancel()
+	select {
+	case <-loopDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("signal loop did not exit on context cancel")
+	}
+	if err := d.drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestDaemonUsageErrors pins the failure modes that must be reported
+// before a port is bound.
+func TestDaemonUsageErrors(t *testing.T) {
+	fixture(t)
+	if _, err := newDaemon([]string{"-model", "/nonexistent/m.model"}); err == nil {
+		t.Fatal("missing model artifact not reported")
+	}
+	if _, err := newDaemon([]string{"-model", "m", "stray-positional"}); err == nil {
+		t.Fatal("positional arguments not rejected")
+	}
+	if _, err := newDaemon([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag not rejected")
+	}
+}

@@ -1,9 +1,10 @@
 // Package cliflags centralizes the flag plumbing shared by the CATI
-// CLIs (catitrain, cati, catibench, catigen): the worker-pool size, the
-// run deadline, stage tracing, the telemetry/diagnostics trio
-// (-debug-addr, -log-format, -log-level), and the common -seed/-window
-// knobs. One definition means every tool spells the flags, defaults and
-// help text identically.
+// CLIs (catitrain, cati, catibench, catigen, catiserve): the worker-pool
+// size, the run deadline, stage tracing, the telemetry/diagnostics trio
+// (-debug-addr, -log-format, -log-level), the common -seed/-window
+// knobs, and the catiserve service group (-addr, admission, batching,
+// cache and drain knobs). One definition means every tool spells the
+// flags, defaults and help text identically.
 package cliflags
 
 import (
@@ -33,6 +34,10 @@ type Diag struct {
 	LogFormat string
 	// LogLevel is the -log-level flag: debug, info, warn or error.
 	LogLevel string
+	// Server is the debug server Setup started (nil without -debug-addr).
+	// Long-lived daemons drain it on exit via Server.Shutdown so a
+	// monitoring system's in-flight scrape is never truncated.
+	Server *telemetry.Server
 }
 
 // AddDiag registers -debug-addr, -log-format and -log-level on the flag
@@ -65,6 +70,7 @@ func (d *Diag) Setup() (*slog.Logger, error) {
 		if err != nil {
 			return nil, err
 		}
+		d.Server = srv
 		log.Info("debug server listening", "addr", srv.Addr)
 	}
 	return log, nil
@@ -146,6 +152,64 @@ func PrintTrace(w io.Writer, t *obs.Trace) {
 	}
 	fmt.Fprintln(w, "stage breakdown:")
 	fmt.Fprint(w, t.Format())
+}
+
+// Serve carries the catiserve service flags: the listen address plus the
+// admission, micro-batching, result-cache, artifact-watch and drain
+// knobs of internal/serve. Defaults mirror serve.Config's documented
+// defaults, so `catiserve -model m` alone is a sensible deployment.
+type Serve struct {
+	// Addr is the -addr flag: the inference API listen address.
+	Addr string
+	// MaxInFlight is the -max-inflight flag (0: 2× batch, minimum 4).
+	MaxInFlight int
+	// MaxQueue is the -max-queue flag (0: same as the in-flight bound).
+	MaxQueue int
+	// QueueWait is the -queue-wait flag: a queued request's slot deadline.
+	QueueWait time.Duration
+	// RetryAfter is the -retry-after flag: the hint on 429 responses.
+	RetryAfter time.Duration
+	// MaxBatch is the -max-batch flag (1 disables micro-batching).
+	MaxBatch int
+	// BatchLinger is the -batch-linger flag: how long a forming batch
+	// waits to fill.
+	BatchLinger time.Duration
+	// CacheSize is the -cache-size flag (negative disables the cache).
+	CacheSize int
+	// MaxBody is the -max-body flag: the upload size cap in bytes.
+	MaxBody int64
+	// BinaryTimeout and Retries are -binary-timeout / -retries, the same
+	// per-binary fault-isolation knobs `cati infer` takes.
+	BinaryTimeout time.Duration
+	Retries       int
+	// WatchInterval is the -watch-interval flag: the artifact poll period
+	// (negative: reload only on SIGHUP).
+	WatchInterval time.Duration
+	// DrainTimeout is the -drain-timeout flag: how long shutdown waits
+	// for in-flight requests before closing their connections.
+	DrainTimeout time.Duration
+}
+
+// AddServe registers the catiserve service flags on the flag set and
+// returns the struct they fill in after fs.Parse. Zero values defer to
+// serve.Config's defaults so the service layer stays the single source
+// of truth for them.
+func AddServe(fs *flag.FlagSet) *Serve {
+	s := &Serve{}
+	fs.StringVar(&s.Addr, "addr", "localhost:8090", "inference API listen address")
+	fs.IntVar(&s.MaxInFlight, "max-inflight", 0, "max concurrently executing requests (0: 2x max-batch, minimum 4)")
+	fs.IntVar(&s.MaxQueue, "max-queue", 0, "max requests queued beyond the in-flight bound (0: same as max-inflight)")
+	fs.DurationVar(&s.QueueWait, "queue-wait", 0, "max time a queued request waits for a slot before 429 (0: 1s)")
+	fs.DurationVar(&s.RetryAfter, "retry-after", 0, "Retry-After hint on 429 responses (0: 1s)")
+	fs.IntVar(&s.MaxBatch, "max-batch", 0, "micro-batch size cap; 1 disables batching (0: 8)")
+	fs.DurationVar(&s.BatchLinger, "batch-linger", 0, "how long a forming micro-batch waits to fill (0: 2ms)")
+	fs.IntVar(&s.CacheSize, "cache-size", 0, "result cache entries; negative disables caching (0: 1024)")
+	fs.Int64Var(&s.MaxBody, "max-body", 0, "max uploaded image bytes (0: 64MiB)")
+	fs.DurationVar(&s.BinaryTimeout, "binary-timeout", 0, "per-binary wall-time limit (0: none)")
+	fs.IntVar(&s.Retries, "retries", 0, "extra attempts per binary after a transient failure")
+	fs.DurationVar(&s.WatchInterval, "watch-interval", 0, "model artifact poll period; negative reloads only on SIGHUP (0: 2s)")
+	fs.DurationVar(&s.DrainTimeout, "drain-timeout", 10*time.Second, "max time shutdown waits for in-flight requests")
+	return s
 }
 
 // Seed registers the common -seed flag with the tool's default.

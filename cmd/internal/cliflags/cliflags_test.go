@@ -86,6 +86,71 @@ func TestPrintTrace(t *testing.T) {
 	}
 }
 
+func TestAddServeDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	sv := AddServe(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Everything except -addr and -drain-timeout defers (as zero) to
+	// serve.Config's defaults, keeping one source of truth.
+	if sv.Addr != "localhost:8090" || sv.DrainTimeout != 10*time.Second {
+		t.Fatalf("defaults wrong: %+v", sv)
+	}
+	if sv.MaxInFlight != 0 || sv.MaxQueue != 0 || sv.QueueWait != 0 ||
+		sv.RetryAfter != 0 || sv.MaxBatch != 0 || sv.BatchLinger != 0 ||
+		sv.CacheSize != 0 || sv.MaxBody != 0 || sv.BinaryTimeout != 0 ||
+		sv.Retries != 0 || sv.WatchInterval != 0 {
+		t.Fatalf("service knobs should default to zero (deferred): %+v", sv)
+	}
+}
+
+func TestAddServeParsesFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	sv := AddServe(fs)
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-max-inflight", "12", "-max-queue", "5", "-queue-wait", "250ms",
+		"-retry-after", "3s", "-max-batch", "16", "-batch-linger", "4ms",
+		"-cache-size", "-1", "-max-body", "1048576",
+		"-binary-timeout", "30s", "-retries", "2",
+		"-watch-interval", "-1s", "-drain-timeout", "7s",
+	}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	want := Serve{
+		Addr: "127.0.0.1:0", MaxInFlight: 12, MaxQueue: 5,
+		QueueWait: 250 * time.Millisecond, RetryAfter: 3 * time.Second,
+		MaxBatch: 16, BatchLinger: 4 * time.Millisecond, CacheSize: -1,
+		MaxBody: 1 << 20, BinaryTimeout: 30 * time.Second, Retries: 2,
+		WatchInterval: -time.Second, DrainTimeout: 7 * time.Second,
+	}
+	if *sv != want {
+		t.Fatalf("flags not plumbed:\n got %+v\nwant %+v", *sv, want)
+	}
+}
+
+func TestSetupStartsDebugServer(t *testing.T) {
+	d := &Diag{DebugAddr: "127.0.0.1:0", LogFormat: "text", LogLevel: "info"}
+	log, err := d.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log == nil {
+		t.Fatal("no logger")
+	}
+	if d.Server == nil || d.Server.Addr == "" {
+		t.Fatalf("Setup did not record the debug server handle: %+v", d.Server)
+	}
+	defer d.Server.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d.Server.Shutdown(ctx); err != nil {
+		t.Fatalf("debug server shutdown: %v", err)
+	}
+}
+
 func TestSeedAndWindow(t *testing.T) {
 	fs := flag.NewFlagSet("x", flag.ContinueOnError)
 	seed := Seed(fs, 42)

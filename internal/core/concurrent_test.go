@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/elfx"
+)
+
+// TestConcurrentSharedInference hammers ONE shared *CATI with concurrent
+// InferBinaryCtx and InferBatchOpts calls — the thread-safety contract
+// documented on the CATI type and depended on by the serving subsystem
+// (internal/serve runs every request of a process against one shared
+// instance). Run under -race (it is in the Makefile's RACE_PKGS), this
+// fails on any unsynchronized write in the inference path; the result
+// comparison additionally catches cross-request state bleed.
+func TestConcurrentSharedInference(t *testing.T) {
+	cati := sharedCATI(t)
+	bins := []*elfx.Binary{testBinary(t, 301), testBinary(t, 302), testBinary(t, 303)}
+
+	// Serial baselines first: every concurrent result must match these
+	// exactly (inference is deterministic per binary for a fixed model).
+	want := make([][]InferredVar, len(bins))
+	for i, bin := range bins {
+		vars, err := cati.InferBinary(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = vars
+	}
+
+	same := func(a, b []InferredVar) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	const goroutines = 8
+	const rounds = 3
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	mismatch := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for r := 0; r < rounds; r++ {
+				if (g+r)%2 == 0 {
+					// Single-binary path, sharing one *elfx.Binary with
+					// every other goroutine touching the same index.
+					i := (g + r) % len(bins)
+					vars, err := cati.InferBinaryCtx(ctx, bins[i])
+					if err != nil {
+						errc <- err
+						return
+					}
+					if !same(vars, want[i]) {
+						mismatch <- "InferBinaryCtx diverged from serial baseline"
+						return
+					}
+					continue
+				}
+				// Batch path over all binaries at once.
+				results, err := cati.InferBatchOpts(ctx, bins, BatchOptions{})
+				if err != nil {
+					errc <- err
+					return
+				}
+				for i, res := range results {
+					if res.Err != nil {
+						errc <- res.Err
+						return
+					}
+					if !same(res.Vars, want[i]) {
+						mismatch <- "InferBatchOpts diverged from serial baseline"
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	close(mismatch)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	for msg := range mismatch {
+		t.Fatal(msg)
+	}
+}
+
+// TestFingerprintRoundTrip checks the Save/Load fingerprint contract:
+// unset before sealing, identical across a save→load round trip, and
+// different for a different artifact.
+func TestFingerprintRoundTrip(t *testing.T) {
+	cati := sharedCATI(t)
+	if cati.Fingerprint() != "" && len(cati.Fingerprint()) != 16 {
+		t.Fatalf("unexpected fingerprint %q", cati.Fingerprint())
+	}
+	blob, err := cati.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := cati.Fingerprint()
+	if len(fp) != 16 {
+		t.Fatalf("Save fingerprint %q, want 16 hex chars", fp)
+	}
+	loaded, err := Load(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Fingerprint() != fp {
+		t.Fatalf("Load fingerprint %q != Save fingerprint %q", loaded.Fingerprint(), fp)
+	}
+	// A different artifact (one flipped payload-adjacent copy) must not
+	// share the fingerprint: re-seal after a config tweak.
+	loaded.Pipeline.Cfg.MaxPerStage++
+	blob2, err := loaded.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Fingerprint() == fp {
+		t.Fatal("distinct artifacts share a fingerprint")
+	}
+	if len(blob2) == 0 {
+		t.Fatal("empty artifact")
+	}
+}

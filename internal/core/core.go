@@ -15,6 +15,8 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
@@ -76,10 +78,24 @@ func countArtifact(op string, err error) {
 }
 
 // CATI is a trained type-inference system.
+//
+// Concurrency: a trained CATI is safe for concurrent use. InferBinary,
+// InferBinaryCtx, InferImage, InferImageCtx, InferBatch and InferBatchOpts
+// may be called from any number of goroutines on one instance — inference
+// only reads the pipeline's weights and resolved config, and the input
+// *elfx.Binary is never written, so even sharing one binary across
+// concurrent calls is fine. What is NOT synchronized is mutation of the
+// exported fields (Pipeline, Clamp, Pipeline.Cfg.*): configure the
+// instance first, then publish it; to swap models under live traffic,
+// swap the whole *CATI pointer atomically (as internal/serve's model
+// registry does) rather than mutating a shared instance in place.
 type CATI struct {
 	Pipeline *classify.Pipeline
 	// Clamp is the voting confidence threshold (paper: 0.9).
 	Clamp float64
+	// fingerprint identifies the sealed artifact this system was loaded
+	// from (or last saved as); see Fingerprint.
+	fingerprint string
 }
 
 // ErrNotTrained reports use of an empty system.
@@ -115,7 +131,24 @@ const (
 	ModelVersion = 1
 )
 
-// Save serializes the system as a versioned, checksummed artifact.
+// Fingerprint identifies the exact model contents: a truncated SHA-256 of
+// the sealed artifact (config + embedding + all stage weights), set by
+// Load and by Save. It is "" for an in-memory model that was never
+// sealed. Two processes that loaded the same artifact file report the
+// same fingerprint, so clients can correlate inference responses with
+// model versions across reloads (it complements the coarser config
+// fingerprint the training checkpoints use for staleness).
+func (c *CATI) Fingerprint() string { return c.fingerprint }
+
+// fingerprintBlob hashes a sealed artifact into the short hex form
+// Fingerprint reports.
+func fingerprintBlob(blob []byte) string {
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Save serializes the system as a versioned, checksummed artifact and
+// stamps the receiver's Fingerprint with the sealed bytes' hash.
 func (c *CATI) Save() (blob []byte, err error) {
 	defer func() { countArtifact("save", err) }()
 	if c.Pipeline == nil {
@@ -125,7 +158,9 @@ func (c *CATI) Save() (blob []byte, err error) {
 	if err != nil {
 		return nil, err
 	}
-	return artifact.Seal(modelKind, ModelVersion, payload), nil
+	blob = artifact.Seal(modelKind, ModelVersion, payload)
+	c.fingerprint = fingerprintBlob(blob)
+	return blob, nil
 }
 
 // Load rebuilds a saved system, validating the envelope (magic, kind,
@@ -145,7 +180,7 @@ func Load(data []byte) (c *CATI, err error) {
 	if err := p.CheckFinite(); err != nil {
 		return nil, fmt.Errorf("core: load: %w", err)
 	}
-	return &CATI{Pipeline: p, Clamp: classify.DefaultClamp}, nil
+	return &CATI{Pipeline: p, Clamp: classify.DefaultClamp, fingerprint: fingerprintBlob(data)}, nil
 }
 
 // InferredVar is one variable located and typed in a stripped binary.

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Admission telemetry: queue depth and in-flight level are gauges the
+// overload behavior is tuned by; rejections are labeled by which bound
+// fired.
+var (
+	mInFlight = telemetry.Default().Gauge("cati_serve_inflight",
+		"Requests currently holding an execution slot.")
+	mQueued = telemetry.Default().Gauge("cati_serve_queue_depth",
+		"Requests admitted to the wait queue but not yet executing.")
+	mQueueWaitServe = telemetry.Default().Histogram("cati_serve_queue_wait_seconds",
+		"Wait between admission and acquiring an execution slot.",
+		telemetry.QueueBuckets)
+)
+
+// Overload errors: both map to 429, distinguished in metrics and logs.
+var (
+	// ErrQueueFull reports that the wait queue was at capacity — the
+	// request was rejected immediately without queueing.
+	ErrQueueFull = errors.New("serve: overloaded: queue full")
+	// ErrQueueTimeout reports that the request waited its full queue
+	// deadline without an execution slot freeing up.
+	ErrQueueTimeout = errors.New("serve: overloaded: queue deadline exceeded")
+)
+
+// admission bounds concurrent work: at most inflight requests execute at
+// once, at most queue more wait (up to a deadline) for a slot, and
+// everything beyond that is rejected instantly. Bounding both the level
+// and the wait keeps tail latency flat under overload — the server sheds
+// load with 429s instead of degrading every request — and keeps memory
+// proportional to inflight+queue, not to offered load.
+type admission struct {
+	slots   chan struct{} // capacity: max in-flight
+	waiters chan struct{} // capacity: max in-flight + max queued
+	wait    time.Duration // max time in the queue
+}
+
+// newAdmission builds an admission controller. inflight < 1 is treated
+// as 1; queue < 0 as 0; wait <= 0 means "don't wait at all" (a request
+// either gets a free slot immediately or is rejected).
+func newAdmission(inflight, queue int, wait time.Duration) *admission {
+	if inflight < 1 {
+		inflight = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &admission{
+		slots:   make(chan struct{}, inflight),
+		waiters: make(chan struct{}, inflight+queue),
+		wait:    wait,
+	}
+}
+
+// acquire admits one request: it returns a release func once the request
+// holds an execution slot, or ErrQueueFull/ErrQueueTimeout/ctx.Err() when
+// the request must be shed. Always call release exactly once on success.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	// Stage 1: claim a waiter token or reject immediately. This is the
+	// hard bound on requests the server holds at all.
+	select {
+	case a.waiters <- struct{}{}:
+	default:
+		return nil, ErrQueueFull
+	}
+	mQueued.Inc()
+	start := time.Time{}
+	if mQueueWaitServe.Enabled() {
+		start = time.Now()
+	}
+	leaveQueue := func() {
+		mQueued.Dec()
+		<-a.waiters
+	}
+
+	// Stage 2: wait (bounded) for an execution slot.
+	var timeout <-chan time.Time
+	if a.wait > 0 {
+		t := time.NewTimer(a.wait)
+		defer t.Stop()
+		timeout = t.C
+	} else {
+		closed := make(chan time.Time)
+		close(closed)
+		timeout = closed
+	}
+	select {
+	case a.slots <- struct{}{}:
+	default:
+		// No slot free right now; wait for one, the deadline, or the
+		// caller giving up.
+		select {
+		case a.slots <- struct{}{}:
+		case <-timeout:
+			leaveQueue()
+			return nil, ErrQueueTimeout
+		case <-ctx.Done():
+			leaveQueue()
+			return nil, ctx.Err()
+		}
+	}
+	if !start.IsZero() {
+		mQueueWaitServe.ObserveSince(start)
+	}
+	mQueued.Dec()
+	mInFlight.Inc()
+	return func() {
+		mInFlight.Dec()
+		<-a.slots
+		<-a.waiters
+	}, nil
+}

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionBounds(t *testing.T) {
+	a := newAdmission(2, 1, 50*time.Millisecond)
+	ctx := context.Background()
+
+	rel1, err := a.acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := a.acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Third acquire queues; it will time out unless a slot frees.
+	type res struct {
+		rel func()
+		err error
+	}
+	third := make(chan res, 1)
+	go func() {
+		rel, err := a.acquire(ctx)
+		third <- res{rel, err}
+	}()
+	// Wait for it to take the queue slot so the fourth sees a full house.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(a.waiters) != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("third acquire never queued (waiters %d)", len(a.waiters))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := a.acquire(ctx); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("fourth acquire = %v, want ErrQueueFull", err)
+	}
+
+	select {
+	case r := <-third:
+		if !errors.Is(r.err, ErrQueueTimeout) {
+			t.Fatalf("queued acquire = %v, want ErrQueueTimeout", r.err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued acquire never timed out")
+	}
+
+	// Releasing a slot lets a queued request through within its wait.
+	ok := make(chan res, 1)
+	go func() {
+		rel, err := a.acquire(ctx)
+		ok <- res{rel, err}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	rel1()
+	select {
+	case r := <-ok:
+		if r.err != nil {
+			t.Fatalf("acquire after release: %v", r.err)
+		}
+		r.rel()
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued acquire never got the released slot")
+	}
+	rel2()
+
+	// Everything released: the controller is back to empty.
+	if len(a.slots) != 0 || len(a.waiters) != 0 {
+		t.Fatalf("leaked tokens: slots %d waiters %d", len(a.slots), len(a.waiters))
+	}
+}
+
+func TestAdmissionCancelledWhileQueued(t *testing.T) {
+	a := newAdmission(1, 4, 10*time.Second)
+	rel, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(ctx)
+		done <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(a.waiters) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("second acquire never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled acquire = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled acquire never returned")
+	}
+	rel()
+	if len(a.slots) != 0 || len(a.waiters) != 0 {
+		t.Fatalf("leaked tokens: slots %d waiters %d", len(a.slots), len(a.waiters))
+	}
+}
+
+// TestAdmissionConcurrent hammers acquire/release from many goroutines
+// (run under -race) and verifies the in-flight bound was never exceeded.
+func TestAdmissionConcurrent(t *testing.T) {
+	const inflight = 3
+	a := newAdmission(inflight, 64, time.Second)
+	var mu sync.Mutex
+	cur, peak := 0, 0
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				rel, err := a.acquire(context.Background())
+				if err != nil {
+					continue // shed under pressure: allowed
+				}
+				mu.Lock()
+				cur++
+				if cur > peak {
+					peak = cur
+				}
+				mu.Unlock()
+				time.Sleep(100 * time.Microsecond)
+				mu.Lock()
+				cur--
+				mu.Unlock()
+				rel()
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > inflight {
+		t.Fatalf("in-flight peak %d exceeded bound %d", peak, inflight)
+	}
+	if len(a.slots) != 0 || len(a.waiters) != 0 {
+		t.Fatalf("leaked tokens: slots %d waiters %d", len(a.slots), len(a.waiters))
+	}
+}

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/elfx"
+	"repro/internal/telemetry"
+)
+
+// Micro-batching telemetry: the batch-size histogram is the tuning signal
+// for -max-batch/-batch-linger (a p50 of 1 under load means linger is too
+// short to coalesce anything).
+var (
+	mBatches = telemetry.Default().Counter("cati_serve_batches_total",
+		"Micro-batches dispatched to the inference core.")
+	mBatchSize = telemetry.Default().Histogram("cati_serve_batch_size",
+		"Requests coalesced per dispatched micro-batch.",
+		[]float64{1, 2, 4, 8, 16, 32, 64})
+)
+
+// inferRequest is one admitted request waiting for inference: the parsed
+// binary in, exactly one inferResult out on done.
+type inferRequest struct {
+	bin  *elfx.Binary
+	done chan inferResult // buffered 1: a departed client never blocks a batch
+}
+
+// inferResult is one request's outcome plus the model snapshot that
+// actually ran it (which, across a hot-reload, can be newer than the one
+// active when the request arrived).
+type inferResult struct {
+	vars     []core.InferredVar
+	err      error
+	attempts int
+	model    *Model
+}
+
+// batcher coalesces concurrent requests into core.InferBatchOpts calls.
+// Dynamic micro-batching keeps the worker pool saturated — one batch of N
+// binaries fans out over all cores, where N sequential single-binary
+// calls would repeatedly ramp the pool up and down — and rides on the
+// batch API's per-binary fault isolation: a poisoned ELF in a batch
+// becomes that request's error record while its batchmates complete.
+//
+// The collector takes the first waiting request, then lingers up to
+// cfg.Linger (or until cfg.MaxBatch requests are in hand) before
+// dispatching, so batches form under concurrency without adding more than
+// the linger to a lone request's latency. Each batch runs on its own
+// goroutine — batching bounds per-call coalescing, admission bounds total
+// concurrency.
+type batcher struct {
+	in       chan *inferRequest
+	maxBatch int
+	linger   time.Duration
+	opts     core.BatchOptions
+	model    func() *Model
+	// infer is the dispatch seam: production wires it to InferBatchOpts
+	// on the snapshot's CATI; tests substitute blocking or counting fakes.
+	infer func(ctx context.Context, m *Model, bins []*elfx.Binary) ([]core.BinaryResult, error)
+	wg    sync.WaitGroup
+}
+
+// newBatcher builds a batcher over the given model source. maxBatch < 1
+// is treated as 1 (batching off: every request dispatches alone).
+func newBatcher(maxBatch int, linger time.Duration, opts core.BatchOptions, model func() *Model) *batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	return &batcher{
+		in:       make(chan *inferRequest),
+		maxBatch: maxBatch,
+		linger:   linger,
+		opts:     opts,
+		model:    model,
+		infer: func(ctx context.Context, m *Model, bins []*elfx.Binary) ([]core.BinaryResult, error) {
+			return m.CATI.InferBatchOpts(ctx, bins, opts)
+		},
+	}
+}
+
+// submit hands a request to the collector, giving up when ctx (the
+// request's own context) is cancelled first.
+func (b *batcher) submit(ctx context.Context, req *inferRequest) error {
+	select {
+	case b.in <- req:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// run is the collector loop: it blocks until ctx is cancelled and must
+// run on its own goroutine. Cancel ctx only after the HTTP server has
+// drained, so no handler is still waiting on a batch.
+func (b *batcher) run(ctx context.Context) {
+	defer b.wg.Wait() // let in-flight batches finish before run returns
+	for {
+		var first *inferRequest
+		select {
+		case <-ctx.Done():
+			return
+		case first = <-b.in:
+		}
+		batch := b.collect(ctx, first)
+		// Snapshot the model at dispatch: every request in this batch runs
+		// on (and reports) one consistent model, and a reload landing now
+		// is seen by the next batch, not this one.
+		m := b.model()
+		mBatches.Inc()
+		if mBatchSize.Enabled() {
+			mBatchSize.Observe(float64(len(batch)))
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.runBatch(ctx, m, batch)
+		}()
+	}
+}
+
+// collect gathers up to maxBatch requests: the first is in hand, the rest
+// arrive within the linger window.
+func (b *batcher) collect(ctx context.Context, first *inferRequest) []*inferRequest {
+	batch := []*inferRequest{first}
+	if b.maxBatch == 1 {
+		return batch
+	}
+	var timeout <-chan time.Time
+	if b.linger > 0 {
+		t := time.NewTimer(b.linger)
+		defer t.Stop()
+		timeout = t.C
+	}
+	for len(batch) < b.maxBatch {
+		if timeout == nil {
+			// No linger: take only what is already waiting.
+			select {
+			case req := <-b.in:
+				batch = append(batch, req)
+			default:
+				return batch
+			}
+			continue
+		}
+		select {
+		case req := <-b.in:
+			batch = append(batch, req)
+		case <-timeout:
+			return batch
+		case <-ctx.Done():
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch executes one batch and fans results back out. A batch-level
+// error (only possible when ctx was cancelled or the pool failed
+// wholesale) is delivered to every member; otherwise each request gets
+// its own BinaryResult — error records included — per the batch API's
+// isolation contract.
+func (b *batcher) runBatch(ctx context.Context, m *Model, batch []*inferRequest) {
+	bins := make([]*elfx.Binary, len(batch))
+	for i, req := range batch {
+		bins[i] = req.bin
+	}
+	results, err := b.infer(ctx, m, bins)
+	for i, req := range batch {
+		res := inferResult{model: m}
+		switch {
+		case err != nil:
+			res.err = err
+		default:
+			res.vars = results[i].Vars
+			res.err = results[i].Err
+			res.attempts = results[i].Attempts
+		}
+		req.done <- res // buffered: never blocks
+	}
+}

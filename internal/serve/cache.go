@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// Result-cache telemetry.
+var (
+	mCacheHits = telemetry.Default().Counter("cati_serve_cache_hits_total",
+		"Inference requests answered from the result cache.")
+	mCacheMisses = telemetry.Default().Counter("cati_serve_cache_misses_total",
+		"Inference requests that missed the result cache.")
+	mCacheEntries = telemetry.Default().Gauge("cati_serve_cache_entries",
+		"Entries currently held by the result cache.")
+)
+
+// cacheKey addresses one inference result by content: the SHA-256 of the
+// raw ELF image plus the fingerprint of the model that produced the
+// result. Keying on the model too means a hot-reload naturally invalidates
+// everything — stale entries simply stop being reachable and age out of
+// the LRU; no flush, no epoch counter.
+type cacheKey struct {
+	image [sha256.Size]byte
+	model string
+}
+
+// imageKey hashes a raw ELF image into the cache's content address.
+func imageKey(image []byte, model string) cacheKey {
+	return cacheKey{image: sha256.Sum256(image), model: model}
+}
+
+// resultCache is a mutex-guarded LRU of inference results. Real serving
+// workloads re-submit identical binaries constantly (the same system
+// libraries, the same firmware blob analyzed by many users), and
+// inference output is a pure function of (image bytes, model), so a
+// content-addressed cache is exact — never heuristic. Stored slices are
+// treated as immutable by all readers.
+type resultCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recent
+	m   map[cacheKey]*list.Element
+}
+
+// cacheEntry is one LRU node.
+type cacheEntry struct {
+	key  cacheKey
+	vars []core.InferredVar
+}
+
+// newResultCache returns an LRU holding at most max entries; nil (cache
+// disabled) when max <= 0.
+func newResultCache(max int) *resultCache {
+	if max <= 0 {
+		return nil
+	}
+	return &resultCache{max: max, ll: list.New(), m: make(map[cacheKey]*list.Element)}
+}
+
+// get returns the cached result and whether it was present. A nil cache
+// always misses. The returned slice must not be mutated.
+func (c *resultCache) get(k cacheKey) ([]core.InferredVar, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[k]
+	if !ok {
+		mCacheMisses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	mCacheHits.Inc()
+	return el.Value.(*cacheEntry).vars, true
+}
+
+// put stores a result, evicting the least-recently-used entry when full.
+// A nil cache drops everything.
+func (c *resultCache) put(k cacheKey, vars []core.InferredVar) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		// A concurrent identical request already stored it; refresh.
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).vars = vars
+		return
+	}
+	c.m[k] = c.ll.PushFront(&cacheEntry{key: k, vars: vars})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+	mCacheEntries.Set(int64(c.ll.Len()))
+}
+
+// len reports the current entry count (0 for a nil cache).
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	k := func(i int, model string) cacheKey { return imageKey([]byte{byte(i)}, model) }
+	v := func(i int) []core.InferredVar { return []core.InferredVar{{FuncLow: uint64(i)}} }
+
+	c.put(k(1, "m"), v(1))
+	c.put(k(2, "m"), v(2))
+	if got, ok := c.get(k(1, "m")); !ok || got[0].FuncLow != 1 {
+		t.Fatalf("get(1) = %v %v", got, ok)
+	}
+	// 1 is now most recent; inserting 3 must evict 2.
+	c.put(k(3, "m"), v(3))
+	if _, ok := c.get(k(2, "m")); ok {
+		t.Fatal("LRU kept the stale entry")
+	}
+	if _, ok := c.get(k(1, "m")); !ok {
+		t.Fatal("LRU evicted the recently used entry")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+
+	// The model fingerprint is part of the address: same image, other
+	// model, distinct entry.
+	if _, ok := c.get(k(1, "other")); ok {
+		t.Fatal("cache crossed model fingerprints")
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	var c *resultCache // CacheSize <= 0 path
+	c.put(imageKey([]byte("x"), "m"), nil)
+	if _, ok := c.get(imageKey([]byte("x"), "m")); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if c.len() != 0 {
+		t.Fatal("nil cache has entries")
+	}
+	if newResultCache(0) != nil || newResultCache(-5) != nil {
+		t.Fatal("non-positive capacity should disable the cache")
+	}
+}
+
+// TestResultCacheConcurrent exercises the lock under -race.
+func TestResultCacheConcurrent(t *testing.T) {
+	c := newResultCache(32)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				key := imageKey([]byte(fmt.Sprintf("%d", i%50)), "m")
+				if i%2 == 0 {
+					c.put(key, []core.InferredVar{{FuncLow: uint64(i)}})
+				} else {
+					c.get(key)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if c.len() > 32 {
+		t.Fatalf("cache grew past capacity: %d", c.len())
+	}
+}

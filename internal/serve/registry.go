@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// Model is one immutable loaded-model snapshot: the trained system plus
+// the provenance the API surfaces. Requests capture the snapshot they run
+// against, so a reload never changes a request mid-flight — in-flight
+// work finishes on the old snapshot while new requests see the new one.
+type Model struct {
+	// CATI is the trained system; read-only once published (the CATI
+	// concurrency contract).
+	CATI *core.CATI
+	// Fingerprint is core.CATI.Fingerprint(): the sealed artifact's
+	// content hash, echoed in every inference response.
+	Fingerprint string
+	// Path is the artifact file the snapshot was loaded from.
+	Path string
+	// LoadedAt is when this snapshot became active.
+	LoadedAt time.Time
+
+	// modTime/size are the artifact file's stat at load time; the watcher
+	// compares against them to detect an updated file.
+	modTime time.Time
+	size    int64
+}
+
+// Registry owns the active model behind an atomic pointer. Load/Reload
+// replace the snapshot (serialized by a mutex so concurrent SIGHUP and
+// watcher ticks cannot interleave); Active is a lock-free read on the
+// request path.
+type Registry struct {
+	path    string
+	workers int
+	log     *slog.Logger
+
+	active  atomic.Pointer[Model]
+	mu      sync.Mutex // serializes (re)loads
+	reloads atomic.Uint64
+}
+
+// NewRegistry returns a registry that loads artifacts from path and
+// configures each loaded model with the given worker count (0: resolve
+// via par.Workers at inference time). No model is loaded yet — call Load.
+func NewRegistry(path string, workers int, log *slog.Logger) *Registry {
+	if log == nil {
+		log = slog.Default()
+	}
+	return &Registry{path: path, workers: workers, log: log}
+}
+
+// countReload records a model (re)load outcome.
+func countReload(result string) {
+	if !telemetry.On() {
+		return
+	}
+	telemetry.Default().Counter("cati_serve_model_loads_total",
+		"Model artifact loads by the serving registry, by outcome.", "result", result).Inc()
+}
+
+// Load reads, validates and publishes the artifact at the registry's
+// path. On any failure the previously active model (if any) stays
+// published untouched, so a botched reload — truncated upload, version
+// skew, bit rot — degrades to "keep serving the old model", never to an
+// outage. The first Load must succeed before serving starts.
+func (r *Registry) Load() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, err := os.Stat(r.path)
+	if err != nil {
+		countReload("error")
+		return fmt.Errorf("serve: model: %w", err)
+	}
+	blob, err := os.ReadFile(r.path)
+	if err != nil {
+		countReload("error")
+		return fmt.Errorf("serve: model: %w", err)
+	}
+	cati, err := core.Load(blob)
+	if err != nil {
+		countReload("error")
+		return fmt.Errorf("serve: model %s: %w", r.path, err)
+	}
+	cati.Pipeline.Cfg.Workers = r.workers
+	m := &Model{
+		CATI:        cati,
+		Fingerprint: cati.Fingerprint(),
+		Path:        r.path,
+		LoadedAt:    time.Now(),
+		modTime:     st.ModTime(),
+		size:        st.Size(),
+	}
+	old := r.active.Swap(m)
+	countReload("ok")
+	if old != nil {
+		r.reloads.Add(1)
+		r.log.Info("model reloaded", "path", r.path, "fingerprint", m.Fingerprint, "was", old.Fingerprint)
+	} else {
+		r.log.Info("model loaded", "path", r.path, "fingerprint", m.Fingerprint)
+	}
+	return nil
+}
+
+// Active returns the current model snapshot (nil before the first Load).
+// It is one atomic load — safe and cheap on every request.
+func (r *Registry) Active() *Model { return r.active.Load() }
+
+// Reloads reports how many times the active model has been replaced.
+func (r *Registry) Reloads() uint64 { return r.reloads.Load() }
+
+// Watch polls the artifact file every interval until ctx is cancelled and
+// reloads when its mtime or size changes — `cp new.model cati.model` (or
+// an atomic rename over it) rolls the fleet without restarts. Reload
+// failures are logged and retried on the next tick; the active model is
+// never dropped. Blocks; run it on its own goroutine.
+func (r *Registry) Watch(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		cur := r.Active()
+		st, err := os.Stat(r.path)
+		if err != nil {
+			// A mid-replace window (rename not yet landed) or a deleted
+			// file: keep serving the loaded model and look again later.
+			continue
+		}
+		if cur != nil && st.ModTime().Equal(cur.modTime) && st.Size() == cur.size {
+			continue
+		}
+		if err := r.Load(); err != nil {
+			r.log.Warn("model reload failed; keeping active model", "error", err)
+		}
+	}
+}

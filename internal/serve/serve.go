@@ -1,0 +1,467 @@
+// Package serve is CATI's long-lived inference service: an HTTP daemon
+// that loads a trained model artifact once and turns the one-shot `cati
+// infer` pipeline into a shared, always-warm backend for decompiler
+// integrations and bulk analysis.
+//
+//	POST /v1/infer    raw ELF bytes in → per-variable JSON types out
+//	GET  /v1/models   active model fingerprint, path, load time, reloads
+//	GET  /v1/healthz  liveness ("ok"; never blocked by inference load)
+//
+// Four mechanisms make it production-shaped:
+//
+//   - a model registry (registry.go) holding the active *core.CATI behind
+//     an atomic pointer, hot-reloaded on SIGHUP or artifact-file change:
+//     in-flight requests finish on the old snapshot, new requests see the
+//     new one, and every response carries the model fingerprint;
+//   - admission control (admission.go): a bounded in-flight limit and a
+//     bounded, deadline-capped wait queue; everything beyond is answered
+//     429 + Retry-After immediately instead of degrading every request;
+//   - dynamic micro-batching (batcher.go): concurrent requests coalesce
+//     (up to -max-batch, waiting at most -batch-linger) into one
+//     core.InferBatchOpts call, keeping the worker pool saturated while
+//     per-binary error domains keep a poisoned ELF from failing its
+//     batchmates;
+//   - a content-addressed LRU result cache (cache.go) keyed by (SHA-256
+//     of image, model fingerprint), so re-submitted binaries — the common
+//     case in real workloads — skip inference entirely.
+//
+// Shutdown is a graceful drain: stop accepting, finish in-flight
+// requests (bounded by the drain deadline), then stop the batcher and
+// watcher. Everything is instrumented through internal/telemetry.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/elfx"
+	"repro/internal/telemetry"
+)
+
+// Request telemetry.
+var (
+	mReqSeconds = telemetry.Default().Histogram("cati_serve_request_seconds",
+		"End-to-end /v1/infer latency, admission wait included.",
+		telemetry.StageBuckets)
+)
+
+// countRequest records one finished /v1/infer request by status code.
+func countRequest(code int) {
+	if !telemetry.On() {
+		return
+	}
+	telemetry.Default().Counter("cati_serve_requests_total",
+		"Inference requests served, by HTTP status code.",
+		"code", strconv.Itoa(code)).Inc()
+}
+
+// countRejection records one shed request by which bound fired.
+func countRejection(reason string) {
+	if !telemetry.On() {
+		return
+	}
+	telemetry.Default().Counter("cati_serve_rejected_total",
+		"Inference requests shed by admission control, by reason.",
+		"reason", reason).Inc()
+}
+
+// Config tunes the service; zero values take the documented defaults.
+type Config struct {
+	// ModelPath is the trained artifact to load and watch. Required.
+	ModelPath string
+	// Workers is the per-model inference worker count (0: CATI_WORKERS
+	// env, else GOMAXPROCS), exactly like `cati infer -workers`.
+	Workers int
+	// MaxInFlight bounds concurrently executing requests (default 2×
+	// resolved batch size, minimum 4).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot beyond
+	// MaxInFlight (default: MaxInFlight). Arrivals beyond in-flight +
+	// queue are rejected with 429 immediately.
+	MaxQueue int
+	// QueueWait caps a queued request's wait for a slot (default 1s);
+	// expiry answers 429.
+	QueueWait time.Duration
+	// RetryAfter is the Retry-After hint on 429 responses (default 1s).
+	RetryAfter time.Duration
+	// MaxBatch is the micro-batch size cap (default 8; 1 disables
+	// batching).
+	MaxBatch int
+	// Linger is how long the batcher waits for a batch to fill after its
+	// first request (default 2ms; 0 dispatches whatever is instantly
+	// available).
+	Linger time.Duration
+	// CacheSize is the result cache's entry cap (default 1024; negative
+	// disables caching).
+	CacheSize int
+	// BinaryTimeout/Retries are the per-binary fault-isolation knobs
+	// passed to core.InferBatchOpts (see core.BatchOptions).
+	BinaryTimeout time.Duration
+	Retries       int
+	// MaxBody caps an uploaded image's size in bytes (default 64 MiB).
+	MaxBody int64
+	// WatchInterval is how often the artifact file is polled for changes
+	// (default 2s; negative disables watching — reloads then happen only
+	// via Reload, e.g. on SIGHUP).
+	WatchInterval time.Duration
+	// Log receives the service's structured diagnostics (default
+	// slog.Default()).
+	Log *slog.Logger
+}
+
+// withDefaults resolves the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 1
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 2 * c.MaxBatch
+		if c.MaxInFlight < 4 {
+			c.MaxInFlight = 4
+		}
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = c.MaxInFlight
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.QueueWait == 0 {
+		c.QueueWait = time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Linger == 0 {
+		c.Linger = 2 * time.Millisecond
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 64 << 20
+	}
+	if c.WatchInterval == 0 {
+		c.WatchInterval = 2 * time.Second
+	}
+	if c.Log == nil {
+		c.Log = slog.Default()
+	}
+	return c
+}
+
+// VarRecord is one inferred variable in an InferResponse — the same
+// per-variable schema `cati infer -json` emits (minus the file name,
+// which an uploaded image does not have).
+type VarRecord struct {
+	FuncLow uint64 `json:"func_low"`
+	Slot    int32  `json:"slot"`
+	Global  bool   `json:"global"`
+	Size    int    `json:"size"`
+	NumVUCs int    `json:"num_vucs"`
+	Class   string `json:"class"`
+}
+
+// InferResponse is the /v1/infer success body.
+type InferResponse struct {
+	// Model is the fingerprint of the model that produced Vars (from the
+	// cache, the model that originally computed the entry).
+	Model string `json:"model"`
+	// Cached reports a result-cache hit (no inference ran).
+	Cached bool `json:"cached"`
+	// NumVars is len(Vars), for cheap client-side sanity checks.
+	NumVars int `json:"num_vars"`
+	// Vars are the inferred variables, ordered by function and slot.
+	Vars []VarRecord `json:"vars"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Model is set when a specific model attempted the inference.
+	Model string `json:"model,omitempty"`
+	// Attempts is how many times the binary ran (retries included).
+	Attempts int `json:"attempts,omitempty"`
+}
+
+// ModelInfo describes the active model in a ModelsResponse.
+type ModelInfo struct {
+	Fingerprint string    `json:"fingerprint"`
+	Path        string    `json:"path"`
+	LoadedAt    time.Time `json:"loaded_at"`
+	Reloads     uint64    `json:"reloads"`
+}
+
+// ModelsResponse is the /v1/models body.
+type ModelsResponse struct {
+	Active ModelInfo `json:"active"`
+}
+
+// Server is a running (or startable) inference service.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	batch    *batcher
+	adm      *admission
+	cache    *resultCache
+
+	httpSrv *http.Server
+	lis     net.Listener
+	// Addr is the bound listen address (useful with ":0"). Set by Start.
+	Addr string
+
+	// runCtx outlives every batch; cancelled only after the HTTP drain.
+	runCtx    context.Context
+	runCancel context.CancelFunc
+	watchDone chan struct{}
+	batchDone chan struct{}
+}
+
+// New builds a Server from cfg and loads the initial model; a missing or
+// corrupt artifact fails here, before any port is bound.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ModelPath == "" {
+		return nil, errors.New("serve: Config.ModelPath is required")
+	}
+	reg := NewRegistry(cfg.ModelPath, cfg.Workers, cfg.Log)
+	if err := reg.Load(); err != nil {
+		return nil, err
+	}
+	opts := core.BatchOptions{Timeout: cfg.BinaryTimeout, Retries: cfg.Retries}
+	s := &Server{
+		cfg:      cfg,
+		registry: reg,
+		batch:    newBatcher(cfg.MaxBatch, cfg.Linger, opts, reg.Active),
+		adm:      newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
+		cache:    newResultCache(cfg.CacheSize),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/infer", s.handleInfer)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.httpSrv = &http.Server{Handler: mux}
+	return s, nil
+}
+
+// Registry exposes the model registry (for SIGHUP wiring and tests).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Start binds addr and serves until Shutdown. The listener is bound
+// synchronously — a bad address fails here — and serving, the batch
+// collector, and the artifact watcher each run on their own goroutine.
+func (s *Server) Start(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	s.lis = lis
+	s.Addr = lis.Addr().String()
+	s.runCtx, s.runCancel = context.WithCancel(context.Background())
+	s.batchDone = make(chan struct{})
+	go func() {
+		defer close(s.batchDone)
+		s.batch.run(s.runCtx)
+	}()
+	s.watchDone = make(chan struct{})
+	go func() {
+		defer close(s.watchDone)
+		s.registry.Watch(s.runCtx, s.cfg.WatchInterval)
+	}()
+	go func() { _ = s.httpSrv.Serve(lis) }()
+	s.cfg.Log.Info("catiserve listening", "addr", s.Addr,
+		"model", s.registry.Active().Fingerprint,
+		"max_inflight", s.cfg.MaxInFlight, "max_queue", s.cfg.MaxQueue,
+		"max_batch", s.cfg.MaxBatch, "linger", s.cfg.Linger,
+		"cache", s.cfg.CacheSize)
+	return nil
+}
+
+// Shutdown drains gracefully: stop accepting, wait (up to ctx's deadline)
+// for in-flight requests — and the batches they ride in — to finish, then
+// stop the collector and watcher. Safe to call once after Start.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.httpSrv.Shutdown(ctx)
+	// Handlers have returned (or the deadline passed): now nothing new
+	// can enter the batcher, so cancelling the run context only stops the
+	// collector loop and any straggling batches.
+	if s.runCancel != nil {
+		s.runCancel()
+		<-s.batchDone
+		<-s.watchDone
+	}
+	return err
+}
+
+// Close tears down without draining (tests, error paths).
+func (s *Server) Close() error {
+	err := s.httpSrv.Close()
+	if s.runCancel != nil {
+		s.runCancel()
+		<-s.batchDone
+		<-s.watchDone
+	}
+	return err
+}
+
+// handleHealthz answers liveness. It touches no lock, no queue and no
+// model state, so it stays responsive under full overload — orchestrators
+// must see "alive and shedding", not a timeout, when the service is busy.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleModels reports the active model snapshot.
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	m := s.registry.Active()
+	writeJSON(w, http.StatusOK, ModelsResponse{Active: ModelInfo{
+		Fingerprint: m.Fingerprint,
+		Path:        m.Path,
+		LoadedAt:    m.LoadedAt,
+		Reloads:     s.registry.Reloads(),
+	}})
+}
+
+// handleInfer is the data path: read → cache probe → admission → parse →
+// batch → respond. The cache probe runs before admission so repeat
+// traffic is served even when the compute side is saturated.
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code := http.StatusOK
+	defer func() {
+		countRequest(code)
+		mReqSeconds.ObserveSince(start)
+	}()
+
+	image, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			code = http.StatusRequestEntityTooLarge
+			writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf("image exceeds %d-byte limit", s.cfg.MaxBody)})
+			return
+		}
+		code = http.StatusBadRequest
+		writeJSON(w, code, ErrorResponse{Error: "reading request body: " + err.Error()})
+		return
+	}
+	if len(image) == 0 {
+		code = http.StatusBadRequest
+		writeJSON(w, code, ErrorResponse{Error: "empty request body (expected a raw ELF image)"})
+		return
+	}
+
+	// Cache probe against the currently active model.
+	active := s.registry.Active()
+	key := imageKey(image, active.Fingerprint)
+	if vars, ok := s.cache.get(key); ok {
+		writeInferResponse(w, active.Fingerprint, true, vars)
+		return
+	}
+
+	// Admission: hold a slot for the whole parse+infer, so the in-flight
+	// bound covers everything that costs CPU or memory.
+	release, err := s.adm.acquire(r.Context())
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			countRejection("queue_full")
+		case errors.Is(err, ErrQueueTimeout):
+			countRejection("queue_timeout")
+		default: // client went away while queued
+			code = 499 // nginx convention: client closed request
+			countRejection("client_gone")
+			return
+		}
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+		writeJSON(w, code, ErrorResponse{Error: err.Error()})
+		return
+	}
+	defer release()
+
+	bin, err := elfx.Read(image)
+	if err != nil {
+		code = http.StatusBadRequest
+		writeJSON(w, code, ErrorResponse{Error: err.Error()})
+		return
+	}
+
+	req := &inferRequest{bin: bin, done: make(chan inferResult, 1)}
+	if err := s.batch.submit(r.Context(), req); err != nil {
+		code = 499
+		countRejection("client_gone")
+		return
+	}
+	var res inferResult
+	select {
+	case res = <-req.done:
+	case <-r.Context().Done():
+		// Client gone; the batch still completes and its send lands in
+		// the buffered channel.
+		code = 499
+		return
+	}
+	if res.err != nil {
+		if errors.Is(res.err, context.DeadlineExceeded) {
+			code = http.StatusGatewayTimeout
+		} else {
+			code = http.StatusUnprocessableEntity
+		}
+		writeJSON(w, code, ErrorResponse{
+			Error:    res.err.Error(),
+			Model:    res.model.Fingerprint,
+			Attempts: res.attempts,
+		})
+		return
+	}
+	// Key the stored entry by the model that actually ran (it may be
+	// newer than the one probed above if a reload landed in between).
+	s.cache.put(imageKey(image, res.model.Fingerprint), res.vars)
+	writeInferResponse(w, res.model.Fingerprint, false, res.vars)
+}
+
+// writeInferResponse renders vars in the `cati infer -json` per-variable
+// schema plus the model fingerprint (also exposed as a header so clients
+// streaming the body can route on it early).
+func writeInferResponse(w http.ResponseWriter, fingerprint string, cached bool, vars []core.InferredVar) {
+	recs := make([]VarRecord, len(vars))
+	for i, v := range vars {
+		recs[i] = VarRecord{
+			FuncLow: v.FuncLow,
+			Slot:    v.Slot,
+			Global:  v.Global,
+			Size:    v.Size,
+			NumVUCs: v.NumVUCs,
+			Class:   v.Class.String(),
+		}
+	}
+	w.Header().Set("X-Cati-Model", fingerprint)
+	writeJSON(w, http.StatusOK, InferResponse{
+		Model:   fingerprint,
+		Cached:  cached,
+		NumVars: len(recs),
+		Vars:    recs,
+	})
+}
+
+// writeJSON writes one JSON body with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

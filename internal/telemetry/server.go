@@ -1,12 +1,14 @@
 package telemetry
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 )
 
 // Server is a running debug HTTP server. It mounts:
@@ -55,7 +57,7 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 	reg.SetEnabled(true)
 
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", reg)
+	mux.Handle("/metrics", gateHandler(reg))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -75,8 +77,44 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 	return s, nil
 }
 
-// Close stops serving and releases the listener. Collection stays enabled:
-// metrics keep accumulating for a later server or an in-process reader.
+// Shutdown stops accepting new connections and waits for in-flight
+// requests — a /metrics scrape mid-render, a pprof profile streaming its
+// samples — to complete, up to ctx's deadline. It returns nil once every
+// request finished, or ctx.Err() when the deadline forced remaining
+// connections closed. Collection stays enabled either way, exactly as
+// with Close. Long-lived processes (catiserve's drain path) should prefer
+// Shutdown so a monitoring system's last scrape is never truncated;
+// Close remains for tests and abrupt teardown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.srv.Shutdown(ctx)
+}
+
+// Close stops serving immediately — in-flight requests are dropped — and
+// releases the listener. Collection stays enabled: metrics keep
+// accumulating for a later server or an in-process reader.
 func (s *Server) Close() error {
 	return s.srv.Close()
+}
+
+// scrapeGate, when set, holds every /metrics scrape between accept and
+// render: the handler sends on entered, then blocks until release is
+// closed. It exists so the shutdown test can pin a scrape in flight
+// deterministically (the test-hook pattern net/http itself uses); nil in
+// production, where gateHandler adds one atomic load per scrape.
+var scrapeGate atomic.Pointer[scrapeHold]
+
+type scrapeHold struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+// gateHandler wraps the /metrics handler with the scrapeGate test hook.
+func gateHandler(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if g := scrapeGate.Load(); g != nil {
+			g.entered <- struct{}{}
+			<-g.release
+		}
+		h.ServeHTTP(w, r)
+	})
 }

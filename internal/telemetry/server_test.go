@@ -1,10 +1,12 @@
 package telemetry
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, url string) (int, string) {
@@ -59,5 +61,83 @@ func TestDebugServerEndpoints(t *testing.T) {
 func TestStartServerBadAddr(t *testing.T) {
 	if _, err := StartServer("256.0.0.1:bad", NewRegistry()); err == nil {
 		t.Fatal("bad address accepted")
+	}
+}
+
+// TestShutdownCompletesInFlightScrape pins a /metrics scrape in flight
+// via the scrapeGate test hook, starts a graceful Shutdown, verifies the
+// shutdown waits, then releases the scrape and checks the client received
+// the complete exposition and Shutdown returned cleanly.
+func TestShutdownCompletesInFlightScrape(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := StartServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Counter("shutdown_scrape_total", "help").Add(7)
+
+	gate := &scrapeHold{entered: make(chan struct{}), release: make(chan struct{})}
+	scrapeGate.Store(gate)
+	defer scrapeGate.Store(nil)
+
+	scrapeBody := make(chan string, 1)
+	scrapeErr := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr + "/metrics")
+		if err != nil {
+			scrapeErr <- err
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			scrapeErr <- err
+			return
+		}
+		scrapeBody <- string(body)
+	}()
+
+	// Wait until the scrape is in the handler, then start the shutdown.
+	select {
+	case <-gate.entered:
+	case err := <-scrapeErr:
+		t.Fatalf("scrape failed before entering handler: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("scrape never reached the handler")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- srv.Shutdown(ctx) }()
+
+	// With the scrape still held, Shutdown must be waiting, not done.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) while a scrape was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(gate.release)
+	select {
+	case body := <-scrapeBody:
+		if !strings.Contains(body, "shutdown_scrape_total 7") {
+			t.Fatalf("in-flight scrape got truncated exposition:\n%s", body)
+		}
+	case err := <-scrapeErr:
+		t.Fatalf("in-flight scrape failed during shutdown: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("scrape never completed")
+	}
+	select {
+	case err := <-shutdownDone:
+		if err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown never returned after the scrape completed")
+	}
+	// The listener is down: new scrapes must fail.
+	if _, err := http.Get("http://" + srv.Addr + "/metrics"); err == nil {
+		t.Fatal("server still accepting after Shutdown")
 	}
 }
