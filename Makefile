@@ -10,9 +10,9 @@ RACE_PKGS = ./internal/par ./internal/obs ./internal/telemetry ./internal/nn ./i
 # corpus always runs in full via plain `go test`.
 FUZZTIME ?= 5s
 
-.PHONY: check build test lint vet race fuzz cover bench bench-json bench-serve
+.PHONY: check build test lint vet race fuzz cover purego bench bench-json bench-serve bench-kernels bench-kernels-smoke
 
-check: lint build test cover race fuzz
+check: lint build test purego cover race fuzz bench-kernels-smoke
 
 # lint fails when any file is unformatted (gofmt -l prints it), vet
 # complains, or a CLI writes raw diagnostics to stderr instead of routing
@@ -36,6 +36,11 @@ build:
 test:
 	$(GO) test ./...
 
+# purego re-runs the math-core packages with the JIT compiled out,
+# proving the portable fallback path stays green on its own.
+purego:
+	$(GO) test -tags purego ./internal/gemm ./internal/nn
+
 # cover runs the test suite once with coverage and prints the per-package
 # statement coverage summary (and leaves cover.out for `go tool cover`).
 cover:
@@ -53,6 +58,7 @@ fuzz:
 	$(GO) test -race -run XXX -fuzz FuzzElfRead -fuzztime $(FUZZTIME) ./internal/elfx
 	$(GO) test -race -run XXX -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/asm
 	$(GO) test -race -run XXX -fuzz FuzzInferBinary -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -race -run XXX -fuzz FuzzGEMMEquivalence -fuzztime $(FUZZTIME) ./internal/gemm
 
 # Parallel-core micro-benchmarks (worker sweep 1/2/4/8).
 bench:
@@ -66,3 +72,13 @@ bench-json:
 # off/on x micro-batching off/on): RPS and latency percentiles per point.
 bench-serve:
 	$(GO) run ./cmd/catibench -serve-bench BENCH_serve.json
+
+# Kernel-backend sweep (naive reference vs portable/blocked/jit in f32 and
+# int8) plus the int8-vs-f32 accuracy delta; writes BENCH_kernels.json.
+bench-kernels:
+	$(GO) run ./cmd/catibench -bench-kernels BENCH_kernels.json -bench-iters 10
+
+# One-iteration smoke of the kernel sweep: exercises every backend x dtype
+# dispatch path end to end without committing to benchmark-length runs.
+bench-kernels-smoke:
+	$(GO) run ./cmd/catibench -bench-kernels /dev/null -bench-iters 1

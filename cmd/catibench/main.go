@@ -9,6 +9,7 @@
 //	catibench ablation-window ablation-clamp ablation-generalize
 //	catibench ablation-embed ablation-flat
 //	catibench -bench-json BENCH_parallel.json [-workers N]
+//	catibench -bench-kernels BENCH_kernels.json [-bench-iters N]
 //	catibench -serve-bench BENCH_serve.json
 //	catibench -serve-url http://host:8090/v1/infer -serve-concurrency 16
 //
@@ -47,6 +48,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("catibench", flag.ContinueOnError)
 	scale := fs.String("scale", "default", "experiment scale: default, quick or ablation")
 	benchJSON := fs.String("bench-json", "", "run the parallel-core benchmark and write JSON records to this file (e.g. BENCH_parallel.json), then exit")
+	benchKernels := fs.String("bench-kernels", "", "run the math-kernel sweep (portable/blocked/jit x f32/int8) and write JSON records to this file (e.g. BENCH_kernels.json), then exit")
+	benchIters := fs.Int("bench-iters", 5, "timed iterations per point for -bench-kernels")
 	serveBench := fs.String("serve-bench", "", "run the catiserve cache/batch sweep and write JSON records to this file (e.g. BENCH_serve.json), then exit")
 	serveURL := fs.String("serve-url", "", "load-test a running catiserve at this /v1/infer URL and print the JSON record, then exit")
 	serveConc := fs.Int("serve-concurrency", 8, "closed-loop clients for -serve-bench / -serve-url")
@@ -62,6 +65,9 @@ func run(args []string) error {
 
 	if *benchJSON != "" {
 		return runParallelBench(log, *benchJSON, rt.Workers)
+	}
+	if *benchKernels != "" {
+		return runKernelBench(log, *benchKernels, *benchIters)
 	}
 	if *serveBench != "" || *serveURL != "" {
 		ctx, stop := rt.Context()

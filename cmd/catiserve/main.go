@@ -64,6 +64,7 @@ func newDaemon(args []string) (*daemon, error) {
 	fs := flag.NewFlagSet("catiserve", flag.ContinueOnError)
 	model := fs.String("model", "cati.model", "trained model artifact to serve (reloaded on SIGHUP or file change)")
 	workers := fs.Int("workers", 0, "inference worker goroutines (0: CATI_WORKERS env, else GOMAXPROCS)")
+	kernel := cliflags.Kernel(fs)
 	sv := cliflags.AddServe(fs)
 	diag := cliflags.AddDiag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -74,6 +75,9 @@ func newDaemon(args []string) (*daemon, error) {
 	}
 	log, err := diag.Setup()
 	if err != nil {
+		return nil, err
+	}
+	if err := cliflags.ApplyKernel(*kernel); err != nil {
 		return nil, err
 	}
 	srv, err := serve.New(serve.Config{

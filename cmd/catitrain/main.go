@@ -22,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -53,6 +54,8 @@ func run(args []string) error {
 	seed := cliflags.Seed(fs, 7)
 	quick := fs.Bool("quick", false, "small architecture for a fast demo model")
 	ckptDir := fs.String("checkpoint", "", "directory for per-phase training checkpoints (resume after crash/cancel)")
+	quantize := fs.Bool("quantize", false, "write an int8-quantized inference model (~4x smaller, inference-only)")
+	from := fs.String("from", "", "convert an existing model artifact instead of training (use with -quantize)")
 	rt := cliflags.AddRuntime(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +75,22 @@ func run(args []string) error {
 	defer stop()
 	trace := rt.NewTrace()
 	defer cliflags.PrintTrace(os.Stderr, trace)
+
+	// Conversion mode: load an existing float model, quantize, write.
+	if *from != "" {
+		if !*quantize {
+			return fmt.Errorf("-from requires -quantize (nothing else to convert)")
+		}
+		data, err := os.ReadFile(*from)
+		if err != nil {
+			return err
+		}
+		cati, err := core.Load(data)
+		if err != nil {
+			return err
+		}
+		return writeModel(cati, *out, true, log)
+	}
 
 	start := time.Now()
 	log.Info("building corpus", "binaries", *binaries, "dialect", *dialect)
@@ -112,13 +131,28 @@ func run(args []string) error {
 	}
 	log.Info("training done", "elapsed", time.Since(t0).Round(time.Millisecond))
 
+	return writeModel(cati, *out, *quantize, log)
+}
+
+// writeModel seals the system (quantizing first when asked) and writes
+// the artifact file.
+func writeModel(cati *core.CATI, out string, quantize bool, log *slog.Logger) error {
+	kind := "float32"
+	if quantize {
+		var err error
+		if cati, err = cati.Quantize(); err != nil {
+			return err
+		}
+		kind = "int8"
+		log.Info("quantized model to int8")
+	}
 	blob, err := cati.Save()
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d bytes)\n", *out, len(blob))
+	fmt.Printf("wrote %s (%d bytes, %s, fingerprint %s)\n", out, len(blob), kind, cati.Fingerprint())
 	return nil
 }

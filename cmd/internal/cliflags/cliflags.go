@@ -15,9 +15,11 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/gemm"
 	"repro/internal/obs"
 	"repro/internal/telemetry"
 	"repro/internal/vuc"
@@ -76,6 +78,10 @@ func (d *Diag) Setup() (*slog.Logger, error) {
 	return log, nil
 }
 
+// EnvKernel is the environment variable consulted for the math-kernel
+// backend when the -kernel flag is left at its default.
+const EnvKernel = "CATI_KERNEL"
+
 // Runtime carries the execution flags every long-running CLI shares.
 type Runtime struct {
 	// Workers is the -workers flag (0: CATI_WORKERS env, else GOMAXPROCS).
@@ -84,20 +90,67 @@ type Runtime struct {
 	Timeout time.Duration
 	// Trace is the -trace flag: record and print per-stage wall times.
 	Trace bool
+	// Kernel is the -kernel flag: the gemm backend for CNN inference
+	// (auto, portable, blocked or jit). Empty defers to the CATI_KERNEL
+	// environment variable, then "auto".
+	Kernel string
 	// Diag holds the embedded diagnostics flags (Setup is promoted).
 	Diag
 }
 
-// AddRuntime registers -workers, -timeout, -trace and the diagnostics
-// trio on the flag set and returns the struct they fill in after
-// fs.Parse.
+// AddRuntime registers -workers, -timeout, -trace, -kernel and the
+// diagnostics trio on the flag set and returns the struct they fill in
+// after fs.Parse.
 func AddRuntime(fs *flag.FlagSet) *Runtime {
 	r := &Runtime{}
 	fs.IntVar(&r.Workers, "workers", 0, "worker goroutines (0: CATI_WORKERS env, else GOMAXPROCS)")
 	fs.DurationVar(&r.Timeout, "timeout", 0, "overall deadline, e.g. 90s or 10m (0: none)")
 	fs.BoolVar(&r.Trace, "trace", false, "record per-stage wall times and print the breakdown on exit")
+	fs.StringVar(&r.Kernel, "kernel", "", kernelHelp())
 	addDiag(fs, &r.Diag)
 	return r
+}
+
+func kernelHelp() string {
+	return fmt.Sprintf("math kernel backend: %s (empty: CATI_KERNEL env, else auto)",
+		strings.Join(gemm.BackendNames(), ", "))
+}
+
+// Kernel registers the standalone -kernel flag for CLIs that do not take
+// the full Runtime group (catiserve, catigen); pass the parsed value to
+// ApplyKernel after fs.Parse.
+func Kernel(fs *flag.FlagSet) *string {
+	return fs.String("kernel", "", kernelHelp())
+}
+
+// ApplyKernel resolves a -kernel flag value (empty: CATI_KERNEL env,
+// then "auto") and selects the gemm backend process-wide. An unknown or
+// unavailable backend (e.g. "jit" on a non-amd64 build) is an error, not
+// a silent fallback.
+func ApplyKernel(name string) error {
+	if name == "" {
+		name = os.Getenv(EnvKernel)
+	}
+	if name == "" {
+		name = "auto"
+	}
+	return gemm.Select(name)
+}
+
+// Setup builds the shared logger and optional debug server (see
+// Diag.Setup), then applies the -kernel/CATI_KERNEL backend selection so
+// every CLI resolves the math core the same way. An unknown or
+// unavailable backend (e.g. -kernel jit on a non-amd64 build) is a
+// startup error, not a silent fallback.
+func (r *Runtime) Setup() (*slog.Logger, error) {
+	log, err := r.Diag.Setup()
+	if err != nil {
+		return nil, err
+	}
+	if err := ApplyKernel(r.Kernel); err != nil {
+		return nil, err
+	}
+	return log, nil
 }
 
 // StageHook returns an obs.Hook that logs stage completions (and, at

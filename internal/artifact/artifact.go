@@ -40,6 +40,12 @@ var (
 	ErrMagic = errors.New("artifact: bad magic (not a CATI artifact)")
 	// ErrKind reports an artifact of a different kind than expected.
 	ErrKind = errors.New("artifact: kind mismatch")
+	// ErrUnknownKind reports a well-formed artifact whose kind tag this
+	// build does not know how to decode — typically a file written by a
+	// newer build (e.g. a quantized model read by a float-only binary).
+	// Readers that dispatch on Kind should return it for unhandled tags so
+	// "newer format" is distinguishable from "corrupt file".
+	ErrUnknownKind = errors.New("artifact: unknown artifact kind")
 	// ErrVersion reports a schema version the reader does not support.
 	ErrVersion = errors.New("artifact: unsupported version")
 	// ErrTruncated reports a payload shorter or longer than the header

@@ -735,3 +735,97 @@ func TestMnemonicsComplete(t *testing.T) {
 		seen[name] = op
 	}
 }
+
+// TestEncodePackedSSE pins the packed-single encodings the JIT GEMM
+// microkernel emits (movups/addps/mulps/shufps) to their canonical bytes,
+// then round-trips each through the decoder.
+func TestEncodePackedSSE(t *testing.T) {
+	tests := []struct {
+		in   Inst
+		want []byte
+	}{
+		{NewInst(OpMOVUPS, 16, R(XMM0), MemD(RAX64, 0)), []byte{0x0F, 0x10, 0x00}},
+		{NewInst(OpMOVUPS, 16, MemD(RAX64, 0), R(XMM0)), []byte{0x0F, 0x11, 0x00}},
+		{NewInst(OpMOVUPS, 16, R(XMM8), MemD(RAX64, 0)), []byte{0x44, 0x0F, 0x10, 0x00}},
+		{NewInst(OpMOVUPS, 16, R(XMM1), MemD(RSI64, 0x40)), []byte{0x0F, 0x10, 0x4E, 0x40}},
+		{NewInst(OpMOVUPS, 16, R(XMM2), R(XMM3)), []byte{0x0F, 0x10, 0xD3}},
+		{NewInst(OpADDPS, 16, R(XMM0), R(XMM1)), []byte{0x0F, 0x58, 0xC1}},
+		{NewInst(OpADDPS, 16, R(XMM4), MemD(RCX64, -8)), []byte{0x0F, 0x58, 0x61, 0xF8}},
+		{NewInst(OpMULPS, 16, R(XMM2), MemD(RBX64, 0x10)), []byte{0x0F, 0x59, 0x53, 0x10}},
+		{NewInst(OpMULPS, 16, R(XMM9), R(XMM10)), []byte{0x45, 0x0F, 0x59, 0xCA}},
+		{NewInst(OpMAXPS, 16, R(XMM1), R(XMM0)), []byte{0x0F, 0x5F, 0xC8}},
+		{NewInst(OpMAXPS, 16, R(XMM6), MemD(RDI64, 0x20)), []byte{0x0F, 0x5F, 0x77, 0x20}},
+		{NewInst(OpSHUFPS, 16, R(XMM0), R(XMM1), Imm{Value: 0}), []byte{0x0F, 0xC6, 0xC1, 0x00}},
+		{NewInst(OpSHUFPS, 16, R(XMM5), R(XMM5), Imm{Value: 0xFF}), []byte{0x0F, 0xC6, 0xED, 0xFF}},
+	}
+	for _, tc := range tests {
+		code, err := Encode(tc.in)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", Print(&tc.in), err)
+		}
+		if !bytes.Equal(code, tc.want) {
+			t.Errorf("%s: encoded % x, want % x", Print(&tc.in), code, tc.want)
+		}
+		out, err := Decode(code, 0x400000)
+		if err != nil {
+			t.Fatalf("%s (% x): decode: %v", Print(&tc.in), code, err)
+		}
+		if !out.Equal(&tc.in) {
+			t.Errorf("%s round-tripped as %s", Print(&tc.in), Print(&out))
+		}
+	}
+	// shufps rejects an out-of-range selector instead of truncating it.
+	bad := NewInst(OpSHUFPS, 16, R(XMM0), R(XMM1), Imm{Value: 256})
+	if _, err := Encode(bad); !errors.Is(err, ErrImmTooLarge) {
+		t.Errorf("shufps $256: err %v, want ErrImmTooLarge", err)
+	}
+}
+
+func TestEncodeVEX(t *testing.T) {
+	tests := []struct {
+		in   Inst
+		want []byte
+	}{
+		// Two-byte C5 form: map 0F, no X/B extension.
+		{NewInst(OpVMOVUPS, 32, R(YMM0), MemD(RAX64, 0)), []byte{0xC5, 0xFC, 0x10, 0x00}},
+		{NewInst(OpVMOVUPS, 32, MemD(RAX64, 0), R(YMM0)), []byte{0xC5, 0xFC, 0x11, 0x00}},
+		{NewInst(OpVMOVUPS, 32, R(YMM8), MemD(RSI64, 0x40)), []byte{0xC5, 0x7C, 0x10, 0x46, 0x40}},
+		{NewInst(OpVMOVUPS, 16, R(XMM1), MemD(RAX64, 0)), []byte{0xC5, 0xF8, 0x10, 0x08}},
+		{NewInst(OpVADDPS, 32, R(YMM0), R(YMM1), R(YMM2)), []byte{0xC5, 0xF4, 0x58, 0xC2}},
+		{NewInst(OpVXORPS, 32, R(YMM4), R(YMM4), R(YMM4)), []byte{0xC5, 0xDC, 0x57, 0xE4}},
+		{NewInst(OpVZEROUPPER, 0), []byte{0xC5, 0xF8, 0x77}},
+		// Three-byte C4 form: B extension or the 0F38 map.
+		{NewInst(OpVMOVUPS, 32, R(YMM1), MemD(R8, 0)), []byte{0xC4, 0xC1, 0x7C, 0x10, 0x08}},
+		{NewInst(OpVMULPS, 32, R(YMM10), R(YMM8), R(YMM9)), []byte{0xC4, 0x41, 0x3C, 0x59, 0xD1}},
+		{NewInst(OpVBROADCASTSS, 32, R(YMM10), MemD(RDI64, 4)), []byte{0xC4, 0x62, 0x7D, 0x18, 0x57, 0x04}},
+		{NewInst(OpVBROADCASTSS, 16, R(XMM2), MemD(RDI64, 0)), []byte{0xC4, 0xE2, 0x79, 0x18, 0x17}},
+		// Feature-detection stubs.
+		{NewInst(OpCPUID, 0), []byte{0x0F, 0xA2}},
+		{NewInst(OpXGETBV, 0), []byte{0x0F, 0x01, 0xD0}},
+	}
+	for _, tc := range tests {
+		code, err := Encode(tc.in)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", Print(&tc.in), err)
+		}
+		if !bytes.Equal(code, tc.want) {
+			t.Errorf("%s: encoded % x, want % x", Print(&tc.in), code, tc.want)
+		}
+		out, err := Decode(code, 0x400000)
+		if err != nil {
+			t.Fatalf("%s (% x): decode: %v", Print(&tc.in), code, err)
+		}
+		if !out.Equal(&tc.in) {
+			t.Errorf("%s round-tripped as %s", Print(&tc.in), Print(&out))
+		}
+	}
+	// The register-source vbroadcastss form is AVX2; the encoder targets AVX1.
+	bad := NewInst(OpVBROADCASTSS, 32, R(YMM0), R(XMM1))
+	if _, err := Encode(bad); !errors.Is(err, ErrBadOperands) {
+		t.Errorf("vbroadcastss reg source: err %v, want ErrBadOperands", err)
+	}
+	// VEX after a legacy prefix is #UD.
+	if _, err := Decode([]byte{0x66, 0xC5, 0xFC, 0x10, 0x00}, 0); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("66 c5: err %v, want ErrBadEncoding", err)
+	}
+}

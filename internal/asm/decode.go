@@ -257,6 +257,14 @@ func (d *decoder) decode() (Inst, error) {
 		case 0xF3:
 			d.repF3 = true
 		default:
+			if b == 0xC4 || b == 0xC5 {
+				// VEX prefix; combining it with legacy prefixes is #UD.
+				if d.opSize || d.repF2 || d.repF3 {
+					return Inst{}, ErrBadEncoding
+				}
+				d.pos++
+				return d.vex(b)
+			}
 			if b >= 0x40 && b <= 0x4F {
 				d.rex = b
 				d.hasREX = true
@@ -700,6 +708,17 @@ func (d *decoder) twoByte() (Inst, error) {
 			return Inst{}, err
 		}
 		return Inst{Op: mnem, Width: 1, Args: []Operand{rm}}, nil
+	case op == 0xA2:
+		return Inst{Op: OpCPUID}, nil
+	case op == 0x01:
+		b, err := d.next()
+		if err != nil {
+			return Inst{}, err
+		}
+		if b != 0xD0 {
+			return Inst{}, fmt.Errorf("0f 01 %#02x: %w", b, ErrBadEncoding)
+		}
+		return Inst{Op: OpXGETBV}, nil
 	case op == 0xAF:
 		w := d.opWidth()
 		reg, rm, err := d.modRM(w, false)
@@ -735,7 +754,12 @@ func (d *decoder) sse(op byte) (Inst, error) {
 		if sdBit {
 			mnem, w = OpMOVSD, 8
 		} else if !ssBit {
-			return Inst{}, ErrBadEncoding
+			// No rep prefix: packed form. 0x66 would be movupd, which we
+			// neither emit nor accept.
+			if d.opSize {
+				return Inst{}, ErrBadEncoding
+			}
+			mnem, w = OpMOVUPS, 16
 		}
 		reg, rm, err := d.modRM(0, true)
 		if err != nil {
@@ -817,6 +841,20 @@ func (d *decoder) sse(op byte) (Inst, error) {
 			return Inst{Op: OpMOVQX, Width: 8, Args: []Operand{x, rm}}, nil
 		}
 		return Inst{Op: OpMOVQX, Width: 8, Args: []Operand{rm, x}}, nil
+	case 0xC6: // shufps xmm, xmm/m128, imm8
+		if d.opSize || ssBit || sdBit {
+			return Inst{}, ErrBadEncoding
+		}
+		reg, rm, err := d.modRM(0, true)
+		if err != nil {
+			return Inst{}, err
+		}
+		imm, err := d.next()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpSHUFPS, Width: 16,
+			Args: []Operand{R(XMM(reg)), rm, Imm{Value: int64(imm)}}}, nil
 	case 0xEF: // pxor
 		if !d.opSize {
 			return Inst{}, ErrBadEncoding
@@ -826,6 +864,15 @@ func (d *decoder) sse(op byte) (Inst, error) {
 			return Inst{}, err
 		}
 		return Inst{Op: OpPXOR, Width: 16, Args: []Operand{R(XMM(reg)), rm}}, nil
+	case 0x5F: // maxps (the scalar maxss/maxsd forms are never emitted)
+		if d.opSize || ssBit || sdBit {
+			return Inst{}, ErrBadEncoding
+		}
+		reg, rm, err := d.modRM(0, true)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpMAXPS, Width: 16, Args: []Operand{R(XMM(reg)), rm}}, nil
 	case 0x58, 0x59, 0x5C, 0x5E, 0x5A:
 		var mnem Op
 		var w int
@@ -859,7 +906,19 @@ func (d *decoder) sse(op byte) (Inst, error) {
 				mnem, w = OpCVTSD2SS, 8
 			}
 		default:
-			return Inst{}, ErrBadEncoding
+			// No rep prefix: packed single (no 0x66 packed-double forms).
+			if d.opSize {
+				return Inst{}, ErrBadEncoding
+			}
+			w = 16
+			switch op {
+			case 0x58:
+				mnem = OpADDPS
+			case 0x59:
+				mnem = OpMULPS
+			default:
+				return Inst{}, ErrBadEncoding
+			}
 		}
 		reg, rm, err := d.modRM(0, true)
 		if err != nil {
@@ -868,6 +927,132 @@ func (d *decoder) sse(op byte) (Inst, error) {
 		return Inst{Op: mnem, Width: w, Args: []Operand{R(XMM(reg)), rm}}, nil
 	}
 	return Inst{}, fmt.Errorf("two-byte opcode 0f %#02x: %w", op, ErrBadEncoding)
+}
+
+// vex decodes a VEX-prefixed instruction. The VEX payload bytes carry the
+// inverted R/X/B extension bits; they are synthesized into d.rex so modRM
+// works unchanged, and L promotes XMM operands to YMM.
+func (d *decoder) vex(prefix byte) (Inst, error) {
+	var mmap, pp byte
+	var vvvv int
+	var l bool
+	d.rex, d.hasREX = 0x40, true
+	if prefix == 0xC5 {
+		b, err := d.next()
+		if err != nil {
+			return Inst{}, err
+		}
+		mmap = 1
+		if b&0x80 == 0 {
+			d.rex |= 4 // R
+		}
+		vvvv = int(^b>>3) & 0xF
+		l = b&4 != 0
+		pp = b & 3
+	} else {
+		b1, err := d.next()
+		if err != nil {
+			return Inst{}, err
+		}
+		b2, err := d.next()
+		if err != nil {
+			return Inst{}, err
+		}
+		mmap = b1 & 0x1F
+		if b1&0x80 == 0 {
+			d.rex |= 4 // R
+		}
+		if b1&0x40 == 0 {
+			d.rex |= 2 // X
+		}
+		if b1&0x20 == 0 {
+			d.rex |= 1 // B
+		}
+		if b2&0x80 != 0 {
+			return Inst{}, ErrBadEncoding // VEX.W set — none of our ops use it
+		}
+		vvvv = int(^b2>>3) & 0xF
+		l = b2&4 != 0
+		pp = b2 & 3
+	}
+	op, err := d.next()
+	if err != nil {
+		return Inst{}, err
+	}
+
+	width := 16
+	if l {
+		width = 32
+	}
+	vec := func(n int) Reg {
+		if l {
+			return YMM(n)
+		}
+		return XMM(n)
+	}
+	// modRM decodes register r/m operands as XMM; promote under L.
+	vecRM := func(rm Operand) Operand {
+		if r, ok := rm.(RegArg); ok && l {
+			return R(YMM(r.Reg.Num()))
+		}
+		return rm
+	}
+
+	if mmap == 2 && pp == 1 && op == 0x18 {
+		// vbroadcastss (memory source on AVX1).
+		if vvvv != 0 {
+			return Inst{}, ErrBadEncoding
+		}
+		reg, rm, err := d.modRM(0, true)
+		if err != nil {
+			return Inst{}, err
+		}
+		if _, ok := rm.(Mem); !ok {
+			return Inst{}, ErrBadEncoding
+		}
+		return Inst{Op: OpVBROADCASTSS, Width: width, Args: []Operand{R(vec(reg)), rm}}, nil
+	}
+	if mmap != 1 || pp != 0 {
+		return Inst{}, fmt.Errorf("vex map %d pp %d op %#02x: %w", mmap, pp, op, ErrBadEncoding)
+	}
+
+	switch op {
+	case 0x77:
+		if l || vvvv != 0 {
+			return Inst{}, ErrBadEncoding // vzeroall / bad vvvv
+		}
+		return Inst{Op: OpVZEROUPPER}, nil
+	case 0x10, 0x11:
+		if vvvv != 0 {
+			return Inst{}, ErrBadEncoding
+		}
+		reg, rm, err := d.modRM(0, true)
+		if err != nil {
+			return Inst{}, err
+		}
+		x := R(vec(reg))
+		if op == 0x10 {
+			return Inst{Op: OpVMOVUPS, Width: width, Args: []Operand{x, vecRM(rm)}}, nil
+		}
+		return Inst{Op: OpVMOVUPS, Width: width, Args: []Operand{vecRM(rm), x}}, nil
+	case 0x57, 0x58, 0x59:
+		var mnem Op
+		switch op {
+		case 0x57:
+			mnem = OpVXORPS
+		case 0x58:
+			mnem = OpVADDPS
+		case 0x59:
+			mnem = OpVMULPS
+		}
+		reg, rm, err := d.modRM(0, true)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: mnem, Width: width,
+			Args: []Operand{R(vec(reg)), R(vec(vvvv)), vecRM(rm)}}, nil
+	}
+	return Inst{}, fmt.Errorf("vex opcode %#02x: %w", op, ErrBadEncoding)
 }
 
 func (d *decoder) x87(op byte) (Inst, error) {

@@ -342,6 +342,12 @@ func encodeInto(e *enc, in Inst) error {
 	case OpNOP:
 		e.byte(0x90)
 		return nil
+	case OpCPUID:
+		e.bytes(0x0F, 0xA2)
+		return nil
+	case OpXGETBV:
+		e.bytes(0x0F, 0x01, 0xD0)
+		return nil
 	default:
 	}
 	switch {
@@ -353,6 +359,8 @@ func encodeInto(e *enc, in Inst) error {
 		return encodeCMOV(e, in)
 	case in.Op.IsSSE():
 		return encodeSSE(e, in)
+	case in.Op.IsVEX():
+		return encodeVEX(e, in)
 	case in.Op.IsX87():
 		return encodeX87(e, in)
 	}
@@ -958,7 +966,8 @@ var sseSpecs = map[Op]sseSpec{
 	OpCVTSS2SD: {0xF3, 0x5A}, OpCVTSD2SS: {0xF2, 0x5A},
 	OpUCOMISS: {0x00, 0x2E}, OpUCOMISD: {0x66, 0x2E},
 	OpPXOR: {0x66, 0xEF}, OpXORPS: {0x00, 0x57},
-	OpMOVAPS: {0x00, 0x28},
+	OpMOVAPS: {0x00, 0x28}, OpMOVUPS: {0x00, 0x10},
+	OpADDPS: {0x00, 0x58}, OpMULPS: {0x00, 0x59}, OpMAXPS: {0x00, 0x5F},
 }
 
 func encodeSSE(e *enc, in Inst) error {
@@ -1003,6 +1012,26 @@ func encodeSSE(e *enc, in Inst) error {
 		return ErrBadOperands
 	}
 
+	if in.Op == OpSHUFPS {
+		// shufps xmm, xmm/m128, imm8: 0F C6 /r ib.
+		d, ok := in.Dst().(RegArg)
+		if !ok || !d.Reg.IsXMM() || len(in.Args) != 3 {
+			return ErrBadOperands
+		}
+		imm, ok := in.Args[2].(Imm)
+		if !ok {
+			return ErrBadOperands
+		}
+		if imm.Value < 0 || imm.Value > 255 {
+			return ErrImmTooLarge
+		}
+		if err := emitSSE(e, 0, false, []byte{0x0F, 0xC6}, d.Reg.Num(), in.Src()); err != nil {
+			return err
+		}
+		e.imm(imm.Value, 1)
+		return nil
+	}
+
 	spec, ok := sseSpecs[in.Op]
 	if !ok {
 		return ErrUnknownOp
@@ -1011,10 +1040,11 @@ func encodeSSE(e *enc, in Inst) error {
 	if d, ok := dst.(RegArg); ok && d.Reg.IsXMM() {
 		return emitSSE(e, spec.prefix, false, []byte{0x0F, spec.op}, d.Reg.Num(), src)
 	}
-	// Store form (mem, xmm): movss/movsd use opcode 0x11, movaps 0x29.
+	// Store form (mem, xmm): movss/movsd/movups use opcode base+1,
+	// movaps 0x29.
 	var storeOp byte
 	switch in.Op {
-	case OpMOVSS, OpMOVSD:
+	case OpMOVSS, OpMOVSD, OpMOVUPS:
 		storeOp = 0x11
 	case OpMOVAPS:
 		storeOp = 0x29

@@ -120,7 +120,27 @@ const (
 	OpPXOR
 	OpXORPS
 	OpMOVAPS
+
+	// SSE packed single (the JIT GEMM microkernel's vector core).
+	OpMOVUPS
+	OpADDPS
+	OpMULPS
+	OpMAXPS
+	OpSHUFPS // shufps $imm8, src, dst — used to splat a scalar lane
+
 	OpMOVQX // movq between xmm and r/m64 (66 REX.W 0F 6E/7E)
+
+	// AVX (VEX-encoded; the JIT's 256-bit GEMM microkernel).
+	OpVMOVUPS
+	OpVADDPS
+	OpVMULPS
+	OpVXORPS
+	OpVBROADCASTSS // vbroadcastss m32, ymm — splat one float to all lanes
+	OpVZEROUPPER
+
+	// CPU identification (JIT feature detection stubs).
+	OpCPUID
+	OpXGETBV
 
 	// x87 (long double).
 	OpFLD
@@ -166,6 +186,12 @@ var opNames = map[Op]string{
 	OpCVTSS2SD: "cvtss2sd", OpCVTSD2SS: "cvtsd2ss",
 	OpUCOMISS: "ucomiss", OpUCOMISD: "ucomisd",
 	OpPXOR: "pxor", OpXORPS: "xorps",
+	OpMOVUPS: "movups", OpADDPS: "addps", OpMULPS: "mulps", OpMAXPS: "maxps",
+	OpSHUFPS:  "shufps",
+	OpVMOVUPS: "vmovups", OpVADDPS: "vaddps", OpVMULPS: "vmulps",
+	OpVXORPS: "vxorps", OpVBROADCASTSS: "vbroadcastss",
+	OpVZEROUPPER: "vzeroupper",
+	OpCPUID:      "cpuid", OpXGETBV: "xgetbv",
 	OpFLD: "fld", OpFSTP: "fstp", OpFILD: "fild",
 	OpFADDP: "faddp", OpFMULP: "fmulp", OpFSUBP: "fsubp", OpFDIVP: "fdivp",
 	OpFCHS: "fchs", OpFXCH: "fxch", OpFUCOMIP: "fucomip",
@@ -191,6 +217,9 @@ func (o Op) IsSET() bool { return o >= OpSETE && o <= OpSETNS }
 
 // IsSSE reports whether the op is an SSE instruction.
 func (o Op) IsSSE() bool { return o >= OpMOVSS && o <= OpMOVQX }
+
+// IsVEX reports whether the op is a VEX-encoded AVX instruction.
+func (o Op) IsVEX() bool { return o >= OpVMOVUPS && o <= OpVZEROUPPER }
 
 // IsCMOV reports whether the op is a conditional move.
 func (o Op) IsCMOV() bool { return o >= OpCMOVE && o <= OpCMOVNS }

@@ -397,8 +397,16 @@ func inferWidth(in *Inst) {
 	case OpADDSD, OpSUBSD, OpMULSD, OpDIVSD, OpCVTSD2SS:
 		in.Width = 8
 		return
-	case OpPXOR, OpXORPS, OpMOVAPS:
+	case OpPXOR, OpXORPS, OpMOVAPS, OpMAXPS:
 		in.Width = 16
+		return
+	case OpVMOVUPS, OpVADDPS, OpVMULPS, OpVXORPS, OpVBROADCASTSS:
+		for _, a := range in.Args {
+			if r, ok := a.(RegArg); ok && (r.Reg.IsXMM() || r.Reg.IsYMM()) {
+				in.Width = r.Reg.Width()
+				return
+			}
+		}
 		return
 	case OpMOVQX:
 		in.Width = 8

@@ -127,6 +127,24 @@ const (
 
 	// RIP for RIP-relative addressing.
 	RIP
+
+	// AVX registers (the 256-bit views of the XMM file; VEX-encoded only).
+	YMM0
+	YMM1
+	YMM2
+	YMM3
+	YMM4
+	YMM5
+	YMM6
+	YMM7
+	YMM8
+	YMM9
+	YMM10
+	YMM11
+	YMM12
+	YMM13
+	YMM14
+	YMM15
 )
 
 // Canonical aliases using conventional names for 64-bit GPRs.
@@ -165,7 +183,11 @@ var regNames = map[Reg]string{
 	XMM12: "xmm12", XMM13: "xmm13", XMM14: "xmm14", XMM15: "xmm15",
 	ST0: "st", ST1: "st(1)", ST2: "st(2)", ST3: "st(3)",
 	ST4: "st(4)", ST5: "st(5)", ST6: "st(6)", ST7: "st(7)",
-	RIP: "rip",
+	RIP:  "rip",
+	YMM0: "ymm0", YMM1: "ymm1", YMM2: "ymm2", YMM3: "ymm3",
+	YMM4: "ymm4", YMM5: "ymm5", YMM6: "ymm6", YMM7: "ymm7",
+	YMM8: "ymm8", YMM9: "ymm9", YMM10: "ymm10", YMM11: "ymm11",
+	YMM12: "ymm12", YMM13: "ymm13", YMM14: "ymm14", YMM15: "ymm15",
 }
 
 // String returns the conventional register name without the AT&T % sigil.
@@ -184,6 +206,9 @@ func (r Reg) IsGPR() bool { return r >= RAX64 && r <= R15B || r >= AH && r <= BH
 
 // IsXMM reports whether r is an SSE register.
 func (r Reg) IsXMM() bool { return r >= XMM0 && r <= XMM15 }
+
+// IsYMM reports whether r is an AVX 256-bit register.
+func (r Reg) IsYMM() bool { return r >= YMM0 && r <= YMM15 }
 
 // IsST reports whether r is an x87 stack register.
 func (r Reg) IsST() bool { return r >= ST0 && r <= ST7 }
@@ -207,6 +232,8 @@ func (r Reg) Num() int {
 		return int(r-AH) + 4
 	case r.IsXMM():
 		return int(r - XMM0)
+	case r.IsYMM():
+		return int(r - YMM0)
 	case r.IsST():
 		return int(r - ST0)
 	default:
@@ -228,6 +255,8 @@ func (r Reg) Width() int {
 		return 1
 	case r.IsXMM():
 		return 16
+	case r.IsYMM():
+		return 32
 	case r.IsST():
 		return 10
 	default:
@@ -262,6 +291,14 @@ func XMM(num int) Reg {
 		return RegNone
 	}
 	return XMM0 + Reg(num)
+}
+
+// YMM returns the AVX register with the given hardware number.
+func YMM(num int) Reg {
+	if num < 0 || num > 15 {
+		return RegNone
+	}
+	return YMM0 + Reg(num)
 }
 
 // ST returns the x87 stack register with the given index.

@@ -1,0 +1,122 @@
+package asm
+
+import "fmt"
+
+// VEX encoding for the AVX subset the JIT uses. Two forms exist: the
+// two-byte C5 prefix (map 0F, no X/B/W extension bits) and the general
+// three-byte C4 prefix. Register-extension bits (R, X, B) and the vvvv
+// extra-operand field are stored inverted; L selects 128/256-bit width.
+//
+//	C5 [R̄·v̄v̄v̄v̄·L·pp]
+//	C4 [R̄·X̄·B̄·mmmmm] [W·v̄v̄v̄v̄·L·pp]
+//
+// mmmmm: 1 = 0F, 2 = 0F38. pp: 0 = none, 1 = 66, 2 = F3, 3 = F2.
+
+// vexSpec maps a VEX mnemonic to opcode map, implied prefix and opcode.
+type vexSpec struct {
+	mmap byte // opcode map: 1 = 0F, 2 = 0F38
+	pp   byte // implied mandatory prefix bits
+	op   byte
+	nds  bool // three-operand form: dst, src1 (in vvvv), src2 (r/m)
+}
+
+var vexSpecs = map[Op]vexSpec{
+	OpVMOVUPS:      {mmap: 1, pp: 0, op: 0x10},
+	OpVADDPS:       {mmap: 1, pp: 0, op: 0x58, nds: true},
+	OpVMULPS:       {mmap: 1, pp: 0, op: 0x59, nds: true},
+	OpVXORPS:       {mmap: 1, pp: 0, op: 0x57, nds: true},
+	OpVBROADCASTSS: {mmap: 2, pp: 1, op: 0x18},
+}
+
+func isVecReg(r Reg) bool { return r.IsXMM() || r.IsYMM() }
+
+func encodeVEX(e *enc, in Inst) error {
+	if in.Op == OpVZEROUPPER {
+		e.bytes(0xC5, 0xF8, 0x77)
+		return nil
+	}
+	spec, ok := vexSpecs[in.Op]
+	if !ok {
+		return ErrUnknownOp
+	}
+	opcode := spec.op
+	var regOp Reg // goes in the ModRM reg field
+	vvvv := 0     // hardware number of the NDS operand (encoded inverted)
+	var rm Operand
+
+	switch {
+	case spec.nds:
+		if len(in.Args) != 3 {
+			return ErrBadOperands
+		}
+		d, ok := in.Args[0].(RegArg)
+		s1, ok2 := in.Args[1].(RegArg)
+		if !ok || !ok2 || !isVecReg(d.Reg) || !isVecReg(s1.Reg) {
+			return ErrBadOperands
+		}
+		regOp, vvvv, rm = d.Reg, s1.Reg.Num(), in.Args[2]
+	case in.Op == OpVMOVUPS:
+		if d, ok := in.Dst().(RegArg); ok && isVecReg(d.Reg) {
+			regOp, rm = d.Reg, in.Src()
+			break
+		}
+		s, ok := in.Src().(RegArg)
+		if !ok || !isVecReg(s.Reg) {
+			return ErrBadOperands
+		}
+		if _, ok := in.Dst().(Mem); !ok {
+			return ErrBadOperands
+		}
+		opcode = 0x11 // store form
+		regOp, rm = s.Reg, in.Dst()
+	case in.Op == OpVBROADCASTSS:
+		d, ok := in.Dst().(RegArg)
+		if !ok || !isVecReg(d.Reg) {
+			return ErrBadOperands
+		}
+		if _, ok := in.Src().(Mem); !ok {
+			// The register-source form is AVX2; the JIT targets AVX1.
+			return fmt.Errorf("vbroadcastss needs a memory source: %w", ErrBadOperands)
+		}
+		regOp, rm = d.Reg, in.Src()
+	default:
+		return ErrUnknownOp
+	}
+
+	var rex rexParts
+	t, err := buildModRM(regOp.Num(), rm, &rex)
+	if err != nil {
+		return err
+	}
+	var l byte
+	if regOp.IsYMM() {
+		l = 1 << 2
+	}
+	// vvvv, R, X and B are stored inverted; W is always 0 for these ops.
+	b2 := byte(^vvvv&0xF)<<3 | l | spec.pp
+	if spec.mmap == 1 && !rex.x && !rex.b {
+		if !rex.r {
+			b2 |= 0x80
+		}
+		e.bytes(0xC5, b2)
+	} else {
+		b1 := spec.mmap
+		if !rex.r {
+			b1 |= 0x80
+		}
+		if !rex.x {
+			b1 |= 0x40
+		}
+		if !rex.b {
+			b1 |= 0x20
+		}
+		e.bytes(0xC4, b1, b2)
+	}
+	e.byte(opcode)
+	e.byte(t.modrm)
+	if t.hasSIB {
+		e.byte(t.sib)
+	}
+	e.bytes(t.disp...)
+	return nil
+}

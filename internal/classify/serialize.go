@@ -50,22 +50,64 @@ func fromCfgState(s cfgState) Config {
 	}
 }
 
-// pipelineState is the gob form of a trained pipeline.
+// pipelineState is the gob form of a trained pipeline. Quantized marks
+// int8 stage payloads (nn.EncodeQCNN instead of nn.EncodeCNN); the model
+// artifact additionally carries the distinction in its envelope kind tag,
+// so pre-quantization builds reject such files at the envelope, not here.
 type pipelineState struct {
-	Cfg     cfgState
-	Embed   []byte
-	Stages  map[int][]byte
-	FlatNet []byte
+	Cfg       cfgState
+	Embed     []byte
+	Stages    map[int][]byte
+	FlatNet   []byte
+	Quantized bool
+}
+
+// Quantized reports whether the pipeline's networks run int8 inference.
+func (p *Pipeline) Quantized() bool {
+	for _, net := range p.Stages {
+		if net.Quantized() {
+			return true
+		}
+	}
+	return p.FlatNet != nil && p.FlatNet.Quantized()
+}
+
+// Quantize returns a copy of the pipeline with every stage CNN converted
+// to its int8 inference form (per-output-channel symmetric weights,
+// dynamic per-tensor activations — see internal/gemm/quant.go). The
+// embedding matrix and config are shared with the original, which is not
+// modified. The result is inference-only.
+func (p *Pipeline) Quantize() (*Pipeline, error) {
+	out := &Pipeline{Cfg: p.Cfg, Embed: p.Embed, Stages: make(map[ctypes.Stage]*nn.Network, len(p.Stages))}
+	for stage, net := range p.Stages {
+		q, err := nn.QuantizeNetwork(net)
+		if err != nil {
+			return nil, fmt.Errorf("classify: quantize %s: %w", stage, err)
+		}
+		out.Stages[stage] = q
+	}
+	if p.FlatNet != nil {
+		q, err := nn.QuantizeNetwork(p.FlatNet)
+		if err != nil {
+			return nil, fmt.Errorf("classify: quantize flat: %w", err)
+		}
+		out.FlatNet = q
+	}
+	return out, nil
 }
 
 // Encode serializes the pipeline (embedding model + all stage CNNs).
 func (p *Pipeline) Encode() ([]byte, error) {
-	st := pipelineState{Cfg: toCfgState(p.Cfg), Stages: make(map[int][]byte)}
+	st := pipelineState{Cfg: toCfgState(p.Cfg), Stages: make(map[int][]byte), Quantized: p.Quantized()}
 	var err error
 	if st.Embed, err = p.Embed.Encode(); err != nil {
 		return nil, err
 	}
 	enc := func(net *nn.Network, arity int) ([]byte, error) {
+		if st.Quantized {
+			return nn.EncodeQCNN(net, p.Cfg.SeqLen(), p.Cfg.InstDim(),
+				p.Cfg.Conv1, p.Cfg.Conv2, p.Cfg.Hidden, arity)
+		}
 		return nn.EncodeCNN(net, p.Cfg.SeqLen(), p.Cfg.InstDim(),
 			p.Cfg.Conv1, p.Cfg.Conv2, p.Cfg.Hidden, arity)
 	}
@@ -129,15 +171,19 @@ func Decode(data []byte) (*Pipeline, error) {
 	if p.Embed, err = word2vec.Decode(st.Embed); err != nil {
 		return nil, err
 	}
+	decodeNet := nn.DecodeCNN
+	if st.Quantized {
+		decodeNet = nn.DecodeQCNN
+	}
 	for stage, blob := range st.Stages {
-		net, err := nn.DecodeCNN(blob)
+		net, err := decodeNet(blob)
 		if err != nil {
 			return nil, fmt.Errorf("classify: decode stage %d: %w", stage, err)
 		}
 		p.Stages[ctypes.Stage(stage)] = net
 	}
 	if len(st.FlatNet) > 0 {
-		if p.FlatNet, err = nn.DecodeCNN(st.FlatNet); err != nil {
+		if p.FlatNet, err = decodeNet(st.FlatNet); err != nil {
 			return nil, fmt.Errorf("classify: decode flat: %w", err)
 		}
 	}

@@ -123,12 +123,19 @@ func TrainCtx(ctx context.Context, c *corpus.Corpus, cfg classify.Config) (*CATI
 // wrote — truncation, bit flips, version skew, and non-finite weights all
 // map to typed errors instead of gob panics or silent corruption.
 const (
-	// modelKind tags model files in the artifact envelope.
+	// modelKind tags float32 model files in the artifact envelope.
 	modelKind = "model"
-	// ModelVersion is the model schema version this build reads and
+	// modelQ8Kind tags int8-quantized model files. A distinct kind (not
+	// just a version bump) means builds that predate quantization reject
+	// such files with artifact.ErrKind at the envelope instead of failing
+	// deep inside gob decoding.
+	modelQ8Kind = "modelq8"
+	// ModelVersion is the float model schema version this build reads and
 	// writes. Bump it whenever the serialized pipeline layout changes
 	// incompatibly; Load rejects other versions with artifact.ErrVersion.
 	ModelVersion = 1
+	// ModelQ8Version is the quantized model schema version.
+	ModelQ8Version = 1
 )
 
 // Fingerprint identifies the exact model contents: a truncated SHA-256 of
@@ -148,7 +155,9 @@ func fingerprintBlob(blob []byte) string {
 }
 
 // Save serializes the system as a versioned, checksummed artifact and
-// stamps the receiver's Fingerprint with the sealed bytes' hash.
+// stamps the receiver's Fingerprint with the sealed bytes' hash. Float
+// pipelines seal under the "model" kind, quantized ones under "modelq8",
+// so the two artifact families are distinguishable before decoding.
 func (c *CATI) Save() (blob []byte, err error) {
 	defer func() { countArtifact("save", err) }()
 	if c.Pipeline == nil {
@@ -158,18 +167,51 @@ func (c *CATI) Save() (blob []byte, err error) {
 	if err != nil {
 		return nil, err
 	}
-	blob = artifact.Seal(modelKind, ModelVersion, payload)
+	if c.Pipeline.Quantized() {
+		blob = artifact.Seal(modelQ8Kind, ModelQ8Version, payload)
+	} else {
+		blob = artifact.Seal(modelKind, ModelVersion, payload)
+	}
 	c.fingerprint = fingerprintBlob(blob)
 	return blob, nil
 }
 
-// Load rebuilds a saved system, validating the envelope (magic, kind,
-// version, length, checksum) and the decoded weights (all finite) before
-// accepting it. Failure modes are distinguishable with errors.Is against
-// the artifact package's typed errors and nn.ErrNotFinite.
+// Quantize returns a new system whose stage CNNs run int8 inference (the
+// embedding matrix and config are shared). The original is unchanged and
+// stays trainable; the quantized system is inference-only. Its
+// fingerprint is unset until the first Save.
+func (c *CATI) Quantize() (*CATI, error) {
+	if c.Pipeline == nil {
+		return nil, ErrNotTrained
+	}
+	qp, err := c.Pipeline.Quantize()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &CATI{Pipeline: qp, Clamp: c.Clamp}, nil
+}
+
+// Load rebuilds a saved system — float ("model") or quantized
+// ("modelq8"), dispatched on the envelope's kind tag — validating the
+// envelope (magic, kind, version, length, checksum) and the decoded
+// weights (all finite) before accepting it. Failure modes are
+// distinguishable with errors.Is against the artifact package's typed
+// errors and nn.ErrNotFinite; a well-formed artifact of a kind this build
+// does not handle maps to artifact.ErrUnknownKind.
 func Load(data []byte) (c *CATI, err error) {
 	defer func() { countArtifact("load", err) }()
-	payload, err := artifact.Open(modelKind, ModelVersion, data)
+	var payload []byte
+	switch kind, ok := artifact.Kind(data); {
+	case ok && kind == modelQ8Kind:
+		payload, err = artifact.Open(modelQ8Kind, ModelQ8Version, data)
+	case ok && kind != modelKind:
+		return nil, fmt.Errorf("core: load: %w %q (this build reads %q and %q)",
+			artifact.ErrUnknownKind, kind, modelKind, modelQ8Kind)
+	default:
+		// The float kind — or not an artifact at all, in which case Open
+		// reports the precise envelope failure (magic, truncation, ...).
+		payload, err = artifact.Open(modelKind, ModelVersion, data)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: load: %w", err)
 	}

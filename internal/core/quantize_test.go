@@ -1,0 +1,159 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/artifact"
+)
+
+// TestQuantizeSaveLoad round-trips an int8 system through Save/Load and
+// checks the rebuilt system infers identically to the in-memory one.
+func TestQuantizeSaveLoad(t *testing.T) {
+	cati := sharedCATI(t)
+	qcati, err := cati.Quantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qcati.Pipeline.Quantized() {
+		t.Fatal("quantized system does not report Quantized")
+	}
+	if cati.Pipeline.Quantized() {
+		t.Fatal("original system must stay float")
+	}
+	blob, err := qcati.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, ok := artifact.Kind(blob); !ok || kind != "modelq8" {
+		t.Fatalf("quantized artifact kind = %q, want modelq8", kind)
+	}
+	got, err := Load(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Pipeline.Quantized() {
+		t.Fatal("loaded system does not report Quantized")
+	}
+
+	bin := testBinary(t, 91)
+	a, err := qcati.InferBinary(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := got.InferBinary(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("variable counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("inference differs at %d after quantized save/load", i)
+		}
+	}
+}
+
+// TestQuantizeAgreement checks int8 inference stays close to float32 on
+// real pipeline output: the two systems must type most variables alike.
+func TestQuantizeAgreement(t *testing.T) {
+	cati := sharedCATI(t)
+	qcati, err := cati.Quantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := testBinary(t, 92)
+	fv, err := cati.InferBinary(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qv, err := qcati.InferBinary(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fv) == 0 || len(fv) != len(qv) {
+		t.Fatalf("variable counts: float %d, int8 %d", len(fv), len(qv))
+	}
+	agree := 0
+	for i := range fv {
+		if fv[i].Class == qv[i].Class {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(fv)); frac < 0.9 {
+		t.Errorf("int8/f32 class agreement %.3f over %d vars, want ≥0.9", frac, len(fv))
+	}
+}
+
+// TestQuantizedFingerprintsDiffer: the float and int8 artifacts of one
+// trained system must have distinguishing fingerprints.
+func TestQuantizedFingerprintsDiffer(t *testing.T) {
+	cati := sharedCATI(t)
+	fblob, err := cati.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qcati, err := cati.Quantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qcati.Fingerprint() != "" {
+		t.Error("unsaved quantized system should have no fingerprint")
+	}
+	qblob, err := qcati.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cati.Fingerprint() == qcati.Fingerprint() {
+		t.Errorf("float and quantized fingerprints collide: %s", cati.Fingerprint())
+	}
+	if len(qblob) >= len(fblob) {
+		t.Errorf("quantized artifact %dB not smaller than float %dB", len(qblob), len(fblob))
+	}
+}
+
+// TestQuantizedForwardCompat: a build that predates the quantized kind
+// opens model artifacts with artifact.Open("model", ...); fed a modelq8
+// blob it must fail with the typed kind error, not a gob panic. And a
+// current build fed an unknown future kind must report ErrUnknownKind.
+func TestQuantizedForwardCompat(t *testing.T) {
+	cati := sharedCATI(t)
+	qcati, err := cati.Quantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qblob, err := qcati.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly what a pre-quantization binary's Load does with the file.
+	if _, err := artifact.Open("model", ModelVersion, qblob); !errors.Is(err, artifact.ErrKind) {
+		t.Errorf("pre-kind open of modelq8 artifact: %v, want artifact.ErrKind", err)
+	}
+	// This build's Load on a well-formed artifact of a kind it has never
+	// heard of: typed unknown-kind error.
+	future := artifact.Seal("modelq9", 1, []byte("payload"))
+	if _, err := Load(future); !errors.Is(err, artifact.ErrUnknownKind) {
+		t.Errorf("Load(unknown kind): %v, want artifact.ErrUnknownKind", err)
+	}
+}
+
+// TestQuantizedNotTrainable: the quantized system's networks reject
+// training through the public trainer entry point.
+func TestQuantizedNotTrainable(t *testing.T) {
+	cati := sharedCATI(t)
+	qcati, err := cati.Quantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for stage, net := range qcati.Pipeline.Stages {
+		if net.Trainable() {
+			t.Errorf("stage %s still trainable after quantization", stage)
+		}
+	}
+	var empty CATI
+	if _, err := empty.Quantize(); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("Quantize on empty system: %v, want ErrNotTrained", err)
+	}
+}

@@ -1,0 +1,85 @@
+package gemm
+
+// Arena is a bump allocator for inference scratch memory: packed GEMM
+// panels, im2col matrices, layer activations and quantized activation
+// buffers. A worker resets its arena at the start of each forward pass and
+// carves slices off the same backing arrays, so steady-state inference
+// performs zero heap allocations — the backing arrays grow (allocate) only
+// until they reach the high-water mark of the shapes the worker sees.
+//
+// An Arena is NOT safe for concurrent use; give each worker its own
+// (internal/nn pools them per prediction chunk).
+type Arena struct {
+	f32  []float32
+	i8   []int8
+	i32  []int32
+	off  int // next free element in f32
+	off8 int // next free element in i8
+	o32  int // next free element in i32
+}
+
+// Reset makes the whole arena reusable. Previously returned slices become
+// invalid (they will be handed out again).
+func (a *Arena) Reset() {
+	a.off, a.off8, a.o32 = 0, 0, 0
+}
+
+// F32 returns a zeroed float32 slice of length n.
+func (a *Arena) F32(n int) []float32 {
+	if a.off+n > len(a.f32) {
+		a.grow(n)
+	}
+	s := a.f32[a.off : a.off+n : a.off+n]
+	a.off += n
+	clear(s)
+	return s
+}
+
+// F32Raw returns a float32 slice of length n without zeroing — for buffers
+// the caller fully overwrites (packed panels, quantize targets).
+func (a *Arena) F32Raw(n int) []float32 {
+	if a.off+n > len(a.f32) {
+		a.grow(n)
+	}
+	s := a.f32[a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
+
+// I8 returns an int8 slice of length n without zeroing.
+func (a *Arena) I8(n int) []int8 {
+	if a.off8+n > len(a.i8) {
+		a.i8 = append(a.i8[:a.off8], make([]int8, n+n/2)...)
+		a.i8 = a.i8[:cap(a.i8)]
+	}
+	s := a.i8[a.off8 : a.off8+n : a.off8+n]
+	a.off8 += n
+	return s
+}
+
+// I32 returns a zeroed int32 slice of length n.
+func (a *Arena) I32(n int) []int32 {
+	if a.o32+n > len(a.i32) {
+		a.i32 = append(a.i32[:a.o32], make([]int32, n+n/2)...)
+		a.i32 = a.i32[:cap(a.i32)]
+	}
+	s := a.i32[a.o32 : a.o32+n : a.o32+n]
+	a.o32 += n
+	clear(s)
+	return s
+}
+
+// grow extends the f32 backing store so that n more elements fit,
+// over-allocating by half to amortize repeated growth.
+func (a *Arena) grow(n int) {
+	a.f32 = append(a.f32[:a.off], make([]float32, n+n/2)...)
+	a.f32 = a.f32[:cap(a.f32)]
+}
+
+// Mark returns a checkpoint of the arena's float32 cursor; Release rewinds
+// to it, freeing everything allocated since. Used by the blocked GEMM so
+// packing panels for one call do not accumulate across layers.
+func (a *Arena) Mark() int { return a.off }
+
+// Release rewinds the float32 cursor to a Mark checkpoint.
+func (a *Arena) Release(mark int) { a.off = mark }

@@ -1,0 +1,29 @@
+package gemm
+
+// ReLU clamps x to be non-negative in place: strictly positive values are
+// kept, everything else (negatives, signed zeros, NaN) becomes +0. This is
+// the maxps(x, 0) semantics of the SSE kernel, which the portable loop
+// mirrors exactly so backends stay interchangeable. Activations are
+// checked finite at load time, so the NaN-to-zero edge never fires on real
+// model data.
+func ReLU(x []float32) {
+	n := 0
+	if Active() == JIT && jitKernels.relu != nil {
+		if n = len(x) &^ (reluBlock - 1); n > 0 {
+			jitKernels.relu.callReLU(x[:n])
+		}
+	}
+	reluPortable(x[n:])
+}
+
+// reluBlock is the element granularity of the JIT ReLU kernel (four SSE
+// vectors per loop iteration); the Go tail loop handles the remainder.
+const reluBlock = 16
+
+func reluPortable(x []float32) {
+	for i, v := range x {
+		if !(v > 0) {
+			x[i] = 0
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package gemm is the math core behind CATI's CNN inference: cache-blocked
+// float32 matrix multiplication with packed panels, an int8×int8→int32
+// quantized variant, a bump-allocator scratch Arena so steady-state
+// inference never touches the heap, and — on amd64 — GEMM microkernels
+// JIT-compiled at startup with the repo's own x86-64 encoder
+// (internal/asm) into W^X executable buffers.
+//
+// Three backends implement the same contract and are proven equivalent by
+// tests and the FuzzGEMMEquivalence target:
+//
+//   - portable: straightforward loop nests, the reference semantics; the
+//     only backend on non-amd64 builds and under the purego build tag.
+//   - blocked: BLIS-style blocking — B packed into KC×NR column panels, A
+//     into MC×MR row panels sized to the L1/L2 caches, with a register-
+//     tiled MR×NR microkernel written in Go.
+//   - jit: the blocked driver with the microkernel emitted as SSE machine
+//     code (movups/mulps/addps over four-lane vectors; a widening
+//     movsx/imul scalar loop for int8) and called through a tiny assembly
+//     trampoline.
+//
+// Numerics: blocked and jit kernels accumulate in the same k-order as the
+// portable loops, so float32 results are bitwise identical across
+// backends for equal inputs.
+package gemm
+
+import "fmt"
+
+// Microkernel tile: MR rows of A by NR columns of B per inner kernel
+// invocation. NR is two SSE vectors wide; MR fills the XMM register file
+// with 8 accumulators (plus b0, b1, the splat and a temporary).
+const (
+	mr = 4
+	nr = 8
+)
+
+// Cache blocking parameters (float32 elements). KC×NR B panels stay in
+// L1, the MC×KC A block in L2, the KC×NC B block in L3. They are variables
+// (not constants) so tests can shrink them to force multi-panel loops on
+// small shapes.
+var (
+	blockMC = 128
+	blockKC = 256
+	blockNC = 2048
+)
+
+// SGEMM computes C += A·B (or C += A·Bᵀ when transB is set) on row-major
+// float32 matrices using the active backend.
+//
+//	A is m×k with leading dimension (row stride) lda,
+//	B is k×n with leading dimension ldb — or n×k when transB,
+//	C is m×n with leading dimension ldc.
+//
+// ar provides packing scratch for the blocked/jit backends; nil allocates
+// a private arena (convenient in tests, but steady-state callers should
+// pass a reused one).
+func SGEMM(m, n, k int, a []float32, lda int, b []float32, ldb int, transB bool, c []float32, ldc int, ar *Arena) {
+	if m <= 0 || n <= 0 || k <= 0 {
+		return
+	}
+	be := Active()
+	start := kernelStart()
+	switch be {
+	case Portable:
+		sgemmPortable(m, n, k, a, lda, b, ldb, transB, c, ldc)
+	default:
+		if ar == nil {
+			ar = &Arena{}
+		}
+		sgemmBlocked(m, n, k, a, lda, b, ldb, transB, c, ldc, ar, be == JIT)
+	}
+	kernelObserve(start, be, "f32")
+}
+
+// sgemmPortable is the reference implementation: plain loop nests with no
+// packing. Both operand layouts stream A and C rows; the transB form is a
+// row-dot-row loop, the direct form a rank-1 accumulation that skips zero
+// A entries (post-ReLU activations are sparse).
+func sgemmPortable(m, n, k int, a []float32, lda int, b []float32, ldb int, transB bool, c []float32, ldc int) {
+	if transB {
+		for i := 0; i < m; i++ {
+			arow := a[i*lda : i*lda+k]
+			crow := c[i*ldc : i*ldc+n]
+			for j := 0; j < n; j++ {
+				brow := b[j*ldb : j*ldb+k]
+				var sum float32
+				for l, av := range arow {
+					sum += av * brow[l]
+				}
+				crow[j] += sum
+			}
+		}
+		return
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*lda : i*lda+k]
+		crow := c[i*ldc : i*ldc+n]
+		for l, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[l*ldb : l*ldb+n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// sgemmBlocked is the cache-blocked driver shared by the blocked and jit
+// backends: pack a KC×NC panel of B, then for each MC×KC block of A packed
+// into MR-row strips run the MR×NR microkernel over the panel grid. Edge
+// tiles (m%MR, n%NR) run through a zero-padded scratch tile so the
+// microkernel only ever sees full tiles.
+func sgemmBlocked(m, n, k int, a []float32, lda int, b []float32, ldb int, transB bool, c []float32, ldc int, ar *Arena, useJIT bool) {
+	mark := ar.Mark()
+	defer ar.Release(mark)
+
+	kc0, mc0, nc0 := blockKC, blockMC, blockNC
+	packedB := ar.F32Raw(kc0 * roundUp(min(n, nc0), nr))
+	packedA := ar.F32Raw(mc0 * kc0)
+	tile := ar.F32Raw(mr * nr)
+
+	for jc := 0; jc < n; jc += nc0 {
+		ncEff := min(nc0, n-jc)
+		for pc := 0; pc < k; pc += kc0 {
+			kcEff := min(kc0, k-pc)
+			packB(packedB, b, ldb, transB, pc, jc, kcEff, ncEff)
+			for ic := 0; ic < m; ic += mc0 {
+				mcEff := min(mc0, m-ic)
+				packA(packedA, a, lda, ic, pc, mcEff, kcEff)
+				macroKernel(packedA, packedB, tile, c, ldc, ic, jc, mcEff, ncEff, kcEff, useJIT)
+			}
+		}
+	}
+}
+
+// packB copies the kc×nc panel of B starting at (pc, jc) into NR-column
+// strips: strip j holds kc rows of NR consecutive values, zero-padded on
+// the right edge. With transB the source is read column-wise from the n×k
+// layout.
+func packB(dst, b []float32, ldb int, transB bool, pc, jc, kc, nc int) {
+	o := 0
+	for j0 := 0; j0 < nc; j0 += nr {
+		w := min(nr, nc-j0)
+		if transB {
+			for l := 0; l < kc; l++ {
+				for j := 0; j < w; j++ {
+					dst[o+j] = b[(jc+j0+j)*ldb+pc+l]
+				}
+				for j := w; j < nr; j++ {
+					dst[o+j] = 0
+				}
+				o += nr
+			}
+		} else {
+			for l := 0; l < kc; l++ {
+				src := b[(pc+l)*ldb+jc+j0:]
+				copy(dst[o:o+w], src[:w])
+				for j := w; j < nr; j++ {
+					dst[o+j] = 0
+				}
+				o += nr
+			}
+		}
+	}
+}
+
+// packA copies the mc×kc block of A starting at (ic, pc) into MR-row
+// strips: strip i holds kc columns of MR consecutive values, zero-padded
+// on the bottom edge. Rows are copied one at a time so the reads stream
+// sequentially (the writes are strided, but land in the same handful of
+// cache lines); A blocks far exceed the caches, so read order dominates.
+func packA(dst, a []float32, lda int, ic, pc, mc, kc int) {
+	for i0 := 0; i0 < mc; i0 += mr {
+		h := min(mr, mc-i0)
+		strip := dst[i0*kc : (i0+mr)*kc]
+		for i := 0; i < h; i++ {
+			src := a[(ic+i0+i)*lda+pc : (ic+i0+i)*lda+pc+kc]
+			for l, v := range src {
+				strip[l*mr+i] = v
+			}
+		}
+		for i := h; i < mr; i++ {
+			for l := 0; l < kc; l++ {
+				strip[l*mr+i] = 0
+			}
+		}
+	}
+}
+
+// macroKernel runs the MR×NR microkernel over one packed A block × packed
+// B panel. Full in-bounds tiles accumulate straight into C; edge tiles go
+// through the scratch tile and the valid region is added back.
+func macroKernel(packedA, packedB, tile, c []float32, ldc, ic, jc, mc, nc, kc int, useJIT bool) {
+	for jr := 0; jr < nc; jr += nr {
+		bPanel := packedB[jr*kc:]
+		for ir := 0; ir < mc; ir += mr {
+			aPanel := packedA[ir*kc:]
+			h, w := min(mr, mc-ir), min(nr, nc-jr)
+			if h == mr && w == nr {
+				dst := c[(ic+ir)*ldc+jc+jr:]
+				kernel(kc, aPanel, bPanel, dst, ldc, useJIT)
+				continue
+			}
+			clear(tile)
+			kernel(kc, aPanel, bPanel, tile, nr, useJIT)
+			for i := 0; i < h; i++ {
+				crow := c[(ic+ir+i)*ldc+jc+jr:]
+				for j := 0; j < w; j++ {
+					crow[j] += tile[i*nr+j]
+				}
+			}
+		}
+	}
+}
+
+// kernel dispatches one MR×NR tile to the JIT microkernel when requested
+// (and available) or the Go register-tiled kernel.
+func kernel(kc int, aPanel, bPanel, c []float32, ldc int, useJIT bool) {
+	if useJIT && jitKernels.f32 != nil {
+		jitKernels.f32.callF32(aPanel, bPanel, c, kc, ldc)
+		return
+	}
+	microKernelGo(kc, aPanel, bPanel, c, ldc)
+}
+
+// microKernelGo is the portable MR×NR microkernel over packed panels:
+// aPanel is kc steps of MR values, bPanel kc steps of NR values. One C row
+// is computed per pass so the NR accumulators stay in registers (a full
+// MR×NR accumulator block spills); B panel reloads hit L1. The per-lane
+// accumulation order (k-major) matches the JIT kernel exactly, so the two
+// produce bitwise-identical results.
+func microKernelGo(kc int, aPanel, bPanel, c []float32, ldc int) {
+	for i := 0; i < mr; i++ {
+		var c0, c1, c2, c3, c4, c5, c6, c7 float32
+		for l := 0; l < kc; l++ {
+			ai := aPanel[l*mr+i]
+			bv := bPanel[l*nr : l*nr+nr : l*nr+nr]
+			c0 += ai * bv[0]
+			c1 += ai * bv[1]
+			c2 += ai * bv[2]
+			c3 += ai * bv[3]
+			c4 += ai * bv[4]
+			c5 += ai * bv[5]
+			c6 += ai * bv[6]
+			c7 += ai * bv[7]
+		}
+		crow := c[i*ldc : i*ldc+nr : i*ldc+nr]
+		crow[0] += c0
+		crow[1] += c1
+		crow[2] += c2
+		crow[3] += c3
+		crow[4] += c4
+		crow[5] += c5
+		crow[6] += c6
+		crow[7] += c7
+	}
+}
+
+func roundUp(x, to int) int { return (x + to - 1) / to * to }
+
+// Validate is a debugging helper: it panics if the blocking parameters
+// have been set to values the packers cannot handle.
+func Validate() {
+	if blockMC%mr != 0 || blockNC%nr != 0 {
+		panic(fmt.Sprintf("gemm: MC=%d must divide by MR=%d and NC=%d by NR=%d",
+			blockMC, mr, blockNC, nr))
+	}
+}

@@ -1,0 +1,517 @@
+//go:build amd64 && linux && !purego
+
+package gemm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"syscall"
+	"unsafe"
+
+	"repro/internal/asm"
+)
+
+// The JIT backend assembles its GEMM microkernels at first use with the
+// repo's own x86-64 encoder (internal/asm) instead of shipping
+// precompiled assembly. The baseline code targets SSE2 — part of the
+// amd64 ABI, so it needs no CPUID gating — and the f32 microkernel is
+// upgraded to a 256-bit AVX variant when runtime feature detection (via
+// JIT-compiled CPUID/XGETBV stubs) confirms CPU and OS support. All
+// generated code lives in an anonymous mmap that is flipped from RW to RX
+// before the first call (W^X: the buffer is never writable and executable
+// at once).
+//
+// Kernel ABI: arguments arrive in DI, SI, DX, CX, R8, R9 via the
+// jitcall6 trampoline (jitcall_amd64.s). Kernels may clobber
+// RAX-RDX, RSI, RDI and R8-R13 plus XMM0-XMM13; they must preserve RSP
+// and must not touch RBP (without saving), R14 (the goroutine pointer in
+// the Go register ABI), R15 or X15.
+//
+// Safety: a kernel runs as straight-line machine code the Go runtime
+// knows nothing about. Asynchronous preemption is safe — the runtime
+// refuses to preempt at a PC it cannot look up and retries later — and
+// the trampoline is NOSPLIT so no stack growth can occur mid-call. Before
+// the backend is advertised as available, every generated kernel must
+// reproduce the portable kernel's output bit-for-bit on a self-test; any
+// mismatch or mmap failure silently falls back to the blocked Go backend.
+
+// jitcall6 invokes code with the six operands in DI, SI, DX, CX, R8, R9.
+// Implemented in jitcall_amd64.s.
+func jitcall6(code, a0, a1, a2, a3, a4, a5 uintptr)
+
+// jitKernel is one executable buffer plus its entry point.
+type jitKernel struct {
+	buf   []byte // RX mmap backing; held to keep the mapping addressable
+	entry uintptr
+}
+
+// callF32 runs the MR×NR float32 microkernel: C[0:4][0:8] += A·B over kc
+// packed steps, where a is kc×MR, b is kc×NR and c has row stride ldc.
+func (k *jitKernel) callF32(a, b, c []float32, kc, ldc int) {
+	jitcall6(k.entry,
+		uintptr(unsafe.Pointer(&a[0])),
+		uintptr(unsafe.Pointer(&b[0])),
+		uintptr(unsafe.Pointer(&c[0])),
+		uintptr(kc), uintptr(ldc*4), 0)
+	runtime.KeepAlive(a)
+	runtime.KeepAlive(b)
+	runtime.KeepAlive(c)
+}
+
+// callInt8 runs the whole int8 GEMM: C[m×n] += A[m×k]·B[n×k]ᵀ on
+// contiguous matrices.
+func (k *jitKernel) callInt8(a, b []int8, c []int32, m, n, kk int) {
+	jitcall6(k.entry,
+		uintptr(unsafe.Pointer(&a[0])),
+		uintptr(unsafe.Pointer(&b[0])),
+		uintptr(unsafe.Pointer(&c[0])),
+		uintptr(m), uintptr(n), uintptr(kk))
+	runtime.KeepAlive(a)
+	runtime.KeepAlive(b)
+	runtime.KeepAlive(c)
+}
+
+// callReLU runs the element-wise max(x, 0) kernel over x, whose length
+// must be a positive multiple of reluBlock.
+func (k *jitKernel) callReLU(x []float32) {
+	jitcall6(k.entry,
+		uintptr(unsafe.Pointer(&x[0])),
+		uintptr(len(x)), 0, 0, 0, 0)
+	runtime.KeepAlive(x)
+}
+
+func (k *jitKernel) release() {
+	if k != nil && k.buf != nil {
+		_ = syscall.Munmap(k.buf)
+		k.buf, k.entry = nil, 0
+	}
+}
+
+var jitKernels struct {
+	f32  *jitKernel
+	i8   *jitKernel
+	relu *jitKernel
+}
+
+var (
+	jitOnce   sync.Once
+	jitReason = "jit not initialized"
+)
+
+// jitAvailable builds and self-tests the kernels on first call and
+// reports whether the JIT backend may be selected.
+func jitAvailable() bool {
+	jitOnce.Do(initJIT)
+	return jitKernels.f32 != nil
+}
+
+func jitUnavailableReason() string {
+	jitOnce.Do(initJIT)
+	return jitReason
+}
+
+func initJIT() {
+	variant := "sse"
+	buildF32 := buildF32Unit
+	if avxSupported() {
+		variant = "avx"
+		buildF32 = buildF32AVXUnit
+	}
+	f32, err := emitKernel(buildF32())
+	if err != nil {
+		jitReason = "f32 kernel: " + err.Error()
+		return
+	}
+	i8, err := emitKernel(buildInt8Unit())
+	if err != nil {
+		f32.release()
+		jitReason = "int8 kernel: " + err.Error()
+		return
+	}
+	relu, err := emitKernel(buildReLUUnit())
+	if err != nil {
+		f32.release()
+		i8.release()
+		jitReason = "relu kernel: " + err.Error()
+		return
+	}
+	if err := jitSelfTest(f32, i8, relu); err != nil {
+		f32.release()
+		i8.release()
+		relu.release()
+		jitReason = "self-test: " + err.Error()
+		return
+	}
+	jitKernels.f32, jitKernels.i8, jitKernels.relu = f32, i8, relu
+	jitReason = "available (" + variant + ")"
+}
+
+// avxSupported reports whether the CPU and OS support 256-bit AVX state.
+// The probes are themselves JIT-compiled stubs: CPUID leaf 1 for the AVX
+// and OSXSAVE feature bits, then XGETBV to confirm the OS enables both the
+// XMM and YMM state components in XCR0.
+func avxSupported() bool {
+	cpuid, err := emitKernel(buildCPUIDUnit())
+	if err != nil {
+		return false
+	}
+	defer cpuid.release()
+	var feat [1]uint32
+	jitcall6(cpuid.entry, uintptr(unsafe.Pointer(&feat[0])), 0, 0, 0, 0, 0)
+	runtime.KeepAlive(&feat)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if feat[0]&osxsave == 0 || feat[0]&avx == 0 {
+		return false
+	}
+	xgetbv, err := emitKernel(buildXGETBVUnit())
+	if err != nil {
+		return false
+	}
+	defer xgetbv.release()
+	var xcr0 [1]uint32
+	jitcall6(xgetbv.entry, uintptr(unsafe.Pointer(&xcr0[0])), 0, 0, 0, 0, 0)
+	runtime.KeepAlive(&xcr0)
+	return xcr0[0]&0x6 == 0x6 // SSE and AVX state enabled
+}
+
+// buildCPUIDUnit emits a stub that stores CPUID.1:ECX to [rdi]. CPUID
+// clobbers EAX-EDX; all four are in the kernel clobber set.
+func buildCPUIDUnit() (*asm.Unit, error) {
+	u := &asm.Unit{}
+	u.AddOp(asm.OpMOV, 0, asm.R(asm.EAX), asm.Imm{Value: 1})
+	u.AddOp(asm.OpCPUID, 0)
+	u.AddOp(asm.OpMOV, 0, asm.MemD(asm.RDI, 0), asm.R(asm.ECX))
+	u.AddOp(asm.OpRET, 0)
+	return u, nil
+}
+
+// buildXGETBVUnit emits a stub that stores the low word of XCR0 to [rdi].
+// Only valid to run once CPUID reports OSXSAVE.
+func buildXGETBVUnit() (*asm.Unit, error) {
+	u := &asm.Unit{}
+	u.AddOp(asm.OpXOR, 0, asm.R(asm.ECX), asm.R(asm.ECX))
+	u.AddOp(asm.OpXGETBV, 0)
+	u.AddOp(asm.OpMOV, 0, asm.MemD(asm.RDI, 0), asm.R(asm.EAX))
+	u.AddOp(asm.OpRET, 0)
+	return u, nil
+}
+
+// emitKernel assembles a unit and maps it into an executable buffer:
+// anonymous RW pages, copy the code in, then mprotect to RX.
+func emitKernel(u *asm.Unit, buildErr error) (*jitKernel, error) {
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	a, err := u.Assemble(0, nil)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := syscall.Mmap(-1, 0, len(a.Code),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_ANON|syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, fmt.Errorf("mmap: %w", err)
+	}
+	copy(buf, a.Code)
+	if err := syscall.Mprotect(buf, syscall.PROT_READ|syscall.PROT_EXEC); err != nil {
+		_ = syscall.Munmap(buf)
+		return nil, fmt.Errorf("mprotect: %w", err)
+	}
+	return &jitKernel{buf: buf, entry: uintptr(unsafe.Pointer(&buf[0]))}, nil
+}
+
+// buildF32Unit emits the MR×NR float32 microkernel.
+//
+// Entry: DI=a (kc×MR packed), SI=b (kc×NR packed), DX=c, CX=kc (>0),
+// R8=row stride of c in bytes. Eight XMM accumulators hold the 4×8 tile;
+// per k-step the NR b values are loaded once (xmm8, xmm9), the MR a
+// values once (xmm12), and each a lane is splatted with shufps and
+// multiplied in. The k loop is unrolled 2× with a single-step remainder.
+// The accumulation order per lane matches microKernelGo exactly, so
+// results are bitwise identical to the blocked Go backend.
+func buildF32Unit() (*asm.Unit, error) {
+	u := &asm.Unit{}
+	op := func(o asm.Op, w int, args ...asm.Operand) { u.AddOp(o, w, args...) }
+	r := asm.R
+	imm := func(v int64) asm.Imm { return asm.Imm{Value: v} }
+	// step emits one k-step reading a at rdi+16*s and b at rsi+32*s.
+	step := func(s int32) {
+		op(asm.OpMOVUPS, 16, r(asm.XMM8), asm.MemD(asm.RSI, 32*s))
+		op(asm.OpMOVUPS, 16, r(asm.XMM9), asm.MemD(asm.RSI, 32*s+16))
+		op(asm.OpMOVUPS, 16, r(asm.XMM12), asm.MemD(asm.RDI, 16*s))
+		for row := 0; row < mr; row++ {
+			op(asm.OpMOVAPS, 16, r(asm.XMM10), r(asm.XMM12))
+			op(asm.OpSHUFPS, 16, r(asm.XMM10), r(asm.XMM10), imm(int64(row*0x55)))
+			op(asm.OpMOVAPS, 16, r(asm.XMM11), r(asm.XMM10))
+			op(asm.OpMULPS, 16, r(asm.XMM11), r(asm.XMM8))
+			op(asm.OpADDPS, 16, r(asm.XMM(2*row)), r(asm.XMM11))
+			op(asm.OpMULPS, 16, r(asm.XMM10), r(asm.XMM9))
+			op(asm.OpADDPS, 16, r(asm.XMM(2*row+1)), r(asm.XMM10))
+		}
+	}
+
+	for x := 0; x < 2*mr; x++ {
+		op(asm.OpXORPS, 16, r(asm.XMM(x)), r(asm.XMM(x)))
+	}
+	op(asm.OpMOV, 0, r(asm.R10), r(asm.RCX)) // r10 = kc >> 1 (pair count)
+	op(asm.OpSHR, 0, r(asm.R10), imm(1))
+	op(asm.OpJE, 0, asm.Sym{Name: "k_rem"})
+	u.Label("k2_loop")
+	step(0)
+	step(1)
+	op(asm.OpADD, 0, r(asm.RDI), imm(2*4*mr))
+	op(asm.OpADD, 0, r(asm.RSI), imm(2*4*nr))
+	op(asm.OpDEC, 0, r(asm.R10))
+	op(asm.OpJNE, 0, asm.Sym{Name: "k2_loop"})
+	u.Label("k_rem")
+	op(asm.OpAND, 0, r(asm.RCX), imm(1))
+	op(asm.OpJE, 0, asm.Sym{Name: "k_done"})
+	step(0)
+	u.Label("k_done")
+
+	// C += accumulators, one row at a time; DX walks by the row stride.
+	for row := 0; row < mr; row++ {
+		op(asm.OpMOVUPS, 16, r(asm.XMM8), asm.MemD(asm.RDX, 0))
+		op(asm.OpADDPS, 16, r(asm.XMM8), r(asm.XMM(2*row)))
+		op(asm.OpMOVUPS, 16, asm.MemD(asm.RDX, 0), r(asm.XMM8))
+		op(asm.OpMOVUPS, 16, r(asm.XMM9), asm.MemD(asm.RDX, 16))
+		op(asm.OpADDPS, 16, r(asm.XMM9), r(asm.XMM(2*row+1)))
+		op(asm.OpMOVUPS, 16, asm.MemD(asm.RDX, 16), r(asm.XMM9))
+		if row != mr-1 {
+			op(asm.OpADD, 0, r(asm.RDX), r(asm.R8))
+		}
+	}
+	op(asm.OpRET, 0)
+	return u, nil
+}
+
+// buildF32AVXUnit emits the MR×NR float32 microkernel with 256-bit VEX
+// instructions; same entry contract and packing layout as buildF32Unit.
+//
+// The NR=8 tile columns fit one YMM register, so each of the MR rows keeps
+// a single accumulator (ymm0-3) and a k-step is just: load the B vector
+// once (ymm8), then per row broadcast the A scalar straight from the
+// packed panel (vbroadcastss from memory — no shuffle-port traffic) and
+// multiply-accumulate via the 3-operand forms. FMA is deliberately not
+// used: vmulps+vaddps round twice, exactly like microKernelGo, keeping
+// results bitwise identical across backends. vzeroupper before ret avoids
+// SSE/AVX transition stalls in the caller.
+func buildF32AVXUnit() (*asm.Unit, error) {
+	u := &asm.Unit{}
+	op := func(o asm.Op, w int, args ...asm.Operand) { u.AddOp(o, w, args...) }
+	r := asm.R
+	imm := func(v int64) asm.Imm { return asm.Imm{Value: v} }
+	// step emits one k-step reading a at rdi+16*s and b at rsi+32*s.
+	step := func(s int32) {
+		op(asm.OpVMOVUPS, 32, r(asm.YMM8), asm.MemD(asm.RSI, 32*s))
+		for row := 0; row < mr; row++ {
+			op(asm.OpVBROADCASTSS, 32, r(asm.YMM9), asm.MemD(asm.RDI, 16*s+4*int32(row)))
+			op(asm.OpVMULPS, 32, r(asm.YMM9), r(asm.YMM9), r(asm.YMM8))
+			op(asm.OpVADDPS, 32, r(asm.YMM(row)), r(asm.YMM(row)), r(asm.YMM9))
+		}
+	}
+
+	for x := 0; x < mr; x++ {
+		op(asm.OpVXORPS, 32, r(asm.YMM(x)), r(asm.YMM(x)), r(asm.YMM(x)))
+	}
+	op(asm.OpMOV, 0, r(asm.R10), r(asm.RCX)) // r10 = kc >> 1 (pair count)
+	op(asm.OpSHR, 0, r(asm.R10), imm(1))
+	op(asm.OpJE, 0, asm.Sym{Name: "k_rem"})
+	u.Label("k2_loop")
+	step(0)
+	step(1)
+	op(asm.OpADD, 0, r(asm.RDI), imm(2*4*mr))
+	op(asm.OpADD, 0, r(asm.RSI), imm(2*4*nr))
+	op(asm.OpDEC, 0, r(asm.R10))
+	op(asm.OpJNE, 0, asm.Sym{Name: "k2_loop"})
+	u.Label("k_rem")
+	op(asm.OpAND, 0, r(asm.RCX), imm(1))
+	op(asm.OpJE, 0, asm.Sym{Name: "k_done"})
+	step(0)
+	u.Label("k_done")
+
+	// C += accumulators, one row at a time; DX walks by the row stride.
+	for row := 0; row < mr; row++ {
+		op(asm.OpVMOVUPS, 32, r(asm.YMM8), asm.MemD(asm.RDX, 0))
+		op(asm.OpVADDPS, 32, r(asm.YMM8), r(asm.YMM8), r(asm.YMM(row)))
+		op(asm.OpVMOVUPS, 32, asm.MemD(asm.RDX, 0), r(asm.YMM8))
+		if row != mr-1 {
+			op(asm.OpADD, 0, r(asm.RDX), r(asm.R8))
+		}
+	}
+	op(asm.OpVZEROUPPER, 0)
+	op(asm.OpRET, 0)
+	return u, nil
+}
+
+// buildInt8Unit emits the full int8 GEMM loop nest.
+//
+// Entry: DI=a (m×k), SI=b (n×k), DX=c (m×n int32), CX=m, R8=n, R9=k, all
+// dimensions > 0. The inner dot product widens each int8 pair with movsx,
+// multiplies in 32 bits and accumulates in EBP (saved/restored around the
+// body), with the k loop unrolled 4× plus a scalar remainder. C walks
+// linearly because rows are iterated in order with unit stride.
+func buildInt8Unit() (*asm.Unit, error) {
+	u := &asm.Unit{}
+	op := func(o asm.Op, w int, args ...asm.Operand) { u.AddOp(o, w, args...) }
+	r := asm.R
+	imm := func(v int64) asm.Imm { return asm.Imm{Value: v} }
+	madd := func(disp int32) { // accum += int32(a[l+disp]) * int32(b[l+disp])
+		op(asm.OpMOVSX, 1, r(asm.EAX), asm.MemSIB(asm.RDI, asm.R11, 1, disp))
+		op(asm.OpMOVSX, 1, r(asm.EBX), asm.MemSIB(asm.R13, asm.R11, 1, disp))
+		op(asm.OpIMUL, 0, r(asm.EAX), r(asm.EBX))
+		op(asm.OpADD, 0, r(asm.EBP), r(asm.EAX))
+	}
+
+	op(asm.OpPUSH, 0, r(asm.RBP))
+	op(asm.OpMOV, 0, r(asm.R10), r(asm.R9)) // r10 = k &^ 3 (unrolled bound)
+	op(asm.OpAND, 0, r(asm.R10), imm(-4))
+
+	u.Label("i_loop")
+	op(asm.OpXOR, 0, r(asm.R12), r(asm.R12)) // j = 0
+	op(asm.OpMOV, 0, r(asm.R13), r(asm.RSI)) // bRow = b
+
+	u.Label("j_loop")
+	op(asm.OpXOR, 0, r(asm.EBP), r(asm.EBP)) // accum = 0
+	op(asm.OpXOR, 0, r(asm.R11), r(asm.R11)) // l = 0
+	op(asm.OpCMP, 0, r(asm.R11), r(asm.R10))
+	op(asm.OpJGE, 0, asm.Sym{Name: "k_rem"})
+
+	u.Label("k4_loop")
+	for d := int32(0); d < 4; d++ {
+		madd(d)
+	}
+	op(asm.OpADD, 0, r(asm.R11), imm(4))
+	op(asm.OpCMP, 0, r(asm.R11), r(asm.R10))
+	op(asm.OpJL, 0, asm.Sym{Name: "k4_loop"})
+
+	u.Label("k_rem")
+	op(asm.OpCMP, 0, r(asm.R11), r(asm.R9))
+	op(asm.OpJGE, 0, asm.Sym{Name: "k_done"})
+	u.Label("k1_loop")
+	madd(0)
+	op(asm.OpINC, 0, r(asm.R11))
+	op(asm.OpCMP, 0, r(asm.R11), r(asm.R9))
+	op(asm.OpJL, 0, asm.Sym{Name: "k1_loop"})
+
+	u.Label("k_done")
+	op(asm.OpADD, 4, asm.MemD(asm.RDX, 0), r(asm.EBP)) // c[i][j] += accum
+	op(asm.OpADD, 0, r(asm.RDX), imm(4))
+	op(asm.OpADD, 0, r(asm.R13), r(asm.R9)) // bRow += k
+	op(asm.OpINC, 0, r(asm.R12))
+	op(asm.OpCMP, 0, r(asm.R12), r(asm.R8))
+	op(asm.OpJL, 0, asm.Sym{Name: "j_loop"})
+
+	op(asm.OpADD, 0, r(asm.RDI), r(asm.R9)) // aRow += k
+	op(asm.OpDEC, 0, r(asm.RCX))
+	op(asm.OpJNE, 0, asm.Sym{Name: "i_loop"})
+	op(asm.OpPOP, 0, r(asm.RBP))
+	op(asm.OpRET, 0)
+	return u, nil
+}
+
+// buildReLUUnit emits the element-wise ReLU kernel.
+//
+// Entry: DI=x, SI=element count (a positive multiple of reluBlock). The
+// loop clamps four SSE vectors per pass with maxps against a zeroed
+// register; maxps returns the source operand when the destination lane is
+// NaN or both lanes are zero, so the result is exactly "keep v if v > 0,
+// else +0" — the semantics reluPortable mirrors.
+func buildReLUUnit() (*asm.Unit, error) {
+	u := &asm.Unit{}
+	op := func(o asm.Op, w int, args ...asm.Operand) { u.AddOp(o, w, args...) }
+	r := asm.R
+	imm := func(v int64) asm.Imm { return asm.Imm{Value: v} }
+
+	op(asm.OpXORPS, 16, r(asm.XMM0), r(asm.XMM0))
+	u.Label("loop")
+	for v := 0; v < reluBlock/4; v++ {
+		x := asm.XMM(1 + v)
+		op(asm.OpMOVUPS, 16, r(x), asm.MemD(asm.RDI, int32(16*v)))
+		op(asm.OpMAXPS, 16, r(x), r(asm.XMM0))
+		op(asm.OpMOVUPS, 16, asm.MemD(asm.RDI, int32(16*v)), r(x))
+	}
+	op(asm.OpADD, 0, r(asm.RDI), imm(4*reluBlock))
+	op(asm.OpSUB, 0, r(asm.RSI), imm(reluBlock))
+	op(asm.OpJNE, 0, asm.Sym{Name: "loop"})
+	op(asm.OpRET, 0)
+	return u, nil
+}
+
+// jitSelfTest proves the freshly generated kernels against the portable
+// Go implementations on deterministic pseudo-random inputs, including
+// awkward sizes (k not a multiple of the unroll). Any difference — float
+// results must match bitwise, integers exactly — disables the backend.
+func jitSelfTest(f32, i8, relu *jitKernel) error {
+	rng := uint32(0x2545f491)
+	next := func() float32 {
+		rng ^= rng << 13
+		rng ^= rng >> 17
+		rng ^= rng << 5
+		return float32(int32(rng%2000)-1000) / 250
+	}
+
+	for _, kc := range []int{1, 7, 96} {
+		a := make([]float32, kc*mr)
+		b := make([]float32, kc*nr)
+		for i := range a {
+			a[i] = next()
+		}
+		for i := range b {
+			b[i] = next()
+		}
+		const ldc = nr + 3
+		got := make([]float32, mr*ldc)
+		want := make([]float32, mr*ldc)
+		for i := range got {
+			got[i] = next()
+			want[i] = got[i]
+		}
+		f32.callF32(a, b, got, kc, ldc)
+		microKernelGo(kc, a, b, want, ldc)
+		for i := range got {
+			if got[i] != want[i] {
+				return fmt.Errorf("f32 kernel kc=%d: c[%d] = %v, want %v", kc, i, got[i], want[i])
+			}
+		}
+	}
+
+	{
+		x := make([]float32, 4*reluBlock)
+		want := make([]float32, len(x))
+		for i := range x {
+			x[i] = next()
+		}
+		x[0], x[1], x[2] = 0, float32(-0.0), -1e30 // edge lanes the RNG misses
+		copy(want, x)
+		relu.callReLU(x)
+		reluPortable(want)
+		for i := range x {
+			if x[i] != want[i] {
+				return fmt.Errorf("relu kernel: x[%d] = %v, want %v", i, x[i], want[i])
+			}
+		}
+	}
+
+	for _, dims := range [][3]int{{1, 1, 1}, {5, 7, 13}, {4, 8, 64}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := make([]int8, m*k)
+		b := make([]int8, n*k)
+		for i := range a {
+			a[i] = int8(next() * 20)
+		}
+		for i := range b {
+			b[i] = int8(next() * 20)
+		}
+		got := make([]int32, m*n)
+		want := make([]int32, m*n)
+		i8.callInt8(a, b, got, m, n, k)
+		gemmInt8Portable(m, n, k, a, b, want)
+		for i := range got {
+			if got[i] != want[i] {
+				return fmt.Errorf("int8 kernel %dx%dx%d: c[%d] = %d, want %d", m, n, k, i, got[i], want[i])
+			}
+		}
+	}
+	return nil
+}

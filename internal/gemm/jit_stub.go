@@ -1,0 +1,26 @@
+//go:build !amd64 || !linux || purego
+
+package gemm
+
+// On platforms without the JIT (non-amd64, non-linux, or the purego build
+// tag) the blocked Go backend is the fastest available. The stubs keep
+// the dispatch sites in gemm.go/quant.go compiling; jitKernels fields stay
+// nil so they are never invoked.
+
+type jitKernel struct{}
+
+func (*jitKernel) callF32(_, _, _ []float32, _, _ int)          {}
+func (*jitKernel) callInt8(_, _ []int8, _ []int32, _, _, _ int) {}
+func (*jitKernel) callReLU(_ []float32)                         {}
+
+var jitKernels struct {
+	f32  *jitKernel
+	i8   *jitKernel
+	relu *jitKernel
+}
+
+func jitAvailable() bool { return false }
+
+func jitUnavailableReason() string {
+	return "requires linux/amd64 without the purego build tag"
+}

@@ -1,0 +1,20 @@
+//go:build amd64 && linux && !purego
+
+#include "textflag.h"
+
+// func jitcall6(code, a0, a1, a2, a3, a4, a5 uintptr)
+//
+// Dispatches to a JIT-compiled GEMM kernel. Operands are passed in
+// DI, SI, DX, CX, R8, R9 — the kernels' fixed register ABI (see
+// jit_amd64.go). NOSPLIT is safe: the kernels use at most a few words
+// of stack (one saved register) and call nothing.
+TEXT ·jitcall6(SB), NOSPLIT, $0-56
+	MOVQ code+0(FP), AX
+	MOVQ a0+8(FP), DI
+	MOVQ a1+16(FP), SI
+	MOVQ a2+24(FP), DX
+	MOVQ a3+32(FP), CX
+	MOVQ a4+40(FP), R8
+	MOVQ a5+48(FP), R9
+	CALL AX
+	RET

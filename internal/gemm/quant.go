@@ -1,0 +1,173 @@
+package gemm
+
+import "math"
+
+// Quantization scheme (see DESIGN.md §12): weights are quantized per
+// output channel with symmetric scales (zero-point 0), activations
+// dynamically per tensor. A layer computes
+//
+//	C_int32 = A_int8 · Wq_int8ᵀ
+//	out[i][ch] = float32(C[i][ch]) · scaleA · scaleW[ch] + bias[ch]
+//
+// With |q| ≤ 127 and K ≤ 1024 for every CATI layer, |ΣA·W| ≤ 1024·127² ≈
+// 16.5M, far below the int32 limit, so plain int32 accumulation cannot
+// overflow.
+
+// QuantizePerRow quantizes a rows×cols row-major float32 matrix to int8
+// with one symmetric scale per row (rows are output channels). It returns
+// the quantized values and the per-row dequantization scales. All-zero
+// rows get scale 1 so dequantization stays finite.
+func QuantizePerRow(w []float32, rows, cols int) ([]int8, []float32) {
+	q := make([]int8, rows*cols)
+	scales := make([]float32, rows)
+	for r := 0; r < rows; r++ {
+		row := w[r*cols : r*cols+cols]
+		var amax float32
+		for _, v := range row {
+			if a := float32(math.Abs(float64(v))); a > amax {
+				amax = a
+			}
+		}
+		scale := amax / 127
+		if scale == 0 {
+			scale = 1
+		}
+		scales[r] = scale
+		qrow := q[r*cols : r*cols+cols]
+		inv := 1 / scale
+		for i, v := range row {
+			qrow[i] = clampInt8(v * inv)
+		}
+	}
+	return q, scales
+}
+
+// QuantizeTensorInto dynamically quantizes a float32 activation tensor
+// into the caller-provided int8 buffer (same length) with one symmetric
+// scale for the whole tensor, returned for dequantization. A zero tensor
+// quantizes with scale 1.
+func QuantizeTensorInto(q []int8, x []float32) float32 {
+	var amax float32
+	for _, v := range x {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > amax {
+			amax = a
+		}
+	}
+	scale := amax / 127
+	if scale == 0 {
+		scale = 1
+	}
+	inv := 1 / scale
+	for i, v := range x {
+		q[i] = clampInt8(v * inv)
+	}
+	return scale
+}
+
+func clampInt8(v float32) int8 {
+	r := math.RoundToEven(float64(v))
+	switch {
+	case r > 127:
+		return 127
+	case r < -128:
+		return -128
+	}
+	return int8(r)
+}
+
+// DequantizeRows converts the int32 GEMM result back to float32:
+// out[i*n+j] = c[i*n+j]·scaleA·scaleW[j] + bias[j]. bias may be nil.
+func DequantizeRows(out []float32, c []int32, m, n int, scaleA float32, scaleW []float32, bias []float32) {
+	for i := 0; i < m; i++ {
+		crow := c[i*n : i*n+n]
+		orow := out[i*n : i*n+n]
+		if bias != nil {
+			for j, v := range crow {
+				orow[j] = float32(v)*scaleA*scaleW[j] + bias[j]
+			}
+		} else {
+			for j, v := range crow {
+				orow[j] = float32(v) * scaleA * scaleW[j]
+			}
+		}
+	}
+}
+
+// GEMMInt8 computes C += A·Bᵀ on contiguous int8 matrices with int32
+// accumulation: A is m×k row-major, B is n×k row-major (one row per
+// output channel, matching QuantizePerRow), C is m×n int32. The active
+// backend picks the implementation; portable and blocked share exact
+// integer semantics, and the JIT kernel is proven equivalent by tests.
+func GEMMInt8(m, n, k int, a, b []int8, c []int32) {
+	if m <= 0 || n <= 0 || k <= 0 {
+		return
+	}
+	be := Active()
+	start := kernelStart()
+	switch {
+	case be == JIT && jitKernels.i8 != nil:
+		jitKernels.i8.callInt8(a, b, c, m, n, k)
+	case be == Portable:
+		gemmInt8Portable(m, n, k, a, b, c)
+	default:
+		gemmInt8Blocked(m, n, k, a, b, c)
+	}
+	kernelObserve(start, be, "int8")
+}
+
+// gemmInt8Portable is the reference row-dot-row loop.
+func gemmInt8Portable(m, n, k int, a, b []int8, c []int32) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : i*k+k]
+		crow := c[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : j*k+k]
+			var sum int32
+			for l, av := range arow {
+				sum += int32(av) * int32(brow[l])
+			}
+			crow[j] += sum
+		}
+	}
+}
+
+// gemmInt8Blocked processes four output channels per pass so each loaded
+// A value feeds four dot products, quartering A-row traffic. Integer adds
+// are associative, so the result is identical to the portable loop.
+func gemmInt8Blocked(m, n, k int, a, b []int8, c []int32) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : i*k+k]
+		crow := c[i*n : i*n+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[j*k : j*k+k]
+			b1 := b[(j+1)*k : (j+1)*k+k]
+			b2 := b[(j+2)*k : (j+2)*k+k]
+			b3 := b[(j+3)*k : (j+3)*k+k]
+			var s0, s1, s2, s3 int32
+			for l, av := range arow {
+				x := int32(av)
+				s0 += x * int32(b0[l])
+				s1 += x * int32(b1[l])
+				s2 += x * int32(b2[l])
+				s3 += x * int32(b3[l])
+			}
+			crow[j] += s0
+			crow[j+1] += s1
+			crow[j+2] += s2
+			crow[j+3] += s3
+		}
+		for ; j < n; j++ {
+			brow := b[j*k : j*k+k]
+			var sum int32
+			for l, av := range arow {
+				sum += int32(av) * int32(brow[l])
+			}
+			crow[j] += sum
+		}
+	}
+}

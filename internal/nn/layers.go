@@ -1,6 +1,10 @@
 package nn
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"repro/internal/gemm"
+)
 
 // Layer is one differentiable stage. Forward with train=true retains
 // whatever the subsequent Backward needs (input, activation mask, pool
@@ -31,13 +35,20 @@ func NewConv1D(r *rand.Rand, in, out, k int) *Conv1D {
 	return c
 }
 
-// Forward computes the convolution.
+// Forward computes the convolution. Inference lowers to im2col + GEMM on
+// the gemm math core; training keeps the reference loops, which double as
+// the shape the backward pass mirrors.
 func (c *Conv1D) Forward(x *Tensor, train bool) *Tensor {
-	if train {
-		c.lastX = x
-	}
 	b, l := x.Dim(0), x.Dim(1)
 	out := NewTensor(b, l, c.Out)
+	if !train {
+		ar := arenaPool.Get().(*gemm.Arena)
+		ar.Reset()
+		c.forwardGEMM(x.Data, out.Data, b, l, ar)
+		arenaPool.Put(ar)
+		return out
+	}
+	c.lastX = x
 	half := c.K / 2
 	for bi := 0; bi < b; bi++ {
 		xb := x.Data[bi*l*c.In : (bi+1)*l*c.In]
@@ -247,13 +258,19 @@ func NewDense(r *rand.Rand, in, out int) *Dense {
 	return d
 }
 
-// Forward computes X·W + b.
+// Forward computes X·W + b. Inference routes through the gemm math core;
+// training keeps the reference loop.
 func (d *Dense) Forward(x *Tensor, train bool) *Tensor {
-	if train {
-		d.lastX = x
-	}
 	b := x.Dim(0)
 	out := NewTensor(b, d.Out)
+	if !train {
+		ar := arenaPool.Get().(*gemm.Arena)
+		ar.Reset()
+		d.forwardGEMM(x.Data, out.Data, b, ar)
+		arenaPool.Put(ar)
+		return out
+	}
+	d.lastX = x
 	for bi := 0; bi < b; bi++ {
 		xrow := x.Data[bi*d.In : (bi+1)*d.In]
 		orow := out.Data[bi*d.Out : (bi+1)*d.Out]

@@ -97,9 +97,14 @@ func NewCNN(seqLen, embDim, conv1, conv2, hidden, classes int, seed int64) *Netw
 
 // Softmax converts logits to probabilities in place per row of [B, C].
 func Softmax(logits *Tensor) {
-	b, c := logits.Dim(0), logits.Dim(1)
+	softmaxRows(logits.Data, logits.Dim(0), logits.Dim(1))
+}
+
+// softmaxRows is Softmax on a flat [b, c] buffer (the fast path has no
+// Tensor wrapper).
+func softmaxRows(data []float32, b, c int) {
 	for bi := 0; bi < b; bi++ {
-		row := logits.Data[bi*c : (bi+1)*c]
+		row := data[bi*c : (bi+1)*c]
 		maxv := row[0]
 		for _, v := range row[1:] {
 			if v > maxv {
@@ -256,6 +261,9 @@ func TrainClassifierCtx(ctx context.Context, net *Network, ds *Dataset, classes 
 	cfg = cfg.withDefaults()
 	if ds.Len() == 0 {
 		return ErrEmptyDataset
+	}
+	if !net.Trainable() {
+		return ErrNotTrainable
 	}
 	if workers := par.Workers(cfg.Workers); workers > 1 {
 		if replicas := trainReplicas(net, workers); replicas != nil {
@@ -496,10 +504,31 @@ func PredictN(net *Network, samples [][]float32, seqLen, embDim, workers int) []
 
 // PredictNCtx is PredictN with cooperative cancellation: once ctx is
 // cancelled no further chunks start and the call returns (nil, ctx.Err()).
+// It allocates the result (one flat backing plus the row headers) and
+// delegates the actual math to PredictIntoCtx, the zero-allocation entry
+// point for callers that reuse output buffers.
 func PredictNCtx(ctx context.Context, net *Network, samples [][]float32, seqLen, embDim, workers int) ([][]float32, error) {
 	if len(samples) == 0 {
 		return nil, nil
 	}
+	classes := net.OutputDim()
+	if classes == 0 {
+		return predictSlowCtx(ctx, net, samples, seqLen, embDim, workers)
+	}
+	out := make([][]float32, len(samples))
+	flat := make([]float32, len(samples)*classes)
+	for i := range out {
+		out[i] = flat[i*classes : (i+1)*classes : (i+1)*classes]
+	}
+	if err := PredictIntoCtx(ctx, net, samples, seqLen, embDim, workers, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// predictSlowCtx is the generic chunked path through Layer.Forward, kept
+// for architectures the fast path cannot size (no dense output layer).
+func predictSlowCtx(ctx context.Context, net *Network, samples [][]float32, seqLen, embDim, workers int) ([][]float32, error) {
 	out := make([][]float32, len(samples))
 	chunks := (len(samples) + predictChunk - 1) / predictChunk
 	err := par.ForEachCtx(ctx, chunks, par.Workers(workers), func(ci int) {

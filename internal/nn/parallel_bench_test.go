@@ -1,7 +1,10 @@
 package nn
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -40,11 +43,70 @@ func BenchmarkPredictParallel(b *testing.B) {
 	net := NewCNN(benchSeqLen, benchEmbDim, 32, 64, 1024, 2, 9)
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if out := PredictN(net, ds.Samples, benchSeqLen, benchEmbDim, workers); len(out) != ds.Len() {
 					b.Fatal("short output")
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkPredictInto is the steady-state inference benchmark: output
+// rows are caller-provided and the scratch arenas warm up before the
+// timer starts, so with workers=1 (inline fan-out) the loop must report
+// 0 allocs/op.
+func BenchmarkPredictInto(b *testing.B) {
+	ds := benchData(512)
+	net := NewCNN(benchSeqLen, benchEmbDim, 32, 64, 1024, 2, 9)
+	classes := net.OutputDim()
+	out := make([][]float32, ds.Len())
+	flat := make([]float32, ds.Len()*classes)
+	for i := range out {
+		out[i] = flat[i*classes : (i+1)*classes]
+	}
+	ctx := context.Background()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			// Warm the pooled arenas to their high-water mark.
+			if err := PredictIntoCtx(ctx, net, ds.Samples, benchSeqLen, benchEmbDim, workers, out); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := PredictIntoCtx(ctx, net, ds.Samples, benchSeqLen, benchEmbDim, workers, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkForward times each layer of the CATI stage CNN in isolation at
+// inference batch size, so kernel regressions are attributable to a layer.
+func BenchmarkForward(b *testing.B) {
+	const batch = 256
+	net := NewCNN(benchSeqLen, benchEmbDim, 32, 64, 1024, 2, 9)
+	x := NewTensor(batch, benchSeqLen, benchEmbDim)
+	r := rand.New(rand.NewSource(1))
+	for i := range x.Data {
+		x.Data[i] = r.Float32()*2 - 1
+	}
+	cur := x
+	for li, layer := range net.Layers {
+		name := fmt.Sprintf("%02d_%T", li, layer)
+		if i := strings.LastIndexByte(name, '.'); i >= 0 {
+			name = name[:3] + name[i+1:]
+		}
+		in := cur
+		cur = layer.Forward(in, false)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				layer.Forward(in, false)
 			}
 		})
 	}

@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// qnetState is the serialized form of a quantized CNN: the architecture
+// hyperparameters plus, per quantized layer in stack order, the int8
+// weights, the per-output-channel scales, and the float32 biases.
+type qnetState struct {
+	SeqLen, EmbDim       int
+	Conv1, Conv2, Hidden int
+	Classes              int
+	Weights              [][]int8
+	Scales               [][]float32
+	Biases               [][]float32
+}
+
+// EncodeQCNN serializes a quantized network produced by QuantizeNetwork
+// from a NewCNN-shaped float network, along with its architecture so
+// DecodeQCNN can rebuild it. The int8 payload is roughly a quarter of the
+// float32 artifact.
+func EncodeQCNN(net *Network, seqLen, embDim, conv1, conv2, hidden, classes int) ([]byte, error) {
+	st := qnetState{
+		SeqLen: seqLen, EmbDim: embDim,
+		Conv1: conv1, Conv2: conv2, Hidden: hidden, Classes: classes,
+	}
+	for _, l := range net.Layers {
+		switch t := l.(type) {
+		case *QConv1D:
+			st.Weights = append(st.Weights, t.Wq)
+			st.Scales = append(st.Scales, t.Scale)
+			st.Biases = append(st.Biases, t.B)
+		case *QDense:
+			st.Weights = append(st.Weights, t.Wq)
+			st.Scales = append(st.Scales, t.Scale)
+			st.Biases = append(st.Biases, t.B)
+		case *ReLU, *MaxPool1D, *Flatten:
+		default:
+			return nil, fmt.Errorf("nn: encode quantized: unexpected layer %T", l)
+		}
+	}
+	if len(st.Weights) != 4 {
+		return nil, fmt.Errorf("nn: encode quantized: %d quantized layers, want 4", len(st.Weights))
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("nn: encode quantized: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeQCNN rebuilds a serialized quantized network. The resulting
+// network is inference-only (Trainable reports false).
+func DecodeQCNN(data []byte) (*Network, error) {
+	var st qnetState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("nn: decode quantized: %w", err)
+	}
+	for _, d := range []int{st.SeqLen, st.EmbDim, st.Conv1, st.Conv2, st.Hidden, st.Classes} {
+		if d <= 0 || d > maxDecodeDim {
+			return nil, fmt.Errorf("nn: decode quantized: architecture dimension %d out of range", d)
+		}
+	}
+	if len(st.Weights) != 4 || len(st.Scales) != 4 || len(st.Biases) != 4 {
+		return nil, fmt.Errorf("nn: decode quantized: %d/%d/%d weight/scale/bias blocks, want 4 each",
+			len(st.Weights), len(st.Scales), len(st.Biases))
+	}
+	l2 := (st.SeqLen / 2) / 2
+	layers := []Layer{
+		&QConv1D{In: st.EmbDim, Out: st.Conv1, K: 3},
+		&ReLU{},
+		&MaxPool1D{},
+		&QConv1D{In: st.Conv1, Out: st.Conv2, K: 3},
+		&ReLU{},
+		&MaxPool1D{},
+		&Flatten{},
+		&QDense{In: l2 * st.Conv2, Out: st.Hidden},
+		&ReLU{},
+		&QDense{In: st.Hidden, Out: st.Classes},
+	}
+	qi := 0
+	for _, l := range layers {
+		var wantW, wantOut int
+		switch t := l.(type) {
+		case *QConv1D:
+			wantW, wantOut = t.Out*t.K*t.In, t.Out
+		case *QDense:
+			wantW, wantOut = t.Out*t.In, t.Out
+		default:
+			continue
+		}
+		if len(st.Weights[qi]) != wantW {
+			return nil, fmt.Errorf("nn: decode quantized: layer %d weight size %d != %d", qi, len(st.Weights[qi]), wantW)
+		}
+		if len(st.Scales[qi]) != wantOut || len(st.Biases[qi]) != wantOut {
+			return nil, fmt.Errorf("nn: decode quantized: layer %d scale/bias size %d/%d != %d",
+				qi, len(st.Scales[qi]), len(st.Biases[qi]), wantOut)
+		}
+		switch t := l.(type) {
+		case *QConv1D:
+			t.Wq, t.Scale, t.B = st.Weights[qi], st.Scales[qi], st.Biases[qi]
+		case *QDense:
+			t.Wq, t.Scale, t.B = st.Weights[qi], st.Scales[qi], st.Biases[qi]
+		}
+		qi++
+	}
+	net := &Network{Layers: layers}
+	if err := net.CheckFinite(); err != nil {
+		return nil, fmt.Errorf("nn: decode quantized: %w", err)
+	}
+	return net, nil
+}

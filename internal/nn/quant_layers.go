@@ -1,0 +1,171 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gemm"
+)
+
+// Quantized inference layers: weights are stored as int8 with per-output-
+// channel symmetric scales (see internal/gemm/quant.go for the scheme),
+// activations are quantized dynamically per tensor at each layer boundary,
+// and the matrix product runs in int8 with int32 accumulation before
+// dequantizing back to float32. Artifacts shrink to roughly a quarter of
+// the float32 size. Quantized layers are inference-only: Backward and
+// Forward(train=true) panic, and the trainers reject such networks up
+// front with ErrNotTrainable.
+
+// ErrNotTrainable reports an attempt to train a network that contains
+// inference-only quantized layers.
+var ErrNotTrainable = errors.New("nn: network contains inference-only quantized layers")
+
+// errQuantTrain is the panic message for the unreachable training paths.
+const errQuantTrain = "nn: quantized layer is inference-only"
+
+// QConv1D is the int8 form of Conv1D. Wq holds the filter bank as one row
+// of K*In quantized weights per output channel.
+type QConv1D struct {
+	In, Out, K int
+	Wq         []int8    // [Out, K*In]
+	Scale      []float32 // per-output-channel dequant scale
+	B          []float32 // [Out]
+}
+
+// Forward computes the convolution via the quantized path. Inference only.
+func (q *QConv1D) Forward(x *Tensor, train bool) *Tensor {
+	if train {
+		panic(errQuantTrain)
+	}
+	b, l := x.Dim(0), x.Dim(1)
+	out := NewTensor(b, l, q.Out)
+	ar := arenaPool.Get().(*gemm.Arena)
+	ar.Reset()
+	q.forwardInto(x.Data, out.Data, b, l, ar)
+	arenaPool.Put(ar)
+	return out
+}
+
+// forwardInto is the arena-based kernel shared with the fast path: im2col
+// in float32, quantize the unfolded matrix once per tensor, int8 GEMM,
+// dequantize with bias.
+func (q *QConv1D) forwardInto(x, out []float32, b, l int, ar *gemm.Arena) {
+	m := b * l
+	kIn := q.K * q.In
+	mark := ar.Mark()
+	col := ar.F32Raw(m * kIn)
+	im2col(col, x, b, l, q.In, q.K)
+	qx := ar.I8(m * kIn)
+	scaleX := gemm.QuantizeTensorInto(qx, col)
+	ar.Release(mark)
+	acc := ar.I32(m * q.Out)
+	gemm.GEMMInt8(m, q.Out, kIn, qx, q.Wq, acc)
+	gemm.DequantizeRows(out, acc, m, q.Out, scaleX, q.Scale, q.B)
+}
+
+// Backward panics: quantized layers cannot train.
+func (q *QConv1D) Backward(*Tensor) *Tensor { panic(errQuantTrain) }
+
+// Params exposes the float parameters (scales and bias) so CheckFinite
+// can validate loaded artifacts; the optimizer never sees them because
+// the trainers reject quantized networks.
+func (q *QConv1D) Params() []*Param {
+	return []*Param{{W: q.Scale}, {W: q.B}}
+}
+
+// QDense is the int8 form of Dense. Unlike Dense (which stores W as
+// [In, Out]), the quantized weights are transposed to one row per output
+// channel so the GEMM reads both operands K-contiguously.
+type QDense struct {
+	In, Out int
+	Wq      []int8    // [Out, In]
+	Scale   []float32 // per-output-channel dequant scale
+	B       []float32 // [Out]
+}
+
+// Forward computes X·W + b via the quantized path. Inference only.
+func (q *QDense) Forward(x *Tensor, train bool) *Tensor {
+	if train {
+		panic(errQuantTrain)
+	}
+	b := x.Dim(0)
+	out := NewTensor(b, q.Out)
+	ar := arenaPool.Get().(*gemm.Arena)
+	ar.Reset()
+	q.forwardInto(x.Data, out.Data, b, ar)
+	arenaPool.Put(ar)
+	return out
+}
+
+func (q *QDense) forwardInto(x, out []float32, b int, ar *gemm.Arena) {
+	qx := ar.I8(b * q.In)
+	scaleX := gemm.QuantizeTensorInto(qx, x)
+	acc := ar.I32(b * q.Out)
+	gemm.GEMMInt8(b, q.Out, q.In, qx, q.Wq, acc)
+	gemm.DequantizeRows(out, acc, b, q.Out, scaleX, q.Scale, q.B)
+}
+
+// Backward panics: quantized layers cannot train.
+func (q *QDense) Backward(*Tensor) *Tensor { panic(errQuantTrain) }
+
+// Params exposes scales and bias for finiteness checks (see QConv1D).
+func (q *QDense) Params() []*Param {
+	return []*Param{{W: q.Scale}, {W: q.B}}
+}
+
+// Trainable reports whether every layer supports backpropagation; networks
+// holding quantized layers are inference-only.
+func (n *Network) Trainable() bool {
+	for _, l := range n.Layers {
+		switch l.(type) {
+		case *QConv1D, *QDense:
+			return false
+		}
+	}
+	return true
+}
+
+// Quantized reports whether any layer runs int8 inference.
+func (n *Network) Quantized() bool { return !n.Trainable() }
+
+// QuantizeNetwork converts a float32 network into its int8 inference
+// form: Conv1D and Dense weights are quantized per output channel
+// (symmetric, zero-point 0), biases stay float32, and stateless layers
+// are rebuilt fresh. The original network is not modified.
+func QuantizeNetwork(net *Network) (*Network, error) {
+	out := &Network{Layers: make([]Layer, len(net.Layers))}
+	for i, l := range net.Layers {
+		switch t := l.(type) {
+		case *Conv1D:
+			// W is [Out, K, In] flattened: already one row per channel.
+			wq, scales := gemm.QuantizePerRow(t.W.W, t.Out, t.K*t.In)
+			out.Layers[i] = &QConv1D{
+				In: t.In, Out: t.Out, K: t.K,
+				Wq: wq, Scale: scales, B: append([]float32(nil), t.B.W...),
+			}
+		case *Dense:
+			// Transpose [In, Out] → [Out, In] so each output channel is a
+			// contiguous row for per-channel quantization and the GEMM.
+			wt := make([]float32, t.In*t.Out)
+			for in := 0; in < t.In; in++ {
+				for o := 0; o < t.Out; o++ {
+					wt[o*t.In+in] = t.W.W[in*t.Out+o]
+				}
+			}
+			wq, scales := gemm.QuantizePerRow(wt, t.Out, t.In)
+			out.Layers[i] = &QDense{
+				In: t.In, Out: t.Out,
+				Wq: wq, Scale: scales, B: append([]float32(nil), t.B.W...),
+			}
+		case *ReLU:
+			out.Layers[i] = &ReLU{}
+		case *MaxPool1D:
+			out.Layers[i] = &MaxPool1D{}
+		case *Flatten:
+			out.Layers[i] = &Flatten{}
+		default:
+			return nil, fmt.Errorf("nn: cannot quantize layer %d (%T)", i, l)
+		}
+	}
+	return out, nil
+}
