@@ -5,7 +5,7 @@
 
 GO ?= go
 GOFMT ?= gofmt
-RACE_PKGS = ./internal/par ./internal/obs ./internal/telemetry ./internal/nn ./internal/word2vec ./internal/classify ./internal/core ./internal/serve
+RACE_PKGS = ./internal/par ./internal/obs ./internal/telemetry ./internal/nn ./internal/word2vec ./internal/classify ./internal/core ./internal/serve ./internal/isa/...
 # FUZZTIME bounds each fuzz target during `make fuzz`; the committed seed
 # corpus always runs in full via plain `go test`.
 FUZZTIME ?= 5s
@@ -25,6 +25,10 @@ lint: vet
 	@out="$$(grep -rn 'fmt\.Fprintf(os\.Stderr' cmd/ --include='*.go' | grep -v '^cmd/internal/cliflags/' || true)"; \
 	if [ -n "$$out" ]; then \
 		echo "lint: raw stderr prints in cmd/ (use the slog logger from Setup):"; echo "$$out"; exit 1; \
+	fi
+	@out="$$($(GO) list -f '{{.ImportPath}}: {{join .Imports " "}}' ./internal/vuc ./internal/classify ./internal/nn ./internal/core | grep 'repro/internal/asm' || true)"; \
+	if [ -n "$$out" ]; then \
+		echo "lint: ISA-neutral packages must not import repro/internal/asm (use internal/isa):"; echo "$$out"; exit 1; \
 	fi
 
 vet:
@@ -57,6 +61,7 @@ race:
 fuzz:
 	$(GO) test -race -run XXX -fuzz FuzzElfRead -fuzztime $(FUZZTIME) ./internal/elfx
 	$(GO) test -race -run XXX -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/asm
+	$(GO) test -race -run XXX -fuzz FuzzDecodeRV64 -fuzztime $(FUZZTIME) ./internal/isa/rv64
 	$(GO) test -race -run XXX -fuzz FuzzInferBinary -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -race -run XXX -fuzz FuzzGEMMEquivalence -fuzztime $(FUZZTIME) ./internal/gemm
 

@@ -38,9 +38,10 @@ import (
 	"os"
 
 	"repro/cmd/internal/cliflags"
-	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/elfx"
+	"repro/internal/isa"
+	_ "repro/internal/isa/isas"
 	"repro/internal/obs"
 	"repro/internal/vareco"
 )
@@ -335,7 +336,7 @@ func annotateCmd(args []string) error {
 		f := &rec.Funcs[fi]
 		fmt.Printf("\n%016x <func_%x>:\n", f.Low, f.Low)
 		for i := f.InstLo; i < f.InstHi; i++ {
-			in := &rec.Insts[i]
+			in := rec.Insts[i]
 			note := ""
 			if m, ok := in.MemArg(); ok {
 				switch {
@@ -343,13 +344,13 @@ func annotateCmd(args []string) error {
 					if v, ok := findCovering(bySlot, f.Low, m.Disp); ok {
 						note = "   ; " + v.Class.String()
 					}
-				case m.Base == asm.RegNone && m.Index == asm.RegNone:
+				case m.Base == isa.RegNone && m.Index == isa.RegNone:
 					if v, ok := byAddr[uint64(uint32(m.Disp))]; ok {
 						note = "   ; " + v.Class.String() + " (global)"
 					}
 				}
 			}
-			fmt.Printf("  %6x:\t%-40s%s\n", in.Addr, asm.Print(in), note)
+			fmt.Printf("  %6x:\t%-40s%s\n", in.Addr(), in.Text(), note)
 		}
 	}
 	return nil
@@ -411,19 +412,23 @@ func disasmCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	arch, err := isa.ByMachine(bin.Machine)
+	if err != nil {
+		return err
+	}
 	text, err := bin.Text()
 	if err != nil {
 		return err
 	}
-	insts, err := asm.DecodeAll(text.Data, text.Addr)
+	insts, err := arch.DecodeAll(text.Data, text.Addr)
 	if err != nil {
 		return err
 	}
 	for i := range insts {
-		if sym, ok := bin.SymbolAt(insts[i].Addr); ok && sym.Addr == insts[i].Addr {
+		if sym, ok := bin.SymbolAt(insts[i].Addr()); ok && sym.Addr == insts[i].Addr() {
 			fmt.Printf("\n%016x <%s>:\n", sym.Addr, sym.Name)
 		}
-		fmt.Printf("  %6x:\t%s\n", insts[i].Addr, asm.Print(&insts[i]))
+		fmt.Printf("  %6x:\t%s\n", insts[i].Addr(), insts[i].Text())
 	}
 	return nil
 }

@@ -7,7 +7,7 @@
 //	catibench table1 table3 table4 table5 table6 table7
 //	catibench fig6 debin compilerid timing clustering
 //	catibench ablation-window ablation-clamp ablation-generalize
-//	catibench ablation-embed ablation-flat
+//	catibench ablation-embed ablation-flat crossisa
 //	catibench -bench-json BENCH_parallel.json [-workers N]
 //	catibench -bench-kernels BENCH_kernels.json [-bench-iters N]
 //	catibench -serve-bench BENCH_serve.json
@@ -157,6 +157,8 @@ func runOne(env *experiments.Env, id string) (*experiments.Table, error) {
 		return env.AblationEmbedDim([]int{8, 16, 32})
 	case "ablation-flat":
 		return env.AblationFlatVsTree()
+	case "crossisa":
+		return env.CrossISA()
 	default:
 		return nil, fmt.Errorf("unknown experiment (see catibench -h)")
 	}

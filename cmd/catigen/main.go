@@ -33,8 +33,12 @@ func run(args []string) error {
 	dialect := fs.String("dialect", "gcc", "compiler dialect: gcc or clang")
 	seed := fs.Int64("seed", 1, "generation seed")
 	profile := fs.String("profile", "default", "type-distribution profile: default or one of the twelve app names")
+	arch := cliflags.Arch(fs)
 	diag := cliflags.AddDiag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := cliflags.CheckArch(*arch); err != nil {
 		return err
 	}
 	log, err := diag.Setup()
@@ -73,7 +77,7 @@ func run(args []string) error {
 		s := *seed*1_000_003 + int64(i)
 		prog := synth.Generate(prof, s)
 		res, err := compile.Compile(prog, compile.Options{
-			Dialect: d, Opt: i % 4, Seed: s,
+			Dialect: d, Opt: i % 4, Seed: s, Arch: *arch,
 		})
 		if err != nil {
 			return fmt.Errorf("unit %d: %w", i, err)
@@ -86,7 +90,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		base := fmt.Sprintf("%s-%s-O%d-%02d", *profile, *dialect, i%4, i)
+		base := fmt.Sprintf("%s-%s-%s-O%d-%02d", *profile, *arch, *dialect, i%4, i)
 		if err := os.WriteFile(filepath.Join(*out, base+".elf"), full, 0o644); err != nil {
 			return err
 		}

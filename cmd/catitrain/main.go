@@ -48,6 +48,7 @@ func run(args []string) error {
 	out := fs.String("out", "cati.model", "output model file")
 	binaries := fs.Int("binaries", 24, "training binaries to generate")
 	dialect := fs.String("dialect", "gcc", "compiler dialect: gcc or clang")
+	arch := cliflags.Arch(fs)
 	window := cliflags.Window(fs)
 	epochs := fs.Int("epochs", 2, "CNN training epochs")
 	maxPerStage := fs.Int("max-per-stage", 4000, "training sample cap per stage")
@@ -64,6 +65,9 @@ func run(args []string) error {
 	d := compile.GCC
 	if *dialect == "clang" {
 		d = compile.Clang
+	}
+	if err := cliflags.CheckArch(*arch); err != nil {
+		return err
 	}
 
 	log, err := rt.Setup()
@@ -93,7 +97,7 @@ func run(args []string) error {
 	}
 
 	start := time.Now()
-	log.Info("building corpus", "binaries", *binaries, "dialect", *dialect)
+	log.Info("building corpus", "binaries", *binaries, "dialect", *dialect, "arch", *arch)
 	c, err := corpus.BuildCtx(ctx, corpus.BuildConfig{
 		Name:     "train",
 		Binaries: *binaries,
@@ -101,6 +105,7 @@ func run(args []string) error {
 		Dialect:  d,
 		Window:   *window,
 		Seed:     *seed,
+		Arch:     *arch,
 	})
 	if err != nil {
 		return err
@@ -111,6 +116,7 @@ func run(args []string) error {
 
 	cfg := classify.Config{
 		Window:      *window,
+		Arch:        *arch,
 		MaxPerStage: *maxPerStage,
 		Train:       nn.TrainConfig{Epochs: *epochs, Batch: 64, LR: 1e-3},
 		W2V:         word2vec.Config{Epochs: 2},

@@ -20,6 +20,8 @@ import (
 	"time"
 
 	"repro/internal/gemm"
+	"repro/internal/isa"
+	_ "repro/internal/isa/isas" // register built-in architectures for -arch
 	"repro/internal/obs"
 	"repro/internal/telemetry"
 	"repro/internal/vuc"
@@ -273,4 +275,19 @@ func Seed(fs *flag.FlagSet, def int64) *int64 {
 // Window registers the common -window flag (the VUC half-window w).
 func Window(fs *flag.FlagSet) *int {
 	return fs.Int("window", vuc.DefaultWindow, "VUC window w")
+}
+
+// Arch registers the common -arch flag selecting the target instruction
+// set for generation/training; pass the parsed value to CheckArch after
+// fs.Parse.
+func Arch(fs *flag.FlagSet) *string {
+	return fs.String("arch", "x86_64",
+		"target instruction set: "+strings.Join(isa.Names(), " or "))
+}
+
+// CheckArch validates a parsed -arch value against the registered
+// architectures.
+func CheckArch(name string) error {
+	_, err := isa.ByName(name)
+	return err
 }

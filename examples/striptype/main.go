@@ -13,7 +13,6 @@ import (
 	"os"
 	"path/filepath"
 
-	"repro/internal/asm"
 	"repro/internal/compile"
 	"repro/internal/dwarflite"
 	"repro/internal/elfx"
@@ -73,20 +72,20 @@ func run() error {
 	// by their (withheld) source names and types.
 	f := rec.Funcs[0]
 	df := debugFor(res.Debug, f.Low)
-	fmt.Printf("function at %#x (frame base %%%s):\n", f.Low, f.FrameReg)
+	fmt.Printf("function at %#x (frame base %%%s):\n", f.Low, rec.Arch.RegName(f.FrameReg))
 	limit := f.InstHi
 	if limit > f.InstLo+25 {
 		limit = f.InstLo + 25
 	}
 	for i := f.InstLo; i < limit; i++ {
-		in := &rec.Insts[i]
+		in := rec.Insts[i]
 		note := ""
 		if m, ok := in.MemArg(); ok && m.Base == f.FrameReg && df != nil {
 			if v, ok := df.VarAt(m.Disp); ok {
 				note = fmt.Sprintf("   ; %s %s", v.Type, v.Name)
 			}
 		}
-		fmt.Printf("  %6x:  %-40s%s\n", in.Addr, asm.Print(in), note)
+		fmt.Printf("  %6x:  %-40s%s\n", in.Addr(), in.Text(), note)
 	}
 	if limit < f.InstHi {
 		fmt.Printf("  ... (%d more instructions)\n", f.InstHi-limit)

@@ -52,6 +52,11 @@ type Config struct {
 	Flat bool
 	// Seed namespaces all stochastic choices.
 	Seed int64
+	// Arch names the instruction set the model was trained on ("x86_64",
+	// "rv64"). Empty means x86_64 — the only ISA that existed before the
+	// tag, so legacy artifacts decode correctly. Inference rejects
+	// binaries whose machine does not match.
+	Arch string
 	// Workers bounds pipeline parallelism: corpus embedding, per-stage CNN
 	// training and inference (the six stages run concurrently — they share
 	// only the read-only embedding matrix), and the occlusion sweep. 0
@@ -104,6 +109,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.W2V.Dim == 0 {
 		c.W2V.Dim = c.EmbedDim
+	}
+	if c.Arch == "" {
+		c.Arch = "x86_64"
 	}
 	// Derive the embedding seed only when the caller left it unset — a
 	// caller-provided W2V.Seed must survive.

@@ -24,6 +24,9 @@ type cfgState struct {
 	MaxPerStage          int
 	Flat                 bool
 	Seed                 int64
+	// Arch is absent in pre-tag artifacts; gob leaves it "" and
+	// Config.WithDefaults resolves that to x86_64.
+	Arch string
 }
 
 func toCfgState(c Config) cfgState {
@@ -34,6 +37,7 @@ func toCfgState(c Config) cfgState {
 		TrainEpochs: c.Train.Epochs, TrainBatch: c.Train.Batch,
 		TrainLR: c.Train.LR, TrainSeed: c.Train.Seed,
 		MaxPerStage: c.MaxPerStage, Flat: c.Flat, Seed: c.Seed,
+		Arch: c.Arch,
 	}
 }
 
@@ -47,6 +51,7 @@ func fromCfgState(s cfgState) Config {
 			LR: s.TrainLR, Seed: s.TrainSeed,
 		},
 		MaxPerStage: s.MaxPerStage, Flat: s.Flat, Seed: s.Seed,
+		Arch: s.Arch,
 	}
 }
 

@@ -1,0 +1,847 @@
+package compile
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ctypes"
+	"repro/internal/dwarflite"
+	"repro/internal/elfx"
+	"repro/internal/isa/rv64"
+	"repro/internal/synth"
+)
+
+// RISC-V integer and float argument registers (LP64D calling convention).
+var (
+	rvIntArgRegs   = []rv64.Reg{rv64.A0, rv64.A1, rv64.A2, rv64.A3, rv64.A4, rv64.A5}
+	rvFloatArgRegs = []rv64.Reg{rv64.FA0, rv64.FA1, rv64.FA2, rv64.FA3}
+	rvPromoteRegs  = []rv64.Reg{rv64.S1, rv64.S2, rv64.S3}
+)
+
+// rvAddrTmp is the spare temporary used when a frame offset overflows the
+// 12-bit immediate range; it is outside both scratch orders and the
+// argument registers.
+const rvAddrTmp = rv64.T6
+
+// compileRV64 lowers a whole program to RV64 code. It mirrors the x86
+// Compile flow: every function into one shared unit, then one two-pass
+// assembly, then symbols/debug records from the resolved label addresses.
+func compileRV64(p *synth.Program, opts Options) (*Result, error) {
+	cc := &compiler{
+		opts:    opts,
+		r:       rand.New(rand.NewSource(opts.Seed ^ 0x5f3759df)),
+		externs: make(map[string]uint64),
+		rodata:  rodataBase,
+		globals: make(map[*synth.VarDecl]uint64),
+	}
+	cc.layoutGlobals(p.Globals)
+
+	var unit rv64.Unit
+	debug := &dwarflite.Info{}
+	type pendingFunc struct {
+		name string
+		fc   *rvFuncCompiler
+	}
+	var pending []pendingFunc
+	for _, fn := range p.Funcs {
+		fc, err := cc.compileFuncRV64(fn, &unit)
+		if err != nil {
+			return nil, fmt.Errorf("compile %s: %w", fn.Name, err)
+		}
+		pending = append(pending, pendingFunc{name: fn.Name, fc: fc})
+	}
+
+	out, err := unit.Assemble(opts.Base, cc.externs)
+	if err != nil {
+		return nil, fmt.Errorf("compile: assemble: %w", err)
+	}
+
+	bin := &elfx.Binary{Entry: opts.Base, Machine: elfx.EMRISCV}
+	bin.Sections = append(bin.Sections, elfx.Section{
+		Name:  ".text",
+		Type:  elfx.SHTProgbits,
+		Flags: elfx.SHFAlloc | elfx.SHFExecinstr,
+		Addr:  opts.Base,
+		Data:  out.Code,
+	})
+
+	for i, pf := range pending {
+		low := out.Labels[pf.name]
+		var high uint64
+		if i+1 < len(pending) {
+			high = out.Labels[pending[i+1].name]
+		} else {
+			high = opts.Base + uint64(len(out.Code))
+		}
+		bin.Symbols = append(bin.Symbols, elfx.Symbol{
+			Name: pf.name, Addr: low, Size: high - low, Kind: elfx.SymFunc,
+		})
+		df := dwarflite.Func{
+			Name: pf.name, Low: low, High: high, FrameReg: pf.fc.frameRegTag(),
+		}
+		df.Vars = pf.fc.debugVars()
+		debug.Funcs = append(debug.Funcs, df)
+	}
+
+	if cc.dataSize > 0 {
+		bin.Sections = append(bin.Sections, elfx.Section{
+			Name:  ".data",
+			Type:  elfx.SHTProgbits,
+			Flags: elfx.SHFAlloc,
+			Addr:  dataBase,
+			Data:  make([]byte, cc.dataSize),
+		})
+		for _, g := range p.Globals {
+			addr := cc.globals[g]
+			bin.Symbols = append(bin.Symbols, elfx.Symbol{
+				Name: g.Name, Addr: addr, Size: uint64(g.Type.Size()), Kind: elfx.SymObject,
+			})
+			debug.Globals = append(debug.Globals, dwarflite.Global{
+				Name: g.Name, Addr: addr, Type: g.Type,
+			})
+		}
+	}
+
+	bin.Sections = append(bin.Sections, elfx.Section{
+		Name: dwarflite.SectionName,
+		Type: elfx.SHTProgbits,
+		Data: debug.Encode(),
+	})
+
+	return &Result{Binary: bin, Debug: debug}, nil
+}
+
+// rvMem is a base+offset memory reference during lowering.
+type rvMem struct {
+	base rv64.Reg
+	off  int64
+}
+
+// rvLoc is where an lvalue lives: memory, or a promoted register.
+type rvLoc struct {
+	mem rvMem
+	reg rv64.Reg // non-zero when register-promoted
+	typ *ctypes.Type
+}
+
+// rvFuncCompiler lowers one function into the shared RV64 unit.
+type rvFuncCompiler struct {
+	c    *compiler
+	u    *rv64.Unit
+	fn   *synth.Function
+	opts Options
+	r    *rand.Rand
+
+	slots     map[*synth.VarDecl]int32
+	slotOrder []*synth.VarDecl
+	promoted  map[*synth.VarDecl]rv64.Reg
+	frameReg  rv64.Reg
+	frameSize int32
+	saveOff   map[rv64.Reg]int32 // sp-relative save-area offsets
+	labelSeq  int
+}
+
+func (c *compiler) compileFuncRV64(fn *synth.Function, u *rv64.Unit) (*rvFuncCompiler, error) {
+	fc := &rvFuncCompiler{
+		c:        c,
+		u:        u,
+		fn:       fn,
+		opts:     c.opts,
+		r:        rand.New(rand.NewSource(c.r.Int63())),
+		slots:    make(map[*synth.VarDecl]int32),
+		promoted: make(map[*synth.VarDecl]rv64.Reg),
+		saveOff:  make(map[rv64.Reg]int32),
+	}
+	fc.chooseFrame()
+	fc.choosePromotions()
+	fc.layoutSlots()
+
+	u.Label(fn.Name)
+	fc.prologue()
+	body := fn.Body
+	if fc.opts.Opt >= 3 {
+		body = unrollLoops(body)
+	}
+	for _, s := range body {
+		if err := fc.stmt(s); err != nil {
+			return nil, err
+		}
+	}
+	if len(body) == 0 || !isReturn(body[len(body)-1]) {
+		fc.epilogue()
+	}
+	return fc, nil
+}
+
+// chooseFrame mirrors the x86 frame-pointer policy: the GCC dialect omits
+// the frame pointer at O2+, the Clang dialect at O3.
+func (fc *rvFuncCompiler) chooseFrame() {
+	omit := fc.opts.Opt >= 2
+	if fc.opts.Dialect == Clang {
+		omit = fc.opts.Opt >= 3
+	}
+	if omit {
+		fc.frameReg = rv64.SP
+	} else {
+		fc.frameReg = rv64.S0
+	}
+}
+
+func (fc *rvFuncCompiler) frameRegTag() byte {
+	if fc.frameReg == rv64.SP {
+		return dwarflite.FrameRSP
+	}
+	return dwarflite.FrameRBP
+}
+
+// choosePromotions reuses the x86 promotion policy with the RISC-V
+// callee-saved registers s1..s3.
+func (fc *rvFuncCompiler) choosePromotions() {
+	if fc.opts.Opt < 2 {
+		return
+	}
+	addrTaken := make(map[*synth.VarDecl]bool)
+	uses := make(map[*synth.VarDecl]int)
+	walkStmts(fc.fn.Body, func(e synth.Expr) {
+		switch x := e.(type) {
+		case *synth.AddrOf:
+			if vr, ok := x.Target.(*synth.VarRef); ok {
+				addrTaken[vr.Decl] = true
+			}
+		case *synth.VarRef:
+			uses[x.Decl]++
+		}
+	})
+	type cand struct {
+		d *synth.VarDecl
+		n int
+	}
+	var cands []cand
+	for _, d := range fc.fn.Locals {
+		t := d.Type.ResolveBase()
+		ok := t.Kind == ctypes.KindBase && t.Base.IsInteger() &&
+			t.Base != ctypes.BaseBool && !addrTaken[d] && uses[d] >= 3
+		if ok {
+			cands = append(cands, cand{d, uses[d]})
+		}
+	}
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].n > cands[i].n {
+				cands[i], cands[j] = cands[j], cands[i]
+			}
+		}
+	}
+	for i := 0; i < len(cands) && i < len(rvPromoteRegs); i++ {
+		fc.promoted[cands[i].d] = rvPromoteRegs[i]
+	}
+}
+
+// layoutSlots assigns frame offsets below the callee-save area. The save
+// area (ra, optional s0, promoted s-registers) occupies the top of the
+// frame; variables grow downward from it, in the same dialect-specific
+// orders the x86 backend uses. FP frames keep offsets negative relative to
+// s0 (which holds the entry sp); SP frames rebase them to positive
+// sp-relative offsets.
+func (fc *rvFuncCompiler) layoutSlots() {
+	saveBytes := int32(8) // ra
+	if fc.frameReg == rv64.S0 {
+		saveBytes += 8
+	}
+	for range fc.promoted {
+		saveBytes += 8
+	}
+
+	assign := func(d *synth.VarDecl, off *int32) {
+		size := int32(d.Type.Size())
+		if size == 0 {
+			size = 8
+		}
+		align := int32(d.Type.Align())
+		if align == 0 {
+			align = 8
+		}
+		*off += size
+		if rem := *off % align; rem != 0 {
+			*off += align - rem
+		}
+		fc.slots[d] = -*off
+		fc.slotOrder = append(fc.slotOrder, d)
+	}
+
+	off := saveBytes
+	var order []*synth.VarDecl
+	if fc.opts.Dialect == GCC {
+		for i := len(fc.fn.Locals) - 1; i >= 0; i-- {
+			order = append(order, fc.fn.Locals[i])
+		}
+		order = append(order, fc.fn.Params...)
+	} else {
+		order = append(order, fc.fn.Params...)
+		order = append(order, fc.fn.Locals...)
+	}
+	for _, d := range order {
+		if _, isProm := fc.promoted[d]; isProm {
+			continue
+		}
+		assign(d, &off)
+	}
+	if rem := off % 16; rem != 0 {
+		off += 16 - rem
+	}
+	fc.frameSize = off
+
+	// Save-area offsets are sp-relative from the top of the frame.
+	at := fc.frameSize - 8
+	fc.saveOff[rv64.RA] = at
+	at -= 8
+	if fc.frameReg == rv64.S0 {
+		fc.saveOff[rv64.S0] = at
+		at -= 8
+	}
+	for _, reg := range rvPromoteRegs {
+		if fc.usesPromoteReg(reg) {
+			fc.saveOff[reg] = at
+			at -= 8
+		}
+	}
+
+	if fc.frameReg == rv64.SP {
+		for d, o := range fc.slots {
+			fc.slots[d] = o + fc.frameSize
+		}
+	}
+}
+
+func (fc *rvFuncCompiler) usesPromoteReg(reg rv64.Reg) bool {
+	for _, r := range fc.promoted {
+		if r == reg {
+			return true
+		}
+	}
+	return false
+}
+
+func (fc *rvFuncCompiler) debugVars() []dwarflite.Var {
+	isParam := make(map[*synth.VarDecl]bool, len(fc.fn.Params))
+	for _, p := range fc.fn.Params {
+		isParam[p] = true
+	}
+	out := make([]dwarflite.Var, 0, len(fc.slotOrder)+len(fc.promoted))
+	for _, d := range fc.slotOrder {
+		out = append(out, dwarflite.Var{
+			Name:     d.Name,
+			FrameOff: fc.slots[d],
+			Type:     d.Type,
+			IsParam:  isParam[d],
+		})
+	}
+	for _, d := range fc.fn.Locals {
+		if reg, ok := fc.promoted[d]; ok {
+			out = append(out, dwarflite.Var{
+				Name:   d.Name,
+				Type:   d.Type,
+				Loc:    dwarflite.LocReg,
+				RegNum: byte(reg),
+			})
+		}
+	}
+	return out
+}
+
+func (fc *rvFuncCompiler) newLabel(prefix string) string {
+	fc.labelSeq++
+	return fmt.Sprintf(".L%s_%s_%d", fc.fn.Name, prefix, fc.labelSeq)
+}
+
+func (fc *rvFuncCompiler) label(name string) { fc.u.Label(name) }
+
+func (fc *rvFuncCompiler) emit(in rv64.Inst) { fc.u.Add(in) }
+
+// fitsImm12 reports a value encodable as an I/S-type immediate.
+func fitsImm12(v int64) bool { return v >= -2048 && v <= 2047 }
+
+// li materializes an arbitrary constant into rd using the standard
+// li expansion (addi / lui+addiw / shifted chunks).
+func (fc *rvFuncCompiler) li(rd rv64.Reg, v int64) {
+	if fitsImm12(v) {
+		fc.emit(rv64.Inst{Op: rv64.OpADDI, Rd: rd, Rs1: rv64.X0, Imm: v})
+		return
+	}
+	if v >= -(1<<31) && v < 1<<31 {
+		hi := (v + 0x800) >> 12
+		lo := v - hi<<12
+		fc.emit(rv64.Inst{Op: rv64.OpLUI, Rd: rd, Imm: hi & 0xfffff})
+		if lo != 0 {
+			fc.emit(rv64.Inst{Op: rv64.OpADDIW, Rd: rd, Rs1: rd, Imm: lo})
+		}
+		return
+	}
+	// 64-bit: materialize the upper part, shift, add the low 12 bits.
+	lo := v << 52 >> 52 // sign-extended low 12
+	fc.li(rd, (v-lo)>>12)
+	fc.emit(rv64.Inst{Op: rv64.OpSLLI, Rd: rd, Rs1: rd, Imm: 12})
+	if lo != 0 {
+		fc.emit(rv64.Inst{Op: rv64.OpADDI, Rd: rd, Rs1: rd, Imm: lo})
+	}
+}
+
+// mv emits a register move.
+func (fc *rvFuncCompiler) mv(rd, rs rv64.Reg) {
+	if rd != rs {
+		fc.emit(rv64.Inst{Op: rv64.OpADDI, Rd: rd, Rs1: rs})
+	}
+}
+
+// addImm computes rd = rs + v, chunking when v overflows imm12.
+func (fc *rvFuncCompiler) addImm(rd, rs rv64.Reg, v int64) {
+	if fitsImm12(v) {
+		fc.emit(rv64.Inst{Op: rv64.OpADDI, Rd: rd, Rs1: rs, Imm: v})
+		return
+	}
+	fc.li(rvAddrTmp, v)
+	fc.emit(rv64.Inst{Op: rv64.OpADD, Rd: rd, Rs1: rs, Rs2: rvAddrTmp})
+}
+
+// memAccess emits a load or store of reg at m, falling back to an address
+// computation through t6 when the offset overflows imm12.
+func (fc *rvFuncCompiler) memAccess(op rv64.Op, reg rv64.Reg, m rvMem) {
+	if fitsImm12(m.off) {
+		if op.IsStore() {
+			fc.emit(rv64.Inst{Op: op, Rs1: m.base, Rs2: reg, Imm: m.off})
+		} else {
+			fc.emit(rv64.Inst{Op: op, Rd: reg, Rs1: m.base, Imm: m.off})
+		}
+		return
+	}
+	fc.li(rvAddrTmp, m.off)
+	fc.emit(rv64.Inst{Op: rv64.OpADD, Rd: rvAddrTmp, Rs1: rvAddrTmp, Rs2: m.base})
+	if op.IsStore() {
+		fc.emit(rv64.Inst{Op: op, Rs1: rvAddrTmp, Rs2: reg})
+	} else {
+		fc.emit(rv64.Inst{Op: op, Rd: reg, Rs1: rvAddrTmp})
+	}
+}
+
+// absMem materializes the page of an absolute address into tmp and returns
+// the lo-offset reference — the classic lui/lo pair the decoder re-fuses.
+func (fc *rvFuncCompiler) absMem(addr uint64, tmp rv64.Reg) rvMem {
+	hi := (int64(addr) + 0x800) >> 12
+	lo := int64(addr) - hi<<12
+	fc.emit(rv64.Inst{Op: rv64.OpLUI, Rd: tmp, Imm: hi & 0xfffff})
+	return rvMem{base: tmp, off: lo}
+}
+
+// xscratch returns the i-th integer scratch register; the two dialects
+// prefer different orders (a5-first is the classic GCC habit).
+func (fc *rvFuncCompiler) xscratch(i int) rv64.Reg {
+	gcc := []rv64.Reg{rv64.A5, rv64.A4, rv64.T1, rv64.T2, rv64.A6, rv64.A7, rv64.T0, rv64.T3}
+	clang := []rv64.Reg{rv64.A5, rv64.T0, rv64.A4, rv64.T1, rv64.A6, rv64.T2, rv64.A7, rv64.T4}
+	regs := gcc
+	if fc.opts.Dialect == Clang {
+		regs = clang
+	}
+	return regs[i%len(regs)]
+}
+
+// fscratch returns the float register for slot xi; the low slots coincide
+// with the float argument registers, as on x86.
+func fscratch(xi int) rv64.Reg { return rv64.F(10 + xi) }
+
+func (fc *rvFuncCompiler) slotMem(d *synth.VarDecl) rvMem {
+	return rvMem{base: fc.frameReg, off: int64(fc.slots[d])}
+}
+
+func (fc *rvFuncCompiler) prologue() {
+	fc.addImm(rv64.SP, rv64.SP, -int64(fc.frameSize))
+	fc.memAccess(rv64.OpSD, rv64.RA, rvMem{base: rv64.SP, off: int64(fc.saveOff[rv64.RA])})
+	if fc.frameReg == rv64.S0 {
+		fc.memAccess(rv64.OpSD, rv64.S0, rvMem{base: rv64.SP, off: int64(fc.saveOff[rv64.S0])})
+	}
+	for _, reg := range rvPromoteRegs {
+		if fc.usesPromoteReg(reg) {
+			fc.memAccess(rv64.OpSD, reg, rvMem{base: rv64.SP, off: int64(fc.saveOff[reg])})
+		}
+	}
+	if fc.frameReg == rv64.S0 {
+		// Establish the frame pointer: s0 = entry sp. Chunked when the frame
+		// is too large for one addi (the first addi still marks the FP frame).
+		if fitsImm12(int64(fc.frameSize)) {
+			fc.emit(rv64.Inst{Op: rv64.OpADDI, Rd: rv64.S0, Rs1: rv64.SP, Imm: int64(fc.frameSize)})
+		} else {
+			fc.emit(rv64.Inst{Op: rv64.OpADDI, Rd: rv64.S0, Rs1: rv64.SP, Imm: 2047})
+			fc.addImm(rv64.S0, rv64.S0, int64(fc.frameSize)-2047)
+		}
+	}
+	fc.spillParams()
+	fc.initPromoted()
+}
+
+func (fc *rvFuncCompiler) spillParams() {
+	intIdx, fltIdx := 0, 0
+	for _, p := range fc.fn.Params {
+		t := p.Type.ResolveBase()
+		if t.Kind == ctypes.KindBase && t.Base.IsFloat() && t.Base != ctypes.BaseLongDouble {
+			if fltIdx >= len(rvFloatArgRegs) {
+				continue
+			}
+			op := rv64.OpFSW
+			if t.Base == ctypes.BaseDouble {
+				op = rv64.OpFSD
+			}
+			fc.memAccess(op, rvFloatArgRegs[fltIdx], fc.slotMem(p))
+			fltIdx++
+			continue
+		}
+		if intIdx >= len(rvIntArgRegs) {
+			continue
+		}
+		w := p.Type.Size()
+		if w == 0 || w > 8 {
+			w = 8
+		}
+		fc.memAccess(rvStoreOp(w), rvIntArgRegs[intIdx], fc.slotMem(p))
+		intIdx++
+	}
+}
+
+func (fc *rvFuncCompiler) initPromoted() {
+	for _, d := range fc.fn.Locals {
+		if reg, ok := fc.promoted[d]; ok {
+			fc.li(reg, 0)
+		}
+	}
+}
+
+func (fc *rvFuncCompiler) epilogue() {
+	for _, reg := range rvPromoteRegs {
+		if fc.usesPromoteReg(reg) {
+			fc.memAccess(rv64.OpLD, reg, rvMem{base: rv64.SP, off: int64(fc.saveOff[reg])})
+		}
+	}
+	if fc.frameReg == rv64.S0 {
+		fc.memAccess(rv64.OpLD, rv64.S0, rvMem{base: rv64.SP, off: int64(fc.saveOff[rv64.S0])})
+	}
+	fc.memAccess(rv64.OpLD, rv64.RA, rvMem{base: rv64.SP, off: int64(fc.saveOff[rv64.RA])})
+	fc.addImm(rv64.SP, rv64.SP, int64(fc.frameSize))
+	fc.emit(rv64.Inst{Op: rv64.OpJALR, Rd: rv64.X0, Rs1: rv64.RA})
+}
+
+// rvStoreOp is the integer store for a given width.
+func rvStoreOp(w int) rv64.Op {
+	switch w {
+	case 1:
+		return rv64.OpSB
+	case 2:
+		return rv64.OpSH
+	case 4:
+		return rv64.OpSW
+	}
+	return rv64.OpSD
+}
+
+// rvLoadOp is the integer load for a given width and signedness.
+func rvLoadOp(w int, signed bool) rv64.Op {
+	switch w {
+	case 1:
+		if signed {
+			return rv64.OpLB
+		}
+		return rv64.OpLBU
+	case 2:
+		if signed {
+			return rv64.OpLH
+		}
+		return rv64.OpLHU
+	case 4:
+		if signed {
+			return rv64.OpLW
+		}
+		return rv64.OpLWU
+	}
+	return rv64.OpLD
+}
+
+// --- statement lowering ---
+
+func (fc *rvFuncCompiler) stmt(s synth.Stmt) error {
+	switch x := s.(type) {
+	case *synth.Assign:
+		return fc.assign(x)
+	case *synth.If:
+		return fc.ifStmt(x)
+	case *synth.While:
+		return fc.whileStmt(x)
+	case *synth.For:
+		return fc.forStmt(x)
+	case *synth.Return:
+		return fc.returnStmt(x)
+	case *synth.ExprStmt:
+		_, err := fc.call(x.X.(*synth.Call))
+		return err
+	default:
+		return fmt.Errorf("statement %T: %w", s, ErrUnsupported)
+	}
+}
+
+func (fc *rvFuncCompiler) ifStmt(x *synth.If) error {
+	// No if-conversion: RV64 (pre-Zicond) has no conditional move, so
+	// branches stay branches at every optimization level.
+	elseL := fc.newLabel("else")
+	endL := fc.newLabel("end")
+	target := endL
+	if len(x.Else) > 0 {
+		target = elseL
+	}
+	if err := fc.condBranch(x.Cond, target); err != nil {
+		return err
+	}
+	for _, s := range x.Then {
+		if err := fc.stmt(s); err != nil {
+			return err
+		}
+	}
+	if len(x.Else) > 0 {
+		fc.emit(rv64.Inst{Op: rv64.OpJAL, Rd: rv64.X0, Sym: endL})
+		fc.label(elseL)
+		for _, s := range x.Else {
+			if err := fc.stmt(s); err != nil {
+				return err
+			}
+		}
+	}
+	fc.label(endL)
+	return nil
+}
+
+func (fc *rvFuncCompiler) whileStmt(x *synth.While) error {
+	condL := fc.newLabel("wcond")
+	endL := fc.newLabel("wend")
+	fc.label(condL)
+	if err := fc.condBranch(x.Cond, endL); err != nil {
+		return err
+	}
+	for _, s := range x.Body {
+		if err := fc.stmt(s); err != nil {
+			return err
+		}
+	}
+	fc.emit(rv64.Inst{Op: rv64.OpJAL, Rd: rv64.X0, Sym: condL})
+	fc.label(endL)
+	return nil
+}
+
+func (fc *rvFuncCompiler) forStmt(x *synth.For) error {
+	if x.Init != nil {
+		if err := fc.stmt(x.Init); err != nil {
+			return err
+		}
+	}
+	condL := fc.newLabel("fcond")
+	endL := fc.newLabel("fend")
+	fc.label(condL)
+	if err := fc.condBranch(x.Cond, endL); err != nil {
+		return err
+	}
+	for _, s := range x.Body {
+		if err := fc.stmt(s); err != nil {
+			return err
+		}
+	}
+	if x.Post != nil {
+		if err := fc.stmt(x.Post); err != nil {
+			return err
+		}
+	}
+	fc.emit(rv64.Inst{Op: rv64.OpJAL, Rd: rv64.X0, Sym: condL})
+	fc.label(endL)
+	return nil
+}
+
+func (fc *rvFuncCompiler) returnStmt(x *synth.Return) error {
+	if x.Value != nil {
+		t := synth.TypeOfExpr(x.Value)
+		switch {
+		case isFloatType(t):
+			// loadFloat targets the requested slot, and slot 0 is fa0 — the
+			// return register — so no move is needed.
+			if _, err := fc.loadFloat(x.Value, 0); err != nil {
+				return err
+			}
+		default:
+			r, err := fc.loadInt(x.Value, intWidth(t), 0)
+			if err != nil {
+				return err
+			}
+			fc.mv(rv64.A0, r)
+		}
+	}
+	fc.epilogue()
+	return nil
+}
+
+// condBranch evaluates cond and branches to falseLabel when it does NOT
+// hold. Integer comparisons map directly onto RISC-V's fused
+// compare-and-branch forms (with operand swaps for gt/le); float
+// comparisons materialize the truth value and branch on zero.
+func (fc *rvFuncCompiler) condBranch(cond synth.Expr, falseLabel string) error {
+	switch x := cond.(type) {
+	case *synth.Cmp:
+		lt := synth.TypeOfExpr(x.L)
+		if isFloatType(lt) {
+			tr, err := fc.materializeFloatCmp(x, fc.xscratch(0))
+			if err != nil {
+				return err
+			}
+			fc.emit(rv64.Inst{Op: rv64.OpBEQ, Rs1: tr, Rs2: rv64.X0, Sym: falseLabel})
+			return nil
+		}
+		w := intWidth(lt)
+		lr, err := fc.loadInt(x.L, w, 0)
+		if err != nil {
+			return err
+		}
+		var rr rv64.Reg = rv64.X0
+		if lit, ok := x.R.(*synth.IntLit); !ok || lit.Value != 0 {
+			rr, err = fc.loadInt(x.R, w, 1)
+			if err != nil {
+				return err
+			}
+		}
+		op, swap := inverseBranch(x.Op, isSignedInt(lt))
+		a, b := lr, rr
+		if swap {
+			a, b = rr, lr
+		}
+		fc.emit(rv64.Inst{Op: op, Rs1: a, Rs2: b, Sym: falseLabel})
+		return nil
+	default:
+		t := synth.TypeOfExpr(cond)
+		r, err := fc.loadInt(cond, intWidth(t), 0)
+		if err != nil {
+			return err
+		}
+		fc.emit(rv64.Inst{Op: rv64.OpBEQ, Rs1: r, Rs2: rv64.X0, Sym: falseLabel})
+		return nil
+	}
+}
+
+// inverseBranch returns the branch taken when the comparison FAILS, and
+// whether its operands must be swapped.
+func inverseBranch(op synth.CmpOp, signed bool) (rv64.Op, bool) {
+	lt, ge := rv64.OpBLT, rv64.OpBGE
+	if !signed {
+		lt, ge = rv64.OpBLTU, rv64.OpBGEU
+	}
+	switch op {
+	case synth.CmpEq:
+		return rv64.OpBNE, false
+	case synth.CmpNe:
+		return rv64.OpBEQ, false
+	case synth.CmpLt: // fails when l >= r
+		return ge, false
+	case synth.CmpLe: // fails when r < l
+		return lt, true
+	case synth.CmpGt: // fails when l <= r, i.e. r >= l
+		return ge, true
+	case synth.CmpGe: // fails when l < r
+		return lt, false
+	}
+	return rv64.OpBNE, false
+}
+
+// --- lvalue addressing ---
+
+func (fc *rvFuncCompiler) lvalue(lv synth.LValue, scratchBase int) (rvLoc, error) {
+	switch x := lv.(type) {
+	case *synth.VarRef:
+		if reg, ok := fc.promoted[x.Decl]; ok {
+			return rvLoc{reg: reg, typ: x.Decl.Type}, nil
+		}
+		return rvLoc{mem: fc.varMem(x.Decl, scratchBase), typ: x.Decl.Type}, nil
+
+	case *synth.FieldRef:
+		st := x.Base.Type.ResolveBase()
+		if st.Kind == ctypes.KindArray {
+			st = st.Elem.ResolveBase()
+		}
+		f := st.Fields[x.Field]
+		m := fc.varMem(x.Base, scratchBase)
+		m.off += int64(f.Offset)
+		return rvLoc{mem: m, typ: f.Type}, nil
+
+	case *synth.PtrFieldRef:
+		st := x.Ptr.Type.ResolveBase().Elem.ResolveBase()
+		f := st.Fields[x.Field]
+		preg := fc.xscratch(scratchBase)
+		fc.loadVarInto(x.Ptr, preg, scratchBase)
+		return rvLoc{mem: rvMem{base: preg, off: int64(f.Offset)}, typ: f.Type}, nil
+
+	case *synth.DerefRef:
+		elem := x.Ptr.Type.ResolveBase().Elem
+		preg := fc.xscratch(scratchBase)
+		fc.loadVarInto(x.Ptr, preg, scratchBase)
+		return rvLoc{mem: rvMem{base: preg, off: int64(x.Off * elem.Size())}, typ: elem}, nil
+
+	case *synth.IndexRef:
+		at := x.Arr.Type.ResolveBase()
+		elem := at.Elem
+		esz := elem.Size()
+		base := fc.varMem(x.Arr, scratchBase)
+		if lit, ok := x.Idx.(*synth.IntLit); ok {
+			base.off += lit.Value * int64(esz)
+			return rvLoc{mem: base, typ: elem}, nil
+		}
+		// Variable index: no scaled addressing on RISC-V — shift (or
+		// multiply) the index and add it to the materialized base address.
+		idxT := synth.TypeOfExpr(x.Idx)
+		ireg, err := fc.loadInt(x.Idx, intWidth(idxT), scratchBase)
+		if err != nil {
+			return rvLoc{}, err
+		}
+		switch esz {
+		case 1:
+		case 2, 4, 8:
+			sh := int64(1)
+			if esz == 4 {
+				sh = 2
+			} else if esz == 8 {
+				sh = 3
+			}
+			fc.emit(rv64.Inst{Op: rv64.OpSLLI, Rd: ireg, Rs1: ireg, Imm: sh})
+		default:
+			tmp := fc.xscratch(scratchBase + 1)
+			fc.li(tmp, int64(esz))
+			fc.emit(rv64.Inst{Op: rv64.OpMUL, Rd: ireg, Rs1: ireg, Rs2: tmp})
+		}
+		addr := fc.xscratch(scratchBase + 2)
+		fc.addImm(addr, base.base, base.off)
+		fc.emit(rv64.Inst{Op: rv64.OpADD, Rd: addr, Rs1: addr, Rs2: ireg})
+		return rvLoc{mem: rvMem{base: addr}, typ: elem}, nil
+	}
+	return rvLoc{}, fmt.Errorf("lvalue %T: %w", lv, ErrUnsupported)
+}
+
+func (fc *rvFuncCompiler) loadVarInto(d *synth.VarDecl, reg rv64.Reg, scratchBase int) {
+	if pr, ok := fc.promoted[d]; ok {
+		fc.mv(reg, pr)
+		return
+	}
+	fc.memAccess(rv64.OpLD, reg, fc.varMem(d, scratchBase))
+}
+
+// varMem returns a variable's memory reference: frame-relative for stack
+// variables, a lui-materialized absolute pair for globals.
+func (fc *rvFuncCompiler) varMem(d *synth.VarDecl, scratchBase int) rvMem {
+	if d.Global {
+		return fc.absMem(fc.c.globals[d], fc.xscratch(scratchBase+1))
+	}
+	return fc.slotMem(d)
+}
+
+func min32(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

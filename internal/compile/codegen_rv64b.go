@@ -1,0 +1,760 @@
+package compile
+
+import (
+	"fmt"
+
+	"repro/internal/ctypes"
+	"repro/internal/isa/rv64"
+	"repro/internal/synth"
+)
+
+// loadInt evaluates an integer/pointer-valued atom into integer scratch
+// slot si at width w (4 or 8). Values are kept sign-extended in the full
+// register, the RV64 convention, so 64-bit compares work on 32-bit values.
+func (fc *rvFuncCompiler) loadInt(e synth.Expr, w, si int) (rv64.Reg, error) {
+	dst := fc.xscratch(si)
+	switch x := e.(type) {
+	case *synth.IntLit:
+		fc.li(dst, x.Value)
+		return dst, nil
+
+	case *synth.AddrOf:
+		loc, err := fc.lvalue(x.Target, si+1)
+		if err != nil {
+			return 0, err
+		}
+		if loc.reg != 0 {
+			return 0, fmt.Errorf("address of register variable: %w", ErrUnsupported)
+		}
+		fc.addImm(dst, loc.mem.base, loc.mem.off)
+		return dst, nil
+
+	case *synth.Cmp:
+		if err := fc.materializeCmp(x, dst); err != nil {
+			return 0, err
+		}
+		return dst, nil
+
+	case *synth.Cast:
+		srcT := synth.TypeOfExpr(x.X)
+		if isFloatType(srcT) {
+			xr, err := fc.loadFloat(x.X, 0)
+			if err != nil {
+				return 0, err
+			}
+			var cv rv64.Op
+			if srcT.ResolveBase().Base == ctypes.BaseDouble {
+				cv = rv64.OpFCVTWD
+				if w == 8 {
+					cv = rv64.OpFCVTLD
+				}
+			} else {
+				cv = rv64.OpFCVTWS
+				if w == 8 {
+					cv = rv64.OpFCVTLS
+				}
+			}
+			fc.emit(rv64.Inst{Op: cv, Rd: dst, Rs1: xr})
+			return dst, nil
+		}
+		return fc.loadInt(x.X, w, si)
+
+	case *synth.VarRef, *synth.FieldRef, *synth.PtrFieldRef, *synth.IndexRef, *synth.DerefRef:
+		loc, err := fc.lvalue(e.(synth.LValue), si+1)
+		if err != nil {
+			return 0, err
+		}
+		return dst, fc.loadFromLoc(loc, w, dst)
+	}
+	return 0, fmt.Errorf("int atom %T: %w", e, ErrUnsupported)
+}
+
+// loadFromLoc loads an integer-typed location into dst at width w.
+func (fc *rvFuncCompiler) loadFromLoc(loc rvLoc, w int, dst rv64.Reg) error {
+	t := loc.typ.ResolveBase()
+	size := t.Size()
+	if t.Kind == ctypes.KindPointer || t.Kind == ctypes.KindArray {
+		size = 8
+	}
+	signed := isSignedInt(loc.typ)
+	if loc.reg != 0 {
+		fc.mv(dst, loc.reg)
+		return nil
+	}
+	// One load covers every promotion case: sub-word loads sign/zero-extend
+	// per the source type, lw sign-extends for 32-bit compute, lwu handles
+	// unsigned 32→64 widening.
+	lw := min32(size, 8)
+	if lw >= w {
+		lw = w
+		signed = true // low-bytes load: lw/ld, the compiler idiom
+	}
+	fc.memAccess(rvLoadOp(lw, signed), dst, loc.mem)
+	return nil
+}
+
+// materializeCmp leaves the 0/1 truth value of an integer comparison in
+// dst, via slt/sltu and the seqz/snez/xori idioms.
+func (fc *rvFuncCompiler) materializeCmp(x *synth.Cmp, dst rv64.Reg) error {
+	lt := synth.TypeOfExpr(x.L)
+	if isFloatType(lt) {
+		_, err := fc.materializeFloatCmp(x, dst)
+		return err
+	}
+	w := intWidth(lt)
+	lr, err := fc.loadInt(x.L, w, 1)
+	if err != nil {
+		return err
+	}
+	signed := isSignedInt(lt)
+	slt := rv64.OpSLT
+	if !signed {
+		slt = rv64.OpSLTU
+	}
+
+	// Equality against a small immediate folds into xori+seqz.
+	if lit, ok := x.R.(*synth.IntLit); ok && (x.Op == synth.CmpEq || x.Op == synth.CmpNe) && fitsImm12(lit.Value) {
+		src := lr
+		if lit.Value != 0 {
+			fc.emit(rv64.Inst{Op: rv64.OpXORI, Rd: dst, Rs1: lr, Imm: lit.Value})
+			src = dst
+		}
+		if x.Op == synth.CmpEq {
+			fc.emit(rv64.Inst{Op: rv64.OpSLTIU, Rd: dst, Rs1: src, Imm: 1}) // seqz
+		} else {
+			fc.emit(rv64.Inst{Op: rv64.OpSLTU, Rd: dst, Rs1: rv64.X0, Rs2: src}) // snez
+		}
+		return nil
+	}
+
+	rr, err := fc.loadInt(x.R, w, 2)
+	if err != nil {
+		return err
+	}
+	switch x.Op {
+	case synth.CmpEq:
+		fc.emit(rv64.Inst{Op: rv64.OpXOR, Rd: dst, Rs1: lr, Rs2: rr})
+		fc.emit(rv64.Inst{Op: rv64.OpSLTIU, Rd: dst, Rs1: dst, Imm: 1})
+	case synth.CmpNe:
+		fc.emit(rv64.Inst{Op: rv64.OpXOR, Rd: dst, Rs1: lr, Rs2: rr})
+		fc.emit(rv64.Inst{Op: rv64.OpSLTU, Rd: dst, Rs1: rv64.X0, Rs2: dst})
+	case synth.CmpLt:
+		fc.emit(rv64.Inst{Op: slt, Rd: dst, Rs1: lr, Rs2: rr})
+	case synth.CmpGt:
+		fc.emit(rv64.Inst{Op: slt, Rd: dst, Rs1: rr, Rs2: lr})
+	case synth.CmpGe: // !(l < r)
+		fc.emit(rv64.Inst{Op: slt, Rd: dst, Rs1: lr, Rs2: rr})
+		fc.emit(rv64.Inst{Op: rv64.OpXORI, Rd: dst, Rs1: dst, Imm: 1})
+	case synth.CmpLe: // !(r < l)
+		fc.emit(rv64.Inst{Op: slt, Rd: dst, Rs1: rr, Rs2: lr})
+		fc.emit(rv64.Inst{Op: rv64.OpXORI, Rd: dst, Rs1: dst, Imm: 1})
+	}
+	return nil
+}
+
+// materializeFloatCmp leaves the truth value of a float comparison in dst
+// using feq/flt/fle (with operand swaps for gt/ge, and negation for ne).
+func (fc *rvFuncCompiler) materializeFloatCmp(x *synth.Cmp, dst rv64.Reg) (rv64.Reg, error) {
+	lt := synth.TypeOfExpr(x.L)
+	double := lt.ResolveBase().Base == ctypes.BaseDouble
+	xr, err := fc.loadFloat(x.L, 0)
+	if err != nil {
+		return 0, err
+	}
+	yr, err := fc.loadFloat(x.R, 1)
+	if err != nil {
+		return 0, err
+	}
+	pick := func(s, d rv64.Op) rv64.Op {
+		if double {
+			return d
+		}
+		return s
+	}
+	a, b := xr, yr
+	var op rv64.Op
+	negate := false
+	switch x.Op {
+	case synth.CmpEq:
+		op = pick(rv64.OpFEQS, rv64.OpFEQD)
+	case synth.CmpNe:
+		op, negate = pick(rv64.OpFEQS, rv64.OpFEQD), true
+	case synth.CmpLt:
+		op = pick(rv64.OpFLTS, rv64.OpFLTD)
+	case synth.CmpLe:
+		op = pick(rv64.OpFLES, rv64.OpFLED)
+	case synth.CmpGt:
+		op, a, b = pick(rv64.OpFLTS, rv64.OpFLTD), yr, xr
+	case synth.CmpGe:
+		op, a, b = pick(rv64.OpFLES, rv64.OpFLED), yr, xr
+	}
+	fc.emit(rv64.Inst{Op: op, Rd: dst, Rs1: a, Rs2: b})
+	if negate {
+		fc.emit(rv64.Inst{Op: rv64.OpXORI, Rd: dst, Rs1: dst, Imm: 1})
+	}
+	return dst, nil
+}
+
+// loadFloat evaluates a float/double atom into float register slot xi
+// (fa0, fa1, ... — the low slots double as argument/return registers).
+func (fc *rvFuncCompiler) loadFloat(e synth.Expr, xi int) (rv64.Reg, error) {
+	dst := fscratch(xi)
+	switch x := e.(type) {
+	case *synth.FloatLit:
+		t := x.Type.ResolveBase()
+		if t.Base == ctypes.BaseFloat {
+			addr := fc.c.rodataAddr(4)
+			fc.memAccess(rv64.OpFLW, dst, fc.absMem(addr, fc.xscratch(5)))
+		} else {
+			addr := fc.c.rodataAddr(8)
+			fc.memAccess(rv64.OpFLD, dst, fc.absMem(addr, fc.xscratch(5)))
+		}
+		return dst, nil
+
+	case *synth.Cast:
+		srcT := synth.TypeOfExpr(x.X)
+		toT := x.To.ResolveBase()
+		if isFloatType(srcT) {
+			xr, err := fc.loadFloat(x.X, xi)
+			if err != nil {
+				return 0, err
+			}
+			sb := srcT.ResolveBase().Base
+			if sb == ctypes.BaseFloat && toT.Base == ctypes.BaseDouble {
+				fc.emit(rv64.Inst{Op: rv64.OpFCVTDS, Rd: dst, Rs1: xr})
+			} else if sb == ctypes.BaseDouble && toT.Base == ctypes.BaseFloat {
+				fc.emit(rv64.Inst{Op: rv64.OpFCVTSD, Rd: dst, Rs1: xr})
+			}
+			return dst, nil
+		}
+		// int→float.
+		w := intWidth(srcT)
+		ir, err := fc.loadInt(x.X, w, 0)
+		if err != nil {
+			return 0, err
+		}
+		var cv rv64.Op
+		if toT.Base == ctypes.BaseDouble {
+			cv = rv64.OpFCVTDW
+			if w == 8 {
+				cv = rv64.OpFCVTDL
+			}
+		} else {
+			cv = rv64.OpFCVTSW
+			if w == 8 {
+				cv = rv64.OpFCVTSL
+			}
+		}
+		fc.emit(rv64.Inst{Op: cv, Rd: dst, Rs1: ir})
+		return dst, nil
+
+	case *synth.VarRef, *synth.FieldRef, *synth.PtrFieldRef, *synth.IndexRef, *synth.DerefRef:
+		loc, err := fc.lvalue(e.(synth.LValue), 2)
+		if err != nil {
+			return 0, err
+		}
+		t := loc.typ.ResolveBase()
+		op := rv64.OpFLW
+		if t.Base == ctypes.BaseDouble {
+			op = rv64.OpFLD
+		}
+		fc.memAccess(op, dst, loc.mem)
+		return dst, nil
+	}
+	return 0, fmt.Errorf("float atom %T: %w", e, ErrUnsupported)
+}
+
+// --- assignment ---
+
+func (fc *rvFuncCompiler) assign(x *synth.Assign) error {
+	lhsT := synth.TypeOfExpr(x.LHS)
+	switch {
+	case isLongDouble(lhsT):
+		return fc.assignLongDouble(x)
+	case isFloatType(lhsT):
+		return fc.assignFloat(x, lhsT)
+	default:
+		return fc.assignInt(x, lhsT)
+	}
+}
+
+func (fc *rvFuncCompiler) assignFloat(x *synth.Assign, lhsT *ctypes.Type) error {
+	base := lhsT.ResolveBase().Base
+	var val rv64.Reg
+	switch rhs := x.RHS.(type) {
+	case *synth.Binary:
+		lr, err := fc.loadFloat(coerceFloat(rhs.L, base), 0)
+		if err != nil {
+			return err
+		}
+		rr, err := fc.loadFloat(coerceFloat(rhs.R, base), 1)
+		if err != nil {
+			return err
+		}
+		double := base == ctypes.BaseDouble
+		var op rv64.Op
+		switch rhs.Op {
+		case synth.OpAdd:
+			op = rv64.OpFADDS
+			if double {
+				op = rv64.OpFADDD
+			}
+		case synth.OpSub:
+			op = rv64.OpFSUBS
+			if double {
+				op = rv64.OpFSUBD
+			}
+		case synth.OpMul:
+			op = rv64.OpFMULS
+			if double {
+				op = rv64.OpFMULD
+			}
+		default:
+			op = rv64.OpFDIVS
+			if double {
+				op = rv64.OpFDIVD
+			}
+		}
+		fc.emit(rv64.Inst{Op: op, Rd: lr, Rs1: lr, Rs2: rr})
+		val = lr
+	case *synth.Call:
+		r, err := fc.call(rhs)
+		if err != nil {
+			return err
+		}
+		val = r // fa0
+	default:
+		r, err := fc.loadFloat(coerceFloat(x.RHS, base), 0)
+		if err != nil {
+			return err
+		}
+		val = r
+	}
+	loc, err := fc.lvalue(x.LHS, 4)
+	if err != nil {
+		return err
+	}
+	op := rv64.OpFSW
+	if base == ctypes.BaseDouble {
+		op = rv64.OpFSD
+	}
+	fc.memAccess(op, val, loc.mem)
+	return nil
+}
+
+// assignLongDouble lowers long-double arithmetic with double-precision
+// instructions on the low 8 bytes of the 16-byte slot. (Real LP64D long
+// double is a soft-float quad; the access pattern — loads and stores
+// against a 16-byte-aligned slot — is what recovery and the classifier
+// see, and that is preserved.)
+func (fc *rvFuncCompiler) assignLongDouble(x *synth.Assign) error {
+	var loadLD func(e synth.Expr, fi int) (rv64.Reg, error)
+	loadLD = func(e synth.Expr, fi int) (rv64.Reg, error) {
+		dst := fscratch(fi)
+		switch y := e.(type) {
+		case *synth.FloatLit:
+			addr := fc.c.rodataAddr(8)
+			fc.memAccess(rv64.OpFLD, dst, fc.absMem(addr, fc.xscratch(5)))
+			return dst, nil
+		case *synth.VarRef:
+			t := y.Decl.Type.ResolveBase()
+			switch {
+			case t.Base == ctypes.BaseLongDouble, t.Base == ctypes.BaseDouble:
+				fc.memAccess(rv64.OpFLD, dst, fc.varMem(y.Decl, 4))
+			case t.Base == ctypes.BaseFloat:
+				fc.memAccess(rv64.OpFLW, dst, fc.varMem(y.Decl, 4))
+				fc.emit(rv64.Inst{Op: rv64.OpFCVTDS, Rd: dst, Rs1: dst})
+			case t.Base.IsInteger():
+				ir := fc.xscratch(4)
+				if err := fc.loadFromLoc(rvLoc{mem: fc.varMem(y.Decl, 4), typ: y.Decl.Type}, 8, ir); err != nil {
+					return 0, err
+				}
+				fc.emit(rv64.Inst{Op: rv64.OpFCVTDL, Rd: dst, Rs1: ir})
+			default:
+				return 0, fmt.Errorf("long double load of %s: %w", t, ErrUnsupported)
+			}
+			return dst, nil
+		case *synth.Cast:
+			return loadLD(y.X, fi)
+		case *synth.IntLit:
+			ir := fc.xscratch(4)
+			fc.li(ir, y.Value)
+			fc.emit(rv64.Inst{Op: rv64.OpFCVTDL, Rd: dst, Rs1: ir})
+			return dst, nil
+		}
+		return 0, fmt.Errorf("long double atom %T: %w", e, ErrUnsupported)
+	}
+
+	var val rv64.Reg
+	switch rhs := x.RHS.(type) {
+	case *synth.Binary:
+		lr, err := loadLD(rhs.L, 0)
+		if err != nil {
+			return err
+		}
+		rr, err := loadLD(rhs.R, 1)
+		if err != nil {
+			return err
+		}
+		var op rv64.Op
+		switch rhs.Op {
+		case synth.OpAdd:
+			op = rv64.OpFADDD
+		case synth.OpSub:
+			op = rv64.OpFSUBD
+		case synth.OpMul:
+			op = rv64.OpFMULD
+		default:
+			op = rv64.OpFDIVD
+		}
+		fc.emit(rv64.Inst{Op: op, Rd: lr, Rs1: lr, Rs2: rr})
+		val = lr
+	default:
+		r, err := loadLD(x.RHS, 0)
+		if err != nil {
+			return err
+		}
+		val = r
+	}
+	loc, err := fc.lvalue(x.LHS, 4)
+	if err != nil {
+		return err
+	}
+	fc.memAccess(rv64.OpFSD, val, loc.mem)
+	return nil
+}
+
+func (fc *rvFuncCompiler) assignInt(x *synth.Assign, lhsT *ctypes.Type) error {
+	tw := storeWidth(lhsT)
+	w := intWidth(lhsT)
+
+	// Immediate store: sw zero,-20(s0) for zero, li+store otherwise — the
+	// RISC-V shape of the paper's direct immediate store.
+	if lit, ok := x.RHS.(*synth.IntLit); ok {
+		loc, err := fc.lvalue(x.LHS, 4)
+		if err != nil {
+			return err
+		}
+		if loc.reg != 0 {
+			fc.li(loc.reg, lit.Value)
+			return nil
+		}
+		src := rv64.X0
+		if lit.Value != 0 {
+			src = fc.xscratch(0)
+			fc.li(src, lit.Value)
+		}
+		fc.memAccess(rvStoreOp(tw), src, loc.mem)
+		return nil
+	}
+
+	var val rv64.Reg
+	switch rhs := x.RHS.(type) {
+	case *synth.Binary:
+		r, err := fc.intBinary(rhs, lhsT, w)
+		if err != nil {
+			return err
+		}
+		val = r
+	case *synth.Cmp:
+		d := fc.xscratch(0)
+		if err := fc.materializeCmp(rhs, d); err != nil {
+			return err
+		}
+		val = d
+	case *synth.Call:
+		r, err := fc.call(rhs)
+		if err != nil {
+			return err
+		}
+		val = r
+	default:
+		r, err := fc.loadInt(x.RHS, w, 0)
+		if err != nil {
+			return err
+		}
+		val = r
+	}
+
+	loc, err := fc.lvalue(x.LHS, 4)
+	if err != nil {
+		return err
+	}
+	if loc.reg != 0 {
+		fc.mv(loc.reg, val)
+		return nil
+	}
+	fc.memAccess(rvStoreOp(tw), val, loc.mem)
+	return nil
+}
+
+// intBinary computes a binary integer operation into a scratch register.
+func (fc *rvFuncCompiler) intBinary(rhs *synth.Binary, lhsT *ctypes.Type, w int) (rv64.Reg, error) {
+	// Register-promoted accumulate: `addi s1,s1,1` style, no memory traffic.
+	if vr, ok := rhs.L.(*synth.VarRef); ok {
+		if prom, isProm := fc.promoted[vr.Decl]; isProm {
+			if lit, ok := rhs.R.(*synth.IntLit); ok && isSimpleALU(rhs.Op) && fitsImm12(lit.Value) && fitsImm12(-lit.Value) {
+				switch rhs.Op {
+				case synth.OpAdd:
+					op := rv64.OpADDI
+					if w == 4 {
+						op = rv64.OpADDIW
+					}
+					fc.emit(rv64.Inst{Op: op, Rd: prom, Rs1: prom, Imm: lit.Value})
+					return prom, nil
+				case synth.OpSub:
+					op := rv64.OpADDI
+					if w == 4 {
+						op = rv64.OpADDIW
+					}
+					fc.emit(rv64.Inst{Op: op, Rd: prom, Rs1: prom, Imm: -lit.Value})
+					return prom, nil
+				case synth.OpAnd:
+					fc.emit(rv64.Inst{Op: rv64.OpANDI, Rd: prom, Rs1: prom, Imm: lit.Value})
+					return prom, nil
+				case synth.OpOr:
+					fc.emit(rv64.Inst{Op: rv64.OpORI, Rd: prom, Rs1: prom, Imm: lit.Value})
+					return prom, nil
+				case synth.OpXor:
+					fc.emit(rv64.Inst{Op: rv64.OpXORI, Rd: prom, Rs1: prom, Imm: lit.Value})
+					return prom, nil
+				}
+			}
+		}
+	}
+
+	signed := isSignedInt(lhsT)
+	isPtr := lhsT.ResolveBase().Kind == ctypes.KindPointer
+	narrow := w == 4
+
+	switch rhs.Op {
+	case synth.OpAdd, synth.OpSub, synth.OpAnd, synth.OpOr, synth.OpXor:
+		lr, err := fc.loadInt(rhs.L, w, 0)
+		if err != nil {
+			return 0, err
+		}
+		if lit, ok := rhs.R.(*synth.IntLit); ok {
+			v := lit.Value
+			if isPtr {
+				v *= int64(lhsT.ResolveBase().Elem.Size())
+			}
+			if rhs.Op == synth.OpSub {
+				v = -v
+			}
+			var iop rv64.Op
+			switch rhs.Op {
+			case synth.OpAdd, synth.OpSub:
+				iop = rv64.OpADDI
+				if narrow {
+					iop = rv64.OpADDIW
+				}
+			case synth.OpAnd:
+				iop = rv64.OpANDI
+			case synth.OpOr:
+				iop = rv64.OpORI
+			default:
+				iop = rv64.OpXORI
+			}
+			if fitsImm12(v) {
+				fc.emit(rv64.Inst{Op: iop, Rd: lr, Rs1: lr, Imm: v})
+				return lr, nil
+			}
+			rr := fc.xscratch(2)
+			fc.li(rr, v)
+			fc.emit(rv64.Inst{Op: rvRegALU(rhs.Op, narrow, false), Rd: lr, Rs1: lr, Rs2: rr})
+			return lr, nil
+		}
+		rr, err := fc.loadInt(rhs.R, w, 2)
+		if err != nil {
+			return 0, err
+		}
+		fc.emit(rv64.Inst{Op: rvRegALU(rhs.Op, narrow, false), Rd: lr, Rs1: lr, Rs2: rr})
+		return lr, nil
+
+	case synth.OpMul:
+		lr, err := fc.loadInt(rhs.L, w, 0)
+		if err != nil {
+			return 0, err
+		}
+		var rr rv64.Reg
+		if lit, ok := rhs.R.(*synth.IntLit); ok {
+			rr = fc.xscratch(2)
+			fc.li(rr, lit.Value)
+		} else {
+			rr, err = fc.loadInt(rhs.R, w, 2)
+			if err != nil {
+				return 0, err
+			}
+		}
+		op := rv64.OpMUL
+		if narrow {
+			op = rv64.OpMULW
+		}
+		fc.emit(rv64.Inst{Op: op, Rd: lr, Rs1: lr, Rs2: rr})
+		return lr, nil
+
+	case synth.OpDiv, synth.OpMod:
+		lr, err := fc.loadInt(rhs.L, w, 0)
+		if err != nil {
+			return 0, err
+		}
+		var rr rv64.Reg
+		if lit, ok := rhs.R.(*synth.IntLit); ok {
+			rr = fc.xscratch(2)
+			fc.li(rr, lit.Value)
+		} else {
+			rr, err = fc.loadInt(rhs.R, w, 2)
+			if err != nil {
+				return 0, err
+			}
+		}
+		var op rv64.Op
+		switch {
+		case rhs.Op == synth.OpDiv && signed:
+			op = rv64.OpDIV
+			if narrow {
+				op = rv64.OpDIVW
+			}
+		case rhs.Op == synth.OpDiv:
+			op = rv64.OpDIVU
+			if narrow {
+				op = rv64.OpDIVUW
+			}
+		case signed:
+			op = rv64.OpREM
+			if narrow {
+				op = rv64.OpREMW
+			}
+		default:
+			op = rv64.OpREMU
+			if narrow {
+				op = rv64.OpREMUW
+			}
+		}
+		fc.emit(rv64.Inst{Op: op, Rd: lr, Rs1: lr, Rs2: rr})
+		return lr, nil
+
+	case synth.OpShl, synth.OpShr:
+		lr, err := fc.loadInt(rhs.L, w, 0)
+		if err != nil {
+			return 0, err
+		}
+		if lit, ok := rhs.R.(*synth.IntLit); ok {
+			mask := int64(63)
+			if narrow {
+				mask = 31
+			}
+			fc.emit(rv64.Inst{Op: rvShiftImm(rhs.Op, signed, narrow), Rd: lr, Rs1: lr, Imm: lit.Value & mask})
+			return lr, nil
+		}
+		rr, err := fc.loadInt(rhs.R, 4, 2)
+		if err != nil {
+			return 0, err
+		}
+		fc.emit(rv64.Inst{Op: rvShiftReg(rhs.Op, signed, narrow), Rd: lr, Rs1: lr, Rs2: rr})
+		return lr, nil
+	}
+	return 0, fmt.Errorf("binary op %d: %w", rhs.Op, ErrUnsupported)
+}
+
+func rvRegALU(op synth.BinOp, narrow, _ bool) rv64.Op {
+	switch op {
+	case synth.OpAdd:
+		if narrow {
+			return rv64.OpADDW
+		}
+		return rv64.OpADD
+	case synth.OpSub:
+		if narrow {
+			return rv64.OpSUBW
+		}
+		return rv64.OpSUB
+	case synth.OpAnd:
+		return rv64.OpAND
+	case synth.OpOr:
+		return rv64.OpOR
+	default:
+		return rv64.OpXOR
+	}
+}
+
+func rvShiftImm(op synth.BinOp, signed, narrow bool) rv64.Op {
+	if op == synth.OpShl {
+		if narrow {
+			return rv64.OpSLLIW
+		}
+		return rv64.OpSLLI
+	}
+	if signed {
+		if narrow {
+			return rv64.OpSRAIW
+		}
+		return rv64.OpSRAI
+	}
+	if narrow {
+		return rv64.OpSRLIW
+	}
+	return rv64.OpSRLI
+}
+
+func rvShiftReg(op synth.BinOp, signed, narrow bool) rv64.Op {
+	if op == synth.OpShl {
+		if narrow {
+			return rv64.OpSLLW
+		}
+		return rv64.OpSLL
+	}
+	if signed {
+		if narrow {
+			return rv64.OpSRAW
+		}
+		return rv64.OpSRA
+	}
+	if narrow {
+		return rv64.OpSRLW
+	}
+	return rv64.OpSRL
+}
+
+// call lowers a function call and returns the result register (a0 or fa0).
+// Float arguments evaluate directly into fa0..fa3; integer arguments
+// evaluate into scratch and move to a0..a5.
+func (fc *rvFuncCompiler) call(x *synth.Call) (rv64.Reg, error) {
+	intIdx, fltIdx := 0, 0
+	for _, a := range x.Args {
+		at := synth.TypeOfExpr(a)
+		if isFloatType(at) {
+			if fltIdx >= len(rvFloatArgRegs) {
+				return 0, fmt.Errorf("too many float args: %w", ErrUnsupported)
+			}
+			if _, err := fc.loadFloat(a, fltIdx); err != nil {
+				return 0, err
+			}
+			fltIdx++
+			continue
+		}
+		if intIdx >= len(rvIntArgRegs) {
+			return 0, fmt.Errorf("too many int args: %w", ErrUnsupported)
+		}
+		w := 8
+		if at != nil {
+			if rk := at.ResolveBase().Kind; rk != ctypes.KindPointer && rk != ctypes.KindArray {
+				w = intWidth(at)
+			}
+		}
+		r, err := fc.loadInt(a, w, 0)
+		if err != nil {
+			return 0, err
+		}
+		fc.mv(rvIntArgRegs[intIdx], r)
+		intIdx++
+	}
+	if x.Extern {
+		fc.c.externAddr(x.Name)
+	}
+	fc.emit(rv64.Inst{Op: rv64.OpJAL, Rd: rv64.RA, Sym: x.Name})
+	if x.Result != nil && isFloatType(x.Result) {
+		return rv64.FA0, nil
+	}
+	return rv64.A0, nil
+}

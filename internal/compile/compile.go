@@ -48,6 +48,8 @@ type Options struct {
 	Base uint64
 	// Seed drives codegen jitter (scratch rotation, scheduling noise).
 	Seed int64
+	// Arch selects the target instruction set: "x86_64" (default) or "rv64".
+	Arch string
 }
 
 // Result is a compiled program: the full binary (with symbols and debug
@@ -79,6 +81,14 @@ func Compile(p *synth.Program, opts Options) (*Result, error) {
 	}
 	if opts.Opt < 0 || opts.Opt > 3 {
 		return nil, fmt.Errorf("compile: bad optimization level %d", opts.Opt)
+	}
+	switch opts.Arch {
+	case "", "x86_64":
+		// fall through to the x86-64 backend below
+	case "rv64":
+		return compileRV64(p, opts)
+	default:
+		return nil, fmt.Errorf("compile: unsupported arch %q", opts.Arch)
 	}
 
 	cc := &compiler{

@@ -1,0 +1,123 @@
+package compile
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/dwarflite"
+	"repro/internal/elfx"
+	"repro/internal/isa/rv64"
+)
+
+func TestCompileRV64AllConfigs(t *testing.T) {
+	for _, d := range []Dialect{GCC, Clang} {
+		for opt := 0; opt <= 3; opt++ {
+			name := fmt.Sprintf("%s-O%d", d, opt)
+			t.Run(name, func(t *testing.T) {
+				p := testProgram(7)
+				res, err := Compile(p, Options{Dialect: d, Opt: opt, Seed: 3, Arch: "rv64"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Binary.Machine != elfx.EMRISCV {
+					t.Fatalf("machine = %d, want %d", res.Binary.Machine, elfx.EMRISCV)
+				}
+				text, err := res.Binary.Text()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(text.Data) == 0 {
+					t.Fatal("empty .text")
+				}
+				insts, err := rv64.DecodeAll(text.Data, text.Addr)
+				if err != nil {
+					t.Fatalf("decode: %v", err)
+				}
+				if len(insts) < 20 {
+					t.Fatalf("suspiciously few instructions: %d", len(insts))
+				}
+				// The stream must contain no undecodable words.
+				for i := range insts {
+					if insts[i].Op == rv64.OpUNIMP {
+						t.Fatalf("undecodable instruction at %#x", insts[i].Addr)
+					}
+				}
+				funcs := res.Binary.FuncSymbols()
+				if len(funcs) != len(p.Funcs) {
+					t.Fatalf("symbols = %d, want %d", len(funcs), len(p.Funcs))
+				}
+				var total uint64
+				for _, f := range funcs {
+					total += f.Size
+				}
+				if total != uint64(len(text.Data)) {
+					t.Errorf("symbol sizes sum to %d, text is %d", total, len(text.Data))
+				}
+				sec, err := res.Binary.Section(dwarflite.SectionName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				info, err := dwarflite.Decode(sec.Data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(info.Funcs) != len(p.Funcs) {
+					t.Fatalf("debug funcs = %d, want %d", len(info.Funcs), len(p.Funcs))
+				}
+			})
+		}
+	}
+}
+
+func TestCompileRV64Deterministic(t *testing.T) {
+	r1, err := Compile(testProgram(11), Options{Dialect: GCC, Opt: 1, Seed: 5, Arch: "rv64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Compile(testProgram(11), Options{Dialect: GCC, Opt: 1, Seed: 5, Arch: "rv64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := r1.Binary.Text()
+	t2, _ := r2.Binary.Text()
+	if !bytes.Equal(t1.Data, t2.Data) {
+		t.Error("same seed produced different code")
+	}
+}
+
+func TestCompileRV64DialectsDiffer(t *testing.T) {
+	g, err := Compile(testProgram(13), Options{Dialect: GCC, Opt: 0, Seed: 5, Arch: "rv64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(testProgram(13), Options{Dialect: Clang, Opt: 0, Seed: 5, Arch: "rv64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, _ := g.Binary.Text()
+	tc, _ := c.Binary.Text()
+	if bytes.Equal(tg.Data, tc.Data) {
+		t.Error("gcc and clang dialects produced identical code")
+	}
+}
+
+func TestCompileRV64ManySeeds(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		p := testProgram(seed)
+		d := GCC
+		if seed%2 == 1 {
+			d = Clang
+		}
+		_, err := Compile(p, Options{Dialect: d, Opt: int(seed % 4), Seed: seed, Arch: "rv64"})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestCompileBadArch(t *testing.T) {
+	if _, err := Compile(testProgram(1), Options{Dialect: GCC, Arch: "arm64"}); err == nil {
+		t.Fatal("want error for unsupported arch")
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/elfx"
+	"repro/internal/synth"
+)
+
+// rv64Binary compiles a stripped RISC-V target.
+func rv64Binary(t testing.TB, seed int64) *elfx.Binary {
+	t.Helper()
+	p := synth.Generate(synth.DefaultProfile("target"), seed)
+	res, err := compile.Compile(p, compile.Options{
+		Dialect: compile.GCC, Opt: 1, Seed: seed, Arch: "rv64",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return elfx.Strip(res.Binary)
+}
+
+// TestArchDefault: models without an explicit tag (everything trained
+// before the tag existed) are x86_64.
+func TestArchDefault(t *testing.T) {
+	cati := sharedCATI(t)
+	if got := cati.Arch(); got != "x86_64" {
+		t.Fatalf("Arch() = %q, want x86_64", got)
+	}
+}
+
+// TestArchMismatchRejected: an x86_64 model must refuse an RV64 binary
+// with the typed error, before any decoding happens.
+func TestArchMismatchRejected(t *testing.T) {
+	cati := sharedCATI(t)
+	_, err := cati.InferBinary(rv64Binary(t, 91))
+	if !errors.Is(err, ErrArchMismatch) {
+		t.Fatalf("err = %v, want ErrArchMismatch", err)
+	}
+}
+
+// TestArchMismatchInBatch: the mismatch is contained per binary — a mixed
+// batch infers the matching binaries and reports the typed error on the
+// others.
+func TestArchMismatchInBatch(t *testing.T) {
+	cati := sharedCATI(t)
+	bins := []*elfx.Binary{testBinary(t, 92), rv64Binary(t, 93)}
+	results, err := cati.InferBatch(t.Context(), bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Fatalf("x86 binary failed: %v", results[0].Err)
+	}
+	if !errors.Is(results[1].Err, ErrArchMismatch) {
+		t.Fatalf("rv64 binary err = %v, want ErrArchMismatch", results[1].Err)
+	}
+}
+
+// TestUnknownMachineRejected: a binary with an unregistered e_machine
+// fails with the typed elfx error.
+func TestUnknownMachineRejected(t *testing.T) {
+	cati := sharedCATI(t)
+	bin := testBinary(t, 94)
+	bin.Machine = 40 // ARM: no registered decoder
+	_, err := cati.InferBinary(bin)
+	if !errors.Is(err, elfx.ErrUnsupportedMachine) {
+		t.Fatalf("err = %v, want ErrUnsupportedMachine", err)
+	}
+}
+
+// TestArchRoundTripsThroughArtifact: the tag survives Save/Load.
+func TestArchRoundTripsThroughArtifact(t *testing.T) {
+	cati := sharedCATI(t)
+	cati.Pipeline.Cfg.Arch = "rv64"
+	defer func() { cati.Pipeline.Cfg.Arch = "" }()
+	blob, err := cati.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Arch(); got != "rv64" {
+		t.Fatalf("loaded Arch() = %q, want rv64", got)
+	}
+	// And the re-tagged model now accepts rv64 binaries end to end.
+	if _, err := loaded.InferBinary(rv64Binary(t, 95)); err != nil {
+		t.Fatalf("rv64 inference under rv64 tag: %v", err)
+	}
+}

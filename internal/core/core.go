@@ -27,6 +27,8 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/ctypes"
 	"repro/internal/elfx"
+	"repro/internal/isa"
+	_ "repro/internal/isa/isas" // register built-in architectures
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/telemetry"
@@ -100,6 +102,34 @@ type CATI struct {
 
 // ErrNotTrained reports use of an empty system.
 var ErrNotTrained = errors.New("core: system has no trained pipeline")
+
+// ErrArchMismatch reports a binary whose machine architecture differs from
+// the one the loaded model was trained on. The embedding vocabulary and
+// CNN weights are ISA-specific, so cross-ISA inference would silently
+// produce garbage; it is a typed per-binary error instead.
+var ErrArchMismatch = errors.New("core: binary architecture does not match model")
+
+// Arch names the instruction set the model was trained on ("x86_64",
+// "rv64"). Models saved before the tag existed report x86_64.
+func (c *CATI) Arch() string {
+	if c.Pipeline == nil {
+		return ""
+	}
+	return c.Pipeline.Cfg.WithDefaults().Arch
+}
+
+// checkArch rejects model/binary ISA mismatches and unknown machines up
+// front, before recovery decodes the text section with the wrong decoder.
+func (c *CATI) checkArch(bin *elfx.Binary) error {
+	arch, err := isa.ByMachine(bin.Machine)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if want := c.Arch(); arch.Name() != want {
+		return fmt.Errorf("%w: model is %s, binary is %s", ErrArchMismatch, want, arch.Name())
+	}
+	return nil
+}
 
 // Train builds a CATI system from a labeled corpus.
 func Train(c *corpus.Corpus, cfg classify.Config) (*CATI, error) {
@@ -413,6 +443,9 @@ func (c *CATI) runner() obs.Runner {
 // pipeline. Each stage runs under the obs.Runner, which checks ctx,
 // records wall time/items/workers, and fires hooks.
 func (c *CATI) infer(ctx context.Context, bin *elfx.Binary, run obs.Runner) ([]InferredVar, error) {
+	if err := c.checkArch(bin); err != nil {
+		return nil, err
+	}
 	workers := par.Workers(c.Pipeline.Cfg.Workers)
 
 	// Stage 1: recover — disassemble and locate variables.

@@ -17,6 +17,7 @@ import (
 	"repro/internal/ctypes"
 	"repro/internal/dwarflite"
 	"repro/internal/elfx"
+	"repro/internal/isa"
 	"repro/internal/synth"
 	"repro/internal/vareco"
 	"repro/internal/vuc"
@@ -152,6 +153,9 @@ type BuildConfig struct {
 	// instruction sets (ablation; the paper's IDA extraction traces data
 	// flow, so it is on by default).
 	NoDataflow bool
+	// Arch selects the target instruction set: "x86_64" (default) or
+	// "rv64".
+	Arch string
 }
 
 func (cfg BuildConfig) withDefaults() BuildConfig {
@@ -166,6 +170,9 @@ func (cfg BuildConfig) withDefaults() BuildConfig {
 	}
 	if cfg.Binaries == 0 {
 		cfg.Binaries = 1
+	}
+	if cfg.Arch == "" {
+		cfg.Arch = "x86_64"
 	}
 	return cfg
 }
@@ -190,7 +197,7 @@ func BuildCtx(ctx context.Context, cfg BuildConfig) (*Corpus, error) {
 		prog := synth.Generate(cfg.Profile, seed)
 		opt := cfg.Opts[i%len(cfg.Opts)]
 		res, err := compile.Compile(prog, compile.Options{
-			Dialect: cfg.Dialect, Opt: opt, Seed: seed,
+			Dialect: cfg.Dialect, Opt: opt, Seed: seed, Arch: cfg.Arch,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("corpus: compile unit %d: %w", i, err)
@@ -216,7 +223,7 @@ func labelBinary(name string, res *compile.Result, cfg BuildConfig, intern map[v
 
 	bd := &BinaryData{Name: name, Toks: make([]vuc.InstTok, len(rec.Insts))}
 	for i := range rec.Insts {
-		t := vuc.Tokenize(&rec.Insts[i], rec, cfg.NoGeneralize)
+		t := vuc.Tokenize(rec.Insts[i], rec, cfg.NoGeneralize)
 		if canon, ok := intern[t]; ok {
 			t = canon
 		} else {
@@ -255,7 +262,7 @@ func labelBinary(name string, res *compile.Result, cfg BuildConfig, intern map[v
 			continue // unrecovered boundary: no labels for this region
 		}
 		wantFrame := df.FrameReg == dwarflite.FrameRSP
-		gotFrame := rf.FrameReg.String() == "rsp"
+		gotFrame := rf.Frame == isa.FrameSP
 		if wantFrame != gotFrame {
 			continue // frame mismatch would mislabel every slot
 		}

@@ -1,0 +1,139 @@
+package corpus
+
+import (
+	"flag"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/elfx"
+	"repro/internal/synth"
+	"repro/internal/vareco"
+	"repro/internal/vuc"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenX86Pipeline locks the x86-64 front half of the pipeline —
+// decode, function/variable recovery (with dataflow and register
+// variables), operand generalization, and VUC extraction — against a
+// committed transcript. The transcript was generated before the ISA
+// interface refactor; the refactored code must reproduce it byte for
+// byte, proving the x86 path is behaviorally unchanged.
+func TestGoldenX86Pipeline(t *testing.T) {
+	type cfg struct {
+		seed    int64
+		dialect compile.Dialect
+		opt     int
+	}
+	cases := []cfg{
+		{101, compile.GCC, 0},
+		{102, compile.GCC, 2},
+		{103, compile.Clang, 1},
+		{104, compile.Clang, 3},
+		{105, compile.GCC, 3},
+		{106, compile.Clang, 2},
+	}
+	prof := synth.DefaultProfile("default")
+
+	var sb strings.Builder
+	for _, tc := range cases {
+		fmt.Fprintf(&sb, "== seed=%d dialect=%s opt=%d\n", tc.seed, tc.dialect, tc.opt)
+		prog := synth.Generate(prof, tc.seed)
+		res, err := compile.Compile(prog, compile.Options{
+			Dialect: tc.dialect, Opt: tc.opt, Seed: tc.seed,
+		})
+		if err != nil {
+			t.Fatalf("compile seed=%d: %v", tc.seed, err)
+		}
+		stripped := elfx.Strip(res.Binary)
+		rec, err := vareco.RecoverOpts(stripped, vareco.Options{
+			Dataflow: true, RegisterVars: true,
+		})
+		if err != nil {
+			t.Fatalf("recover seed=%d: %v", tc.seed, err)
+		}
+		fmt.Fprintf(&sb, "text %x..%x data %x..%x insts=%d\n",
+			rec.TextLow, rec.TextHigh, rec.DataLow, rec.DataHigh, len(rec.Insts))
+		for fi := range rec.Funcs {
+			f := &rec.Funcs[fi]
+			fmt.Fprintf(&sb, "func %x..%x insts %d..%d frame=%s\n",
+				f.Low, f.High, f.InstLo, f.InstHi, frameName(rec, f))
+			for _, v := range f.Vars {
+				fmt.Fprintf(&sb, "  var slot=%d size=%d insts=%s\n",
+					v.Slot, v.Size, intList(v.Insts))
+			}
+			for _, rv := range f.RegVars {
+				fmt.Fprintf(&sb, "  reg %s insts=%s\n", regVarName(rec, &rv), intList(rv.Insts))
+			}
+		}
+		for gi := range rec.Globals {
+			g := &rec.Globals[gi]
+			fmt.Fprintf(&sb, "global %x size=%d insts=%s\n", g.Addr, g.Size, intList(g.Insts))
+		}
+		for i := range rec.Insts {
+			gen := tokenizeAt(rec, i, false)
+			raw := tokenizeAt(rec, i, true)
+			fmt.Fprintf(&sb, "tok %d %s|%s|%s ~ %s|%s|%s\n",
+				i, gen[0], gen[1], gen[2], raw[0], raw[1], raw[2])
+		}
+		vucs := vuc.Extract(rec, vuc.Config{Window: 5})
+		fmt.Fprintf(&sb, "vucs %d\n", len(vucs))
+		for i := range vucs {
+			u := &vucs[i]
+			fmt.Fprintf(&sb, "vuc func=%x slot=%d global=%v center=%d crc=%08x\n",
+				u.Var.FuncLow, u.Var.Slot, u.Var.Global, u.CenterIdx,
+				crc32.ChecksumIEEE([]byte(u.Key())))
+		}
+	}
+	got := sb.String()
+
+	const path = "testdata/golden_x86.txt"
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	wantBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to generate): %v", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			t.Fatalf("golden mismatch at line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("golden mismatch: got %d lines, want %d", len(gl), len(wl))
+}
+
+func intList(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprint(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+// frameName, regVarName and tokenizeAt isolate the parts of the golden
+// dump whose spelling depends on the recovery API of the day; the golden
+// file itself must never change.
+func frameName(rec *vareco.Recovery, f *vareco.Func) string {
+	return rec.Arch.RegName(f.FrameReg)
+}
+
+func regVarName(rec *vareco.Recovery, rv *vareco.RegVar) string {
+	return rec.Arch.RegName(rv.Reg)
+}
+
+func tokenizeAt(rec *vareco.Recovery, i int, noGen bool) vuc.InstTok {
+	return vuc.Tokenize(rec.Insts[i], rec, noGen)
+}

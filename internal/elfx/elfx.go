@@ -51,9 +51,20 @@ type Symbol struct {
 	Kind byte // SymObject or SymFunc
 }
 
+// ELF machine numbers (e_machine) for the architectures the toolchain
+// knows about.
+const (
+	EMX86_64 uint16 = 62
+	EMRISCV  uint16 = 243
+)
+
 // Binary is an in-memory ELF64 executable image.
 type Binary struct {
-	Entry    uint64
+	Entry uint64
+	// Machine is the ELF e_machine value. Zero is treated as EMX86_64
+	// everywhere for compatibility with images built before the field
+	// existed.
+	Machine  uint16
 	Sections []Section
 	Symbols  []Symbol
 }
@@ -63,6 +74,10 @@ var (
 	ErrNotELF    = errors.New("elfx: not an ELF64 little-endian file")
 	ErrMalformed = errors.New("elfx: malformed ELF structure")
 	ErrNoSection = errors.New("elfx: section not found")
+	// ErrUnsupportedMachine reports an e_machine value no registered
+	// architecture handles; analysis must refuse rather than decode
+	// foreign machine code as x86.
+	ErrUnsupportedMachine = errors.New("elfx: unsupported machine architecture")
 )
 
 // Section returns the named section, or ErrNoSection.
@@ -121,7 +136,7 @@ func isDebugName(name string) bool {
 // Strip returns a copy of the binary with the symbol table and all debug
 // sections removed, mirroring `strip --strip-all`.
 func Strip(b *Binary) *Binary {
-	out := &Binary{Entry: b.Entry}
+	out := &Binary{Entry: b.Entry, Machine: b.Machine}
 	for _, s := range b.Sections {
 		if isDebugName(s.Name) || s.Name == ".symtab" || s.Name == ".strtab" {
 			continue
@@ -239,9 +254,13 @@ func Write(b *Binary) ([]byte, error) {
 
 	// ELF header.
 	copy(out[0:], []byte{0x7F, 'E', 'L', 'F', 2, 1, 1, 0})
-	binary.LittleEndian.PutUint16(out[16:], 2)  // e_type = ET_EXEC
-	binary.LittleEndian.PutUint16(out[18:], 62) // e_machine = EM_X86_64
-	binary.LittleEndian.PutUint32(out[20:], 1)  // e_version
+	binary.LittleEndian.PutUint16(out[16:], 2) // e_type = ET_EXEC
+	machine := b.Machine
+	if machine == 0 {
+		machine = EMX86_64
+	}
+	binary.LittleEndian.PutUint16(out[18:], machine) // e_machine
+	binary.LittleEndian.PutUint32(out[20:], 1)       // e_version
 	binary.LittleEndian.PutUint64(out[24:], b.Entry)
 	binary.LittleEndian.PutUint64(out[40:], shoff)
 	binary.LittleEndian.PutUint16(out[52:], ehSize)
@@ -261,7 +280,10 @@ func Read(data []byte) (*Binary, error) {
 	if data[4] != 2 || data[5] != 1 {
 		return nil, ErrNotELF
 	}
-	b := &Binary{Entry: binary.LittleEndian.Uint64(data[24:])}
+	b := &Binary{
+		Entry:   binary.LittleEndian.Uint64(data[24:]),
+		Machine: binary.LittleEndian.Uint16(data[18:]),
+	}
 	shoff := binary.LittleEndian.Uint64(data[40:])
 	shnum := int(binary.LittleEndian.Uint16(data[60:]))
 	shstrndx := int(binary.LittleEndian.Uint16(data[62:]))

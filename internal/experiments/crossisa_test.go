@@ -1,0 +1,22 @@
+package experiments
+
+import "testing"
+
+func TestCrossISA(t *testing.T) {
+	tab := mustTable(t, quickEnv().CrossISA)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	x86 := cellFloat(t, tab.Rows[0][4])
+	rv := cellFloat(t, tab.Rows[1][4])
+	transfer := cellFloat(t, tab.Rows[2][4])
+	// Even the quick model must beat chance on both same-ISA rows, and the
+	// transfer row must be markedly worse than both — the vocabularies are
+	// disjoint, so anything else means the eval is leaking.
+	if x86 < 0.2 || rv < 0.2 {
+		t.Errorf("same-ISA var accuracy too low: x86=%.3f rv64=%.3f", x86, rv)
+	}
+	if transfer >= x86 || transfer >= rv {
+		t.Errorf("transfer %.3f not below same-ISA rows (x86=%.3f rv64=%.3f)", transfer, x86, rv)
+	}
+}

@@ -1,0 +1,139 @@
+// Package isa is the architecture seam of the pipeline. Everything above
+// instruction decode — variable recovery, VUC tokenization, embedding,
+// classification — consumes the interfaces here instead of a concrete
+// instruction set, which is what makes the paper's representation claim
+// (type evidence lives in usage context, not in a particular mnemonic
+// set) testable across ISAs. Concrete architectures live in subpackages
+// (x86, rv64) and register themselves; importing internal/isa/isas pulls
+// in every built-in one.
+package isa
+
+// Reg is an architecture-neutral register number. For x86-64 it is the
+// 4-bit hardware number (0..15, rax..r15); for RV64 it is the integer
+// register index (0..31, x0..x31) with float registers at 32..63. The
+// numbering matches what each backend records in DWARF-lite RegNum
+// fields, so recovered register variables compare directly against debug
+// ground truth.
+type Reg int16
+
+// RegNone means "no register" (an absent base or index).
+const RegNone Reg = -1
+
+// Frame tags a function's frame-addressing convention: FrameFP for
+// frame-pointer-based slots (rbp / s0), FrameSP for frame-pointer-omitted
+// code addressing slots off the stack pointer.
+type Frame uint8
+
+// Frame conventions.
+const (
+	FrameFP Frame = iota
+	FrameSP
+)
+
+// Class is the control-flow classification of an instruction.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassOther Class = iota
+	ClassCall
+	ClassRet
+	ClassJump
+	ClassCondJump
+)
+
+// Mem is an architecture-neutral memory operand: base plus optional
+// scaled index plus signed displacement. Architectures without scaled
+// addressing leave Index == RegNone and Scale == 1.
+type Mem struct {
+	Base, Index Reg
+	Scale       uint8
+	Disp        int32
+}
+
+// TokenContext supplies the binary-level context operand generalization
+// needs: InText distinguishes intra-text branch targets (ADDR) from
+// library stubs whose names survive stripping (ADDR FUNC). A nil InText
+// means no FUNC tokens are emitted.
+type TokenContext struct {
+	InText       func(addr uint64) bool
+	NoGeneralize bool
+}
+
+// Inst is one decoded instruction. The interface carries exactly the
+// queries the ISA-agnostic layers ask: recovery needs control flow,
+// frame/memory access shape and register def-use structure; tokenization
+// needs the generalized three-token rendering.
+type Inst interface {
+	// Addr is the instruction's virtual address.
+	Addr() uint64
+	// Len is the encoded length in bytes.
+	Len() int
+	// Class is the control-flow classification.
+	Class() Class
+	// Target returns the statically resolved control-transfer target of a
+	// call or jump, when known.
+	Target() (uint64, bool)
+	// MemArg returns the instruction's explicit memory operand, if any.
+	MemArg() (Mem, bool)
+	// AbsAddr returns the absolute data address the instruction accesses,
+	// when it addresses memory without a variable base (x86 absolute
+	// displacements; RV64 lui+offset pairs fused by the decoder).
+	AbsAddr() (uint64, bool)
+	// AccessWidth is the width in bytes of the instruction's memory
+	// access (1 for address-only touches such as lea).
+	AccessWidth() int
+	// IsFrameSetup reports frame-maintenance instructions (push/pop,
+	// callee-save spills) that touch the stack without constituting a
+	// variable access; recovery skips them when clustering slots.
+	IsFrameSetup() bool
+	// SavedReg returns the callee-saved register a prologue instruction
+	// saves (x86 push, RV64 sp-relative store), for register-variable
+	// recovery.
+	SavedReg() (Reg, bool)
+	// VisitReads calls f for every general-purpose register the
+	// instruction reads, including memory-operand bases and indexes.
+	// Pure-write destinations are excluded.
+	VisitReads(f func(Reg))
+	// DefReg returns the general-purpose register the instruction
+	// defines, if any.
+	DefReg() (Reg, bool)
+	// SlotLoad reports a plain load of a memory slot into a register
+	// (dst, slot) — the instruction shape that creates a register alias
+	// of a stack variable in the def-use scan.
+	SlotLoad() (Reg, Mem, bool)
+	// IsBarrier reports instructions that invalidate every register
+	// alias: calls, returns, jumps and conditional branches.
+	IsBarrier() bool
+	// Clobbers lists registers the instruction overwrites beyond DefReg
+	// (x86 division clobbering rax/rdx); empty for most instructions.
+	Clobbers() []Reg
+	// UsesReg reports whether the instruction references the register as
+	// an operand or address component, at any width.
+	UsesReg(r Reg) bool
+	// Tokens renders the generalized three-token form [mnemonic, op1,
+	// op2] the VUC layer consumes (§IV-B of the paper).
+	Tokens(tc *TokenContext) [3]string
+	// Text is the human-readable disassembly of the instruction.
+	Text() string
+}
+
+// Arch is one machine architecture: decode plus the calling-convention
+// facts recovery needs.
+type Arch interface {
+	// Name is the canonical architecture name ("x86_64", "rv64").
+	Name() string
+	// EMachine is the ELF e_machine value.
+	EMachine() uint16
+	// DecodeAll decodes a code image starting at the given virtual
+	// address into the instruction stream.
+	DecodeAll(code []byte, addr uint64) ([]Inst, error)
+	// DetectFrame inspects a function's prologue and returns the frame
+	// base register and convention.
+	DetectFrame(insts []Inst) (Reg, Frame)
+	// CalleeSaved lists the registers compilers promote register
+	// variables into.
+	CalleeSaved() []Reg
+	// RegName is the conventional name of a register ("rbp", "s0").
+	RegName(r Reg) string
+}

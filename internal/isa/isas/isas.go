@@ -1,0 +1,9 @@
+// Package isas registers every built-in architecture. Import it (usually
+// blank) from any layer that resolves architectures dynamically — the
+// recovery layer does, so everything above it inherits the full set.
+package isas
+
+import (
+	_ "repro/internal/isa/rv64"
+	_ "repro/internal/isa/x86"
+)

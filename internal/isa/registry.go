@@ -1,0 +1,66 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/elfx"
+)
+
+var (
+	regMu     sync.RWMutex
+	byName    = map[string]Arch{}
+	byMachine = map[uint16]Arch{}
+)
+
+// Register adds an architecture to the registry. Concrete architectures
+// call it from init; importing internal/isa/isas registers every built-in
+// one.
+func Register(a Arch) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	byName[a.Name()] = a
+	byMachine[a.EMachine()] = a
+}
+
+// ByName returns the named architecture.
+func ByName(name string) (Arch, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if a, ok := byName[name]; ok {
+		return a, nil
+	}
+	return nil, fmt.Errorf("isa: unknown architecture %q (have %v)", name, namesLocked())
+}
+
+// ByMachine returns the architecture for an ELF e_machine value. Unknown
+// machines yield an error wrapping elfx.ErrUnsupportedMachine, so callers
+// (and `cati infer` JSON error records) can classify it.
+func ByMachine(machine uint16) (Arch, error) {
+	if machine == 0 {
+		machine = elfx.EMX86_64
+	}
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if a, ok := byMachine[machine]; ok {
+		return a, nil
+	}
+	return nil, fmt.Errorf("%w: e_machine=%d", elfx.ErrUnsupportedMachine, machine)
+}
+
+// Names lists the registered architecture names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(byName))
+	for n := range byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

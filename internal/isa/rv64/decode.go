@@ -1,0 +1,335 @@
+package rv64
+
+// Decode32 decodes one full-width instruction word. Undecodable words
+// yield OpUNIMP rather than an error so arbitrary streams always decode.
+func Decode32(w uint32, addr uint64) Inst {
+	in := Inst{Addr: addr, Len: 4, Op: OpUNIMP}
+	opcode := w & 0x7f
+	rd := Reg(w >> 7 & 31)
+	funct3 := w >> 12 & 7
+	rs1 := Reg(w >> 15 & 31)
+	rs2 := Reg(w >> 20 & 31)
+	funct7 := w >> 25 & 0x7f
+	immI := int64(int32(w) >> 20)
+	immS := int64(int32(w&0xfe000000)>>20) | int64(w>>7&31)
+	immB := int64(int32(w&0x80000000)>>19) | int64(w>>25&0x3f)<<5 |
+		int64(w>>8&0xf)<<1 | int64(w>>7&1)<<11
+	immU := int64(int32(w)) >> 12
+	immJ := int64(int32(w&0x80000000)>>11) | int64(w>>21&0x3ff)<<1 |
+		int64(w>>20&1)<<11 | int64(w>>12&0xff)<<12
+
+	set := func(op Op, rdv, rs1v, rs2v Reg, imm int64) {
+		in.Op, in.Rd, in.Rs1, in.Rs2, in.Imm = op, rdv, rs1v, rs2v, imm
+	}
+
+	switch opcode {
+	case opLui:
+		set(OpLUI, rd, 0, 0, immU)
+	case opAuipc:
+		set(OpAUIPC, rd, 0, 0, immU)
+	case opJal:
+		set(OpJAL, rd, 0, 0, immJ)
+	case opJalr:
+		if funct3 == 0 {
+			set(OpJALR, rd, rs1, 0, immI)
+		}
+	case opBranch:
+		ops := map[uint32]Op{0: OpBEQ, 1: OpBNE, 4: OpBLT, 5: OpBGE, 6: OpBLTU, 7: OpBGEU}
+		if op, ok := ops[funct3]; ok {
+			set(op, 0, rs1, rs2, immB)
+		}
+	case opLoad:
+		ops := [7]Op{OpLB, OpLH, OpLW, OpLD, OpLBU, OpLHU, OpLWU}
+		if funct3 < 7 {
+			set(ops[funct3], rd, rs1, 0, immI)
+		}
+	case opLoadFP:
+		switch funct3 {
+		case 2:
+			set(OpFLW, F(int(rd)), rs1, 0, immI)
+		case 3:
+			set(OpFLD, F(int(rd)), rs1, 0, immI)
+		}
+	case opStore:
+		ops := [4]Op{OpSB, OpSH, OpSW, OpSD}
+		if funct3 < 4 {
+			set(ops[funct3], 0, rs1, rs2, immS)
+		}
+	case opStorFP:
+		switch funct3 {
+		case 2:
+			set(OpFSW, 0, rs1, F(int(rs2)), immS)
+		case 3:
+			set(OpFSD, 0, rs1, F(int(rs2)), immS)
+		}
+	case opOpImm:
+		switch funct3 {
+		case 0:
+			set(OpADDI, rd, rs1, 0, immI)
+		case 1:
+			if funct7>>1 == 0 {
+				set(OpSLLI, rd, rs1, 0, int64(w>>20&63))
+			}
+		case 2:
+			set(OpSLTI, rd, rs1, 0, immI)
+		case 3:
+			set(OpSLTIU, rd, rs1, 0, immI)
+		case 4:
+			set(OpXORI, rd, rs1, 0, immI)
+		case 5:
+			switch funct7 >> 1 {
+			case 0x00:
+				set(OpSRLI, rd, rs1, 0, int64(w>>20&63))
+			case 0x10:
+				set(OpSRAI, rd, rs1, 0, int64(w>>20&63))
+			}
+		case 6:
+			set(OpORI, rd, rs1, 0, immI)
+		case 7:
+			set(OpANDI, rd, rs1, 0, immI)
+		}
+	case opOpImmW:
+		switch {
+		case funct3 == 0:
+			set(OpADDIW, rd, rs1, 0, immI)
+		case funct3 == 1 && funct7 == 0:
+			set(OpSLLIW, rd, rs1, 0, int64(rs2))
+		case funct3 == 5 && funct7 == 0:
+			set(OpSRLIW, rd, rs1, 0, int64(rs2))
+		case funct3 == 5 && funct7 == 0x20:
+			set(OpSRAIW, rd, rs1, 0, int64(rs2))
+		}
+	case opOp, opOpW:
+		type key struct {
+			f3, f7 uint32
+			w      bool
+		}
+		ops := map[key]Op{
+			{0, 0x00, false}: OpADD, {0, 0x20, false}: OpSUB,
+			{1, 0x00, false}: OpSLL, {2, 0x00, false}: OpSLT,
+			{3, 0x00, false}: OpSLTU, {4, 0x00, false}: OpXOR,
+			{5, 0x00, false}: OpSRL, {5, 0x20, false}: OpSRA,
+			{6, 0x00, false}: OpOR, {7, 0x00, false}: OpAND,
+			{0, 0x01, false}: OpMUL, {4, 0x01, false}: OpDIV,
+			{5, 0x01, false}: OpDIVU, {6, 0x01, false}: OpREM,
+			{7, 0x01, false}: OpREMU,
+			{0, 0x00, true}:  OpADDW, {0, 0x20, true}: OpSUBW,
+			{1, 0x00, true}: OpSLLW, {5, 0x00, true}: OpSRLW,
+			{5, 0x20, true}: OpSRAW,
+			{0, 0x01, true}: OpMULW, {4, 0x01, true}: OpDIVW,
+			{5, 0x01, true}: OpDIVUW, {6, 0x01, true}: OpREMW,
+			{7, 0x01, true}: OpREMUW,
+		}
+		if op, ok := ops[key{funct3, funct7, opcode == opOpW}]; ok {
+			set(op, rd, rs1, rs2, 0)
+		}
+	case opOpFP:
+		frd, frs1, frs2 := F(int(rd)), F(int(rs1)), F(int(rs2))
+		switch funct7 {
+		case 0x00:
+			set(OpFADDS, frd, frs1, frs2, 0)
+		case 0x04:
+			set(OpFSUBS, frd, frs1, frs2, 0)
+		case 0x08:
+			set(OpFMULS, frd, frs1, frs2, 0)
+		case 0x0c:
+			set(OpFDIVS, frd, frs1, frs2, 0)
+		case 0x01:
+			set(OpFADDD, frd, frs1, frs2, 0)
+		case 0x05:
+			set(OpFSUBD, frd, frs1, frs2, 0)
+		case 0x09:
+			set(OpFMULD, frd, frs1, frs2, 0)
+		case 0x0d:
+			set(OpFDIVD, frd, frs1, frs2, 0)
+		case 0x50, 0x51:
+			ops := map[[2]uint32]Op{
+				{0x50, 2}: OpFEQS, {0x50, 1}: OpFLTS, {0x50, 0}: OpFLES,
+				{0x51, 2}: OpFEQD, {0x51, 1}: OpFLTD, {0x51, 0}: OpFLED,
+			}
+			if op, ok := ops[[2]uint32{funct7, funct3}]; ok {
+				set(op, rd, frs1, frs2, 0)
+			}
+		case 0x60:
+			switch rs2 {
+			case 0:
+				set(OpFCVTWS, rd, frs1, 0, 0)
+			case 2:
+				set(OpFCVTLS, rd, frs1, 0, 0)
+			}
+		case 0x61:
+			switch rs2 {
+			case 0:
+				set(OpFCVTWD, rd, frs1, 0, 0)
+			case 2:
+				set(OpFCVTLD, rd, frs1, 0, 0)
+			}
+		case 0x68:
+			switch rs2 {
+			case 0:
+				set(OpFCVTSW, frd, rs1, 0, 0)
+			case 2:
+				set(OpFCVTSL, frd, rs1, 0, 0)
+			}
+		case 0x69:
+			switch rs2 {
+			case 0:
+				set(OpFCVTDW, frd, rs1, 0, 0)
+			case 2:
+				set(OpFCVTDL, frd, rs1, 0, 0)
+			}
+		case 0x20:
+			if rs2 == 1 {
+				set(OpFCVTSD, frd, frs1, 0, 0)
+			}
+		case 0x21:
+			if rs2 == 0 {
+				set(OpFCVTDS, frd, frs1, 0, 0)
+			}
+		}
+	}
+	return in
+}
+
+// Decode16 decodes one compressed instruction into its expanded form
+// (Len stays 2). Unsupported compressed encodings yield OpUNIMP.
+func Decode16(h uint16, addr uint64) Inst {
+	in := Inst{Addr: addr, Len: 2, Op: OpUNIMP}
+	op := h & 3
+	funct3 := h >> 13 & 7
+	switch op {
+	case 0: // quadrant 0: c.lw/c.ld/c.sw/c.sd
+		rs1 := Reg(h>>7&7) + 8
+		rdrs2 := Reg(h>>2&7) + 8
+		switch funct3 {
+		case 2: // c.lw
+			u := int64(h>>10&7)<<3 | int64(h>>6&1)<<2 | int64(h>>5&1)<<6
+			in = Inst{Addr: addr, Len: 2, Op: OpLW, Rd: rdrs2, Rs1: rs1, Imm: u}
+		case 3: // c.ld
+			u := int64(h>>10&7)<<3 | int64(h>>5&3)<<6
+			in = Inst{Addr: addr, Len: 2, Op: OpLD, Rd: rdrs2, Rs1: rs1, Imm: u}
+		case 6: // c.sw
+			u := int64(h>>10&7)<<3 | int64(h>>6&1)<<2 | int64(h>>5&1)<<6
+			in = Inst{Addr: addr, Len: 2, Op: OpSW, Rs1: rs1, Rs2: rdrs2, Imm: u}
+		case 7: // c.sd
+			u := int64(h>>10&7)<<3 | int64(h>>5&3)<<6
+			in = Inst{Addr: addr, Len: 2, Op: OpSD, Rs1: rs1, Rs2: rdrs2, Imm: u}
+		}
+	case 1: // quadrant 1: c.addi/c.li/c.addi16sp
+		rd := Reg(h >> 7 & 31)
+		imm6 := int64(h>>2&31) | int64(h>>12&1)<<5
+		if imm6 >= 32 {
+			imm6 -= 64
+		}
+		switch funct3 {
+		case 0:
+			if rd != X0 && imm6 != 0 {
+				in = Inst{Addr: addr, Len: 2, Op: OpADDI, Rd: rd, Rs1: rd, Imm: imm6}
+			}
+		case 2:
+			if rd != X0 {
+				in = Inst{Addr: addr, Len: 2, Op: OpADDI, Rd: rd, Rs1: X0, Imm: imm6}
+			}
+		case 3:
+			if rd == SP {
+				imm := int64(h>>12&1)<<9 | int64(h>>6&1)<<4 | int64(h>>5&1)<<6 |
+					int64(h>>3&3)<<7 | int64(h>>2&1)<<5
+				if imm >= 512 {
+					imm -= 1024
+				}
+				if imm != 0 {
+					in = Inst{Addr: addr, Len: 2, Op: OpADDI, Rd: SP, Rs1: SP, Imm: imm}
+				}
+			}
+		}
+	case 2: // quadrant 2: c.lwsp/c.ldsp/c.swsp/c.sdsp/c.mv/c.add/c.jr
+		rd := Reg(h >> 7 & 31)
+		rs2 := Reg(h >> 2 & 31)
+		switch funct3 {
+		case 2: // c.lwsp
+			if rd != X0 {
+				u := int64(h>>12&1)<<5 | int64(h>>4&7)<<2 | int64(h>>2&3)<<6
+				in = Inst{Addr: addr, Len: 2, Op: OpLW, Rd: rd, Rs1: SP, Imm: u}
+			}
+		case 3: // c.ldsp
+			if rd != X0 {
+				u := int64(h>>12&1)<<5 | int64(h>>5&3)<<3 | int64(h>>2&7)<<6
+				in = Inst{Addr: addr, Len: 2, Op: OpLD, Rd: rd, Rs1: SP, Imm: u}
+			}
+		case 4:
+			hi := h >> 12 & 1
+			switch {
+			case hi == 0 && rd != X0 && rs2 == X0:
+				// c.jr
+				in = Inst{Addr: addr, Len: 2, Op: OpJALR, Rd: X0, Rs1: rd}
+			case hi == 0 && rd != X0 && rs2 != X0:
+				// c.mv
+				in = Inst{Addr: addr, Len: 2, Op: OpADDI, Rd: rd, Rs1: rs2}
+			case hi == 1 && rd != X0 && rs2 == X0:
+				// c.jalr
+				in = Inst{Addr: addr, Len: 2, Op: OpJALR, Rd: RA, Rs1: rd}
+			case hi == 1 && rd != X0 && rs2 != X0:
+				// c.add
+				in = Inst{Addr: addr, Len: 2, Op: OpADD, Rd: rd, Rs1: rd, Rs2: rs2}
+			}
+		case 6: // c.swsp
+			u := int64(h>>9&15)<<2 | int64(h>>7&3)<<6
+			in = Inst{Addr: addr, Len: 2, Op: OpSW, Rs1: SP, Rs2: rs2, Imm: u}
+		case 7: // c.sdsp
+			u := int64(h>>10&7)<<3 | int64(h>>7&7)<<6
+			in = Inst{Addr: addr, Len: 2, Op: OpSD, Rs1: SP, Rs2: rs2, Imm: u}
+		}
+	}
+	return in
+}
+
+// DecodeAll decodes a byte stream starting at addr, then runs the
+// lui-fusion pass so absolute address formation is visible to the
+// recovery layers: `lui rd, hi` immediately followed by a load/store
+// based on rd — or an addi onto rd — marks the successor with the fused
+// absolute address hi<<12 + lo.
+func DecodeAll(code []byte, addr uint64) ([]Inst, error) {
+	var out []Inst
+	for off := 0; off < len(code); {
+		a := addr + uint64(off)
+		if code[off]&3 == 3 {
+			if off+4 > len(code) {
+				out = append(out, Inst{Addr: a, Len: len(code) - off, Op: OpUNIMP})
+				break
+			}
+			w := uint32(code[off]) | uint32(code[off+1])<<8 |
+				uint32(code[off+2])<<16 | uint32(code[off+3])<<24
+			out = append(out, Decode32(w, a))
+			off += 4
+			continue
+		}
+		if off+2 > len(code) {
+			out = append(out, Inst{Addr: a, Len: 1, Op: OpUNIMP})
+			break
+		}
+		h := uint16(code[off]) | uint16(code[off+1])<<8
+		out = append(out, Decode16(h, a))
+		off += 2
+	}
+	fuseLUI(out)
+	return out, nil
+}
+
+// fuseLUI annotates the instruction after each lui with the absolute
+// address it forms, when it consumes the lui result as a base.
+func fuseLUI(insts []Inst) {
+	for i := 0; i+1 < len(insts); i++ {
+		if insts[i].Op != OpLUI {
+			continue
+		}
+		hi := insts[i].Imm << 12
+		rd := insts[i].Rd
+		next := &insts[i+1]
+		switch {
+		case (next.Op.IsLoad() || next.Op.IsStore()) && next.Rs1 == rd:
+			next.Abs = uint64(hi + next.Imm)
+		case next.Op == OpADDI && next.Rs1 == rd && next.Rd == rd:
+			next.Abs = uint64(hi + next.Imm)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package rv64
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadEncoding reports an instruction the encoder cannot represent.
+var ErrBadEncoding = errors.New("rv64: bad encoding")
+
+// Major opcodes.
+const (
+	opLoad   = 0x03
+	opLoadFP = 0x07
+	opOpImm  = 0x13
+	opAuipc  = 0x17
+	opOpImmW = 0x1b
+	opStore  = 0x23
+	opStorFP = 0x27
+	opOp     = 0x33
+	opLui    = 0x37
+	opOpW    = 0x3b
+	opOpFP   = 0x53
+	opBranch = 0x63
+	opJalr   = 0x67
+	opJal    = 0x6f
+)
+
+type enc32 struct {
+	opcode uint32
+	funct3 uint32
+	funct7 uint32
+	kind   byte // 'R','I','S','B','U','J','F' (F = OP-FP R-type with fixed rs2 for cvt)
+	rs2fix uint32
+}
+
+var encTable = map[Op]enc32{
+	OpLUI:   {opLui, 0, 0, 'U', 0},
+	OpAUIPC: {opAuipc, 0, 0, 'U', 0},
+	OpJAL:   {opJal, 0, 0, 'J', 0},
+	OpJALR:  {opJalr, 0, 0, 'I', 0},
+
+	OpBEQ: {opBranch, 0, 0, 'B', 0}, OpBNE: {opBranch, 1, 0, 'B', 0},
+	OpBLT: {opBranch, 4, 0, 'B', 0}, OpBGE: {opBranch, 5, 0, 'B', 0},
+	OpBLTU: {opBranch, 6, 0, 'B', 0}, OpBGEU: {opBranch, 7, 0, 'B', 0},
+
+	OpLB: {opLoad, 0, 0, 'I', 0}, OpLH: {opLoad, 1, 0, 'I', 0},
+	OpLW: {opLoad, 2, 0, 'I', 0}, OpLD: {opLoad, 3, 0, 'I', 0},
+	OpLBU: {opLoad, 4, 0, 'I', 0}, OpLHU: {opLoad, 5, 0, 'I', 0},
+	OpLWU: {opLoad, 6, 0, 'I', 0},
+	OpFLW: {opLoadFP, 2, 0, 'I', 0}, OpFLD: {opLoadFP, 3, 0, 'I', 0},
+
+	OpSB: {opStore, 0, 0, 'S', 0}, OpSH: {opStore, 1, 0, 'S', 0},
+	OpSW: {opStore, 2, 0, 'S', 0}, OpSD: {opStore, 3, 0, 'S', 0},
+	OpFSW: {opStorFP, 2, 0, 'S', 0}, OpFSD: {opStorFP, 3, 0, 'S', 0},
+
+	OpADDI: {opOpImm, 0, 0, 'I', 0}, OpSLTI: {opOpImm, 2, 0, 'I', 0},
+	OpSLTIU: {opOpImm, 3, 0, 'I', 0}, OpXORI: {opOpImm, 4, 0, 'I', 0},
+	OpORI: {opOpImm, 6, 0, 'I', 0}, OpANDI: {opOpImm, 7, 0, 'I', 0},
+	OpSLLI: {opOpImm, 1, 0x00, 'R', 0}, OpSRLI: {opOpImm, 5, 0x00, 'R', 0},
+	OpSRAI:  {opOpImm, 5, 0x10, 'R', 0},
+	OpADDIW: {opOpImmW, 0, 0, 'I', 0},
+	OpSLLIW: {opOpImmW, 1, 0x00, 'R', 0}, OpSRLIW: {opOpImmW, 5, 0x00, 'R', 0},
+	OpSRAIW: {opOpImmW, 5, 0x20, 'R', 0},
+
+	OpADD: {opOp, 0, 0x00, 'R', 0}, OpSUB: {opOp, 0, 0x20, 'R', 0},
+	OpSLL: {opOp, 1, 0x00, 'R', 0}, OpSLT: {opOp, 2, 0x00, 'R', 0},
+	OpSLTU: {opOp, 3, 0x00, 'R', 0}, OpXOR: {opOp, 4, 0x00, 'R', 0},
+	OpSRL: {opOp, 5, 0x00, 'R', 0}, OpSRA: {opOp, 5, 0x20, 'R', 0},
+	OpOR: {opOp, 6, 0x00, 'R', 0}, OpAND: {opOp, 7, 0x00, 'R', 0},
+	OpADDW: {opOpW, 0, 0x00, 'R', 0}, OpSUBW: {opOpW, 0, 0x20, 'R', 0},
+	OpSLLW: {opOpW, 1, 0x00, 'R', 0}, OpSRLW: {opOpW, 5, 0x00, 'R', 0},
+	OpSRAW: {opOpW, 5, 0x20, 'R', 0},
+
+	OpMUL: {opOp, 0, 0x01, 'R', 0}, OpDIV: {opOp, 4, 0x01, 'R', 0},
+	OpDIVU: {opOp, 5, 0x01, 'R', 0}, OpREM: {opOp, 6, 0x01, 'R', 0},
+	OpREMU: {opOp, 7, 0x01, 'R', 0},
+	OpMULW: {opOpW, 0, 0x01, 'R', 0}, OpDIVW: {opOpW, 4, 0x01, 'R', 0},
+	OpDIVUW: {opOpW, 5, 0x01, 'R', 0}, OpREMW: {opOpW, 6, 0x01, 'R', 0},
+	OpREMUW: {opOpW, 7, 0x01, 'R', 0},
+
+	// OP-FP arithmetic uses rm=dynamic (0b111) in funct3.
+	OpFADDS: {opOpFP, 7, 0x00, 'R', 0}, OpFSUBS: {opOpFP, 7, 0x04, 'R', 0},
+	OpFMULS: {opOpFP, 7, 0x08, 'R', 0}, OpFDIVS: {opOpFP, 7, 0x0c, 'R', 0},
+	OpFADDD: {opOpFP, 7, 0x01, 'R', 0}, OpFSUBD: {opOpFP, 7, 0x05, 'R', 0},
+	OpFMULD: {opOpFP, 7, 0x09, 'R', 0}, OpFDIVD: {opOpFP, 7, 0x0d, 'R', 0},
+	OpFEQS: {opOpFP, 2, 0x50, 'R', 0}, OpFLTS: {opOpFP, 1, 0x50, 'R', 0},
+	OpFLES: {opOpFP, 0, 0x50, 'R', 0},
+	OpFEQD: {opOpFP, 2, 0x51, 'R', 0}, OpFLTD: {opOpFP, 1, 0x51, 'R', 0},
+	OpFLED: {opOpFP, 0, 0x51, 'R', 0},
+	// Conversions: rs2 selects the integer width, rm=rtz for fp→int.
+	OpFCVTWS: {opOpFP, 1, 0x60, 'F', 0}, OpFCVTLS: {opOpFP, 1, 0x60, 'F', 2},
+	OpFCVTWD: {opOpFP, 1, 0x61, 'F', 0}, OpFCVTLD: {opOpFP, 1, 0x61, 'F', 2},
+	OpFCVTSW: {opOpFP, 7, 0x68, 'F', 0}, OpFCVTSL: {opOpFP, 7, 0x68, 'F', 2},
+	OpFCVTDW: {opOpFP, 7, 0x69, 'F', 0}, OpFCVTDL: {opOpFP, 7, 0x69, 'F', 2},
+	OpFCVTSD: {opOpFP, 7, 0x20, 'F', 1}, OpFCVTDS: {opOpFP, 0, 0x21, 'F', 0},
+}
+
+func xr(r Reg) uint32 { return uint32(r) & 31 }
+
+// Encode emits an instruction as 2 (compressed) or 4 bytes. Branches,
+// jumps and calls are never compressed, so instruction lengths are
+// independent of label distances and two-pass assembly is exact.
+func Encode(in Inst) ([]byte, error) {
+	if c, ok := compress(in); ok {
+		return []byte{byte(c), byte(c >> 8)}, nil
+	}
+	e, ok := encTable[in.Op]
+	if !ok {
+		return nil, fmt.Errorf("%w: op %s", ErrBadEncoding, in.Op)
+	}
+	var w uint32
+	switch e.kind {
+	case 'R':
+		switch in.Op {
+		case OpSLLI, OpSRLI, OpSRAI:
+			// RV64 shift-immediate: funct6 + 6-bit shamt.
+			w = e.funct7<<26 | (uint32(in.Imm)&63)<<20 | xr(in.Rs1)<<15 |
+				e.funct3<<12 | xr(in.Rd)<<7 | e.opcode
+		case OpSLLIW, OpSRLIW, OpSRAIW:
+			w = e.funct7<<25 | (uint32(in.Imm)&31)<<20 | xr(in.Rs1)<<15 |
+				e.funct3<<12 | xr(in.Rd)<<7 | e.opcode
+		default:
+			w = e.funct7<<25 | xr(in.Rs2)<<20 | xr(in.Rs1)<<15 |
+				e.funct3<<12 | xr(in.Rd)<<7 | e.opcode
+		}
+	case 'F':
+		w = e.funct7<<25 | e.rs2fix<<20 | xr(in.Rs1)<<15 | e.funct3<<12 | xr(in.Rd)<<7 | e.opcode
+	case 'I':
+		if in.Imm < -2048 || in.Imm > 2047 {
+			return nil, fmt.Errorf("%w: %s imm %d out of I range", ErrBadEncoding, in.Op, in.Imm)
+		}
+		w = (uint32(in.Imm)&0xfff)<<20 | xr(in.Rs1)<<15 | e.funct3<<12 | xr(in.Rd)<<7 | e.opcode
+	case 'S':
+		if in.Imm < -2048 || in.Imm > 2047 {
+			return nil, fmt.Errorf("%w: %s imm %d out of S range", ErrBadEncoding, in.Op, in.Imm)
+		}
+		imm := uint32(in.Imm) & 0xfff
+		w = (imm>>5)<<25 | xr(in.Rs2)<<20 | xr(in.Rs1)<<15 | e.funct3<<12 | (imm&31)<<7 | e.opcode
+	case 'B':
+		if in.Imm < -4096 || in.Imm > 4094 || in.Imm&1 != 0 {
+			return nil, fmt.Errorf("%w: branch disp %d out of range", ErrBadEncoding, in.Imm)
+		}
+		imm := uint32(in.Imm)
+		w = (imm>>12&1)<<31 | (imm>>5&0x3f)<<25 | xr(in.Rs2)<<20 | xr(in.Rs1)<<15 |
+			e.funct3<<12 | (imm>>1&0xf)<<8 | (imm>>11&1)<<7 | e.opcode
+	case 'U':
+		w = (uint32(in.Imm)&0xfffff)<<12 | xr(in.Rd)<<7 | e.opcode
+	case 'J':
+		if in.Imm < -(1<<20) || in.Imm >= 1<<20 || in.Imm&1 != 0 {
+			return nil, fmt.Errorf("%w: jal disp %d out of range", ErrBadEncoding, in.Imm)
+		}
+		imm := uint32(in.Imm)
+		w = (imm>>20&1)<<31 | (imm>>1&0x3ff)<<21 | (imm>>11&1)<<20 |
+			(imm>>12&0xff)<<12 | xr(in.Rd)<<7 | e.opcode
+	}
+	return []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}, nil
+}
+
+// cReg reports whether r is one of the compressed-form registers x8..x15.
+func cReg(r Reg) bool { return r >= 8 && r <= 15 }
+
+// compress maps an instruction to its RVC form when one exists in the
+// supported subset. The mapping depends only on op, registers and
+// immediate — never on addresses — so it is stable across assembly passes.
+// Control flow with symbolic targets is deliberately left uncompressed.
+func compress(in Inst) (uint16, bool) {
+	switch in.Op {
+	case OpADDI:
+		switch {
+		case in.Rd == SP && in.Rs1 == SP && in.Imm != 0 && in.Imm%16 == 0 &&
+			in.Imm >= -512 && in.Imm <= 496:
+			// c.addi16sp
+			imm := uint16(in.Imm)
+			return 0x6101 | (imm>>9&1)<<12 | (imm>>4&1)<<6 | (imm>>6&1)<<5 |
+				(imm>>7&3)<<3 | (imm>>5&1)<<2, true
+		case in.Rd != X0 && in.Rd == in.Rs1 && in.Imm != 0 &&
+			in.Imm >= -32 && in.Imm <= 31:
+			// c.addi
+			imm := uint16(in.Imm)
+			return 0x0001 | (imm>>5&1)<<12 | uint16(in.Rd)<<7 | (imm&31)<<2, true
+		case in.Rd != X0 && in.Rs1 == X0 && in.Imm >= -32 && in.Imm <= 31:
+			// c.li
+			imm := uint16(in.Imm)
+			return 0x4001 | (imm>>5&1)<<12 | uint16(in.Rd)<<7 | (imm&31)<<2, true
+		case in.Rd != X0 && in.Rs1 != X0 && in.Imm == 0 && in.Rd != in.Rs1:
+			// c.mv rd, rs1
+			return 0x8002 | uint16(in.Rd)<<7 | uint16(in.Rs1)<<2, true
+		}
+	case OpADD:
+		if in.Rd != X0 && in.Rd == in.Rs1 && in.Rs2 != X0 {
+			// c.add
+			return 0x9002 | uint16(in.Rd)<<7 | uint16(in.Rs2)<<2, true
+		}
+	case OpJALR:
+		if in.Rd == X0 && in.Rs1 != X0 && in.Imm == 0 && in.Sym == "" {
+			// c.jr (covers ret = c.jr ra)
+			return 0x8002 | uint16(in.Rs1)<<7, true
+		}
+	case OpLW:
+		if in.Rs1 == SP && in.Rd != X0 && in.Imm >= 0 && in.Imm <= 252 && in.Imm%4 == 0 {
+			// c.lwsp
+			u := uint16(in.Imm)
+			return 0x4002 | (u>>5&1)<<12 | uint16(in.Rd)<<7 | (u>>2&7)<<4 | (u>>6&3)<<2, true
+		}
+		if cReg(in.Rd) && cReg(in.Rs1) && in.Imm >= 0 && in.Imm <= 124 && in.Imm%4 == 0 {
+			// c.lw
+			u := uint16(in.Imm)
+			return 0x4000 | (u>>3&7)<<10 | uint16(in.Rs1-8)<<7 | (u>>2&1)<<6 |
+				(u>>6&1)<<5 | uint16(in.Rd-8)<<2, true
+		}
+	case OpLD:
+		if in.Rs1 == SP && in.Rd != X0 && in.Imm >= 0 && in.Imm <= 504 && in.Imm%8 == 0 {
+			// c.ldsp
+			u := uint16(in.Imm)
+			return 0x6002 | (u>>5&1)<<12 | uint16(in.Rd)<<7 | (u>>3&3)<<5 | (u>>6&7)<<2, true
+		}
+		if cReg(in.Rd) && cReg(in.Rs1) && in.Imm >= 0 && in.Imm <= 248 && in.Imm%8 == 0 {
+			// c.ld
+			u := uint16(in.Imm)
+			return 0x6000 | (u>>3&7)<<10 | uint16(in.Rs1-8)<<7 | (u>>6&3)<<5 |
+				uint16(in.Rd-8)<<2, true
+		}
+	case OpSW:
+		if in.Rs1 == SP && in.Imm >= 0 && in.Imm <= 252 && in.Imm%4 == 0 {
+			// c.swsp
+			u := uint16(in.Imm)
+			return 0xc002 | (u>>2&15)<<9 | (u>>6&3)<<7 | uint16(in.Rs2)<<2, true
+		}
+		if cReg(in.Rs2) && cReg(in.Rs1) && in.Imm >= 0 && in.Imm <= 124 && in.Imm%4 == 0 {
+			// c.sw
+			u := uint16(in.Imm)
+			return 0xc000 | (u>>3&7)<<10 | uint16(in.Rs1-8)<<7 | (u>>2&1)<<6 |
+				(u>>6&1)<<5 | uint16(in.Rs2-8)<<2, true
+		}
+	case OpSD:
+		if in.Rs1 == SP && in.Imm >= 0 && in.Imm <= 504 && in.Imm%8 == 0 {
+			// c.sdsp
+			u := uint16(in.Imm)
+			return 0xe002 | (u>>3&7)<<10 | (u>>6&7)<<7 | uint16(in.Rs2)<<2, true
+		}
+		if cReg(in.Rs2) && cReg(in.Rs1) && in.Imm >= 0 && in.Imm <= 248 && in.Imm%8 == 0 {
+			// c.sd
+			u := uint16(in.Imm)
+			return 0xe000 | (u>>3&7)<<10 | uint16(in.Rs1-8)<<7 | (u>>6&3)<<5 |
+				uint16(in.Rs2-8)<<2, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,49 @@
+package rv64
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func FuzzDecodeRV64(f *testing.F) {
+	// Seed with real encodings: a frame prologue (addi sp,sp,-32; sd
+	// ra,24(sp); addi s0,sp,32), a lui+fused load, a compressed pair, a
+	// branch, and truncated tails.
+	f.Add([]byte{0x13, 0x01, 0x01, 0xfe, 0x23, 0x3c, 0x11, 0x00, 0x13, 0x04, 0x01, 0x02})
+	f.Add([]byte{0xb7, 0x27, 0x60, 0x00, 0x03, 0xa7, 0x47, 0x00})
+	f.Add([]byte{0x85, 0x47, 0x3e, 0x85}) // c.li a5,1; c.mv a0,a5
+	f.Add([]byte{0x63, 0x04, 0xf5, 0x00}) // beq a0,a5,8
+	f.Add([]byte{0x13})                   // truncated 4-byte word
+	f.Add([]byte{0x01})                   // lone compressed half
+	f.Fuzz(func(t *testing.T, code []byte) {
+		// DecodeAll never fails: undecodable words become OpUNIMP. The
+		// stream must tile the buffer exactly and every instruction must
+		// survive printing, tokenization, and the recovery-facing adapter
+		// queries without panicking.
+		insts, err := DecodeAll(code, 0x401000)
+		if err != nil {
+			t.Fatalf("DecodeAll: %v", err)
+		}
+		off := 0
+		for i := range insts {
+			if insts[i].Addr != 0x401000+uint64(off) {
+				t.Fatalf("inst %d addr %#x, want %#x", i, insts[i].Addr, 0x401000+uint64(off))
+			}
+			off += insts[i].Len
+			_ = Print(&insts[i])
+		}
+		if off != len(code) {
+			t.Fatalf("decoded %d bytes of %d", off, len(code))
+		}
+		tc := &isa.TokenContext{InText: func(uint64) bool { return false }}
+		for _, in := range Wrap(insts) {
+			_ = in.Tokens(tc)
+			_ = in.Class()
+			_, _ = in.MemArg()
+			_, _ = in.SavedReg()
+			_, _ = in.DefReg()
+			in.VisitReads(func(isa.Reg) {})
+		}
+	})
+}

@@ -1,0 +1,295 @@
+// Package rv64 is the RISC-V 64 substrate: an RV64IMFD(+C subset) decoder,
+// encoder and two-pass assembler, plus the adapter that exposes it through
+// the architecture interface (internal/isa). The supported subset is what
+// the synthetic compiler backend emits — integer ALU and M-extension ops,
+// loads/stores of every width, single/double float arithmetic and
+// conversions, branches, jal/jalr, lui, and the common compressed forms —
+// which is also the shape real GCC/Clang RISC-V output takes for the same
+// source constructs.
+package rv64
+
+// Reg is a RISC-V register: x0..x31 are 0..31, f0..f31 are 32..63. The
+// numbering doubles as the architecture's neutral register numbering.
+type Reg uint8
+
+// Integer registers (ABI names).
+const (
+	X0 Reg = iota // zero
+	RA            // x1
+	SP            // x2
+	GP
+	TP
+	T0
+	T1
+	T2
+	S0 // x8, frame pointer
+	S1
+	A0
+	A1
+	A2
+	A3
+	A4
+	A5
+	A6
+	A7
+	S2
+	S3
+	S4
+	S5
+	S6
+	S7
+	S8
+	S9
+	S10
+	S11
+	T3
+	T4
+	T5
+	T6
+)
+
+// F returns the i-th float register (f0..f31).
+func F(i int) Reg { return Reg(32 + i) }
+
+// Float argument/temp registers used by the backend.
+const (
+	FA0 = Reg(32 + 10)
+	FA1 = Reg(32 + 11)
+	FA2 = Reg(32 + 12)
+	FA3 = Reg(32 + 13)
+	FA4 = Reg(32 + 14)
+	FA5 = Reg(32 + 15)
+)
+
+// IsInt reports an integer (x) register.
+func (r Reg) IsInt() bool { return r < 32 }
+
+// IsFloat reports a float (f) register.
+func (r Reg) IsFloat() bool { return r >= 32 && r < 64 }
+
+var xNames = [32]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+var fNames = [32]string{
+	"ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+	"fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+	"fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+	"fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+}
+
+func (r Reg) String() string {
+	switch {
+	case r < 32:
+		return xNames[r]
+	case r < 64:
+		return fNames[r-32]
+	}
+	return "?"
+}
+
+// Op is an operation.
+type Op uint8
+
+// Operations. The decoder maps both compressed and full encodings onto the
+// same ops; Inst.Len distinguishes them.
+const (
+	OpINVALID Op = iota
+
+	OpLUI
+	OpAUIPC
+	OpJAL
+	OpJALR
+
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+	OpBLTU
+	OpBGEU
+
+	OpLB
+	OpLH
+	OpLW
+	OpLD
+	OpLBU
+	OpLHU
+	OpLWU
+	OpSB
+	OpSH
+	OpSW
+	OpSD
+
+	OpADDI
+	OpSLTI
+	OpSLTIU
+	OpXORI
+	OpORI
+	OpANDI
+	OpSLLI
+	OpSRLI
+	OpSRAI
+	OpADDIW
+	OpSLLIW
+	OpSRLIW
+	OpSRAIW
+
+	OpADD
+	OpSUB
+	OpSLL
+	OpSLT
+	OpSLTU
+	OpXOR
+	OpSRL
+	OpSRA
+	OpOR
+	OpAND
+	OpADDW
+	OpSUBW
+	OpSLLW
+	OpSRLW
+	OpSRAW
+
+	OpMUL
+	OpDIV
+	OpDIVU
+	OpREM
+	OpREMU
+	OpMULW
+	OpDIVW
+	OpDIVUW
+	OpREMW
+	OpREMUW
+
+	OpFLW
+	OpFLD
+	OpFSW
+	OpFSD
+	OpFADDS
+	OpFSUBS
+	OpFMULS
+	OpFDIVS
+	OpFADDD
+	OpFSUBD
+	OpFMULD
+	OpFDIVD
+	OpFEQS
+	OpFLTS
+	OpFLES
+	OpFEQD
+	OpFLTD
+	OpFLED
+	OpFCVTWS // fcvt.w.s  (float → int32)
+	OpFCVTLS // fcvt.l.s
+	OpFCVTWD // fcvt.w.d
+	OpFCVTLD // fcvt.l.d
+	OpFCVTSW // fcvt.s.w  (int32 → float)
+	OpFCVTSL // fcvt.s.l
+	OpFCVTDW // fcvt.d.w
+	OpFCVTDL // fcvt.d.l
+	OpFCVTSD // fcvt.s.d  (double → float)
+	OpFCVTDS // fcvt.d.s
+
+	OpUNIMP // undecodable word (kept so streams always decode fully)
+)
+
+var opNames = map[Op]string{
+	OpLUI: "lui", OpAUIPC: "auipc", OpJAL: "jal", OpJALR: "jalr",
+	OpBEQ: "beq", OpBNE: "bne", OpBLT: "blt", OpBGE: "bge",
+	OpBLTU: "bltu", OpBGEU: "bgeu",
+	OpLB: "lb", OpLH: "lh", OpLW: "lw", OpLD: "ld",
+	OpLBU: "lbu", OpLHU: "lhu", OpLWU: "lwu",
+	OpSB: "sb", OpSH: "sh", OpSW: "sw", OpSD: "sd",
+	OpADDI: "addi", OpSLTI: "slti", OpSLTIU: "sltiu", OpXORI: "xori",
+	OpORI: "ori", OpANDI: "andi", OpSLLI: "slli", OpSRLI: "srli",
+	OpSRAI: "srai", OpADDIW: "addiw", OpSLLIW: "slliw", OpSRLIW: "srliw",
+	OpSRAIW: "sraiw",
+	OpADD:   "add", OpSUB: "sub", OpSLL: "sll", OpSLT: "slt",
+	OpSLTU: "sltu", OpXOR: "xor", OpSRL: "srl", OpSRA: "sra",
+	OpOR: "or", OpAND: "and", OpADDW: "addw", OpSUBW: "subw",
+	OpSLLW: "sllw", OpSRLW: "srlw", OpSRAW: "sraw",
+	OpMUL: "mul", OpDIV: "div", OpDIVU: "divu", OpREM: "rem",
+	OpREMU: "remu", OpMULW: "mulw", OpDIVW: "divw", OpDIVUW: "divuw",
+	OpREMW: "remw", OpREMUW: "remuw",
+	OpFLW: "flw", OpFLD: "fld", OpFSW: "fsw", OpFSD: "fsd",
+	OpFADDS: "fadd.s", OpFSUBS: "fsub.s", OpFMULS: "fmul.s", OpFDIVS: "fdiv.s",
+	OpFADDD: "fadd.d", OpFSUBD: "fsub.d", OpFMULD: "fmul.d", OpFDIVD: "fdiv.d",
+	OpFEQS: "feq.s", OpFLTS: "flt.s", OpFLES: "fle.s",
+	OpFEQD: "feq.d", OpFLTD: "flt.d", OpFLED: "fle.d",
+	OpFCVTWS: "fcvt.w.s", OpFCVTLS: "fcvt.l.s",
+	OpFCVTWD: "fcvt.w.d", OpFCVTLD: "fcvt.l.d",
+	OpFCVTSW: "fcvt.s.w", OpFCVTSL: "fcvt.s.l",
+	OpFCVTDW: "fcvt.d.w", OpFCVTDL: "fcvt.d.l",
+	OpFCVTSD: "fcvt.s.d", OpFCVTDS: "fcvt.d.s",
+	OpUNIMP: "unimp",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return "op?"
+}
+
+// IsLoad reports a memory load (integer or float).
+func (o Op) IsLoad() bool {
+	return (o >= OpLB && o <= OpLWU) || o == OpFLW || o == OpFLD
+}
+
+// IsIntLoad reports an integer-register load.
+func (o Op) IsIntLoad() bool { return o >= OpLB && o <= OpLWU }
+
+// IsStore reports a memory store (integer or float).
+func (o Op) IsStore() bool {
+	return (o >= OpSB && o <= OpSD) || o == OpFSW || o == OpFSD
+}
+
+// IsBranch reports a conditional branch.
+func (o Op) IsBranch() bool { return o >= OpBEQ && o <= OpBGEU }
+
+// MemWidth is the access width in bytes for loads and stores; 0 otherwise.
+func (o Op) MemWidth() int {
+	switch o {
+	case OpLB, OpLBU, OpSB:
+		return 1
+	case OpLH, OpLHU, OpSH:
+		return 2
+	case OpLW, OpLWU, OpSW, OpFLW, OpFSW:
+		return 4
+	case OpLD, OpSD, OpFLD, OpFSD:
+		return 8
+	}
+	return 0
+}
+
+// Inst is one RV64 instruction. Loads/stores use Rs1 as the base register
+// and Imm as the displacement (the stored value of a store is Rs2).
+// Branches and JAL carry the label in Sym until assembly resolves it into
+// Imm (a pc-relative displacement); the decoder leaves Sym empty and sets
+// Imm to the already-applied byte displacement so Target() is Addr+Imm.
+type Inst struct {
+	Addr uint64
+	Len  int // 2 (compressed) or 4
+	Op   Op
+	Rd   Reg
+	Rs1  Reg
+	Rs2  Reg
+	Imm  int64
+	Sym  string // unresolved branch/call target (assembler only)
+	// Abs is the absolute address this instruction effectively touches,
+	// filled by the decoder's lui-fusion pass: a `lui rd, hi` followed by a
+	// load/store based on rd (or an addi onto rd) addresses hi<<12 + lo.
+	Abs uint64
+}
+
+// Target returns the resolved control-flow target of a branch or jal.
+func (in *Inst) Target() (uint64, bool) {
+	switch {
+	case in.Op == OpJAL, in.Op.IsBranch():
+		return uint64(int64(in.Addr) + in.Imm), true
+	}
+	return 0, false
+}

@@ -1,0 +1,88 @@
+package rv64
+
+import (
+	"fmt"
+)
+
+// Print renders an instruction in objdump-like RISC-V assembly, including
+// the standard pseudo-instruction aliases (mv, li, ret, j, seqz, snez).
+func Print(in *Inst) string {
+	switch {
+	case in.Op == OpUNIMP:
+		return "unimp"
+	case in.Op == OpJAL:
+		if t, ok := in.Target(); ok {
+			if in.Rd == X0 {
+				return fmt.Sprintf("j %x", t)
+			}
+			return fmt.Sprintf("jal %x", t)
+		}
+		return "jal " + in.Sym
+	case in.Op == OpJALR:
+		switch {
+		case in.Rd == X0 && in.Rs1 == RA && in.Imm == 0:
+			return "ret"
+		case in.Rd == X0 && in.Imm == 0:
+			return "jr " + in.Rs1.String()
+		}
+		return fmt.Sprintf("jalr %s,%d(%s)", in.Rd, in.Imm, in.Rs1)
+	case in.Op.IsBranch():
+		t, _ := in.Target()
+		return fmt.Sprintf("%s %s,%s,%x", in.Op, in.Rs1, in.Rs2, t)
+	case in.Op.IsLoad():
+		return fmt.Sprintf("%s %s,%d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case in.Op.IsStore():
+		return fmt.Sprintf("%s %s,%d(%s)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case in.Op == OpLUI || in.Op == OpAUIPC:
+		return fmt.Sprintf("%s %s,0x%x", in.Op, in.Rd, uint64(in.Imm)&0xfffff)
+	case in.Op == OpADDI:
+		switch {
+		case in.Rs1 == X0:
+			return fmt.Sprintf("li %s,%d", in.Rd, in.Imm)
+		case in.Imm == 0:
+			return fmt.Sprintf("mv %s,%s", in.Rd, in.Rs1)
+		}
+		return fmt.Sprintf("addi %s,%s,%d", in.Rd, in.Rs1, in.Imm)
+	case in.Op == OpSLTIU && in.Imm == 1:
+		return fmt.Sprintf("seqz %s,%s", in.Rd, in.Rs1)
+	case isImmALU(in.Op):
+		return fmt.Sprintf("%s %s,%s,%d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case in.Op == OpSLTU && in.Rs1 == X0:
+		return fmt.Sprintf("snez %s,%s", in.Rd, in.Rs2)
+	case in.Op >= OpFCVTWS && in.Op <= OpFCVTDS:
+		return fmt.Sprintf("%s %s,%s", in.Op, in.Rd, in.Rs1)
+	default:
+		return fmt.Sprintf("%s %s,%s,%s", in.Op, in.Rd, in.Rs1, in.Rs2)
+	}
+}
+
+func isImmALU(o Op) bool {
+	switch o {
+	case OpADDI, OpSLTI, OpSLTIU, OpXORI, OpORI, OpANDI,
+		OpSLLI, OpSRLI, OpSRAI, OpADDIW, OpSLLIW, OpSRLIW, OpSRAIW:
+		return true
+	}
+	return false
+}
+
+// mnemonic is the token-slot spelling: the pseudo-alias where one exists,
+// else the plain op name.
+func mnemonic(in *Inst) string {
+	switch {
+	case in.Op == OpJAL && in.Rd == X0:
+		return "j"
+	case in.Op == OpJALR && in.Rd == X0 && in.Rs1 == RA && in.Imm == 0:
+		return "ret"
+	case in.Op == OpJALR && in.Rd == X0 && in.Imm == 0:
+		return "jr"
+	case in.Op == OpADDI && in.Rs1 == X0:
+		return "li"
+	case in.Op == OpADDI && in.Imm == 0 && in.Rs1 != X0:
+		return "mv"
+	case in.Op == OpSLTIU && in.Imm == 1:
+		return "seqz"
+	case in.Op == OpSLTU && in.Rs1 == X0:
+		return "snez"
+	}
+	return in.Op.String()
+}

@@ -1,0 +1,238 @@
+package rv64
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Arch is the RV64 implementation of isa.Arch.
+type Arch struct{}
+
+func init() { isa.Register(Arch{}) }
+
+// Name returns "rv64".
+func (Arch) Name() string { return "rv64" }
+
+// EMachine returns the ELF e_machine value for RISC-V.
+func (Arch) EMachine() uint16 { return 243 }
+
+// DecodeAll decodes a code image into the neutral instruction stream.
+func (Arch) DecodeAll(code []byte, addr uint64) ([]isa.Inst, error) {
+	raw, err := DecodeAll(code, addr)
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(raw), nil
+}
+
+// Wrap adapts concrete instructions to the neutral interface.
+func Wrap(raw []Inst) []isa.Inst {
+	out := make([]isa.Inst, len(raw))
+	for i := range raw {
+		out[i] = &inst{&raw[i]}
+	}
+	return out
+}
+
+// DetectFrame inspects the prologue: `addi s0, sp, frameSize` establishes a
+// frame pointer (FP convention, slots addressed off s0); its absence means
+// the function addresses slots off sp directly.
+func (Arch) DetectFrame(insts []isa.Inst) (isa.Reg, isa.Frame) {
+	limit := len(insts)
+	if limit > 8 {
+		limit = 8
+	}
+	for _, in := range insts[:limit] {
+		w, ok := in.(*inst)
+		if !ok {
+			break
+		}
+		if w.i.Op == OpADDI && w.i.Rd == S0 && w.i.Rs1 == SP {
+			return isa.Reg(S0), isa.FrameFP
+		}
+	}
+	return isa.Reg(SP), isa.FrameSP
+}
+
+// CalleeSaved lists the registers the backend promotes variables into:
+// s1..s11 (s0 is reserved as the frame pointer).
+func (Arch) CalleeSaved() []isa.Reg {
+	out := []isa.Reg{isa.Reg(S1)}
+	for r := S2; r <= S11; r++ {
+		out = append(out, isa.Reg(r))
+	}
+	return out
+}
+
+// RegName names a register in the neutral numbering.
+func (Arch) RegName(r isa.Reg) string {
+	if r >= 0 && r < 64 {
+		return Reg(r).String()
+	}
+	return fmt.Sprintf("reg%d", r)
+}
+
+// inst adapts *Inst to isa.Inst.
+type inst struct{ i *Inst }
+
+func (w *inst) raw() *Inst { return w.i }
+
+// Addr is the virtual address.
+func (w *inst) Addr() uint64 { return w.raw().Addr }
+
+// Len is the encoded length (2 or 4 bytes).
+func (w *inst) Len() int { return w.raw().Len }
+
+// Class classifies control flow: jal with rd=ra is a call, rd=zero a plain
+// jump; jalr x0,0(ra) is the return idiom, other jalr forms are indirect
+// calls/jumps.
+func (w *inst) Class() isa.Class {
+	switch {
+	case w.i.Op == OpJAL:
+		if w.i.Rd == RA {
+			return isa.ClassCall
+		}
+		return isa.ClassJump
+	case w.i.Op == OpJALR:
+		switch {
+		case w.i.Rd == X0 && w.i.Rs1 == RA && w.i.Imm == 0:
+			return isa.ClassRet
+		case w.i.Rd == X0:
+			return isa.ClassJump
+		}
+		return isa.ClassCall
+	case w.i.Op.IsBranch():
+		return isa.ClassCondJump
+	}
+	return isa.ClassOther
+}
+
+// Target is the resolved branch/jal destination.
+func (w *inst) Target() (uint64, bool) { return w.raw().Target() }
+
+// MemArg exposes the load/store operand as base+displacement.
+func (w *inst) MemArg() (isa.Mem, bool) {
+	if w.i.Op.MemWidth() == 0 {
+		return isa.Mem{}, false
+	}
+	return isa.Mem{
+		Base:  isa.Reg(w.i.Rs1),
+		Index: isa.RegNone,
+		Scale: 1,
+		Disp:  int32(w.i.Imm),
+	}, true
+}
+
+// AbsAddr reports the absolute address of a lui-fused access.
+func (w *inst) AbsAddr() (uint64, bool) {
+	if w.i.Abs != 0 {
+		return w.i.Abs, true
+	}
+	return 0, false
+}
+
+// AccessWidth is the memory access width; address materialization
+// (lui+addi) counts as a 1-byte touch, like x86 lea.
+func (w *inst) AccessWidth() int {
+	if n := w.i.Op.MemWidth(); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// savedClass reports registers whose prologue spills are frame maintenance
+// rather than variable accesses: ra, the frame pointer and the s-registers.
+func savedClass(r Reg) bool {
+	return r == RA || r == S0 || r == S1 || (r >= S2 && r <= S11)
+}
+
+// IsFrameSetup reports stack adjustment, frame-pointer establishment and
+// callee-save spills/restores.
+func (w *inst) IsFrameSetup() bool {
+	switch {
+	case w.i.Op == OpADDI && w.i.Rd == SP && w.i.Rs1 == SP:
+		return true
+	case w.i.Op == OpADDI && w.i.Rd == S0 && w.i.Rs1 == SP:
+		return true
+	case w.i.Op == OpSD && w.i.Rs1 == SP && savedClass(w.i.Rs2):
+		return true
+	case w.i.Op == OpLD && w.i.Rs1 == SP && savedClass(w.i.Rd):
+		return true
+	}
+	return false
+}
+
+// SavedReg reports the register a prologue sp-relative store saves.
+func (w *inst) SavedReg() (isa.Reg, bool) {
+	if w.i.Op == OpSD && w.i.Rs1 == SP && w.i.Rs2.IsInt() && w.i.Rs2 != X0 {
+		return isa.Reg(w.i.Rs2), true
+	}
+	return isa.RegNone, false
+}
+
+// VisitReads visits every integer register the instruction reads.
+func (w *inst) VisitReads(f func(isa.Reg)) {
+	emit := func(r Reg) {
+		if r.IsInt() && r != X0 {
+			f(isa.Reg(r))
+		}
+	}
+	switch {
+	case w.i.Op == OpLUI, w.i.Op == OpAUIPC, w.i.Op == OpJAL, w.i.Op == OpUNIMP:
+	case w.i.Op == OpJALR:
+		emit(w.i.Rs1)
+	case w.i.Op.IsLoad():
+		emit(w.i.Rs1)
+	case w.i.Op.IsStore():
+		emit(w.i.Rs1)
+		emit(w.i.Rs2)
+	case w.i.Op.IsBranch():
+		emit(w.i.Rs1)
+		emit(w.i.Rs2)
+	case isImmALU(w.i.Op):
+		emit(w.i.Rs1)
+	case w.i.Op >= OpADD && w.i.Op <= OpREMUW:
+		emit(w.i.Rs1)
+		emit(w.i.Rs2)
+	case w.i.Op >= OpFCVTWS && w.i.Op <= OpFCVTDS:
+		emit(w.i.Rs1) // int→float conversions read an x register; float sources filter out
+	}
+}
+
+// DefReg is the integer register the instruction writes.
+func (w *inst) DefReg() (isa.Reg, bool) {
+	if w.i.Op.IsStore() || w.i.Op.IsBranch() {
+		return isa.RegNone, false
+	}
+	if w.i.Rd.IsInt() && w.i.Rd != X0 {
+		return isa.Reg(w.i.Rd), true
+	}
+	return isa.RegNone, false
+}
+
+// SlotLoad reports an integer load (the alias-creating shape).
+func (w *inst) SlotLoad() (isa.Reg, isa.Mem, bool) {
+	if !w.i.Op.IsIntLoad() || w.i.Rd == X0 {
+		return isa.RegNone, isa.Mem{}, false
+	}
+	m, _ := w.MemArg()
+	return isa.Reg(w.i.Rd), m, true
+}
+
+// IsBarrier reports control transfers, which invalidate register aliases.
+func (w *inst) IsBarrier() bool { return w.Class() != isa.ClassOther }
+
+// Clobbers is empty: RV64 has no instructions with implicit register
+// destinations (division writes only rd).
+func (w *inst) Clobbers() []isa.Reg { return nil }
+
+// UsesReg reports whether the instruction references the register. Unused
+// operand fields hold x0, which is never a queried register.
+func (w *inst) UsesReg(r isa.Reg) bool {
+	nr := Reg(r)
+	return w.i.Rd == nr || w.i.Rs1 == nr || w.i.Rs2 == nr
+}
+
+// Text is the disassembly.
+func (w *inst) Text() string { return Print(w.raw()) }

@@ -1,0 +1,395 @@
+package rv64
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// roundTrip encodes one instruction and decodes it back.
+func roundTrip(t *testing.T, in Inst) Inst {
+	t.Helper()
+	code, err := Encode(in)
+	if err != nil {
+		t.Fatalf("encode %s: %v", Print(&in), err)
+	}
+	out, err := DecodeAll(code, in.Addr)
+	if err != nil {
+		t.Fatalf("decode %s: %v", Print(&in), err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("decode %s: got %d instructions, want 1", Print(&in), len(out))
+	}
+	if out[0].Len != len(code) {
+		t.Fatalf("decode %s: Len=%d, code is %d bytes", Print(&in), out[0].Len, len(code))
+	}
+	return out[0]
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{Op: OpADDI, Rd: SP, Rs1: SP, Imm: -64},
+		{Op: OpADDI, Rd: SP, Rs1: SP, Imm: 64},
+		{Op: OpADDI, Rd: S0, Rs1: SP, Imm: 48},
+		{Op: OpADDI, Rd: A5, Rs1: X0, Imm: 42},    // li
+		{Op: OpADDI, Rd: A0, Rs1: A5, Imm: 0},     // mv
+		{Op: OpADDI, Rd: A5, Rs1: A5, Imm: 2047},  // imm range edge
+		{Op: OpADDI, Rd: A5, Rs1: A5, Imm: -2048}, // imm range edge
+		{Op: OpSD, Rs1: SP, Rs2: RA, Imm: 56},     // prologue save
+		{Op: OpSD, Rs1: SP, Rs2: S0, Imm: 48},     //
+		{Op: OpLD, Rs1: SP, Rs2: X0, Rd: RA, Imm: 56},
+		{Op: OpLW, Rd: A5, Rs1: S0, Imm: -20},
+		{Op: OpSW, Rs1: S0, Rs2: A5, Imm: -20},
+		{Op: OpLB, Rd: A4, Rs1: S0, Imm: -33},
+		{Op: OpLBU, Rd: A4, Rs1: S0, Imm: -33},
+		{Op: OpLH, Rd: A4, Rs1: A5, Imm: 6},
+		{Op: OpLHU, Rd: A4, Rs1: A5, Imm: 6},
+		{Op: OpLWU, Rd: A4, Rs1: A5, Imm: 4},
+		{Op: OpSB, Rs1: S0, Rs2: A4, Imm: -33},
+		{Op: OpSH, Rs1: S0, Rs2: A4, Imm: -34},
+		{Op: OpLUI, Rd: A5, Imm: 0x602},
+		{Op: OpAUIPC, Rd: T6, Imm: 0x1},
+		{Op: OpJAL, Rd: RA, Imm: 0x400, Addr: 0x401000},
+		{Op: OpJAL, Rd: X0, Imm: -0x40, Addr: 0x401000},
+		{Op: OpJALR, Rd: X0, Rs1: RA}, // ret
+		{Op: OpJALR, Rd: X0, Rs1: A5}, // jr a5
+		{Op: OpBEQ, Rs1: A5, Rs2: A4, Imm: 0x30, Addr: 0x401000},
+		{Op: OpBNE, Rs1: A5, Rs2: X0, Imm: -0x10, Addr: 0x401000},
+		{Op: OpBLT, Rs1: A4, Rs2: A5, Imm: 0x100, Addr: 0x401000},
+		{Op: OpBGE, Rs1: A4, Rs2: A5, Imm: 0x100, Addr: 0x401000},
+		{Op: OpBLTU, Rs1: A4, Rs2: A5, Imm: 0x100, Addr: 0x401000},
+		{Op: OpBGEU, Rs1: A4, Rs2: A5, Imm: 0x100, Addr: 0x401000},
+		{Op: OpSLTI, Rd: A5, Rs1: A4, Imm: 10},
+		{Op: OpSLTIU, Rd: A5, Rs1: A4, Imm: 1}, // seqz
+		{Op: OpXORI, Rd: A5, Rs1: A5, Imm: 1},
+		{Op: OpORI, Rd: A5, Rs1: A5, Imm: 0xff},
+		{Op: OpANDI, Rd: A5, Rs1: A5, Imm: 0xff},
+		{Op: OpSLLI, Rd: A5, Rs1: A5, Imm: 3},
+		{Op: OpSLLI, Rd: A5, Rs1: A5, Imm: 63}, // 6-bit shamt
+		{Op: OpSRLI, Rd: A5, Rs1: A5, Imm: 32},
+		{Op: OpSRAI, Rd: A5, Rs1: A5, Imm: 63},
+		{Op: OpADDIW, Rd: A5, Rs1: A5, Imm: -1},
+		{Op: OpSLLIW, Rd: A5, Rs1: A5, Imm: 31},
+		{Op: OpSRLIW, Rd: A5, Rs1: A5, Imm: 1},
+		{Op: OpSRAIW, Rd: A5, Rs1: A5, Imm: 31},
+		{Op: OpADD, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpSUB, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpSLL, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpSLT, Rd: A5, Rs1: A4, Rs2: A5},
+		{Op: OpSLTU, Rd: A5, Rs1: X0, Rs2: A4}, // snez
+		{Op: OpXOR, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpSRL, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpSRA, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpOR, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpAND, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpADDW, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpSUBW, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpSLLW, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpSRLW, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpSRAW, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpMUL, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpDIV, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpDIVU, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpREM, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpREMU, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpMULW, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpDIVW, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpDIVUW, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpREMW, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpREMUW, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpFLW, Rd: FA5, Rs1: S0, Imm: -24},
+		{Op: OpFLD, Rd: FA5, Rs1: S0, Imm: -32},
+		{Op: OpFSW, Rs1: S0, Rs2: FA5, Imm: -24},
+		{Op: OpFSD, Rs1: S0, Rs2: FA5, Imm: -32},
+		{Op: OpFADDS, Rd: FA5, Rs1: FA5, Rs2: FA4},
+		{Op: OpFSUBS, Rd: FA5, Rs1: FA5, Rs2: FA4},
+		{Op: OpFMULS, Rd: FA5, Rs1: FA5, Rs2: FA4},
+		{Op: OpFDIVS, Rd: FA5, Rs1: FA5, Rs2: FA4},
+		{Op: OpFADDD, Rd: FA5, Rs1: FA5, Rs2: FA4},
+		{Op: OpFSUBD, Rd: FA5, Rs1: FA5, Rs2: FA4},
+		{Op: OpFMULD, Rd: FA5, Rs1: FA5, Rs2: FA4},
+		{Op: OpFDIVD, Rd: FA5, Rs1: FA5, Rs2: FA4},
+		{Op: OpFEQS, Rd: A5, Rs1: FA5, Rs2: FA4},
+		{Op: OpFLTS, Rd: A5, Rs1: FA5, Rs2: FA4},
+		{Op: OpFLES, Rd: A5, Rs1: FA5, Rs2: FA4},
+		{Op: OpFEQD, Rd: A5, Rs1: FA5, Rs2: FA4},
+		{Op: OpFLTD, Rd: A5, Rs1: FA5, Rs2: FA4},
+		{Op: OpFLED, Rd: A5, Rs1: FA5, Rs2: FA4},
+		{Op: OpFCVTWS, Rd: A5, Rs1: FA5},
+		{Op: OpFCVTLS, Rd: A5, Rs1: FA5},
+		{Op: OpFCVTWD, Rd: A5, Rs1: FA5},
+		{Op: OpFCVTLD, Rd: A5, Rs1: FA5},
+		{Op: OpFCVTSW, Rd: FA5, Rs1: A5},
+		{Op: OpFCVTSL, Rd: FA5, Rs1: A5},
+		{Op: OpFCVTDW, Rd: FA5, Rs1: A5},
+		{Op: OpFCVTDL, Rd: FA5, Rs1: A5},
+		{Op: OpFCVTSD, Rd: FA5, Rs1: FA4},
+		{Op: OpFCVTDS, Rd: FA5, Rs1: FA4},
+	}
+	for _, in := range cases {
+		got := roundTrip(t, in)
+		if got.Op != in.Op {
+			t.Errorf("%s: decoded op %s", Print(&in), got.Op)
+			continue
+		}
+		if got.Rd != in.Rd && !in.Op.IsStore() && !in.Op.IsBranch() {
+			t.Errorf("%s: decoded rd %s, want %s", Print(&in), got.Rd, in.Rd)
+		}
+		if got.Rs1 != in.Rs1 && in.Op != OpLUI && in.Op != OpAUIPC && in.Op != OpJAL {
+			t.Errorf("%s: decoded rs1 %s, want %s", Print(&in), got.Rs1, in.Rs1)
+		}
+		if got.Imm != in.Imm && in.Op != OpJALR {
+			t.Errorf("%s: decoded imm %d, want %d", Print(&in), got.Imm, in.Imm)
+		}
+	}
+}
+
+func TestCompressedForms(t *testing.T) {
+	// These shapes must take the 2-byte encodings (realistic RVC density),
+	// and still decode to the same instruction.
+	compressed := []Inst{
+		{Op: OpADDI, Rd: SP, Rs1: SP, Imm: -64}, // c.addi16sp
+		{Op: OpADDI, Rd: A5, Rs1: A5, Imm: 1},   // c.addi
+		{Op: OpADDI, Rd: A5, Rs1: X0, Imm: 31},  // c.li
+		{Op: OpADDI, Rd: A0, Rs1: A5, Imm: 0},   // c.mv
+		{Op: OpADD, Rd: A5, Rs1: A5, Rs2: A4},   // c.add
+		{Op: OpJALR, Rd: X0, Rs1: RA},           // c.ret
+		{Op: OpLW, Rd: A5, Rs1: SP, Imm: 16},    // c.lwsp
+		{Op: OpLD, Rd: A5, Rs1: SP, Imm: 16},    // c.ldsp
+		{Op: OpSW, Rs1: SP, Rs2: A5, Imm: 16},   // c.swsp
+		{Op: OpSD, Rs1: SP, Rs2: RA, Imm: 56},   // c.sdsp
+		{Op: OpLW, Rd: A5, Rs1: S0, Imm: 16},    // c.lw
+		{Op: OpLD, Rd: A5, Rs1: S0, Imm: 16},    // c.ld
+		{Op: OpSW, Rs1: S0, Rs2: A5, Imm: 16},   // c.sw
+		{Op: OpSD, Rs1: S0, Rs2: A5, Imm: 16},   // c.sd
+	}
+	for _, in := range cases2(compressed) {
+		code, err := Encode(in)
+		if err != nil {
+			t.Fatalf("encode %s: %v", Print(&in), err)
+		}
+		if len(code) != 2 {
+			t.Errorf("%s: encoded to %d bytes, want compressed (2)", Print(&in), len(code))
+			continue
+		}
+		got := roundTrip(t, in)
+		if got.Op != in.Op || got.Imm != in.Imm {
+			t.Errorf("%s: round-trip mismatch: got %s", Print(&in), Print(&got))
+		}
+	}
+	// Negative slot offsets must NOT compress (RVC offsets are unsigned) but
+	// still encode.
+	in := Inst{Op: OpLW, Rd: A5, Rs1: S0, Imm: -20}
+	code, err := Encode(in)
+	if err != nil || len(code) != 4 {
+		t.Fatalf("lw a5,-20(s0): len=%d err=%v, want 4-byte form", len(code), err)
+	}
+}
+
+func cases2(in []Inst) []Inst { return in }
+
+func TestUnitAssembleBranches(t *testing.T) {
+	var u Unit
+	u.Label("f")
+	u.Add(Inst{Op: OpADDI, Rd: SP, Rs1: SP, Imm: -32})
+	u.Add(Inst{Op: OpSD, Rs1: SP, Rs2: RA, Imm: 24})
+	u.Add(Inst{Op: OpBEQ, Rs1: A0, Rs2: X0, Sym: "skip"})
+	u.Add(Inst{Op: OpJAL, Rd: RA, Sym: "callee"})
+	u.Label("skip")
+	u.Add(Inst{Op: OpLD, Rd: RA, Rs1: SP, Imm: 24})
+	u.Add(Inst{Op: OpADDI, Rd: SP, Rs1: SP, Imm: 32})
+	u.Add(Inst{Op: OpJALR, Rd: X0, Rs1: RA})
+	u.Label("callee")
+	u.Add(Inst{Op: OpJALR, Rd: X0, Rs1: RA})
+
+	got, err := u.Assemble(0x401000, map[string]uint64{"printf": 0x400400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Insts) != u.Len() {
+		t.Fatalf("assembled %d instructions, want %d", len(got.Insts), u.Len())
+	}
+	// The branch must resolve to the label's address.
+	br := got.Insts[2]
+	tgt, ok := br.Target()
+	if !ok || tgt != got.Labels["skip"] {
+		t.Fatalf("branch target %#x, want %#x", tgt, got.Labels["skip"])
+	}
+	call := got.Insts[3]
+	tgt, ok = call.Target()
+	if !ok || tgt != got.Labels["callee"] {
+		t.Fatalf("call target %#x, want %#x", tgt, got.Labels["callee"])
+	}
+	// Re-decoding the emitted code must reproduce the instruction stream.
+	dec, err := DecodeAll(got.Code, 0x401000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(got.Insts) {
+		t.Fatalf("re-decoded %d instructions, want %d", len(dec), len(got.Insts))
+	}
+	for i := range dec {
+		if dec[i].Op != got.Insts[i].Op || dec[i].Addr != got.Insts[i].Addr {
+			t.Errorf("inst %d: re-decoded %s at %#x, assembled %s at %#x",
+				i, dec[i].Op, dec[i].Addr, got.Insts[i].Op, got.Insts[i].Addr)
+		}
+	}
+}
+
+func TestLUIFusion(t *testing.T) {
+	var u Unit
+	u.Add(Inst{Op: OpLUI, Rd: A5, Imm: 0x602})
+	u.Add(Inst{Op: OpLW, Rd: A4, Rs1: A5, Imm: 0x40})
+	u.Add(Inst{Op: OpLUI, Rd: T6, Imm: 0x602})
+	u.Add(Inst{Op: OpADDI, Rd: T6, Rs1: T6, Imm: 0x48})
+	got, err := u.Assemble(0x401000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeAll(got.Code, 0x401000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec[1].Abs != 0x602040 {
+		t.Errorf("fused load Abs = %#x, want 0x602040", dec[1].Abs)
+	}
+	if dec[3].Abs != 0x602048 {
+		t.Errorf("fused addi Abs = %#x, want 0x602048", dec[3].Abs)
+	}
+	ins := Wrap(dec)
+	if a, ok := ins[1].AbsAddr(); !ok || a != 0x602040 {
+		t.Errorf("AbsAddr = %#x,%v; want 0x602040,true", a, ok)
+	}
+}
+
+func TestArchSemantics(t *testing.T) {
+	a, err := isa.ByName("rv64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EMachine() != 243 {
+		t.Errorf("EMachine = %d, want 243", a.EMachine())
+	}
+	if _, err := isa.ByMachine(243); err != nil {
+		t.Errorf("ByMachine(243): %v", err)
+	}
+	if a.RegName(isa.Reg(S0)) != "s0" || a.RegName(isa.Reg(SP)) != "sp" {
+		t.Errorf("RegName: s0=%q sp=%q", a.RegName(isa.Reg(S0)), a.RegName(isa.Reg(SP)))
+	}
+
+	// FP prologue → (s0, FrameFP); without the addi s0 → (sp, FrameSP).
+	fp := Wrap([]Inst{
+		{Op: OpADDI, Rd: SP, Rs1: SP, Imm: -48},
+		{Op: OpSD, Rs1: SP, Rs2: RA, Imm: 40},
+		{Op: OpSD, Rs1: SP, Rs2: S0, Imm: 32},
+		{Op: OpADDI, Rd: S0, Rs1: SP, Imm: 48},
+	})
+	if r, f := a.DetectFrame(fp); r != isa.Reg(S0) || f != isa.FrameFP {
+		t.Errorf("FP prologue: got (%s, %v)", a.RegName(r), f)
+	}
+	sp := Wrap([]Inst{
+		{Op: OpADDI, Rd: SP, Rs1: SP, Imm: -32},
+		{Op: OpSD, Rs1: SP, Rs2: RA, Imm: 24},
+	})
+	if r, f := a.DetectFrame(sp); r != isa.Reg(SP) || f != isa.FrameSP {
+		t.Errorf("SP prologue: got (%s, %v)", a.RegName(r), f)
+	}
+
+	// Class / barrier / frame-setup semantics.
+	call := Wrap([]Inst{{Op: OpJAL, Rd: RA, Imm: 0x100, Addr: 0x401000}})[0]
+	if call.Class() != isa.ClassCall || !call.IsBarrier() {
+		t.Error("jal ra must be a call barrier")
+	}
+	if tgt, ok := call.Target(); !ok || tgt != 0x401100 {
+		t.Errorf("jal target %#x", tgt)
+	}
+	ret := Wrap([]Inst{{Op: OpJALR, Rd: X0, Rs1: RA}})[0]
+	if ret.Class() != isa.ClassRet {
+		t.Error("jalr x0,0(ra) must be a ret")
+	}
+	save := Wrap([]Inst{{Op: OpSD, Rs1: SP, Rs2: S1, Imm: 16}})[0]
+	if !save.IsFrameSetup() {
+		t.Error("sd s1,16(sp) must be frame setup")
+	}
+	if r, ok := save.SavedReg(); !ok || r != isa.Reg(S1) {
+		t.Errorf("SavedReg = %v,%v", r, ok)
+	}
+	local := Wrap([]Inst{{Op: OpSW, Rs1: S0, Rs2: A5, Imm: -20}})[0]
+	if local.IsFrameSetup() {
+		t.Error("sw a5,-20(s0) is a variable access, not frame setup")
+	}
+	m, ok := local.MemArg()
+	if !ok || m.Base != isa.Reg(S0) || m.Disp != -20 || local.AccessWidth() != 4 {
+		t.Errorf("MemArg = %+v,%v width %d", m, ok, local.AccessWidth())
+	}
+	load := Wrap([]Inst{{Op: OpLW, Rd: A5, Rs1: S0, Imm: -20}})[0]
+	if d, sm, ok := load.SlotLoad(); !ok || d != isa.Reg(A5) || sm.Disp != -20 {
+		t.Errorf("SlotLoad = %v,%+v,%v", d, sm, ok)
+	}
+}
+
+func TestTokensRV64(t *testing.T) {
+	inText := func(addr uint64) bool { return addr >= 0x401000 && addr < 0x402000 }
+	tc := &isa.TokenContext{InText: inText}
+	cases := []struct {
+		in   Inst
+		want [3]string
+	}{
+		{Inst{Op: OpLW, Rd: A5, Rs1: S0, Imm: -20}, [3]string{"lw", "a5", "-0xIMM(s0)"}},
+		{Inst{Op: OpSD, Rs1: SP, Rs2: A0, Imm: 40}, [3]string{"sd", "a0", "0xIMM(sp)"}},
+		{Inst{Op: OpADDI, Rd: A5, Rs1: X0, Imm: 42}, [3]string{"li", "a5", "$0xIMM"}},
+		{Inst{Op: OpADDI, Rd: A0, Rs1: A5, Imm: 0}, [3]string{"mv", "a0", "a5"}},
+		{Inst{Op: OpADDI, Rd: A5, Rs1: A5, Imm: -8}, [3]string{"addi", "a5", "$-0xIMM"}},
+		{Inst{Op: OpADD, Rd: A5, Rs1: A5, Rs2: A4}, [3]string{"add", "a5", "a5"}},
+		{Inst{Op: OpJAL, Rd: RA, Imm: 0x100, Addr: 0x401000}, [3]string{"jal", "ADDR", "BLANK"}},
+		{Inst{Op: OpJAL, Rd: RA, Imm: -0xC00, Addr: 0x401000}, [3]string{"jal", "ADDR", "FUNC"}},
+		{Inst{Op: OpJAL, Rd: X0, Imm: 0x40, Addr: 0x401000}, [3]string{"j", "ADDR", "BLANK"}},
+		{Inst{Op: OpJALR, Rd: X0, Rs1: RA}, [3]string{"ret", "BLANK", "BLANK"}},
+		{Inst{Op: OpBEQ, Rs1: A5, Rs2: X0, Imm: 0x30, Addr: 0x401000}, [3]string{"beq", "a5", "ADDR"}},
+		{Inst{Op: OpSLTIU, Rd: A5, Rs1: A4, Imm: 1}, [3]string{"seqz", "a5", "a4"}},
+		{Inst{Op: OpFLD, Rd: FA5, Rs1: S0, Imm: -32}, [3]string{"fld", "fa5", "-0xIMM(s0)"}},
+		{Inst{Op: OpFADDD, Rd: FA5, Rs1: FA5, Rs2: FA4}, [3]string{"fadd.d", "fa5", "fa5"}},
+		{Inst{Op: OpLUI, Rd: A5, Imm: 0x602}, [3]string{"lui", "a5", "$0xIMM"}},
+	}
+	for _, c := range cases {
+		got := Wrap([]Inst{c.in})[0].Tokens(tc)
+		if got != c.want {
+			t.Errorf("%s: tokens %v, want %v", Print(&c.in), got, c.want)
+		}
+	}
+	// Fused absolute access generalizes to a bare 0xIMM operand.
+	f := Inst{Op: OpLW, Rd: A4, Rs1: A5, Imm: 0x40, Abs: 0x602040}
+	if got := Wrap([]Inst{f})[0].Tokens(tc); got != [3]string{"lw", "a4", "0xIMM"} {
+		t.Errorf("fused: tokens %v", got)
+	}
+	// NoGeneralize keeps concrete operands.
+	raw := Wrap([]Inst{{Op: OpLW, Rd: A5, Rs1: S0, Imm: -20}})[0].Tokens(&isa.TokenContext{NoGeneralize: true})
+	if raw != [3]string{"lw", "a5", "-0x14(s0)"} {
+		t.Errorf("no-generalize tokens %v", raw)
+	}
+}
+
+func TestDecodeRobustness(t *testing.T) {
+	// Arbitrary bytes must decode fully (OpUNIMP for unknowns), never panic,
+	// and the lengths must tile the input exactly.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		buf := make([]byte, rng.Intn(64))
+		rng.Read(buf)
+		insts, err := DecodeAll(buf, 0x401000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off := 0
+		for i := range insts {
+			if insts[i].Addr != 0x401000+uint64(off) {
+				t.Fatalf("trial %d: inst %d addr %#x, want %#x", trial, i, insts[i].Addr, 0x401000+off)
+			}
+			off += insts[i].Len
+		}
+		if off != len(buf) {
+			t.Fatalf("trial %d: decoded %d bytes of %d", trial, off, len(buf))
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package rv64
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Generalization tokens, mirrored from the vuc layer (the adapter cannot
+// import it).
+const (
+	TokBlank = "BLANK"
+	TokAddr  = "ADDR"
+	TokFunc  = "FUNC"
+)
+
+// Tokens generalizes the instruction into its three tokens (§IV-B):
+// mnemonic plus two operand slots, immediates and displacements rewritten
+// to 0xIMM, branch targets to ADDR, and library-stub call targets to ADDR
+// FUNC. Pseudo-instruction aliases (mv, li, ret, seqz) are the mnemonics,
+// matching what disassemblers show for real RISC-V binaries.
+func (w *inst) Tokens(tc *isa.TokenContext) [3]string {
+	in := w.raw()
+	t := [3]string{mnemonic(in), TokBlank, TokBlank}
+	gen := !tc.NoGeneralize
+
+	imm := func(v int64) string {
+		if gen {
+			if v < 0 {
+				return "$-0xIMM"
+			}
+			return "$0xIMM"
+		}
+		return fmt.Sprintf("$%#x", v)
+	}
+	mem := func() string {
+		if in.Abs != 0 && gen {
+			// lui-fused absolute access: the address is the operand.
+			return "0xIMM"
+		}
+		base := in.Rs1.String()
+		switch {
+		case in.Imm == 0:
+			return "(" + base + ")"
+		case gen && in.Imm < 0:
+			return "-0xIMM(" + base + ")"
+		case gen:
+			return "0xIMM(" + base + ")"
+		}
+		return fmt.Sprintf("%#x(%s)", in.Imm, base)
+	}
+	addr := func() string {
+		if gen {
+			return TokAddr
+		}
+		tgt, _ := in.Target()
+		return fmt.Sprintf("%#x", tgt)
+	}
+
+	switch {
+	case in.Op == OpUNIMP:
+	case in.Op == OpJAL:
+		t[1] = addr()
+		if in.Rd == RA && gen && tc.InText != nil {
+			// A call outside .text is a library stub whose name survives
+			// stripping (dynamic symbols); intra-text targets in stripped
+			// binaries have no name.
+			if tgt, ok := in.Target(); ok && !tc.InText(tgt) {
+				t[2] = TokFunc
+			}
+		}
+	case in.Op == OpJALR:
+		if !(in.Rd == X0 && in.Rs1 == RA && in.Imm == 0) {
+			t[1] = in.Rs1.String()
+		}
+	case in.Op.IsBranch():
+		t[1] = in.Rs1.String()
+		t[2] = addr()
+	case in.Op.IsLoad():
+		t[1] = in.Rd.String()
+		t[2] = mem()
+	case in.Op.IsStore():
+		t[1] = in.Rs2.String()
+		t[2] = mem()
+	case in.Op == OpLUI, in.Op == OpAUIPC:
+		t[1] = in.Rd.String()
+		t[2] = imm(in.Imm)
+	case in.Op == OpADDI && in.Rs1 == X0: // li
+		t[1] = in.Rd.String()
+		t[2] = imm(in.Imm)
+	case in.Op == OpADDI && in.Imm == 0: // mv
+		t[1] = in.Rd.String()
+		t[2] = in.Rs1.String()
+	case in.Op == OpSLTIU && in.Imm == 1: // seqz
+		t[1] = in.Rd.String()
+		t[2] = in.Rs1.String()
+	case in.Op == OpSLTU && in.Rs1 == X0: // snez
+		t[1] = in.Rd.String()
+		t[2] = in.Rs2.String()
+	case isImmALU(in.Op):
+		t[1] = in.Rd.String()
+		t[2] = imm(in.Imm)
+	case in.Op >= OpFCVTWS && in.Op <= OpFCVTDS:
+		t[1] = in.Rd.String()
+		t[2] = in.Rs1.String()
+	default: // three-register ALU and float arithmetic: keep dest + first source
+		t[1] = in.Rd.String()
+		t[2] = in.Rs1.String()
+	}
+	return t
+}

@@ -1,0 +1,122 @@
+package rv64
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDuplicateLabel reports a label defined twice in one unit.
+var ErrDuplicateLabel = errors.New("rv64: duplicate label")
+
+// ErrUndefinedLabel reports a branch target that neither the unit's labels
+// nor the external symbol map can resolve.
+var ErrUndefinedLabel = errors.New("rv64: undefined label")
+
+// Unit is an assembly unit: a sequence of instructions with interleaved
+// label definitions, assembled in two passes so forward branches work.
+type Unit struct {
+	items []unitItem
+}
+
+type unitItem struct {
+	label string // non-empty for a label definition
+	inst  Inst
+}
+
+// Label defines a label at the current position.
+func (u *Unit) Label(name string) {
+	u.items = append(u.items, unitItem{label: name})
+}
+
+// Add appends an instruction.
+func (u *Unit) Add(in Inst) {
+	u.items = append(u.items, unitItem{inst: in})
+}
+
+// Len returns the number of instructions (excluding label definitions).
+func (u *Unit) Len() int {
+	n := 0
+	for _, it := range u.items {
+		if it.label == "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Assembled is the result of Unit.Assemble.
+type Assembled struct {
+	Code   []byte
+	Insts  []Inst            // final instructions with Addr and resolved targets
+	Labels map[string]uint64 // label name → virtual address
+}
+
+// Assemble lays the unit out at virtual address base. extern resolves
+// symbols not defined as local labels (e.g. callees in other units); it may
+// be nil.
+//
+// The encoder never compresses instructions with unresolved symbols
+// (branches, jal), so instruction lengths are independent of final
+// displacements and a simple two-pass scheme is exact.
+func (u *Unit) Assemble(base uint64, extern map[string]uint64) (*Assembled, error) {
+	labels := make(map[string]uint64)
+
+	// Pass 1: lengths and label addresses.
+	addr := base
+	lens := make([]int, 0, len(u.items))
+	for _, it := range u.items {
+		if it.label != "" {
+			if _, dup := labels[it.label]; dup {
+				return nil, fmt.Errorf("%q: %w", it.label, ErrDuplicateLabel)
+			}
+			labels[it.label] = addr
+			lens = append(lens, 0)
+			continue
+		}
+		in := it.inst
+		in.Addr = addr
+		if in.Sym != "" {
+			in.Imm = 0 // placeholder displacement for the length pass
+		}
+		code, err := Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("pass1 at %#x (%s): %w", addr, it.inst.Op, err)
+		}
+		lens = append(lens, len(code))
+		addr += uint64(len(code))
+	}
+
+	// Pass 2: resolve and emit.
+	out := &Assembled{Labels: labels}
+	addr = base
+	for i, it := range u.items {
+		if it.label != "" {
+			continue
+		}
+		in := it.inst
+		in.Addr = addr
+		if in.Sym != "" {
+			target, ok := labels[in.Sym]
+			if !ok {
+				target, ok = extern[in.Sym]
+			}
+			if !ok {
+				return nil, fmt.Errorf("%q: %w", in.Sym, ErrUndefinedLabel)
+			}
+			in.Imm = int64(target) - int64(addr)
+		}
+		code, err := Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("pass2 at %#x (%s): %w", addr, in.Op, err)
+		}
+		if len(code) != lens[i] {
+			return nil, fmt.Errorf("at %#x (%s): pass length drift %d != %d",
+				addr, in.Op, len(code), lens[i])
+		}
+		in.Len = len(code)
+		out.Code = append(out.Code, code...)
+		out.Insts = append(out.Insts, in)
+		addr += uint64(len(code))
+	}
+	return out, nil
+}

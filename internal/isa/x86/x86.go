@@ -1,0 +1,391 @@
+// Package x86 adapts the concrete x86-64 substrate (internal/asm) to the
+// architecture interface (internal/isa). The adapters are deliberately
+// thin: every predicate reproduces, operation for operation, the logic
+// the recovery and tokenization layers used when they were hard-wired to
+// internal/asm — the corpus golden test proves the translation is
+// bit-identical.
+package x86
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/elfx"
+	"repro/internal/isa"
+)
+
+// Name is the canonical architecture name.
+const Name = "x86_64"
+
+// Arch is the x86-64 architecture.
+type Arch struct{}
+
+func init() { isa.Register(Arch{}) }
+
+// Name returns "x86_64".
+func (Arch) Name() string { return Name }
+
+// EMachine returns EM_X86_64.
+func (Arch) EMachine() uint16 { return elfx.EMX86_64 }
+
+// rip is the neutral number of the RIP pseudo-base: distinct from every
+// GPR (asm.Reg.Num reports 0 for it, which would collide with rax).
+const rip isa.Reg = 16
+
+// regNum maps an asm register to its neutral number.
+func regNum(r asm.Reg) isa.Reg {
+	if r == asm.RegNone {
+		return isa.RegNone
+	}
+	if r == asm.RIP {
+		return rip
+	}
+	return isa.Reg(r.Num())
+}
+
+// DecodeAll decodes the stream and wraps each instruction.
+func (Arch) DecodeAll(code []byte, addr uint64) ([]isa.Inst, error) {
+	raw, err := asm.DecodeAll(code, addr)
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(raw), nil
+}
+
+// Wrap adapts already-decoded instructions. The backing array is shared:
+// one allocation for the concrete instructions, one for the interface
+// slice.
+func Wrap(raw []asm.Inst) []isa.Inst {
+	insts := make([]inst, len(raw))
+	out := make([]isa.Inst, len(raw))
+	for i := range raw {
+		insts[i] = inst{in: raw[i]}
+		out[i] = &insts[i]
+	}
+	return out
+}
+
+// calleeSaved mirrors the promotion registers compilers use for register
+// variables: rbx, r12..r15.
+var calleeSaved = []isa.Reg{3, 12, 13, 14, 15}
+
+// CalleeSaved lists rbx and r12..r15.
+func (Arch) CalleeSaved() []isa.Reg {
+	return append([]isa.Reg(nil), calleeSaved...)
+}
+
+// RegName names a neutral register with its 64-bit spelling.
+func (Arch) RegName(r isa.Reg) string {
+	switch {
+	case r == isa.RegNone:
+		return "none"
+	case r == rip:
+		return "rip"
+	case r >= 0 && r <= 15:
+		return asm.GPR(int(r), 8).String()
+	}
+	return "reg" + strconv.Itoa(int(r))
+}
+
+// DetectFrame looks for the classic `push rbp; mov rbp,rsp` prologue in
+// the first four instructions; anything else is a frame-pointer-omitted
+// rsp frame.
+func (Arch) DetectFrame(insts []isa.Inst) (isa.Reg, isa.Frame) {
+	limit := 4
+	if len(insts) < limit {
+		limit = len(insts)
+	}
+	sawPush := false
+	for i := 0; i < limit; i++ {
+		x, ok := insts[i].(*inst)
+		if !ok {
+			continue
+		}
+		in := &x.in
+		if in.Op == asm.OpPUSH {
+			if d, ok := in.Dst().(asm.RegArg); ok && d.Reg == asm.RBP {
+				sawPush = true
+			}
+			continue
+		}
+		if sawPush && in.Op == asm.OpMOV {
+			d, dok := in.Dst().(asm.RegArg)
+			s, sok := in.Src().(asm.RegArg)
+			if dok && sok && d.Reg == asm.RBP && s.Reg == asm.RSP {
+				return isa.Reg(asm.RBP.Num()), isa.FrameFP
+			}
+		}
+	}
+	return isa.Reg(asm.RSP.Num()), isa.FrameSP
+}
+
+// inst adapts one decoded x86 instruction.
+type inst struct {
+	in asm.Inst
+}
+
+// Raw exposes the underlying instruction for x86-only callers (the
+// compile layer's tests, the annotate view).
+func (x *inst) Raw() *asm.Inst { return &x.in }
+
+func (x *inst) Addr() uint64 { return x.in.Addr }
+
+func (x *inst) Len() int { return x.in.Len }
+
+func (x *inst) Class() isa.Class {
+	switch {
+	case x.in.Op == asm.OpCALL:
+		return isa.ClassCall
+	case x.in.Op == asm.OpRET:
+		return isa.ClassRet
+	case x.in.Op == asm.OpJMP:
+		return isa.ClassJump
+	case x.in.Op.IsCondJump():
+		return isa.ClassCondJump
+	}
+	return isa.ClassOther
+}
+
+func (x *inst) Target() (uint64, bool) {
+	if len(x.in.Args) == 0 {
+		return 0, false
+	}
+	if s, ok := x.in.Args[0].(asm.Sym); ok && s.Resolved {
+		return s.Addr, true
+	}
+	return 0, false
+}
+
+func (x *inst) MemArg() (isa.Mem, bool) {
+	m, ok := x.in.MemArg()
+	if !ok {
+		return isa.Mem{}, false
+	}
+	return isa.Mem{
+		Base:  regNum(m.Base),
+		Index: regNum(m.Index),
+		Scale: m.Scale,
+		Disp:  m.Disp,
+	}, true
+}
+
+// AbsAddr reports base-less memory operands as absolute 32-bit data
+// addresses, exactly as the global-recovery pass interpreted them.
+func (x *inst) AbsAddr() (uint64, bool) {
+	m, ok := x.in.MemArg()
+	if !ok || m.Base != asm.RegNone {
+		return 0, false
+	}
+	return uint64(uint32(m.Disp)), true
+}
+
+func (x *inst) AccessWidth() int {
+	in := &x.in
+	switch in.Op {
+	case asm.OpLEA:
+		// Address computation: the access width is unknown; count one byte
+		// so LEAs attach to whatever slot they point at without widening.
+		return 1
+	case asm.OpFLD, asm.OpFSTP, asm.OpFILD:
+		return in.Width
+	case asm.OpMOVZX, asm.OpMOVSX:
+		return in.Width // source width
+	case asm.OpMOVSXD:
+		return 4
+	}
+	if in.Width >= 1 && in.Width <= 10 {
+		return in.Width
+	}
+	return 8
+}
+
+func (x *inst) IsFrameSetup() bool {
+	return x.in.Op == asm.OpPUSH || x.in.Op == asm.OpPOP
+}
+
+func (x *inst) SavedReg() (isa.Reg, bool) {
+	if x.in.Op != asm.OpPUSH {
+		return isa.RegNone, false
+	}
+	d, ok := x.in.Dst().(asm.RegArg)
+	if !ok || !d.Reg.IsGPR() || d.Reg.Width() != 8 {
+		return isa.RegNone, false
+	}
+	return isa.Reg(d.Reg.Num()), true
+}
+
+func (x *inst) VisitReads(f func(isa.Reg)) {
+	in := &x.in
+	for ai, a := range in.Args {
+		switch v := a.(type) {
+		case asm.RegArg:
+			if !v.Reg.IsGPR() {
+				continue
+			}
+			if ai == 0 && in.Op == asm.OpMOV {
+				continue // pure write, handled as redefinition
+			}
+			f(isa.Reg(v.Reg.Num()))
+		case asm.Mem:
+			if v.Base != asm.RegNone && v.Base.IsGPR() {
+				f(isa.Reg(v.Base.Num()))
+			}
+			if v.Index != asm.RegNone && v.Index.IsGPR() {
+				f(isa.Reg(v.Index.Num()))
+			}
+		}
+	}
+}
+
+func (x *inst) DefReg() (isa.Reg, bool) {
+	d, ok := x.in.Dst().(asm.RegArg)
+	if !ok || !d.Reg.IsGPR() {
+		return isa.RegNone, false
+	}
+	return isa.Reg(d.Reg.Num()), true
+}
+
+func (x *inst) SlotLoad() (isa.Reg, isa.Mem, bool) {
+	in := &x.in
+	if in.Op != asm.OpMOV {
+		return isa.RegNone, isa.Mem{}, false
+	}
+	d, ok := in.Dst().(asm.RegArg)
+	if !ok || !d.Reg.IsGPR() {
+		return isa.RegNone, isa.Mem{}, false
+	}
+	m, ok := in.Src().(asm.Mem)
+	if !ok {
+		return isa.RegNone, isa.Mem{}, false
+	}
+	return isa.Reg(d.Reg.Num()), isa.Mem{
+		Base:  regNum(m.Base),
+		Index: regNum(m.Index),
+		Scale: m.Scale,
+		Disp:  m.Disp,
+	}, true
+}
+
+func (x *inst) IsBarrier() bool {
+	op := x.in.Op
+	return op == asm.OpCALL || op == asm.OpRET || op == asm.OpLEAVE ||
+		op == asm.OpJMP || op.IsCondJump()
+}
+
+// divClobbers is rax and rdx: implicit division/extension operands.
+var divClobbers = []isa.Reg{0, 2}
+
+func (x *inst) Clobbers() []isa.Reg {
+	switch x.in.Op {
+	case asm.OpIDIV, asm.OpDIV, asm.OpCDQ, asm.OpCQO:
+		return divClobbers
+	}
+	return nil
+}
+
+func (x *inst) UsesReg(r isa.Reg) bool {
+	num := int(r)
+	for _, a := range x.in.Args {
+		switch v := a.(type) {
+		case asm.RegArg:
+			if v.Reg.IsGPR() && !v.Reg.IsHighByte() && v.Reg.Num() == num {
+				return true
+			}
+		case asm.Mem:
+			if v.Base != asm.RegNone && v.Base.IsGPR() && v.Base.Num() == num {
+				return true
+			}
+			if v.Index != asm.RegNone && v.Index.IsGPR() && v.Index.Num() == num {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Tokens generalizes the instruction into its three tokens (§IV-B):
+// mnemonic plus two operand slots in AT&T (reversed) order, immediates
+// and displacements rewritten to 0xIMM, branch targets to ADDR, and
+// extern call targets to ADDR FUNC.
+func (x *inst) Tokens(tc *isa.TokenContext) [3]string {
+	in := &x.in
+	t := [3]string{asm.Mnemonic(in), TokBlank, TokBlank}
+	slot := 1
+	n := len(in.Args)
+	// AT&T operand order: reverse of the stored Intel order.
+	for i := n - 1; i >= 0 && slot < 3; i-- {
+		a := in.Args[i]
+		if tc.NoGeneralize {
+			t[slot] = a.String()
+			slot++
+			continue
+		}
+		switch v := a.(type) {
+		case asm.Imm:
+			if v.Value < 0 {
+				t[slot] = "$-0xIMM"
+			} else {
+				t[slot] = "$0xIMM"
+			}
+			slot++
+		case asm.RegArg:
+			t[slot] = v.String()
+			slot++
+		case asm.Mem:
+			t[slot] = generalizeMem(v)
+			slot++
+		case asm.Sym:
+			t[slot] = TokAddr
+			slot++
+			if slot < 3 {
+				// A call outside .text is a library stub whose name
+				// survives stripping (dynamic symbols); intra-text targets
+				// in stripped binaries have no name.
+				if in.Op == asm.OpCALL && tc.InText != nil && v.Resolved && !tc.InText(v.Addr) {
+					t[slot] = TokFunc
+					slot++
+				}
+			}
+		}
+	}
+	return t
+}
+
+// Generalization tokens, mirrored from the vuc layer (the adapter cannot
+// import it).
+const (
+	TokBlank = "BLANK"
+	TokAddr  = "ADDR"
+	TokFunc  = "FUNC"
+)
+
+// generalizeMem rewrites a memory operand with its displacement
+// generalized, preserving structure, register names and the scale factor
+// (§IV-B: "we don't touch the scale factor of effective address since it
+// is related to variable length").
+func generalizeMem(m asm.Mem) string {
+	if m.Base == asm.RegNone && m.Index == asm.RegNone {
+		return "0xIMM" // absolute address (literal pools)
+	}
+	var sb strings.Builder
+	if m.Disp != 0 {
+		if m.Disp < 0 {
+			sb.WriteString("-0xIMM")
+		} else {
+			sb.WriteString("0xIMM")
+		}
+	}
+	sb.WriteByte('(')
+	if m.Base != asm.RegNone {
+		sb.WriteString("%" + m.Base.String())
+	}
+	if m.Index != asm.RegNone {
+		sb.WriteString(",%" + m.Index.String())
+		sb.WriteString("," + strconv.Itoa(int(m.Scale)))
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+func (x *inst) Text() string { return asm.Print(&x.in) }

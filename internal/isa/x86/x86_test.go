@@ -1,0 +1,160 @@
+package x86
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// tok renders one instruction through the adapter.
+func tok(in asm.Inst, tc *isa.TokenContext) [3]string {
+	return Wrap([]asm.Inst{in})[0].Tokens(tc)
+}
+
+func TestTokenizePaperExamples(t *testing.T) {
+	// Table II of the paper.
+	tests := []struct {
+		in   asm.Inst
+		want [3]string
+	}{
+		{asm.NewInst(asm.OpADD, 8, asm.R(asm.RAX), asm.Imm{Value: -0xD0}),
+			[3]string{"add", "$-0xIMM", "%rax"}},
+		{asm.NewInst(asm.OpLEA, 8, asm.R(asm.RAX), asm.MemSIB(asm.RBP, asm.R9, 4, -0x300)),
+			[3]string{"lea", "-0xIMM(%rbp,%r9,4)", "%rax"}},
+		{asm.NewInst(asm.OpJMP, 0, asm.Sym{Addr: 0x3bc59, Resolved: true}),
+			[3]string{"jmp", "ADDR", "BLANK"}},
+		{asm.NewInst(asm.OpMOV, 8, asm.MemD(asm.RSP, 0xa8), asm.Imm{Value: 0}),
+			[3]string{"movq", "$0xIMM", "0xIMM(%rsp)"}},
+		{asm.NewInst(asm.OpMOV, 8, asm.MemD(asm.RSP, 0xb0), asm.R(asm.RAX)),
+			[3]string{"mov", "%rax", "0xIMM(%rsp)"}},
+		{asm.NewInst(asm.OpLEA, 8, asm.R(asm.R15), asm.MemSIB(asm.RDI, asm.RSI, 1, 0)),
+			[3]string{"lea", "(%rdi,%rsi,1)", "%r15"}},
+		{asm.NewInst(asm.OpMOVSXD, 8, asm.R(asm.RSI), asm.R(asm.ESI)),
+			[3]string{"movslq", "%esi", "%rsi"}},
+		{asm.NewInst(asm.OpRET, 0), [3]string{"retq", "BLANK", "BLANK"}},
+		{asm.NewInst(asm.OpMOVSD, 8, asm.R(asm.XMM0), asm.Mem{Scale: 1, Disp: 0x4b0000}),
+			[3]string{"movsd", "0xIMM", "%xmm0"}},
+	}
+	for _, tt := range tests {
+		got := tok(tt.in, &isa.TokenContext{})
+		if got != tt.want {
+			t.Errorf("Tokens(%s) = %v, want %v", asm.Print(&tt.in), got, tt.want)
+		}
+	}
+}
+
+func TestTokenizeCallFuncVsBlank(t *testing.T) {
+	tc := &isa.TokenContext{InText: func(a uint64) bool {
+		return a >= 0x401000 && a < 0x402000
+	}}
+	// Call outside .text (library stub): name survives stripping → FUNC.
+	ext := asm.NewInst(asm.OpCALL, 0, asm.Sym{Name: "memchr", Addr: 0x400400, Resolved: true})
+	if got := tok(ext, tc); got != ([3]string{"callq", "ADDR", "FUNC"}) {
+		t.Errorf("extern call = %v", got)
+	}
+	// Intra-text call in a stripped binary: no name → BLANK.
+	loc := asm.NewInst(asm.OpCALL, 0, asm.Sym{Addr: 0x401500, Resolved: true})
+	if got := tok(loc, tc); got != ([3]string{"callq", "ADDR", "BLANK"}) {
+		t.Errorf("local call = %v", got)
+	}
+}
+
+func TestTokenizeNoGeneralize(t *testing.T) {
+	in := asm.NewInst(asm.OpADD, 8, asm.R(asm.RAX), asm.Imm{Value: -0xD0})
+	got := tok(in, &isa.TokenContext{NoGeneralize: true})
+	if got != ([3]string{"add", "-0xd0", "%rax"}) {
+		t.Errorf("raw tokens = %v", got)
+	}
+}
+
+func TestArchRegistration(t *testing.T) {
+	a, err := isa.ByName(Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EMachine() != 62 {
+		t.Fatalf("EMachine = %d, want 62", a.EMachine())
+	}
+	if m, err := isa.ByMachine(62); err != nil || m.Name() != Name {
+		t.Fatalf("ByMachine(62) = %v, %v", m, err)
+	}
+	// Machine 0 is legacy x86-64.
+	if m, err := isa.ByMachine(0); err != nil || m.Name() != Name {
+		t.Fatalf("ByMachine(0) = %v, %v", m, err)
+	}
+	if a.RegName(5) != "rbp" || a.RegName(4) != "rsp" || a.RegName(3) != "rbx" {
+		t.Fatalf("RegName mismatch: %q %q %q", a.RegName(5), a.RegName(4), a.RegName(3))
+	}
+}
+
+func TestDetectFrame(t *testing.T) {
+	fp := Wrap([]asm.Inst{
+		asm.NewInst(asm.OpPUSH, 8, asm.R(asm.RBP)),
+		asm.NewInst(asm.OpMOV, 8, asm.R(asm.RBP), asm.R(asm.RSP)),
+		asm.NewInst(asm.OpRET, 0),
+	})
+	if r, f := (Arch{}).DetectFrame(fp); r != 5 || f != isa.FrameFP {
+		t.Fatalf("classic prologue: reg=%d frame=%d", r, f)
+	}
+	sp := Wrap([]asm.Inst{
+		asm.NewInst(asm.OpSUB, 8, asm.R(asm.RSP), asm.Imm{Value: 32}),
+		asm.NewInst(asm.OpRET, 0),
+	})
+	if r, f := (Arch{}).DetectFrame(sp); r != 4 || f != isa.FrameSP {
+		t.Fatalf("omitted frame: reg=%d frame=%d", r, f)
+	}
+}
+
+// TestPropertyTokenizeInvariants: for random encodable instructions, the
+// generalized form always has a non-empty mnemonic, exactly three token
+// slots, and no concrete hex constants surviving generalization.
+func TestPropertyTokenizeInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	hexDigit := func(b byte) bool {
+		return (b >= '0' && b <= '9') || (b >= 'a' && b <= 'f')
+	}
+	for i := 0; i < 5000; i++ {
+		in := randomInst(r)
+		got := tok(in, &isa.TokenContext{})
+		if got[0] == "" || got[1] == "" || got[2] == "" {
+			t.Fatalf("empty token in %v for %s", got, asm.Print(&in))
+		}
+		for _, s := range got[1:] {
+			// After generalization the only "0x" occurrences are the IMM
+			// marker; nothing like 0x1f4 may survive.
+			for j := 0; j+2 < len(s); j++ {
+				if s[j] == '0' && s[j+1] == 'x' && j+2 < len(s) && hexDigit(s[j+2]) {
+					t.Fatalf("concrete constant survived generalization: %q (from %s)", s, asm.Print(&in))
+				}
+			}
+		}
+	}
+}
+
+// randomInst builds a random instruction with concrete operands.
+func randomInst(r *rand.Rand) asm.Inst {
+	regs := []asm.Reg{asm.RAX, asm.RCX, asm.RDX, asm.RSI, asm.RDI, asm.R8, asm.R9}
+	mem := func() asm.Mem {
+		if r.Intn(2) == 0 {
+			return asm.MemD(regs[r.Intn(len(regs))], int32(r.Intn(1<<12))-1<<11)
+		}
+		return asm.MemSIB(regs[r.Intn(len(regs))], regs[r.Intn(len(regs))],
+			[]uint8{1, 2, 4, 8}[r.Intn(4)], int32(r.Intn(1<<10)))
+	}
+	switch r.Intn(6) {
+	case 0:
+		return asm.NewInst(asm.OpMOV, 8, asm.R(regs[r.Intn(len(regs))]), mem())
+	case 1:
+		return asm.NewInst(asm.OpMOV, 4, mem(), asm.Imm{Value: int64(r.Intn(1 << 16))})
+	case 2:
+		return asm.NewInst(asm.OpADD, 8, asm.R(regs[r.Intn(len(regs))]), asm.Imm{Value: -int64(r.Intn(1 << 10))})
+	case 3:
+		return asm.NewInst(asm.OpLEA, 8, asm.R(regs[r.Intn(len(regs))]), mem())
+	case 4:
+		return asm.NewInst(asm.OpCALL, 0, asm.Sym{Addr: uint64(r.Intn(1 << 24)), Resolved: true})
+	default:
+		return asm.NewInst(asm.OpJNE, 0, asm.Sym{Addr: uint64(r.Intn(1 << 24)), Resolved: true})
+	}
+}

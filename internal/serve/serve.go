@@ -199,10 +199,13 @@ type ErrorResponse struct {
 
 // ModelInfo describes the active model in a ModelsResponse.
 type ModelInfo struct {
-	Fingerprint string    `json:"fingerprint"`
-	Path        string    `json:"path"`
-	LoadedAt    time.Time `json:"loaded_at"`
-	Reloads     uint64    `json:"reloads"`
+	Fingerprint string `json:"fingerprint"`
+	// Arch is the instruction set the model was trained on; uploads for
+	// another ISA fail per-binary with an arch-mismatch error.
+	Arch     string    `json:"arch"`
+	Path     string    `json:"path"`
+	LoadedAt time.Time `json:"loaded_at"`
+	Reloads  uint64    `json:"reloads"`
 }
 
 // ModelsResponse is the /v1/models body.
@@ -330,6 +333,7 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 	m := s.registry.Active()
 	writeJSON(w, http.StatusOK, ModelsResponse{Active: ModelInfo{
 		Fingerprint: m.Fingerprint,
+		Arch:        m.CATI.Arch(),
 		Path:        m.Path,
 		LoadedAt:    m.LoadedAt,
 		Reloads:     s.registry.Reloads(),

@@ -3,7 +3,7 @@ package vareco
 import (
 	"sort"
 
-	"repro/internal/asm"
+	"repro/internal/isa"
 )
 
 // augmentDataflow performs a forward def-use scan over the function:
@@ -32,16 +32,16 @@ func (r *Recovery) augmentDataflow(f *Func) {
 	// Branch targets inside the function end basic blocks.
 	blockStart := make(map[uint64]bool)
 	for i := f.InstLo; i < f.InstHi; i++ {
-		in := &r.Insts[i]
-		if in.Op == asm.OpJMP || in.Op.IsCondJump() {
-			if s, ok := in.Args[0].(asm.Sym); ok && s.Resolved {
-				blockStart[s.Addr] = true
+		in := r.Insts[i]
+		if c := in.Class(); c == isa.ClassJump || c == isa.ClassCondJump {
+			if t, ok := in.Target(); ok {
+				blockStart[t] = true
 			}
 		}
 	}
 
 	extra := make(map[int]map[int]bool) // var index → added instruction set
-	alias := make(map[int]int)          // hardware reg number → var index
+	alias := make(map[isa.Reg]int)      // register number → var index
 
 	add := func(vi, inst int) {
 		if extra[vi] == nil {
@@ -51,64 +51,39 @@ func (r *Recovery) augmentDataflow(f *Func) {
 	}
 
 	for i := f.InstLo; i < f.InstHi; i++ {
-		in := &r.Insts[i]
-		if blockStart[in.Addr] {
-			alias = make(map[int]int)
+		in := r.Insts[i]
+		if blockStart[in.Addr()] {
+			alias = make(map[isa.Reg]int)
 		}
 
 		// Uses: register sources, memory bases/indexes, and read-modify
 		// destinations.
-		for ai, a := range in.Args {
-			switch x := a.(type) {
-			case asm.RegArg:
-				if !x.Reg.IsGPR() {
-					continue
-				}
-				if ai == 0 && in.Op == asm.OpMOV {
-					continue // pure write, handled as redefinition below
-				}
-				if vi, ok := alias[x.Reg.Num()]; ok {
-					add(vi, i)
-				}
-			case asm.Mem:
-				if x.Base != asm.RegNone && x.Base.IsGPR() {
-					if vi, ok := alias[x.Base.Num()]; ok {
-						add(vi, i)
-					}
-				}
-				if x.Index != asm.RegNone && x.Index.IsGPR() {
-					if vi, ok := alias[x.Index.Num()]; ok {
-						add(vi, i)
-					}
-				}
+		in.VisitReads(func(reg isa.Reg) {
+			if vi, ok := alias[reg]; ok {
+				add(vi, i)
 			}
-		}
+		})
 
 		// Definitions invalidate aliases; a fresh load from a slot creates
 		// one.
-		switch {
-		case in.Op == asm.OpCALL, in.Op == asm.OpRET, in.Op == asm.OpLEAVE:
-			alias = make(map[int]int)
-			continue
-		case in.Op == asm.OpJMP || in.Op.IsCondJump():
-			alias = make(map[int]int)
-			continue
-		case in.Op == asm.OpIDIV || in.Op == asm.OpDIV ||
-			in.Op == asm.OpCDQ || in.Op == asm.OpCQO:
-			delete(alias, 0) // rax
-			delete(alias, 2) // rdx
+		if in.IsBarrier() {
+			alias = make(map[isa.Reg]int)
 			continue
 		}
-		if d, ok := in.Dst().(asm.RegArg); ok && d.Reg.IsGPR() {
-			if in.Op == asm.OpMOV {
-				if m, ok := in.Src().(asm.Mem); ok && m.Base == f.FrameReg {
-					if vi := varAt(m.Disp); vi >= 0 {
-						alias[d.Reg.Num()] = vi
-						continue
-					}
+		if clob := in.Clobbers(); len(clob) > 0 {
+			for _, reg := range clob {
+				delete(alias, reg)
+			}
+			continue
+		}
+		if d, ok := in.DefReg(); ok {
+			if dst, m, ok := in.SlotLoad(); ok && m.Base == f.FrameReg {
+				if vi := varAt(m.Disp); vi >= 0 {
+					alias[dst] = vi
+					continue
 				}
 			}
-			delete(alias, d.Reg.Num())
+			delete(alias, d)
 		}
 	}
 

@@ -3,7 +3,7 @@ package vareco
 import (
 	"sort"
 
-	"repro/internal/asm"
+	"repro/internal/isa"
 )
 
 // RegVar is a recovered register-resident variable: optimized code
@@ -12,87 +12,56 @@ import (
 // that stores a value, is called a variable") covers these; IDA models
 // them as register variables.
 type RegVar struct {
-	// Reg is the 64-bit callee-saved register holding the variable.
-	Reg asm.Reg
+	// Reg is the callee-saved register holding the variable, in the
+	// architecture's neutral numbering (matching debug-info RegNum).
+	Reg isa.Reg
 	// Insts lists the instructions that read or write the register inside
 	// the function body (saves/restores excluded).
 	Insts []int
 }
 
-// calleeSaved are the registers compilers use for register variables.
-var calleeSaved = []asm.Reg{asm.RBX, asm.R12, asm.R13, asm.R14, asm.R15}
-
 // findRegVars recovers register variables for one function: a callee-saved
 // register counts as a variable when the prologue saves it and the body
 // uses it. Called when Options.RegisterVars is set.
 func (r *Recovery) findRegVars(f *Func) {
-	// Which callee-saved registers does the prologue push?
-	saved := make(map[int]bool)
+	// Which callee-saved registers does the prologue save?
+	callee := make(map[isa.Reg]bool)
+	for _, cs := range r.Arch.CalleeSaved() {
+		callee[cs] = true
+	}
+	saved := make(map[isa.Reg]bool)
 	for i := f.InstLo; i < f.InstHi && i < f.InstLo+8; i++ {
-		in := &r.Insts[i]
-		if in.Op != asm.OpPUSH {
-			continue
-		}
-		d, ok := in.Dst().(asm.RegArg)
-		if !ok {
-			continue
-		}
-		for _, cs := range calleeSaved {
-			if d.Reg == cs {
-				saved[cs.Num()] = true
-			}
+		if reg, ok := r.Insts[i].SavedReg(); ok && callee[reg] {
+			saved[reg] = true
 		}
 	}
 	if len(saved) == 0 {
 		return
 	}
 
-	uses := make(map[int][]int) // reg hardware number → instruction indices
+	uses := make(map[isa.Reg][]int) // register number → instruction indices
 	for i := f.InstLo; i < f.InstHi; i++ {
-		in := &r.Insts[i]
-		if in.Op == asm.OpPUSH || in.Op == asm.OpPOP {
+		in := r.Insts[i]
+		if in.IsFrameSetup() {
 			continue
 		}
-		for num := range saved {
-			if instUsesReg(in, num) {
-				uses[num] = append(uses[num], i)
+		for reg := range saved {
+			if in.UsesReg(reg) {
+				uses[reg] = append(uses[reg], i)
 			}
 		}
 	}
 
 	nums := make([]int, 0, len(uses))
-	for num := range uses {
-		nums = append(nums, num)
+	for reg := range uses {
+		nums = append(nums, int(reg))
 	}
 	sort.Ints(nums)
 	for _, num := range nums {
-		if len(uses[num]) == 0 {
+		reg := isa.Reg(num)
+		if len(uses[reg]) == 0 {
 			continue
 		}
-		f.RegVars = append(f.RegVars, RegVar{
-			Reg:   asm.GPR(num, 8),
-			Insts: uses[num],
-		})
+		f.RegVars = append(f.RegVars, RegVar{Reg: reg, Insts: uses[reg]})
 	}
-}
-
-// instUsesReg reports whether the instruction references the hardware
-// register (at any width) as an operand or address component.
-func instUsesReg(in *asm.Inst, num int) bool {
-	for _, a := range in.Args {
-		switch x := a.(type) {
-		case asm.RegArg:
-			if x.Reg.IsGPR() && !x.Reg.IsHighByte() && x.Reg.Num() == num {
-				return true
-			}
-		case asm.Mem:
-			if x.Base != asm.RegNone && x.Base.IsGPR() && x.Base.Num() == num {
-				return true
-			}
-			if x.Index != asm.RegNone && x.Index.IsGPR() && x.Index.Num() == num {
-				return true
-			}
-		}
-	}
-	return false
 }

@@ -6,10 +6,13 @@
 // grouping the paper's voting mechanism consumes ("for each variable, we
 // name all VUCs on its data flow uniquely").
 //
-// The paper reports prior work recovers variables with roughly 90%
-// accuracy and treats the task as solved; this package implements the
-// standard frame-offset clustering approach so the claim is measured
-// rather than assumed (see the corpus package's recovery-accuracy checks).
+// The analysis is architecture-neutral: it consumes the internal/isa
+// interface and resolves the concrete architecture from the binary's ELF
+// machine field (or an explicit Options.Arch). The paper reports prior
+// work recovers variables with roughly 90% accuracy and treats the task
+// as solved; this package implements the standard frame-offset clustering
+// approach so the claim is measured rather than assumed (see the corpus
+// package's recovery-accuracy checks).
 package vareco
 
 import (
@@ -17,8 +20,9 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/asm"
 	"repro/internal/elfx"
+	"repro/internal/isa"
+	_ "repro/internal/isa/isas" // register built-in architectures
 )
 
 // ErrNoText reports a binary without an executable .text section.
@@ -39,9 +43,10 @@ type Variable struct {
 // Func is one recovered function.
 type Func struct {
 	Low, High uint64
-	// FrameReg is RBP for classic frames, RSP for frame-pointer-omitted
-	// code.
-	FrameReg asm.Reg
+	// FrameReg is the frame base register (rbp/rsp on x86, s0/sp on
+	// RV64); Frame tags which convention it is.
+	FrameReg isa.Reg
+	Frame    isa.Frame
 	// Insts is the index range [InstLo, InstHi) of the function's
 	// instructions in Recovery.Insts.
 	InstLo, InstHi int
@@ -61,8 +66,10 @@ type GlobalVar struct {
 
 // Recovery is the full analysis result for one binary.
 type Recovery struct {
+	// Arch is the architecture the binary was decoded as.
+	Arch isa.Arch
 	// Insts is the decoded instruction stream of .text.
-	Insts []asm.Inst
+	Insts []isa.Inst
 	// Funcs are the recovered functions in address order.
 	Funcs []Func
 	// Globals are the recovered data-section variables, in address order.
@@ -94,6 +101,9 @@ type Options struct {
 	// (callee-saved registers that optimized code promotes hot scalars
 	// into) — see RegVar.
 	RegisterVars bool
+	// Arch overrides architecture resolution; nil resolves from the
+	// binary's ELF machine field.
+	Arch isa.Arch
 }
 
 // Recover analyzes a (typically stripped) binary with slot clustering
@@ -102,17 +112,28 @@ func Recover(bin *elfx.Binary) (*Recovery, error) {
 	return RecoverOpts(bin, Options{})
 }
 
-// RecoverOpts analyzes a binary with explicit options.
+// RecoverOpts analyzes a binary with explicit options. Binaries whose
+// machine field names no registered architecture are rejected with an
+// error wrapping elfx.ErrUnsupportedMachine.
 func RecoverOpts(bin *elfx.Binary, opts Options) (*Recovery, error) {
+	arch := opts.Arch
+	if arch == nil {
+		var err error
+		arch, err = isa.ByMachine(bin.Machine)
+		if err != nil {
+			return nil, fmt.Errorf("vareco: %w", err)
+		}
+	}
 	text, err := bin.Text()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrNoText, err)
 	}
-	insts, err := asm.DecodeAll(text.Data, text.Addr)
+	insts, err := arch.DecodeAll(text.Data, text.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("vareco: disassemble: %w", err)
 	}
 	r := &Recovery{
+		Arch:     arch,
 		Insts:    insts,
 		TextLow:  text.Addr,
 		TextHigh: text.Addr + uint64(len(text.Data)),
@@ -152,17 +173,12 @@ func (r *Recovery) findGlobals() {
 		width int
 	}
 	var accesses []access
-	for i := range r.Insts {
-		in := &r.Insts[i]
-		m, ok := in.MemArg()
-		if !ok || m.Base != asm.RegNone {
+	for i, in := range r.Insts {
+		addr, ok := in.AbsAddr()
+		if !ok || !r.InData(addr) {
 			continue
 		}
-		addr := uint64(uint32(m.Disp))
-		if !r.InData(addr) {
-			continue
-		}
-		accesses = append(accesses, access{inst: i, addr: addr, width: accessWidth(in)})
+		accesses = append(accesses, access{inst: i, addr: addr, width: in.AccessWidth()})
 	}
 	if len(accesses) == 0 {
 		return
@@ -202,24 +218,25 @@ func (r *Recovery) findGlobals() {
 
 // findFunctions identifies function boundaries in the decoded stream:
 // the entry point, every intra-text call target, and any instruction that
-// follows a RET (functions are laid out contiguously by linkers).
+// follows a return (functions are laid out contiguously by linkers).
 func (r *Recovery) findFunctions(entry uint64) {
 	starts := map[uint64]bool{}
 	if r.InText(entry) {
 		starts[entry] = true
 	}
 	if len(r.Insts) > 0 {
-		starts[r.Insts[0].Addr] = true
+		starts[r.Insts[0].Addr()] = true
 	}
-	for i := range r.Insts {
-		in := &r.Insts[i]
-		if in.Op == asm.OpCALL {
-			if s, ok := in.Args[0].(asm.Sym); ok && s.Resolved && r.InText(s.Addr) {
-				starts[s.Addr] = true
+	for i, in := range r.Insts {
+		switch in.Class() {
+		case isa.ClassCall:
+			if t, ok := in.Target(); ok && r.InText(t) {
+				starts[t] = true
 			}
-		}
-		if in.Op == asm.OpRET && i+1 < len(r.Insts) {
-			starts[r.Insts[i+1].Addr] = true
+		case isa.ClassRet:
+			if i+1 < len(r.Insts) {
+				starts[r.Insts[i+1].Addr()] = true
+			}
 		}
 	}
 
@@ -232,7 +249,7 @@ func (r *Recovery) findFunctions(entry uint64) {
 	// Map addresses to instruction indices.
 	idxOf := make(map[uint64]int, len(r.Insts))
 	for i := range r.Insts {
-		idxOf[r.Insts[i].Addr] = i
+		idxOf[r.Insts[i].Addr()] = i
 	}
 
 	for i, a := range addrs {
@@ -259,7 +276,7 @@ func (r *Recovery) findFunctions(entry uint64) {
 
 // analyzeFunc detects the frame base and clusters slot accesses.
 func (r *Recovery) analyzeFunc(f *Func) {
-	f.FrameReg = detectFrameReg(r.Insts[f.InstLo:f.InstHi])
+	f.FrameReg, f.Frame = r.Arch.DetectFrame(r.Insts[f.InstLo:f.InstHi])
 
 	// An access is (instruction, slot offset, width). LEA of a slot counts
 	// as an access of the slot (address taken).
@@ -270,17 +287,16 @@ func (r *Recovery) analyzeFunc(f *Func) {
 	}
 	var accesses []access
 	for i := f.InstLo; i < f.InstHi; i++ {
-		in := &r.Insts[i]
+		in := r.Insts[i]
 		m, ok := in.MemArg()
 		if !ok || m.Base != f.FrameReg {
 			continue
 		}
 		// Skip the frame-establishment instructions themselves.
-		if in.Op == asm.OpPUSH || in.Op == asm.OpPOP {
+		if in.IsFrameSetup() {
 			continue
 		}
-		w := accessWidth(in)
-		accesses = append(accesses, access{inst: i, off: m.Disp, width: w})
+		accesses = append(accesses, access{inst: i, off: m.Disp, width: in.AccessWidth()})
 	}
 	if len(accesses) == 0 {
 		return
@@ -318,52 +334,6 @@ func (r *Recovery) analyzeFunc(f *Func) {
 		cur.Insts = append(cur.Insts, a.inst)
 	}
 	flush()
-}
-
-// detectFrameReg looks for the classic `push rbp; mov rbp,rsp` prologue.
-func detectFrameReg(insts []asm.Inst) asm.Reg {
-	limit := 4
-	if len(insts) < limit {
-		limit = len(insts)
-	}
-	sawPush := false
-	for i := 0; i < limit; i++ {
-		in := &insts[i]
-		if in.Op == asm.OpPUSH {
-			if d, ok := in.Dst().(asm.RegArg); ok && d.Reg == asm.RBP {
-				sawPush = true
-			}
-			continue
-		}
-		if sawPush && in.Op == asm.OpMOV {
-			d, dok := in.Dst().(asm.RegArg)
-			s, sok := in.Src().(asm.RegArg)
-			if dok && sok && d.Reg == asm.RBP && s.Reg == asm.RSP {
-				return asm.RBP
-			}
-		}
-	}
-	return asm.RSP
-}
-
-// accessWidth is the memory access width of an instruction, in bytes.
-func accessWidth(in *asm.Inst) int {
-	switch in.Op {
-	case asm.OpLEA:
-		// Address computation: the access width is unknown; count one byte
-		// so LEAs attach to whatever slot they point at without widening.
-		return 1
-	case asm.OpFLD, asm.OpFSTP, asm.OpFILD:
-		return in.Width
-	case asm.OpMOVZX, asm.OpMOVSX:
-		return in.Width // source width
-	case asm.OpMOVSXD:
-		return 4
-	}
-	if in.Width >= 1 && in.Width <= 10 {
-		return in.Width
-	}
-	return 8
 }
 
 // FuncAt returns the recovered function containing addr.

@@ -4,10 +4,10 @@ import (
 	"errors"
 	"testing"
 
-	"repro/internal/asm"
 	"repro/internal/compile"
 	"repro/internal/dwarflite"
 	"repro/internal/elfx"
+	"repro/internal/isa"
 	"repro/internal/synth"
 )
 
@@ -42,24 +42,24 @@ func TestRecoverFunctions(t *testing.T) {
 }
 
 func TestFrameRegDetection(t *testing.T) {
-	// GCC O0 → rbp frames; GCC O2 → rsp frames.
+	// GCC O0 → rbp (FP) frames; GCC O2 → rsp (SP) frames.
 	_, rec0 := build(t, 2, compile.GCC, 0)
 	for _, f := range rec0.Funcs {
-		if f.FrameReg != asm.RBP {
-			t.Errorf("O0 func at %#x: frame %s, want rbp", f.Low, f.FrameReg)
+		if f.Frame != isa.FrameFP {
+			t.Errorf("O0 func at %#x: frame %s, want rbp", f.Low, rec0.Arch.RegName(f.FrameReg))
 		}
 	}
 	_, rec2 := build(t, 2, compile.GCC, 2)
 	for _, f := range rec2.Funcs {
-		if f.FrameReg != asm.RSP {
-			t.Errorf("O2 func at %#x: frame %s, want rsp", f.Low, f.FrameReg)
+		if f.Frame != isa.FrameSP {
+			t.Errorf("O2 func at %#x: frame %s, want rsp", f.Low, rec2.Arch.RegName(f.FrameReg))
 		}
 	}
 	// Clang keeps rbp through O2.
 	_, recC := build(t, 2, compile.Clang, 2)
 	for _, f := range recC.Funcs {
-		if f.FrameReg != asm.RBP {
-			t.Errorf("clang O2 func at %#x: frame %s, want rbp", f.Low, f.FrameReg)
+		if f.Frame != isa.FrameFP {
+			t.Errorf("clang O2 func at %#x: frame %s, want rbp", f.Low, recC.Arch.RegName(f.FrameReg))
 		}
 	}
 }
@@ -118,10 +118,10 @@ func TestVariableInstructionGrouping(t *testing.T) {
 				if idx < f.InstLo || idx >= f.InstHi {
 					t.Fatalf("instruction %d outside function range [%d,%d)", idx, f.InstLo, f.InstHi)
 				}
-				in := &rec.Insts[idx]
+				in := rec.Insts[idx]
 				m, ok := in.MemArg()
 				if !ok || m.Base != f.FrameReg {
-					t.Fatalf("grouped instruction %s has no frame access", asm.Print(in))
+					t.Fatalf("grouped instruction %s has no frame access", in.Text())
 				}
 				if seen[idx] {
 					t.Fatalf("instruction %d grouped under two variables", idx)
@@ -174,12 +174,12 @@ func TestFrameRegTagConsistency(t *testing.T) {
 		if !ok {
 			t.Fatalf("function at %#x not recovered", df.Low)
 		}
-		wantReg := asm.RBP
+		wantFrame := isa.FrameFP
 		if df.FrameReg == dwarflite.FrameRSP {
-			wantReg = asm.RSP
+			wantFrame = isa.FrameSP
 		}
-		if rf.FrameReg != wantReg {
-			t.Errorf("func %s: frame %s, debug says %s", df.Name, rf.FrameReg, wantReg)
+		if rf.Frame != wantFrame {
+			t.Errorf("func %s: frame %s, debug tag %d", df.Name, rec.Arch.RegName(rf.FrameReg), df.FrameReg)
 		}
 	}
 }
@@ -297,10 +297,10 @@ func TestRegisterVariableRecovery(t *testing.T) {
 			}
 			found := false
 			for _, rv := range rf.RegVars {
-				if byte(rv.Reg.Num()) == df.Vars[vi].RegNum {
+				if byte(rv.Reg) == df.Vars[vi].RegNum {
 					found = true
 					if len(rv.Insts) == 0 {
-						t.Errorf("register variable %s has no instructions", rv.Reg)
+						t.Errorf("register variable %s has no instructions", rec.Arch.RegName(rv.Reg))
 					}
 				}
 			}

@@ -5,13 +5,16 @@
 // become 0xIMM, code addresses become ADDR, known callee names become FUNC,
 // missing operands are padded with BLANK — and rendered as exactly three
 // tokens: mnemonic, operand 1, operand 2.
+//
+// Generalization itself is architecture-specific and lives behind the
+// internal/isa instruction interface; this layer only assembles windows
+// and keys, which is what makes the representation ISA-neutral.
 package vuc
 
 import (
-	"strconv"
 	"strings"
 
-	"repro/internal/asm"
+	"repro/internal/isa"
 	"repro/internal/vareco"
 )
 
@@ -116,7 +119,7 @@ func Extract(rec *vareco.Recovery, cfg Config) []VUC {
 	// Tokenize the whole stream once.
 	toks := make([]InstTok, len(rec.Insts))
 	for i := range rec.Insts {
-		toks[i] = Tokenize(&rec.Insts[i], rec, cfg.NoGeneralize)
+		toks[i] = Tokenize(rec.Insts[i], rec, cfg.NoGeneralize)
 	}
 	window := func(key VarKey, center, lo, hi int) VUC {
 		u := VUC{
@@ -153,7 +156,7 @@ func Extract(rec *vareco.Recovery, cfg Config) []VUC {
 		key := GlobalKey(g.Addr)
 		for _, instIdx := range g.Insts {
 			lo, hi := 0, len(rec.Insts)
-			if f, ok := rec.FuncAt(rec.Insts[instIdx].Addr); ok {
+			if f, ok := rec.FuncAt(rec.Insts[instIdx].Addr()); ok {
 				lo, hi = f.InstLo, f.InstHi
 			}
 			out = append(out, window(key, instIdx, lo, hi))
@@ -162,76 +165,14 @@ func Extract(rec *vareco.Recovery, cfg Config) []VUC {
 	return out
 }
 
-// Tokenize generalizes one instruction into its three tokens. rec supplies
-// the text bounds for ADDR/FUNC classification of branch targets; it may
-// be nil, in which case all branch targets are ADDR+BLANK.
-func Tokenize(in *asm.Inst, rec *vareco.Recovery, noGeneralize bool) InstTok {
-	t := InstTok{asm.Mnemonic(in), TokBlank, TokBlank}
-	slot := 1
-	n := len(in.Args)
-	// AT&T operand order: reverse of the stored Intel order.
-	for i := n - 1; i >= 0 && slot < TokensPerInst; i-- {
-		a := in.Args[i]
-		if noGeneralize {
-			t[slot] = a.String()
-			slot++
-			continue
-		}
-		switch x := a.(type) {
-		case asm.Imm:
-			if x.Value < 0 {
-				t[slot] = "$-0xIMM"
-			} else {
-				t[slot] = "$0xIMM"
-			}
-			slot++
-		case asm.RegArg:
-			t[slot] = x.String()
-			slot++
-		case asm.Mem:
-			t[slot] = generalizeMem(x)
-			slot++
-		case asm.Sym:
-			t[slot] = TokAddr
-			slot++
-			if slot < TokensPerInst {
-				// A call outside .text is a library stub whose name
-				// survives stripping (dynamic symbols); intra-text targets
-				// in stripped binaries have no name.
-				if in.Op == asm.OpCALL && rec != nil && x.Resolved && !rec.InText(x.Addr) {
-					t[slot] = TokFunc
-					slot++
-				}
-			}
-		}
+// Tokenize generalizes one instruction into its three tokens via the
+// architecture's renderer. rec supplies the text bounds for ADDR/FUNC
+// classification of branch targets; it may be nil, in which case all
+// branch targets are ADDR+BLANK.
+func Tokenize(in isa.Inst, rec *vareco.Recovery, noGeneralize bool) InstTok {
+	tc := isa.TokenContext{NoGeneralize: noGeneralize}
+	if rec != nil {
+		tc.InText = rec.InText
 	}
-	return t
-}
-
-// generalizeMem rewrites a memory operand with its displacement
-// generalized, preserving structure, register names and the scale factor
-// (§IV-B: "we don't touch the scale factor of effective address since it
-// is related to variable length").
-func generalizeMem(m asm.Mem) string {
-	if m.Base == asm.RegNone && m.Index == asm.RegNone {
-		return "0xIMM" // absolute address (literal pools)
-	}
-	var sb strings.Builder
-	if m.Disp != 0 {
-		if m.Disp < 0 {
-			sb.WriteString("-0xIMM")
-		} else {
-			sb.WriteString("0xIMM")
-		}
-	}
-	sb.WriteByte('(')
-	if m.Base != asm.RegNone {
-		sb.WriteString("%" + m.Base.String())
-	}
-	if m.Index != asm.RegNone {
-		sb.WriteString(",%" + m.Index.String())
-		sb.WriteString("," + strconv.Itoa(int(m.Scale)))
-	}
-	sb.WriteByte(')')
-	return sb.String()
+	return InstTok(in.Tokens(&tc))
 }

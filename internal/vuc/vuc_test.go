@@ -1,70 +1,18 @@
 package vuc
 
 import (
-	"math/rand"
 	"testing"
 
-	"repro/internal/asm"
 	"repro/internal/compile"
 	"repro/internal/elfx"
 	"repro/internal/synth"
 	"repro/internal/vareco"
 )
 
-func TestTokenizePaperExamples(t *testing.T) {
-	// Table II of the paper.
-	tests := []struct {
-		in   asm.Inst
-		want InstTok
-	}{
-		{asm.NewInst(asm.OpADD, 8, asm.R(asm.RAX), asm.Imm{Value: -0xD0}),
-			InstTok{"add", "$-0xIMM", "%rax"}},
-		{asm.NewInst(asm.OpLEA, 8, asm.R(asm.RAX), asm.MemSIB(asm.RBP, asm.R9, 4, -0x300)),
-			InstTok{"lea", "-0xIMM(%rbp,%r9,4)", "%rax"}},
-		{asm.NewInst(asm.OpJMP, 0, asm.Sym{Addr: 0x3bc59, Resolved: true}),
-			InstTok{"jmp", "ADDR", "BLANK"}},
-		{asm.NewInst(asm.OpMOV, 8, asm.MemD(asm.RSP, 0xa8), asm.Imm{Value: 0}),
-			InstTok{"movq", "$0xIMM", "0xIMM(%rsp)"}},
-		{asm.NewInst(asm.OpMOV, 8, asm.MemD(asm.RSP, 0xb0), asm.R(asm.RAX)),
-			InstTok{"mov", "%rax", "0xIMM(%rsp)"}},
-		{asm.NewInst(asm.OpLEA, 8, asm.R(asm.R15), asm.MemSIB(asm.RDI, asm.RSI, 1, 0)),
-			InstTok{"lea", "(%rdi,%rsi,1)", "%r15"}},
-		{asm.NewInst(asm.OpMOVSXD, 8, asm.R(asm.RSI), asm.R(asm.ESI)),
-			InstTok{"movslq", "%esi", "%rsi"}},
-		{asm.NewInst(asm.OpRET, 0), InstTok{"retq", "BLANK", "BLANK"}},
-		{asm.NewInst(asm.OpMOVSD, 8, asm.R(asm.XMM0), asm.Mem{Scale: 1, Disp: 0x4b0000}),
-			InstTok{"movsd", "0xIMM", "%xmm0"}},
-	}
-	for _, tt := range tests {
-		in := tt.in
-		got := Tokenize(&in, nil, false)
-		if got != tt.want {
-			t.Errorf("Tokenize(%s) = %v, want %v", asm.Print(&in), got, tt.want)
-		}
-	}
-}
-
-func TestTokenizeCallFuncVsBlank(t *testing.T) {
-	rec := &vareco.Recovery{TextLow: 0x401000, TextHigh: 0x402000}
-	// Call outside .text (library stub): name survives stripping → FUNC.
-	ext := asm.NewInst(asm.OpCALL, 0, asm.Sym{Name: "memchr", Addr: 0x400400, Resolved: true})
-	if got := Tokenize(&ext, rec, false); got != (InstTok{"callq", "ADDR", "FUNC"}) {
-		t.Errorf("extern call = %v", got)
-	}
-	// Intra-text call in a stripped binary: no name → BLANK.
-	loc := asm.NewInst(asm.OpCALL, 0, asm.Sym{Addr: 0x401500, Resolved: true})
-	if got := Tokenize(&loc, rec, false); got != (InstTok{"callq", "ADDR", "BLANK"}) {
-		t.Errorf("local call = %v", got)
-	}
-}
-
-func TestTokenizeNoGeneralize(t *testing.T) {
-	in := asm.NewInst(asm.OpADD, 8, asm.R(asm.RAX), asm.Imm{Value: -0xD0})
-	got := Tokenize(&in, nil, true)
-	if got != (InstTok{"add", "-0xd0", "%rax"}) {
-		t.Errorf("raw tokens = %v", got)
-	}
-}
+// Tokenization itself (Table II cases, FUNC/BLANK call targets, the
+// no-generalize ablation, property invariants) is architecture-specific and
+// tested in internal/isa/x86; this file covers the ISA-neutral window
+// assembly, keys, and grouping.
 
 func buildRecovery(t *testing.T, seed int64, opt int) *vareco.Recovery {
 	t.Helper()
@@ -107,13 +55,12 @@ func TestExtractShape(t *testing.T) {
 		if center[0] == TokPad {
 			t.Fatal("center instruction is padding")
 		}
-		// The center must reference the variable's slot.
-		in := &rec.Insts[u.CenterIdx]
-		m, ok := in.MemArg()
-		if !ok {
-			t.Fatalf("center %s has no memory operand", asm.Print(in))
+		// The center must reference the variable's slot (stack vars) or an
+		// absolute address (globals).
+		in := rec.Insts[u.CenterIdx]
+		if _, ok := in.MemArg(); !ok {
+			t.Fatalf("center %s has no memory operand", in.Text())
 		}
-		_ = m
 		for _, it := range u.Tokens {
 			for _, tok := range it {
 				if tok == "" {
@@ -221,57 +168,5 @@ func TestUncertainSamplesOccur(t *testing.T) {
 	}
 	if collisions == 0 {
 		t.Error("no colliding generalized target instructions across variables")
-	}
-}
-
-// TestPropertyTokenizeInvariants: for random encodable instructions, the
-// generalized form always has a non-empty mnemonic, exactly three token
-// slots, and no concrete hex constants surviving generalization.
-func TestPropertyTokenizeInvariants(t *testing.T) {
-	r := rand.New(rand.NewSource(2024))
-	hexDigit := func(b byte) bool {
-		return (b >= '0' && b <= '9') || (b >= 'a' && b <= 'f')
-	}
-	for i := 0; i < 5000; i++ {
-		in := randomInst(r)
-		tok := Tokenize(&in, nil, false)
-		if tok[0] == "" || tok[1] == "" || tok[2] == "" {
-			t.Fatalf("empty token in %v for %s", tok, asm.Print(&in))
-		}
-		for _, s := range tok[1:] {
-			// After generalization the only "0x" occurrences are the IMM
-			// marker; nothing like 0x1f4 may survive.
-			for j := 0; j+2 < len(s); j++ {
-				if s[j] == '0' && s[j+1] == 'x' && j+2 < len(s) && hexDigit(s[j+2]) {
-					t.Fatalf("concrete constant survived generalization: %q (from %s)", s, asm.Print(&in))
-				}
-			}
-		}
-	}
-}
-
-// randomInst builds a random instruction with concrete operands.
-func randomInst(r *rand.Rand) asm.Inst {
-	regs := []asm.Reg{asm.RAX, asm.RCX, asm.RDX, asm.RSI, asm.RDI, asm.R8, asm.R9}
-	mem := func() asm.Mem {
-		if r.Intn(2) == 0 {
-			return asm.MemD(regs[r.Intn(len(regs))], int32(r.Intn(1<<12))-1<<11)
-		}
-		return asm.MemSIB(regs[r.Intn(len(regs))], regs[r.Intn(len(regs))],
-			[]uint8{1, 2, 4, 8}[r.Intn(4)], int32(r.Intn(1<<10)))
-	}
-	switch r.Intn(6) {
-	case 0:
-		return asm.NewInst(asm.OpMOV, 8, asm.R(regs[r.Intn(len(regs))]), mem())
-	case 1:
-		return asm.NewInst(asm.OpMOV, 4, mem(), asm.Imm{Value: int64(r.Intn(1 << 16))})
-	case 2:
-		return asm.NewInst(asm.OpADD, 8, asm.R(regs[r.Intn(len(regs))]), asm.Imm{Value: -int64(r.Intn(1 << 10))})
-	case 3:
-		return asm.NewInst(asm.OpLEA, 8, asm.R(regs[r.Intn(len(regs))]), mem())
-	case 4:
-		return asm.NewInst(asm.OpCALL, 0, asm.Sym{Addr: uint64(r.Intn(1 << 24)), Resolved: true})
-	default:
-		return asm.NewInst(asm.OpJNE, 0, asm.Sym{Addr: uint64(r.Intn(1 << 24)), Resolved: true})
 	}
 }
