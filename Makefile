@@ -5,12 +5,12 @@
 
 GO ?= go
 GOFMT ?= gofmt
-RACE_PKGS = ./internal/par ./internal/obs ./internal/telemetry ./internal/nn ./internal/word2vec ./internal/classify ./internal/core ./internal/serve ./internal/isa/...
+RACE_PKGS = ./internal/par ./internal/obs ./internal/telemetry ./internal/nn ./internal/word2vec ./internal/classify ./internal/core ./internal/serve ./internal/fleet ./internal/isa/...
 # FUZZTIME bounds each fuzz target during `make fuzz`; the committed seed
 # corpus always runs in full via plain `go test`.
 FUZZTIME ?= 5s
 
-.PHONY: check build test lint vet race fuzz cover purego bench bench-json bench-serve bench-kernels bench-kernels-smoke
+.PHONY: check build test lint vet race fuzz cover purego bench bench-json bench-serve bench-fleet bench-kernels bench-kernels-smoke
 
 check: lint build test purego cover race fuzz bench-kernels-smoke
 
@@ -37,8 +37,10 @@ vet:
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test (and subtest) execution order each run,
+# flushing out inter-test state dependence before it reaches CI.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # purego re-runs the math-core packages with the JIT compiled out,
 # proving the portable fallback path stays green on its own.
@@ -77,6 +79,12 @@ bench-json:
 # off/on x micro-batching off/on): RPS and latency percentiles per point.
 bench-serve:
 	$(GO) run ./cmd/catibench -serve-bench BENCH_serve.json
+
+# Sharded fleet router sweep under fault injection (1..3 replicas):
+# fails unless every client request succeeds while replicas are slowed,
+# truncated, refused and killed mid-run. Writes BENCH_fleet.json.
+bench-fleet:
+	$(GO) run ./cmd/catibench -fleet-bench BENCH_fleet.json -chaos
 
 # Kernel-backend sweep (naive reference vs portable/blocked/jit in f32 and
 # int8) plus the int8-vs-f32 accuracy delta; writes BENCH_kernels.json.

@@ -174,18 +174,16 @@ func runServeURL(ctx context.Context, log *slog.Logger, url string, concurrency 
 	return json.NewEncoder(os.Stdout).Encode(rec)
 }
 
-// runServeBench is the self-contained sweep behind `catibench
-// -serve-bench FILE`: train a small model in-process, then measure the
-// 2×2 of {result cache off/on} × {micro-batching off/on} against a
-// loopback catiserve, writing one JSON record per configuration.
-func runServeBench(ctx context.Context, log *slog.Logger, path string, concurrency int, duration time.Duration) error {
+// trainLoadgenModel trains the small shared bench model and writes it
+// to a temp artifact; cleanup removes the directory.
+func trainLoadgenModel(log *slog.Logger) (model string, cleanup func(), err error) {
 	log.Info("training loadgen model")
 	c, err := corpus.Build(corpus.BuildConfig{
 		Name: "loadgen-train", Binaries: 4,
 		Profile: synth.DefaultProfile("loadgentrain"), Window: 5, Seed: 47,
 	})
 	if err != nil {
-		return err
+		return "", nil, err
 	}
 	cati, err := core.Train(c, classify.Config{
 		Window: 5, Conv1: 8, Conv2: 8, Hidden: 32, MaxPerStage: 500, Flat: true,
@@ -193,21 +191,34 @@ func runServeBench(ctx context.Context, log *slog.Logger, path string, concurren
 		W2V:   word2vec.Config{Epochs: 1}, Seed: 7,
 	})
 	if err != nil {
-		return err
+		return "", nil, err
 	}
 	blob, err := cati.Save()
 	if err != nil {
-		return err
+		return "", nil, err
 	}
 	dir, err := os.MkdirTemp("", "cati-loadgen")
 	if err != nil {
-		return err
+		return "", nil, err
 	}
-	defer os.RemoveAll(dir)
-	model := filepath.Join(dir, "m.model")
+	model = filepath.Join(dir, "m.model")
 	if err := os.WriteFile(model, blob, 0o644); err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	return model, func() { os.RemoveAll(dir) }, nil
+}
+
+// runServeBench is the self-contained sweep behind `catibench
+// -serve-bench FILE`: train a small model in-process, then measure the
+// 2×2 of {result cache off/on} × {micro-batching off/on} against a
+// loopback catiserve, writing one JSON record per configuration.
+func runServeBench(ctx context.Context, log *slog.Logger, path string, concurrency int, duration time.Duration) error {
+	model, cleanup, err := trainLoadgenModel(log)
+	if err != nil {
 		return err
 	}
+	defer cleanup()
 	images, err := loadgenImages(6)
 	if err != nil {
 		return err

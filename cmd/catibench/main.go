@@ -12,6 +12,7 @@
 //	catibench -bench-kernels BENCH_kernels.json [-bench-iters N]
 //	catibench -serve-bench BENCH_serve.json
 //	catibench -serve-url http://host:8090/v1/infer -serve-concurrency 16
+//	catibench -fleet-bench BENCH_fleet.json -chaos
 //
 // -serve-bench runs the self-contained catiserve sweep: it trains a
 // small model, starts a loopback service per configuration, and measures
@@ -20,6 +21,15 @@
 // each), writing RPS and p50/p95/p99 latency records to the file.
 // -serve-url points the same load generator at an already-running
 // catiserve instead and prints one record to stdout.
+//
+// -fleet-bench measures the sharded fleet router (internal/fleet): for
+// each fleet size up to -fleet-replicas it starts that many loopback
+// catiserve replicas behind fault-injecting proxies, fronts them with a
+// router, and runs the same closed loop through it. With -chaos a fault
+// agent sweeps latency spikes, truncated responses, refused connections
+// and a mid-run replica kill/restart across the proxies during the
+// measurement — and the run fails unless every client request still
+// succeeded and the killed replica rejoined.
 package main
 
 import (
@@ -52,8 +62,11 @@ func run(args []string) error {
 	benchIters := fs.Int("bench-iters", 5, "timed iterations per point for -bench-kernels")
 	serveBench := fs.String("serve-bench", "", "run the catiserve cache/batch sweep and write JSON records to this file (e.g. BENCH_serve.json), then exit")
 	serveURL := fs.String("serve-url", "", "load-test a running catiserve at this /v1/infer URL and print the JSON record, then exit")
-	serveConc := fs.Int("serve-concurrency", 8, "closed-loop clients for -serve-bench / -serve-url")
-	serveDur := fs.Duration("serve-duration", 3*time.Second, "measurement window per configuration for -serve-bench / -serve-url")
+	serveConc := fs.Int("serve-concurrency", 8, "closed-loop clients for -serve-bench / -serve-url / -fleet-bench")
+	serveDur := fs.Duration("serve-duration", 3*time.Second, "measurement window per configuration for -serve-bench / -serve-url / -fleet-bench")
+	fleetBench := fs.String("fleet-bench", "", "run the sharded-fleet router sweep (1 to -fleet-replicas loopback replicas behind a router) and write JSON records to this file (e.g. BENCH_fleet.json), then exit")
+	fleetReplicas := fs.Int("fleet-replicas", 3, "maximum fleet size for -fleet-bench")
+	chaos := fs.Bool("chaos", false, "inject faults during -fleet-bench (latency spikes, truncated responses, refused connections, a mid-run replica kill/restart) and require zero failed client requests")
 	rt := cliflags.AddRuntime(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,9 +82,12 @@ func run(args []string) error {
 	if *benchKernels != "" {
 		return runKernelBench(log, *benchKernels, *benchIters)
 	}
-	if *serveBench != "" || *serveURL != "" {
+	if *serveBench != "" || *serveURL != "" || *fleetBench != "" {
 		ctx, stop := rt.Context()
 		defer stop()
+		if *fleetBench != "" {
+			return runFleetBench(ctx, log, *fleetBench, *serveConc, *serveDur, *fleetReplicas, *chaos)
+		}
 		if *serveBench != "" {
 			return runServeBench(ctx, log, *serveBench, *serveConc, *serveDur)
 		}

@@ -26,6 +26,21 @@
 // in place (write to a temp file, rename over -model) rolls the daemon
 // onto the new model without a restart; every response names the model
 // that produced it in the "model" field and X-Cati-Model header.
+//
+// # Router mode
+//
+//	catiserve -router -replicas http://10.0.0.1:8090,http://10.0.0.2:8090
+//	catiserve -router -replicas r1:8090,r2:8090,r3:8090 -fallback-model cati.model
+//
+// With -router the daemon serves no model itself: it consistent-hashes
+// /v1/infer requests by image SHA-256 across the -replicas set (cache
+// affinity), probes each replica's /v1/readyz to eject dead or
+// overloaded ones from the ring and readmit them when they recover,
+// retries and hedges individual requests around failures, fills from a
+// warm peer's result cache when a request is displaced from its home
+// shard, and — when -fallback-model is given — computes locally as the
+// last resort. GET /v1/fleet reports per-replica membership and the
+// robustness counters. See internal/fleet for the full contract.
 package main
 
 import (
@@ -38,6 +53,7 @@ import (
 	"syscall"
 
 	"repro/cmd/internal/cliflags"
+	"repro/internal/fleet"
 	"repro/internal/serve"
 )
 
@@ -48,10 +64,12 @@ func main() {
 	}
 }
 
-// daemon is a parsed-and-started catiserve instance: the service, the
-// flag groups that configured it, and the shared logger.
+// daemon is a parsed-and-started catiserve instance: the service (or,
+// in -router mode, the fleet router), the flag groups that configured
+// it, and the shared logger. Exactly one of srv and rt is non-nil.
 type daemon struct {
 	srv  *serve.Server
+	rt   *fleet.Router
 	sv   *cliflags.Serve
 	diag *cliflags.Diag
 	log  *slog.Logger
@@ -64,8 +82,10 @@ func newDaemon(args []string) (*daemon, error) {
 	fs := flag.NewFlagSet("catiserve", flag.ContinueOnError)
 	model := fs.String("model", "cati.model", "trained model artifact to serve (reloaded on SIGHUP or file change)")
 	workers := fs.Int("workers", 0, "inference worker goroutines (0: CATI_WORKERS env, else GOMAXPROCS)")
+	router := fs.Bool("router", false, "fleet router mode: shard requests across -replicas instead of serving a model")
 	kernel := cliflags.Kernel(fs)
 	sv := cliflags.AddServe(fs)
+	fl := cliflags.AddFleet(fs)
 	diag := cliflags.AddDiag(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -80,31 +100,78 @@ func newDaemon(args []string) (*daemon, error) {
 	if err := cliflags.ApplyKernel(*kernel); err != nil {
 		return nil, err
 	}
-	srv, err := serve.New(serve.Config{
-		ModelPath:     *model,
-		Workers:       *workers,
-		MaxInFlight:   sv.MaxInFlight,
-		MaxQueue:      sv.MaxQueue,
-		QueueWait:     sv.QueueWait,
-		RetryAfter:    sv.RetryAfter,
-		MaxBatch:      sv.MaxBatch,
-		Linger:        sv.BatchLinger,
-		CacheSize:     sv.CacheSize,
-		BinaryTimeout: sv.BinaryTimeout,
-		Retries:       sv.Retries,
-		MaxBody:       sv.MaxBody,
-		WatchInterval: sv.WatchInterval,
-		Log:           log,
+	d := &daemon{sv: sv, diag: diag, log: log}
+	if *router {
+		replicas := fl.ReplicaList()
+		if len(replicas) == 0 {
+			return nil, fmt.Errorf("-router requires -replicas (comma-separated catiserve base URLs)")
+		}
+		d.rt, err = fleet.New(fleet.Config{
+			Replicas:         replicas,
+			Vnodes:           fl.Vnodes,
+			ProbeInterval:    fl.ProbeInterval,
+			ProbeTimeout:     fl.ProbeTimeout,
+			EjectAfter:       fl.EjectAfter,
+			RejoinAfter:      fl.RejoinAfter,
+			HedgeAfter:       fl.HedgeAfter,
+			OwnerRetries:     fl.OwnerRetries,
+			Rounds:           fl.Rounds,
+			Backoff:          fl.Backoff,
+			MaxBackoff:       fl.MaxBackoff,
+			BreakerThreshold: fl.BreakerThreshold,
+			BreakerCooldown:  fl.BreakerCooldown,
+			FillTimeout:      fl.FillTimeout,
+			FillGrace:        fl.FillGrace,
+			FallbackModel:    fl.FallbackModel,
+			Workers:          *workers,
+			MaxBody:          sv.MaxBody,
+			Log:              log,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	d.srv, err = serve.New(serve.Config{
+		ModelPath:      *model,
+		Workers:        *workers,
+		MaxInFlight:    sv.MaxInFlight,
+		MaxQueue:       sv.MaxQueue,
+		QueueWait:      sv.QueueWait,
+		RetryAfter:     sv.RetryAfter,
+		MaxRetryAfter:  sv.MaxRetryAfter,
+		ReadyWatermark: sv.ReadyWatermark,
+		MaxBatch:       sv.MaxBatch,
+		Linger:         sv.BatchLinger,
+		CacheSize:      sv.CacheSize,
+		BinaryTimeout:  sv.BinaryTimeout,
+		Retries:        sv.Retries,
+		MaxBody:        sv.MaxBody,
+		WatchInterval:  sv.WatchInterval,
+		Log:            log,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &daemon{srv: srv, sv: sv, diag: diag, log: log}, nil
+	return d, nil
 }
 
 // start binds -addr and begins serving. After start, the bound address
-// is d.srv.Addr (which resolves ":0" listens for tests).
-func (d *daemon) start() error { return d.srv.Start(d.sv.Addr) }
+// is d.addr() (which resolves ":0" listens for tests).
+func (d *daemon) start() error {
+	if d.rt != nil {
+		return d.rt.Start(d.sv.Addr)
+	}
+	return d.srv.Start(d.sv.Addr)
+}
+
+// addr is the bound listen address, whichever mode is running.
+func (d *daemon) addr() string {
+	if d.rt != nil {
+		return d.rt.Addr
+	}
+	return d.srv.Addr
+}
 
 // loop blocks, serving reloads, until ctx is cancelled: each SIGHUP
 // swaps in a freshly loaded model (or logs and keeps the current one).
@@ -120,8 +187,12 @@ func (d *daemon) loop(ctx context.Context, hup <-chan os.Signal) {
 }
 
 // reload is the SIGHUP action, split out so tests can invoke it without
-// delivering a signal.
+// delivering a signal. Router mode has no model to reload.
 func (d *daemon) reload() {
+	if d.srv == nil {
+		d.log.Info("SIGHUP ignored: router mode has no model to reload")
+		return
+	}
 	if err := d.srv.Registry().Load(); err != nil {
 		d.log.Error("model reload failed; keeping current model", "error", err)
 		return
@@ -136,7 +207,12 @@ func (d *daemon) drain() error {
 	d.log.Info("draining", "timeout", d.sv.DrainTimeout)
 	ctx, cancel := context.WithTimeout(context.Background(), d.sv.DrainTimeout)
 	defer cancel()
-	err := d.srv.Shutdown(ctx)
+	var err error
+	if d.rt != nil {
+		err = d.rt.Shutdown(ctx)
+	} else {
+		err = d.srv.Shutdown(ctx)
+	}
 	if d.diag.Server != nil {
 		if derr := d.diag.Server.Shutdown(ctx); err == nil {
 			err = derr

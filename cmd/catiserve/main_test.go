@@ -265,4 +265,88 @@ func TestDaemonUsageErrors(t *testing.T) {
 	if _, err := newDaemon([]string{"-no-such-flag"}); err == nil {
 		t.Fatal("unknown flag not rejected")
 	}
+	if _, err := newDaemon([]string{"-router"}); err == nil {
+		t.Fatal("-router without -replicas not rejected")
+	}
+	if _, err := newDaemon([]string{"-router", "-replicas", "r1:8090", "-fallback-model", "/nonexistent/m.model"}); err == nil {
+		t.Fatal("missing -fallback-model artifact not reported")
+	}
+}
+
+// TestDaemonRouterMode runs the full fleet stack through the CLI
+// surface: two real replica daemons, one router daemon sharding across
+// them, requests flowing end to end — and surviving a replica kill.
+func TestDaemonRouterMode(t *testing.T) {
+	d1, _ := startDaemon(t)
+	d2, _ := startDaemon(t)
+	rd, err := newDaemon([]string{
+		"-router",
+		"-replicas", d1.srv.Addr + "," + d2.srv.Addr, // bare host:port → http:// normalized
+		"-addr", "127.0.0.1:0",
+		"-probe-interval", "25ms", "-eject-after", "2", "-rejoin-after", "1",
+		"-fleet-backoff", "2ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.rt == nil || rd.srv != nil {
+		t.Fatal("router daemon did not select router mode")
+	}
+	if err := rd.start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = rd.rt.Close() })
+
+	img := testImage(t, 73)
+	resp, ir := postInfer(t, rd.addr(), img)
+	if ir.Model != fpA {
+		t.Fatalf("routed response model %q, want %q", ir.Model, fpA)
+	}
+	if rep := resp.Header.Get("X-Cati-Replica"); rep == "" {
+		t.Fatal("routed response missing X-Cati-Replica")
+	}
+
+	// /v1/fleet reports both replicas in the ring. Both were probed up
+	// before Start returned in the common case, but the prober needs a
+	// cycle or two when the test machine is slow — poll, don't snapshot.
+	var st struct {
+		Replicas []struct {
+			URL string `json:"url"`
+			Up  bool   `json:"up"`
+		} `json:"replicas"`
+		Up int `json:"up"`
+	}
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		fresp, err := http.Get("http://" + rd.addr() + "/v1/fleet")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(fresp.Body).Decode(&st)
+		fresp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(st.Replicas) == 2 && st.Up == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/v1/fleet: %+v, want 2 replicas up", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Kill one replica: requests keep succeeding on the survivor.
+	if err := d2.srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(74); i < 78; i++ {
+		postInfer(t, rd.addr(), testImage(t, i)) // Fatals on any non-200
+	}
+
+	if err := rd.drain(); err != nil {
+		t.Fatalf("router drain: %v", err)
+	}
+	if _, err := http.Get("http://" + rd.addr() + "/v1/healthz"); err == nil {
+		t.Fatal("router still serving after drain")
+	}
 }

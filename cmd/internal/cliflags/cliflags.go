@@ -222,8 +222,15 @@ type Serve struct {
 	MaxQueue int
 	// QueueWait is the -queue-wait flag: a queued request's slot deadline.
 	QueueWait time.Duration
-	// RetryAfter is the -retry-after flag: the hint on 429 responses.
+	// RetryAfter is the -retry-after flag: the minimum Retry-After hint
+	// on 429 responses (the emitted hint is derived from live load).
 	RetryAfter time.Duration
+	// MaxRetryAfter is the -max-retry-after flag: the cap on the derived
+	// Retry-After hint.
+	MaxRetryAfter time.Duration
+	// ReadyWatermark is the -ready-watermark flag: the admission queue
+	// depth at which /v1/readyz flips to 503.
+	ReadyWatermark int
 	// MaxBatch is the -max-batch flag (1 disables micro-batching).
 	MaxBatch int
 	// BatchLinger is the -batch-linger flag: how long a forming batch
@@ -255,7 +262,9 @@ func AddServe(fs *flag.FlagSet) *Serve {
 	fs.IntVar(&s.MaxInFlight, "max-inflight", 0, "max concurrently executing requests (0: 2x max-batch, minimum 4)")
 	fs.IntVar(&s.MaxQueue, "max-queue", 0, "max requests queued beyond the in-flight bound (0: same as max-inflight)")
 	fs.DurationVar(&s.QueueWait, "queue-wait", 0, "max time a queued request waits for a slot before 429 (0: 1s)")
-	fs.DurationVar(&s.RetryAfter, "retry-after", 0, "Retry-After hint on 429 responses (0: 1s)")
+	fs.DurationVar(&s.RetryAfter, "retry-after", 0, "minimum Retry-After hint on 429 responses; the emitted hint scales with queue depth and recent latency (0: 1s)")
+	fs.DurationVar(&s.MaxRetryAfter, "max-retry-after", 0, "cap on the derived Retry-After hint (0: 30s)")
+	fs.IntVar(&s.ReadyWatermark, "ready-watermark", 0, "admission queue depth at which /v1/readyz reports 503 (0: max-queue)")
 	fs.IntVar(&s.MaxBatch, "max-batch", 0, "micro-batch size cap; 1 disables batching (0: 8)")
 	fs.DurationVar(&s.BatchLinger, "batch-linger", 0, "how long a forming micro-batch waits to fill (0: 2ms)")
 	fs.IntVar(&s.CacheSize, "cache-size", 0, "result cache entries; negative disables caching (0: 1024)")
@@ -265,6 +274,91 @@ func AddServe(fs *flag.FlagSet) *Serve {
 	fs.DurationVar(&s.WatchInterval, "watch-interval", 0, "model artifact poll period; negative reloads only on SIGHUP (0: 2s)")
 	fs.DurationVar(&s.DrainTimeout, "drain-timeout", 10*time.Second, "max time shutdown waits for in-flight requests")
 	return s
+}
+
+// Fleet carries the fleet-router flags (`catiserve -router`,
+// `catibench -fleet-bench`): the replica set plus the membership,
+// failover and peer-fill knobs of internal/fleet. Defaults mirror
+// fleet.Config's documented defaults.
+type Fleet struct {
+	// Replicas is the -replicas flag: comma-separated catiserve base
+	// URLs forming the ring.
+	Replicas string
+	// Vnodes is the -vnodes flag: ring points per replica.
+	Vnodes int
+	// ProbeInterval/ProbeTimeout are the -probe-interval/-probe-timeout
+	// flags driving health-gated membership.
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// EjectAfter/RejoinAfter are -eject-after/-rejoin-after: the
+	// consecutive-probe streaks that remove and readmit a replica.
+	EjectAfter  int
+	RejoinAfter int
+	// HedgeAfter is the -hedge-after flag: how long the owner shard gets
+	// before the request races the next ring replica.
+	HedgeAfter time.Duration
+	// OwnerRetries/Rounds are -owner-retries/-rounds: the owner's extra
+	// attempts and the full plan passes per request.
+	OwnerRetries int
+	Rounds       int
+	// Backoff/MaxBackoff are -fleet-backoff/-fleet-max-backoff: the
+	// jittered exponential spacing between failure-driven attempts.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// BreakerThreshold/BreakerCooldown are -breaker-threshold /
+	// -breaker-cooldown: the per-replica circuit breaker.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// FillTimeout/FillGrace are -fill-timeout/-fill-grace: the peer
+	// cache fill budget and the post-rejoin cold window.
+	FillTimeout time.Duration
+	FillGrace   time.Duration
+	// FallbackModel is the -fallback-model flag: a local artifact the
+	// router computes on when every replica has failed a request.
+	FallbackModel string
+}
+
+// AddFleet registers the fleet-router flags on the flag set and returns
+// the struct they fill in after fs.Parse. Zero values defer to
+// fleet.Config's defaults so the fleet layer stays the single source of
+// truth for them.
+func AddFleet(fs *flag.FlagSet) *Fleet {
+	f := &Fleet{}
+	fs.StringVar(&f.Replicas, "replicas", "", "comma-separated catiserve base URLs forming the ring (e.g. http://10.0.0.1:8090,http://10.0.0.2:8090)")
+	fs.IntVar(&f.Vnodes, "vnodes", 0, "consistent-hash ring points per replica (0: 64)")
+	fs.DurationVar(&f.ProbeInterval, "probe-interval", 0, "membership probe period (0: 500ms)")
+	fs.DurationVar(&f.ProbeTimeout, "probe-timeout", 0, "single readiness probe deadline (0: probe-interval, capped at 2s)")
+	fs.IntVar(&f.EjectAfter, "eject-after", 0, "consecutive failed probes before a replica is ejected from the ring (0: 3)")
+	fs.IntVar(&f.RejoinAfter, "rejoin-after", 0, "consecutive passing probes before an ejected replica rejoins (0: 2)")
+	fs.DurationVar(&f.HedgeAfter, "hedge-after", 0, "owner wait before hedging to the next ring replica; negative disables (0: 250ms)")
+	fs.IntVar(&f.OwnerRetries, "owner-retries", 0, "extra owner attempts after a hard failure before moving along the ring; negative disables (0: 1)")
+	fs.IntVar(&f.Rounds, "rounds", 0, "full passes over the candidate plan per request (0: 3)")
+	fs.DurationVar(&f.Backoff, "fleet-backoff", 0, "base jittered-exponential delay between failure-driven attempts; negative disables (0: 25ms)")
+	fs.DurationVar(&f.MaxBackoff, "fleet-max-backoff", 0, "cap on the attempt backoff (0: 1s)")
+	fs.IntVar(&f.BreakerThreshold, "breaker-threshold", 0, "consecutive request failures opening a replica's circuit breaker (0: 5)")
+	fs.DurationVar(&f.BreakerCooldown, "breaker-cooldown", 0, "how long an open breaker sheds before a half-open probe (0: 2s)")
+	fs.DurationVar(&f.FillTimeout, "fill-timeout", 0, "peer cache fill probe budget (0: 100ms)")
+	fs.DurationVar(&f.FillGrace, "fill-grace", 0, "post-rejoin window in which a cold owner's requests first probe the covering peer's cache (0: 10x probe-interval)")
+	fs.StringVar(&f.FallbackModel, "fallback-model", "", "local model artifact to compute on when every replica fails a request (empty: such requests get 502)")
+	return f
+}
+
+// ReplicaList splits and normalizes the -replicas value: entries are
+// trimmed, empties dropped, and bare host:port entries get an http://
+// scheme.
+func (f *Fleet) ReplicaList() []string {
+	var out []string
+	for _, r := range strings.Split(f.Replicas, ",") {
+		r = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(r), "/"))
+		if r == "" {
+			continue
+		}
+		if !strings.Contains(r, "://") {
+			r = "http://" + r
+		}
+		out = append(out, r)
+	}
+	return out
 }
 
 // Seed registers the common -seed flag with the tool's default.

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/elfx"
+)
+
+// TestBackoffDelayBounds pins the spacing policy: retry n draws from
+// [0.5, 1.5)× the capped exponential base×2^(n-1), negative disables,
+// zero takes the documented 25ms default.
+func TestBackoffDelayBounds(t *testing.T) {
+	opts := BatchOptions{Backoff: 40 * time.Millisecond, MaxBackoff: 100 * time.Millisecond}
+	wantIdeal := []time.Duration{
+		40 * time.Millisecond,  // retry 1
+		80 * time.Millisecond,  // retry 2
+		100 * time.Millisecond, // retry 3: capped (160 > max)
+		100 * time.Millisecond, // retry 4: stays capped
+	}
+	for n, ideal := range wantIdeal {
+		for trial := 0; trial < 50; trial++ {
+			d := opts.backoffDelay(n + 1)
+			if d < ideal/2 || d >= ideal+ideal/2 {
+				t.Fatalf("retry %d: delay %v outside [%v, %v)", n+1, d, ideal/2, ideal+ideal/2)
+			}
+		}
+	}
+	if d := (BatchOptions{Backoff: -1}).backoffDelay(1); d != 0 {
+		t.Fatalf("negative Backoff must disable spacing, got %v", d)
+	}
+	def := BatchOptions{}.backoffDelay(1)
+	if def < 12*time.Millisecond+time.Millisecond/2 || def >= 38*time.Millisecond {
+		t.Fatalf("default Backoff delay %v outside the 25ms ±50%% band", def)
+	}
+	// Huge attempt numbers must not overflow the shift into a negative
+	// duration — they saturate at the cap.
+	if d := opts.backoffDelay(64); d < 50*time.Millisecond || d >= 150*time.Millisecond {
+		t.Fatalf("saturated delay %v outside the capped band", d)
+	}
+}
+
+// TestRetryBackoffObservedSpacing is the end-to-end check the satellite
+// asks for: a transiently failing binary (impossible per-binary deadline)
+// with two retries must take at least the minimum jittered spacing
+// (0.5×base + 0.5×2×base) of wall time, where the same run with backoff
+// disabled completes almost instantly.
+func TestRetryBackoffObservedSpacing(t *testing.T) {
+	cati := sharedCATI(t)
+	bins := []*elfx.Binary{testBinary(t, 310)}
+
+	start := time.Now()
+	results, err := cati.InferBatchOpts(context.Background(), bins, BatchOptions{
+		Timeout: time.Nanosecond, Retries: 2,
+		Backoff: 60 * time.Millisecond, MaxBackoff: time.Second,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Attempts != 3 {
+		t.Fatalf("want 3 attempts, got %d", results[0].Attempts)
+	}
+	// Two backoffs: retry 1 ≥ 30ms, retry 2 ≥ 60ms (minimum jitter 0.5×).
+	if min := 90 * time.Millisecond; elapsed < min {
+		t.Fatalf("retries were not spaced: 3 attempts in %v, want ≥ %v", elapsed, min)
+	}
+
+	start = time.Now()
+	if _, err := cati.InferBatchOpts(context.Background(), bins, BatchOptions{
+		Timeout: time.Nanosecond, Retries: 2, Backoff: -1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if noWait := time.Since(start); noWait > 5*time.Second {
+		t.Fatalf("backoff-disabled retries took %v", noWait)
+	}
+}
+
+// TestRetryBackoffCancellable: a parent cancellation during the backoff
+// wait ends the batch promptly — the sleep is not a blind time.Sleep.
+func TestRetryBackoffCancellable(t *testing.T) {
+	cati := sharedCATI(t)
+	bins := []*elfx.Binary{testBinary(t, 311)}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := cati.InferBatchOpts(ctx, bins, BatchOptions{
+		Timeout: time.Nanosecond, Retries: 5,
+		Backoff: 30 * time.Second, MaxBackoff: time.Minute,
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled from the batch, got %v", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancellation did not cut the backoff short: took %v", elapsed)
+	}
+}

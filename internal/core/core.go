@@ -19,6 +19,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sort"
 	"time"
 
@@ -333,6 +334,41 @@ type BatchOptions struct {
 	// failures — malformed ELF, undecodable text, no .text section — are
 	// never retried: the same bytes produce the same error.
 	Retries int
+	// Backoff spaces retry attempts apart instead of re-attempting
+	// immediately: retry n waits Backoff×2^(n-1), jittered ±50% so
+	// batchmates that failed together do not retry in lockstep. 0 takes
+	// the 25ms default; negative disables backoff (immediate retries, the
+	// pre-backoff behavior). The wait is cancellable: a cancelled parent
+	// ctx ends it at once.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (0: 1s).
+	MaxBackoff time.Duration
+}
+
+// backoffDelay is the jittered wait before retry attempt n (n ≥ 1): the
+// exponential base×2^(n-1), capped at MaxBackoff, scaled by a uniform
+// factor in [0.5, 1.5).
+func (o BatchOptions) backoffDelay(n int) time.Duration {
+	base := o.Backoff
+	if base < 0 {
+		return 0
+	}
+	if base == 0 {
+		base = 25 * time.Millisecond
+	}
+	max := o.MaxBackoff
+	if max <= 0 {
+		max = time.Second
+	}
+	d := base
+	for i := 1; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// Jitter into [0.5d, 1.5d): decorrelates retry storms across a batch.
+	return d/2 + rand.N(d)
 }
 
 // retryable reports whether a per-binary failure is worth another
@@ -429,6 +465,21 @@ func (c *CATI) inferIsolated(ctx context.Context, bin *elfx.Binary, run obs.Runn
 		if res.Attempts > opts.Retries || !retryable(err) {
 			countOutcome(err)
 			return res
+		}
+		// Transient failure with retry budget left: back off before the
+		// next attempt so a load-induced failure (timeout, resource-
+		// pressure panic) is not immediately re-offered to the same
+		// overloaded machine. Cancellation cuts the wait short.
+		if delay := opts.backoffDelay(res.Attempts); delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				// Parent cancelled mid-backoff: surface the last failure
+				// uncounted, as in the in-attempt cancellation path above.
+				return res
+			}
 		}
 	}
 }

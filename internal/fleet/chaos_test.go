@@ -1,0 +1,231 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/elfx"
+	"repro/internal/fleet/fleetfault"
+	"repro/internal/nn"
+	"repro/internal/serve"
+	"repro/internal/synth"
+	"repro/internal/word2vec"
+)
+
+// Chaos fixture: one tiny trained model + a handful of stripped images,
+// trained once per process.
+var (
+	chaosOnce   sync.Once
+	chaosBlob   []byte
+	chaosImages [][]byte
+	chaosErr    error
+)
+
+func chaosFixture(t *testing.T) ([]byte, [][]byte) {
+	t.Helper()
+	chaosOnce.Do(func() {
+		c, err := corpus.Build(corpus.BuildConfig{
+			Name: "fleet-chaos-train", Binaries: 2,
+			Profile: synth.DefaultProfile("fleettrain"), Window: 5, Seed: 41,
+		})
+		if err != nil {
+			chaosErr = err
+			return
+		}
+		cati, err := core.Train(c, classify.Config{
+			Window: 5, Conv1: 4, Conv2: 4, Hidden: 16, MaxPerStage: 200, Flat: true,
+			Train: nn.TrainConfig{Epochs: 1, Batch: 32, LR: 2e-3},
+			W2V:   word2vec.Config{Epochs: 1}, Seed: 7,
+		})
+		if err != nil {
+			chaosErr = err
+			return
+		}
+		if chaosBlob, chaosErr = cati.Save(); chaosErr != nil {
+			return
+		}
+		for seed := int64(900); seed < 906; seed++ {
+			p := synth.Generate(synth.DefaultProfile("fleet-bin"), seed)
+			res, err := compile.Compile(p, compile.Options{Dialect: compile.GCC, Opt: 1, Seed: seed})
+			if err != nil {
+				chaosErr = err
+				return
+			}
+			img, err := elfx.Write(elfx.Strip(res.Binary))
+			if err != nil {
+				chaosErr = err
+				return
+			}
+			chaosImages = append(chaosImages, img)
+		}
+	})
+	if chaosErr != nil {
+		t.Fatal(chaosErr)
+	}
+	return chaosBlob, chaosImages
+}
+
+// TestChaosSweepZeroFailedRequests is the fleet acceptance test: three
+// real catiserve replicas behind fault-injecting proxies, continuous
+// client load, and a sweep of injected faults — latency spikes,
+// truncated responses, refused connections, and a mid-flight replica
+// kill with later restart. The router must absorb every fault: zero
+// client requests may fail, the killed replica must be ejected within
+// the probe budget and must rejoin cleanly once restarted.
+func TestChaosSweepZeroFailedRequests(t *testing.T) {
+	blob, images := chaosFixture(t)
+
+	const n = 3
+	var proxies []*fleetfault.Proxy
+	var urls []string
+	for i := 0; i < n; i++ {
+		path := filepath.Join(t.TempDir(), "cati.model")
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := serve.New(serve.Config{
+			ModelPath: path, Workers: 2, WatchInterval: -1, Log: quietLog(t),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = s.Close() })
+		p, err := fleetfault.New("127.0.0.1:0", s.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(p.Close)
+		proxies = append(proxies, p)
+		urls = append(urls, "http://"+p.Addr())
+	}
+
+	const probeEvery = 50 * time.Millisecond
+	rt := startRouter(t, Config{
+		Replicas:        urls,
+		ProbeInterval:   probeEvery,
+		EjectAfter:      3,
+		RejoinAfter:     2,
+		HedgeAfter:      100 * time.Millisecond,
+		Backoff:         5 * time.Millisecond,
+		BreakerCooldown: 250 * time.Millisecond,
+		FillTimeout:     100 * time.Millisecond,
+	})
+
+	// Continuous closed-loop client load for the whole sweep. Every
+	// single response must be 200 — the point of the ladder is that
+	// clients never see the faults.
+	var (
+		stop     atomic.Bool
+		requests atomic.Uint64
+		failures atomic.Uint64
+		failMu   sync.Mutex
+		firstErr string
+	)
+	client := &http.Client{Timeout: 20 * time.Second}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; !stop.Load(); i++ {
+				img := images[i%len(images)]
+				resp, err := client.Post("http://"+rt.Addr+"/v1/infer",
+					"application/octet-stream", bytes.NewReader(img))
+				var code int
+				var body []byte
+				if err == nil {
+					body, _ = io.ReadAll(resp.Body)
+					resp.Body.Close()
+					code = resp.StatusCode
+				}
+				requests.Add(1)
+				if err != nil || code != http.StatusOK {
+					failures.Add(1)
+					failMu.Lock()
+					if firstErr == "" {
+						firstErr = fmt.Sprintf("request %d: err=%v code=%d body=%.200s", i, err, code, body)
+					}
+					failMu.Unlock()
+				}
+			}
+		}(g)
+	}
+
+	// Warm up: every replica computes (and caches) its share.
+	time.Sleep(500 * time.Millisecond)
+
+	// Fault sweep: one fault at a time, each followed by a Pass window
+	// so the fleet can re-converge before the next.
+	inject := func(p *fleetfault.Proxy, m fleetfault.Mode) {
+		t.Logf("injecting %v", m)
+		p.SetMode(m)
+		time.Sleep(500 * time.Millisecond)
+		p.SetMode(fleetfault.Pass)
+		time.Sleep(300 * time.Millisecond)
+	}
+	inject(proxies[0], fleetfault.Latency)
+	inject(proxies[1], fleetfault.Truncate)
+	inject(proxies[2], fleetfault.Refuse)
+
+	// Mid-flight kill: the hard stop. The replica must be ejected within
+	// the probe budget (EjectAfter consecutive failed probes), traffic
+	// must keep succeeding on the survivors, and the restart must rejoin.
+	t.Log("killing replica 2")
+	killedAt := time.Now()
+	proxies[2].Kill()
+	waitFor(t, 2*time.Second, "ejection of killed replica", func() bool {
+		return !rt.members[2].up.Load()
+	})
+	ejectLatency := time.Since(killedAt)
+	time.Sleep(400 * time.Millisecond) // degraded steady state under load
+	if err := proxies[2].Restart(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, "rejoin of restarted replica", func() bool {
+		return rt.members[2].up.Load()
+	})
+	time.Sleep(300 * time.Millisecond)
+
+	stop.Store(true)
+	wg.Wait()
+
+	if failures.Load() != 0 {
+		t.Fatalf("%d of %d client requests failed under chaos; first: %s",
+			failures.Load(), requests.Load(), firstErr)
+	}
+	if requests.Load() < 50 {
+		t.Fatalf("only %d requests completed — load loop too slow to exercise the sweep", requests.Load())
+	}
+
+	st := rt.status()
+	if st.Ejections < 1 || st.Rejoins < 1 {
+		t.Fatalf("sweep produced ejections=%d rejoins=%d, want >= 1 of each", st.Ejections, st.Rejoins)
+	}
+	if st.Up != n {
+		t.Fatalf("fleet did not fully re-converge: %d/%d up; %+v", st.Up, n, st.Replicas)
+	}
+	if st.Retries+st.Hedges+st.CacheFills == 0 {
+		t.Fatal("sweep exercised no robustness machinery (no retries, hedges or fills)")
+	}
+	// The ejection budget: EjectAfter probes plus scheduling slack.
+	if budget := 10 * probeEvery * time.Duration(rt.cfg.EjectAfter); ejectLatency > budget {
+		t.Fatalf("ejection took %v, over the %v budget", ejectLatency, budget)
+	}
+	t.Logf("chaos sweep: %d requests, 0 failures; ejection in %v; status %+v",
+		requests.Load(), ejectLatency, st)
+}

@@ -1,0 +1,85 @@
+// Package fleet turns N independent catiserve replicas into one
+// fault-tolerant inference service. A router consistent-hashes every
+// request by its image's SHA-256 across the replica set — the same
+// binary always lands on the same shard, so each replica's result cache
+// stays hot for its slice of the corpus — and the robustness machinery
+// keeps client requests succeeding while individual replicas slow down,
+// die and come back:
+//
+//   - health-gated membership (membership.go): a prober hits every
+//     replica's /v1/readyz on an interval; EjectAfter consecutive
+//     failures remove a replica from the ring (its hash range flows to
+//     the next replicas clockwise — no operator action), RejoinAfter
+//     consecutive successes bring it back;
+//   - bounded retry with jittered exponential backoff, then hedging
+//     (router.go): a request first goes to its owner shard, retries it
+//     on hard failure, and when the owner exceeds the hedge deadline a
+//     second copy races the next replica on the ring — first good
+//     answer wins, the loser is cancelled;
+//   - a per-replica circuit breaker (breaker.go): a flapping replica
+//     that keeps failing requests is shed for a cooldown instead of
+//     eating a timeout per request, with a half-open probe deciding
+//     when to trust it again;
+//   - peer cache fill: when a request is routed somewhere other than
+//     its stable home shard (breaker open, hedge, or the home just
+//     rejoined cold), the router first probes the warm peer's
+//     GET /v1/cache/{sha} and serves that, degrading silently to a
+//     normal compute on any peer error;
+//   - local fallback: with a FallbackModel configured the router itself
+//     computes a request that every replica failed, trading latency for
+//     availability when the whole fleet is down.
+//
+// The degradation ladder for one request is therefore: owner shard →
+// owner retry (backoff) → hedge/failover along the ring → peer cache
+// fill → local fallback model → 502. Every rung is instrumented through
+// internal/telemetry.
+package fleet
+
+import (
+	"strconv"
+
+	"repro/internal/telemetry"
+)
+
+// Fleet telemetry: the counters tell the failure story end to end —
+// ejections/rejoins (membership), hedges/retries (per-request routing),
+// breaker opens (shedding), fills (peer cache), fallbacks (last rung).
+var (
+	mReplicasUp = telemetry.Default().Gauge("cati_fleet_replicas_up",
+		"Replicas currently in the ring (healthy and taking traffic).")
+	mEjections = telemetry.Default().Counter("cati_fleet_ejections_total",
+		"Replicas ejected from the ring after consecutive probe failures.")
+	mRejoins = telemetry.Default().Counter("cati_fleet_rejoins_total",
+		"Ejected replicas readmitted after consecutive probe successes.")
+	mHedges = telemetry.Default().Counter("cati_fleet_hedges_total",
+		"Hedged requests launched because the owner exceeded the hedge deadline.")
+	mRetries = telemetry.Default().Counter("cati_fleet_retries_total",
+		"Forward attempts re-launched after a hard replica failure.")
+	mBreakerOpens = telemetry.Default().Counter("cati_fleet_breaker_opens_total",
+		"Per-replica circuit breaker transitions into the open state.")
+	mFallbacks = telemetry.Default().Counter("cati_fleet_local_fallback_total",
+		"Requests computed on the router's local fallback model.")
+	mRouteSeconds = telemetry.Default().Histogram("cati_fleet_request_seconds",
+		"End-to-end routed /v1/infer latency, retries and hedges included.",
+		telemetry.HTTPBuckets)
+)
+
+// countRouted records one finished routed request by status code.
+func countRouted(code int) {
+	if !telemetry.On() {
+		return
+	}
+	telemetry.Default().Counter("cati_fleet_requests_total",
+		"Routed inference requests, by HTTP status code.",
+		"code", strconv.Itoa(code)).Inc()
+}
+
+// countFill records one peer cache fill probe by outcome.
+func countFill(result string) {
+	if !telemetry.On() {
+		return
+	}
+	telemetry.Default().Counter("cati_fleet_cache_fill_total",
+		"Peer cache fill probes, by outcome (hit, miss, error).",
+		"result", result).Inc()
+}

@@ -1,0 +1,269 @@
+// Package fleetfault is a fault-injecting TCP proxy for exercising the
+// fleet router's failure handling. A Proxy sits between the router and
+// one real catiserve replica and, per the currently selected Mode,
+// passes traffic through untouched, refuses connections, delays bytes,
+// or truncates responses mid-body. Kill closes the listener entirely
+// (true connection-refused, as if the process died); Restart rebinds
+// the same address.
+//
+// It is deliberately protocol-ignorant — faults are injected at the
+// byte-stream layer, which is where real networks fail — and safe for
+// concurrent mode changes while connections are in flight: switching
+// modes severs existing proxied connections so pooled HTTP clients
+// re-dial and immediately feel the new fault.
+package fleetfault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Mode selects the fault a Proxy injects.
+type Mode int
+
+const (
+	// Pass proxies bytes through unmodified.
+	Pass Mode = iota
+	// Refuse accepts then immediately closes connections (the classic
+	// "port open, service broken" failure).
+	Refuse
+	// Latency delays every read from the backend by the Proxy's Delay
+	// (default 150ms) before forwarding — a slow replica, not a dead one.
+	Latency
+	// Truncate forwards only the first TruncateAt bytes (default 64) of
+	// the backend's response, then severs the connection mid-body.
+	Truncate
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Refuse:
+		return "refuse"
+	case Latency:
+		return "latency"
+	case Truncate:
+		return "truncate"
+	default:
+		return "pass"
+	}
+}
+
+// Proxy is one fault-injecting TCP forwarder. Zero value is not usable;
+// construct with New.
+type Proxy struct {
+	backend string
+	// Delay is the per-read latency injected in Latency mode.
+	Delay time.Duration
+	// TruncateAt is how many response bytes survive Truncate mode.
+	TruncateAt int
+
+	mu       sync.Mutex
+	mode     Mode
+	lis      net.Listener
+	addr     string // sticky across Kill/Restart
+	conns    map[net.Conn]struct{}
+	accepted uint64
+	killed   bool
+	closed   bool
+}
+
+// New starts a proxy on addr (use "127.0.0.1:0" to pick a port)
+// forwarding to backend in Pass mode.
+func New(addr, backend string) (*Proxy, error) {
+	p := &Proxy{
+		backend:    backend,
+		Delay:      150 * time.Millisecond,
+		TruncateAt: 64,
+		conns:      make(map[net.Conn]struct{}),
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fleetfault: %w", err)
+	}
+	p.lis = lis
+	p.addr = lis.Addr().String()
+	go p.acceptLoop(lis)
+	return p, nil
+}
+
+// Addr is the proxy's listen address — what the router should be
+// configured with (as http://ADDR). Stable across Kill/Restart.
+func (p *Proxy) Addr() string { return p.addr }
+
+// Mode returns the currently injected fault.
+func (p *Proxy) Mode() Mode {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mode
+}
+
+// SetMode switches the injected fault and severs in-flight proxied
+// connections, so clients with pooled connections re-dial and
+// experience the new mode immediately.
+func (p *Proxy) SetMode(m Mode) {
+	p.mu.Lock()
+	p.mode = m
+	p.severLocked()
+	p.mu.Unlock()
+}
+
+// Accepted reports how many connections the proxy has accepted — a
+// cheap way for tests to assert traffic actually flowed through it.
+func (p *Proxy) Accepted() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.accepted
+}
+
+// Kill closes the listener and severs all connections: new dials get
+// connection-refused, exactly like a dead process. The address is
+// retained for Restart.
+func (p *Proxy) Kill() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.killed || p.closed {
+		return
+	}
+	p.killed = true
+	p.lis.Close()
+	p.severLocked()
+}
+
+// Restart rebinds the killed proxy's original address (in Pass mode).
+func (p *Proxy) Restart() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errors.New("fleetfault: proxy closed")
+	}
+	if !p.killed {
+		return nil
+	}
+	lis, err := net.Listen("tcp", p.addr)
+	if err != nil {
+		return fmt.Errorf("fleetfault: rebind %s: %w", p.addr, err)
+	}
+	p.lis = lis
+	p.killed = false
+	p.mode = Pass
+	go p.acceptLoop(lis)
+	return nil
+}
+
+// Close shuts the proxy down for good.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if !p.killed {
+		p.lis.Close()
+	}
+	p.severLocked()
+}
+
+// severLocked closes every tracked connection. Callers hold p.mu.
+func (p *Proxy) severLocked() {
+	for c := range p.conns {
+		c.Close()
+	}
+	clear(p.conns)
+}
+
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop(lis net.Listener) {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return // listener closed (Kill/Close)
+		}
+		p.mu.Lock()
+		p.accepted++
+		mode := p.mode
+		dead := p.killed || p.closed
+		p.mu.Unlock()
+		if dead || mode == Refuse {
+			conn.Close()
+			continue
+		}
+		go p.serve(conn, mode)
+	}
+}
+
+// serve proxies one accepted connection under the mode captured at
+// accept time (a SetMode mid-connection sees the connection severed
+// instead of silently changing behavior half-way).
+func (p *Proxy) serve(client net.Conn, mode Mode) {
+	defer client.Close()
+	backend, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		return
+	}
+	defer backend.Close()
+	p.track(client)
+	p.track(backend)
+	defer p.untrack(client)
+	defer p.untrack(backend)
+
+	done := make(chan struct{}, 2)
+	// Client → backend: requests always go through intact; the injected
+	// faults live on the response path, where they hurt.
+	go func() {
+		io.Copy(backend, client)
+		backend.(*net.TCPConn).CloseWrite()
+		done <- struct{}{}
+	}()
+	// Backend → client: the fault point.
+	go func() {
+		switch mode {
+		case Latency:
+			p.copySlow(client, backend)
+		case Truncate:
+			io.CopyN(client, backend, int64(p.TruncateAt))
+			// Sever instead of a clean FIN-after-short-body so the client
+			// sees an unexpected EOF mid-response.
+			client.Close()
+			backend.Close()
+		default:
+			io.Copy(client, backend)
+			client.(*net.TCPConn).CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}
+
+// copySlow forwards backend→client, sleeping Delay before each chunk.
+func (p *Proxy) copySlow(dst, src net.Conn) {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			time.Sleep(p.Delay)
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package fleet
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// member is one replica's live state. The hot-path read is up (one
+// atomic load per ring lookup); everything else is prober-written under
+// mu and read only by the status endpoint and the fill heuristic.
+type member struct {
+	url string // base URL, e.g. http://127.0.0.1:8090
+	up  atomic.Bool
+	// rejoinedAt is the unix-nano timestamp of the most recent rejoin (0:
+	// never ejected). The router treats a freshly rejoined owner as cold
+	// and probes its peers' caches for a grace window.
+	rejoinedAt atomic.Int64
+	br         *breaker
+
+	mu        sync.Mutex
+	fails     int // consecutive probe failures
+	oks       int // consecutive probe successes
+	lastErr   string
+	lastProbe time.Time
+	ejections uint64
+}
+
+// recentlyRejoined reports whether the member rejoined within grace.
+func (m *member) recentlyRejoined(grace time.Duration) bool {
+	at := m.rejoinedAt.Load()
+	return at != 0 && time.Since(time.Unix(0, at)) < grace
+}
+
+// ReplicaStatus is one replica's row in the /v1/fleet body.
+type ReplicaStatus struct {
+	URL string `json:"url"`
+	// Up is the membership gate: false means ejected (hash range
+	// reassigned to ring successors).
+	Up bool `json:"up"`
+	// ConsecutiveFails/OKs are the prober's streak counters driving
+	// ejection (EjectAfter) and rejoin (RejoinAfter).
+	ConsecutiveFails int `json:"consecutive_fails"`
+	ConsecutiveOKs   int `json:"consecutive_oks"`
+	// Ejections counts how many times this replica has been ejected.
+	Ejections uint64 `json:"ejections"`
+	// LastError is the most recent probe failure ("" when passing).
+	LastError string    `json:"last_error,omitempty"`
+	LastProbe time.Time `json:"last_probe"`
+	// Breaker is the request-path circuit state: closed, open, half-open.
+	Breaker string `json:"breaker"`
+}
+
+// prober drives health-gated membership: every Interval it probes each
+// replica's /v1/readyz in parallel. EjectAfter consecutive failures
+// (transport error, non-200, or an over-watermark 503) flip the member
+// down; RejoinAfter consecutive successes flip it back up. Probing
+// readiness rather than bare liveness means an overloaded-but-alive
+// replica is drained the same way a dead one is — the ring only holds
+// replicas that would actually serve.
+type prober struct {
+	members     []*member
+	interval    time.Duration
+	ejectAfter  int
+	rejoinAfter int
+	client      *http.Client
+	log         *slog.Logger
+	// counters mirrored into the per-router status (telemetry counters
+	// are process-global; a status endpoint wants this router's view).
+	ejections atomic.Uint64
+	rejoins   atomic.Uint64
+}
+
+// run probes until ctx is cancelled. Blocks; run on its own goroutine.
+func (p *prober) run(ctx context.Context) {
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	// One immediate round so a router that starts against a dead replica
+	// ejects it after EjectAfter×Interval, not (EjectAfter+1)×Interval.
+	p.probeAll(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			p.probeAll(ctx)
+		}
+	}
+}
+
+// probeAll runs one parallel probe round.
+func (p *prober) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, m := range p.members {
+		wg.Add(1)
+		go func(m *member) {
+			defer wg.Done()
+			p.probe(ctx, m)
+		}(m)
+	}
+	wg.Wait()
+	up := 0
+	for _, m := range p.members {
+		if m.up.Load() {
+			up++
+		}
+	}
+	mReplicasUp.Set(int64(up))
+}
+
+// probe checks one replica and applies the eject/rejoin streak rules.
+func (p *prober) probe(ctx context.Context, m *member) {
+	err := p.check(ctx, m.url)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lastProbe = time.Now()
+	if err != nil {
+		m.lastErr = err.Error()
+		m.oks = 0
+		m.fails++
+		if m.up.Load() && m.fails >= p.ejectAfter {
+			m.up.Store(false)
+			m.ejections++
+			p.ejections.Add(1)
+			mEjections.Inc()
+			p.log.Warn("replica ejected", "replica", m.url,
+				"consecutive_fails", m.fails, "error", m.lastErr)
+		}
+		return
+	}
+	m.lastErr = ""
+	m.fails = 0
+	m.oks++
+	if !m.up.Load() && m.oks >= p.rejoinAfter {
+		m.up.Store(true)
+		m.rejoinedAt.Store(time.Now().UnixNano())
+		p.rejoins.Add(1)
+		mRejoins.Inc()
+		p.log.Info("replica rejoined", "replica", m.url, "consecutive_oks", m.oks)
+	}
+}
+
+// check is one readiness probe: GET {url}/v1/readyz must answer 200
+// within the probe client's timeout.
+func (p *prober) check(ctx context.Context, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &probeError{code: resp.StatusCode}
+	}
+	return nil
+}
+
+// probeError is a non-200 readiness answer.
+type probeError struct{ code int }
+
+func (e *probeError) Error() string {
+	if e.code == http.StatusServiceUnavailable {
+		return "replica not ready (503)"
+	}
+	return "readyz status " + http.StatusText(e.code)
+}

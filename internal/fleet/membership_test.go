@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyReadyz is a replica stub whose readiness is a switch.
+type flakyReadyz struct {
+	ready  atomic.Bool
+	probes atomic.Uint64
+	srv    *httptest.Server
+}
+
+func newFlakyReadyz(t *testing.T) *flakyReadyz {
+	t.Helper()
+	f := &flakyReadyz{}
+	f.ready.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		f.probes.Add(1)
+		if !f.ready.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func testProber(t *testing.T, urls []string, ejectAfter, rejoinAfter int) (*prober, context.CancelFunc) {
+	t.Helper()
+	members := make([]*member, len(urls))
+	for i, u := range urls {
+		members[i] = &member{url: u, br: newBreaker(5, time.Second)}
+		members[i].up.Store(true)
+	}
+	p := &prober{
+		members:     members,
+		interval:    10 * time.Millisecond,
+		ejectAfter:  ejectAfter,
+		rejoinAfter: rejoinAfter,
+		client:      &http.Client{Timeout: 200 * time.Millisecond},
+		log:         slog.New(slog.NewTextHandler(testWriter{t}, &slog.HandlerOptions{Level: slog.LevelError})),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); p.run(ctx) }()
+	t.Cleanup(func() { cancel(); <-done })
+	return p, cancel
+}
+
+// testWriter adapts t.Logf so prober noise lands in test output.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}
+
+func waitFor(t *testing.T, deadline time.Duration, what string, cond func() bool) {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for time.Now().Before(stop) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// A replica that turns unready must be ejected after EjectAfter
+// consecutive probe failures, and readmitted after RejoinAfter
+// consecutive successes — with the counters telling the story.
+func TestProberEjectAndRejoin(t *testing.T) {
+	f := newFlakyReadyz(t)
+	p, _ := testProber(t, []string{f.srv.URL}, 3, 2)
+	m := p.members[0]
+
+	waitFor(t, 2*time.Second, "initial probes", func() bool { return f.probes.Load() >= 2 })
+	if !m.up.Load() {
+		t.Fatal("healthy replica was ejected")
+	}
+
+	f.ready.Store(false)
+	waitFor(t, 2*time.Second, "ejection", func() bool { return !m.up.Load() })
+	m.mu.Lock()
+	fails, lastErr := m.fails, m.lastErr
+	m.mu.Unlock()
+	if fails < 3 {
+		t.Fatalf("ejected after %d consecutive fails, want >= 3", fails)
+	}
+	if lastErr == "" {
+		t.Fatal("ejected member must record its last probe error")
+	}
+	if p.ejections.Load() != 1 {
+		t.Fatalf("ejections = %d, want 1", p.ejections.Load())
+	}
+
+	f.ready.Store(true)
+	waitFor(t, 2*time.Second, "rejoin", func() bool { return m.up.Load() })
+	if p.rejoins.Load() != 1 {
+		t.Fatalf("rejoins = %d, want 1", p.rejoins.Load())
+	}
+	if !m.recentlyRejoined(time.Minute) {
+		t.Fatal("rejoinedAt not stamped")
+	}
+	if m.recentlyRejoined(time.Nanosecond) {
+		t.Fatal("grace window must expire")
+	}
+}
+
+// One flapping probe (a single failure between successes) must NOT
+// eject: only consecutive failures count.
+func TestProberToleratesFlappingProbe(t *testing.T) {
+	f := newFlakyReadyz(t)
+	p, _ := testProber(t, []string{f.srv.URL}, 3, 2)
+	m := p.members[0]
+
+	for i := 0; i < 3; i++ {
+		f.ready.Store(false)
+		waitFor(t, 2*time.Second, "a failed probe", func() bool {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return m.fails >= 1
+		})
+		f.ready.Store(true)
+		waitFor(t, 2*time.Second, "a passing probe", func() bool {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return m.fails == 0
+		})
+	}
+	if !m.up.Load() {
+		t.Fatal("flapping (non-consecutive) failures ejected the replica")
+	}
+	if p.ejections.Load() != 0 {
+		t.Fatalf("ejections = %d, want 0", p.ejections.Load())
+	}
+}
+
+// A dead endpoint (connection refused) is ejected just like an unready
+// one.
+func TestProberEjectsDeadEndpoint(t *testing.T) {
+	f := newFlakyReadyz(t)
+	url := f.srv.URL
+	f.srv.Close()
+	p, _ := testProber(t, []string{url}, 2, 1)
+	waitFor(t, 2*time.Second, "ejection of dead endpoint", func() bool {
+		return !p.members[0].up.Load()
+	})
+}

@@ -1,0 +1,87 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over a static replica set. Each replica
+// contributes vnodes points (hashes of "url#i"), so load spreads evenly
+// even with few replicas, and a request key's owner is the first point
+// clockwise from the key. Health is NOT baked into the ring: lookups
+// take a liveness predicate, so ejecting a replica is free (its points
+// are skipped and its range flows to the next live replica clockwise)
+// and a rejoin restores the exact pre-ejection assignment — cache
+// affinity survives the round trip.
+type ring struct {
+	points []ringPoint // sorted by hash
+	n      int         // replica count
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// newRing builds the ring for n replicas named by urls, vnodes points
+// each. The point set depends only on the URL strings, so a router
+// restart with the same replica set reproduces the same assignment.
+func newRing(urls []string, vnodes int) *ring {
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	r := &ring{n: len(urls), points: make([]ringPoint, 0, len(urls)*vnodes)}
+	for i, u := range urls {
+		for v := 0; v < vnodes; v++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s#%d", u, v)
+			r.points = append(r.points, ringPoint{hash: h.Sum64(), replica: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].replica < r.points[b].replica
+	})
+	return r
+}
+
+// candidates walks clockwise from key and returns up to max distinct
+// replicas for which ok returns true, in preference order: the healthy
+// owner first, then the replicas whose ranges would absorb the owner's
+// keys if it died. ok == nil means "everyone".
+func (r *ring) candidates(key uint64, ok func(int) bool, max int) []int {
+	if len(r.points) == 0 || max == 0 {
+		return nil
+	}
+	if max < 0 || max > r.n {
+		max = r.n
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	seen := make([]bool, r.n)
+	out := make([]int, 0, max)
+	for i := 0; i < len(r.points) && len(out) < max; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.replica] {
+			continue
+		}
+		seen[p.replica] = true
+		if ok == nil || ok(p.replica) {
+			out = append(out, p.replica)
+		}
+	}
+	return out
+}
+
+// home is the key's stable owner ignoring health: the replica the key
+// always maps to while the full fleet is up. The peer-fill logic
+// compares the actual target against it to detect displaced requests.
+func (r *ring) home(key uint64) int {
+	c := r.candidates(key, nil, 1)
+	if len(c) == 0 {
+		return -1
+	}
+	return c[0]
+}

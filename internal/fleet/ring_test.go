@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+func testURLs(n int) []string {
+	urls := make([]string, n)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://10.0.0.%d:8090", i+1)
+	}
+	return urls
+}
+
+// The ring must be a pure function of the URL set: a router restart
+// reproduces the same assignment, keeping replica caches warm.
+func TestRingDeterministic(t *testing.T) {
+	a := newRing(testURLs(3), 64)
+	b := newRing(testURLs(3), 64)
+	for i := 0; i < 1000; i++ {
+		key := rand.Uint64()
+		if a.home(key) != b.home(key) {
+			t.Fatalf("key %#x: assignment differs between identical rings", key)
+		}
+	}
+}
+
+// Vnodes must spread keys roughly evenly: no replica should own more
+// than ~2× its fair share over a large random key sample.
+func TestRingDistribution(t *testing.T) {
+	const n, keys = 4, 8000
+	r := newRing(testURLs(n), 64)
+	counts := make([]int, n)
+	for i := 0; i < keys; i++ {
+		counts[r.home(rand.Uint64())]++
+	}
+	fair := keys / n
+	for i, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Fatalf("replica %d owns %d of %d keys (fair share %d): distribution too skewed %v",
+				i, c, keys, fair, counts)
+		}
+	}
+}
+
+// candidates must return distinct replicas, owner first, and honor the
+// health predicate without disturbing the relative order.
+func TestRingCandidates(t *testing.T) {
+	r := newRing(testURLs(3), 32)
+	key := rand.Uint64()
+	all := r.candidates(key, nil, -1)
+	if len(all) != 3 {
+		t.Fatalf("want all 3 replicas, got %v", all)
+	}
+	seen := map[int]bool{}
+	for _, c := range all {
+		if seen[c] {
+			t.Fatalf("duplicate replica %d in %v", c, all)
+		}
+		seen[c] = true
+	}
+	if all[0] != r.home(key) {
+		t.Fatalf("candidates[0] = %d, home = %d", all[0], r.home(key))
+	}
+
+	// Eject the owner: the remaining candidates keep their order.
+	down := all[0]
+	ok := func(i int) bool { return i != down }
+	rest := r.candidates(key, ok, -1)
+	if len(rest) != 2 || rest[0] != all[1] || rest[1] != all[2] {
+		t.Fatalf("with %d down want %v, got %v", down, all[1:], rest)
+	}
+
+	if got := r.candidates(key, nil, 1); len(got) != 1 || got[0] != all[0] {
+		t.Fatalf("max=1 want [%d], got %v", all[0], got)
+	}
+	if got := r.candidates(key, func(int) bool { return false }, -1); len(got) != 0 {
+		t.Fatalf("all-down want none, got %v", got)
+	}
+}
+
+// Ejecting and readmitting a replica must restore the exact original
+// assignment — cache affinity survives the round trip — and while it is
+// out, only its keys move (to their ring successors).
+func TestRingRejoinRestoresAssignment(t *testing.T) {
+	r := newRing(testURLs(3), 64)
+	keys := make([]uint64, 500)
+	before := make([]int, len(keys))
+	for i := range keys {
+		keys[i] = rand.Uint64()
+		before[i] = r.home(keys[i])
+	}
+
+	down := 1
+	ok := func(i int) bool { return i != down }
+	moved := 0
+	for i, k := range keys {
+		got := r.candidates(k, ok, 1)[0]
+		if before[i] != down {
+			if got != before[i] {
+				t.Fatalf("key %#x owned by %d moved to %d though only %d was ejected",
+					k, before[i], got, down)
+			}
+		} else {
+			moved++
+			if got == down {
+				t.Fatalf("key %#x still assigned to ejected replica %d", k, down)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("sample never hit the ejected replica; enlarge the sample")
+	}
+
+	for i, k := range keys {
+		if got := r.home(k); got != before[i] {
+			t.Fatalf("after rejoin key %#x maps to %d, originally %d", k, got, before[i])
+		}
+	}
+}

@@ -60,6 +60,20 @@ func newAdmission(inflight, queue int, wait time.Duration) *admission {
 	}
 }
 
+// inflight reports how many requests currently hold an execution slot.
+func (a *admission) inflight() int { return len(a.slots) }
+
+// queued reports how many admitted requests are waiting for an execution
+// slot. Both reads are channel-length snapshots — racy by a request or
+// two under churn, which is fine for readiness gating and Retry-After
+// estimation (their only consumers).
+func (a *admission) queued() int {
+	if q := len(a.waiters) - len(a.slots); q > 0 {
+		return q
+	}
+	return 0
+}
+
 // acquire admits one request: it returns a release func once the request
 // holds an execution slot, or ErrQueueFull/ErrQueueTimeout/ctx.Err() when
 // the request must be shed. Always call release exactly once on success.

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -157,9 +159,39 @@ func (b *batcher) collect(ctx context.Context, first *inferRequest) []*inferRequ
 	return batch
 }
 
+// ErrBatchPanic reports that the inference function panicked at the
+// batch level — outside the per-binary containment core.InferBatchOpts
+// provides. The batch's requests all fail with it (500), but the
+// collector, the server and every other batch keep running.
+var ErrBatchPanic = errors.New("serve: inference panicked")
+
+// inferContained runs the dispatch seam with a batch-level panic domain.
+// The production seam (core.InferBatchOpts) already contains per-binary
+// panics, but the seam itself — or a bug around it — must not be able to
+// take down the daemon: a long-lived service turns one poisoned batch
+// into that batch's error records, never into a crash.
+func (b *batcher) inferContained(ctx context.Context, m *Model, bins []*elfx.Binary) (results []core.BinaryResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			countBatchPanic()
+			results, err = nil, fmt.Errorf("%w: %v", ErrBatchPanic, r)
+		}
+	}()
+	return b.infer(ctx, m, bins)
+}
+
+// countBatchPanic records one contained batch-level panic.
+func countBatchPanic() {
+	if !telemetry.On() {
+		return
+	}
+	telemetry.Default().Counter("cati_serve_batch_panics_total",
+		"Batch-level inference panics contained by the batcher.").Inc()
+}
+
 // runBatch executes one batch and fans results back out. A batch-level
-// error (only possible when ctx was cancelled or the pool failed
-// wholesale) is delivered to every member; otherwise each request gets
+// error (a cancelled ctx, a wholesale pool failure, or a contained
+// panic) is delivered to every member; otherwise each request gets
 // its own BinaryResult — error records included — per the batch API's
 // isolation contract.
 func (b *batcher) runBatch(ctx context.Context, m *Model, batch []*inferRequest) {
@@ -167,12 +199,16 @@ func (b *batcher) runBatch(ctx context.Context, m *Model, batch []*inferRequest)
 	for i, req := range batch {
 		bins[i] = req.bin
 	}
-	results, err := b.infer(ctx, m, bins)
+	results, err := b.inferContained(ctx, m, bins)
 	for i, req := range batch {
 		res := inferResult{model: m}
 		switch {
 		case err != nil:
 			res.err = err
+		case i >= len(results):
+			// A misbehaving infer fn returned fewer results than binaries;
+			// fail the uncovered requests instead of indexing past the end.
+			res.err = fmt.Errorf("%w: %d results for %d binaries", ErrBatchPanic, len(results), len(bins))
 		default:
 			res.vars = results[i].Vars
 			res.err = results[i].Err

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -47,6 +48,63 @@ func TestResultCacheDisabled(t *testing.T) {
 	}
 	if newResultCache(0) != nil || newResultCache(-5) != nil {
 		t.Fatal("non-positive capacity should disable the cache")
+	}
+}
+
+// TestResultCacheChurn hammers a tiny cache with concurrent get/put/len
+// traffic whose working set is much larger than the capacity, so every
+// put races an eviction. Run under -race this exercises the map↔list
+// consistency; the invariants checked are the capacity bound and that a
+// hit always returns exactly the value stored under that key.
+func TestResultCacheChurn(t *testing.T) {
+	const (
+		capacity = 8
+		keys     = 64
+		workers  = 12
+		iters    = 500
+	)
+	c := newResultCache(capacity)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				n := (g*31 + i*7) % keys
+				key := imageKey([]byte{byte(n)}, "m")
+				switch i % 3 {
+				case 0:
+					// Value encodes its key: a hit returning anything else
+					// means entries crossed wires during eviction churn.
+					c.put(key, []core.InferredVar{{FuncLow: uint64(n)}})
+				case 1:
+					if vars, ok := c.get(key); ok && vars[0].FuncLow != uint64(n) {
+						select {
+						case errs <- fmt.Errorf("key %d returned value %d", n, vars[0].FuncLow):
+						default:
+						}
+						return
+					}
+				default:
+					if l := c.len(); l > capacity {
+						select {
+						case errs <- fmt.Errorf("cache grew past capacity: %d", l):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	if l := c.len(); l > capacity {
+		t.Fatalf("cache grew past capacity: %d", l)
 	}
 }
 

@@ -3,9 +3,16 @@
 // infer` pipeline into a shared, always-warm backend for decompiler
 // integrations and bulk analysis.
 //
-//	POST /v1/infer    raw ELF bytes in → per-variable JSON types out
-//	GET  /v1/models   active model fingerprint, path, load time, reloads
-//	GET  /v1/healthz  liveness ("ok"; never blocked by inference load)
+//	POST /v1/infer        raw ELF bytes in → per-variable JSON types out
+//	GET  /v1/models       active model fingerprint, path, load time, health
+//	GET  /v1/healthz      liveness ("ok"; never blocked by inference load)
+//	GET  /v1/readyz       readiness (model loaded + admission queue below
+//	                      watermark); load balancers route on this, not on
+//	                      liveness
+//	GET  /v1/cache/{sha}  peer cache fill: the cached result for an image
+//	                      SHA-256 under the active model, or 404 — lets a
+//	                      fleet router serve another shard's warm cache
+//	                      without recomputing
 //
 // Four mechanisms make it production-shaped:
 //
@@ -32,6 +39,8 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -41,6 +50,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -92,8 +102,20 @@ type Config struct {
 	// QueueWait caps a queued request's wait for a slot (default 1s);
 	// expiry answers 429.
 	QueueWait time.Duration
-	// RetryAfter is the Retry-After hint on 429 responses (default 1s).
+	// RetryAfter is the minimum Retry-After hint on 429 responses
+	// (default 1s). The emitted hint is derived from live load — current
+	// queue depth × a recent per-request latency average, spread over the
+	// in-flight lanes — clamped to [RetryAfter, MaxRetryAfter], so shed
+	// clients back off in proportion to how far behind the server is
+	// instead of hammering a fixed cadence.
 	RetryAfter time.Duration
+	// MaxRetryAfter caps the derived Retry-After hint (default 30s).
+	MaxRetryAfter time.Duration
+	// ReadyWatermark is the /v1/readyz gate: the service reports
+	// not-ready once the admission wait queue holds this many requests
+	// (default MaxQueue — not ready exactly when new arrivals start being
+	// shed; minimum 1).
+	ReadyWatermark int
 	// MaxBatch is the micro-batch size cap (default 8; 1 disables
 	// batching).
 	MaxBatch int
@@ -144,6 +166,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.MaxRetryAfter <= 0 {
+		c.MaxRetryAfter = 30 * time.Second
+	}
+	if c.ReadyWatermark == 0 {
+		c.ReadyWatermark = c.MaxQueue
+	}
+	if c.ReadyWatermark < 1 {
+		c.ReadyWatermark = 1
 	}
 	if c.Linger == 0 {
 		c.Linger = 2 * time.Millisecond
@@ -208,9 +239,19 @@ type ModelInfo struct {
 	Reloads  uint64    `json:"reloads"`
 }
 
+// HealthInfo mirrors the two probe endpoints in /v1/models: Live is what
+// GET /v1/healthz answers (always true when the handler runs at all) and
+// Ready is what GET /v1/readyz answers, with the gating reason when not.
+type HealthInfo struct {
+	Live   bool   `json:"live"`
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
+}
+
 // ModelsResponse is the /v1/models body.
 type ModelsResponse struct {
-	Active ModelInfo `json:"active"`
+	Active ModelInfo  `json:"active"`
+	Health HealthInfo `json:"health"`
 }
 
 // Server is a running (or startable) inference service.
@@ -225,6 +266,11 @@ type Server struct {
 	lis     net.Listener
 	// Addr is the bound listen address (useful with ":0"). Set by Start.
 	Addr string
+
+	// latEWMA is the Retry-After estimator's state: an exponentially
+	// weighted moving average of computed (non-cached) request latency,
+	// stored as float64 seconds bits. Zero means "no observation yet".
+	latEWMA atomic.Uint64
 
 	// runCtx outlives every batch; cancelled only after the HTTP drain.
 	runCtx    context.Context
@@ -256,6 +302,8 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/infer", s.handleInfer)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
+	mux.HandleFunc("GET /v1/cache/{sha}", s.handleCacheGet)
 	s.httpSrv = &http.Server{Handler: mux}
 	return s, nil
 }
@@ -328,16 +376,106 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleModels reports the active model snapshot.
+// ready is the /v1/readyz predicate: a model is loaded and the admission
+// wait queue sits below the watermark. Distinct from liveness — a live
+// process that is drowning should be pulled from rotation (readyz 503)
+// without being restarted (healthz still ok).
+func (s *Server) ready() (bool, string) {
+	if s.registry.Active() == nil {
+		return false, "no model loaded"
+	}
+	if q := s.adm.queued(); q >= s.cfg.ReadyWatermark {
+		return false, fmt.Sprintf("admission queue at %d (watermark %d)", q, s.cfg.ReadyWatermark)
+	}
+	return true, ""
+}
+
+// handleReadyz answers readiness. Like healthz it touches no lock — two
+// channel-length reads and an atomic pointer load — so it stays
+// responsive exactly when its answer matters most (overload).
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if ok, reason := s.ready(); !ok {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, reason)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleCacheGet is the peer-fill read path: given an image's SHA-256 it
+// returns the cached result under the active model, or 404. A fleet
+// router (internal/fleet) uses it to pull a warm result from the shard
+// that owns a key before making a cold replica recompute it. Lookup
+// cost is one mutex'd map probe — no admission slot needed.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	raw, err := hex.DecodeString(r.PathValue("sha"))
+	if err != nil || len(raw) != sha256.Size {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "sha must be 64 hex chars (SHA-256 of the image)"})
+		return
+	}
+	active := s.registry.Active()
+	key := cacheKey{model: active.Fingerprint}
+	copy(key.image[:], raw)
+	vars, ok := s.cache.get(key)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no cached result", Model: active.Fingerprint})
+		return
+	}
+	writeInferResponse(w, active.Fingerprint, true, vars)
+}
+
+// observeLatency feeds one computed (non-cached) request's wall time into
+// the Retry-After estimator: EWMA with α=0.2, lock-free via CAS.
+func (s *Server) observeLatency(d time.Duration) {
+	sec := d.Seconds()
+	for {
+		old := s.latEWMA.Load()
+		next := sec
+		if old != 0 {
+			next = 0.2*sec + 0.8*math.Float64frombits(old)
+		}
+		if s.latEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds derives the 429 Retry-After hint from live load: the
+// expected drain time of everything ahead of a returning client (queue
+// depth × recent per-request latency, spread over the in-flight lanes),
+// clamped to [RetryAfter, MaxRetryAfter]. Before any latency has been
+// observed it falls back to the configured minimum.
+func (s *Server) retryAfterSeconds() int {
+	min := int(math.Ceil(s.cfg.RetryAfter.Seconds()))
+	ew := math.Float64frombits(s.latEWMA.Load())
+	if ew <= 0 {
+		return min
+	}
+	secs := int(math.Ceil(float64(s.adm.queued()+1) * ew / float64(s.cfg.MaxInFlight)))
+	if secs < min {
+		secs = min
+	}
+	if max := int(math.Ceil(s.cfg.MaxRetryAfter.Seconds())); secs > max {
+		secs = max
+	}
+	return secs
+}
+
+// handleModels reports the active model snapshot plus both health probes.
 func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 	m := s.registry.Active()
-	writeJSON(w, http.StatusOK, ModelsResponse{Active: ModelInfo{
-		Fingerprint: m.Fingerprint,
-		Arch:        m.CATI.Arch(),
-		Path:        m.Path,
-		LoadedAt:    m.LoadedAt,
-		Reloads:     s.registry.Reloads(),
-	}})
+	ready, reason := s.ready()
+	writeJSON(w, http.StatusOK, ModelsResponse{
+		Active: ModelInfo{
+			Fingerprint: m.Fingerprint,
+			Arch:        m.CATI.Arch(),
+			Path:        m.Path,
+			LoadedAt:    m.LoadedAt,
+			Reloads:     s.registry.Reloads(),
+		},
+		Health: HealthInfo{Live: true, Ready: ready, Reason: reason},
+	})
 }
 
 // handleInfer is the data path: read → cache probe → admission → parse →
@@ -392,7 +530,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		code = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSON(w, code, ErrorResponse{Error: err.Error()})
 		return
 	}
@@ -421,9 +559,15 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if res.err != nil {
-		if errors.Is(res.err, context.DeadlineExceeded) {
+		switch {
+		case errors.Is(res.err, context.DeadlineExceeded):
 			code = http.StatusGatewayTimeout
-		} else {
+		case errors.Is(res.err, ErrBatchPanic):
+			// A contained batch-level panic is the server's fault, not the
+			// input's: 500 tells clients (and the fleet router) to retry
+			// elsewhere, where a 422 would pin the blame on the binary.
+			code = http.StatusInternalServerError
+		default:
 			code = http.StatusUnprocessableEntity
 		}
 		writeJSON(w, code, ErrorResponse{
@@ -436,6 +580,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	// Key the stored entry by the model that actually ran (it may be
 	// newer than the one probed above if a reload landed in between).
 	s.cache.put(imageKey(image, res.model.Fingerprint), res.vars)
+	s.observeLatency(time.Since(start))
 	writeInferResponse(w, res.model.Fingerprint, false, res.vars)
 }
 

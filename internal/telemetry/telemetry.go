@@ -335,6 +335,10 @@ var (
 	// QueueBuckets span worker-pool slot waits: sub-microsecond on an idle
 	// pool up to seconds when every slot is taken by long shards.
 	QueueBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 1, 10}
+	// HTTPBuckets span served-request latencies: sub-millisecond cache
+	// hits through hedged/fallback tails. Used by the serving and fleet
+	// layers so their p99s land in comparable buckets.
+	HTTPBuckets = []float64{5e-4, 1e-3, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 )
 
 // fmtFloat renders a float the way Prometheus text format expects.
