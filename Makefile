@@ -5,14 +5,14 @@
 
 GO ?= go
 GOFMT ?= gofmt
-RACE_PKGS = ./internal/par ./internal/obs ./internal/telemetry ./internal/nn ./internal/word2vec ./internal/classify ./internal/core ./internal/serve ./internal/fleet ./internal/isa/...
+RACE_PKGS = ./internal/par ./internal/obs ./internal/telemetry ./internal/trace ./internal/nn ./internal/word2vec ./internal/classify ./internal/core ./internal/serve ./internal/fleet ./internal/isa/...
 # FUZZTIME bounds each fuzz target during `make fuzz`; the committed seed
 # corpus always runs in full via plain `go test`.
 FUZZTIME ?= 5s
 
-.PHONY: check build test lint vet race fuzz cover purego bench bench-json bench-serve bench-fleet bench-kernels bench-kernels-smoke
+.PHONY: check build test lint vet race fuzz cover purego bench bench-json bench-serve bench-fleet bench-kernels bench-kernels-smoke bench-trace bench-trace-smoke
 
-check: lint build test purego cover race fuzz bench-kernels-smoke
+check: lint build test purego cover race fuzz bench-kernels-smoke bench-trace-smoke
 
 # lint fails when any file is unformatted (gofmt -l prints it), vet
 # complains, or a CLI writes raw diagnostics to stderr instead of routing
@@ -29,6 +29,10 @@ lint: vet
 	@out="$$($(GO) list -f '{{.ImportPath}}: {{join .Imports " "}}' ./internal/vuc ./internal/classify ./internal/nn ./internal/core | grep 'repro/internal/asm' || true)"; \
 	if [ -n "$$out" ]; then \
 		echo "lint: ISA-neutral packages must not import repro/internal/asm (use internal/isa):"; echo "$$out"; exit 1; \
+	fi
+	@out="$$(grep -rn 'time\.Now' internal/obs --include='*.go' | grep -v '_test\.go' || true)"; \
+	if [ -n "$$out" ]; then \
+		echo "lint: span timing in internal/obs must go through internal/trace (trace.NewTimer / span durations), not raw time.Now():"; echo "$$out"; exit 1; \
 	fi
 
 vet:
@@ -47,12 +51,14 @@ test:
 purego:
 	$(GO) test -tags purego ./internal/gemm ./internal/nn
 
-# cover runs the test suite once with coverage and prints the per-package
-# statement coverage summary (and leaves cover.out for `go tool cover`).
+# cover runs the test suite once with coverage and prints the total
+# statement coverage. The profile is written outside the repo root so a
+# coverage run never leaves scratch files for git to pick up.
 cover:
-	$(GO) test -coverprofile=cover.out ./...
-	$(GO) tool cover -func=cover.out | tail -n 1
-	@echo "per-package coverage in cover.out (go tool cover -html=cover.out)"
+	@profile="$$(mktemp -t cati-cover.XXXXXX)"; \
+	$(GO) test -coverprofile="$$profile" ./... || { rm -f "$$profile"; exit 1; }; \
+	$(GO) tool cover -func="$$profile" | tail -n 1; \
+	echo "full profile: $$profile (go tool cover -html=$$profile)"
 
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
@@ -95,3 +101,14 @@ bench-kernels:
 # dispatch path end to end without committing to benchmark-length runs.
 bench-kernels-smoke:
 	$(GO) run ./cmd/catibench -bench-kernels /dev/null -bench-iters 1
+
+# Tracing-overhead sweep: the serve path with tracing disabled vs enabled,
+# committed as BENCH_trace.json. The disabled path must stay within 2% of
+# the no-tracing baseline or the run fails — tracing is free until opted in.
+bench-trace:
+	$(GO) run ./cmd/catibench -trace-bench BENCH_trace.json
+
+# Smoke mode of the overhead sweep for `make check` / CI: a short window,
+# same <2% disabled-path gate, nothing written into the tree.
+bench-trace-smoke:
+	$(GO) run ./cmd/catibench -trace-bench /dev/null -serve-duration 500ms

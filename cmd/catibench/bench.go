@@ -65,7 +65,16 @@ func runParallelBench(log *slog.Logger, path string, workers int) error {
 	predictDS := benchDataset(2048)
 	var records []benchRecord
 
+	// Each sweep point runs with GOMAXPROCS matched to its worker count:
+	// otherwise a host pinned to fewer Ps than the point's workers (or a
+	// CPU-quota'd container reporting 1) silently serializes the 2..8-worker
+	// rows and the sweep measures goroutine overhead, not scaling. The
+	// effective value is recorded per point so readers can audit it.
+	origProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(origProcs)
+
 	for _, w := range counts {
+		runtime.GOMAXPROCS(par.Workers(w))
 		cfg := nn.TrainConfig{Epochs: 1, Batch: 64, LR: 1e-3, Seed: 5, Workers: w}
 		net := nn.NewCNN(benchSeqLen, benchEmbDim, 32, 64, 1024, 2, 9)
 		t0 := time.Now()
@@ -94,6 +103,7 @@ func runParallelBench(log *slog.Logger, path string, workers int) error {
 		})
 		log.Info("bench point",
 			"workers", par.Workers(w),
+			"gomaxprocs", runtime.GOMAXPROCS(0),
 			"train_s", float64(records[len(records)-2].NsPerOp)/1e9,
 			"predict_s_per_op", float64(records[len(records)-1].NsPerOp)/1e9)
 	}

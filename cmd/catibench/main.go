@@ -65,6 +65,8 @@ func run(args []string) error {
 	serveConc := fs.Int("serve-concurrency", 8, "closed-loop clients for -serve-bench / -serve-url / -fleet-bench")
 	serveDur := fs.Duration("serve-duration", 3*time.Second, "measurement window per configuration for -serve-bench / -serve-url / -fleet-bench")
 	fleetBench := fs.String("fleet-bench", "", "run the sharded-fleet router sweep (1 to -fleet-replicas loopback replicas behind a router) and write JSON records to this file (e.g. BENCH_fleet.json), then exit")
+	traceBench := fs.String("trace-bench", "", "run the tracing-overhead sweep (serve path with tracing off vs on, plus the disabled fast-path microbenchmark) and write JSON records to this file (e.g. BENCH_trace.json), then exit; fails if the disabled path costs over -trace-overhead-limit")
+	traceLimit := fs.Float64("trace-overhead-limit", 2.0, "maximum tracing-disabled overhead for -trace-bench, percent of request latency")
 	fleetReplicas := fs.Int("fleet-replicas", 3, "maximum fleet size for -fleet-bench")
 	chaos := fs.Bool("chaos", false, "inject faults during -fleet-bench (latency spikes, truncated responses, refused connections, a mid-run replica kill/restart) and require zero failed client requests")
 	rt := cliflags.AddRuntime(fs)
@@ -82,9 +84,12 @@ func run(args []string) error {
 	if *benchKernels != "" {
 		return runKernelBench(log, *benchKernels, *benchIters)
 	}
-	if *serveBench != "" || *serveURL != "" || *fleetBench != "" {
+	if *serveBench != "" || *serveURL != "" || *fleetBench != "" || *traceBench != "" {
 		ctx, stop := rt.Context()
 		defer stop()
+		if *traceBench != "" {
+			return runTraceBench(ctx, log, *traceBench, *serveConc, *serveDur, *traceLimit)
+		}
 		if *fleetBench != "" {
 			return runFleetBench(ctx, log, *fleetBench, *serveConc, *serveDur, *fleetReplicas, *chaos)
 		}

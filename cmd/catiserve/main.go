@@ -55,6 +55,7 @@ import (
 	"repro/cmd/internal/cliflags"
 	"repro/internal/fleet"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -95,6 +96,14 @@ func newDaemon(args []string) (*daemon, error) {
 	}
 	log, err := diag.Setup()
 	if err != nil {
+		return nil, err
+	}
+	// A daemon is always observable: metric collection and tracing are on
+	// even without -debug-addr, because the data port itself serves
+	// /metrics, /v1/trace/{id} and /debug/traces (and, in router mode,
+	// /v1/fleet/metrics) for federation.
+	telemetry.Default().SetEnabled(true)
+	if err := diag.EnableTracing(log); err != nil {
 		return nil, err
 	}
 	if err := cliflags.ApplyKernel(*kernel); err != nil {
@@ -218,6 +227,7 @@ func (d *daemon) drain() error {
 			err = derr
 		}
 	}
+	d.diag.CloseTracing()
 	return err
 }
 

@@ -24,6 +24,7 @@ import (
 	_ "repro/internal/isa/isas" // register built-in architectures for -arch
 	"repro/internal/obs"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/vuc"
 )
 
@@ -38,10 +39,24 @@ type Diag struct {
 	LogFormat string
 	// LogLevel is the -log-level flag: debug, info, warn or error.
 	LogLevel string
+	// TraceSlow is the -trace-slow flag: locally rooted requests slower
+	// than this are pinned by the flight recorder and logged.
+	TraceSlow time.Duration
+	// TraceRetain is the -trace-retain flag: how many traces the bounded
+	// in-memory span store keeps (0: the trace package default).
+	TraceRetain int
+	// TraceJSONL is the -trace-jsonl flag: when non-empty, every finished
+	// span is appended to this file as one JSON line.
+	TraceJSONL string
+	// Exemplars is the -exemplars flag: annotate histogram buckets in the
+	// /metrics exposition with recent trace IDs.
+	Exemplars bool
 	// Server is the debug server Setup started (nil without -debug-addr).
 	// Long-lived daemons drain it on exit via Server.Shutdown so a
 	// monitoring system's in-flight scrape is never truncated.
 	Server *telemetry.Server
+	// jsonl is the open -trace-jsonl sink (closed by CloseTracing).
+	jsonl *os.File
 }
 
 // AddDiag registers -debug-addr, -log-format and -log-level on the flag
@@ -53,9 +68,13 @@ func AddDiag(fs *flag.FlagSet) *Diag {
 }
 
 func addDiag(fs *flag.FlagSet, d *Diag) {
-	fs.StringVar(&d.DebugAddr, "debug-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (e.g. localhost:6060) and enable metric collection")
+	fs.StringVar(&d.DebugAddr, "debug-addr", "", "serve /metrics, /healthz, /debug/vars, /debug/pprof, /v1/trace/{id} and /debug/traces on this address (e.g. localhost:6060) and enable metric collection and tracing")
 	fs.StringVar(&d.LogFormat, "log-format", "text", "diagnostic log format: text or json (always on stderr)")
 	fs.StringVar(&d.LogLevel, "log-level", "info", "diagnostic log level: debug, info, warn or error")
+	fs.DurationVar(&d.TraceSlow, "trace-slow", 0, "slow-request flight recorder: pin and log traces of locally rooted requests slower than this (0: off)")
+	fs.IntVar(&d.TraceRetain, "trace-retain", 0, "traces kept in the bounded in-memory span store (0: 256)")
+	fs.StringVar(&d.TraceJSONL, "trace-jsonl", "", "append every finished span to this file as JSON lines")
+	fs.BoolVar(&d.Exemplars, "exemplars", false, "annotate /metrics histogram buckets with recent trace-ID exemplars")
 }
 
 // Setup builds the shared structured logger on stderr, installs it as the
@@ -76,8 +95,50 @@ func (d *Diag) Setup() (*slog.Logger, error) {
 		}
 		d.Server = srv
 		log.Info("debug server listening", "addr", srv.Addr)
+		if err := d.EnableTracing(log); err != nil {
+			return nil, err
+		}
 	}
 	return log, nil
+}
+
+// EnableTracing installs the process-wide trace collector built from the
+// -trace-slow/-trace-retain/-trace-jsonl flags and, with -exemplars,
+// turns exemplar exposition on in the default registry. Diag.Setup calls
+// it whenever -debug-addr enables observability; long-lived daemons
+// (catiserve) call it unconditionally so traces are collectable on the
+// data port even without a debug server. Idempotent per Diag.
+func (d *Diag) EnableTracing(log *slog.Logger) error {
+	if trace.Default() != nil {
+		return nil
+	}
+	cfg := trace.Config{
+		MaxTraces: d.TraceRetain,
+		Slow:      d.TraceSlow,
+		Log:       log,
+	}
+	if d.TraceJSONL != "" {
+		f, err := os.OpenFile(d.TraceJSONL, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("opening -trace-jsonl sink: %w", err)
+		}
+		d.jsonl = f
+		cfg.JSONL = f
+	}
+	trace.SetDefault(trace.NewCollector(cfg))
+	if d.Exemplars {
+		telemetry.Default().SetExemplars(true)
+	}
+	return nil
+}
+
+// CloseTracing flushes and closes the -trace-jsonl sink, if one was
+// opened. Safe to call (and to defer) unconditionally.
+func (d *Diag) CloseTracing() {
+	if d.jsonl != nil {
+		_ = d.jsonl.Close()
+		d.jsonl = nil
+	}
 }
 
 // EnvKernel is the environment variable consulted for the math-kernel

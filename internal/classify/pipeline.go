@@ -201,14 +201,14 @@ func TrainCtx(ctx context.Context, c *corpus.Corpus, cfg Config) (*Pipeline, err
 	}
 
 	var embed *word2vec.Model
-	err := run.Stage(ctx, "w2v", par.WorkersExplicit(cfg.W2V.Workers), func() (int, error) {
+	err := run.Stage(ctx, "w2v", par.WorkersExplicit(cfg.W2V.Workers), func(sctx context.Context) (int, error) {
 		if m := ckpt.loadEmbed(); m != nil {
 			embed = m
 			return 0, nil // resumed from checkpoint, nothing trained
 		}
 		sents := c.Sentences()
 		var err error
-		if embed, err = word2vec.TrainCtx(ctx, sents, cfg.W2V); err != nil {
+		if embed, err = word2vec.TrainCtx(sctx, sents, cfg.W2V); err != nil {
 			return len(sents), err
 		}
 		return len(sents), ckpt.saveEmbed(embed)
@@ -222,8 +222,8 @@ func TrainCtx(ctx context.Context, c *corpus.Corpus, cfg Config) (*Pipeline, err
 	// independent and the model is read-only, so the loop shards freely.
 	samples := make([][]float32, len(refs))
 	classes := make([]ctypes.Class, len(refs))
-	err = run.Stage(ctx, "embed", workers, func() (int, error) {
-		return len(refs), par.ForEachCtx(ctx, len(refs), workers, func(i int) {
+	err = run.Stage(ctx, "embed", workers, func(sctx context.Context) (int, error) {
+		return len(refs), par.ForEachCtx(sctx, len(refs), workers, func(i int) {
 			r := refs[i]
 			samples[i] = p.EmbedWindow(c.Tokens(r))
 			_, s := c.At(r)
@@ -235,7 +235,7 @@ func TrainCtx(ctx context.Context, c *corpus.Corpus, cfg Config) (*Pipeline, err
 	}
 
 	if cfg.Flat {
-		err := run.Stage(ctx, "cnn:flat", par.Workers(cfg.Train.Workers), func() (int, error) {
+		err := run.Stage(ctx, "cnn:flat", par.Workers(cfg.Train.Workers), func(sctx context.Context) (int, error) {
 			if net := ckpt.loadNet("cnn-flat"); net != nil {
 				p.FlatNet = net
 				return 0, nil
@@ -246,7 +246,7 @@ func TrainCtx(ctx context.Context, c *corpus.Corpus, cfg Config) (*Pipeline, err
 				ds.Add(samples[i], int(classes[i])-1)
 			}
 			net := nn.NewCNN(cfg.SeqLen(), cfg.InstDim(), cfg.Conv1, cfg.Conv2, cfg.Hidden, ctypes.NumClasses, cfg.Seed)
-			if err := nn.TrainClassifierCtx(ctx, net, ds, ctypes.NumClasses, cfg.Train); err != nil {
+			if err := nn.TrainClassifierCtx(sctx, net, ds, ctypes.NumClasses, cfg.Train); err != nil {
 				return ds.Len(), err
 			}
 			p.FlatNet = net
@@ -269,7 +269,7 @@ func TrainCtx(ctx context.Context, c *corpus.Corpus, cfg Config) (*Pipeline, err
 	jobs := make([]func(), len(stages))
 	for si, stage := range stages {
 		jobs[si] = func() {
-			errs[si] = run.Stage(ctx, fmt.Sprintf("cnn:%s", stage), par.Workers(cfg.Train.Workers), func() (int, error) {
+			errs[si] = run.Stage(ctx, fmt.Sprintf("cnn:%s", stage), par.Workers(cfg.Train.Workers), func(sctx context.Context) (int, error) {
 				arity := ctypes.StageArity(stage)
 				if net := ckpt.loadNet("cnn-" + stage.String()); net != nil {
 					nets[si] = net
@@ -293,7 +293,7 @@ func TrainCtx(ctx context.Context, c *corpus.Corpus, cfg Config) (*Pipeline, err
 					ds.Add(samples[i], l)
 				}
 				net := nn.NewCNN(cfg.SeqLen(), cfg.InstDim(), cfg.Conv1, cfg.Conv2, cfg.Hidden, arity, cfg.Seed^int64(stage))
-				if err := nn.TrainClassifierCtx(ctx, net, ds, arity, cfg.Train); err != nil {
+				if err := nn.TrainClassifierCtx(sctx, net, ds, arity, cfg.Train); err != nil {
 					return ds.Len(), fmt.Errorf("classify: %s: %w", stage, err)
 				}
 				nets[si] = net

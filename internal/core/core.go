@@ -343,6 +343,13 @@ type BatchOptions struct {
 	Backoff time.Duration
 	// MaxBackoff caps the exponential growth (0: 1s).
 	MaxBackoff time.Duration
+	// BinContext, when set, supplies the context binary i runs under
+	// instead of the batch context. The serve micro-batcher uses it to
+	// hand each binary the trace span of the request that contributed it,
+	// so a batch shared by several requests still yields per-request span
+	// trees. Cancelling the batch ctx must still stop the work, so
+	// implementations derive from (or monitor) the batch ctx.
+	BinContext func(i int) context.Context
 }
 
 // backoffDelay is the jittered wait before retry attempt n (n ≥ 1): the
@@ -408,7 +415,13 @@ func (c *CATI) InferBatchOpts(ctx context.Context, bins []*elfx.Binary, opts Bat
 	jobs := make([]func(), len(bins))
 	for i, bin := range bins {
 		jobs[i] = func() {
-			out[i] = c.inferIsolated(ctx, bin, run, opts)
+			bctx := ctx
+			if opts.BinContext != nil {
+				if c := opts.BinContext(i); c != nil {
+					bctx = c
+				}
+			}
+			out[i] = c.inferIsolated(bctx, bin, run, opts)
 		}
 	}
 	// RunCtx contains panics already, but inferIsolated contains them per
@@ -501,7 +514,7 @@ func (c *CATI) infer(ctx context.Context, bin *elfx.Binary, run obs.Runner) ([]I
 
 	// Stage 1: recover — disassemble and locate variables.
 	var rec *vareco.Recovery
-	err := run.Stage(ctx, "recover", 1, func() (int, error) {
+	err := run.Stage(ctx, "recover", 1, func(_ context.Context) (int, error) {
 		var err error
 		rec, err = vareco.RecoverOpts(bin, vareco.Options{Dataflow: true})
 		if rec == nil {
@@ -517,7 +530,7 @@ func (c *CATI) infer(ctx context.Context, bin *elfx.Binary, run obs.Runner) ([]I
 	// must resolve exactly as training resolved it, so it goes through
 	// Config.WithDefaults rather than re-implementing the default here.
 	var vucs []vuc.VUC
-	err = run.Stage(ctx, "extract", 1, func() (int, error) {
+	err = run.Stage(ctx, "extract", 1, func(_ context.Context) (int, error) {
 		w := c.Pipeline.Cfg.WithDefaults().Window
 		vucs = vuc.Extract(rec, vuc.Config{Window: w})
 		return len(vucs), nil
@@ -532,8 +545,8 @@ func (c *CATI) infer(ctx context.Context, bin *elfx.Binary, run obs.Runner) ([]I
 
 	// Stage 3: embed — Word2Vec lookup per token window.
 	samples := make([][]float32, len(vucs))
-	err = run.Stage(ctx, "embed", workers, func() (int, error) {
-		return len(vucs), par.ForEachCtx(ctx, len(vucs), workers, func(i int) {
+	err = run.Stage(ctx, "embed", workers, func(sctx context.Context) (int, error) {
+		return len(vucs), par.ForEachCtx(sctx, len(vucs), workers, func(i int) {
 			samples[i] = c.Pipeline.EmbedWindow(vucs[i].Tokens)
 		})
 	})
@@ -543,9 +556,9 @@ func (c *CATI) infer(ctx context.Context, bin *elfx.Binary, run obs.Runner) ([]I
 
 	// Stage 4: predict — the six-stage CNN tree per VUC.
 	var preds []classify.VUCPrediction
-	err = run.Stage(ctx, "predict", workers, func() (int, error) {
+	err = run.Stage(ctx, "predict", workers, func(sctx context.Context) (int, error) {
 		var err error
-		preds, err = c.Pipeline.PredictVUCsCtx(ctx, samples)
+		preds, err = c.Pipeline.PredictVUCsCtx(sctx, samples)
 		return len(samples), err
 	})
 	if err != nil {
@@ -554,7 +567,7 @@ func (c *CATI) infer(ctx context.Context, bin *elfx.Binary, run obs.Runner) ([]I
 
 	// Stage 5: vote — group predictions per variable and vote.
 	var out []InferredVar
-	err = run.Stage(ctx, "vote", 1, func() (int, error) {
+	err = run.Stage(ctx, "vote", 1, func(_ context.Context) (int, error) {
 		groups := make(map[vuc.VarKey][]classify.VUCPrediction)
 		for i := range vucs {
 			groups[vucs[i].Var] = append(groups[vucs[i].Var], preds[i])

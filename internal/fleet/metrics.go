@@ -1,0 +1,221 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// scrapeTimeout bounds one replica /metrics (or /v1/trace) scrape inside
+// the federated handlers — a slow replica must not stall the fleet view.
+const scrapeTimeout = 2 * time.Second
+
+// handleFleetMetrics serves GET /v1/fleet/metrics: one merged Prometheus
+// exposition covering the router's own registry plus every live
+// replica's /metrics, with a replica="..." label distinguishing the
+// rows (the router's own rows carry replica="router"). This is the
+// single-scrape fleet view — point Prometheus here instead of at N
+// replica ports. Replicas that fail to scrape are reported as comments,
+// never as a handler error.
+func (rt *Router) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	type source struct {
+		name string
+		text string
+		err  error
+	}
+	var srcs []source
+	var local bytes.Buffer
+	_ = telemetry.Default().WritePrometheus(&local)
+	srcs = append(srcs, source{name: "router", text: local.String()})
+
+	for _, m := range rt.members {
+		if !m.up.Load() {
+			srcs = append(srcs, source{name: m.url, err: fmt.Errorf("replica down")})
+			continue
+		}
+		text, err := rt.scrape(r.Context(), m.url+"/metrics")
+		srcs = append(srcs, source{name: m.url, text: text, err: err})
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	merge := newMetricMerger()
+	for _, s := range srcs {
+		if s.err != nil {
+			fmt.Fprintf(&b, "# replica %s unavailable: %s\n", s.name, s.err)
+			continue
+		}
+		merge.add(s.name, s.text)
+	}
+	merge.write(&b)
+	_, _ = io.WriteString(w, b.String())
+}
+
+// scrape fetches one URL's body within the scrape budget.
+func (rt *Router) scrape(ctx context.Context, url string) (string, error) {
+	ctx, cancel := context.WithTimeout(ctx, scrapeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return string(body), nil
+}
+
+// metricMerger groups series from several expositions by family so the
+// merged output stays valid Prometheus text format: one # HELP/# TYPE
+// header per family (first source wins), then every source's series with
+// the replica label injected.
+type metricMerger struct {
+	order []string
+	fams  map[string]*mergedFamily
+}
+
+type mergedFamily struct {
+	help, typ string
+	series    []string
+}
+
+func newMetricMerger() *metricMerger {
+	return &metricMerger{fams: make(map[string]*mergedFamily)}
+}
+
+// add parses one exposition, attributing each series line to the family
+// its preceding # TYPE header named — the structure our own
+// WritePrometheus (and any conformant exposition) guarantees.
+func (mm *metricMerger) add(replica, text string) {
+	cur := ""
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			rest := line[len("# HELP "):]
+			name, meta, _ := strings.Cut(rest, " ")
+			cur = name
+			f := mm.fams[name]
+			if f == nil {
+				f = &mergedFamily{}
+				mm.fams[name] = f
+				mm.order = append(mm.order, name)
+			}
+			if strings.HasPrefix(line, "# HELP ") && f.help == "" {
+				f.help = meta
+			}
+			if strings.HasPrefix(line, "# TYPE ") && f.typ == "" {
+				f.typ = meta
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") || cur == "" {
+			continue // stray comment, or a series before any header
+		}
+		mm.fams[cur].series = append(mm.fams[cur].series, injectReplica(line, replica))
+	}
+}
+
+// injectReplica rewrites one series line to carry replica="..." as its
+// first label. Only the series part (before the first value) is touched,
+// so histogram exemplar suffixes survive verbatim.
+func injectReplica(line, replica string) string {
+	esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`).Replace(replica)
+	if i := strings.IndexByte(line, '{'); i >= 0 && i < strings.IndexByte(line, ' ') {
+		return line[:i+1] + `replica="` + esc + `",` + line[i+1:]
+	}
+	name, rest, ok := strings.Cut(line, " ")
+	if !ok {
+		return line
+	}
+	return name + `{replica="` + esc + `"} ` + rest
+}
+
+// write renders the merged families, sorted by name for stable scrapes.
+func (mm *metricMerger) write(b *strings.Builder) {
+	names := append([]string(nil), mm.order...)
+	sort.Strings(names)
+	for _, name := range names {
+		f := mm.fams[name]
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, f.help, name, f.typ)
+		sort.Strings(f.series)
+		for _, s := range f.series {
+			b.WriteString(s)
+			b.WriteByte('\n')
+		}
+	}
+}
+
+// handleTrace serves GET /v1/trace/{id} on the router: the federated
+// trace view. Each process keeps its own bounded span store, so one
+// request's spans are scattered across the router and whichever replicas
+// touched it; this handler merges the router's local store with every
+// live replica's /v1/trace/{id}, deduplicating by span ID, and returns
+// the single combined span tree a client needs to explain a request.
+func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
+	idStr := r.PathValue("id")
+	id, ok := trace.ParseTraceID(idStr)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad trace id"})
+		return
+	}
+	seen := make(map[string]bool)
+	var spans []trace.SpanRecord
+	if c := trace.Default(); c != nil {
+		for _, s := range c.Get(id) {
+			if !seen[s.SpanID] {
+				seen[s.SpanID] = true
+				spans = append(spans, s)
+			}
+		}
+	}
+	for _, m := range rt.members {
+		if !m.up.Load() {
+			continue
+		}
+		body, err := rt.scrape(r.Context(), m.url+"/v1/trace/"+idStr)
+		if err != nil {
+			continue // a replica without the trace answers 404; skip quietly
+		}
+		var remote struct {
+			Spans []trace.SpanRecord `json:"spans"`
+		}
+		if err := json.Unmarshal([]byte(body), &remote); err != nil {
+			continue
+		}
+		for _, s := range remote.Spans {
+			if !seen[s.SpanID] {
+				seen[s.SpanID] = true
+				spans = append(spans, s)
+			}
+		}
+	}
+	if len(spans) == 0 {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "trace not found"})
+		return
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	writeJSON(w, http.StatusOK, struct {
+		TraceID string             `json:"trace"`
+		Spans   []trace.SpanRecord `json:"spans"`
+	}{id.String(), spans})
+}

@@ -20,6 +20,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Config tunes the fleet router; zero values take the documented
@@ -241,9 +243,12 @@ func New(cfg Config) (*Router, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/infer", rt.handleInfer)
 	mux.HandleFunc("GET /v1/fleet", rt.handleFleet)
+	mux.HandleFunc("GET /v1/fleet/metrics", rt.handleFleetMetrics)
+	mux.HandleFunc("GET /v1/trace/{id}", rt.handleTrace)
 	mux.HandleFunc("GET /v1/models", rt.handleModels)
 	mux.HandleFunc("GET /v1/healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /v1/readyz", rt.handleReadyz)
+	mux.Handle("GET /metrics", telemetry.Default())
 	rt.httpSrv = &http.Server{Handler: mux}
 	return rt, nil
 }
@@ -403,10 +408,17 @@ func (out fwdOut) final() bool {
 func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	code := http.StatusOK
+	ctx, span := trace.StartFromRequest(r, "fleet.request",
+		trace.String("path", "/v1/infer"))
 	defer func() {
+		span.SetAttr(trace.Int("code", code))
+		span.End()
 		countRouted(code)
-		mRouteSeconds.ObserveSince(start)
+		mRouteSeconds.ObserveWithExemplar(time.Since(start).Seconds(), trace.IDFromContext(ctx))
 	}()
+	if !span.TraceID().IsZero() {
+		w.Header().Set("X-Cati-Trace-Id", span.TraceID().String())
+	}
 
 	image, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBody))
 	if err != nil {
@@ -427,8 +439,11 @@ func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 
 	sum := sha256.Sum256(image)
-	out := rt.route(r.Context(), sum, image)
+	span.SetAttr(trace.Int("image_bytes", len(image)),
+		trace.String("sha256", hex.EncodeToString(sum[:8])))
+	out := rt.route(ctx, sum, image)
 	if out.err != nil {
+		span.SetError(out.err)
 		if r.Context().Err() != nil {
 			code = 499 // client went away; nothing to write
 			return
@@ -449,6 +464,10 @@ func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	if out.fill {
 		w.Header().Set("X-Cati-Fill", "peer")
+		span.SetAttr(trace.Bool("peer_fill", true))
+	}
+	if out.m != nil {
+		span.SetAttr(trace.String("replica", out.m.url))
 	}
 	w.WriteHeader(out.code)
 	w.Write(out.body)
@@ -539,7 +558,7 @@ func (rt *Router) route(ctx context.Context, sum [sha256.Size]byte, image []byte
 				}
 			}
 		}
-		out, settled := rt.runPlan(ctx, key, sum, image, round == 0)
+		out, settled := rt.runPlan(ctx, key, sum, image, round)
 		if settled {
 			return out
 		}
@@ -554,13 +573,21 @@ func (rt *Router) route(ctx context.Context, sum [sha256.Size]byte, image []byte
 // backoff, hedge. settled=true means out answers the client; false
 // means the pass exhausted (out is the last failure, possibly zero when
 // nothing could even launch).
-func (rt *Router) runPlan(ctx context.Context, key uint64, sum [sha256.Size]byte, image []byte, firstRound bool) (out fwdOut, settled bool) {
+func (rt *Router) runPlan(ctx context.Context, key uint64, sum [sha256.Size]byte, image []byte, round int) (out fwdOut, settled bool) {
+	ctx, span := trace.Start(ctx, "fleet.plan", trace.Int("round", round))
+	defer func() {
+		span.SetAttr(trace.Bool("settled", settled))
+		span.SetError(out.err)
+		span.End()
+	}()
 	seq := rt.plan(key)
 	if len(seq) == 0 {
 		return fwdOut{err: errors.New("no replicas configured")}, false
 	}
+	span.SetAttr(trace.Int("candidates", len(seq)),
+		trace.String("owner", seq[0].url))
 
-	if firstRound {
+	if round == 0 {
 		if fill, ok := rt.peerFill(ctx, rt.fillSources(key, seq[0]), sum); ok {
 			return fill, true
 		}
@@ -646,6 +673,8 @@ func (rt *Router) runPlan(ctx context.Context, key uint64, sum [sha256.Size]byte
 			}
 			mRetries.Inc()
 			rt.retries.Add(1)
+			span.Event("retry", trace.String("replica", m.url),
+				trace.Int("hard_fails", hardFails))
 			launch(m)
 			resetHedge()
 		case <-hedgeC:
@@ -656,6 +685,7 @@ func (rt *Router) runPlan(ctx context.Context, key uint64, sum [sha256.Size]byte
 			}
 			mHedges.Inc()
 			rt.hedges.Add(1)
+			span.Event("hedge", trace.String("replica", m.url))
 			launch(m)
 			resetHedge()
 		case <-rctx.Done():
@@ -669,11 +699,23 @@ func (rt *Router) runPlan(ctx context.Context, key uint64, sum [sha256.Size]byte
 // failures; everything else (success or deterministic 4xx) is healthy
 // service.
 func (rt *Router) forward(ctx context.Context, m *member, image []byte) fwdOut {
+	ctx, span := trace.Start(ctx, "fleet.forward", trace.String("replica", m.url))
+	out := rt.forwardSpan(ctx, m, image)
+	span.SetError(out.err)
+	if out.code != 0 {
+		span.SetAttr(trace.Int("code", out.code))
+	}
+	span.End()
+	return out
+}
+
+func (rt *Router) forwardSpan(ctx context.Context, m *member, image []byte) fwdOut {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, m.url+"/v1/infer", bytes.NewReader(image))
 	if err != nil {
 		return fwdOut{m: m, err: err}
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	trace.Inject(ctx, req.Header)
 	resp, err := rt.cfg.Client.Do(req)
 	if err != nil {
 		m.br.report(false)
@@ -694,10 +736,15 @@ func (rt *Router) forward(ctx context.Context, m *member, image []byte) fwdOut {
 // peerFill probes warm peers' result caches before computing, inside a
 // hard budget. Every failure mode — timeout, refused connection, 404,
 // garbage — degrades silently to the compute path.
-func (rt *Router) peerFill(ctx context.Context, sources []*member, sum [sha256.Size]byte) (fwdOut, bool) {
+func (rt *Router) peerFill(ctx context.Context, sources []*member, sum [sha256.Size]byte) (out fwdOut, ok bool) {
 	if len(sources) == 0 {
 		return fwdOut{}, false
 	}
+	ctx, span := trace.Start(ctx, "fleet.fill", trace.Int("sources", len(sources)))
+	defer func() {
+		span.SetAttr(trace.Bool("hit", ok))
+		span.End()
+	}()
 	shaHex := hex.EncodeToString(sum[:])
 	for _, src := range sources {
 		cctx, cancel := context.WithTimeout(ctx, rt.cfg.FillTimeout)
@@ -706,10 +753,12 @@ func (rt *Router) peerFill(ctx context.Context, sources []*member, sum [sha256.S
 			cancel()
 			continue
 		}
+		trace.Inject(cctx, req.Header)
 		resp, err := rt.cfg.Client.Do(req)
 		if err != nil {
 			cancel()
 			countFill("error")
+			span.Event("fill-error", trace.String("replica", src.url))
 			continue
 		}
 		body, rerr := io.ReadAll(resp.Body)

@@ -1,0 +1,300 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/fleet/fleetfault"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// installCollector swaps a fresh trace collector in as the process
+// default for the duration of the test.
+func installCollector(t *testing.T, cfg trace.Config) *trace.Collector {
+	t.Helper()
+	prev := trace.Default()
+	c := trace.NewCollector(cfg)
+	trace.SetDefault(c)
+	t.Cleanup(func() { trace.SetDefault(prev) })
+	return c
+}
+
+// postTraced posts one image through the router and returns the trace ID
+// the response advertised. The request must succeed.
+func postTraced(t *testing.T, rt *Router, image []byte) string {
+	t.Helper()
+	resp, err := http.Post("http://"+rt.Addr+"/v1/infer", "application/octet-stream", bytes.NewReader(image))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer answered %d: %.200s", resp.StatusCode, body)
+	}
+	id := resp.Header.Get("X-Cati-Trace-Id")
+	if id == "" {
+		t.Fatal("response carries no X-Cati-Trace-Id")
+	}
+	return id
+}
+
+// fetchTrace pulls the federated span set for one trace from the router.
+func fetchTrace(t *testing.T, rt *Router, id string) []trace.SpanRecord {
+	t.Helper()
+	resp, err := http.Get("http://" + rt.Addr + "/v1/trace/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/trace/%s answered %d: %.200s", id, resp.StatusCode, body)
+	}
+	var out struct {
+		Spans []trace.SpanRecord `json:"spans"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decoding trace body: %v", err)
+	}
+	return out.Spans
+}
+
+// assertConnected verifies the spans form one tree: exactly one root and
+// every other span's parent present in the same trace.
+func assertConnected(t *testing.T, spans []trace.SpanRecord) {
+	t.Helper()
+	byID := make(map[string]bool, len(spans))
+	for _, s := range spans {
+		byID[s.SpanID] = true
+	}
+	roots := 0
+	for _, s := range spans {
+		if s.Parent == "" {
+			roots++
+			continue
+		}
+		if !byID[s.Parent] {
+			t.Fatalf("span %q (%s) orphaned: parent %s not in trace", s.Name, s.SpanID, s.Parent)
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("want exactly one root span, got %d in %s", roots, spanNames(spans))
+	}
+}
+
+func spanNames(spans []trace.SpanRecord) []string {
+	names := make([]string, len(spans))
+	for i, s := range spans {
+		names[i] = s.Name
+	}
+	return names
+}
+
+func hasSpan(spans []trace.SpanRecord, name string) bool {
+	for _, s := range spans {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func hasEvent(spans []trace.SpanRecord, span, event string) bool {
+	for _, s := range spans {
+		if s.Name != span {
+			continue
+		}
+		for _, e := range s.Events {
+			if e.Name == event {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func spanAttr(spans []trace.SpanRecord, name, key string) (string, bool) {
+	for _, s := range spans {
+		if s.Name != name {
+			continue
+		}
+		for _, a := range s.Attrs {
+			if a.Key == key {
+				return a.Value, true
+			}
+		}
+	}
+	return "", false
+}
+
+// TestChaosTraceSpanTree drives single requests through a 3-replica
+// fleet behind fault proxies and asserts that each yields ONE connected
+// span tree retrievable from the router — through the healthy path, a
+// hedge, a replica retry, and a peer cache fill — and that no span is
+// left open afterwards (cancelled losing attempts included).
+func TestChaosTraceSpanTree(t *testing.T) {
+	blob, images := chaosFixture(t)
+	col := installCollector(t, trace.Config{MaxTraces: 1024})
+
+	const n = 3
+	var proxies []*fleetfault.Proxy
+	var urls, serveAddrs []string
+	for i := 0; i < n; i++ {
+		path := filepath.Join(t.TempDir(), "cati.model")
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := serve.New(serve.Config{
+			ModelPath: path, Workers: 2, WatchInterval: -1, Log: quietLog(t),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = s.Close() })
+		p, err := fleetfault.New("127.0.0.1:0", s.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Delay = 400 * time.Millisecond // Latency mode: well past HedgeAfter
+		t.Cleanup(p.Close)
+		proxies = append(proxies, p)
+		urls = append(urls, "http://"+p.Addr())
+		serveAddrs = append(serveAddrs, s.Addr)
+	}
+
+	rt := startRouter(t, Config{
+		Replicas:      urls,
+		ProbeInterval: 50 * time.Millisecond,
+		// Membership must stay fixed: this test injects faults to shape
+		// one request's trace, not to exercise ejection.
+		EjectAfter:       1 << 20,
+		HedgeAfter:       100 * time.Millisecond,
+		Backoff:          5 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Minute,
+		FillTimeout:      500 * time.Millisecond,
+	})
+
+	// ownerIdx is the image's stable ring home, independent of breaker
+	// and membership state (plan[0] would shift once a breaker opens).
+	ownerIdx := func(img []byte) int {
+		key, _ := imageKey(img)
+		home := rt.ring.home(key)
+		if home < 0 {
+			t.Fatal("empty ring")
+		}
+		return home
+	}
+	// resetBreakers clears the consecutive-failure counts faults from a
+	// previous phase left behind, so each phase shapes its own plan.
+	resetBreakers := func() {
+		for _, m := range rt.members {
+			m.br.report(true)
+		}
+	}
+	drained := func(what string) {
+		waitFor(t, 5*time.Second, what+": all spans closed", func() bool {
+			return col.OpenSpans() == 0
+		})
+	}
+
+	// Healthy path: the full tree — router plan and forward, the replica's
+	// request/admission/parse/batch phases, and all five pipeline stages.
+	id := postTraced(t, rt, images[3])
+	drained("healthy request")
+	spans := fetchTrace(t, rt, id)
+	assertConnected(t, spans)
+	for _, want := range []string{
+		"fleet.request", "fleet.plan", "fleet.forward",
+		"serve.request", "serve.cache-probe", "serve.admission", "serve.parse", "serve.batch",
+		"recover", "extract", "embed", "predict", "vote",
+	} {
+		if !hasSpan(spans, want) {
+			t.Fatalf("healthy trace missing span %q; have %v", want, spanNames(spans))
+		}
+	}
+
+	// Hedge: the owner answers slowly, the router races the next ring
+	// replica, and the winner's whole subtree still hangs off the one
+	// plan span that recorded the hedge.
+	oi := ownerIdx(images[1])
+	proxies[oi].SetMode(fleetfault.Latency)
+	id2 := postTraced(t, rt, images[1])
+	proxies[oi].SetMode(fleetfault.Pass)
+	drained("hedged request")
+	spans2 := fetchTrace(t, rt, id2)
+	assertConnected(t, spans2)
+	if !hasEvent(spans2, "fleet.plan", "hedge") {
+		t.Fatalf("hedged trace records no hedge event; spans %v", spanNames(spans2))
+	}
+
+	// Retry: the owner hard-fails (truncated responses), the plan retries
+	// and then moves along the ring — one connected tree, retry recorded.
+	resetBreakers()
+	oi3 := ownerIdx(images[2])
+	proxies[oi3].SetMode(fleetfault.Truncate)
+	id3 := postTraced(t, rt, images[2])
+	proxies[oi3].SetMode(fleetfault.Pass)
+	drained("retried request")
+	spans3 := fetchTrace(t, rt, id3)
+	assertConnected(t, spans3)
+	if !hasEvent(spans3, "fleet.plan", "retry") {
+		t.Fatalf("retried trace records no retry event; spans %v", spanNames(spans3))
+	}
+
+	// Peer cache fill: warm the owner's cache directly (bypassing its
+	// proxy), open its breaker so the plan displaces the request, and the
+	// router must serve from the owner's cache — the fill probe and the
+	// owner's cache-get both landing in the client's tree.
+	resetBreakers()
+	oi0 := ownerIdx(images[0])
+	warm, err := http.Post("http://"+serveAddrs[oi0]+"/v1/infer", "application/octet-stream", bytes.NewReader(images[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, warm.Body)
+	warm.Body.Close()
+	if warm.StatusCode != http.StatusOK {
+		t.Fatalf("cache warm-up answered %d", warm.StatusCode)
+	}
+	for i := 0; i < rt.cfg.BreakerThreshold; i++ {
+		rt.members[oi0].br.report(false)
+	}
+	id4 := postTraced(t, rt, images[0])
+	drained("filled request")
+	spans4 := fetchTrace(t, rt, id4)
+	assertConnected(t, spans4)
+	if hit, ok := spanAttr(spans4, "fleet.fill", "hit"); !ok || hit != "true" {
+		t.Fatalf("fill trace has no hit fill span (hit=%q ok=%v); spans %v", hit, ok, spanNames(spans4))
+	}
+	if !hasSpan(spans4, "serve.cache-get") {
+		t.Fatalf("fill trace missing the peer's serve.cache-get span; have %v", spanNames(spans4))
+	}
+
+	if open := col.OpenSpans(); open != 0 {
+		t.Fatalf("%d spans still open after the sweep", open)
+	}
+	if dropped := col.Dropped(mustTraceID(t, id)); dropped != 0 {
+		t.Fatalf("healthy trace dropped %d spans", dropped)
+	}
+}
+
+func mustTraceID(t *testing.T, s string) trace.TraceID {
+	t.Helper()
+	id, ok := trace.ParseTraceID(s)
+	if !ok {
+		t.Fatalf("bad trace id %q", s)
+	}
+	return id
+}

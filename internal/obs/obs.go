@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Stage is one recorded pipeline stage.
@@ -128,19 +129,32 @@ type Runner struct {
 
 // Stage runs fn as the named stage: it refuses to start once ctx is
 // cancelled (returning ctx.Err()), times the run, and records/notifies
-// the outcome. fn reports how many items it processed.
-func (r Runner) Stage(ctx context.Context, name string, workers int, fn func() (items int, err error)) error {
+// the outcome. fn reports how many items it processed; it receives a
+// derived context carrying the stage's trace span, so work fanned out
+// inside the stage (par shards, nested calls) lands under that span.
+//
+// Stage is rebased on internal/trace: when the context carries an active
+// request span, each stage becomes a child span named after the stage,
+// which is how one /v1/infer trace comes to include recover → extract →
+// embed → predict → vote. When tracing is off, the span is a nil no-op
+// and only the Timer's two clock reads remain — -trace tables and the
+// telemetry histograms behave exactly as before.
+func (r Runner) Stage(ctx context.Context, name string, workers int, fn func(ctx context.Context) (items int, err error)) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	if r.Hook != nil {
 		r.Hook(Event{Stage: name, Workers: workers})
 	}
-	t0 := time.Now()
-	items, err := fn()
-	wall := time.Since(t0)
+	sctx, span := trace.Start(ctx, name, trace.Int("workers", workers))
+	tm := trace.NewTimer()
+	items, err := fn(sctx)
+	wall := tm.Elapsed()
+	span.SetAttr(trace.Int("items", items))
+	span.SetError(err)
+	span.End()
 	r.Trace.Add(Stage{Name: name, Wall: wall, Items: items, Workers: workers, Err: err})
-	record(name, wall, items, err)
+	record(name, wall, items, err, trace.IDFromContext(sctx))
 	if r.Hook != nil {
 		r.Hook(Event{Stage: name, Done: true, Wall: wall, Items: items, Workers: workers, Err: err})
 	}
@@ -153,13 +167,15 @@ func (r Runner) Stage(ctx context.Context, name string, workers int, fn func() (
 // every stage execution in the process, which is what a /metrics scrape of
 // a long-running service needs; the -trace table stays a per-run view over
 // the same events. The whole call is skipped while collection is off.
-func record(name string, wall time.Duration, items int, err error) {
+// traceID (when non-empty) becomes the latency bucket's exemplar, linking
+// the histogram back to a retrievable trace.
+func record(name string, wall time.Duration, items int, err error, traceID string) {
 	if !telemetry.On() {
 		return
 	}
 	reg := telemetry.Default()
 	reg.Histogram("cati_stage_seconds", "Wall-clock stage latency by pipeline stage.",
-		telemetry.StageBuckets, "stage", name).Observe(wall.Seconds())
+		telemetry.StageBuckets, "stage", name).ObserveWithExemplar(wall.Seconds(), traceID)
 	if items > 0 {
 		reg.Counter("cati_stage_items_total", "Work items processed, by pipeline stage.",
 			"stage", name).Add(uint64(items))

@@ -14,7 +14,7 @@ func TestRunnerRecordsStages(t *testing.T) {
 	var events []Event
 	run := Runner{Trace: tr, Hook: func(e Event) { events = append(events, e) }}
 
-	err := run.Stage(context.Background(), "alpha", 4, func() (int, error) {
+	err := run.Stage(context.Background(), "alpha", 4, func(context.Context) (int, error) {
 		time.Sleep(time.Millisecond)
 		return 42, nil
 	})
@@ -47,7 +47,7 @@ func TestRunnerStageError(t *testing.T) {
 	tr := &Trace{}
 	run := Runner{Trace: tr}
 	boom := errors.New("boom")
-	if err := run.Stage(context.Background(), "bad", 1, func() (int, error) { return 7, boom }); !errors.Is(err, boom) {
+	if err := run.Stage(context.Background(), "bad", 1, func(context.Context) (int, error) { return 7, boom }); !errors.Is(err, boom) {
 		t.Fatalf("want boom, got %v", err)
 	}
 	stages := tr.Stages()
@@ -61,7 +61,7 @@ func TestRunnerRefusesCancelledCtx(t *testing.T) {
 	cancel()
 	tr := &Trace{}
 	ran := false
-	err := Runner{Trace: tr}.Stage(ctx, "never", 1, func() (int, error) { ran = true; return 0, nil })
+	err := Runner{Trace: tr}.Stage(ctx, "never", 1, func(context.Context) (int, error) { ran = true; return 0, nil })
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
@@ -75,7 +75,7 @@ func TestRunnerRefusesCancelledCtx(t *testing.T) {
 
 func TestZeroRunnerAndNilTrace(t *testing.T) {
 	var run Runner // no trace, no hook
-	if err := run.Stage(context.Background(), "free", 1, func() (int, error) { return 1, nil }); err != nil {
+	if err := run.Stage(context.Background(), "free", 1, func(context.Context) (int, error) { return 1, nil }); err != nil {
 		t.Fatal(err)
 	}
 	var tr *Trace

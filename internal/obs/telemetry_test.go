@@ -18,7 +18,7 @@ func TestStageFeedsTelemetry(t *testing.T) {
 	var r Runner // no Trace, no Hook: metrics flow regardless
 	const stage = "test-telemetry-ok"
 	for i := 0; i < 3; i++ {
-		if err := r.Stage(context.Background(), stage, 1, func() (int, error) {
+		if err := r.Stage(context.Background(), stage, 1, func(context.Context) (int, error) {
 			return 7, nil
 		}); err != nil {
 			t.Fatal(err)
@@ -42,7 +42,7 @@ func TestStageFeedsTelemetry(t *testing.T) {
 
 	const failing = "test-telemetry-fail"
 	wantErr := errors.New("stage broke")
-	if err := r.Stage(context.Background(), failing, 1, func() (int, error) {
+	if err := r.Stage(context.Background(), failing, 1, func(context.Context) (int, error) {
 		return 0, wantErr
 	}); !errors.Is(err, wantErr) {
 		t.Fatalf("Stage returned %v, want %v", err, wantErr)
@@ -59,7 +59,7 @@ func TestStageTelemetryDisabled(t *testing.T) {
 	}
 	var r Runner
 	const stage = "test-telemetry-off"
-	if err := r.Stage(context.Background(), stage, 1, func() (int, error) { return 1, nil }); err != nil {
+	if err := r.Stage(context.Background(), stage, 1, func(context.Context) (int, error) { return 1, nil }); err != nil {
 		t.Fatal(err)
 	}
 	h := telemetry.Default().Histogram("cati_stage_seconds", "", telemetry.StageBuckets, "stage", stage)

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Pool telemetry: all writes are atomic no-ops until a debug server (or a
@@ -319,10 +320,12 @@ func RunCtx(ctx context.Context, workers int, fns ...func()) error {
 	var cancelled bool
 loop:
 	for i, fn := range fns {
-		// Time the wait for a pool slot only when the histogram is live —
-		// the time.Now pair is the one cost worth gating explicitly.
+		// Time the wait for a pool slot only when someone is listening —
+		// the histogram, or an active trace span on ctx — so the clock
+		// reads stay off the fully-dark fast path.
+		span := trace.SpanFromContext(ctx)
 		var waitStart time.Time
-		if mQueueWait.Enabled() {
+		if mQueueWait.Enabled() || span != nil {
 			waitStart = time.Now()
 		}
 		if done != nil {
@@ -336,7 +339,16 @@ loop:
 			sem <- struct{}{}
 		}
 		if !waitStart.IsZero() {
-			mQueueWait.ObserveSince(waitStart)
+			wait := time.Since(waitStart)
+			if mQueueWait.Enabled() {
+				mQueueWait.Observe(wait.Seconds())
+			}
+			// Only waits that actually blocked become span events: an
+			// uncontended semaphore send is nanoseconds, and stamping an
+			// event per thunk would drown the trace in noise.
+			if wait >= time.Millisecond {
+				span.Event("queue-wait", trace.Duration("wait", wait), trace.Int("thunk", i))
+			}
 		}
 		wg.Add(1)
 		go func(i int, fn func()) {

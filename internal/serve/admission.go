@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Admission telemetry: queue depth and in-flight level are gauges the
@@ -110,13 +111,20 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 	case a.slots <- struct{}{}:
 	default:
 		// No slot free right now; wait for one, the deadline, or the
-		// caller giving up.
+		// caller giving up. The wait gets its own span — it is exactly
+		// the "why was this request slow" answer under load.
+		_, qspan := trace.Start(ctx, "serve.queue-wait")
 		select {
 		case a.slots <- struct{}{}:
+			qspan.End()
 		case <-timeout:
+			qspan.SetError(ErrQueueTimeout)
+			qspan.End()
 			leaveQueue()
 			return nil, ErrQueueTimeout
 		case <-ctx.Done():
+			qspan.SetError(ctx.Err())
+			qspan.End()
 			leaveQueue()
 			return nil, ctx.Err()
 		}

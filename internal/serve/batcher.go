@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/elfx"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Micro-batching telemetry: the batch-size histogram is the tuning signal
@@ -24,8 +25,14 @@ var (
 )
 
 // inferRequest is one admitted request waiting for inference: the parsed
-// binary in, exactly one inferResult out on done.
+// binary in, exactly one inferResult out on done. ctx carries the
+// request's trace span (the handler's "serve.batch" span); the batcher
+// stamps dispatch events on it and hands it to the core as this binary's
+// context, so a batch shared by several requests still produces one span
+// tree per request. ctx is for tracing only — batch cancellation follows
+// the collector's run context, never an individual member's.
 type inferRequest struct {
+	ctx  context.Context
 	bin  *elfx.Binary
 	done chan inferResult // buffered 1: a departed client never blocks a batch
 }
@@ -61,7 +68,9 @@ type batcher struct {
 	model    func() *Model
 	// infer is the dispatch seam: production wires it to InferBatchOpts
 	// on the snapshot's CATI; tests substitute blocking or counting fakes.
-	infer func(ctx context.Context, m *Model, bins []*elfx.Binary) ([]core.BinaryResult, error)
+	// opts arrives per batch because BinContext (the per-binary trace
+	// contexts) is built from that batch's members.
+	infer func(ctx context.Context, m *Model, bins []*elfx.Binary, opts core.BatchOptions) ([]core.BinaryResult, error)
 	wg    sync.WaitGroup
 }
 
@@ -77,7 +86,7 @@ func newBatcher(maxBatch int, linger time.Duration, opts core.BatchOptions, mode
 		linger:   linger,
 		opts:     opts,
 		model:    model,
-		infer: func(ctx context.Context, m *Model, bins []*elfx.Binary) ([]core.BinaryResult, error) {
+		infer: func(ctx context.Context, m *Model, bins []*elfx.Binary, opts core.BatchOptions) ([]core.BinaryResult, error) {
 			return m.CATI.InferBatchOpts(ctx, bins, opts)
 		},
 	}
@@ -170,14 +179,14 @@ var ErrBatchPanic = errors.New("serve: inference panicked")
 // panics, but the seam itself — or a bug around it — must not be able to
 // take down the daemon: a long-lived service turns one poisoned batch
 // into that batch's error records, never into a crash.
-func (b *batcher) inferContained(ctx context.Context, m *Model, bins []*elfx.Binary) (results []core.BinaryResult, err error) {
+func (b *batcher) inferContained(ctx context.Context, m *Model, bins []*elfx.Binary, opts core.BatchOptions) (results []core.BinaryResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			countBatchPanic()
 			results, err = nil, fmt.Errorf("%w: %v", ErrBatchPanic, r)
 		}
 	}()
-	return b.infer(ctx, m, bins)
+	return b.infer(ctx, m, bins, opts)
 }
 
 // countBatchPanic records one contained batch-level panic.
@@ -198,8 +207,23 @@ func (b *batcher) runBatch(ctx context.Context, m *Model, batch []*inferRequest)
 	bins := make([]*elfx.Binary, len(batch))
 	for i, req := range batch {
 		bins[i] = req.bin
+		// Stamp the coalescing outcome on each member's span: which batch
+		// size this request ended up riding in, and at what position.
+		trace.SpanFromContext(req.ctx).Event("batch-dispatch",
+			trace.Int("batch_size", len(batch)), trace.Int("index", i))
 	}
-	results, err := b.inferContained(ctx, m, bins)
+	opts := b.opts
+	// Each binary runs under its own request's span (lifted onto the
+	// batch context, so cancellation still follows the collector), which
+	// is what routes the pipeline's stage spans — recover, extract, embed,
+	// predict, vote — into the right request's trace.
+	opts.BinContext = func(i int) context.Context {
+		if span := trace.SpanFromContext(batch[i].ctx); span != nil {
+			return trace.ContextWithSpan(ctx, span)
+		}
+		return ctx
+	}
+	results, err := b.inferContained(ctx, m, bins, opts)
 	for i, req := range batch {
 		res := inferResult{model: m}
 		switch {

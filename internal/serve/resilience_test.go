@@ -45,7 +45,7 @@ func TestReadyzGatesOnQueue(t *testing.T) {
 	// depth 1 == watermark → not ready.
 	gate := make(chan struct{})
 	entered := make(chan struct{}, 4)
-	s.batch.infer = func(ctx context.Context, m *Model, bins []*elfx.Binary) ([]core.BinaryResult, error) {
+	s.batch.infer = func(ctx context.Context, m *Model, bins []*elfx.Binary, _ core.BatchOptions) ([]core.BinaryResult, error) {
 		entered <- struct{}{}
 		<-gate
 		return make([]core.BinaryResult, len(bins)), nil
@@ -112,7 +112,7 @@ func TestRetryAfterDerived(t *testing.T) {
 
 	gate := make(chan struct{})
 	entered := make(chan struct{}, 4)
-	s.batch.infer = func(ctx context.Context, m *Model, bins []*elfx.Binary) ([]core.BinaryResult, error) {
+	s.batch.infer = func(ctx context.Context, m *Model, bins []*elfx.Binary, _ core.BatchOptions) ([]core.BinaryResult, error) {
 		entered <- struct{}{}
 		<-gate
 		return make([]core.BinaryResult, len(bins)), nil
@@ -255,7 +255,7 @@ func TestBatcherPanicContained(t *testing.T) {
 		CacheSize: -1, MaxBatch: 1, WatchInterval: -1,
 	})
 	real := s.batch.infer
-	s.batch.infer = func(ctx context.Context, m *Model, bins []*elfx.Binary) ([]core.BinaryResult, error) {
+	s.batch.infer = func(ctx context.Context, m *Model, bins []*elfx.Binary, _ core.BatchOptions) ([]core.BinaryResult, error) {
 		panic("synthetic batch-level failure")
 	}
 
@@ -285,7 +285,7 @@ func TestBatcherShortResults(t *testing.T) {
 		ModelPath: modelFile(t, fixA),
 		CacheSize: -1, MaxBatch: 1, WatchInterval: -1,
 	})
-	s.batch.infer = func(ctx context.Context, m *Model, bins []*elfx.Binary) ([]core.BinaryResult, error) {
+	s.batch.infer = func(ctx context.Context, m *Model, bins []*elfx.Binary, _ core.BatchOptions) ([]core.BinaryResult, error) {
 		return nil, nil // claims success, covers nothing
 	}
 	resp, body := postInfer(t, s.Addr, fixImages[0])
@@ -298,10 +298,10 @@ func TestBatcherShortResults(t *testing.T) {
 // on errors.Is across the wire boundary being encoded as a 500.
 func TestErrBatchPanicIs(t *testing.T) {
 	b := newBatcher(1, 0, core.BatchOptions{}, func() *Model { return nil })
-	b.infer = func(ctx context.Context, m *Model, bins []*elfx.Binary) ([]core.BinaryResult, error) {
+	b.infer = func(ctx context.Context, m *Model, bins []*elfx.Binary, _ core.BatchOptions) ([]core.BinaryResult, error) {
 		panic("boom")
 	}
-	_, err := b.inferContained(context.Background(), nil, nil)
+	_, err := b.inferContained(context.Background(), nil, nil, core.BatchOptions{})
 	if !errors.Is(err, ErrBatchPanic) {
 		t.Fatalf("want ErrBatchPanic, got %v", err)
 	}

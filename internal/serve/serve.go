@@ -56,6 +56,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/elfx"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Request telemetry.
@@ -304,6 +305,16 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/cache/{sha}", s.handleCacheGet)
+	// Observability read side on the data port, so a fleet router (or a
+	// scraper that only knows the serve address) can federate this
+	// replica's metrics and traces without discovering the debug port.
+	mux.Handle("GET /metrics", telemetry.Default())
+	mux.Handle("GET /v1/trace/{id}", traceLookup(func(c *trace.Collector) http.Handler {
+		return c.TraceHandler()
+	}))
+	mux.Handle("GET /debug/traces", traceLookup(func(c *trace.Collector) http.Handler {
+		return c.RecentHandler()
+	}))
 	s.httpSrv = &http.Server{Handler: mux}
 	return s, nil
 }
@@ -409,8 +420,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 // that owns a key before making a cold replica recompute it. Lookup
 // cost is one mutex'd map probe — no admission slot needed.
 func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	_, span := trace.StartFromRequest(r, "serve.cache-get")
+	defer span.End()
 	raw, err := hex.DecodeString(r.PathValue("sha"))
 	if err != nil || len(raw) != sha256.Size {
+		span.SetAttr(trace.Bool("hit", false))
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "sha must be 64 hex chars (SHA-256 of the image)"})
 		return
 	}
@@ -418,6 +432,7 @@ func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 	key := cacheKey{model: active.Fingerprint}
 	copy(key.image[:], raw)
 	vars, ok := s.cache.get(key)
+	span.SetAttr(trace.Bool("hit", ok))
 	if !ok {
 		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no cached result", Model: active.Fingerprint})
 		return
@@ -481,12 +496,24 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 // handleInfer is the data path: read → cache probe → admission → parse →
 // batch → respond. The cache probe runs before admission so repeat
 // traffic is served even when the compute side is saturated.
+//
+// The request runs under a "serve.request" span: continued from the
+// X-Cati-Trace header when a fleet router forwarded the request, locally
+// rooted when a client hit the replica directly. Each phase below becomes
+// a child span, so /v1/trace/{id} explains where a slow request's time
+// went — queued, parsing, or riding a batch.
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	code := http.StatusOK
+	ctx, span := trace.StartFromRequest(r, "serve.request", trace.String("path", "/v1/infer"))
+	if !span.TraceID().IsZero() {
+		w.Header().Set("X-Cati-Trace-Id", span.TraceID().String())
+	}
 	defer func() {
+		span.SetAttr(trace.Int("code", code))
+		span.End()
 		countRequest(code)
-		mReqSeconds.ObserveSince(start)
+		mReqSeconds.ObserveWithExemplar(time.Since(start).Seconds(), trace.IDFromContext(ctx))
 	}()
 
 	image, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
@@ -507,17 +534,26 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	span.SetAttr(trace.Int("image_bytes", len(image)))
+
 	// Cache probe against the currently active model.
 	active := s.registry.Active()
 	key := imageKey(image, active.Fingerprint)
-	if vars, ok := s.cache.get(key); ok {
+	_, pspan := trace.Start(ctx, "serve.cache-probe")
+	vars, hit := s.cache.get(key)
+	pspan.SetAttr(trace.Bool("hit", hit))
+	pspan.End()
+	if hit {
 		writeInferResponse(w, active.Fingerprint, true, vars)
 		return
 	}
 
 	// Admission: hold a slot for the whole parse+infer, so the in-flight
 	// bound covers everything that costs CPU or memory.
-	release, err := s.adm.acquire(r.Context())
+	actx, aspan := trace.Start(ctx, "serve.admission")
+	release, err := s.adm.acquire(actx)
+	aspan.SetError(err)
+	aspan.End()
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull):
@@ -536,15 +572,24 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	_, rspan := trace.Start(ctx, "serve.parse")
 	bin, err := elfx.Read(image)
+	rspan.SetError(err)
+	rspan.End()
 	if err != nil {
 		code = http.StatusBadRequest
 		writeJSON(w, code, ErrorResponse{Error: err.Error()})
 		return
 	}
 
-	req := &inferRequest{bin: bin, done: make(chan inferResult, 1)}
-	if err := s.batch.submit(r.Context(), req); err != nil {
+	// The batch span covers submission, coalescing and the inference run;
+	// its context rides inside the request record so the batcher can stamp
+	// dispatch events on it and hand it to core as this binary's context.
+	bctx, bspan := trace.Start(ctx, "serve.batch")
+	defer bspan.End()
+	req := &inferRequest{ctx: bctx, bin: bin, done: make(chan inferResult, 1)}
+	if err := s.batch.submit(ctx, req); err != nil {
+		bspan.SetError(err)
 		code = 499
 		countRejection("client_gone")
 		return
@@ -552,9 +597,12 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	var res inferResult
 	select {
 	case res = <-req.done:
-	case <-r.Context().Done():
+		bspan.SetAttr(trace.Int("attempts", res.attempts))
+		bspan.SetError(res.err)
+	case <-ctx.Done():
 		// Client gone; the batch still completes and its send lands in
 		// the buffered channel.
+		bspan.Event("client-gone")
 		code = 499
 		return
 	}
@@ -605,6 +653,20 @@ func writeInferResponse(w http.ResponseWriter, fingerprint string, cached bool, 
 		Cached:  cached,
 		NumVars: len(recs),
 		Vars:    recs,
+	})
+}
+
+// traceLookup defers to the process trace collector at request time,
+// answering 404 while tracing is disabled (same contract as the
+// telemetry debug server's mounts).
+func traceLookup(mk func(*trace.Collector) http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c := trace.Default()
+		if c == nil {
+			http.Error(w, "tracing disabled (no collector installed)", http.StatusNotFound)
+			return
+		}
+		mk(c).ServeHTTP(w, r)
 	})
 }
 

@@ -248,11 +248,11 @@ func TestBatchingEquivalence(t *testing.T) {
 	var mu sync.Mutex
 	var sizes []int
 	real := s.batch.infer
-	s.batch.infer = func(ctx context.Context, m *Model, bins []*elfx.Binary) ([]core.BinaryResult, error) {
+	s.batch.infer = func(ctx context.Context, m *Model, bins []*elfx.Binary, opts core.BatchOptions) ([]core.BinaryResult, error) {
 		mu.Lock()
 		sizes = append(sizes, len(bins))
 		mu.Unlock()
-		return real(ctx, m, bins)
+		return real(ctx, m, bins, opts)
 	}
 
 	n := len(fixImages)
@@ -345,7 +345,7 @@ func TestOverload(t *testing.T) {
 	})
 	gate := make(chan struct{})
 	entered := make(chan struct{}, 8)
-	s.batch.infer = func(ctx context.Context, m *Model, bins []*elfx.Binary) ([]core.BinaryResult, error) {
+	s.batch.infer = func(ctx context.Context, m *Model, bins []*elfx.Binary, _ core.BatchOptions) ([]core.BinaryResult, error) {
 		entered <- struct{}{}
 		<-gate
 		return make([]core.BinaryResult, len(bins)), nil
@@ -629,10 +629,10 @@ func TestGracefulDrain(t *testing.T) {
 	gate := make(chan struct{})
 	entered := make(chan struct{}, 1)
 	real := s.batch.infer
-	s.batch.infer = func(ctx context.Context, m *Model, bins []*elfx.Binary) ([]core.BinaryResult, error) {
+	s.batch.infer = func(ctx context.Context, m *Model, bins []*elfx.Binary, opts core.BatchOptions) ([]core.BinaryResult, error) {
 		entered <- struct{}{}
 		<-gate
-		return real(ctx, m, bins)
+		return real(ctx, m, bins, opts)
 	}
 
 	reply := make(chan int, 1)

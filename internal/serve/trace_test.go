@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/elfx"
+	"repro/internal/trace"
+)
+
+// TestCancelMidBatchClosesSpans: a client that abandons its request
+// while the batch is still inferring errors out on its side (the
+// handler answers 499 to nobody), the batch completes on its own
+// schedule — and once it drains, no span is left open: request,
+// admission, batch and stage spans all close even though the request
+// context died under them.
+func TestCancelMidBatchClosesSpans(t *testing.T) {
+	fixture(t)
+	prev := trace.Default()
+	col := trace.NewCollector(trace.Config{})
+	trace.SetDefault(col)
+	t.Cleanup(func() { trace.SetDefault(prev) })
+
+	s := startServer(t, Config{
+		ModelPath: modelFile(t, fixA),
+		CacheSize: -1, MaxBatch: 1, WatchInterval: -1,
+	})
+	entered := make(chan struct{}, 1)
+	gate := make(chan struct{})
+	s.batch.infer = func(ctx context.Context, m *Model, bins []*elfx.Binary, _ core.BatchOptions) ([]core.BinaryResult, error) {
+		entered <- struct{}{}
+		<-gate
+		return make([]core.BinaryResult, len(bins)), nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+s.Addr+"/v1/infer", bytes.NewReader(fixImages[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	clientDone := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		clientDone <- err
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached inference")
+	}
+	cancel() // client walks away mid-batch
+	select {
+	case err := <-clientDone:
+		if err == nil {
+			t.Fatal("cancelled request did not error on the client side")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client did not observe the cancellation")
+	}
+	close(gate) // let the wedged batch run to completion
+
+	deadline := time.Now().Add(5 * time.Second)
+	for col.OpenSpans() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d spans still open after cancellation + batch drain", col.OpenSpans())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

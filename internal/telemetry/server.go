@@ -9,14 +9,18 @@ import (
 	"net/http/pprof"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/trace"
 )
 
 // Server is a running debug HTTP server. It mounts:
 //
-//	/metrics       Prometheus text exposition of the registry
-//	/healthz       liveness probe ("ok")
-//	/debug/vars    expvar JSON (Go runtime memstats, cmdline)
-//	/debug/pprof/  the standard pprof profile handlers
+//	/metrics         Prometheus text exposition of the registry
+//	/healthz         liveness probe ("ok")
+//	/debug/vars      expvar JSON (Go runtime memstats, cmdline)
+//	/debug/pprof/    the standard pprof profile handlers
+//	/v1/trace/{id}   one trace's span tree (when a trace collector is set)
+//	/debug/traces    recent-traces listing (ditto)
 //
 // Starting a server enables collection on its registry, so a process run
 // with -debug-addr records metrics and one without pays only the atomic
@@ -68,6 +72,15 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	// Trace read side: resolve the collector per request so a collector
+	// installed after the server starts (or swapped by a test) is served
+	// without restarting.
+	mux.Handle("GET /v1/trace/{id}", traceLookup(func(c *trace.Collector) http.Handler {
+		return c.TraceHandler()
+	}))
+	mux.Handle("GET /debug/traces", traceLookup(func(c *trace.Collector) http.Handler {
+		return c.RecentHandler()
+	}))
 
 	s := &Server{Addr: lis.Addr().String(), lis: lis, srv: &http.Server{Handler: mux}}
 	srvMu.Lock()
@@ -106,6 +119,19 @@ var scrapeGate atomic.Pointer[scrapeHold]
 type scrapeHold struct {
 	entered chan struct{}
 	release chan struct{}
+}
+
+// traceLookup defers to the process trace collector at request time,
+// answering 404 while tracing is disabled.
+func traceLookup(mk func(*trace.Collector) http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c := trace.Default()
+		if c == nil {
+			http.Error(w, "tracing disabled (no collector installed)", http.StatusNotFound)
+			return
+		}
+		mk(c).ServeHTTP(w, r)
+	})
 }
 
 // gateHandler wraps the /metrics handler with the scrapeGate test hook.

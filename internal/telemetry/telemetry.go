@@ -30,10 +30,22 @@ import (
 // Registry owns a set of metric families and the enabled flag their
 // metrics consult on every write.
 type Registry struct {
-	on   atomic.Bool
-	mu   sync.Mutex
-	fams map[string]*family
+	on atomic.Bool
+	// exemplars gates exemplar *exposition*. Exemplar capture
+	// (ObserveWithExemplar) is always on when collection is on — it costs
+	// one atomic pointer swap — but the OpenMetrics-style `# {...}` bucket
+	// suffixes only render when a deployment opts in, because not every
+	// Prometheus scraper tolerates them in the text format.
+	exemplars atomic.Bool
+	mu        sync.Mutex
+	fams      map[string]*family
 }
+
+// SetExemplars switches exemplar exposition on the registry.
+func (r *Registry) SetExemplars(v bool) { r.exemplars.Store(v) }
+
+// ExemplarsEnabled reports whether exemplar exposition is on.
+func (r *Registry) ExemplarsEnabled() bool { return r.exemplars.Load() }
 
 // family groups all label variants of one metric name under one type and
 // help string, the unit Prometheus exposition renders together.
@@ -180,6 +192,7 @@ func (r *Registry) Histogram(name, help string, buckets []float64, kv ...string)
 	}
 	h := &Histogram{on: &r.on, bounds: append([]float64(nil), buckets...)}
 	h.counts = make([]atomic.Uint64, len(h.bounds)+1)
+	h.ex = make([]atomic.Pointer[exemplar], len(h.bounds)+1)
 	f.metrics[sig] = &metric{labels: sig, h: h}
 	return h
 }
@@ -276,6 +289,18 @@ type Histogram struct {
 	counts []atomic.Uint64 // one per bound, plus the +Inf overflow bucket
 	n      atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	// ex holds one exemplar slot per bucket: the most recent traced
+	// observation that landed there. Slots swap atomically, so the hot
+	// path stays lock-free; readers see the latest complete exemplar.
+	ex []atomic.Pointer[exemplar]
+}
+
+// exemplar links one bucket observation to the trace it came from —
+// "why is this bucket hot" answered with a /v1/trace/{id} lookup.
+type exemplar struct {
+	traceID string
+	value   float64
+	ts      time.Time
 }
 
 // Enabled reports whether observations are being collected — callers that
@@ -285,6 +310,19 @@ func (h *Histogram) Enabled() bool { return h != nil && h.on.Load() }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	h.observe(v, "")
+}
+
+// ObserveWithExemplar records one value and — when traceID is non-empty —
+// remembers it as the matched bucket's exemplar, so the exposition can
+// point a hot bucket at a concrete trace. An empty traceID degrades to
+// Observe, which keeps call sites unconditional (trace.IDFromContext
+// returns "" when no trace is active).
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	h.observe(v, traceID)
+}
+
+func (h *Histogram) observe(v float64, traceID string) {
 	if h == nil || !h.on.Load() {
 		return
 	}
@@ -294,6 +332,9 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.counts[i].Add(1)
 	h.n.Add(1)
+	if traceID != "" {
+		h.ex[i].Store(&exemplar{traceID: traceID, value: v, ts: time.Now()})
+	}
 	for {
 		old := h.sum.Load()
 		nv := math.Float64bits(math.Float64frombits(old) + v)
@@ -309,6 +350,19 @@ func (h *Histogram) ObserveSince(t0 time.Time) {
 		return
 	}
 	h.Observe(time.Since(t0).Seconds())
+}
+
+// Exemplar returns bucket i's exemplar as (traceID, value, ok); i indexes
+// bounds with len(bounds) meaning the +Inf bucket.
+func (h *Histogram) Exemplar(i int) (string, float64, bool) {
+	if h == nil || i < 0 || i >= len(h.ex) {
+		return "", 0, false
+	}
+	e := h.ex[i].Load()
+	if e == nil {
+		return "", 0, false
+	}
+	return e.traceID, e.value, true
 }
 
 // Count returns the total number of observations.
@@ -376,10 +430,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Unlock()
 
 	var b strings.Builder
+	withEx := r.exemplars.Load()
 	for i, f := range fams {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
 		for _, m := range variants[i] {
-			writeMetric(&b, f.name, m)
+			writeMetric(&b, f.name, m, withEx)
 		}
 	}
 	_, err := io.WriteString(w, b.String())
@@ -402,7 +457,7 @@ func series(name, labels, extra string) string {
 	return name + "{" + all + "}"
 }
 
-func writeMetric(b *strings.Builder, name string, m *metric) {
+func writeMetric(b *strings.Builder, name string, m *metric, withEx bool) {
 	switch {
 	case m.c != nil:
 		fmt.Fprintf(b, "%s %d\n", series(name, m.labels, ""), m.c.Value())
@@ -413,13 +468,24 @@ func writeMetric(b *strings.Builder, name string, m *metric) {
 	case m.h != nil:
 		h := m.h
 		var cum uint64
+		writeBucket := func(i int, le string) {
+			fmt.Fprintf(b, "%s %d", series(name+"_bucket", m.labels, le), cum)
+			if withEx && i < len(h.ex) {
+				if e := h.ex[i].Load(); e != nil {
+					// OpenMetrics exemplar syntax: `# {labels} value ts`.
+					fmt.Fprintf(b, " # {trace_id=\"%s\"} %s %s",
+						escapeLabel(e.traceID), fmtFloat(e.value),
+						strconv.FormatFloat(float64(e.ts.UnixMicro())/1e6, 'f', 6, 64))
+				}
+			}
+			b.WriteByte('\n')
+		}
 		for i, bound := range h.bounds {
 			cum += h.counts[i].Load()
-			le := `le="` + fmtFloat(bound) + `"`
-			fmt.Fprintf(b, "%s %d\n", series(name+"_bucket", m.labels, le), cum)
+			writeBucket(i, `le="`+fmtFloat(bound)+`"`)
 		}
 		cum += h.counts[len(h.bounds)].Load()
-		fmt.Fprintf(b, "%s %d\n", series(name+"_bucket", m.labels, `le="+Inf"`), cum)
+		writeBucket(len(h.bounds), `le="+Inf"`)
 		fmt.Fprintf(b, "%s %s\n", series(name+"_sum", m.labels, ""), fmtFloat(h.Sum()))
 		fmt.Fprintf(b, "%s %d\n", series(name+"_count", m.labels, ""), h.Count())
 	}

@@ -247,3 +247,59 @@ func BenchmarkHistogramEnabled(b *testing.B) {
 		h.Observe(0.003)
 	}
 }
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	h := r.Histogram("lat_seconds", "help", []float64{0.1, 1})
+
+	// No exemplar recorded yet; empty trace IDs must not create one.
+	h.ObserveWithExemplar(0.05, "")
+	if _, _, ok := h.Exemplar(0); ok {
+		t.Fatal("empty trace ID produced an exemplar")
+	}
+	h.ObserveWithExemplar(0.05, "aaaabbbbccccddddaaaabbbbccccdddd")
+	h.ObserveWithExemplar(5.0, "eeeeffff0000111122223333aaaabbbb")
+	id, v, ok := h.Exemplar(0)
+	if !ok || id != "aaaabbbbccccddddaaaabbbbccccdddd" || v != 0.05 {
+		t.Fatalf("bucket 0 exemplar = (%q, %g, %v)", id, v, ok)
+	}
+	if id, _, ok = h.Exemplar(2); !ok || id != "eeeeffff0000111122223333aaaabbbb" {
+		t.Fatalf("+Inf bucket exemplar = (%q, %v)", id, ok)
+	}
+
+	// Exposition: hidden by default, OpenMetrics-style suffix when on.
+	var off strings.Builder
+	if err := r.WritePrometheus(&off); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(off.String(), "trace_id") {
+		t.Fatalf("exemplars exposed without opt-in:\n%s", off.String())
+	}
+	r.SetExemplars(true)
+	var on strings.Builder
+	if err := r.WritePrometheus(&on); err != nil {
+		t.Fatal(err)
+	}
+	want := `lat_seconds_bucket{le="0.1"} 2 # {trace_id="aaaabbbbccccddddaaaabbbbccccdddd"} 0.05`
+	if !strings.Contains(on.String(), want) {
+		t.Fatalf("exposition missing exemplar suffix %q:\n%s", want, on.String())
+	}
+	// The exemplar suffix must ride the bucket line, after the value.
+	for _, line := range strings.Split(on.String(), "\n") {
+		if strings.Contains(line, "trace_id") && !strings.Contains(line, "_bucket") {
+			t.Fatalf("exemplar on a non-bucket line: %q", line)
+		}
+	}
+}
+
+func TestLatestExemplarWins(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	h := r.Histogram("x_seconds", "help", []float64{1})
+	h.ObserveWithExemplar(0.5, "first0000000000000000000000000000")
+	h.ObserveWithExemplar(0.7, "second000000000000000000000000000")
+	if id, v, _ := h.Exemplar(0); id != "second000000000000000000000000000" || v != 0.7 {
+		t.Fatalf("exemplar = (%q, %g), want the latest", id, v)
+	}
+}

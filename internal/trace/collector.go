@@ -1,0 +1,310 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for Config zero values.
+const (
+	// DefaultMaxTraces bounds the number of distinct traces the store
+	// retains (FIFO eviction of finished traces).
+	DefaultMaxTraces = 256
+	// DefaultMaxSpans bounds spans kept per trace; later spans in an
+	// over-budget trace are dropped and counted, never silently lost.
+	DefaultMaxSpans = 512
+	// DefaultSlowRetain bounds the slow-request flight recorder's pinned
+	// trace ring.
+	DefaultSlowRetain = 64
+)
+
+// Config sizes a Collector. Zero values take the defaults above; a zero
+// Slow threshold disables the flight recorder.
+type Config struct {
+	// MaxTraces bounds distinct retained traces (FIFO eviction).
+	MaxTraces int
+	// MaxSpans bounds spans per trace.
+	MaxSpans int
+	// Slow is the flight-recorder threshold: any local root span at least
+	// this slow pins its whole trace in a separate ring (SlowRetain deep)
+	// and logs a summary through Log. Zero disables the recorder.
+	Slow time.Duration
+	// SlowRetain bounds the pinned slow-trace ring.
+	SlowRetain int
+	// JSONL, when non-nil, receives one JSON line per finished span (the
+	// SpanRecord schema). Writes are serialized by the collector.
+	JSONL io.Writer
+	// Log receives slow-request summaries (slog.Default when nil and Slow
+	// is set).
+	Log *slog.Logger
+}
+
+// SpanRecord is the wire/storage form of a finished span — what the JSONL
+// exporter writes and /v1/trace/{id} returns. Field names are short but
+// stable; DESIGN.md §15 documents the schema.
+type SpanRecord struct {
+	TraceID string  `json:"trace"`
+	SpanID  string  `json:"span"`
+	Parent  string  `json:"parent,omitempty"`
+	Remote  bool    `json:"remote,omitempty"`
+	Name    string  `json:"name"`
+	Start   int64   `json:"start_us"` // µs since Unix epoch
+	DurUS   int64   `json:"dur_us"`
+	Attrs   []Attr  `json:"attrs,omitempty"`
+	Events  []Event `json:"events,omitempty"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// TraceSummary is one row of the recent-traces listing (/debug/traces).
+type TraceSummary struct {
+	TraceID string `json:"trace"`
+	Root    string `json:"root"` // root span name, "" if the root is elsewhere
+	Start   int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"` // root span duration (longest span if no local root)
+	Spans   int    `json:"spans"`
+	Dropped int    `json:"dropped,omitempty"`
+	Error   string `json:"error,omitempty"`
+	Slow    bool   `json:"slow,omitempty"`
+}
+
+// traceBuf accumulates one trace's finished spans.
+type traceBuf struct {
+	spans   []SpanRecord
+	dropped int
+	slow    bool
+	seq     uint64 // admission order, for FIFO eviction
+}
+
+// Collector stores finished spans, bounded two ways: at most MaxTraces
+// distinct traces (FIFO — oldest finished trace evicted first, except
+// slow-pinned traces which live in their own SlowRetain ring) and at most
+// MaxSpans spans per trace. It also counts open spans so tests can assert
+// cancellation paths leak nothing.
+type Collector struct {
+	cfg  Config
+	open atomic.Int64
+
+	mu     sync.Mutex
+	traces map[TraceID]*traceBuf
+	seq    uint64
+	// slowRing holds trace IDs pinned by the flight recorder, oldest
+	// first; pinned traces are exempt from FIFO eviction until they fall
+	// off this ring.
+	slowRing []TraceID
+}
+
+// NewCollector builds a collector from cfg (zero fields defaulted).
+func NewCollector(cfg Config) *Collector {
+	if cfg.MaxTraces <= 0 {
+		cfg.MaxTraces = DefaultMaxTraces
+	}
+	if cfg.MaxSpans <= 0 {
+		cfg.MaxSpans = DefaultMaxSpans
+	}
+	if cfg.SlowRetain <= 0 {
+		cfg.SlowRetain = DefaultSlowRetain
+	}
+	if cfg.Slow > 0 && cfg.Log == nil {
+		cfg.Log = slog.Default()
+	}
+	return &Collector{cfg: cfg, traces: make(map[TraceID]*traceBuf)}
+}
+
+// startSpan counts a span into the open gauge.
+func (c *Collector) startSpan() { c.open.Add(1) }
+
+// OpenSpans reports spans started but not yet ended — zero when every
+// code path Ends what it Starts, including under cancellation.
+func (c *Collector) OpenSpans() int64 { return c.open.Load() }
+
+// finishSpan stores an ended span, runs the flight recorder for local
+// roots, and exports the JSONL line. Called exactly once per span (End
+// dedupes).
+func (c *Collector) finishSpan(s *Span) {
+	c.open.Add(-1)
+
+	s.mu.Lock()
+	rec := SpanRecord{
+		TraceID: s.traceID.String(),
+		SpanID:  s.id.String(),
+		Remote:  s.remote,
+		Name:    s.name,
+		Start:   s.start.UnixMicro(),
+		DurUS:   s.dur.Microseconds(),
+		Error:   s.err,
+	}
+	if !s.parent.IsZero() {
+		rec.Parent = s.parent.String()
+	}
+	if len(s.attrs) > 0 {
+		rec.Attrs = append([]Attr(nil), s.attrs...)
+	}
+	if len(s.events) > 0 {
+		rec.Events = append([]Event(nil), s.events...)
+	}
+	dur := s.dur
+	isLocalRoot := s.parent.IsZero() && !s.remote
+	s.mu.Unlock()
+
+	slow := c.cfg.Slow > 0 && isLocalRoot && dur >= c.cfg.Slow
+
+	c.mu.Lock()
+	buf := c.traces[s.traceID]
+	if buf == nil {
+		buf = &traceBuf{seq: c.seq}
+		c.seq++
+		c.traces[s.traceID] = buf
+		c.evictLocked()
+	}
+	if len(buf.spans) < c.cfg.MaxSpans {
+		buf.spans = append(buf.spans, rec)
+	} else {
+		buf.dropped++
+	}
+	if slow && !buf.slow {
+		buf.slow = true
+		c.pinSlowLocked(s.traceID)
+	}
+	var w io.Writer
+	if c.cfg.JSONL != nil {
+		w = c.cfg.JSONL
+	}
+	c.mu.Unlock()
+
+	if w != nil {
+		c.exportJSONL(w, rec)
+	}
+	if slow {
+		c.cfg.Log.Warn("slow request",
+			"trace", rec.TraceID, "span", rec.Name,
+			"dur", dur.Round(time.Microsecond), "err", rec.Error)
+	}
+}
+
+// pinSlowLocked adds id to the slow ring, unpinning (and thereby making
+// evictable) the oldest entry when the ring is full.
+func (c *Collector) pinSlowLocked(id TraceID) {
+	if len(c.slowRing) >= c.cfg.SlowRetain {
+		old := c.slowRing[0]
+		c.slowRing = c.slowRing[1:]
+		if buf := c.traces[old]; buf != nil {
+			buf.slow = false
+		}
+	}
+	c.slowRing = append(c.slowRing, id)
+}
+
+// evictLocked drops oldest non-pinned traces until the store fits.
+func (c *Collector) evictLocked() {
+	for len(c.traces) > c.cfg.MaxTraces {
+		var victim TraceID
+		var vbuf *traceBuf
+		for id, buf := range c.traces {
+			if buf.slow {
+				continue
+			}
+			if vbuf == nil || buf.seq < vbuf.seq {
+				victim, vbuf = id, buf
+			}
+		}
+		if vbuf == nil {
+			return // everything pinned; tolerate the overshoot
+		}
+		delete(c.traces, victim)
+	}
+}
+
+// exportJSONL writes one span line. Errors are swallowed: the exporter is
+// best-effort and must never fail a request.
+func (c *Collector) exportJSONL(w io.Writer, rec SpanRecord) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	c.mu.Lock()
+	_, _ = w.Write(b)
+	c.mu.Unlock()
+}
+
+// Get returns the stored spans of one trace (start-time order), or nil.
+func (c *Collector) Get(id TraceID) []SpanRecord {
+	c.mu.Lock()
+	buf := c.traces[id]
+	var out []SpanRecord
+	if buf != nil {
+		out = append([]SpanRecord(nil), buf.spans...)
+	}
+	c.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Dropped reports how many spans the per-trace cap discarded for id.
+func (c *Collector) Dropped(id TraceID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if buf := c.traces[id]; buf != nil {
+		return buf.dropped
+	}
+	return 0
+}
+
+// Recent summarizes up to n most-recently-admitted traces, newest first.
+func (c *Collector) Recent(n int) []TraceSummary {
+	c.mu.Lock()
+	type row struct {
+		seq uint64
+		sum TraceSummary
+	}
+	rows := make([]row, 0, len(c.traces))
+	for id, buf := range c.traces {
+		rows = append(rows, row{buf.seq, summarize(id, buf)})
+	}
+	c.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].seq > rows[j].seq })
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	out := make([]TraceSummary, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r.sum)
+	}
+	return out
+}
+
+// summarize reduces a trace buffer to its listing row (collector lock
+// held by the caller).
+func summarize(id TraceID, buf *traceBuf) TraceSummary {
+	c := TraceSummary{TraceID: id.String(), Slow: buf.slow, Dropped: buf.dropped}
+	c.Spans = len(buf.spans)
+	for i := range buf.spans {
+		sp := &buf.spans[i]
+		if c.Start == 0 || sp.Start < c.Start {
+			c.Start = sp.Start
+		}
+		isRoot := sp.Parent == "" && !sp.Remote
+		if isRoot || (c.Root == "" && sp.DurUS > c.DurUS) {
+			c.DurUS = sp.DurUS
+		}
+		if isRoot {
+			c.Root = sp.Name
+		}
+		if sp.Error != "" && c.Error == "" {
+			c.Error = sp.Error
+		}
+	}
+	return c
+}
+
+// Len reports the number of retained traces.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.traces)
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Header is the trace-propagation header. The value follows the W3C
+// traceparent shape — version "00", 32-hex trace ID, 16-hex parent span
+// ID, and a flags byte ("01" = sampled):
+//
+//	X-Cati-Trace: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//
+// A distinct header name (not "traceparent") keeps the fleet's internal
+// propagation from colliding with any ambient tracing infrastructure a
+// deployment might already run, while staying mechanically convertible.
+const Header = "X-Cati-Trace"
+
+// Inject writes ctx's active trace into h. No active span: no header.
+func Inject(ctx context.Context, h http.Header) {
+	s := SpanFromContext(ctx)
+	if s == nil {
+		return
+	}
+	h.Set(Header, "00-"+s.traceID.String()+"-"+s.id.String()+"-01")
+}
+
+// Extract parses the propagation header. ok is false when the header is
+// absent or malformed — the caller should then start a fresh trace.
+func Extract(h http.Header) (TraceID, SpanID, bool) {
+	v := h.Get(Header)
+	if v == "" {
+		return TraceID{}, SpanID{}, false
+	}
+	parts := strings.Split(v, "-")
+	if len(parts) != 4 || parts[0] != "00" {
+		return TraceID{}, SpanID{}, false
+	}
+	tid, ok := ParseTraceID(parts[1])
+	if !ok {
+		return TraceID{}, SpanID{}, false
+	}
+	sid, ok := ParseSpanID(parts[2])
+	if !ok {
+		return TraceID{}, SpanID{}, false
+	}
+	return tid, sid, true
+}
+
+// StartFromRequest begins a server-side span for r: continuing the trace
+// in r's X-Cati-Trace header when present and valid, else a fresh root.
+// The returned context derives from r.Context().
+func StartFromRequest(r *http.Request, name string, attrs ...Attr) (context.Context, *Span) {
+	if tid, sid, ok := Extract(r.Header); ok {
+		return StartRemote(r.Context(), tid, sid, name, attrs...)
+	}
+	return Start(r.Context(), name, attrs...)
+}
+
+// TraceHandler serves one trace's span records as JSON. Mount it at
+// GET /v1/trace/{id}; the span list is sorted by start time and the
+// response notes how many spans the per-trace cap dropped.
+func (c *Collector) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id, ok := ParseTraceID(r.PathValue("id"))
+		if !ok {
+			http.Error(w, `{"error":"bad trace id"}`, http.StatusBadRequest)
+			return
+		}
+		spans := c.Get(id)
+		if len(spans) == 0 {
+			http.Error(w, `{"error":"trace not found"}`, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			TraceID string       `json:"trace"`
+			Dropped int          `json:"dropped,omitempty"`
+			Spans   []SpanRecord `json:"spans"`
+		}{id.String(), c.Dropped(id), spans})
+	})
+}
+
+// RecentHandler serves the recent-traces listing. Mount it at
+// GET /debug/traces; `?n=` bounds the rows (default 50) and
+// `Accept: application/json` (or `?format=json`) switches the plain-text
+// table to JSON.
+func (c *Collector) RecentHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := 50
+		if q := r.URL.Query().Get("n"); q != "" {
+			if _, err := fmt.Sscanf(q, "%d", &n); err != nil || n <= 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+		}
+		sums := c.Recent(n)
+		if r.URL.Query().Get("format") == "json" ||
+			strings.Contains(r.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(sums)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "%-32s  %-24s  %10s  %6s  %s\n", "TRACE", "ROOT", "DURATION", "SPANS", "FLAGS")
+		for _, s := range sums {
+			flags := ""
+			if s.Slow {
+				flags += "slow "
+			}
+			if s.Error != "" {
+				flags += "error=" + s.Error
+			}
+			if s.Dropped > 0 {
+				flags += fmt.Sprintf(" dropped=%d", s.Dropped)
+			}
+			root := s.Root
+			if root == "" {
+				root = "(remote root)"
+			}
+			fmt.Fprintf(w, "%-32s  %-24s  %10s  %6d  %s\n",
+				s.TraceID, root,
+				(time.Duration(s.DurUS) * time.Microsecond).Round(time.Microsecond),
+				s.Spans, strings.TrimSpace(flags))
+		}
+	})
+}

@@ -1,0 +1,444 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// install swaps in a fresh collector for one test and restores the
+// previous default afterwards.
+func install(t *testing.T, cfg Config) *Collector {
+	t.Helper()
+	prev := Default()
+	c := NewCollector(cfg)
+	SetDefault(c)
+	t.Cleanup(func() { SetDefault(prev) })
+	return c
+}
+
+func TestDisabledStartReturnsNil(t *testing.T) {
+	SetDefault(nil)
+	ctx, span := Start(context.Background(), "x")
+	if span != nil {
+		t.Fatal("Start returned a span with tracing disabled")
+	}
+	if ctx != context.Background() {
+		t.Fatal("Start derived a new context with tracing disabled")
+	}
+	// All nil-span methods must be safe no-ops.
+	span.SetAttr(String("k", "v"))
+	span.Event("e")
+	span.SetError(errors.New("boom"))
+	span.End()
+	if got := span.Duration(); got != 0 {
+		t.Fatalf("nil span Duration = %v, want 0", got)
+	}
+	if id := IDFromContext(ctx); id != "" {
+		t.Fatalf("IDFromContext = %q, want empty", id)
+	}
+}
+
+// TestDisabledPathDoesNotAllocate pins the zero-cost-when-off property:
+// the disabled fast path of Start must not allocate. CI runs this (it is
+// a plain test, not a benchmark), so a fast-path regression fails the
+// build regardless of machine speed.
+func TestDisabledPathDoesNotAllocate(t *testing.T) {
+	SetDefault(nil)
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c2, s := Start(ctx, "hot")
+		s.Event("never")
+		s.End()
+		_ = c2
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Start allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestSpanTreeAndCollector(t *testing.T) {
+	c := install(t, Config{})
+	ctx, root := Start(context.Background(), "request", String("path", "/v1/infer"))
+	if root == nil {
+		t.Fatal("no root span with collector installed")
+	}
+	ctx2, child := Start(ctx, "stage", Int("workers", 4))
+	child.Event("queued", Duration("wait", time.Millisecond))
+	if child.TraceID() != root.TraceID() {
+		t.Fatal("child has a different trace ID")
+	}
+	_, grand := Start(ctx2, "leaf")
+	grand.SetError(errors.New("boom"))
+	grand.End()
+	child.End()
+	root.End()
+
+	if n := c.OpenSpans(); n != 0 {
+		t.Fatalf("OpenSpans = %d after all Ends", n)
+	}
+	spans := c.Get(root.TraceID())
+	if len(spans) != 3 {
+		t.Fatalf("stored %d spans, want 3", len(spans))
+	}
+	byID := map[string]SpanRecord{}
+	for _, s := range spans {
+		byID[s.SpanID] = s
+	}
+	rootRec := byID[root.ID().String()]
+	if rootRec.Parent != "" || rootRec.Name != "request" {
+		t.Fatalf("bad root record %+v", rootRec)
+	}
+	childRec := byID[child.ID().String()]
+	if childRec.Parent != root.ID().String() {
+		t.Fatalf("child parent = %q, want %q", childRec.Parent, root.ID())
+	}
+	if len(childRec.Events) != 1 || childRec.Events[0].Name != "queued" {
+		t.Fatalf("child events = %+v", childRec.Events)
+	}
+	grandRec := byID[grand.ID().String()]
+	if grandRec.Parent != child.ID().String() || grandRec.Error != "boom" {
+		t.Fatalf("bad grandchild record %+v", grandRec)
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	c := install(t, Config{})
+	_, s := Start(context.Background(), "once")
+	s.End()
+	s.End()
+	s.End()
+	if n := c.OpenSpans(); n != 0 {
+		t.Fatalf("OpenSpans = %d after redundant Ends", n)
+	}
+	if got := len(c.Get(s.TraceID())); got != 1 {
+		t.Fatalf("stored %d records, want 1", got)
+	}
+}
+
+func TestFIFOEvictionAndSpanCap(t *testing.T) {
+	c := install(t, Config{MaxTraces: 3, MaxSpans: 2})
+	var first TraceID
+	for i := 0; i < 5; i++ {
+		ctx, root := Start(context.Background(), fmt.Sprintf("r%d", i))
+		if i == 0 {
+			first = root.TraceID()
+		}
+		for j := 0; j < 4; j++ {
+			_, s := Start(ctx, "child")
+			s.End()
+		}
+		root.End()
+	}
+	if c.Len() != 3 {
+		t.Fatalf("retained %d traces, want 3", c.Len())
+	}
+	if got := c.Get(first); got != nil {
+		t.Fatal("oldest trace survived FIFO eviction")
+	}
+	recent := c.Recent(0)
+	if len(recent) != 3 {
+		t.Fatalf("Recent returned %d rows, want 3", len(recent))
+	}
+	for _, r := range recent {
+		if r.Spans != 2 {
+			t.Fatalf("trace kept %d spans, want cap 2", r.Spans)
+		}
+		if r.Dropped != 3 {
+			t.Fatalf("trace dropped %d spans, want 3", r.Dropped)
+		}
+	}
+}
+
+func TestSlowFlightRecorderPinsAndLogs(t *testing.T) {
+	var logBuf bytes.Buffer
+	h := newTestLogHandler(&logBuf)
+	// The threshold must be far above what a no-work Start/End pair can
+	// take even under -race on a loaded box: a "fast" trace accidentally
+	// crossing it would get pinned too and push the real slow trace off
+	// the bounded pinned ring.
+	c := install(t, Config{MaxTraces: 2, Slow: 20 * time.Millisecond, SlowRetain: 8, Log: h})
+
+	_, slow := Start(context.Background(), "slow-req")
+	time.Sleep(25 * time.Millisecond)
+	slow.End()
+	slowID := slow.TraceID()
+
+	// Flood with fast traces: the slow one must survive eviction.
+	for i := 0; i < 10; i++ {
+		SetDefault(c) // keep default stable
+		_, s := Start(context.Background(), "fast")
+		s.End()
+	}
+	if got := c.Get(slowID); len(got) != 1 {
+		t.Fatalf("slow trace evicted (got %d spans)", len(got))
+	}
+	if !strings.Contains(logBuf.String(), "slow request") {
+		t.Fatalf("no slow-request log line; log = %q", logBuf.String())
+	}
+	if !strings.Contains(logBuf.String(), slowID.String()) {
+		t.Fatalf("slow log line lacks trace id; log = %q", logBuf.String())
+	}
+	// The pinned ring itself is bounded.
+	for i := 0; i < 10; i++ {
+		_, s := Start(context.Background(), "also-slow")
+		time.Sleep(25 * time.Millisecond)
+		s.End()
+	}
+	if c.Len() > 2+8 {
+		t.Fatalf("store grew to %d traces despite bounds", c.Len())
+	}
+}
+
+func TestJSONLExport(t *testing.T) {
+	var buf syncBuffer
+	install(t, Config{JSONL: &buf})
+	ctx, root := Start(context.Background(), "req")
+	_, child := Start(ctx, "stage")
+	child.End()
+	root.End()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("exported %d lines, want 2", len(lines))
+	}
+	for _, line := range lines {
+		var rec SpanRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if rec.TraceID != root.TraceID().String() {
+			t.Fatalf("line trace = %q, want %q", rec.TraceID, root.TraceID())
+		}
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	install(t, Config{})
+	ctx, span := Start(context.Background(), "client")
+	h := http.Header{}
+	Inject(ctx, h)
+	v := h.Get(Header)
+	want := "00-" + span.TraceID().String() + "-" + span.ID().String() + "-01"
+	if v != want {
+		t.Fatalf("header = %q, want %q", v, want)
+	}
+	tid, sid, ok := Extract(h)
+	if !ok || tid != span.TraceID() || sid != span.ID() {
+		t.Fatalf("Extract = (%v, %v, %v)", tid, sid, ok)
+	}
+	span.End()
+}
+
+func TestExtractRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"garbage",
+		"00-xyz-abc-01",
+		"01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // bad version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",    // 3 parts
+	}
+	for _, v := range cases {
+		h := http.Header{}
+		if v != "" {
+			h.Set(Header, v)
+		}
+		if _, _, ok := Extract(h); ok {
+			t.Fatalf("Extract accepted %q", v)
+		}
+	}
+}
+
+func TestStartFromRequestContinuesRemoteTrace(t *testing.T) {
+	install(t, Config{})
+	// Client side.
+	clientCtx, clientSpan := Start(context.Background(), "client")
+	req := httptest.NewRequest("POST", "/v1/infer", nil)
+	Inject(clientCtx, req.Header)
+
+	// Server side.
+	_, serverSpan := StartFromRequest(req, "server")
+	if serverSpan.TraceID() != clientSpan.TraceID() {
+		t.Fatal("server span did not continue the client trace")
+	}
+	serverSpan.End()
+	clientSpan.End()
+
+	spans := Default().Get(clientSpan.TraceID())
+	if len(spans) != 2 {
+		t.Fatalf("stored %d spans, want 2", len(spans))
+	}
+	for _, s := range spans {
+		if s.SpanID == serverSpan.ID().String() {
+			if !s.Remote || s.Parent != clientSpan.ID().String() {
+				t.Fatalf("server record not linked remotely: %+v", s)
+			}
+		}
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	c := install(t, Config{})
+	ctx, root := Start(context.Background(), "req")
+	_, child := Start(ctx, "stage")
+	child.End()
+	root.End()
+
+	mux := http.NewServeMux()
+	mux.Handle("GET /v1/trace/{id}", c.TraceHandler())
+	mux.Handle("GET /debug/traces", c.RecentHandler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/trace/" + root.TraceID().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace = %d", resp.StatusCode)
+	}
+	var body struct {
+		TraceID string       `json:"trace"`
+		Spans   []SpanRecord `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.TraceID != root.TraceID().String() || len(body.Spans) != 2 {
+		t.Fatalf("trace body = %+v", body)
+	}
+
+	if resp, err = http.Get(srv.URL + "/v1/trace/not-a-trace"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad id = %d, want 400", resp.StatusCode)
+	}
+	missing := newTraceIDForTest()
+	if resp, err = http.Get(srv.URL + "/v1/trace/" + missing.String()); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing trace = %d, want 404", resp.StatusCode)
+	}
+
+	if resp, err = http.Get(srv.URL + "/debug/traces"); err != nil {
+		t.Fatal(err)
+	}
+	b := new(bytes.Buffer)
+	_, _ = b.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(b.String(), "req") || !strings.Contains(b.String(), root.TraceID().String()) {
+		t.Fatalf("/debug/traces listing missing rows:\n%s", b)
+	}
+
+	req, _ := http.NewRequest("GET", srv.URL+"/debug/traces", nil)
+	req.Header.Set("Accept", "application/json")
+	if resp, err = http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	var sums []TraceSummary
+	err = json.NewDecoder(resp.Body).Decode(&sums)
+	resp.Body.Close()
+	if err != nil || len(sums) != 1 || sums[0].Root != "req" || sums[0].Spans != 2 {
+		t.Fatalf("JSON listing = %+v (err %v)", sums, err)
+	}
+}
+
+func TestConcurrentSpansRace(t *testing.T) {
+	c := install(t, Config{MaxTraces: 16, MaxSpans: 64})
+	ctx, root := Start(context.Background(), "root")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c2, s := Start(ctx, "worker")
+				s.SetAttr(Int("g", g), Int("i", i))
+				s.Event("tick")
+				_, leaf := Start(c2, "leaf")
+				leaf.End()
+				s.End()
+				root.SetAttr(Int("last", i))
+				_ = c.Recent(4)
+				_ = IDFromContext(c2)
+			}
+		}(g)
+	}
+	wg.Wait()
+	root.End()
+	if n := c.OpenSpans(); n != 0 {
+		t.Fatalf("OpenSpans = %d after concurrent churn", n)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	var zero Timer
+	if zero.Started() {
+		t.Fatal("zero Timer reports started")
+	}
+	tm := NewTimer()
+	if !tm.Started() {
+		t.Fatal("NewTimer not started")
+	}
+	time.Sleep(time.Millisecond)
+	if tm.Elapsed() <= 0 {
+		t.Fatal("Elapsed not positive")
+	}
+}
+
+func TestParseIDs(t *testing.T) {
+	id := newTraceIDForTest()
+	got, ok := ParseTraceID(id.String())
+	if !ok || got != id {
+		t.Fatalf("ParseTraceID round trip failed: %v %v", got, ok)
+	}
+	if _, ok := ParseTraceID("short"); ok {
+		t.Fatal("accepted short trace id")
+	}
+	sid := newSpanID()
+	gsid, ok := ParseSpanID(sid.String())
+	if !ok || gsid != sid {
+		t.Fatal("ParseSpanID round trip failed")
+	}
+}
+
+// newTestLogHandler builds a text slog.Logger into w for asserting on
+// flight-recorder output.
+func newTestLogHandler(w *bytes.Buffer) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, nil))
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer (JSONL writer under -race).
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func newTraceIDForTest() TraceID { return newTraceID() }
