@@ -5,14 +5,14 @@
 
 GO ?= go
 GOFMT ?= gofmt
-RACE_PKGS = ./internal/par ./internal/obs ./internal/telemetry ./internal/trace ./internal/nn ./internal/word2vec ./internal/classify ./internal/core ./internal/serve ./internal/fleet ./internal/isa/...
+RACE_PKGS = ./internal/par ./internal/obs ./internal/telemetry ./internal/trace ./internal/nn ./internal/word2vec ./internal/classify ./internal/core ./internal/serve ./internal/fleet ./internal/bulkq ./internal/isa/...
 # FUZZTIME bounds each fuzz target during `make fuzz`; the committed seed
 # corpus always runs in full via plain `go test`.
 FUZZTIME ?= 5s
 
-.PHONY: check build test lint vet race fuzz cover purego bench bench-json bench-serve bench-fleet bench-kernels bench-kernels-smoke bench-trace bench-trace-smoke
+.PHONY: check build test lint vet race fuzz cover purego bench bench-json bench-serve bench-fleet bench-kernels bench-kernels-smoke bench-trace bench-trace-smoke bench-bulk bench-bulk-smoke
 
-check: lint build test purego cover race fuzz bench-kernels-smoke bench-trace-smoke
+check: lint build test purego cover race fuzz bench-kernels-smoke bench-trace-smoke bench-bulk-smoke
 
 # lint fails when any file is unformatted (gofmt -l prints it), vet
 # complains, or a CLI writes raw diagnostics to stderr instead of routing
@@ -33,6 +33,10 @@ lint: vet
 	@out="$$(grep -rn 'time\.Now' internal/obs --include='*.go' | grep -v '_test\.go' || true)"; \
 	if [ -n "$$out" ]; then \
 		echo "lint: span timing in internal/obs must go through internal/trace (trace.NewTimer / span durations), not raw time.Now():"; echo "$$out"; exit 1; \
+	fi
+	@out="$$(grep -rn 'os\.Remove\|os\.Rename' internal/serve internal/fleet cmd/catiserve --include='*.go' | grep -v '_test\.go' || true)"; \
+	if [ -n "$$out" ]; then \
+		echo "lint: only internal/bulkq may remove or rename queue files (spool blobs and the journal are crash-recovery state):"; echo "$$out"; exit 1; \
 	fi
 
 vet:
@@ -72,6 +76,7 @@ fuzz:
 	$(GO) test -race -run XXX -fuzz FuzzDecodeRV64 -fuzztime $(FUZZTIME) ./internal/isa/rv64
 	$(GO) test -race -run XXX -fuzz FuzzInferBinary -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -race -run XXX -fuzz FuzzGEMMEquivalence -fuzztime $(FUZZTIME) ./internal/gemm
+	$(GO) test -race -run XXX -fuzz FuzzBulkIngest -fuzztime $(FUZZTIME) ./internal/bulkq
 
 # Parallel-core micro-benchmarks (worker sweep 1/2/4/8).
 bench:
@@ -112,3 +117,14 @@ bench-trace:
 # same <2% disabled-path gate, nothing written into the tree.
 bench-trace-smoke:
 	$(GO) run ./cmd/catibench -trace-bench /dev/null -serve-duration 500ms
+
+# Bulk-queue drain sweep (job size x workers) plus kill-and-resume points
+# that hard-stop the daemon mid-job and restart it on the same queue
+# directory; fails unless the restart resumes work. Writes BENCH_bulk.json.
+bench-bulk:
+	$(GO) run ./cmd/catibench -bulk-bench BENCH_bulk.json
+
+# Smoke mode of the bulk sweep for `make check` / CI: one drain point and
+# one kill-and-resume point, nothing written into the tree.
+bench-bulk-smoke:
+	$(GO) run ./cmd/catibench -bulk-bench /dev/null -bulk-smoke

@@ -1,0 +1,264 @@
+package main
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"log/slog"
+
+	"repro/cmd/internal/cliflags"
+	"repro/internal/bulkq"
+)
+
+// bulkCmd is the corpus client for the /v1/bulk job API: package a
+// directory (or pass a ready-made tar/tar.gz) up to a catiserve daemon
+// or fleet router, poll the job to completion, and stream the per-binary
+// results back as JSON lines. The server owns durability — a daemon
+// restart mid-job resumes it — so the client is deliberately thin:
+// submit, poll, fetch.
+//
+//	cati bulk -url http://host:8090 ./corpus-dir
+//	cati bulk -url http://host:8090 -o results.jsonl corpus.tar.gz
+//	cati bulk -no-wait corpus.tar          # print the job ID and return
+//
+// Exit codes mirror `cati infer`: 0 all binaries inferred, 2 partial
+// failure, 3 all failed, 1 usage/infrastructure error.
+func bulkCmd(args []string) error {
+	fs := flag.NewFlagSet("bulk", flag.ContinueOnError)
+	url := fs.String("url", "http://localhost:8090", "catiserve (or fleet router) base URL")
+	out := fs.String("o", "", "write results JSON lines to this file (default: stdout)")
+	noWait := fs.Bool("no-wait", false, "submit, print the job ID on stdout and return without waiting")
+	poll := fs.Duration("poll", 500*time.Millisecond, "status poll period while waiting for the job")
+	timeout := fs.Duration("timeout", 0, "overall deadline, e.g. 10m (0: none)")
+	diag := cliflags.AddDiag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: cati bulk -url http://host:8090 <dir | corpus.tar[.gz]>")
+	}
+	log, err := diag.Setup()
+	if err != nil {
+		return err
+	}
+	base := strings.TrimSuffix(*url, "/")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	body, err := openCorpus(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	sub, err := submitBulk(ctx, base, body)
+	body.Close()
+	if err != nil {
+		return err
+	}
+	log.Info("bulk job admitted",
+		"job", sub.Job.ID, "binaries", sub.Job.Binaries, "skipped_entries", sub.SkippedEntries)
+	if *noWait {
+		fmt.Println(sub.Job.ID)
+		return nil
+	}
+
+	st, err := waitBulk(ctx, log, base, sub.Job.ID, *poll)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := fetchBulkResults(ctx, base, sub.Job.ID, w); err != nil {
+		return err
+	}
+	return bulkStatusErr(st)
+}
+
+// openCorpus turns the argument into an archive stream: a directory is
+// packaged as tar.gz on the fly (regular files only, names relative to
+// the directory); a file is assumed to already be a tar or tar.gz and
+// streams as-is — the server sniffs the compression.
+func openCorpus(path string) (io.ReadCloser, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return os.Open(path)
+	}
+	pr, pw := io.Pipe()
+	go func() {
+		gz := gzip.NewWriter(pw)
+		tw := tar.NewWriter(gz)
+		err := filepath.WalkDir(path, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.Type().IsRegular() {
+				return nil
+			}
+			rel, err := filepath.Rel(path, p)
+			if err != nil {
+				return err
+			}
+			fi, err := d.Info()
+			if err != nil {
+				return err
+			}
+			if err := tw.WriteHeader(&tar.Header{
+				Name: filepath.ToSlash(rel),
+				Mode: 0o644,
+				Size: fi.Size(),
+			}); err != nil {
+				return err
+			}
+			f, err := os.Open(p)
+			if err != nil {
+				return err
+			}
+			_, err = io.Copy(tw, f)
+			f.Close()
+			return err
+		})
+		if cerr := tw.Close(); err == nil {
+			err = cerr
+		}
+		if cerr := gz.Close(); err == nil {
+			err = cerr
+		}
+		pw.CloseWithError(err)
+	}()
+	return pr, nil
+}
+
+// submitBulk POSTs the archive and decodes the 202 admission response.
+func submitBulk(ctx context.Context, base string, body io.Reader) (bulkq.SubmitResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/bulk", body)
+	if err != nil {
+		return bulkq.SubmitResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return bulkq.SubmitResult{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return bulkq.SubmitResult{}, bulkAPIError("submit", resp)
+	}
+	var sub bulkq.SubmitResult
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		return bulkq.SubmitResult{}, fmt.Errorf("parsing submit response: %w", err)
+	}
+	return sub, nil
+}
+
+// waitBulk polls the job until every binary settles (state done or
+// cancelled), logging progress as counts change.
+func waitBulk(ctx context.Context, log *slog.Logger, base, id string, poll time.Duration) (bulkq.JobStatus, error) {
+	var last bulkq.JobStatus
+	lastLine := ""
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/bulk/"+id, nil)
+		if err != nil {
+			return last, err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return last, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			err := bulkAPIError("status", resp)
+			resp.Body.Close()
+			return last, err
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&last); err != nil {
+			resp.Body.Close()
+			return last, fmt.Errorf("parsing job status: %w", err)
+		}
+		resp.Body.Close()
+		line := fmt.Sprintf("%d/%d/%d/%d", last.Done, last.Binaries, last.Failed, last.Skipped)
+		if line != lastLine {
+			log.Info("bulk job progress", "job", last.ID,
+				"done", last.Done, "binaries", last.Binaries,
+				"failed", last.Failed, "skipped", last.Skipped)
+			lastLine = line
+		}
+		if last.State == "done" || last.State == "cancelled" && last.Running == 0 && last.Pending == 0 {
+			return last, nil
+		}
+		select {
+		case <-ctx.Done():
+			return last, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// fetchBulkResults streams the job's JSON-lines results to w.
+func fetchBulkResults(ctx context.Context, base, id string, w io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/bulk/"+id+"/results", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return bulkAPIError("results", resp)
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// bulkStatusErr maps the final job counts to the documented exit codes.
+func bulkStatusErr(st bulkq.JobStatus) error {
+	switch {
+	case st.Failed == 0:
+		return nil
+	case st.Done == 0:
+		return &exitError{code: 3, msg: fmt.Sprintf("all %d binaries failed", st.Failed)}
+	default:
+		return &exitError{code: 2, msg: fmt.Sprintf("%d of %d binaries failed", st.Failed, st.Binaries)}
+	}
+}
+
+// bulkAPIError renders a non-2xx bulk API response, preferring the JSON
+// error envelope when the server sent one.
+func bulkAPIError(op string, resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &envelope) == nil && envelope.Error != "" {
+		return fmt.Errorf("bulk %s: %s (HTTP %d)", op, envelope.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("bulk %s: HTTP %d: %s", op, resp.StatusCode, strings.TrimSpace(string(body)))
+}

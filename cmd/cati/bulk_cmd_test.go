@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bulkq"
+	"repro/internal/serve"
+)
+
+// startBulkServer runs an in-process catiserve with the bulk queue on a
+// fresh directory, for driving the `cati bulk` subcommand end to end.
+func startBulkServer(t *testing.T) *serve.Server {
+	t.Helper()
+	s, err := serve.New(serve.Config{
+		ModelPath: testModel(t), WatchInterval: -1,
+		BulkDir: t.TempDir(), BulkWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+// TestBulkCmdEndToEnd drives `cati bulk` against a live daemon: package
+// a directory of stripped binaries, wait for the drain, and check the
+// JSON-lines results file holds one done record per binary.
+func TestBulkCmdEndToEnd(t *testing.T) {
+	s := startBulkServer(t)
+	corpus := t.TempDir()
+	if err := os.Mkdir(filepath.Join(corpus, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	for i := 0; i < n; i++ {
+		writeBinary(t, corpus, filepath.Join("sub", "bin-"+string(rune('a'+i))+".elf"), int64(60+i))
+	}
+	out := filepath.Join(t.TempDir(), "results.jsonl")
+
+	if err := bulkCmd([]string{"-url", "http://" + s.Addr, "-poll", "5ms", "-o", out, corpus}); err != nil {
+		t.Fatalf("cati bulk: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec bulkq.ResultRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("results line %d: %v", lines, err)
+		}
+		if rec.State != "done" || rec.Model == "" || len(rec.Vars) == 0 {
+			t.Fatalf("results line %d: %+v", lines, rec)
+		}
+		lines++
+	}
+	if lines != n {
+		t.Fatalf("results: %d lines, want %d", lines, n)
+	}
+
+	// -no-wait prints the job ID and returns immediately.
+	oldStdout := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	err = bulkCmd([]string{"-url", "http://" + s.Addr, "-no-wait", corpus})
+	w.Close()
+	os.Stdout = oldStdout
+	if err != nil {
+		t.Fatalf("cati bulk -no-wait: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	id := string(bytes.TrimSpace(buf.Bytes()))
+	if len(id) == 0 || id[0] != 'j' {
+		t.Fatalf("-no-wait stdout %q, want a job ID", id)
+	}
+	if _, ok := s.Bulk().Job(id); !ok {
+		t.Fatalf("job %s not known to the daemon", id)
+	}
+}
+
+// Bad inputs fail before any upload: a missing path, and a refused URL.
+func TestBulkCmdErrors(t *testing.T) {
+	if err := bulkCmd([]string{"/nonexistent/corpus"}); err == nil {
+		t.Fatal("missing corpus path not reported")
+	}
+	dir := t.TempDir()
+	writeBinary(t, dir, "a.elf", 66)
+	if err := bulkCmd([]string{"-url", "http://127.0.0.1:1", dir}); err == nil {
+		t.Fatal("unreachable daemon not reported")
+	}
+	if err := bulkCmd([]string{}); err == nil {
+		t.Fatal("missing argument not reported")
+	}
+}

@@ -10,6 +10,7 @@
 //	cati annotate -model cati.model binary.stripped.elf
 //	cati strip    in.elf out.elf
 //	cati disasm   binary.elf
+//	cati bulk     -url http://host:8090 ./corpus-dir
 //
 // infer accepts multiple binaries and fans them out over the worker pool
 // (core.InferBatch). Each binary is its own error domain: an unreadable
@@ -69,11 +70,13 @@ func (e *exitError) Error() string { return e.msg }
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: cati <infer|annotate|strip|disasm> [flags] <file...>")
+		return fmt.Errorf("usage: cati <infer|annotate|strip|disasm|bulk> [flags] <file...>")
 	}
 	switch args[0] {
 	case "infer":
 		return inferCmd(args[1:])
+	case "bulk":
+		return bulkCmd(args[1:])
 	case "annotate":
 		return annotateCmd(args[1:])
 	case "strip":

@@ -13,6 +13,7 @@
 //	catibench -serve-bench BENCH_serve.json
 //	catibench -serve-url http://host:8090/v1/infer -serve-concurrency 16
 //	catibench -fleet-bench BENCH_fleet.json -chaos
+//	catibench -bulk-bench BENCH_bulk.json
 //
 // -serve-bench runs the self-contained catiserve sweep: it trains a
 // small model, starts a loopback service per configuration, and measures
@@ -67,6 +68,8 @@ func run(args []string) error {
 	fleetBench := fs.String("fleet-bench", "", "run the sharded-fleet router sweep (1 to -fleet-replicas loopback replicas behind a router) and write JSON records to this file (e.g. BENCH_fleet.json), then exit")
 	traceBench := fs.String("trace-bench", "", "run the tracing-overhead sweep (serve path with tracing off vs on, plus the disabled fast-path microbenchmark) and write JSON records to this file (e.g. BENCH_trace.json), then exit; fails if the disabled path costs over -trace-overhead-limit")
 	traceLimit := fs.Float64("trace-overhead-limit", 2.0, "maximum tracing-disabled overhead for -trace-bench, percent of request latency")
+	bulkBench := fs.String("bulk-bench", "", "run the bulk-queue sweep (job size x workers, plus kill-and-resume points that hard-stop the daemon mid-job and restart it on the same queue directory) and write JSON records to this file (e.g. BENCH_bulk.json), then exit")
+	bulkSmoke := fs.Bool("bulk-smoke", false, "shrink the -bulk-bench grid to one drain point and one kill-and-resume point (the make check gate)")
 	fleetReplicas := fs.Int("fleet-replicas", 3, "maximum fleet size for -fleet-bench")
 	chaos := fs.Bool("chaos", false, "inject faults during -fleet-bench (latency spikes, truncated responses, refused connections, a mid-run replica kill/restart) and require zero failed client requests")
 	rt := cliflags.AddRuntime(fs)
@@ -84,9 +87,12 @@ func run(args []string) error {
 	if *benchKernels != "" {
 		return runKernelBench(log, *benchKernels, *benchIters)
 	}
-	if *serveBench != "" || *serveURL != "" || *fleetBench != "" || *traceBench != "" {
+	if *serveBench != "" || *serveURL != "" || *fleetBench != "" || *traceBench != "" || *bulkBench != "" {
 		ctx, stop := rt.Context()
 		defer stop()
+		if *bulkBench != "" {
+			return runBulkBench(ctx, log, *bulkBench, *bulkSmoke)
+		}
 		if *traceBench != "" {
 			return runTraceBench(ctx, log, *traceBench, *serveConc, *serveDur, *traceLimit)
 		}

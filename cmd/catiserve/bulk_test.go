@@ -1,0 +1,279 @@
+package main
+
+import (
+	"archive/tar"
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/bulkq"
+)
+
+// TestHelperBulkDaemon is not a test: it is the child-process body for
+// TestBulkCrashResume. Re-executed via os.Args[0] with the env gate set,
+// it runs a real catiserve daemon with the bulk queue on the shared
+// directory, publishes its bound address through a file, and then holds
+// until the parent SIGKILLs it — no graceful path, by design.
+func TestHelperBulkDaemon(t *testing.T) {
+	if os.Getenv("CATI_BULK_HELPER") != "1" {
+		t.Skip("helper process for TestBulkCrashResume")
+	}
+	// -cache-size -1: a second job over the same corpus must recompute,
+	// not answer from the result cache, so the parent can compare runs
+	// byte for byte (a cache hit reports attempts=0, a compute 1).
+	d, err := newDaemon([]string{
+		"-model", os.Getenv("CATI_BULK_MODEL"),
+		"-addr", "127.0.0.1:0", "-watch-interval", "-1s", "-cache-size", "-1",
+		"-bulk-dir", os.Getenv("CATI_BULK_DIR"), "-bulk-workers", "1",
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	if err := d.start(); err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	addrFile := os.Getenv("CATI_BULK_ADDRFILE")
+	if err := os.WriteFile(addrFile+".tmp", []byte(d.srv.Addr), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	if err := os.Rename(addrFile+".tmp", addrFile); err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	select {} // hold the daemon up until SIGKILL
+}
+
+// spawnBulkDaemon re-executes the test binary as a bulk daemon on dir
+// and waits for it to publish its address.
+func spawnBulkDaemon(t *testing.T, model, dir, addrFile string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "TestHelperBulkDaemon$")
+	cmd.Env = append(os.Environ(),
+		"CATI_BULK_HELPER=1",
+		"CATI_BULK_MODEL="+model,
+		"CATI_BULK_DIR="+dir,
+		"CATI_BULK_ADDRFILE="+addrFile,
+	)
+	cmd.Stdout, cmd.Stderr = io.Discard, io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if addr, err := os.ReadFile(addrFile); err == nil && len(addr) > 0 {
+			return cmd, string(addr)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("bulk daemon never published its address")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func bulkCorpus(t *testing.T, images [][]byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	for i, img := range images {
+		if err := tw.WriteHeader(&tar.Header{
+			Name: fmt.Sprintf("bin-%03d.elf", i), Mode: 0o644, Size: int64(len(img)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tw.Write(img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func bulkSubmit(t *testing.T, addr string, tarball []byte) string {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+"/v1/bulk", "application/x-tar", bytes.NewReader(tarball))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub bulkq.SubmitResult
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("bulk submit: code=%d err=%v", resp.StatusCode, err)
+	}
+	return sub.Job.ID
+}
+
+func bulkJobStatus(t *testing.T, addr, id string) (bulkq.JobStatus, error) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/v1/bulk/" + id)
+	if err != nil {
+		return bulkq.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return bulkq.JobStatus{}, fmt.Errorf("bulk status: HTTP %d", resp.StatusCode)
+	}
+	var st bulkq.JobStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+func bulkWaitFor(t *testing.T, addr, id string, pred func(bulkq.JobStatus) bool) bulkq.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := bulkJobStatus(t, addr, id)
+		if err == nil && pred(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting on bulk job %s: %+v (%v)", id, st, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func bulkResults(t *testing.T, addr, id string) []byte {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/v1/bulk/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("bulk results: code=%d err=%v", resp.StatusCode, err)
+	}
+	return body
+}
+
+// walTerminalCounts parses the queue journal and counts terminal (done /
+// failed) records per (job, binary index).
+func walTerminalCounts(t *testing.T, dir string) map[string]int {
+	t.Helper()
+	f, err := os.Open(filepath.Join(dir, "wal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	counts := make(map[string]int)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 64<<20)
+	for sc.Scan() {
+		var rec struct {
+			T     string `json:"t"`
+			ID    string `json:"id"`
+			Index int    `json:"i"`
+			State string `json:"s"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue // torn tail
+		}
+		if rec.T == "bin" && (rec.State == "done" || rec.State == "failed") {
+			counts[fmt.Sprintf("%s/%d", rec.ID, rec.Index)]++
+		}
+	}
+	return counts
+}
+
+// TestBulkCrashResume is the subsystem's acceptance test at full
+// fidelity: a real daemon process is SIGKILLed mid-job and a fresh
+// process on the same queue directory must finish the work — resuming
+// exactly the unfinished binaries (journal proves zero duplicated
+// per-binary inferences) and producing results byte-identical to a
+// daemon that was never interrupted.
+func TestBulkCrashResume(t *testing.T) {
+	fixture(t)
+	shared := t.TempDir()
+	model := filepath.Join(shared, "m.model")
+	if err := os.WriteFile(model, blobA, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	images := make([][]byte, 6)
+	for i := range images {
+		images[i] = testImage(t, int64(80+i))
+	}
+	tarball := bulkCorpus(t, images)
+	qdir := filepath.Join(shared, "queue")
+
+	// Two identical jobs back to back: the single worker drains them in
+	// order, so killing once the first shows progress always leaves the
+	// second with work for journal replay to resume.
+	proc1, addr1 := spawnBulkDaemon(t, model, qdir, filepath.Join(shared, "addr1"))
+	id1 := bulkSubmit(t, addr1, tarball)
+	id2 := bulkSubmit(t, addr1, tarball)
+	bulkWaitFor(t, addr1, id1, func(st bulkq.JobStatus) bool { return st.Done+st.Failed >= 1 })
+
+	if err := proc1.Process.Kill(); err != nil { // SIGKILL: no drain, no goodbye
+		t.Fatal(err)
+	}
+	_ = proc1.Wait()
+
+	// What the journal settled before the kill stays settled.
+	settledAtKill := walTerminalCounts(t, qdir)
+	total := 2 * len(images)
+	if len(settledAtKill) >= total {
+		t.Fatalf("kill landed after all %d binaries settled; no resume to prove", total)
+	}
+
+	proc2, addr2 := spawnBulkDaemon(t, model, qdir, filepath.Join(shared, "addr2"))
+	st1 := bulkWaitFor(t, addr2, id1, func(st bulkq.JobStatus) bool { return st.State == "done" })
+	st2 := bulkWaitFor(t, addr2, id2, func(st bulkq.JobStatus) bool { return st.State == "done" })
+	if st1.Done != len(images) || st1.Failed != 0 || st2.Done != len(images) || st2.Failed != 0 {
+		t.Fatalf("jobs after resume: %+v / %+v", st1, st2)
+	}
+	wantResumed := total - len(settledAtKill)
+	if got := st1.Resumed + st2.Resumed; got != wantResumed || got == 0 {
+		t.Fatalf("resumed %d binaries, want %d (settled at kill: %d)",
+			got, wantResumed, len(settledAtKill))
+	}
+
+	// Zero duplicated inferences: across compaction snapshot plus the
+	// second incarnation's appends, every binary has exactly one terminal
+	// record. A recomputed binary would journal a second one.
+	finalCounts := walTerminalCounts(t, qdir)
+	if len(finalCounts) != total {
+		t.Fatalf("journal settles %d binaries, want %d", len(finalCounts), total)
+	}
+	for key, n := range finalCounts {
+		if n != 1 {
+			t.Fatalf("binary %s journaled %d terminal records: inference duplicated", key, n)
+		}
+	}
+	res1 := bulkResults(t, addr2, id1)
+	res2 := bulkResults(t, addr2, id2)
+	if err := proc2.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = proc2.Wait()
+
+	// Byte-identical to an uninterrupted daemon draining the same corpus.
+	d, _ := startDaemon(t, "-bulk-dir", filepath.Join(shared, "control-queue"),
+		"-bulk-workers", "1", "-cache-size", "-1")
+	cid := bulkSubmit(t, d.srv.Addr, tarball)
+	bulkWaitFor(t, d.srv.Addr, cid, func(st bulkq.JobStatus) bool { return st.State == "done" })
+	control := bulkResults(t, d.srv.Addr, cid)
+	if !bytes.Equal(res1, control) || !bytes.Equal(res2, control) {
+		t.Fatalf("resumed results diverge from uninterrupted run:\njob1 %d bytes, job2 %d bytes, control %d bytes",
+			len(res1), len(res2), len(control))
+	}
+}

@@ -15,6 +15,12 @@
 //	GET  /v1/models   the active model's fingerprint, path and load time
 //	GET  /v1/healthz  liveness (never blocked by inference load)
 //
+// With -bulk-dir the daemon additionally mounts the durable bulk API
+// (POST /v1/bulk and friends, see internal/bulkq): tarball corpus jobs
+// spool to that directory and survive restarts — a killed daemon
+// resumes exactly the unfinished binaries. Router mode takes the same
+// flags and dispatches each bulk binary to its consistent-hash owner.
+//
 // Signals:
 //
 //	SIGHUP           reload the model artifact now (a failed reload keeps
@@ -87,6 +93,7 @@ func newDaemon(args []string) (*daemon, error) {
 	kernel := cliflags.Kernel(fs)
 	sv := cliflags.AddServe(fs)
 	fl := cliflags.AddFleet(fs)
+	bk := cliflags.AddBulk(fs)
 	diag := cliflags.AddDiag(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -134,6 +141,11 @@ func newDaemon(args []string) (*daemon, error) {
 			FallbackModel:    fl.FallbackModel,
 			Workers:          *workers,
 			MaxBody:          sv.MaxBody,
+			BulkDir:          bk.Dir,
+			BulkWorkers:      bk.Workers,
+			MaxBulkBody:      bk.MaxBody,
+			BulkMaxEntries:   bk.MaxEntries,
+			BulkMaxEntrySize: bk.MaxEntrySize,
 			Log:              log,
 		})
 		if err != nil {
@@ -142,22 +154,27 @@ func newDaemon(args []string) (*daemon, error) {
 		return d, nil
 	}
 	d.srv, err = serve.New(serve.Config{
-		ModelPath:      *model,
-		Workers:        *workers,
-		MaxInFlight:    sv.MaxInFlight,
-		MaxQueue:       sv.MaxQueue,
-		QueueWait:      sv.QueueWait,
-		RetryAfter:     sv.RetryAfter,
-		MaxRetryAfter:  sv.MaxRetryAfter,
-		ReadyWatermark: sv.ReadyWatermark,
-		MaxBatch:       sv.MaxBatch,
-		Linger:         sv.BatchLinger,
-		CacheSize:      sv.CacheSize,
-		BinaryTimeout:  sv.BinaryTimeout,
-		Retries:        sv.Retries,
-		MaxBody:        sv.MaxBody,
-		WatchInterval:  sv.WatchInterval,
-		Log:            log,
+		ModelPath:        *model,
+		Workers:          *workers,
+		MaxInFlight:      sv.MaxInFlight,
+		MaxQueue:         sv.MaxQueue,
+		QueueWait:        sv.QueueWait,
+		RetryAfter:       sv.RetryAfter,
+		MaxRetryAfter:    sv.MaxRetryAfter,
+		ReadyWatermark:   sv.ReadyWatermark,
+		MaxBatch:         sv.MaxBatch,
+		Linger:           sv.BatchLinger,
+		CacheSize:        sv.CacheSize,
+		BinaryTimeout:    sv.BinaryTimeout,
+		Retries:          sv.Retries,
+		MaxBody:          sv.MaxBody,
+		BulkDir:          bk.Dir,
+		BulkWorkers:      bk.Workers,
+		MaxBulkBody:      bk.MaxBody,
+		BulkMaxEntries:   bk.MaxEntries,
+		BulkMaxEntrySize: bk.MaxEntrySize,
+		WatchInterval:    sv.WatchInterval,
+		Log:              log,
 	})
 	if err != nil {
 		return nil, err

@@ -337,6 +337,37 @@ func AddServe(fs *flag.FlagSet) *Serve {
 	return s
 }
 
+// Bulk carries the bulk-analysis-queue flags shared by `catiserve` and
+// `catiserve -router`: the queue directory plus the drain and ingest
+// bounds of internal/bulkq. Defaults mirror bulkq.Config's documented
+// defaults.
+type Bulk struct {
+	// Dir is the -bulk-dir flag: the durable queue directory (spool +
+	// journal). Empty leaves the /v1/bulk API unmounted.
+	Dir string
+	// Workers is the -bulk-workers flag: bulk drain concurrency.
+	Workers int
+	// MaxBody is the -max-bulk-body flag: the archive upload cap in bytes.
+	MaxBody int64
+	// MaxEntries/MaxEntrySize are -bulk-max-entries/-bulk-max-entry: the
+	// per-archive bounds.
+	MaxEntries   int
+	MaxEntrySize int64
+}
+
+// AddBulk registers the bulk-queue flags on the flag set and returns the
+// struct they fill in after fs.Parse. Zero values defer to bulkq.Config's
+// defaults so the queue layer stays the single source of truth for them.
+func AddBulk(fs *flag.FlagSet) *Bulk {
+	b := &Bulk{}
+	fs.StringVar(&b.Dir, "bulk-dir", "", "durable bulk-queue directory (spool + journal); enables POST /v1/bulk and resumes unfinished jobs found there (empty: bulk API off)")
+	fs.IntVar(&b.Workers, "bulk-workers", 0, "bulk drain concurrency; workers yield to interactive traffic (0: 2)")
+	fs.Int64Var(&b.MaxBody, "max-bulk-body", 0, "max bulk archive upload bytes (0: 512MiB)")
+	fs.IntVar(&b.MaxEntries, "bulk-max-entries", 0, "max entries per bulk archive (0: 1024)")
+	fs.Int64Var(&b.MaxEntrySize, "bulk-max-entry", 0, "max bytes per bulk archive entry (0: 64MiB)")
+	return b
+}
+
 // Fleet carries the fleet-router flags (`catiserve -router`,
 // `catibench -fleet-bench`): the replica set plus the membership,
 // failover and peer-fill knobs of internal/fleet. Defaults mirror

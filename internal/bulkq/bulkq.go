@@ -1,0 +1,812 @@
+// Package bulkq is CATI's durable bulk-analysis queue: corpus-scale
+// jobs — a tarball of stripped binaries — flow through a crash-resumable
+// work queue instead of the interactive request path.
+//
+//	POST   /v1/bulk               tar / tar.gz of ELFs in → job ID out (202)
+//	GET    /v1/bulk               all known jobs, newest first
+//	GET    /v1/bulk/{id}          job status with per-binary progress counts
+//	GET    /v1/bulk/{id}/results  results as JSON lines, one line per binary
+//	DELETE /v1/bulk/{id}          cancel: unstarted binaries are skipped
+//
+// Durability is a two-part on-disk layout under one queue directory:
+//
+//   - spool/<sha256>: the content-addressed image store. Entry names in
+//     the archive are display metadata only — bytes land at their hash,
+//     so identical binaries across jobs spool once and a hostile name
+//     can never choose a path.
+//   - wal.jsonl: an append-only journal of job admissions and per-binary
+//     state transitions (pending → running → done/failed). A terminal
+//     record carries the result payload and is fsynced before the
+//     in-memory state flips.
+//
+// A killed daemon replays the journal on Open: binaries with a terminal
+// record keep their results (never recomputed), binaries that were
+// running or pending re-enter the queue, and the journal is compacted to
+// a minimal snapshot. The work itself runs on worker goroutines that
+// call a caller-supplied InferFunc — the serve daemon plugs in the
+// in-process model (through core.InferBatch's fault isolation), the
+// fleet router plugs in consistent-hash dispatch to the owner replica —
+// and an optional Yield hook lets interactive admission control starve
+// the bulk drain instead of the other way around.
+package bulkq
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// InferFunc runs one binary image and returns the inferred variables in
+// the wire schema (the /v1/infer "vars" array, as raw JSON), the
+// fingerprint of the model that produced them, and how many attempts ran.
+// The error return is the binary's failure — per-binary, never fatal to
+// the job. Implementations must honor ctx: a cancelled context means the
+// daemon is draining, and the binary will resume after restart.
+type InferFunc func(ctx context.Context, image []byte) (vars json.RawMessage, model string, attempts int, err error)
+
+// Config tunes a queue Manager; zero values take the documented defaults.
+type Config struct {
+	// Dir is the queue directory (spool + journal). Required.
+	Dir string
+	// Workers is how many binaries drain concurrently (default 2). Bulk
+	// work shares the inference substrate with interactive traffic, so
+	// this stays deliberately small; see Yield.
+	Workers int
+	// MaxEntries bounds archive entries per job (default 1024).
+	MaxEntries int
+	// MaxEntrySize bounds one archive entry's bytes (default 64 MiB).
+	MaxEntrySize int64
+	// MaxBody caps one /v1/bulk upload (default 512 MiB); oversize
+	// uploads get 413 without being read into memory.
+	MaxBody int64
+	// Infer executes one binary. Required before Run.
+	Infer InferFunc
+	// Yield, when non-nil, is polled before each binary: while it
+	// reports true the worker pauses, ceding the compute substrate to
+	// interactive traffic. The serve daemon wires it to "admission queue
+	// non-empty".
+	Yield func() bool
+	// YieldPause is the poll interval while yielding (default 25ms).
+	YieldPause time.Duration
+	// Log receives structured diagnostics (default slog.Default()).
+	Log *slog.Logger
+}
+
+// withDefaults resolves the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 2
+	}
+	if c.MaxEntries <= 0 {
+		c.MaxEntries = 1024
+	}
+	if c.MaxEntrySize <= 0 {
+		c.MaxEntrySize = 64 << 20
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 512 << 20
+	}
+	if c.YieldPause <= 0 {
+		c.YieldPause = 25 * time.Millisecond
+	}
+	if c.Log == nil {
+		c.Log = slog.Default()
+	}
+	return c
+}
+
+// Binary states. Terminal states carry either a result or an error and
+// are journaled before they become visible.
+const (
+	binPending = "pending"
+	binRunning = "running"
+	binDone    = "done"
+	binFailed  = "failed"
+	binSkipped = "skipped" // job cancelled before this binary ran
+)
+
+// binary is one manifest entry's full lifecycle.
+type binary struct {
+	name     string
+	sha      string
+	size     int64
+	state    string
+	attempts int
+	model    string
+	vars     json.RawMessage
+	errMsg   string
+}
+
+// job is one admitted bulk job.
+type job struct {
+	id        string
+	submitted time.Time
+	cancelled bool
+	traceID   trace.TraceID
+	parent    trace.SpanID
+	bins      []binary
+	resumed   int
+}
+
+// terminal reports whether a binary state needs no more work.
+func terminal(state string) bool {
+	return state == binDone || state == binFailed || state == binSkipped
+}
+
+// state derives the job-level state from its binaries.
+func (j *job) state() string {
+	if j.cancelled {
+		return "cancelled"
+	}
+	pending, running := 0, 0
+	for i := range j.bins {
+		switch j.bins[i].state {
+		case binRunning:
+			running++
+		case binPending:
+			pending++
+		}
+	}
+	switch {
+	case running > 0:
+		return "running"
+	case pending > 0:
+		return "pending"
+	default:
+		return "done"
+	}
+}
+
+// JobStatus is the API view of one job (GET /v1/bulk/{id}).
+type JobStatus struct {
+	ID string `json:"id"`
+	// State is pending, running, done or cancelled. A done job may still
+	// hold failed binaries — check Failed.
+	State    string `json:"state"`
+	Binaries int    `json:"binaries"`
+	Pending  int    `json:"pending"`
+	Running  int    `json:"running"`
+	Done     int    `json:"done"`
+	Failed   int    `json:"failed"`
+	Skipped  int    `json:"skipped"`
+	// Resumed is how many of this job's binaries were re-queued by
+	// journal replay after a daemon restart.
+	Resumed     int       `json:"resumed,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
+}
+
+// status snapshots a job (caller holds m.mu).
+func (j *job) status() JobStatus {
+	st := JobStatus{ID: j.id, State: j.state(), Binaries: len(j.bins),
+		Resumed: j.resumed, SubmittedAt: j.submitted}
+	for i := range j.bins {
+		switch j.bins[i].state {
+		case binPending:
+			st.Pending++
+		case binRunning:
+			st.Running++
+		case binDone:
+			st.Done++
+		case binFailed:
+			st.Failed++
+		case binSkipped:
+			st.Skipped++
+		}
+	}
+	return st
+}
+
+// SubmitResult is the POST /v1/bulk response body.
+type SubmitResult struct {
+	Job JobStatus `json:"job"`
+	// Skipped counts archive entries ignored at ingest (directories,
+	// links, empty files) — distinct from JobStatus.Skipped, which
+	// counts binaries cancelled before running.
+	SkippedEntries int `json:"skipped_entries,omitempty"`
+}
+
+// ResultRecord is one line of GET /v1/bulk/{id}/results.
+type ResultRecord struct {
+	Index    int             `json:"idx"`
+	Name     string          `json:"name"`
+	SHA      string          `json:"sha"`
+	State    string          `json:"state"`
+	Model    string          `json:"model,omitempty"`
+	Attempts int             `json:"attempts,omitempty"`
+	Vars     json.RawMessage `json:"vars,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+// Summary is the fleet-status view of the queue (GET /v1/fleet).
+type Summary struct {
+	Jobs       int            `json:"jobs"`
+	ByState    map[string]int `json:"by_state,omitempty"`
+	QueueDepth int            `json:"queue_depth"`
+	Resumed    uint64         `json:"resumed"`
+}
+
+// ErrUnknownJob reports a job ID the queue has never seen (or that was
+// journaled away).
+var ErrUnknownJob = errors.New("bulkq: unknown job")
+
+// workItem addresses one queued binary.
+type workItem struct {
+	j   *job
+	idx int
+}
+
+// Manager owns one queue directory: the journal, the spool, the
+// in-memory job table and the worker pool.
+type Manager struct {
+	cfg Config
+	wal *wal
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*job
+	order    []string // submission order (replayed jobs first)
+	queue    []workItem
+	stopping bool
+
+	resumed atomic.Uint64
+}
+
+// Open loads (or creates) the queue at cfg.Dir: replay the journal,
+// re-queue every unfinished binary, compact the journal to a snapshot
+// and sweep unreferenced spool blobs. Workers do not run until Run.
+func Open(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("bulkq: Config.Dir is required")
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.Dir, spoolDir), 0o755); err != nil {
+		return nil, fmt.Errorf("bulkq: %w", err)
+	}
+	m := &Manager{cfg: cfg, jobs: make(map[string]*job)}
+	m.cond = sync.NewCond(&m.mu)
+
+	recs, dropped, err := readWAL(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if dropped > 0 {
+		cfg.Log.Warn("bulk journal tail dropped", "lines", dropped)
+	}
+	m.replay(recs)
+
+	// Compact to a snapshot of what replay kept, then open for appends.
+	if err := compactWAL(cfg.Dir, m.snapshot()); err != nil {
+		return nil, err
+	}
+	live := make(map[string]bool)
+	for _, j := range m.jobs {
+		for i := range j.bins {
+			live[j.bins[i].sha] = true
+		}
+	}
+	if err := sweepSpool(cfg.Dir, live); err != nil {
+		cfg.Log.Warn("bulk spool sweep failed", "error", err)
+	}
+	if m.wal, err = openWAL(cfg.Dir); err != nil {
+		return nil, err
+	}
+
+	// Re-queue unfinished work, preserving job order. Every binary
+	// re-queued here is a resume: whether it was mid-flight at the crash
+	// (its journaled "running" never got a terminal record) or still
+	// waiting its turn, a previous incarnation admitted it and this one
+	// finishes it.
+	requeued := 0
+	for _, id := range m.order {
+		j := m.jobs[id]
+		for i := range j.bins {
+			if j.bins[i].state == binPending && !j.cancelled {
+				m.queue = append(m.queue, workItem{j: j, idx: i})
+				requeued++
+				j.resumed++
+				m.resumed.Add(1)
+				mResumed.Inc()
+			}
+		}
+	}
+	mQueueDepth.Set(int64(len(m.queue)))
+	m.gauges()
+	if len(m.jobs) > 0 {
+		cfg.Log.Info("bulk queue replayed", "jobs", len(m.jobs),
+			"requeued", requeued, "resumed", m.resumed.Load())
+	}
+	return m, nil
+}
+
+// replay folds journal records into the job table. Binaries whose last
+// journaled state was "running" were in flight when the previous process
+// died: they come back as pending and count as resumed.
+func (m *Manager) replay(recs []walRecord) {
+	for _, rec := range recs {
+		switch rec.T {
+		case "job":
+			if len(rec.Names) == 0 || len(rec.Names) != len(rec.SHAs) || len(rec.Names) != len(rec.Sizes) {
+				continue // malformed admission; nothing to run
+			}
+			j := &job{id: rec.ID, submitted: time.UnixMilli(rec.At)}
+			if tid, ok := trace.ParseTraceID(rec.Trace); ok {
+				j.traceID = tid
+			}
+			if sid, ok := trace.ParseSpanID(rec.Span); ok {
+				j.parent = sid
+			}
+			for i := range rec.Names {
+				j.bins = append(j.bins, binary{
+					name: rec.Names[i], sha: rec.SHAs[i], size: rec.Sizes[i],
+					state: binPending,
+				})
+			}
+			m.jobs[rec.ID] = j
+			m.order = append(m.order, rec.ID)
+		case "bin":
+			j := m.jobs[rec.ID]
+			if j == nil || rec.Index < 0 || rec.Index >= len(j.bins) {
+				continue
+			}
+			b := &j.bins[rec.Index]
+			switch rec.State {
+			case binRunning:
+				b.state = binRunning // interrupted unless a terminal record follows
+			case binDone:
+				b.state, b.attempts, b.model, b.vars = binDone, rec.Attempts, rec.Model, rec.Vars
+			case binFailed:
+				b.state, b.attempts, b.errMsg = binFailed, rec.Attempts, rec.Err
+			case binSkipped:
+				b.state = binSkipped
+			}
+		case "cancel":
+			if j := m.jobs[rec.ID]; j != nil {
+				j.cancelled = true
+				for i := range j.bins {
+					if !terminal(j.bins[i].state) {
+						j.bins[i].state = binSkipped
+					}
+				}
+			}
+		}
+	}
+	// Interrupted binaries — journaled running, no terminal record —
+	// go back to pending; Open's requeue pass counts them as resumed
+	// along with the never-started remainder.
+	for _, j := range m.jobs {
+		for i := range j.bins {
+			if j.bins[i].state == binRunning {
+				j.bins[i].state = binPending
+			}
+		}
+	}
+}
+
+// snapshot renders the current job table as a minimal journal: one
+// admission record per job, one terminal record per settled binary, one
+// cancel record per cancelled job.
+func (m *Manager) snapshot() []walRecord {
+	var recs []walRecord
+	for _, id := range m.order {
+		j := m.jobs[id]
+		jr := walRecord{T: "job", ID: j.id, At: j.submitted.UnixMilli()}
+		for i := range j.bins {
+			jr.Names = append(jr.Names, j.bins[i].name)
+			jr.SHAs = append(jr.SHAs, j.bins[i].sha)
+			jr.Sizes = append(jr.Sizes, j.bins[i].size)
+		}
+		if !j.traceID.IsZero() {
+			jr.Trace, jr.Span = j.traceID.String(), j.parent.String()
+		}
+		recs = append(recs, jr)
+		if j.cancelled {
+			recs = append(recs, walRecord{T: "cancel", ID: j.id})
+		}
+		for i := range j.bins {
+			b := &j.bins[i]
+			switch b.state {
+			case binDone:
+				recs = append(recs, walRecord{T: "bin", ID: j.id, Index: i,
+					State: binDone, Attempts: b.attempts, Model: b.model, Vars: b.vars})
+			case binFailed:
+				recs = append(recs, walRecord{T: "bin", ID: j.id, Index: i,
+					State: binFailed, Attempts: b.attempts, Err: b.errMsg})
+			}
+		}
+	}
+	return recs
+}
+
+// newJobID returns a fresh random job identifier.
+func newJobID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("bulkq: job id: %w", err)
+	}
+	return "j" + hex.EncodeToString(b[:]), nil
+}
+
+// Submit ingests one archive into a new job: spool the entries, journal
+// the admission, enqueue every binary. The trace linkage (may be zero)
+// ties each binary's bulk.binary span back to the submitting request.
+func (m *Manager) Submit(r io.Reader, tid trace.TraceID, parent trace.SpanID) (SubmitResult, error) {
+	manifest, skipped, err := ingest(m.cfg.Dir, r, m.cfg.MaxEntries, m.cfg.MaxEntrySize)
+	if err != nil {
+		return SubmitResult{}, err
+	}
+	id, err := newJobID()
+	if err != nil {
+		return SubmitResult{}, err
+	}
+	j := &job{id: id, submitted: time.Now(), traceID: tid, parent: parent}
+	rec := walRecord{T: "job", ID: id, At: j.submitted.UnixMilli()}
+	for _, e := range manifest {
+		j.bins = append(j.bins, binary{name: e.name, sha: e.sha, size: e.size, state: binPending})
+		rec.Names = append(rec.Names, e.name)
+		rec.SHAs = append(rec.SHAs, e.sha)
+		rec.Sizes = append(rec.Sizes, e.size)
+	}
+	if !tid.IsZero() {
+		rec.Trace, rec.Span = tid.String(), parent.String()
+	}
+	// Journal before admitting: once Submit returns, a crash cannot lose
+	// the job.
+	if err := m.wal.append(rec); err != nil {
+		return SubmitResult{}, err
+	}
+	mIngested.Add(uint64(len(manifest)))
+
+	m.mu.Lock()
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	for i := range j.bins {
+		m.queue = append(m.queue, workItem{j: j, idx: i})
+	}
+	mQueueDepth.Set(int64(len(m.queue)))
+	m.gauges()
+	st := j.status()
+	m.mu.Unlock()
+	m.cond.Broadcast()
+	m.cfg.Log.Info("bulk job admitted", "job", id,
+		"binaries", len(j.bins), "skipped_entries", skipped)
+	return SubmitResult{Job: st, SkippedEntries: skipped}, nil
+}
+
+// Job returns one job's status.
+func (m *Manager) Job(id string) (JobStatus, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(), true
+}
+
+// Jobs lists every known job, newest submission first.
+func (m *Manager) Jobs() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id].status())
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return out[a].SubmittedAt.After(out[b].SubmittedAt)
+	})
+	return out
+}
+
+// Cancel marks a job cancelled: unstarted binaries are skipped, running
+// binaries finish (their results are journaled and kept). Idempotent.
+func (m *Manager) Cancel(id string) (JobStatus, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return JobStatus{}, ErrUnknownJob
+	}
+	already := j.cancelled
+	j.cancelled = true
+	skippedNow := 0
+	for i := range j.bins {
+		if j.bins[i].state == binPending {
+			j.bins[i].state = binSkipped
+			skippedNow++
+		}
+	}
+	m.gauges()
+	st := j.status()
+	m.mu.Unlock()
+	if !already {
+		if err := m.wal.append(walRecord{T: "cancel", ID: id}); err != nil {
+			return st, err
+		}
+		for i := 0; i < skippedNow; i++ {
+			countBinary(binSkipped)
+		}
+		m.cfg.Log.Info("bulk job cancelled", "job", id, "skipped", skippedNow)
+	}
+	return st, nil
+}
+
+// Results streams the job's settled binaries to w as JSON lines, in
+// manifest order.
+func (m *Manager) Results(id string, w io.Writer) error {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return ErrUnknownJob
+	}
+	recs := make([]ResultRecord, 0, len(j.bins))
+	for i := range j.bins {
+		b := &j.bins[i]
+		if !terminal(b.state) {
+			continue
+		}
+		recs = append(recs, ResultRecord{
+			Index: i, Name: b.name, SHA: b.sha, State: b.state,
+			Model: b.model, Attempts: b.attempts, Vars: b.vars, Error: b.errMsg,
+		})
+	}
+	m.mu.Unlock()
+	enc := json.NewEncoder(w)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary snapshots the queue for fleet/status listings.
+func (m *Manager) Summary() Summary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Summary{Jobs: len(m.jobs), QueueDepth: len(m.queue), Resumed: m.resumed.Load()}
+	if len(m.jobs) > 0 {
+		s.ByState = make(map[string]int)
+		for _, j := range m.jobs {
+			s.ByState[j.state()]++
+		}
+	}
+	return s
+}
+
+// Resumed reports how many binaries journal replay re-queued over this
+// manager's lifetime.
+func (m *Manager) Resumed() uint64 { return m.resumed.Load() }
+
+// gauges republishes the per-state job gauges (caller holds m.mu).
+func (m *Manager) gauges() {
+	counts := map[string]int{"pending": 0, "running": 0, "done": 0, "cancelled": 0}
+	for _, j := range m.jobs {
+		counts[j.state()]++
+	}
+	for state, n := range counts {
+		setJobsGauge(state, n)
+	}
+}
+
+// Run drains the queue with cfg.Workers goroutines until ctx is
+// cancelled, then returns once every in-flight binary has stopped.
+// Binaries interrupted by cancellation keep their journaled "running"
+// state and resume on the next Open.
+func (m *Manager) Run(ctx context.Context) {
+	if m.cfg.Infer == nil {
+		panic("bulkq: Run without Config.Infer")
+	}
+	stop := make(chan struct{})
+	go func() {
+		<-ctx.Done()
+		m.mu.Lock()
+		m.stopping = true
+		m.mu.Unlock()
+		m.cond.Broadcast()
+		close(stop)
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < m.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.worker(ctx)
+		}()
+	}
+	wg.Wait()
+	<-stop
+}
+
+// pop blocks for the next runnable work item; ok=false means the
+// manager is stopping.
+func (m *Manager) pop() (workItem, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for len(m.queue) > 0 {
+			it := m.queue[0]
+			m.queue = m.queue[1:]
+			mQueueDepth.Set(int64(len(m.queue)))
+			// Cancelled (or otherwise already-settled) binaries are
+			// dropped here, not run.
+			if it.j.bins[it.idx].state == binPending {
+				return it, true
+			}
+		}
+		if m.stopping {
+			return workItem{}, false
+		}
+		m.cond.Wait()
+	}
+}
+
+// worker is one drain goroutine.
+func (m *Manager) worker(ctx context.Context) {
+	for {
+		it, ok := m.pop()
+		if !ok {
+			return
+		}
+		if !m.yield(ctx) {
+			// Shutdown while yielding: the binary never started, its
+			// journaled state is still pending — nothing to do.
+			m.requeue(it)
+			return
+		}
+		m.runOne(ctx, it)
+	}
+}
+
+// yield pauses while interactive traffic needs the substrate. Returns
+// false when ctx was cancelled while waiting.
+func (m *Manager) yield(ctx context.Context) bool {
+	if m.cfg.Yield == nil {
+		return ctx.Err() == nil
+	}
+	for m.cfg.Yield() {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(m.cfg.YieldPause):
+		}
+	}
+	return ctx.Err() == nil
+}
+
+// requeue puts an unstarted item back (shutdown path), so a Run on the
+// same Manager could resume it without a journal replay.
+func (m *Manager) requeue(it workItem) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if it.j.bins[it.idx].state == binPending {
+		m.queue = append(m.queue, it)
+		mQueueDepth.Set(int64(len(m.queue)))
+	}
+}
+
+// runOne executes one binary end to end: journal running, read the
+// spool, infer under a bulk.binary span linked to the submitting trace,
+// journal the terminal record.
+func (m *Manager) runOne(ctx context.Context, it workItem) {
+	j, i := it.j, it.idx
+	m.mu.Lock()
+	b := &j.bins[i]
+	if b.state != binPending {
+		m.mu.Unlock()
+		return
+	}
+	b.state = binRunning
+	m.gauges()
+	name, sha := b.name, b.sha
+	m.mu.Unlock()
+
+	if err := m.wal.append(walRecord{T: "bin", ID: j.id, Index: i, State: binRunning}); err != nil {
+		m.cfg.Log.Error("bulk journal append failed", "job", j.id, "idx", i, "error", err)
+	}
+
+	// The span hangs off the submitting request's trace, so one trace
+	// holds bulk.ingest and every bulk.binary it fanned out to.
+	bctx := ctx
+	var span *trace.Span
+	if !j.traceID.IsZero() {
+		bctx, span = trace.StartRemote(ctx, j.traceID, j.parent, "bulk.binary",
+			trace.String("job", j.id), trace.Int("idx", i),
+			trace.String("name", name))
+	} else {
+		bctx, span = trace.Start(ctx, "bulk.binary",
+			trace.String("job", j.id), trace.Int("idx", i),
+			trace.String("name", name))
+	}
+
+	start := time.Now()
+	image, rerr := spoolGet(m.cfg.Dir, sha)
+	var vars json.RawMessage
+	var model string
+	attempts := 1
+	err := rerr
+	if err == nil {
+		vars, model, attempts, err = m.cfg.Infer(bctx, image)
+	}
+	if ctx.Err() != nil {
+		// Draining: do not journal a terminal state — the running record
+		// stands, and replay resumes this binary. The in-memory state
+		// goes back to pending so a same-process Run restart is coherent.
+		span.Event("interrupted")
+		span.End()
+		m.mu.Lock()
+		b.state = binPending
+		m.mu.Unlock()
+		return
+	}
+	mBinarySeconds.Observe(time.Since(start).Seconds())
+
+	rec := walRecord{T: "bin", ID: j.id, Index: i, Attempts: attempts}
+	if err != nil {
+		rec.State, rec.Err = binFailed, err.Error()
+	} else {
+		rec.State, rec.Model, rec.Vars = binDone, model, vars
+	}
+	span.SetError(err)
+	span.SetAttr(trace.Int("attempts", attempts))
+	span.End()
+	// Terminal record hits disk before the state flips: a crash after
+	// this line never recomputes the binary.
+	if werr := m.wal.append(rec); werr != nil {
+		m.cfg.Log.Error("bulk journal append failed", "job", j.id, "idx", i, "error", werr)
+	}
+
+	m.mu.Lock()
+	if err != nil {
+		b.state, b.attempts, b.errMsg = binFailed, attempts, err.Error()
+	} else {
+		b.state, b.attempts, b.model, b.vars = binDone, attempts, model, vars
+	}
+	countBinary(b.state)
+	jobDone := j.state() == "done" || (j.cancelled && j.state() == "cancelled" && !anyOpen(j))
+	st := j.status()
+	m.gauges()
+	m.mu.Unlock()
+
+	if err != nil {
+		m.cfg.Log.Warn("bulk binary failed", "job", j.id, "idx", i,
+			"name", name, "attempts", attempts, "error", err)
+	}
+	if jobDone {
+		if werr := m.wal.append(walRecord{T: "jobdone", ID: j.id}); werr != nil {
+			m.cfg.Log.Error("bulk journal append failed", "job", j.id, "error", werr)
+		}
+		m.cfg.Log.Info("bulk job finished", "job", j.id,
+			"done", st.Done, "failed", st.Failed, "skipped", st.Skipped,
+			"elapsed", time.Since(st.SubmittedAt).Round(time.Millisecond))
+	}
+}
+
+// anyOpen reports whether any binary is still pending or running
+// (caller holds m.mu).
+func anyOpen(j *job) bool {
+	for i := range j.bins {
+		if !terminal(j.bins[i].state) {
+			return true
+		}
+	}
+	return false
+}
+
+// Close releases the journal handle. Call after Run has returned.
+func (m *Manager) Close() error {
+	return m.wal.close()
+}

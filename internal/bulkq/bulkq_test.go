@@ -1,0 +1,690 @@
+package bulkq
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// tarEntry describes one archive member for mkTar; typ defaults to a
+// regular file and size defaults to len(body).
+type tarEntry struct {
+	name string
+	body []byte
+	typ  byte
+	link string
+}
+
+// mkTar builds an in-memory tar (optionally gzipped) archive.
+func mkTar(t testing.TB, gz bool, entries []tarEntry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	var w io.Writer = &buf
+	var gzw *gzip.Writer
+	if gz {
+		gzw = gzip.NewWriter(&buf)
+		w = gzw
+	}
+	tw := tar.NewWriter(w)
+	for _, e := range entries {
+		typ := e.typ
+		if typ == 0 {
+			typ = tar.TypeReg
+		}
+		hdr := &tar.Header{Name: e.name, Mode: 0o644, Typeflag: typ,
+			Size: int64(len(e.body)), Linkname: e.link}
+		if err := tw.WriteHeader(hdr); err != nil {
+			t.Fatal(err)
+		}
+		if typ == tar.TypeReg && len(e.body) > 0 {
+			if _, err := tw.Write(e.body); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if gzw != nil {
+		if err := gzw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// corpusTar builds a plain tar of n distinct regular "binaries".
+func corpusTar(t testing.TB, n int) ([]byte, [][]byte) {
+	t.Helper()
+	images := make([][]byte, n)
+	entries := make([]tarEntry, n)
+	for i := range images {
+		images[i] = []byte(fmt.Sprintf("elf-image-%03d-%s", i, strings.Repeat("x", 64)))
+		entries[i] = tarEntry{name: fmt.Sprintf("bin-%03d.elf", i), body: images[i]}
+	}
+	return mkTar(t, false, entries), images
+}
+
+func shaHex(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// varsFor is the deterministic fake inference result for an image, so
+// resumed runs and control runs must agree byte for byte.
+func varsFor(image []byte) json.RawMessage {
+	return json.RawMessage(fmt.Sprintf(`[{"sha":%q}]`, shaHex(image)[:16]))
+}
+
+func okInfer(_ context.Context, image []byte) (json.RawMessage, string, int, error) {
+	return varsFor(image), "mtest", 1, nil
+}
+
+type tWriter struct{ t testing.TB }
+
+func (w tWriter) Write(p []byte) (int, error) {
+	w.t.Log(strings.TrimSuffix(string(p), "\n"))
+	return len(p), nil
+}
+
+func testLog(t testing.TB) *slog.Logger {
+	return slog.New(slog.NewTextHandler(tWriter{t}, nil))
+}
+
+// openMgr opens a queue at dir with test defaults; mut tweaks the config.
+func openMgr(t testing.TB, dir string, mut func(*Config)) *Manager {
+	t.Helper()
+	cfg := Config{Dir: dir, Workers: 2, Infer: okInfer, Log: testLog(t),
+		YieldPause: time.Millisecond}
+	if mut != nil {
+		mut(&cfg)
+	}
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// runMgr starts the worker pool and returns a stop function that drains
+// it and closes the journal. Safe to call once.
+func runMgr(t testing.TB, m *Manager) (stop func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.Run(ctx)
+	}()
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			cancel()
+			<-done
+			if err := m.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		})
+	}
+	t.Cleanup(stop)
+	return stop
+}
+
+func submit(t testing.TB, m *Manager, archive []byte) SubmitResult {
+	t.Helper()
+	res, err := m.Submit(bytes.NewReader(archive), trace.TraceID{}, trace.SpanID{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func waitJob(t testing.TB, m *Manager, id string, pred func(JobStatus) bool) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, ok := m.Job(id)
+		if ok && pred(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting on job %s: %+v", id, st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func settled(st JobStatus) bool { return st.Pending == 0 && st.Running == 0 }
+
+func resultLines(t testing.TB, m *Manager, id string) []ResultRecord {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Results(id, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var recs []ResultRecord
+	dec := json.NewDecoder(&buf)
+	for {
+		var rec ResultRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return recs
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// TestSubmitDrainResults is the package's happy path: a tar.gz corpus
+// in, every binary settled done, results streamed in manifest order with
+// the InferFunc's payload intact.
+func TestSubmitDrainResults(t *testing.T) {
+	archive, images := corpusTar(t, 5)
+	// Exercise the gzip sniff too.
+	var gzbuf bytes.Buffer
+	gzw := gzip.NewWriter(&gzbuf)
+	gzw.Write(archive)
+	gzw.Close()
+
+	m := openMgr(t, t.TempDir(), nil)
+	runMgr(t, m)
+
+	res := submit(t, m, gzbuf.Bytes())
+	if res.Job.Binaries != 5 || res.SkippedEntries != 0 {
+		t.Fatalf("submit: %+v", res)
+	}
+	st := waitJob(t, m, res.Job.ID, func(st JobStatus) bool { return st.State == "done" })
+	if st.Done != 5 || st.Failed != 0 || st.Resumed != 0 {
+		t.Fatalf("final status: %+v", st)
+	}
+
+	recs := resultLines(t, m, res.Job.ID)
+	if len(recs) != 5 {
+		t.Fatalf("results: %d lines, want 5", len(recs))
+	}
+	for i, rec := range recs {
+		want := ResultRecord{Index: i, Name: fmt.Sprintf("bin-%03d.elf", i),
+			SHA: shaHex(images[i]), State: binDone, Model: "mtest",
+			Attempts: 1, Vars: varsFor(images[i])}
+		if rec.Index != want.Index || rec.Name != want.Name || rec.SHA != want.SHA ||
+			rec.State != want.State || rec.Model != want.Model ||
+			rec.Attempts != want.Attempts || !bytes.Equal(rec.Vars, want.Vars) {
+			t.Fatalf("result %d: %+v, want %+v", i, rec, want)
+		}
+	}
+
+	if jobs := m.Jobs(); len(jobs) != 1 || jobs[0].ID != res.Job.ID {
+		t.Fatalf("jobs list: %+v", jobs)
+	}
+	if s := m.Summary(); s.Jobs != 1 || s.ByState["done"] != 1 || s.QueueDepth != 0 {
+		t.Fatalf("summary: %+v", s)
+	}
+}
+
+// Per-binary failures settle as failed without touching the rest of the
+// job, and the job still finishes.
+func TestBinaryFailureIsolated(t *testing.T) {
+	archive, images := corpusTar(t, 4)
+	poison := shaHex(images[2])
+	m := openMgr(t, t.TempDir(), func(c *Config) {
+		c.Infer = func(_ context.Context, image []byte) (json.RawMessage, string, int, error) {
+			if shaHex(image) == poison {
+				return nil, "", 2, errors.New("injected inference failure")
+			}
+			return varsFor(image), "mtest", 1, nil
+		}
+	})
+	runMgr(t, m)
+	res := submit(t, m, archive)
+	st := waitJob(t, m, res.Job.ID, func(st JobStatus) bool { return st.State == "done" })
+	if st.Done != 3 || st.Failed != 1 {
+		t.Fatalf("final status: %+v", st)
+	}
+	for _, rec := range resultLines(t, m, res.Job.ID) {
+		if rec.SHA == poison {
+			if rec.State != binFailed || rec.Error == "" || rec.Attempts != 2 {
+				t.Fatalf("poison record: %+v", rec)
+			}
+		} else if rec.State != binDone {
+			t.Fatalf("healthy record failed: %+v", rec)
+		}
+	}
+}
+
+// Ingest bounds: hostile members reject the whole archive, inert ones
+// (directories, links, empty files) are skipped and counted.
+func TestIngestBounds(t *testing.T) {
+	m := openMgr(t, t.TempDir(), func(c *Config) {
+		c.MaxEntries = 3
+		c.MaxEntrySize = 128
+	})
+	defer m.Close()
+
+	rejects := []struct {
+		name    string
+		entries []tarEntry
+	}{
+		{"zip-slip relative", []tarEntry{{name: "../evil.elf", body: []byte("x")}}},
+		{"zip-slip nested", []tarEntry{{name: "a/../../evil.elf", body: []byte("x")}}},
+		{"absolute path", []tarEntry{{name: "/etc/evil.elf", body: []byte("x")}}},
+		{"oversized entry", []tarEntry{{name: "big.elf", body: bytes.Repeat([]byte("y"), 129)}}},
+		{"too many entries", []tarEntry{
+			{name: "a", body: []byte("1")}, {name: "b", body: []byte("2")},
+			{name: "c", body: []byte("3")}, {name: "d", body: []byte("4")},
+		}},
+		{"no regular files", []tarEntry{{name: "dir/", typ: tar.TypeDir}}},
+	}
+	for _, tc := range rejects {
+		_, err := m.Submit(bytes.NewReader(mkTar(t, false, tc.entries)), trace.TraceID{}, trace.SpanID{})
+		var ie *IngestError
+		if !errors.As(err, &ie) {
+			t.Fatalf("%s: err = %v, want IngestError", tc.name, err)
+		}
+	}
+	// Garbage that is neither tar nor gzip.
+	if _, err := m.Submit(strings.NewReader("certainly not a tar archive, far too short and wrong"), trace.TraceID{}, trace.SpanID{}); err == nil {
+		t.Fatal("garbage archive admitted")
+	}
+
+	// Skipped-but-tolerated members.
+	res := submit(t, m, mkTar(t, false, []tarEntry{
+		{name: "dir/", typ: tar.TypeDir},
+		{name: "link", typ: tar.TypeSymlink, link: "/etc/passwd"},
+		{name: "hard", typ: tar.TypeLink, link: "dir/real.elf"},
+		{name: "empty.elf"},
+		{name: "./dir/real.elf", body: []byte("real-image-bytes")},
+	}))
+	if res.SkippedEntries != 4 || res.Job.Binaries != 1 {
+		t.Fatalf("submit: %+v", res)
+	}
+	st, _ := m.Job(res.Job.ID)
+	if st.Binaries != 1 {
+		t.Fatalf("job: %+v", st)
+	}
+
+	// The shape `tar -cf corpus.tar .` produces: a "./" root directory
+	// entry ahead of the files. The dir must skip, not reject.
+	res = submit(t, m, mkTar(t, false, []tarEntry{
+		{name: "./", typ: tar.TypeDir},
+		{name: "./bin.elf", body: []byte("root-dir-image")},
+	}))
+	if res.SkippedEntries != 1 || res.Job.Binaries != 1 {
+		t.Fatalf("tar -cf . shape: %+v", res)
+	}
+}
+
+// Cancel skips unstarted binaries; the one already running finishes and
+// keeps its result.
+func TestCancelSkipsPending(t *testing.T) {
+	archive, _ := corpusTar(t, 4)
+	started := make(chan struct{}, 8)
+	gate := make(chan struct{})
+	m := openMgr(t, t.TempDir(), func(c *Config) {
+		c.Workers = 1
+		c.Infer = func(ctx context.Context, image []byte) (json.RawMessage, string, int, error) {
+			started <- struct{}{}
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return nil, "", 1, ctx.Err()
+			}
+			return varsFor(image), "mtest", 1, nil
+		}
+	})
+	runMgr(t, m)
+	res := submit(t, m, archive)
+	<-started // binary 0 is in flight
+
+	st, err := m.Cancel(res.Job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "cancelled" || st.Skipped != 3 || st.Running != 1 {
+		t.Fatalf("status after cancel: %+v", st)
+	}
+	if _, err := m.Cancel(res.Job.ID); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	close(gate)
+	st = waitJob(t, m, res.Job.ID, settled)
+	if st.Done != 1 || st.Skipped != 3 || st.State != "cancelled" {
+		t.Fatalf("final status: %+v", st)
+	}
+	recs := resultLines(t, m, res.Job.ID)
+	if len(recs) != 4 || recs[0].State != binDone || recs[1].State != binSkipped {
+		t.Fatalf("results: %+v", recs)
+	}
+
+	if _, err := m.Cancel("jdeadbeef00000000"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("cancel unknown: %v", err)
+	}
+}
+
+// TestCrashResume is the tentpole invariant, in-process: kill the worker
+// pool mid-job (one binary in flight, half the corpus untouched), reopen
+// the same queue directory, and the new incarnation must (a) re-queue
+// exactly the unfinished binaries, (b) never call Infer again for the
+// completed ones, and (c) produce results byte-identical to a run that
+// was never interrupted.
+func TestCrashResume(t *testing.T) {
+	dir := t.TempDir()
+	archive, images := corpusTar(t, 6)
+
+	var completed atomic.Int32
+	infer1 := func(ctx context.Context, image []byte) (json.RawMessage, string, int, error) {
+		if completed.Load() >= 2 {
+			<-ctx.Done() // simulate a binary in flight when the daemon dies
+			return nil, "", 1, ctx.Err()
+		}
+		completed.Add(1)
+		return varsFor(image), "mtest", 1, nil
+	}
+	m1 := openMgr(t, dir, func(c *Config) { c.Workers = 1; c.Infer = infer1 })
+	stop1 := runMgr(t, m1)
+	res := submit(t, m1, archive)
+	id := res.Job.ID
+	waitJob(t, m1, id, func(st JobStatus) bool { return st.Done == 2 && st.Running == 1 })
+	firstResults := resultLines(t, m1, id)
+	stop1() // cancels the context: the in-flight binary is abandoned, not journaled
+
+	if len(firstResults) != 2 {
+		t.Fatalf("settled before crash: %d, want 2", len(firstResults))
+	}
+	doneSHAs := map[string]bool{firstResults[0].SHA: true, firstResults[1].SHA: true}
+
+	// Second incarnation: replay, then finish the job.
+	var recomputed []string
+	var mu sync.Mutex
+	infer2 := func(_ context.Context, image []byte) (json.RawMessage, string, int, error) {
+		if sha := shaHex(image); doneSHAs[sha] {
+			mu.Lock()
+			recomputed = append(recomputed, sha)
+			mu.Unlock()
+		}
+		return varsFor(image), "mtest", 1, nil
+	}
+	m2 := openMgr(t, dir, func(c *Config) { c.Infer = infer2 })
+	if got := m2.Resumed(); got != 4 {
+		t.Fatalf("resumed counter after replay: %d, want 4", got)
+	}
+	st, ok := m2.Job(id)
+	if !ok || st.Done != 2 || st.Pending != 4 || st.Resumed != 4 {
+		t.Fatalf("replayed status: %+v (ok=%v)", st, ok)
+	}
+	runMgr(t, m2)
+	st = waitJob(t, m2, id, func(st JobStatus) bool { return st.State == "done" })
+	if st.Done != 6 || st.Failed != 0 {
+		t.Fatalf("resumed final status: %+v", st)
+	}
+	if len(recomputed) != 0 {
+		t.Fatalf("completed binaries recomputed after resume: %v", recomputed)
+	}
+
+	// Byte-identical to an uninterrupted run of the same corpus.
+	var resumedBuf bytes.Buffer
+	if err := m2.Results(id, &resumedBuf); err != nil {
+		t.Fatal(err)
+	}
+	mc := openMgr(t, t.TempDir(), nil)
+	runMgr(t, mc)
+	cres := submit(t, mc, archive)
+	waitJob(t, mc, cres.Job.ID, func(st JobStatus) bool { return st.State == "done" })
+	var controlBuf bytes.Buffer
+	if err := mc.Results(cres.Job.ID, &controlBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumedBuf.Bytes(), controlBuf.Bytes()) {
+		t.Fatalf("resumed results differ from uninterrupted run:\n%s\nvs\n%s",
+			resumedBuf.Bytes(), controlBuf.Bytes())
+	}
+	_ = images
+}
+
+// A torn journal tail (the half-written line a SIGKILL leaves) is
+// dropped, settled results survive, and Open compacts the journal to a
+// minimal snapshot.
+func TestTornTailAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	archive, _ := corpusTar(t, 2)
+	m1 := openMgr(t, dir, nil)
+	stop1 := runMgr(t, m1)
+	res := submit(t, m1, archive)
+	waitJob(t, m1, res.Job.ID, func(st JobStatus) bool { return st.State == "done" })
+	stop1()
+
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"t":"bin","id":"jtorn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	m2 := openMgr(t, dir, nil)
+	defer m2.Close()
+	st, ok := m2.Job(res.Job.ID)
+	if !ok || st.Done != 2 || st.State != "done" || st.Resumed != 0 {
+		t.Fatalf("status after torn-tail replay: %+v (ok=%v)", st, ok)
+	}
+	// The compacted journal is exactly: one admission + two terminal
+	// records. No running records, no jobdone marker, no torn bytes.
+	data, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if len(lines) != 3 {
+		t.Fatalf("compacted journal has %d lines, want 3:\n%s", len(lines), data)
+	}
+	for _, line := range lines {
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("compacted journal line %q: %v", line, err)
+		}
+		if rec.T == "bin" && rec.State != binDone {
+			t.Fatalf("non-terminal record survived compaction: %s", line)
+		}
+	}
+}
+
+// The Yield hook starves the bulk drain while interactive traffic needs
+// the substrate.
+func TestYieldDefersToInteractive(t *testing.T) {
+	archive, _ := corpusTar(t, 3)
+	var busy atomic.Bool
+	busy.Store(true)
+	m := openMgr(t, t.TempDir(), func(c *Config) {
+		c.Yield = busy.Load
+	})
+	runMgr(t, m)
+	res := submit(t, m, archive)
+	time.Sleep(30 * time.Millisecond)
+	if st, _ := m.Job(res.Job.ID); st.Done != 0 {
+		t.Fatalf("bulk work ran while yielding: %+v", st)
+	}
+	busy.Store(false)
+	waitJob(t, m, res.Job.ID, func(st JobStatus) bool { return st.State == "done" })
+}
+
+// Spool hygiene: identical images spool once, and Open sweeps temp files
+// and unreferenced blobs while keeping live ones.
+func TestSpoolDedupAndSweep(t *testing.T) {
+	dir := t.TempDir()
+	img := []byte("the-one-binary-image")
+	archive := mkTar(t, false, []tarEntry{
+		{name: "a.elf", body: img}, {name: "b.elf", body: img},
+	})
+	m1 := openMgr(t, dir, nil)
+	stop1 := runMgr(t, m1)
+	res := submit(t, m1, archive)
+	waitJob(t, m1, res.Job.ID, func(st JobStatus) bool { return st.State == "done" })
+	stop1()
+
+	spool := filepath.Join(dir, spoolDir)
+	ents, err := os.ReadDir(spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != shaHex(img) {
+		t.Fatalf("spool after dedup: %v", ents)
+	}
+	// Litter: a crashed ingest temp file and an orphaned blob.
+	os.WriteFile(filepath.Join(spool, "ingest-123.tmp"), []byte("junk"), 0o644)
+	os.WriteFile(filepath.Join(spool, strings.Repeat("ab", 32)), []byte("orphan"), 0o644)
+
+	m2 := openMgr(t, dir, nil)
+	defer m2.Close()
+	ents, err = os.ReadDir(spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != shaHex(img) {
+		t.Fatalf("spool after sweep: %v", ents)
+	}
+}
+
+// The HTTP surface end to end: submit, poll, stream results, cancel,
+// and the 400/404/413 edges.
+func TestHTTPEndpoints(t *testing.T) {
+	m := openMgr(t, t.TempDir(), func(c *Config) { c.MaxBody = 4096 })
+	runMgr(t, m)
+	mux := http.NewServeMux()
+	m.Mount(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	archive, _ := corpusTar(t, 3)
+	resp, err := http.Post(ts.URL+"/v1/bulk", "application/x-tar", bytes.NewReader(archive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub SubmitResult
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted || sub.Job.Binaries != 3 {
+		t.Fatalf("submit: code=%d err=%v sub=%+v", resp.StatusCode, err, sub)
+	}
+	id := sub.Job.ID
+
+	waitJob(t, m, id, func(st JobStatus) bool { return st.State == "done" })
+	resp, err = http.Get(ts.URL + "/v1/bulk/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil || st.Done != 3 {
+		t.Fatalf("status: err=%v st=%+v", err, st)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/bulk/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("results content-type %q", ct)
+	}
+	if n := bytes.Count(bytes.TrimSpace(body), []byte("\n")) + 1; n != 3 {
+		t.Fatalf("results: %d lines, want 3:\n%s", n, body)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/bulk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if err != nil || len(list.Jobs) != 1 {
+		t.Fatalf("list: err=%v %+v", err, list)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/bulk/"+id, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d", resp.StatusCode)
+	}
+
+	for _, path := range []string{"/v1/bulk/jnope", "/v1/bulk/jnope/results"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s: %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	// Garbage body → 400 with the JSON error envelope.
+	resp, err = http.Post(ts.URL+"/v1/bulk", "application/x-tar",
+		strings.NewReader("this is not a tar archive at all, not even close"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb errorBody
+	err = json.NewDecoder(resp.Body).Decode(&eb)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusBadRequest || eb.Error == "" {
+		t.Fatalf("garbage submit: code=%d err=%v body=%+v", resp.StatusCode, err, eb)
+	}
+
+	// Oversized body → 413, cut off mid-stream by MaxBytesReader.
+	big := mkTar(t, false, []tarEntry{{name: "big.elf", body: bytes.Repeat([]byte("z"), 16<<10)}})
+	resp, err = http.Post(ts.URL+"/v1/bulk", "application/x-tar", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit: %d, want 413", resp.StatusCode)
+	}
+}
+
+// Submitted jobs survive a restart even if no worker ever ran: Open
+// re-queues the whole manifest and counts it resumed.
+func TestResumeNeverStarted(t *testing.T) {
+	dir := t.TempDir()
+	archive, _ := corpusTar(t, 3)
+	m1 := openMgr(t, dir, nil)
+	res := submit(t, m1, archive) // journaled; workers never started
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := openMgr(t, dir, nil)
+	runMgr(t, m2)
+	st := waitJob(t, m2, res.Job.ID, func(st JobStatus) bool { return st.State == "done" })
+	if st.Done != 3 || st.Resumed != 3 {
+		t.Fatalf("resumed status: %+v", st)
+	}
+}

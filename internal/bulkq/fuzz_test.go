@@ -1,0 +1,108 @@
+package bulkq
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fuzzTar hand-builds seed archives without a *testing.T (seeds are
+// added outside the fuzz body).
+func fuzzTar(gz bool, entries []tarEntry) []byte {
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	for _, e := range entries {
+		typ := e.typ
+		if typ == 0 {
+			typ = tar.TypeReg
+		}
+		_ = tw.WriteHeader(&tar.Header{Name: e.name, Mode: 0o644,
+			Typeflag: typ, Size: int64(len(e.body)), Linkname: e.link})
+		if typ == tar.TypeReg {
+			_, _ = tw.Write(e.body)
+		}
+	}
+	_ = tw.Close()
+	if !gz {
+		return buf.Bytes()
+	}
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	_, _ = zw.Write(buf.Bytes())
+	_ = zw.Close()
+	return zbuf.Bytes()
+}
+
+// FuzzBulkIngest throws arbitrary bytes at the archive ingest path and
+// holds it to its contract: no panic, hostile input fails with an
+// IngestError (never a filesystem fault), and whatever is admitted is
+// fully sanitized — clean relative names, bounded sizes, and spool blobs
+// that really are the content their address claims.
+func FuzzBulkIngest(f *testing.F) {
+	const maxEntries, maxEntry = 8, 4096
+	img := []byte("fuzz-image-bytes")
+	f.Add(fuzzTar(false, []tarEntry{{name: "ok.elf", body: img}}))
+	f.Add(fuzzTar(true, []tarEntry{{name: "dir/ok.elf", body: img}}))
+	f.Add(fuzzTar(false, []tarEntry{{name: "../slip.elf", body: img}}))
+	f.Add(fuzzTar(false, []tarEntry{{name: "/abs.elf", body: img}}))
+	f.Add(fuzzTar(false, []tarEntry{{name: "a/../../slip.elf", body: img}}))
+	f.Add(fuzzTar(false, []tarEntry{
+		{name: "./", typ: tar.TypeDir}, {name: "./ok.elf", body: img}}))
+	f.Add(fuzzTar(false, []tarEntry{
+		{name: "sym", typ: tar.TypeSymlink, link: "/etc/passwd"},
+		{name: "hard", typ: tar.TypeLink, link: "ok.elf"},
+		{name: "empty.elf"},
+		{name: "ok.elf", body: img},
+	}))
+	f.Add(fuzzTar(false, []tarEntry{{name: "big.elf", body: bytes.Repeat([]byte("b"), maxEntry+1)}}))
+	full := fuzzTar(false, []tarEntry{{name: "trunc.elf", body: bytes.Repeat([]byte("t"), 2048)}})
+	f.Add(full[:600])         // truncated mid-entry
+	f.Add(full[:100])         // truncated mid-header
+	f.Add([]byte{0x1f, 0x8b}) // gzip magic, no stream
+	f.Add([]byte("plain garbage, neither tar nor gzip"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.MkdirAll(filepath.Join(dir, spoolDir), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		manifest, skipped, err := ingest(dir, bytes.NewReader(data), maxEntries, maxEntry)
+		if err != nil {
+			var ie *IngestError
+			if !errors.As(err, &ie) {
+				t.Fatalf("rejection is not an IngestError: %v", err)
+			}
+			return
+		}
+		if len(manifest) == 0 {
+			t.Fatalf("nil error with empty manifest (skipped=%d)", skipped)
+		}
+		if len(manifest) > maxEntries {
+			t.Fatalf("manifest has %d entries, limit %d", len(manifest), maxEntries)
+		}
+		for _, e := range manifest {
+			if e.name == "" || strings.HasPrefix(e.name, "/") || strings.HasPrefix(e.name, "../") ||
+				e.name == ".." || strings.Contains(e.name, "/../") {
+				t.Fatalf("unsanitized name admitted: %q", e.name)
+			}
+			if e.size <= 0 || e.size > maxEntry {
+				t.Fatalf("entry %q: size %d out of bounds", e.name, e.size)
+			}
+			blob, err := os.ReadFile(filepath.Join(dir, spoolDir, e.sha))
+			if err != nil {
+				t.Fatalf("entry %q: spool blob missing: %v", e.name, err)
+			}
+			sum := sha256.Sum256(blob)
+			if hex.EncodeToString(sum[:]) != e.sha || int64(len(blob)) != e.size {
+				t.Fatalf("entry %q: spool blob does not match its address", e.name)
+			}
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package bulkq
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/trace"
+)
+
+// errorBody is the JSON error envelope, shape-compatible with the serve
+// daemon's ErrorResponse so bulk clients parse one schema.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// httpJSON writes v as a JSON response with the given status.
+func httpJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// httpError writes a JSON error envelope.
+func httpError(w http.ResponseWriter, code int, msg string) {
+	httpJSON(w, code, errorBody{Error: msg})
+}
+
+// Mount registers the bulk API on mux:
+//
+//	POST   /v1/bulk               submit a tar/tar.gz corpus (202)
+//	GET    /v1/bulk               list jobs
+//	GET    /v1/bulk/{id}          one job's status
+//	GET    /v1/bulk/{id}/results  settled binaries as JSON lines
+//	DELETE /v1/bulk/{id}          cancel
+func (m *Manager) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/bulk", m.handleSubmit)
+	mux.HandleFunc("GET /v1/bulk", m.handleList)
+	mux.HandleFunc("GET /v1/bulk/{id}", m.handleJob)
+	mux.HandleFunc("GET /v1/bulk/{id}/results", m.handleResults)
+	mux.HandleFunc("DELETE /v1/bulk/{id}", m.handleCancel)
+}
+
+// handleSubmit is POST /v1/bulk: stream the archive into the spool,
+// journal the job, answer 202 with the job's initial status. The
+// bulk.ingest span covers the upload + spool; each binary later runs
+// under a bulk.binary child of this span, so the whole corpus hangs off
+// one trace.
+func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	_, span := trace.StartFromRequest(r, "bulk.ingest")
+	defer span.End()
+
+	// MaxBytesReader hard-stops oversized uploads mid-stream: the
+	// connection is poisoned after the limit, and the client gets 413
+	// instead of the daemon an OOM.
+	body := http.MaxBytesReader(w, r.Body, m.cfg.MaxBody)
+	res, err := m.Submit(body, span.TraceID(), span.ID())
+	if err != nil {
+		span.SetError(err)
+		var maxErr *http.MaxBytesError
+		var ingErr *IngestError
+		switch {
+		case errors.As(err, &maxErr):
+			httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+		case errors.As(err, &ingErr):
+			httpError(w, http.StatusBadRequest, err.Error())
+		default:
+			httpError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	span.SetAttr(trace.String("job", res.Job.ID),
+		trace.Int("binaries", res.Job.Binaries),
+		trace.Int("skipped_entries", res.SkippedEntries))
+	httpJSON(w, http.StatusAccepted, res)
+}
+
+// handleList is GET /v1/bulk.
+func (m *Manager) handleList(w http.ResponseWriter, _ *http.Request) {
+	httpJSON(w, http.StatusOK, struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{m.Jobs()})
+}
+
+// handleJob is GET /v1/bulk/{id}.
+func (m *Manager) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := m.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	httpJSON(w, http.StatusOK, st)
+}
+
+// handleResults is GET /v1/bulk/{id}/results: JSON lines, one settled
+// binary per line, manifest order. Pending/running binaries are absent —
+// poll the status endpoint for completion first (or stream early for a
+// progress view; the endpoint is safe to call any time).
+func (m *Manager) handleResults(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := m.Job(id); !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := m.Results(id, w); err != nil && !errors.Is(err, ErrUnknownJob) {
+		// Mid-stream write error: the status line is gone; just log.
+		m.cfg.Log.Warn("bulk results stream failed", "job", id, "error", err)
+	}
+}
+
+// handleCancel is DELETE /v1/bulk/{id}.
+func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := m.Cancel(r.PathValue("id"))
+	if err != nil {
+		if errors.Is(err, ErrUnknownJob) {
+			httpError(w, http.StatusNotFound, "unknown job")
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	httpJSON(w, http.StatusOK, st)
+}

@@ -1,0 +1,213 @@
+package bulkq
+
+import (
+	"archive/tar"
+	"bufio"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"path/filepath"
+	"strings"
+)
+
+// spoolDir is the content-addressed image store inside a queue
+// directory: one file per distinct binary, named by its SHA-256. Jobs
+// reference images by hash, so a corpus re-submitted (or two jobs
+// sharing system libraries) spools each image exactly once, and a
+// hostile archive entry name can never influence where bytes land on
+// disk — the name is display metadata, nothing more.
+const spoolDir = "spool"
+
+// IngestError reports a rejected archive: the entry that broke the
+// bounds (when one did) and why. The HTTP layer maps it to 400 —
+// deterministic input problems, not server faults. Cause, when set,
+// carries the underlying read error so wrappers like
+// http.MaxBytesError stay reachable through errors.As (an oversized
+// upload must answer 413, not 400).
+type IngestError struct {
+	Entry  string
+	Reason string
+	Cause  error
+}
+
+func (e *IngestError) Error() string {
+	if e.Entry == "" {
+		return "bulkq: " + e.Reason
+	}
+	return fmt.Sprintf("bulkq: entry %q: %s", e.Entry, e.Reason)
+}
+
+func (e *IngestError) Unwrap() error { return e.Cause }
+
+// manifestEntry is one accepted archive entry, spooled and hashed.
+type manifestEntry struct {
+	name string
+	sha  string
+	size int64
+}
+
+// gzipMagic sniffs the two-byte gzip signature so /v1/bulk accepts both
+// plain tar and tar.gz without a content-type contract.
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// ingest streams a tar or tar.gz archive into the spool, enforcing
+// entry-count and entry-size bounds and sanitizing names. Regular files
+// become manifest entries; directories, symlinks, hardlinks and
+// zero-length entries are skipped (counted); entries whose names escape
+// the archive root (absolute or ../) and entries over maxEntry bytes
+// reject the whole archive — a bulk job is one corpus, and a corpus with
+// hostile members is refused, not silently thinned.
+func ingest(dir string, r io.Reader, maxEntries int, maxEntry int64) (manifest []manifestEntry, skipped int, err error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == gzipMagic[0] && magic[1] == gzipMagic[1] {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, 0, &IngestError{Reason: "bad gzip stream: " + err.Error(), Cause: err}
+		}
+		defer gz.Close()
+		return ingestTar(dir, gz, maxEntries, maxEntry)
+	}
+	return ingestTar(dir, br, maxEntries, maxEntry)
+}
+
+// ingestTar is the tar walk behind ingest.
+func ingestTar(dir string, r io.Reader, maxEntries int, maxEntry int64) (manifest []manifestEntry, skipped int, err error) {
+	tr := tar.NewReader(r)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, &IngestError{Reason: "reading archive: " + err.Error(), Cause: err}
+		}
+		if hdr.Typeflag == tar.TypeDir {
+			// Directories only structure the archive and their names are
+			// never reported, so they skip before sanitization — `tar -cf
+			// corpus.tar .` emits a "./" root entry that must not reject
+			// the archive.
+			skipped++
+			continue
+		}
+		name, ok := sanitizeName(hdr.Name)
+		if !ok {
+			return nil, 0, &IngestError{Entry: hdr.Name, Reason: "name escapes the archive root"}
+		}
+		if hdr.Typeflag != tar.TypeReg {
+			// Links and specials have no content to infer on (and
+			// following them is exactly the class of surprise a spool
+			// must not have).
+			skipped++
+			continue
+		}
+		if hdr.Size == 0 {
+			skipped++
+			continue
+		}
+		if hdr.Size > maxEntry {
+			return nil, 0, &IngestError{Entry: hdr.Name,
+				Reason: fmt.Sprintf("entry is %d bytes (limit %d)", hdr.Size, maxEntry)}
+		}
+		if len(manifest) >= maxEntries {
+			return nil, 0, &IngestError{Reason: fmt.Sprintf("archive exceeds %d entries", maxEntries)}
+		}
+		// LimitReader belts the header's claim: a forged Size cannot make
+		// the spool write unboundedly.
+		image, err := io.ReadAll(io.LimitReader(tr, maxEntry+1))
+		if err != nil {
+			return nil, 0, &IngestError{Entry: hdr.Name, Reason: "reading entry: " + err.Error(), Cause: err}
+		}
+		if int64(len(image)) > maxEntry {
+			return nil, 0, &IngestError{Entry: hdr.Name,
+				Reason: fmt.Sprintf("entry exceeds %d bytes", maxEntry)}
+		}
+		sha, err := spoolPut(dir, image)
+		if err != nil {
+			return nil, 0, err
+		}
+		manifest = append(manifest, manifestEntry{name: name, sha: sha, size: int64(len(image))})
+	}
+	if len(manifest) == 0 {
+		return nil, 0, &IngestError{Reason: "archive holds no regular files"}
+	}
+	return manifest, skipped, nil
+}
+
+// sanitizeName cleans an archive entry name for display and rejects
+// escapes. The spool never uses the name as a path, so this guards the
+// API surface (status/results reports), not the filesystem.
+func sanitizeName(name string) (string, bool) {
+	name = strings.TrimPrefix(name, "./")
+	clean := path.Clean(name)
+	if clean == "." || clean == ".." || strings.HasPrefix(clean, "../") || strings.HasPrefix(clean, "/") {
+		return "", false
+	}
+	return clean, true
+}
+
+// spoolPut stores one image content-addressed: write to a temp file,
+// rename to spool/<sha256>. An image already spooled (same hash, same
+// size) is not rewritten. The rename is atomic, so a crash mid-write
+// leaves only a temp file that the next Open sweeps, never a truncated
+// addressed blob.
+func spoolPut(dir string, image []byte) (string, error) {
+	sum := sha256.Sum256(image)
+	sha := hex.EncodeToString(sum[:])
+	dst := filepath.Join(dir, spoolDir, sha)
+	if st, err := os.Stat(dst); err == nil && st.Size() == int64(len(image)) {
+		return sha, nil
+	}
+	tmp, err := os.CreateTemp(filepath.Join(dir, spoolDir), "ingest-*.tmp")
+	if err != nil {
+		return "", fmt.Errorf("bulkq: spool: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(image); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("bulkq: spool: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("bulkq: spool: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("bulkq: spool: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return "", fmt.Errorf("bulkq: spool: %w", err)
+	}
+	return sha, nil
+}
+
+// spoolGet reads one spooled image back by hash.
+func spoolGet(dir, sha string) ([]byte, error) {
+	image, err := os.ReadFile(filepath.Join(dir, spoolDir, sha))
+	if err != nil {
+		return nil, fmt.Errorf("bulkq: spool: %w", err)
+	}
+	return image, nil
+}
+
+// sweepSpool removes ingest temp files a crash left behind and every
+// addressed blob no live job references. Runs during Open, after replay
+// decided which jobs (and so which hashes) still exist.
+func sweepSpool(dir string, live map[string]bool) error {
+	entries, err := os.ReadDir(filepath.Join(dir, spoolDir))
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") || !live[name] {
+			if err := os.Remove(filepath.Join(dir, spoolDir, name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package bulkq
+
+import "repro/internal/telemetry"
+
+// Bulk-queue telemetry. Queue depth and per-state job counts are the
+// capacity-planning signals; the binaries counter (rate() gives
+// binaries/sec) and the per-binary latency histogram describe drain
+// throughput; the resume counter proves crash recovery actually runs in
+// production instead of silently recomputing.
+var (
+	mQueueDepth = telemetry.Default().Gauge("cati_bulk_queue_depth",
+		"Binaries admitted to the bulk work queue and not yet executing.")
+	mBinarySeconds = telemetry.Default().Histogram("cati_bulk_binary_seconds",
+		"Per-binary bulk inference latency, spool read included.",
+		telemetry.StageBuckets)
+	mResumed = telemetry.Default().Counter("cati_bulk_resumed_total",
+		"Binaries re-queued by journal replay after a restart.")
+	mIngested = telemetry.Default().Counter("cati_bulk_ingested_total",
+		"Archive entries accepted into the spool across all jobs.")
+)
+
+// countBinary records one settled binary by outcome (done/failed/skipped).
+func countBinary(outcome string) {
+	if !telemetry.On() {
+		return
+	}
+	telemetry.Default().Counter("cati_bulk_binaries_total",
+		"Bulk-queue binaries settled, by outcome.", "outcome", outcome).Inc()
+}
+
+// setJobsGauge publishes the per-state job counts.
+func setJobsGauge(state string, n int) {
+	if !telemetry.On() {
+		return
+	}
+	telemetry.Default().Gauge("cati_bulk_jobs",
+		"Bulk jobs currently known to the queue, by state.", "state", state).Set(int64(n))
+}

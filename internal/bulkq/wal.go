@@ -1,0 +1,180 @@
+package bulkq
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// walName is the journal file inside a queue directory. Everything the
+// queue must survive a crash with goes through this one append-only file;
+// the spool holds only content-addressed binary images, which are
+// immutable once written.
+const walName = "wal.jsonl"
+
+// walRecord is one journal line. A single record type with optional
+// fields keeps replay a one-pass switch; the "t" discriminator says which
+// fields are meaningful:
+//
+//	t=job     a job was admitted: the full manifest (names/shas/sizes,
+//	          parallel slices indexed by binary) plus the submitting
+//	          request's trace linkage
+//	t=bin     one binary's state transition: s=running when a worker
+//	          picks it up, s=done (with the result payload) or s=failed
+//	          (with the error) when it settles
+//	t=cancel  the job was cancelled; non-terminal binaries are skipped
+//	t=jobdone every binary reached a terminal state (redundant with the
+//	          bin records — replay derives completion — but it makes the
+//	          journal greppable and cheap to audit)
+type walRecord struct {
+	T  string `json:"t"`
+	ID string `json:"id"`
+
+	// t=job fields.
+	Names []string `json:"names,omitempty"`
+	SHAs  []string `json:"shas,omitempty"`
+	Sizes []int64  `json:"sizes,omitempty"`
+	Trace string   `json:"trace,omitempty"`
+	Span  string   `json:"span,omitempty"`
+	At    int64    `json:"at,omitempty"` // unix milliseconds
+
+	// t=bin fields. Index has no omitempty: binary 0 must round-trip.
+	Index    int             `json:"i"`
+	State    string          `json:"s,omitempty"`
+	Attempts int             `json:"a,omitempty"`
+	Model    string          `json:"model,omitempty"`
+	Vars     json.RawMessage `json:"vars,omitempty"`
+	Err      string          `json:"err,omitempty"`
+}
+
+// wal is the append side of the journal: one writer, serialized appends,
+// fsync per record. A record is the unit of durability — a binary's done
+// record is synced before the in-memory state flips, so a crash at any
+// instant loses at most the work currently in flight, never a completed
+// result. At bulk-queue rates (one append per multi-millisecond
+// inference) the fsync is noise.
+type wal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openWAL opens (creating if needed) the journal for appending.
+func openWAL(dir string) (*wal, error) {
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("bulkq: journal: %w", err)
+	}
+	return &wal{f: f}, nil
+}
+
+// append journals one record: marshal, write with trailing newline, sync.
+func (w *wal) append(rec walRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("bulkq: journal: %w", err)
+	}
+	line = append(line, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("bulkq: journal append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("bulkq: journal sync: %w", err)
+	}
+	return nil
+}
+
+// close closes the append handle.
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// readWAL replays the journal at dir into records. A torn tail — the
+// half-written line a SIGKILL mid-append leaves — is expected and
+// silently dropped; replay stops at the first undecodable line, returning
+// everything before it plus how many lines were discarded.
+func readWAL(dir string) (recs []walRecord, dropped int, err error) {
+	f, err := os.Open(filepath.Join(dir, walName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("bulkq: journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 64*1024*1024)
+	lines := 0
+	bad := false
+	for sc.Scan() {
+		lines++
+		if bad {
+			dropped++
+			continue
+		}
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Anything after an undecodable line is untrustworthy: the
+			// append order is the replay order.
+			bad = true
+			dropped++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil && err != io.EOF {
+		// An oversized or unterminated final line: same torn-tail story.
+		dropped++
+	}
+	return recs, dropped, nil
+}
+
+// compact rewrites the journal as a minimal snapshot of the given
+// records: job manifests, terminal binary records and cancellations.
+// Running records (now resumed), jobdone markers and anything else
+// transient is dropped. Written to a temp file and renamed over the
+// journal, so a crash mid-compaction leaves either the old journal or
+// the new one, never a mix. The caller must not hold an open append
+// handle (compaction runs during Open, before the wal is opened).
+func compactWAL(dir string, recs []walRecord) error {
+	tmp, err := os.CreateTemp(dir, walName+".tmp")
+	if err != nil {
+		return fmt.Errorf("bulkq: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename lands
+	bw := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(bw)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			tmp.Close()
+			return fmt.Errorf("bulkq: compact: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("bulkq: compact: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("bulkq: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("bulkq: compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, walName)); err != nil {
+		return fmt.Errorf("bulkq: compact: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package fleet
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/serve"
+)
+
+// bulkInfer is the router's bulkq.InferFunc: each binary of a bulk job
+// rides the same degradation ladder as an interactive /v1/infer —
+// consistent-hash owner first (cache affinity: a corpus re-submitted
+// lands each binary on the shard already warm for it), then retry,
+// hedge, peer fill and local fallback. The replica's JSON response
+// passes through as raw vars; a deterministic 4xx from the owner (bad
+// ELF, arch mismatch) becomes the binary's failure without burning
+// fleet retries, exactly like the interactive path.
+func (rt *Router) bulkInfer(ctx context.Context, image []byte) (json.RawMessage, string, int, error) {
+	sum := sha256.Sum256(image)
+	out := rt.route(ctx, sum, image)
+	if out.err != nil {
+		return nil, "", 1, fmt.Errorf("fleet: all replicas failed: %w", out.err)
+	}
+	if out.code != http.StatusOK {
+		var er serve.ErrorResponse
+		if json.Unmarshal(out.body, &er) == nil && er.Error != "" {
+			attempts := er.Attempts
+			if attempts == 0 {
+				attempts = 1
+			}
+			model := er.Model
+			if model == "" {
+				model = out.model
+			}
+			return nil, model, attempts, errors.New(er.Error)
+		}
+		return nil, out.model, 1, fmt.Errorf("fleet: replica answered %d", out.code)
+	}
+	var resp struct {
+		Model string          `json:"model"`
+		Vars  json.RawMessage `json:"vars"`
+	}
+	if err := json.Unmarshal(out.body, &resp); err != nil {
+		return nil, out.model, 1, fmt.Errorf("fleet: parsing replica response: %w", err)
+	}
+	if resp.Model == "" {
+		resp.Model = out.model
+	}
+	return resp.Vars, resp.Model, 1, nil
+}

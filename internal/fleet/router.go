@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bulkq"
 	"repro/internal/core"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
@@ -83,6 +84,18 @@ type Config struct {
 	Workers int
 	// MaxBody caps an uploaded image's size in bytes (default 64 MiB).
 	MaxBody int64
+	// BulkDir, when set, enables the durable bulk-analysis queue on the
+	// router: /v1/bulk jobs spool here and each binary is dispatched to
+	// its consistent-hash owner replica. Empty disables the bulk API.
+	BulkDir string
+	// BulkWorkers is the bulk dispatch concurrency (default 2).
+	BulkWorkers int
+	// MaxBulkBody caps one /v1/bulk archive upload (default 512 MiB).
+	MaxBulkBody int64
+	// BulkMaxEntries / BulkMaxEntrySize bound one bulk archive (defaults
+	// 1024 entries, 64 MiB per entry).
+	BulkMaxEntries   int
+	BulkMaxEntrySize int64
 	// Log receives structured diagnostics (default slog.Default()).
 	Log *slog.Logger
 	// Client issues forwarded requests and fill probes (default: a fresh
@@ -168,6 +181,9 @@ type Status struct {
 	LocalFallbacks uint64 `json:"local_fallbacks"`
 	// FallbackModel is the local model's fingerprint ("" without one).
 	FallbackModel string `json:"fallback_model,omitempty"`
+	// Bulk summarizes the router's bulk queue (absent when -bulk-dir is
+	// unset).
+	Bulk *bulkq.Summary `json:"bulk,omitempty"`
 }
 
 // Router consistent-hashes /v1/infer requests across the replica set
@@ -179,6 +195,7 @@ type Router struct {
 	ring    *ring
 	members []*member
 	prober  *prober
+	bulk    *bulkq.Manager
 
 	// localInfer is the last-rung fallback (nil without FallbackModel);
 	// tests substitute canned results.
@@ -198,6 +215,7 @@ type Router struct {
 	runCtx    context.Context
 	runCancel context.CancelFunc
 	probeDone chan struct{}
+	bulkDone  chan struct{}
 }
 
 // New builds a Router from cfg; the fallback model (if any) is loaded
@@ -241,6 +259,22 @@ func New(cfg Config) (*Router, error) {
 		}
 	}
 	mux := http.NewServeMux()
+	if cfg.BulkDir != "" {
+		mgr, err := bulkq.Open(bulkq.Config{
+			Dir:          cfg.BulkDir,
+			Workers:      cfg.BulkWorkers,
+			MaxEntries:   cfg.BulkMaxEntries,
+			MaxEntrySize: cfg.BulkMaxEntrySize,
+			MaxBody:      cfg.MaxBulkBody,
+			Infer:        rt.bulkInfer,
+			Log:          cfg.Log,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rt.bulk = mgr
+		mgr.Mount(mux)
+	}
 	mux.HandleFunc("POST /v1/infer", rt.handleInfer)
 	mux.HandleFunc("GET /v1/fleet", rt.handleFleet)
 	mux.HandleFunc("GET /v1/fleet/metrics", rt.handleFleetMetrics)
@@ -268,6 +302,13 @@ func (rt *Router) Start(addr string) error {
 		defer close(rt.probeDone)
 		rt.prober.run(rt.runCtx)
 	}()
+	if rt.bulk != nil {
+		rt.bulkDone = make(chan struct{})
+		go func() {
+			defer close(rt.bulkDone)
+			rt.bulk.Run(rt.runCtx)
+		}()
+	}
 	go func() { _ = rt.httpSrv.Serve(lis) }()
 	rt.cfg.Log.Info("fleet router listening", "addr", rt.Addr,
 		"replicas", len(rt.members), "vnodes", rt.cfg.Vnodes,
@@ -277,12 +318,19 @@ func (rt *Router) Start(addr string) error {
 	return nil
 }
 
-// Shutdown drains the HTTP side, then stops the prober.
+// Shutdown drains the HTTP side, then stops the prober and the bulk
+// workers (in-flight bulk binaries resume after restart).
 func (rt *Router) Shutdown(ctx context.Context) error {
 	err := rt.httpSrv.Shutdown(ctx)
 	if rt.runCancel != nil {
 		rt.runCancel()
 		<-rt.probeDone
+		if rt.bulkDone != nil {
+			<-rt.bulkDone
+		}
+	}
+	if rt.bulk != nil {
+		_ = rt.bulk.Close()
 	}
 	return err
 }
@@ -293,6 +341,12 @@ func (rt *Router) Close() error {
 	if rt.runCancel != nil {
 		rt.runCancel()
 		<-rt.probeDone
+		if rt.bulkDone != nil {
+			<-rt.bulkDone
+		}
+	}
+	if rt.bulk != nil {
+		_ = rt.bulk.Close()
 	}
 	return err
 }
@@ -307,6 +361,10 @@ func (rt *Router) status() Status {
 		CacheFills:     rt.fills.Load(),
 		LocalFallbacks: rt.fallbacks.Load(),
 		FallbackModel:  rt.localFP,
+	}
+	if rt.bulk != nil {
+		sum := rt.bulk.Summary()
+		st.Bulk = &sum
 	}
 	for _, m := range rt.members {
 		m.mu.Lock()

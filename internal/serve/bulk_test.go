@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"archive/tar"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/bulkq"
+	"repro/internal/elfx"
+)
+
+// bulkArchive packs images into an in-memory tar.
+func bulkArchive(t *testing.T, images [][]byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	for i, img := range images {
+		if err := tw.WriteHeader(&tar.Header{
+			Name: fmt.Sprintf("bin-%03d.elf", i), Mode: 0o644, Size: int64(len(img)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tw.Write(img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func waitBulkJob(t *testing.T, addr, id string, pred func(bulkq.JobStatus) bool) bulkq.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/v1/bulk/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st bulkq.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting on bulk job %s: %+v", id, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestBulkEndToEnd drives the daemon's bulk surface as a client would:
+// POST a tarball of real stripped binaries, poll to completion, stream
+// the results — and every binary's variables must exactly match a serial
+// InferBinary on the same model.
+func TestBulkEndToEnd(t *testing.T) {
+	fixture(t)
+	s := startServer(t, Config{
+		ModelPath: modelFile(t, fixA), WatchInterval: -1,
+		BulkDir: t.TempDir(), BulkWorkers: 2,
+	})
+	images := fixImages[:3]
+
+	resp, err := http.Post("http://"+s.Addr+"/v1/bulk", "application/x-tar",
+		bytes.NewReader(bulkArchive(t, images)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub bulkq.SubmitResult
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: code=%d err=%v", resp.StatusCode, err)
+	}
+	if sub.Job.Binaries != len(images) {
+		t.Fatalf("submitted %d binaries, job holds %d", len(images), sub.Job.Binaries)
+	}
+
+	st := waitBulkJob(t, s.Addr, sub.Job.ID, func(st bulkq.JobStatus) bool {
+		return st.State == "done"
+	})
+	if st.Done != len(images) || st.Failed != 0 {
+		t.Fatalf("final status: %+v", st)
+	}
+
+	resp, err = http.Get("http://" + s.Addr + "/v1/bulk/" + sub.Job.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	for i := 0; ; i++ {
+		var rec bulkq.ResultRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			if i != len(images) {
+				t.Fatalf("results: %d lines, want %d", i, len(images))
+			}
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		if rec.State != "done" || rec.Model != fpA {
+			t.Fatalf("result %d: %+v", i, rec)
+		}
+		var got []VarRecord
+		if err := json.Unmarshal(rec.Vars, &got); err != nil {
+			t.Fatalf("result %d vars: %v", i, err)
+		}
+		bin, err := elfx.Read(images[rec.Index])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fixCATI.InferBinary(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameRecords(got, toRecords(want)) {
+			t.Fatalf("result %d: bulk vars diverge from serial InferBinary:\n%+v\nvs\n%+v",
+				i, got, toRecords(want))
+		}
+	}
+}
+
+// An archive over -max-bulk-body answers 413 with the JSON envelope,
+// mid-stream, without the daemon buffering the whole upload.
+func TestBulkBodyLimit(t *testing.T) {
+	fixture(t)
+	s := startServer(t, Config{
+		ModelPath: modelFile(t, fixA), WatchInterval: -1,
+		BulkDir: t.TempDir(), MaxBulkBody: 1024,
+	})
+	resp, err := http.Post("http://"+s.Addr+"/v1/bulk", "application/x-tar",
+		bytes.NewReader(bulkArchive(t, fixImages[:2])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb ErrorResponse
+	err = json.NewDecoder(resp.Body).Decode(&eb)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized bulk submit: %d, want 413", resp.StatusCode)
+	}
+	if err != nil || eb.Error == "" {
+		t.Fatalf("413 body not a JSON error envelope: %v", err)
+	}
+}

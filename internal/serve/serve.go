@@ -53,6 +53,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bulkq"
 	"repro/internal/core"
 	"repro/internal/elfx"
 	"repro/internal/telemetry"
@@ -133,6 +134,22 @@ type Config struct {
 	Retries       int
 	// MaxBody caps an uploaded image's size in bytes (default 64 MiB).
 	MaxBody int64
+	// BulkDir, when set, enables the durable bulk-analysis queue
+	// (internal/bulkq) and mounts the /v1/bulk API: the directory holds
+	// the content-addressed spool and the WAL journal, and a restart
+	// against the same directory resumes unfinished jobs. Empty disables
+	// the bulk endpoints entirely.
+	BulkDir string
+	// BulkWorkers is the bulk drain concurrency (default 2). Bulk workers
+	// yield to interactive traffic whenever the admission queue is
+	// non-empty.
+	BulkWorkers int
+	// MaxBulkBody caps one /v1/bulk archive upload (default 512 MiB).
+	MaxBulkBody int64
+	// BulkMaxEntries / BulkMaxEntrySize bound one bulk archive (defaults
+	// 1024 entries, 64 MiB per entry).
+	BulkMaxEntries   int
+	BulkMaxEntrySize int64
 	// WatchInterval is how often the artifact file is polled for changes
 	// (default 2s; negative disables watching — reloads then happen only
 	// via Reload, e.g. on SIGHUP).
@@ -262,6 +279,7 @@ type Server struct {
 	batch    *batcher
 	adm      *admission
 	cache    *resultCache
+	bulk     *bulkq.Manager
 
 	httpSrv *http.Server
 	lis     net.Listener
@@ -278,6 +296,7 @@ type Server struct {
 	runCancel context.CancelFunc
 	watchDone chan struct{}
 	batchDone chan struct{}
+	bulkDone  chan struct{}
 }
 
 // New builds a Server from cfg and loads the initial model; a missing or
@@ -300,6 +319,23 @@ func New(cfg Config) (*Server, error) {
 		cache:    newResultCache(cfg.CacheSize),
 	}
 	mux := http.NewServeMux()
+	if cfg.BulkDir != "" {
+		mgr, err := bulkq.Open(bulkq.Config{
+			Dir:          cfg.BulkDir,
+			Workers:      cfg.BulkWorkers,
+			MaxEntries:   cfg.BulkMaxEntries,
+			MaxEntrySize: cfg.BulkMaxEntrySize,
+			MaxBody:      cfg.MaxBulkBody,
+			Infer:        s.bulkInfer,
+			Yield:        func() bool { return s.adm.queued() > 0 },
+			Log:          cfg.Log,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.bulk = mgr
+		mgr.Mount(mux)
+	}
 	mux.HandleFunc("POST /v1/infer", s.handleInfer)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -322,6 +358,10 @@ func New(cfg Config) (*Server, error) {
 // Registry exposes the model registry (for SIGHUP wiring and tests).
 func (s *Server) Registry() *Registry { return s.registry }
 
+// Bulk exposes the bulk-queue manager (nil when BulkDir is unset) — the
+// fleet status page and tests read its Summary.
+func (s *Server) Bulk() *bulkq.Manager { return s.bulk }
+
 // Start binds addr and serves until Shutdown. The listener is bound
 // synchronously — a bad address fails here — and serving, the batch
 // collector, and the artifact watcher each run on their own goroutine.
@@ -343,6 +383,13 @@ func (s *Server) Start(addr string) error {
 		defer close(s.watchDone)
 		s.registry.Watch(s.runCtx, s.cfg.WatchInterval)
 	}()
+	if s.bulk != nil {
+		s.bulkDone = make(chan struct{})
+		go func() {
+			defer close(s.bulkDone)
+			s.bulk.Run(s.runCtx)
+		}()
+	}
 	go func() { _ = s.httpSrv.Serve(lis) }()
 	s.cfg.Log.Info("catiserve listening", "addr", s.Addr,
 		"model", s.registry.Active().Fingerprint,
@@ -364,6 +411,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.runCancel()
 		<-s.batchDone
 		<-s.watchDone
+		if s.bulkDone != nil {
+			<-s.bulkDone
+		}
+	}
+	if s.bulk != nil {
+		_ = s.bulk.Close()
 	}
 	return err
 }
@@ -375,6 +428,12 @@ func (s *Server) Close() error {
 		s.runCancel()
 		<-s.batchDone
 		<-s.watchDone
+		if s.bulkDone != nil {
+			<-s.bulkDone
+		}
+	}
+	if s.bulk != nil {
+		_ = s.bulk.Close()
 	}
 	return err
 }
@@ -636,17 +695,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 // schema plus the model fingerprint (also exposed as a header so clients
 // streaming the body can route on it early).
 func writeInferResponse(w http.ResponseWriter, fingerprint string, cached bool, vars []core.InferredVar) {
-	recs := make([]VarRecord, len(vars))
-	for i, v := range vars {
-		recs[i] = VarRecord{
-			FuncLow: v.FuncLow,
-			Slot:    v.Slot,
-			Global:  v.Global,
-			Size:    v.Size,
-			NumVUCs: v.NumVUCs,
-			Class:   v.Class.String(),
-		}
-	}
+	recs := toVarRecords(vars)
 	w.Header().Set("X-Cati-Model", fingerprint)
 	writeJSON(w, http.StatusOK, InferResponse{
 		Model:   fingerprint,
